@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table/figure), asserts the
+paper's qualitative shape, and writes the rendered artifact to
+``benchmarks/output/<name>.txt`` so the data survives captured stdout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def artifact_writer():
+    """Returns a writer: ``write(name, text)`` -> output file path."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> Path:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return write

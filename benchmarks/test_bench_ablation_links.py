@@ -1,0 +1,57 @@
+"""Ablation: dMEMBRICK link provisioning vs delivered bandwidth.
+
+Section II: memory-brick links "can be used to provide more aggregate
+bandwidth, or can be partitioned by orchestrator software and assigned
+to different dCOMPUBRICKs".  This bench sweeps the link count under a
+fixed client load and shows bandwidth scaling until the wire stops
+being the bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.memory.contention import MemoryContentionSim
+
+LINK_COUNTS = (1, 2, 4, 8)
+CLIENTS = 8
+DURATION_S = 200e-6
+
+
+def _sweep():
+    results = {}
+    for links in LINK_COUNTS:
+        sim = MemoryContentionSim(link_count=links)
+        results[links] = sim.run(client_count=CLIENTS, window=4,
+                                 duration_s=DURATION_S)
+    return results
+
+
+def test_bench_ablation_links(benchmark, artifact_writer):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["links", "throughput (Gb/s)", "mean latency (ns)",
+         "p99 latency (ns)"],
+        [(links,
+          round(r.throughput_bps / 1e9, 2),
+          round(r.mean_latency_s * 1e9, 0),
+          round(r.latency_percentile(99) * 1e9, 0))
+         for links, r in results.items()],
+        title=f"Ablation: dMEMBRICK links vs delivered bandwidth "
+              f"({CLIENTS} clients, 64 B transactions)")
+    artifact_writer("ablation_links", table)
+    print(table)
+
+    # More links -> more delivered bandwidth, monotonically.
+    throughputs = [results[links].throughput_bps for links in LINK_COUNTS]
+    assert throughputs == sorted(throughputs)
+
+    # Going 1 -> 2 links nearly doubles throughput (wire-bound regime).
+    assert results[2].throughput_bps > 1.8 * results[1].throughput_bps
+
+    # Latency relief: mean latency drops as queueing disappears.
+    assert results[4].mean_latency_s < results[1].mean_latency_s
+
+    # Delivered bandwidth never exceeds the aggregate wire capacity.
+    for links, result in results.items():
+        wire = MemoryContentionSim(link_count=links).link_saturation_bps()
+        assert result.throughput_bps <= wire

@@ -1,0 +1,62 @@
+"""Ablation: component-level vs server-level technology refresh.
+
+The paper's stated on-going work (§VI): "delivering technology refreshes
+at the component level instead of the server level" lowers procurement
+TCO.  This bench sweeps the planning horizon and the brick modularity
+premium.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.tco.refresh import RefreshCostModel, RefreshStudy
+
+HORIZONS = (6.0, 12.0, 18.0)
+PREMIUMS = (1.0, 1.1, 1.2)
+
+
+def _sweep():
+    rows = []
+    for premium in PREMIUMS:
+        model = RefreshCostModel(brick_cost_premium=premium)
+        study = RefreshStudy(unit_count=64, model=model)
+        for horizon in HORIZONS:
+            outcome = study.run(horizon)
+            rows.append((premium, horizon, outcome))
+    breakeven = RefreshStudy(unit_count=64).breakeven_premium(12.0)
+    return rows, breakeven
+
+
+def test_bench_ablation_refresh(benchmark, artifact_writer):
+    rows, breakeven = benchmark.pedantic(_sweep, rounds=3, iterations=1)
+    table = render_table(
+        ["brick premium", "horizon (y)", "conventional ($)",
+         "disaggregated ($)", "savings"],
+        [(f"{premium:.2f}", horizon,
+          round(outcome.conventional_total),
+          round(outcome.disaggregated_total),
+          f"{outcome.savings_fraction:.1%}")
+         for premium, horizon, outcome in rows],
+        title="Ablation: refresh procurement, component vs server level "
+              "(compute 3 y / memory 6 y cadence)")
+    footer = (f"breakeven modularity premium at 12 y: {breakeven:.2f}x "
+              f"(bricks may cost this much more and still break even)")
+    artifact_writer("ablation_refresh", table + "\n" + footer)
+    print(table + "\n" + footer)
+
+    by_key = {(premium, horizon): outcome
+              for premium, horizon, outcome in rows}
+
+    # With no premium, component-level refresh always wins on aligned
+    # multi-cadence horizons.
+    for horizon in HORIZONS:
+        assert by_key[(1.0, horizon)].savings_fraction > 0.1
+
+    # Higher premiums monotonically erode the savings.
+    for horizon in HORIZONS:
+        savings = [by_key[(premium, horizon)].savings_fraction
+                   for premium in PREMIUMS]
+        assert savings == sorted(savings, reverse=True)
+
+    # The breakeven premium leaves real headroom for modular hardware.
+    assert breakeven > 1.1

@@ -1,0 +1,41 @@
+"""Bench: regenerate Fig. 10 (scale-up agility vs conventional scale-out).
+
+Paper shape: per-VM average delay of dynamic memory scale-up is far
+below conventional scale-out (VM spawning) at every concurrency level
+(32/16/8 VMs posting within an interval); delay grows with concurrency
+but stays an order of magnitude ahead.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10_agility import run_fig10
+
+
+def test_bench_fig10(benchmark, artifact_writer):
+    result = benchmark.pedantic(
+        run_fig10,
+        kwargs={"sizes_gib": (1, 2, 4, 8), "concurrencies": (8, 16, 32)},
+        rounds=1, iterations=1)
+    artifact_writer("fig10", result.render())
+    print(result.render())
+
+    # Scale-up beats scale-out by >= 10x everywhere — "superior even
+    # under the most extreme scale-up concurrency conditions tested".
+    for cell in result.cells:
+        speedup = result.speedup_vs_scale_out(cell.size_gib,
+                                              cell.concurrency)
+        assert speedup > 10, (cell.size_gib, cell.concurrency, speedup)
+
+    # More aggressive concurrency -> higher mean delay (SDM-C queueing).
+    for size in result.sizes_gib:
+        assert (result.cell(size, 32).mean_delay_s
+                >= result.cell(size, 8).mean_delay_s)
+
+    # Bigger requests -> more hotplug sections -> higher delay.
+    for concurrency in result.concurrencies:
+        assert (result.cell(8, concurrency).mean_delay_s
+                > result.cell(1, concurrency).mean_delay_s)
+
+    # Scale-up stays in the seconds regime; scale-out in tens of seconds.
+    assert max(cell.mean_delay_s for cell in result.cells) < 5.0
+    assert min(result.scale_out_mean_s.values()) > 20.0

@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig. 12 (% unutilized resources powered off).
+
+Paper shape: disaggregation never loses; unbalanced mixes power off up
+to ~88% of one brick type while the conventional datacenter manages at
+most ~15% of its hosts; balanced mixes show little difference.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig12_poweroff import run_fig12
+
+
+def test_bench_fig12(benchmark, artifact_writer):
+    result = benchmark.pedantic(run_fig12, rounds=3, iterations=1)
+    artifact_writer("fig12", result.render())
+    print(result.render())
+
+    by_name = {r.config_name: r for r in result.results}
+
+    # Headline numbers: up to ~88% of one brick type, conventional ~15%.
+    assert 0.80 <= result.max_brick_poweroff <= 0.95
+    assert result.max_conventional_poweroff <= 0.20
+
+    # Disaggregated >= conventional for every mix.
+    for r in result.results:
+        assert r.disaggregated_poweroff >= r.conventional_poweroff - 1e-9
+
+    # Direction of the imbalance decides which pool powers off.
+    assert (by_name["High RAM"].compute_brick_poweroff
+            > by_name["High RAM"].memory_brick_poweroff)
+    assert (by_name["High CPU"].memory_brick_poweroff
+            > by_name["High CPU"].compute_brick_poweroff)
+
+    # Unbalanced mixes gain much more than the balanced one.
+    assert (by_name["High RAM"].disaggregated_poweroff
+            > 2 * by_name["Half Half"].disaggregated_poweroff)

@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 13 (power normalized to conventional).
+
+Paper shape: powering down unutilized bricks translates into large
+("almost 50%") energy savings on diverse/unbalanced workloads and near
+parity on balanced ones.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig13_energy import run_fig13
+
+
+def test_bench_fig13(benchmark, artifact_writer):
+    result = benchmark.pedantic(run_fig13, rounds=3, iterations=1)
+    artifact_writer("fig13", result.render())
+    print(result.render())
+
+    # Savings reach (and here exceed) the paper's ~50% on memory-heavy
+    # mixes — our brick power split favours compute, see EXPERIMENTS.md.
+    assert result.best_savings >= 0.45
+
+    # Memory-heavy mixes save the most; balanced sits at parity.
+    assert result.savings_for("High RAM") > 0.4
+    assert result.savings_for("More RAM") > 0.4
+    assert abs(result.savings_for("Half Half")) < 0.05
+
+    # CPU-heavy mixes still save (memory bricks power off) but less,
+    # since the memory share of a node's power is the smaller part.
+    assert 0.05 < result.savings_for("High CPU") < \
+        result.savings_for("High RAM")
+
+    # Normalized power is a proper fraction everywhere except parity.
+    for r in result.results:
+        assert 0.2 < r.normalized_power < 1.05

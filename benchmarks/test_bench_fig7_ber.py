@@ -1,0 +1,39 @@
+"""Bench: regenerate Fig. 7 (BER vs received optical power).
+
+Paper shape: all 10 Gb/s bi-directional links achieve BER below 1e-12
+after 6-8 hops through the optical switch; more hops -> less received
+power -> worse (but still closing) BER.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7_ber import run_fig7
+from repro.network.optical.ber import BER_TARGET
+
+
+def test_bench_fig7(benchmark, artifact_writer):
+    result = benchmark.pedantic(run_fig7, rounds=3, iterations=1)
+    artifact_writer("fig7", result.render())
+    print(result.render())
+
+    # Every channel meets the FEC-free target in every measurement.
+    assert all(m.meets_target for m in result.channels)
+
+    # Hop plan: seven channels at 8 hops, one at 6 (the paper's setup).
+    assert sorted(m.hops for m in result.channels) == [6] + [8] * 7
+
+    # The six-hop channel enjoys ~2 dB more received power and a BER
+    # orders of magnitude lower than any eight-hop channel.
+    six_hop = result.channel(8)
+    for measurement in result.channels:
+        if measurement.hops == 8:
+            assert six_hop.mean_received_dbm > measurement.mean_received_dbm
+            assert six_hop.ber_stats.median < measurement.ber_stats.median
+
+    # Received power sits in the regime the link budget predicts:
+    # -3.7 dBm launch minus ~8-11 dB of path loss.
+    for measurement in result.channels:
+        assert -16.0 < measurement.mean_received_dbm < -10.0
+
+    # BER medians stay below the target with margin (Q extrapolation).
+    assert max(m.ber_stats.median for m in result.channels) < BER_TARGET

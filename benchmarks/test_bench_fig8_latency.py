@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig. 8 (remote-memory round-trip latency breakdown).
+
+Paper shape: the packet-switched round trip is dominated by the on-brick
+switch and MAC/PHY blocks on both bricks; optical propagation is a minor
+contributor; FEC would add >100 ns per direction (hence the FEC-free
+requirement); the mainline circuit path is substantially faster.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_latency import run_fig8
+
+
+def test_bench_fig8(benchmark, artifact_writer):
+    result = benchmark.pedantic(run_fig8, rounds=5, iterations=1)
+    artifact_writer("fig8", result.render())
+    print(result.render())
+
+    # Round trip in the ~1-2 microsecond regime.
+    assert 1000 <= result.packet_total_ns <= 2500
+
+    # MAC/PHY is the single largest block class; propagation is minor.
+    blocks = result.by_block
+    assert blocks["mac_phy"] == max(blocks.values())
+    assert blocks["propagation"] < 0.1 * result.packet_total_ns
+
+    # Both bricks contribute comparably; the optical path does not.
+    groups = result.by_group
+    assert groups["dCOMPUBRICK"] > 5 * groups["optical path"]
+    assert groups["dMEMBRICK"] > 5 * groups["optical path"]
+
+    # The FEC penalty: > 100 ns per direction, 4 traversals round trip.
+    assert result.fec_penalty_ns > 400
+
+    # The circuit-switched mainline is the latency-minimizing design.
+    assert result.circuit_total_ns < 0.6 * result.packet_total_ns

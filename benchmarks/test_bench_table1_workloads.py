@@ -1,0 +1,25 @@
+"""Bench: regenerate Table I (VM workload mixes for the TCO studies)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1_workloads import run_table1
+
+
+def test_bench_table1(benchmark, artifact_writer):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    artifact_writer("table1", result.render())
+    print(result.render())
+
+    # The exact paper table.
+    assert result.rows() == [
+        ("Random", "1-32 cores", "1-32 GB"),
+        ("High RAM", "1-8 cores", "24-32 GB"),
+        ("High CPU", "24-32 cores", "1-8 GB"),
+        ("Half Half", "16 cores", "16 GB"),
+        ("More RAM", "1-6 cores", "17-32 GB"),
+        ("More CPU", "17-32 cores", "1-16 GB"),
+    ]
+    # Sampled demand respects every configured range.
+    for name, stats in result.sample_stats.items():
+        assert stats["min_vcpus"] >= 1, name
+        assert stats["max_ram_gib"] <= 32, name

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Pilot application 2: NFV edge computing with an elastic key server (§V).
+
+The key server holds private key material, so "scale-out techniques
+should be avoided to replicate critical information" — the daily traffic
+peaks must be absorbed by *memory elasticity* on a single VM instead.
+This scenario walks a 24-hour diurnal load and scales the key-server
+VM's session-cache memory to track it.
+
+Run:  python examples/nfv_elastic_keyserver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RackBuilder, VmAllocationRequest, gib
+from repro.apps.nfv import DiurnalTrafficModel, KeyServerScenario
+
+
+def main() -> None:
+    system = (RackBuilder("nfv-edge-rack")
+              .with_compute_bricks(2, cores=16, local_memory=gib(4))
+              .with_memory_bricks(4, modules=4, module_size=gib(16))
+              .build())
+    system.boot_vm(
+        VmAllocationRequest("key-server", vcpus=4, ram_bytes=gib(2)))
+
+    traffic = DiurnalTrafficModel(peak_rps=4000.0, trough_rps=400.0,
+                                  night_hour=3.0)
+    print("diurnal traffic profile (requests/s):")
+    for hour in (0, 3, 6, 9, 12, 15, 18, 21):
+        load = traffic.load_rps(float(hour))
+        bar = "#" * int(load / 100)
+        print(f"  {hour:02d}:00 {bar} {load:,.0f}")
+
+    scenario = KeyServerScenario(system, "key-server", traffic=traffic,
+                                 step_bytes=gib(1))
+    report = scenario.run(hours=24, samples_per_hour=2,
+                          rng=np.random.default_rng(7))
+
+    print(f"\nover 24 h: {report.scale_up_events} scale-ups, "
+          f"{report.scale_down_events} scale-downs, "
+          f"0 VMs spawned (key material never replicated)")
+    print(f"demand satisfied at {report.demand_satisfaction:.1%} "
+          f"of samples")
+    print(f"mean scale latency: {report.mean_scale_latency_s:.3f} s")
+
+    peak_gib = report.peak_demand_bytes / gib(1)
+    mean_gib = report.mean_provisioned_bytes / gib(1)
+    print(f"\npeak demand {peak_gib:.1f} GiB; mean provisioned "
+          f"{mean_gib:.1f} GiB "
+          f"({report.provisioning_efficiency():.0%} of a static "
+          f"peak-sized deployment)")
+    print("the freed memory serves other tenants of the rack overnight.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""dReDBox reproduction: a full-stack rack-scale disaggregated datacenter.
+
+A Python reproduction of *"dReDBox: Materializing a full-stack rack-scale
+system prototype of a next-generation disaggregated datacenter"*
+(Bielski et al., DATE 2018).
+
+Quick start::
+
+    from repro import RackBuilder, VmAllocationRequest, gib
+
+    system = (RackBuilder("rack0")
+              .with_compute_bricks(4, cores=16)
+              .with_memory_bricks(4, modules=4, module_size=gib(16))
+              .build())
+    boot = system.boot_vm(VmAllocationRequest("vm-0", vcpus=4,
+                                              ram_bytes=gib(8)))
+    result = system.scale_up("vm-0", gib(2))
+    print(result.total_latency_s)
+
+Sub-packages (bottom-up):
+
+* :mod:`repro.sim` — discrete-event simulation kernel.
+* :mod:`repro.hardware` — bricks, trays, rack, MBO, RMST, glue logic.
+* :mod:`repro.network` — optical circuit plane + packet plane.
+* :mod:`repro.memory` — segments, allocation, remote access paths.
+* :mod:`repro.software` — hotplug, kernel, hypervisor, scale-up.
+* :mod:`repro.orchestration` — SDM controller, placement, OpenStack.
+* :mod:`repro.core` — the assembled system.
+* :mod:`repro.tco` — the §VI TCO simulation study.
+* :mod:`repro.apps` — the §V pilot applications.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from repro.core.builder import RackBuilder
+from repro.core.flows import TimedScaleUpHarness
+from repro.core.metrics import snapshot
+from repro.core.system import DisaggregatedRack
+from repro.errors import ReproError
+from repro.orchestration.requests import (
+    MemoryAllocationRequest,
+    VmAllocationRequest,
+)
+from repro.units import gbps, gib, mib
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DisaggregatedRack",
+    "MemoryAllocationRequest",
+    "RackBuilder",
+    "ReproError",
+    "TimedScaleUpHarness",
+    "VmAllocationRequest",
+    "__version__",
+    "gbps",
+    "gib",
+    "mib",
+    "snapshot",
+]

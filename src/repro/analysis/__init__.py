@@ -1,0 +1,27 @@
+"""Statistics and plain-text rendering for experiment outputs.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers compute the statistics (including the box-plot
+five-number summaries of Fig. 7) and render ASCII tables / bar charts.
+"""
+
+from repro.analysis.figures import render_bars, render_grouped_bars
+from repro.analysis.stats import (
+    BoxplotStats,
+    SummaryStats,
+    boxplot_stats,
+    geometric_mean,
+    summarize,
+)
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "BoxplotStats",
+    "SummaryStats",
+    "boxplot_stats",
+    "geometric_mean",
+    "render_bars",
+    "render_grouped_bars",
+    "render_table",
+    "summarize",
+]

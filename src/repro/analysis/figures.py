@@ -1,0 +1,87 @@
+"""Plain-text bar charts (the terminal rendition of the paper's figures)."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Glyph used for bar fills.
+_BAR = "#"
+
+
+def render_bars(labels: Sequence[str], values: Sequence[float],
+                title: str = "", unit: str = "", width: int = 50,
+                log_scale: bool = False) -> str:
+    """Render one horizontal bar per (label, value).
+
+    ``log_scale=True`` maps bar lengths to log10 of the value — used for
+    BER charts whose values span many decades.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels for {len(values)} values")
+    if not labels:
+        raise ValueError("nothing to render")
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+
+    if log_scale:
+        if any(v <= 0 for v in values):
+            raise ValueError("log-scale bars need positive values")
+        magnitudes = [math.log10(v) for v in values]
+        low = min(magnitudes)
+        span = max(magnitudes) - low or 1.0
+        lengths = [max(1, round((m - low) / span * (width - 1)) + 1)
+                   for m in magnitudes]
+    else:
+        peak = max(values)
+        if peak < 0:
+            raise ValueError("bar values must not all be negative")
+        lengths = [
+            0 if peak == 0 else max(0, round(v / peak * width))
+            for v in values
+        ]
+
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value, length in zip(labels, values, lengths):
+        bar = _BAR * length
+        value_text = f"{value:.4g}{(' ' + unit) if unit else ''}"
+        lines.append(f"{label.ljust(label_width)} |{bar} {value_text}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(categories: Sequence[str],
+                        series: Mapping[str, Sequence[float]],
+                        title: str = "", unit: str = "",
+                        width: int = 40) -> str:
+    """Render grouped bars: for each category, one bar per series.
+
+    Mirrors figures like Fig. 10/12/13 where each workload/config has a
+    bar per system or concurrency level.
+    """
+    if not categories or not series:
+        raise ValueError("need at least one category and one series")
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(categories)} categories")
+    peak = max(max(values) for values in series.values())
+    if peak <= 0:
+        peak = 1.0
+    name_width = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for index, category in enumerate(categories):
+        lines.append(f"{category}:")
+        for name, values in series.items():
+            value = values[index]
+            length = max(0, round(value / peak * width))
+            value_text = f"{value:.4g}{(' ' + unit) if unit else ''}"
+            lines.append(
+                f"  {name.ljust(name_width)} |{_BAR * length} {value_text}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Summary and box-plot statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Standard summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+                f"min={self.minimum:.4g} med={self.median:.4g} "
+                f"max={self.maximum:.4g}")
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of *values* (population std)."""
+    if len(values) == 0:
+        raise ValueError("cannot summarize an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Tukey box-plot five-number summary plus outliers.
+
+    Whiskers extend to the most extreme data point within 1.5 IQR of the
+    box; anything beyond is an outlier — the convention the Fig. 7 box
+    plot follows.
+    """
+
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values: Sequence[float]) -> BoxplotStats:
+    """Tukey box-plot statistics of *values*."""
+    if len(values) == 0:
+        raise ValueError("cannot compute box-plot stats of an empty sample")
+    arr = np.sort(np.asarray(values, dtype=float))
+    q1, median, q3 = (float(q) for q in np.percentile(arr, [25, 50, 75]))
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = arr[(arr >= low_fence) & (arr <= high_fence)]
+    whisker_low = float(inside.min()) if inside.size else q1
+    whisker_high = float(inside.max()) if inside.size else q3
+    outliers = tuple(float(v) for v in arr[(arr < low_fence) | (arr > high_fence)])
+    return BoxplotStats(
+        median=median,
+        q1=q1,
+        q3=q3,
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (all values must be positive)."""
+    if len(values) == 0:
+        raise ValueError("cannot average an empty sample")
+    arr = np.asarray(values, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(math.exp(np.log(arr).mean()))

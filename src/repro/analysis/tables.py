@@ -1,0 +1,72 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned.  Floats are
+    shown with four significant digits unless already strings.
+    """
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    formatted_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells for {len(headers)} columns")
+        formatted_rows.append([_format_cell(cell) for cell in row])
+
+    widths = [len(str(h)) for h in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    numeric = [
+        all(_is_numeric(row[i]) for row in formatted_rows) if formatted_rows
+        else False
+        for i in range(len(headers))
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(fmt_line([str(h) for h in headers]))
+    lines.append(separator)
+    for row in formatted_rows:
+        lines.append(fmt_line(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e6):
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,34 @@
+"""The three pilot applications of §V.
+
+Each pilot exercises the public rack API the way the paper motivates:
+
+* :mod:`repro.apps.video_analytics` — event-driven video-surveillance
+  investigations whose memory demand "cannot be scheduled or predicted".
+* :mod:`repro.apps.nfv` — the NFV edge/key-server split with diurnal
+  load, where scale-out must be avoided (sensitive key material) and
+  memory elasticity carries the peaks.
+* :mod:`repro.apps.network_analytics` — 100 GbE online classification on
+  a dACCELBRICK plus offline deep analysis on elastically-sized VMs.
+"""
+
+from repro.apps.base import AppReport, MemoryDemandPoint
+from repro.apps.network_analytics import (
+    NetworkAnalyticsScenario,
+    OnlineStageResult,
+)
+from repro.apps.nfv import DiurnalTrafficModel, KeyServerScenario
+from repro.apps.video_analytics import (
+    InvestigationEvent,
+    VideoAnalyticsScenario,
+)
+
+__all__ = [
+    "AppReport",
+    "DiurnalTrafficModel",
+    "InvestigationEvent",
+    "KeyServerScenario",
+    "MemoryDemandPoint",
+    "NetworkAnalyticsScenario",
+    "OnlineStageResult",
+    "VideoAnalyticsScenario",
+]

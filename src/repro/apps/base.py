@@ -1,0 +1,81 @@
+"""Shared result types for pilot-application scenarios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MemoryDemandPoint:
+    """Memory demand observed at one point in scenario time."""
+
+    time_s: float
+    demand_bytes: int
+    provisioned_bytes: int
+
+    @property
+    def satisfied(self) -> bool:
+        """True when the VM had at least as much memory as it needed."""
+        return self.provisioned_bytes >= self.demand_bytes
+
+    @property
+    def headroom_bytes(self) -> int:
+        return self.provisioned_bytes - self.demand_bytes
+
+
+@dataclass
+class AppReport:
+    """What a pilot scenario reports back.
+
+    Attributes:
+        name: Scenario identifier.
+        scale_up_events / scale_down_events: Elasticity actions taken.
+        scale_latencies_s: Latency of each scale action.
+        demand_trace: Sampled demand vs provisioned memory.
+        details: Scenario-specific extras.
+    """
+
+    name: str
+    scale_up_events: int = 0
+    scale_down_events: int = 0
+    scale_latencies_s: list[float] = field(default_factory=list)
+    demand_trace: list[MemoryDemandPoint] = field(default_factory=list)
+    details: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_scale_latency_s(self) -> float:
+        if not self.scale_latencies_s:
+            return 0.0
+        return sum(self.scale_latencies_s) / len(self.scale_latencies_s)
+
+    @property
+    def demand_satisfaction(self) -> float:
+        """Fraction of sampled points where demand was satisfied."""
+        if not self.demand_trace:
+            return 1.0
+        satisfied = sum(1 for p in self.demand_trace if p.satisfied)
+        return satisfied / len(self.demand_trace)
+
+    @property
+    def peak_demand_bytes(self) -> int:
+        if not self.demand_trace:
+            return 0
+        return max(p.demand_bytes for p in self.demand_trace)
+
+    @property
+    def mean_provisioned_bytes(self) -> float:
+        if not self.demand_trace:
+            return 0.0
+        return (sum(p.provisioned_bytes for p in self.demand_trace)
+                / len(self.demand_trace))
+
+    def provisioning_efficiency(self) -> float:
+        """Mean provisioned memory relative to static peak provisioning.
+
+        Below 1.0 means elasticity used less memory-time than a
+        conventional deployment sized for the peak.
+        """
+        peak = self.peak_demand_bytes
+        if peak == 0:
+            return 1.0
+        return self.mean_provisioned_bytes / peak

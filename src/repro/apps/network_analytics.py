@@ -1,0 +1,170 @@
+"""Pilot 3: network analytics at very high rates (§V).
+
+Two modes, as the paper specifies:
+
+* **Online analysis** — "inspecting every single frame that travels
+  across the physical link": a classification accelerator hosted on a
+  dACCELBRICK tags frames of interest at line rate (100 GbE).
+* **Offline analysis** — "packets that were marked as relevant during
+  the online analysis can be studied during a second stage with a more
+  exhaustive emphasis": a compute VM sized elastically to the marked
+  dataset crunches it; memory hotplug removes the postponement a
+  fixed-size node would impose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import AppReport
+from repro.core.system import DisaggregatedRack
+from repro.errors import ConfigurationError
+from repro.hardware.accelerator import Bitstream, ReconfigurationMiddleware
+from repro.units import gbps, gib
+
+#: The line the probe taps (standardized 100 GbE, §V).
+LINE_RATE_BPS = gbps(100)
+
+#: Average captured frame size on the monitored link.
+MEAN_FRAME_BYTES = 850
+
+#: Offline working set per GiB of marked capture (indexes, flow state).
+OFFLINE_MEMORY_FACTOR = 1.5
+
+#: Offline crunch throughput per VM, bytes of capture per second.
+OFFLINE_SCAN_BPS = 2 * gib(1)
+
+
+@dataclass(frozen=True)
+class OnlineStageResult:
+    """Outcome of the line-rate classification stage."""
+
+    frames_inspected: int
+    frames_marked: int
+    capture_bytes: int
+    stage_duration_s: float
+    sustained_rate_bps: float
+    reconfiguration_s: float
+
+    @property
+    def mark_fraction(self) -> float:
+        if self.frames_inspected == 0:
+            return 0.0
+        return self.frames_marked / self.frames_inspected
+
+    @property
+    def keeps_line_rate(self) -> bool:
+        """True when the accelerator sustained the full line rate."""
+        return self.sustained_rate_bps >= LINE_RATE_BPS
+
+
+class NetworkAnalyticsScenario:
+    """Online classification on a dACCELBRICK + elastic offline VM."""
+
+    def __init__(self, system: DisaggregatedRack, vm_id: str,
+                 accelerator_throughput_bps: float = 1.2 * LINE_RATE_BPS,
+                 mark_probability: float = 0.02) -> None:
+        """Create the scenario.
+
+        Args:
+            system: The rack (must contain at least one dACCELBRICK).
+            vm_id: The offline-analysis VM (already booted).
+            accelerator_throughput_bps: Classification throughput of the
+                deployed bitstream; must exceed the line rate for the
+                online mode to be lossless.
+            mark_probability: Fraction of frames tagged as relevant.
+        """
+        if not system.accelerator_bricks:
+            raise ConfigurationError(
+                "network analytics needs a dACCELBRICK in the rack")
+        if not 0 < mark_probability <= 1:
+            raise ConfigurationError("mark probability must be in (0, 1]")
+        self.system = system
+        self.vm_id = vm_id
+        self.accel_brick = system.accelerator_bricks[0]
+        self.accelerator_throughput_bps = accelerator_throughput_bps
+        self.mark_probability = mark_probability
+        self.middleware = ReconfigurationMiddleware(self.accel_brick.slot)
+
+    # -- online stage --------------------------------------------------------------
+
+    def run_online(self, duration_s: float,
+                   rng: np.random.Generator) -> OnlineStageResult:
+        """Classify *duration_s* worth of 100 GbE traffic.
+
+        Deploys the classification bitstream through the §II middleware
+        (upload + PCAP reconfiguration), then streams frames through it.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        bitstream = Bitstream("flow-classifier", size_bytes=gib(1) // 64,
+                              resource_cost=70)
+        self.middleware.receive_bitstream(bitstream)
+        reconf_s = self.middleware.reconfigure("flow-classifier")
+        self.accel_brick.slot.start()
+
+        offered_bytes = int(LINE_RATE_BPS / 8 * duration_s)
+        frames = offered_bytes // MEAN_FRAME_BYTES
+        marked = int(rng.binomial(frames, self.mark_probability))
+        capture_bytes = marked * MEAN_FRAME_BYTES
+        sustained = min(self.accelerator_throughput_bps, LINE_RATE_BPS)
+
+        self.accel_brick.slot.stop()
+        return OnlineStageResult(
+            frames_inspected=int(frames),
+            frames_marked=marked,
+            capture_bytes=capture_bytes,
+            stage_duration_s=duration_s,
+            sustained_rate_bps=sustained,
+            reconfiguration_s=reconf_s,
+        )
+
+    # -- offline stage ----------------------------------------------------------------
+
+    def run_offline(self, online: OnlineStageResult) -> AppReport:
+        """Deep-analyze the marked capture on the elastic VM.
+
+        The VM scales up to hold the whole working set (capture plus
+        indexes), scans it, then returns the memory.  The report's
+        ``details`` include the postponement a fixed-memory node would
+        have suffered (processing in chunks that fit local DRAM).
+        """
+        report = AppReport(name="network-analytics-offline")
+        hosted = self.system.hosting(self.vm_id)
+
+        working_set = int(online.capture_bytes * OFFLINE_MEMORY_FACTOR)
+        working_set = max(working_set, 1)
+        segments = []
+        remaining = working_set
+        chunk_limit = gib(16)
+        while remaining > 0:
+            chunk = min(remaining, chunk_limit)
+            result = self.system.scale_up(self.vm_id, chunk)
+            report.scale_up_events += 1
+            report.scale_latencies_s.append(result.total_latency_s)
+            segments.append(result.segment)
+            remaining -= chunk
+
+        scan_time_s = online.capture_bytes / OFFLINE_SCAN_BPS
+        elastic_total_s = sum(report.scale_latencies_s) + scan_time_s
+
+        # Fixed-node counterpart: only local DRAM available; the scan
+        # runs in passes, re-reading the capture from storage each pass.
+        local_bytes = hosted.vm.initial_ram_bytes
+        passes = max(1, -(-working_set // max(local_bytes, 1)))
+        storage_reread_s = (passes - 1) * (online.capture_bytes / OFFLINE_SCAN_BPS)
+        fixed_total_s = scan_time_s + storage_reread_s * 2.5
+
+        for segment in segments:
+            self.system.scale_down(self.vm_id, segment.segment_id)
+            report.scale_down_events += 1
+
+        report.details["working_set_gib"] = working_set / gib(1)
+        report.details["scan_time_s"] = scan_time_s
+        report.details["elastic_total_s"] = elastic_total_s
+        report.details["fixed_node_total_s"] = fixed_total_s
+        report.details["speedup"] = (fixed_total_s / elastic_total_s
+                                     if elastic_total_s > 0 else 1.0)
+        return report

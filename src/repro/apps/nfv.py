@@ -1,0 +1,130 @@
+"""Pilot 2: NFV edge computing with a collaborative-cryptography key server.
+
+"The load of NFV applications varies according to a daily traffic
+pattern, with a very low load at night and peaks during day hours.
+Given the sensibility of the information in the Key Server database,
+scale-out techniques should be avoided to replicate critical information
+and thus, elasticity in the memory usage provided by dRedBox can help to
+cope with the traffic peaks" (§V).
+
+The scenario runs a key-server VM through a diurnal day: every sampling
+interval it derives the memory the TLS session/key cache needs from the
+traffic level and scales the VM up or down to track it — never spawning
+a second VM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import AppReport, MemoryDemandPoint
+from repro.core.system import DisaggregatedRack
+from repro.errors import ConfigurationError
+from repro.units import gib
+
+#: Session-cache bytes per unit of traffic (requests/s).
+BYTES_PER_RPS = 2 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DiurnalTrafficModel:
+    """A day-shaped load curve: low at night, peaking mid-day.
+
+    ``load(t) = trough + (peak - trough) * shape(t)`` where shape is a
+    raised cosine with its minimum at ``night_hour``.
+    """
+
+    peak_rps: float = 4000.0
+    trough_rps: float = 400.0
+    night_hour: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.trough_rps < 0 or self.peak_rps <= self.trough_rps:
+            raise ConfigurationError("need peak_rps > trough_rps >= 0")
+
+    def load_rps(self, hour_of_day: float) -> float:
+        """Traffic at *hour_of_day* (0-24, fractional allowed)."""
+        phase = 2.0 * math.pi * (hour_of_day - self.night_hour) / 24.0
+        shape = 0.5 * (1.0 - math.cos(phase))
+        return self.trough_rps + (self.peak_rps - self.trough_rps) * shape
+
+    def demand_bytes(self, hour_of_day: float) -> int:
+        """Key/session cache footprint at *hour_of_day*."""
+        return int(self.load_rps(hour_of_day) * BYTES_PER_RPS)
+
+
+class KeyServerScenario:
+    """Tracks a diurnal day with memory elasticity only (no scale-out)."""
+
+    def __init__(self, system: DisaggregatedRack, vm_id: str,
+                 traffic: DiurnalTrafficModel | None = None,
+                 step_bytes: int = gib(1),
+                 headroom_fraction: float = 0.15) -> None:
+        """Create the scenario.
+
+        Args:
+            system: The rack hosting the key-server VM.
+            vm_id: The key-server VM (already booted).
+            traffic: Load model (defaults to the standard day shape).
+            step_bytes: Scaling granularity (one segment per step).
+            headroom_fraction: Safety margin provisioned above demand.
+        """
+        if not 0 <= headroom_fraction < 1:
+            raise ConfigurationError("headroom fraction must be in [0, 1)")
+        self.system = system
+        self.vm_id = vm_id
+        self.traffic = traffic or DiurnalTrafficModel()
+        self.step_bytes = step_bytes
+        self.headroom_fraction = headroom_fraction
+        self._segments: list = []
+
+    def run(self, hours: int = 24, samples_per_hour: int = 2,
+            rng: np.random.Generator | None = None) -> AppReport:
+        """Walk the day, scaling the VM to track demand.
+
+        Optional *rng* adds ±10% load noise per sample.
+        """
+        report = AppReport(name="nfv-key-server")
+        hosted = self.system.hosting(self.vm_id)
+        base = hosted.vm.initial_ram_bytes
+
+        total_samples = hours * samples_per_hour
+        for step in range(total_samples):
+            hour = (step / samples_per_hour) % 24.0
+            demand = self.traffic.demand_bytes(hour)
+            if rng is not None:
+                demand = int(demand * float(rng.uniform(0.9, 1.1)))
+            target = base + int(demand * (1.0 + self.headroom_fraction))
+
+            current = hosted.vm.configured_ram_bytes
+            if target > current:
+                shortfall = target - current
+                steps_up = math.ceil(shortfall / self.step_bytes)
+                for _ in range(steps_up):
+                    result = self.system.scale_up(self.vm_id, self.step_bytes)
+                    self._segments.append(result.segment)
+                    report.scale_up_events += 1
+                    report.scale_latencies_s.append(result.total_latency_s)
+            elif current - target >= self.step_bytes and self._segments:
+                surplus = current - target
+                steps_down = min(surplus // self.step_bytes,
+                                 len(self._segments))
+                for _ in range(int(steps_down)):
+                    segment = self._segments.pop()
+                    steps = self.system.scale_down(
+                        self.vm_id, segment.segment_id)
+                    report.scale_down_events += 1
+                    report.scale_latencies_s.append(sum(steps.values()))
+
+            report.demand_trace.append(MemoryDemandPoint(
+                time_s=step * 3600.0 / samples_per_hour,
+                demand_bytes=base + demand,
+                provisioned_bytes=hosted.vm.configured_ram_bytes,
+            ))
+
+        report.details["peak_rps"] = self.traffic.peak_rps
+        report.details["scale_out_vms_spawned"] = 0.0  # by design
+        return report

@@ -1,0 +1,53 @@
+"""Command-line entry point: run the paper's experiments.
+
+Usage::
+
+    dredbox-repro list
+    dredbox-repro run fig12
+    dredbox-repro run-all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="dredbox-repro",
+        description="Reproduce the dReDBox (DATE 2018) tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                     help="experiment id (paper table/figure)")
+
+    sub.add_parser("run-all", help="run every experiment")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.command == "run":
+        report = run_all([args.experiment])
+        print(report.runs[0].rendered)
+        return 0
+    if args.command == "run-all":
+        print(run_all().rendered())
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

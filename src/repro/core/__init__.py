@@ -1,0 +1,31 @@
+"""The paper's primary contribution, assembled.
+
+This package stitches every substrate into the "datacentre-in-a-box" the
+paper prototypes:
+
+* :mod:`repro.core.builder` — declarative construction of a disaggregated
+  rack (bricks, trays, fabric, software stacks, orchestration).
+* :mod:`repro.core.system` — :class:`DisaggregatedRack`, the top-level
+  facade: boot VMs, scale memory up/down, power-manage bricks.
+* :mod:`repro.core.flows` — timed end-to-end flows over the DES kernel
+  (the Fig. 10 scale-up-agility experiment drives these).
+* :mod:`repro.core.metrics` — system-wide snapshots (power, utilization).
+"""
+
+from repro.core.builder import RackBuilder
+from repro.core.flows import BootResult, TimedScaleUpHarness
+from repro.core.metrics import SystemSnapshot, snapshot
+from repro.core.migration import MigrationFlow, MigrationReport
+from repro.core.system import BrickStack, DisaggregatedRack
+
+__all__ = [
+    "BootResult",
+    "BrickStack",
+    "DisaggregatedRack",
+    "MigrationFlow",
+    "MigrationReport",
+    "RackBuilder",
+    "SystemSnapshot",
+    "TimedScaleUpHarness",
+    "snapshot",
+]

@@ -1,0 +1,192 @@
+"""Declarative construction of a disaggregated rack.
+
+The builder assembles every layer in dependency order: bricks into trays,
+trays into the rack, MBO channels into the optical fabric, kernels /
+hypervisors / agents / scale-up controllers onto compute bricks, segment
+allocators onto memory bricks, and the SDM controller over it all.
+
+Example::
+
+    system = (RackBuilder("rack0")
+              .with_compute_bricks(4, cores=16, local_memory=gib(4))
+              .with_memory_bricks(4, modules=4, module_size=gib(16))
+              .with_accelerator_bricks(1)
+              .build())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.bricks import (
+    AcceleratorBrick,
+    ComputeBrick,
+    MemoryBrick,
+)
+from repro.hardware.rack import Rack
+from repro.hardware.tray import Tray
+from repro.network.optical.switch import OpticalCircuitSwitch
+from repro.network.optical.topology import OpticalFabric
+from repro.orchestration.placement import PlacementPolicy
+from repro.orchestration.registry import ResourceRegistry
+from repro.orchestration.sdm_controller import SdmController, SdmTimings
+from repro.software.agent import SdmAgent
+from repro.software.hypervisor import Hypervisor
+from repro.software.kernel import BaremetalKernel
+from repro.software.pages import DEFAULT_SECTION_BYTES
+from repro.software.scaleup import ScaleUpController
+from repro.core.system import BrickStack, DisaggregatedRack
+from repro.units import gib
+
+
+class RackBuilder:
+    """Fluent builder for :class:`~repro.core.system.DisaggregatedRack`."""
+
+    def __init__(self, rack_id: str = "rack0") -> None:
+        self.rack_id = rack_id
+        self._compute_count = 2
+        self._compute_cores = 16
+        self._compute_local_memory = gib(4)
+        self._memory_count = 2
+        self._memory_modules = 4
+        self._module_size = gib(16)
+        self._accel_count = 0
+        self._tray_slots = 16
+        self._section_bytes = DEFAULT_SECTION_BYTES
+        self._policy: Optional[PlacementPolicy] = None
+        self._sdm_timings: Optional[SdmTimings] = None
+        self._switch: Optional[OpticalCircuitSwitch] = None
+        self._cbn_ports = 8
+
+    # -- configuration -----------------------------------------------------------
+
+    def with_compute_bricks(self, count: int, cores: int = 16,
+                            local_memory: int = gib(4)) -> "RackBuilder":
+        """Set dCOMPUBRICK population (count, APU cores, local DDR)."""
+        if count < 1:
+            raise ConfigurationError("need at least one compute brick")
+        self._compute_count = count
+        self._compute_cores = cores
+        self._compute_local_memory = local_memory
+        return self
+
+    def with_memory_bricks(self, count: int, modules: int = 4,
+                           module_size: int = gib(16)) -> "RackBuilder":
+        """Set dMEMBRICK population (count, modules each, module size)."""
+        if count < 1:
+            raise ConfigurationError("need at least one memory brick")
+        self._memory_count = count
+        self._memory_modules = modules
+        self._module_size = module_size
+        return self
+
+    def with_accelerator_bricks(self, count: int) -> "RackBuilder":
+        """Set dACCELBRICK population."""
+        if count < 0:
+            raise ConfigurationError("accelerator count must be >= 0")
+        self._accel_count = count
+        return self
+
+    def with_tray_slots(self, slots: int) -> "RackBuilder":
+        """Slots per tray (bricks are packed tray by tray)."""
+        if slots < 1:
+            raise ConfigurationError("tray needs >= 1 slot")
+        self._tray_slots = slots
+        return self
+
+    def with_section_size(self, section_bytes: int) -> "RackBuilder":
+        """Hotplug section granularity for every kernel."""
+        self._section_bytes = section_bytes
+        return self
+
+    def with_policy(self, policy: PlacementPolicy) -> "RackBuilder":
+        """Placement policy for the SDM controller."""
+        self._policy = policy
+        return self
+
+    def with_sdm_timings(self, timings: SdmTimings) -> "RackBuilder":
+        """Override SDM-C latency parameters."""
+        self._sdm_timings = timings
+        return self
+
+    def with_switch(self, switch: OpticalCircuitSwitch) -> "RackBuilder":
+        """Use a specific optical switch module (e.g. next generation)."""
+        self._switch = switch
+        return self
+
+    def with_cbn_ports(self, ports: int) -> "RackBuilder":
+        """CBN transceivers (and MBO channels) per brick."""
+        if ports < 1:
+            raise ConfigurationError("bricks need >= 1 CBN port")
+        self._cbn_ports = ports
+        return self
+
+    # -- assembly ---------------------------------------------------------------------
+
+    def build(self) -> DisaggregatedRack:
+        """Assemble and wire the full stack."""
+        rack = Rack(self.rack_id)
+        switch = self._switch
+        if switch is None:
+            # Size the switch to the fleet: every brick wants all its CBN
+            # ports fibred, plus slack for multi-hop loopback patching.
+            brick_count = (self._compute_count + self._memory_count
+                           + self._accel_count)
+            ports_needed = brick_count * self._cbn_ports + 8
+            switch = OpticalCircuitSwitch(
+                f"{self.rack_id}.switch", port_count=max(48, ports_needed))
+        fabric = OpticalFabric(switch)
+        registry = ResourceRegistry(segment_alignment=self._section_bytes)
+
+        bricks: list = []
+        for index in range(self._compute_count):
+            bricks.append(ComputeBrick(
+                f"{self.rack_id}.cb{index}",
+                core_count=self._compute_cores,
+                local_memory_bytes=self._compute_local_memory,
+                cbn_ports=self._cbn_ports,
+            ))
+        for index in range(self._memory_count):
+            bricks.append(MemoryBrick(
+                f"{self.rack_id}.mb{index}",
+                module_count=self._memory_modules,
+                module_bytes=self._module_size,
+                cbn_ports=self._cbn_ports,
+            ))
+        for index in range(self._accel_count):
+            bricks.append(AcceleratorBrick(
+                f"{self.rack_id}.ab{index}",
+                cbn_ports=self._cbn_ports,
+            ))
+
+        # Pack bricks into trays.
+        tray: Optional[Tray] = None
+        for brick in bricks:
+            if tray is None or not tray.free_slots:
+                tray = rack.new_tray(slot_count=self._tray_slots)
+            tray.plug(brick)
+            fabric.attach_brick(brick)
+
+        # Software stacks + registry.
+        stacks: dict[str, BrickStack] = {}
+        sdm_kwargs = {}
+        if self._policy is not None:
+            sdm_kwargs["policy"] = self._policy
+        if self._sdm_timings is not None:
+            sdm_kwargs["timings"] = self._sdm_timings
+        sdm = SdmController(registry, fabric, **sdm_kwargs)
+
+        for brick in bricks:
+            if isinstance(brick, ComputeBrick):
+                kernel = BaremetalKernel(brick, section_bytes=self._section_bytes)
+                hypervisor = Hypervisor(kernel)
+                agent = SdmAgent(kernel)
+                scaleup = ScaleUpController(hypervisor, agent, sdm)
+                registry.register_compute(brick, hypervisor, agent)
+                stacks[brick.brick_id] = BrickStack(
+                    brick, kernel, hypervisor, agent, scaleup)
+            elif isinstance(brick, MemoryBrick):
+                registry.register_memory(brick)
+
+        return DisaggregatedRack(rack, fabric, sdm, stacks)

@@ -1,0 +1,83 @@
+"""System-wide snapshots: power, utilization, inventory.
+
+Used by examples and the TCO study to observe the rack at a point in
+time without reaching into individual subsystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import DisaggregatedRack
+from repro.hardware.power import PowerState
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """A point-in-time view of a disaggregated rack."""
+
+    vm_count: int
+    cores_total: int
+    cores_in_use: int
+    compute_bricks_total: int
+    compute_bricks_off: int
+    memory_bricks_total: int
+    memory_bricks_off: int
+    memory_total_bytes: int
+    memory_allocated_bytes: int
+    active_circuits: int
+    power_draw_w: float
+
+    @property
+    def core_utilization(self) -> float:
+        """Fraction of APU cores running vCPUs."""
+        return self.cores_in_use / self.cores_total if self.cores_total else 0.0
+
+    @property
+    def memory_utilization(self) -> float:
+        """Fraction of pooled dMEMBRICK capacity allocated."""
+        if not self.memory_total_bytes:
+            return 0.0
+        return self.memory_allocated_bytes / self.memory_total_bytes
+
+    @property
+    def bricks_off_fraction(self) -> float:
+        """Fraction of all bricks currently powered off."""
+        total = self.compute_bricks_total + self.memory_bricks_total
+        if not total:
+            return 0.0
+        return (self.compute_bricks_off + self.memory_bricks_off) / total
+
+
+def snapshot(system: DisaggregatedRack) -> SystemSnapshot:
+    """Capture a :class:`SystemSnapshot` of *system*."""
+    registry = system.sdm.registry
+    cores_total = 0
+    cores_in_use = 0
+    compute_off = 0
+    for entry in registry.compute_entries:
+        cores_total += entry.brick.core_count
+        cores_in_use += entry.hypervisor.cores_in_use()
+        if entry.brick.power_state is PowerState.OFF:
+            compute_off += 1
+    memory_total = 0
+    memory_allocated = 0
+    memory_off = 0
+    for entry in registry.memory_entries:
+        memory_total += entry.allocator.capacity_bytes
+        memory_allocated += entry.allocator.allocated_bytes
+        if entry.brick.power_state is PowerState.OFF:
+            memory_off += 1
+    return SystemSnapshot(
+        vm_count=len(system.vms),
+        cores_total=cores_total,
+        cores_in_use=cores_in_use,
+        compute_bricks_total=len(registry.compute_entries),
+        compute_bricks_off=compute_off,
+        memory_bricks_total=len(registry.memory_entries),
+        memory_bricks_off=memory_off,
+        memory_total_bytes=memory_total,
+        memory_allocated_bytes=memory_allocated,
+        active_circuits=len(system.fabric.active_circuits),
+        power_draw_w=system.total_power_w(),
+    )

@@ -1,0 +1,198 @@
+"""VM migration across compute bricks.
+
+One of the project's stated objectives is "enhanced elasticity and
+improved process/virtual machine migration within the datacenter" (§I).
+Disaggregation changes the economics of migration fundamentally: the
+bulk of a VM's memory lives on dMEMBRICKs, so moving the VM means
+*re-pointing* its segments (swing the optical circuit, program a fresh
+RMST entry, hotplug the windows on the destination) instead of copying
+gigabytes across the network.  Only the local-DRAM-resident slice and
+the device state travel.
+
+:class:`MigrationFlow` implements that pipeline and also estimates what
+the same move would cost a conventional (full-memory-copy) datacenter,
+so the win is quantifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import OrchestrationError
+from repro.software.vm import VmState
+from repro.units import gbps, mib, milliseconds, transfer_time
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.core.system import DisaggregatedRack
+
+#: Hypervisor pause/resume handshake cost, each way.
+PAUSE_RESUME_S = milliseconds(30)
+
+#: Device/vCPU state shipped alongside the local memory slice.
+DEVICE_STATE_BYTES = mib(16)
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one VM migration.
+
+    Attributes:
+        vm_id: The migrated guest.
+        source_brick_id / target_brick_id: The move.
+        steps: Per-phase latency ledger.
+        copied_bytes: Bytes actually moved over the network.
+        repointed_bytes: Remote-segment bytes that did NOT move.
+        conventional_estimate_s: What a full-copy migration would take.
+    """
+
+    vm_id: str
+    source_brick_id: str
+    target_brick_id: str
+    steps: dict[str, float] = field(default_factory=dict)
+    copied_bytes: int = 0
+    repointed_bytes: int = 0
+    conventional_estimate_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.steps.values())
+
+    @property
+    def speedup_vs_conventional(self) -> float:
+        """How much faster than a full-memory-copy migration."""
+        if self.total_s == 0:
+            return float("inf")
+        return self.conventional_estimate_s / self.total_s
+
+
+class MigrationFlow:
+    """Drives VM migrations on a :class:`DisaggregatedRack`."""
+
+    def __init__(self, system: "DisaggregatedRack",
+                 link_rate_bps: float = gbps(10)) -> None:
+        if link_rate_bps <= 0:
+            raise OrchestrationError("migration link rate must be positive")
+        self.system = system
+        self.link_rate_bps = link_rate_bps
+        self.migrations = 0
+
+    def migrate(self, vm_id: str, target_brick_id: str) -> MigrationReport:
+        """Move *vm_id* to *target_brick_id*; returns the latency ledger.
+
+        Pipeline: pause -> evict from source hypervisor -> per segment
+        (source detach/unprogram, SDM re-point, target program/attach)
+        -> copy the local slice + device state -> adopt on target ->
+        resume.
+        """
+        hosted = self.system.hosting(vm_id)
+        if hosted.brick_id == target_brick_id:
+            raise OrchestrationError(
+                f"VM {vm_id} is already on {target_brick_id}")
+        source = self.system.stack(hosted.brick_id)
+        target = self.system.stack(target_brick_id)
+        vm = hosted.vm
+        if not vm.is_running:
+            raise OrchestrationError(
+                f"only running VMs migrate (state: {vm.state.value})")
+
+        runtime_segments = [s for s in source.scaleup.attached_segments()
+                            if s.vm_id == vm_id]
+        segments = list(hosted.boot_segments) + runtime_segments
+
+        report = MigrationReport(
+            vm_id=vm_id,
+            source_brick_id=hosted.brick_id,
+            target_brick_id=target_brick_id,
+        )
+        report.conventional_estimate_s = self.conventional_estimate_s(
+            vm.configured_ram_bytes)
+
+        # -- pre-flight: validate the target BEFORE touching the VM ------------
+        # A failed check must leave the guest running on the source.
+        power_on_s = self._preflight(vm, target, target_brick_id, segments)
+        if power_on_s:
+            report.steps["target_power_on"] = power_on_s
+
+        # -- pause and evict -------------------------------------------------
+        vm.transition(VmState.PAUSED)
+        report.steps["pause"] = PAUSE_RESUME_S
+        vm_obj, dimms = source.hypervisor.evict_vm(vm_id)
+        repoint_total = 0.0
+        for segment in segments:
+            latency = source.agent.detach_segment(segment.segment_id)
+            latency += source.agent.unprogram_segment(segment.segment_id)
+            entry, sdm_latency = self.system.sdm.repoint_segment(
+                segment.segment_id, target_brick_id)
+            latency += sdm_latency
+            latency += target.agent.program_segment(entry)
+            latency += target.agent.attach_segment(segment)
+            repoint_total += latency
+            report.repointed_bytes += segment.size
+        report.steps["segment_repoint"] = repoint_total
+        for segment in runtime_segments:
+            moved, dimm_id = source.scaleup.disown(segment.segment_id)
+            target.scaleup.adopt(moved, dimm_id)
+
+        # -- copy the part that actually moves ---------------------------------
+        local_slice = max(0, vm.configured_ram_bytes
+                          - report.repointed_bytes)
+        report.copied_bytes = local_slice + DEVICE_STATE_BYTES
+        report.steps["state_copy"] = transfer_time(
+            report.copied_bytes, self.link_rate_bps)
+
+        # -- adopt and resume -----------------------------------------------------
+        target.hypervisor.adopt_vm(vm_obj, dimms)
+        hosted.brick_id = target_brick_id
+        vm.transition(VmState.RUNNING)
+        report.steps["resume"] = PAUSE_RESUME_S
+
+        self.migrations += 1
+        return report
+
+    def _preflight(self, vm, target, target_brick_id: str,
+                   segments) -> float:
+        """Validate the target can host the VM; returns any power-on cost.
+
+        Checks (all before the VM is paused, so failure is harmless):
+        cores, local-DRAM headroom for the slice that must move, and an
+        optical path to every dMEMBRICK backing a segment.  A sleeping
+        target is woken here.
+        """
+        from repro.orchestration.sdm_controller import DEFAULT_SDM_TIMINGS
+        power_on_s = 0.0
+        if self.system.sdm.registry.ensure_powered(target_brick_id):
+            power_on_s = DEFAULT_SDM_TIMINGS.power_on_s
+
+        free_cores = (target.brick.core_count
+                      - target.hypervisor.cores_in_use())
+        if free_cores < vm.vcpus:
+            raise OrchestrationError(
+                f"cannot migrate {vm.vm_id}: {target_brick_id} has "
+                f"{free_cores} free cores, needs {vm.vcpus}")
+
+        repointed = sum(s.size for s in segments)
+        local_slice = max(0, vm.configured_ram_bytes - repointed)
+        if target.kernel.available_bytes < local_slice:
+            raise OrchestrationError(
+                f"cannot migrate {vm.vm_id}: {target_brick_id} has "
+                f"{target.kernel.available_bytes} bytes free for the "
+                f"{local_slice}-byte local slice")
+
+        for memory_brick_id in {s.memory_brick_id for s in segments}:
+            if not self.system.sdm.can_reach(target_brick_id,
+                                             memory_brick_id):
+                raise OrchestrationError(
+                    f"cannot migrate {vm.vm_id}: no optical path from "
+                    f"{target_brick_id} to {memory_brick_id}")
+        return power_on_s
+
+    def conventional_estimate_s(self, ram_bytes: int) -> float:
+        """Full-memory-copy migration time over the same link.
+
+        The conventional datacenter must push every guest page across
+        the network (pre-copy iterations ignored — this is the floor).
+        """
+        return (2 * PAUSE_RESUME_S
+                + transfer_time(ram_bytes + DEVICE_STATE_BYTES,
+                                self.link_rate_bps))

@@ -1,0 +1,250 @@
+"""The assembled disaggregated rack.
+
+:class:`DisaggregatedRack` is the user-facing system object: a rack of
+bricks, the optical fabric, the per-brick software stacks and the SDM
+controller, with the paper's end-to-end operations as methods — boot a
+VM whose memory may exceed any single brick, scale a VM's memory up and
+down at runtime, and power-manage unutilized bricks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import OrchestrationError, PlacementError
+from repro.hardware.bricks import AcceleratorBrick, ComputeBrick, MemoryBrick
+from repro.hardware.rack import Rack
+from repro.memory.segments import RemoteSegment
+from repro.network.optical.topology import OpticalFabric
+from repro.orchestration.requests import VmAllocationRequest
+from repro.orchestration.sdm_controller import SdmController
+from repro.software.agent import SdmAgent
+from repro.software.hypervisor import Hypervisor
+from repro.software.kernel import BaremetalKernel
+from repro.software.scaleup import (
+    ScaleUpController,
+    ScaleUpRequest,
+    ScaleUpResult,
+)
+from repro.software.vm import VirtualMachine
+from repro.units import gib
+
+#: Largest single segment requested per allocation when assembling large
+#: boot memories; bigger demands are satisfied with multiple segments
+#: (possibly on different dMEMBRICKs).
+MAX_SEGMENT_BYTES = gib(16)
+
+
+@dataclass
+class BrickStack:
+    """The software stack living on one compute brick."""
+
+    brick: ComputeBrick
+    kernel: BaremetalKernel
+    hypervisor: Hypervisor
+    agent: SdmAgent
+    scaleup: ScaleUpController
+
+
+@dataclass
+class HostedVm:
+    """Rack-level record of a running VM."""
+
+    vm: VirtualMachine
+    brick_id: str
+    boot_segments: list[RemoteSegment] = field(default_factory=list)
+
+
+@dataclass
+class BootInfo:
+    """Outcome of booting a VM on the rack."""
+
+    vm: VirtualMachine
+    brick_id: str
+    latency_s: float
+    boot_segments: list[RemoteSegment]
+
+
+@dataclass
+class FailureImpact:
+    """Blast radius of a memory-brick failure."""
+
+    brick_id: str
+    segment_ids: list[str] = field(default_factory=list)
+    vm_ids: list[str] = field(default_factory=list)
+    teardown_latency_s: float = 0.0
+
+
+class DisaggregatedRack:
+    """The full-stack system object (built by
+    :class:`~repro.core.builder.RackBuilder`)."""
+
+    def __init__(self, rack: Rack, fabric: OpticalFabric,
+                 sdm: SdmController,
+                 stacks: dict[str, BrickStack]) -> None:
+        self.rack = rack
+        self.fabric = fabric
+        self.sdm = sdm
+        self._stacks = stacks
+        self._vms: dict[str, HostedVm] = {}
+
+    # -- inventory ------------------------------------------------------------
+
+    @property
+    def compute_bricks(self) -> list[ComputeBrick]:
+        return [s.brick for s in self._stacks.values()]
+
+    @property
+    def memory_bricks(self) -> list[MemoryBrick]:
+        return [e.brick for e in self.sdm.registry.memory_entries]
+
+    @property
+    def accelerator_bricks(self) -> list[AcceleratorBrick]:
+        return [b for b in self.rack.bricks()
+                if isinstance(b, AcceleratorBrick)]
+
+    def stack(self, brick_id: str) -> BrickStack:
+        try:
+            return self._stacks[brick_id]
+        except KeyError:
+            raise OrchestrationError(
+                f"no compute stack on brick {brick_id!r}") from None
+
+    @property
+    def stacks(self) -> list[BrickStack]:
+        return list(self._stacks.values())
+
+    # -- VM lifecycle ------------------------------------------------------------
+
+    @property
+    def vms(self) -> list[VirtualMachine]:
+        return [h.vm for h in self._vms.values()]
+
+    def hosting(self, vm_id: str) -> HostedVm:
+        try:
+            return self._vms[vm_id]
+        except KeyError:
+            raise OrchestrationError(f"no VM {vm_id!r} on this rack") from None
+
+    def boot_vm(self, request: VmAllocationRequest) -> BootInfo:
+        """Boot a VM, attaching remote boot memory when the chosen brick's
+        local DRAM cannot cover the request (the core disaggregation win:
+        "resource allocation ... no longer bounded by the mainboard")."""
+        if request.vm_id in self._vms:
+            raise OrchestrationError(f"VM id {request.vm_id!r} already in use")
+        brick_id, latency = self.sdm.place_vm(request)
+        stack = self.stack(brick_id)
+
+        boot_segments: list[RemoteSegment] = []
+        shortfall = request.ram_bytes - stack.kernel.available_bytes
+        while shortfall > 0:
+            chunk = min(shortfall, MAX_SEGMENT_BYTES)
+            ticket = self.sdm.allocate(brick_id, request.vm_id, chunk)
+            latency += ticket.control_latency_s
+            latency += stack.agent.program_segment(ticket.rmst_entry)
+            latency += stack.agent.attach_segment(ticket.segment)
+            ticket.segment.activate()
+            boot_segments.append(ticket.segment)
+            shortfall = request.ram_bytes - stack.kernel.available_bytes
+
+        vm, spawn_latency = stack.hypervisor.spawn_vm(
+            request.vm_id, request.vcpus, request.ram_bytes)
+        latency += spawn_latency
+        self._vms[request.vm_id] = HostedVm(vm, brick_id, boot_segments)
+        return BootInfo(vm=vm, brick_id=brick_id, latency_s=latency,
+                        boot_segments=boot_segments)
+
+    def terminate_vm(self, vm_id: str) -> float:
+        """Tear a VM down, detach its boot segments, release resources.
+
+        Returns the accumulated teardown latency.
+        """
+        hosted = self.hosting(vm_id)
+        stack = self.stack(hosted.brick_id)
+        latency = 0.0
+        # Scale-down any runtime segments still attached through the
+        # scale-up controller.
+        for segment in list(stack.scaleup.attached_segments()):
+            if segment.vm_id == vm_id:
+                steps = stack.scaleup.scale_down(vm_id, segment.segment_id)
+                latency += sum(steps.values())
+        stack.hypervisor.terminate_vm(vm_id)
+        for segment in hosted.boot_segments:
+            latency += stack.agent.detach_segment(segment.segment_id)
+            latency += stack.agent.unprogram_segment(segment.segment_id)
+            latency += self.sdm.release(segment.segment_id)
+            segment.release()
+        del self._vms[vm_id]
+        return latency
+
+    # -- runtime elasticity ------------------------------------------------------------
+
+    def scale_up(self, vm_id: str, size_bytes: int) -> ScaleUpResult:
+        """Grow a running VM's memory via the full §IV pipeline."""
+        hosted = self.hosting(vm_id)
+        stack = self.stack(hosted.brick_id)
+        return stack.scaleup.scale_up(ScaleUpRequest(vm_id, size_bytes))
+
+    def scale_down(self, vm_id: str, segment_id: str) -> dict[str, float]:
+        """Return a previously scaled-up segment."""
+        hosted = self.hosting(vm_id)
+        stack = self.stack(hosted.brick_id)
+        return stack.scaleup.scale_down(vm_id, segment_id)
+
+    def migrate_vm(self, vm_id: str, target_brick_id: str):
+        """Migrate a running VM to another compute brick.
+
+        Disaggregation's migration advantage: remote segments are
+        re-pointed (circuit + RMST swing) instead of copied.  Returns a
+        :class:`~repro.core.migration.MigrationReport`.
+        """
+        from repro.core.migration import MigrationFlow
+        return MigrationFlow(self).migrate(vm_id, target_brick_id)
+
+    # -- failure handling ---------------------------------------------------------------
+
+    def handle_memory_brick_failure(self, brick_id: str) -> "FailureImpact":
+        """React to the loss of a dMEMBRICK.
+
+        Disaggregation's blast radius: every VM holding a segment on the
+        failed brick loses memory content and must be terminated (memory
+        is not replicated in the prototype).  The brick is excluded from
+        future placement.  Returns the impact report.
+        """
+        impacted_segments = self.sdm.impacted_by_memory_brick(brick_id)
+        impacted_vms = sorted({s.vm_id for s in impacted_segments if s.vm_id})
+        impact = FailureImpact(
+            brick_id=brick_id,
+            segment_ids=[s.segment_id for s in impacted_segments],
+            vm_ids=impacted_vms,
+        )
+        for vm_id in impacted_vms:
+            if vm_id in self._vms:
+                impact.teardown_latency_s += self.terminate_vm(vm_id)
+        self.sdm.registry.mark_memory_failed(brick_id)
+        return impact
+
+    def audit_circuits(self, target_ber: float = 1e-12) -> float:
+        """Scan for degraded circuits and repair them; returns the total
+        repair latency (0.0 when everything is healthy)."""
+        latency = 0.0
+        for circuit in self.sdm.scan_unhealthy_circuits(target_ber):
+            latency += self.sdm.repair_circuit(circuit.circuit_id)
+        return latency
+
+    # -- power management ---------------------------------------------------------------
+
+    def power_off_idle(self) -> list[str]:
+        """Power down every brick with no allocation (the TCO lever)."""
+        return self.sdm.registry.power_off_idle_bricks()
+
+    def total_power_w(self) -> float:
+        """Bricks plus optical switch draw."""
+        return self.rack.total_power_draw_w() + self.fabric.power_draw_w
+
+    def __repr__(self) -> str:
+        return (f"DisaggregatedRack({len(self._stacks)} compute, "
+                f"{len(self.memory_bricks)} memory, "
+                f"{len(self.accelerator_bricks)} accel bricks, "
+                f"{len(self._vms)} VMs)")

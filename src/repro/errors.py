@@ -1,0 +1,104 @@
+"""Exception hierarchy for the dReDBox reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class HardwareError(ReproError):
+    """Base class for errors originating in the hardware models."""
+
+
+class PowerStateError(HardwareError):
+    """An operation was attempted on a component in the wrong power state."""
+
+
+class SlotError(HardwareError):
+    """A tray/rack slot operation failed (occupied, empty, out of range)."""
+
+
+class PortError(HardwareError):
+    """A transceiver/port operation failed (no free port, bad wiring)."""
+
+
+class SegmentTableError(HardwareError):
+    """RMST misuse: overlapping segments, table full, missing mapping."""
+
+
+class NetworkError(ReproError):
+    """Base class for interconnect errors."""
+
+
+class CircuitError(NetworkError):
+    """Optical circuit setup/teardown failed (no path, port busy)."""
+
+
+class LinkBudgetError(NetworkError):
+    """An optical link violates its power budget or BER requirement."""
+
+
+class RoutingError(NetworkError):
+    """Packet-path routing failed (no lookup entry, unreachable node)."""
+
+
+class MemoryError_(ReproError):
+    """Base class for disaggregated-memory errors.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`MemoryError`.
+    """
+
+
+class AddressError(MemoryError_):
+    """An address fell outside every mapped segment or overlapped one."""
+
+
+class AllocationError(MemoryError_):
+    """A segment/capacity allocation request could not be satisfied."""
+
+
+class SoftwareError(ReproError):
+    """Base class for system-software (kernel/hypervisor) errors."""
+
+
+class HotplugError(SoftwareError):
+    """Memory hotplug failed (misaligned block, bad state transition)."""
+
+
+class HypervisorError(SoftwareError):
+    """Hypervisor-level failure (unknown VM, DIMM slot exhaustion)."""
+
+
+class BalloonError(SoftwareError):
+    """Memory-balloon inflate/deflate request was invalid."""
+
+
+class OrchestrationError(ReproError):
+    """Base class for orchestration-plane errors."""
+
+
+class ReservationError(OrchestrationError):
+    """Resource reservation could not be satisfied or was double-committed."""
+
+
+class PlacementError(OrchestrationError):
+    """No placement satisfies the request under the active policy."""
+
+
+class SchedulingError(ReproError):
+    """TCO-study scheduler failure (workload cannot be admitted)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration or parameters."""

@@ -1,0 +1,156 @@
+"""Figure 10: scale-up agility vs conventional scale-out.
+
+"We have measured the competitiveness of the dReDBox software stack in
+terms of scale-up agility (delay in delivering dynamically scale-up
+memory to requesting VMs), when compared to conventional scale-out
+(i.e. spawning of additional VMs to facilitate memory addition to an
+application).  As shown in Figure 10, memory expansion agility is
+superior in the disaggregated approach, even under the most extreme
+scale-up concurrency conditions tested (number of VMs posting scale-up
+requests within a given time interval)."
+
+The driver runs, for each requested memory size, three concurrency
+levels (32/16/8 VMs posting within the interval — "lower is more
+aggressive" refers to the interval) on the timed DES harness, plus the
+conventional scale-out baseline derived from the paper's ref [13] cloud
+VM startup measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.figures import render_grouped_bars
+from repro.analysis.tables import render_table
+from repro.core.builder import RackBuilder
+from repro.core.flows import TimedScaleUpHarness, scale_out_baseline_delays
+from repro.orchestration.requests import VmAllocationRequest
+from repro.sim.rng import stable_stream_seed
+from repro.units import gib
+
+
+@dataclass
+class Fig10Cell:
+    """Mean per-VM delay for one (size, concurrency) combination."""
+
+    size_gib: int
+    concurrency: int
+    mean_delay_s: float
+    max_delay_s: float
+    delays_s: list[float] = field(default_factory=list)
+
+
+@dataclass
+class Fig10Result:
+    """The full figure: scale-up cells plus the scale-out series."""
+
+    cells: list[Fig10Cell] = field(default_factory=list)
+    scale_out_mean_s: dict[int, float] = field(default_factory=dict)
+    sizes_gib: list[int] = field(default_factory=list)
+    concurrencies: list[int] = field(default_factory=list)
+
+    def cell(self, size_gib: int, concurrency: int) -> Fig10Cell:
+        for cell in self.cells:
+            if cell.size_gib == size_gib and cell.concurrency == concurrency:
+                return cell
+        raise KeyError(f"no cell for {size_gib} GiB @ {concurrency}")
+
+    def speedup_vs_scale_out(self, size_gib: int, concurrency: int) -> float:
+        """How many times faster scale-up is than scale-out."""
+        cell = self.cell(size_gib, concurrency)
+        return self.scale_out_mean_s[concurrency] / cell.mean_delay_s
+
+    def rows(self) -> list[tuple]:
+        rows: list[tuple] = []
+        for cell in self.cells:
+            rows.append((f"{cell.size_gib} GiB", cell.concurrency,
+                         round(cell.mean_delay_s, 3),
+                         round(cell.max_delay_s, 3),
+                         round(self.scale_out_mean_s[cell.concurrency], 1)))
+        return rows
+
+    def render(self) -> str:
+        table = render_table(
+            ["request size", "concurrent VMs", "scale-up mean (s)",
+             "scale-up max (s)", "scale-out mean (s)"],
+            self.rows(),
+            title="Fig. 10: per-VM average delay of dynamic memory "
+                  "scale-up vs conventional scale-out (lower is better)")
+        series: dict[str, list[float]] = {}
+        for concurrency in self.concurrencies:
+            series[f"scale-up x{concurrency}"] = [
+                self.cell(size, concurrency).mean_delay_s
+                for size in self.sizes_gib
+            ]
+        series["scale-out"] = [
+            self.scale_out_mean_s[max(self.concurrencies)]
+            for _ in self.sizes_gib
+        ]
+        chart = render_grouped_bars(
+            [f"{size} GiB" for size in self.sizes_gib], series,
+            title="Per-VM average delay (s)", unit="s")
+        return table + "\n" + chart
+
+
+def _build_system(vm_count: int, size_gib: int):
+    """A rack with one VM per compute brick, memory pool sized to fit.
+
+    The membrick count covers both capacity and optical reachability:
+    each membrick has 8 CBN ports, so at least ``vm_count / 8`` bricks
+    are needed for every VM's circuit.
+    """
+    memory_needed_gib = vm_count * (size_gib + 2) + 64
+    by_capacity = -(-memory_needed_gib // 64)
+    by_ports = -(-vm_count // 8)
+    memory_bricks = max(2, by_capacity, by_ports)
+    system = (RackBuilder(f"fig10-{vm_count}-{size_gib}")
+              .with_compute_bricks(vm_count, cores=16, local_memory=gib(2))
+              .with_memory_bricks(memory_bricks, modules=4,
+                                  module_size=gib(16))
+              .build())
+    for index in range(vm_count):
+        system.boot_vm(VmAllocationRequest(
+            f"vm-{index}", vcpus=16, ram_bytes=gib(1)))
+    return system
+
+
+def run_fig10(sizes_gib: Sequence[int] = (1, 2, 4, 8),
+              concurrencies: Sequence[int] = (8, 16, 32),
+              posting_interval_s: float = 0.5,
+              seed: int = 2018) -> Fig10Result:
+    """Run the agility comparison.
+
+    All VMs post their scale-up requests uniformly at random within
+    *posting_interval_s* and contend for the serialized SDM-C
+    reservation step.
+    """
+    result = Fig10Result(sizes_gib=list(sizes_gib),
+                         concurrencies=list(concurrencies))
+    for size_gib in sizes_gib:
+        for concurrency in concurrencies:
+            system = _build_system(concurrency, size_gib)
+            harness = TimedScaleUpHarness(system)
+            rng = np.random.default_rng(
+                stable_stream_seed(seed, f"post-{size_gib}-{concurrency}"))
+            for index in range(concurrency):
+                harness.post_scale_up(
+                    f"vm-{index}", gib(size_gib),
+                    at=float(rng.uniform(0.0, posting_interval_s)))
+            samples = harness.run()
+            delays = [s.delay_s for s in samples]
+            result.cells.append(Fig10Cell(
+                size_gib=size_gib,
+                concurrency=concurrency,
+                mean_delay_s=float(np.mean(delays)),
+                max_delay_s=float(np.max(delays)),
+                delays_s=delays,
+            ))
+    for concurrency in concurrencies:
+        rng = np.random.default_rng(
+            stable_stream_seed(seed, f"scale-out-{concurrency}"))
+        delays = scale_out_baseline_delays(concurrency, rng)
+        result.scale_out_mean_s[concurrency] = float(np.mean(delays))
+    return result

@@ -1,0 +1,76 @@
+"""Figure 12: percentage of unutilized resources that can be powered off.
+
+"Our results suggest that the resource fragmentation in a dReDBox-like
+datacenter is significantly lower in scenarios where VMs have unbalanced
+compute and memory requirements ...  Depending on the different VM
+configurations in dReDBox, up to 88% of dMEMBRICKs or dCOMPUBRICKs can
+be powered off because they are not utilized, whereas in a conventional
+datacenter only 15% of the hosts can be powered off."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.figures import render_grouped_bars
+from repro.analysis.tables import render_table
+from repro.tco.study import TcoResult, TcoStudy
+
+
+@dataclass
+class Fig12Result:
+    """Power-off percentages per workload configuration."""
+
+    results: list[TcoResult] = field(default_factory=list)
+
+    @property
+    def max_brick_poweroff(self) -> float:
+        """The paper's 'up to 88%' headline quantity."""
+        return max(r.best_brick_poweroff for r in self.results)
+
+    @property
+    def max_conventional_poweroff(self) -> float:
+        """The paper's 'only 15%' counterpart."""
+        return max(r.conventional_poweroff for r in self.results)
+
+    def rows(self) -> list[tuple]:
+        return [
+            (r.config_name,
+             f"{r.conventional_poweroff:.1%}",
+             f"{r.compute_brick_poweroff:.1%}",
+             f"{r.memory_brick_poweroff:.1%}",
+             f"{r.disaggregated_poweroff:.1%}")
+            for r in self.results
+        ]
+
+    def render(self) -> str:
+        table = render_table(
+            ["workload", "conventional hosts off", "dCOMPUBRICKs off",
+             "dMEMBRICKs off", "all bricks off"],
+            self.rows(),
+            title="Fig. 12: percentage of unutilized resources that can "
+                  "be powered off")
+        chart = render_grouped_bars(
+            [r.config_name for r in self.results],
+            {
+                "conventional": [100 * r.conventional_poweroff
+                                 for r in self.results],
+                "dReDBox": [100 * r.disaggregated_poweroff
+                            for r in self.results],
+                "best brick type": [100 * r.best_brick_poweroff
+                                    for r in self.results],
+            },
+            title="Powered-off units (%)", unit="%")
+        headline = (
+            f"max powered-off brick type: {self.max_brick_poweroff:.0%} "
+            f"(paper: up to 88%); max conventional: "
+            f"{self.max_conventional_poweroff:.0%} (paper: only 15%)")
+        return table + "\n" + chart + "\n" + headline
+
+
+def run_fig12(node_count: int = 64, demand_fraction: float = 0.85,
+              seed: int = 2018) -> Fig12Result:
+    """Run the §VI power-off study across every Table I configuration."""
+    study = TcoStudy(node_count=node_count,
+                     demand_fraction=demand_fraction, seed=seed)
+    return Fig12Result(results=study.run_all())

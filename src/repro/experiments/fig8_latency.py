@@ -1,0 +1,123 @@
+"""Figure 8: round-trip remote-memory latency breakdown (packet path).
+
+"Figure 8 shows a preliminary break down of (hardware-level) measured
+remote memory round-trip access latency using this exploratory
+[packet-switched] approach.  These latency results refer to
+contributions of the on-brick switch and the MAC/PHY blocks on both the
+dMEMBRICK and the dCOMPUBRICK, as well as the optical path propagation
+delay."
+
+The driver builds the full packet data path, issues a cache-line read,
+and reports every block's contribution, grouped as in the figure.  It
+also quantifies the FEC penalty (the paper's reason for requiring
+FEC-free interfaces) and the circuit-switched path as the mainline
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import render_table
+from repro.hardware.bricks import ComputeBrick, MemoryBrick
+from repro.hardware.rmst import SegmentEntry
+from repro.memory.path import (
+    CircuitAccessPath,
+    PacketAccessPath,
+    PacketPathBlocks,
+)
+from repro.memory.transactions import MemoryTransaction
+from repro.network.optical.topology import OpticalFabric
+from repro.units import gib
+
+
+@dataclass
+class Fig8Result:
+    """Per-block latency rows plus headline totals (nanoseconds)."""
+
+    #: ``(group, block, ns)`` in path order — the figure's segments.
+    breakdown_rows: list[tuple[str, str, float]] = field(default_factory=list)
+    #: Aggregated ns per block name (summing request+response traversals).
+    by_block: dict[str, float] = field(default_factory=dict)
+    #: Aggregated ns per brick/path group.
+    by_group: dict[str, float] = field(default_factory=dict)
+    packet_total_ns: float = 0.0
+    packet_fec_total_ns: float = 0.0
+    circuit_total_ns: float = 0.0
+
+    @property
+    def fec_penalty_ns(self) -> float:
+        """Round-trip latency FEC would add (>100 ns per direction)."""
+        return self.packet_fec_total_ns - self.packet_total_ns
+
+    def rows(self) -> list[tuple]:
+        return [(group, name, round(ns, 1))
+                for group, name, ns in self.breakdown_rows]
+
+    def render(self) -> str:
+        table = render_table(
+            ["group", "block", "latency (ns)"], self.rows(),
+            title="Fig. 8: round-trip remote-memory latency breakdown "
+                  "(packet-switched path, 64 B read)")
+        groups = render_table(
+            ["group", "total (ns)", "share"],
+            [(g, round(ns, 1), f"{ns / self.packet_total_ns:.1%}")
+             for g, ns in self.by_group.items()],
+            title="Per-group totals")
+        summary = (
+            f"packet-path round trip: {self.packet_total_ns:.0f} ns\n"
+            f"with FEC enabled:       {self.packet_fec_total_ns:.0f} ns "
+            f"(+{self.fec_penalty_ns:.0f} ns, why dReDBox requires "
+            f"FEC-free links)\n"
+            f"circuit-path reference: {self.circuit_total_ns:.0f} ns")
+        return table + "\n" + groups + "\n" + summary
+
+
+def run_fig8(transaction_bytes: int = 64) -> Fig8Result:
+    """Build the two data paths and break down one read's round trip."""
+    compute = ComputeBrick("fig8.cb")
+    memory = MemoryBrick("fig8.mb")
+    fabric = OpticalFabric()
+    fabric.attach_brick(compute)
+    fabric.attach_brick(memory)
+    circuit = fabric.connect(compute, memory)
+
+    segment = SegmentEntry(
+        segment_id="fig8-seg",
+        base=compute.local_memory_bytes,
+        size=gib(1),
+        remote_brick_id=memory.brick_id,
+        remote_offset=0,
+        egress_port_id=circuit.port_toward(compute).port_id,
+    )
+    compute.rmst.install(segment)
+    txn = MemoryTransaction.read(compute.local_memory_bytes,
+                                 transaction_bytes)
+
+    packet_path = PacketAccessPath(compute, memory)
+    packet_path.ensure_routes()
+    packet_result = packet_path.access(txn)
+
+    fec_path = PacketAccessPath(
+        compute, memory,
+        compute_blocks=PacketPathBlocks.for_brick(
+            compute.brick_id, fec_enabled=True),
+        memory_blocks=PacketPathBlocks.for_brick(
+            memory.brick_id, fec_enabled=True))
+    fec_path.ensure_routes()
+    fec_result = fec_path.access(txn)
+
+    circuit_path = CircuitAccessPath(compute, memory, circuit)
+    circuit_result = circuit_path.access(txn)
+
+    breakdown = packet_result.breakdown
+    return Fig8Result(
+        breakdown_rows=breakdown.rows(),
+        by_block={name: seconds * 1e9
+                  for name, seconds in breakdown.by_name().items()},
+        by_group={group: seconds * 1e9
+                  for group, seconds in breakdown.by_group().items()},
+        packet_total_ns=breakdown.total_ns,
+        packet_fec_total_ns=fec_result.breakdown.total_ns,
+        circuit_total_ns=circuit_result.breakdown.total_ns,
+    )

@@ -1,0 +1,71 @@
+"""Run every experiment and collect the rendered outputs.
+
+Used by the CLI (``dredbox-repro run-all``) and handy for regenerating
+the EXPERIMENTS.md data in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.experiments.fig7_ber import run_fig7
+from repro.experiments.fig8_latency import run_fig8
+from repro.experiments.fig10_agility import run_fig10
+from repro.experiments.fig12_poweroff import run_fig12
+from repro.experiments.fig13_energy import run_fig13
+from repro.experiments.table1_workloads import run_table1
+
+#: Registry of experiment name -> zero-argument driver.
+EXPERIMENTS: dict[str, Callable[[], object]] = {
+    "table1": run_table1,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig10": run_fig10,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+}
+
+
+@dataclass
+class ExperimentRun:
+    """One executed experiment: its result object and rendering."""
+
+    name: str
+    result: object
+    rendered: str
+
+
+@dataclass
+class RunAllReport:
+    """Results of a full sweep."""
+
+    runs: list[ExperimentRun] = field(default_factory=list)
+
+    def rendered(self) -> str:
+        """All experiment outputs concatenated with separators."""
+        parts = []
+        for run in self.runs:
+            parts.append("=" * 72)
+            parts.append(f"Experiment: {run.name}")
+            parts.append("=" * 72)
+            parts.append(run.rendered)
+        return "\n".join(parts)
+
+
+def run_all(names: list[str] | None = None) -> RunAllReport:
+    """Execute the named experiments (all of them by default)."""
+    if names is None:
+        names = list(EXPERIMENTS)
+    report = RunAllReport()
+    for name in names:
+        if name not in EXPERIMENTS:
+            known = ", ".join(EXPERIMENTS)
+            raise KeyError(f"unknown experiment {name!r}; known: {known}")
+        result = EXPERIMENTS[name]()
+        report.runs.append(ExperimentRun(
+            name=name,
+            result=result,
+            rendered=result.render(),  # type: ignore[attr-defined]
+        ))
+    return report

@@ -1,0 +1,81 @@
+"""Hardware models of the dReDBox building blocks.
+
+This package models the physical layer of the prototype described in
+Section II of the paper:
+
+* :mod:`repro.hardware.power` — power states and per-component power draw.
+* :mod:`repro.hardware.memory_tech` — DDR/HMC technology parameter sets and
+  memory-controller models (the dMEMBRICK supports both, §II).
+* :mod:`repro.hardware.ports` — GTH high-speed transceiver ports.
+* :mod:`repro.hardware.mbo` — the 8-channel SiP mid-board optics (§III).
+* :mod:`repro.hardware.rmst` — the Remote Memory Segment Table (§II).
+* :mod:`repro.hardware.glue` — Transaction Glue Logic data-path models.
+* :mod:`repro.hardware.bricks` — dCOMPUBRICK / dMEMBRICK / dACCELBRICK.
+* :mod:`repro.hardware.accelerator` — accelerator slot + PCAP middleware.
+* :mod:`repro.hardware.tray` / :mod:`repro.hardware.rack` — packaging and
+  hot-plug.
+"""
+
+from repro.hardware.accelerator import (
+    AcceleratorSlot,
+    AcceleratorWrapper,
+    Bitstream,
+    ReconfigurationMiddleware,
+)
+from repro.hardware.bricks import (
+    AcceleratorBrick,
+    Brick,
+    BrickType,
+    ComputeBrick,
+    MemoryBrick,
+)
+from repro.hardware.glue import (
+    ComputeGlueLogic,
+    GlueLogicTimings,
+    MemoryGlueLogic,
+)
+from repro.hardware.mbo import MidboardOptics, OpticalChannel
+from repro.hardware.memory_tech import (
+    DDR4_2400,
+    HMC_GEN2,
+    MemoryController,
+    MemoryModule,
+    MemoryTechnology,
+)
+from repro.hardware.ports import PortRole, PortState, TransceiverPort
+from repro.hardware.power import PowerProfile, PowerState, PowerAccountant
+from repro.hardware.rack import Rack
+from repro.hardware.rmst import RemoteMemorySegmentTable, SegmentEntry
+from repro.hardware.tray import Tray
+
+__all__ = [
+    "AcceleratorBrick",
+    "AcceleratorSlot",
+    "AcceleratorWrapper",
+    "Bitstream",
+    "Brick",
+    "BrickType",
+    "ComputeBrick",
+    "ComputeGlueLogic",
+    "DDR4_2400",
+    "GlueLogicTimings",
+    "HMC_GEN2",
+    "MemoryBrick",
+    "MemoryController",
+    "MemoryGlueLogic",
+    "MemoryModule",
+    "MemoryTechnology",
+    "MidboardOptics",
+    "OpticalChannel",
+    "PortRole",
+    "PortState",
+    "PowerAccountant",
+    "PowerProfile",
+    "PowerState",
+    "Rack",
+    "ReconfigurationMiddleware",
+    "RemoteMemorySegmentTable",
+    "SegmentEntry",
+    "TransceiverPort",
+    "Tray",
+]

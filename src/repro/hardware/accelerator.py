@@ -1,0 +1,200 @@
+"""dACCELBRICK dynamic infrastructure: slot, wrapper, PCAP middleware.
+
+Section II: the dACCELBRICK hosts a "predefined, reconfigurable slot within
+the PL" behind an accelerator wrapper template with (a) control/status
+registers, (b) transceivers for direct external communication, and (c) a
+local AXI DDR controller.  A thin middleware on the local APU (i) receives
+and stores bitstreams from remote dCOMPUBRICKs and (ii) reconfigures the PL
+through the PCAP port.
+
+The model keeps the full life cycle: bitstream upload -> store -> PCAP
+reconfiguration (with a size-proportional latency) -> accelerator
+start/stop via the wrapper registers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError, HardwareError
+from repro.units import mib
+
+#: PCAP configuration throughput.  Zynq US+ PCAP sustains ~400 MB/s wide
+#: configuration writes.
+PCAP_BANDWIDTH_BPS = 400e6 * 8
+
+#: Fixed overhead per reconfiguration (clear, handshake, CRC check).
+PCAP_FIXED_OVERHEAD_S = 2e-3
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """A partial bitstream implementing one accelerator function.
+
+    Attributes:
+        name: Function identity, e.g. ``"video-pipeline-v2"``.
+        size_bytes: Bitstream size; drives PCAP programming time.
+        resource_cost: Abstract PL resource units the function occupies
+            (must fit the slot's budget).
+    """
+
+    name: str
+    size_bytes: int = mib(8)
+    resource_cost: int = 60
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError("bitstream size must be positive")
+        if self.resource_cost <= 0:
+            raise ConfigurationError("resource cost must be positive")
+
+    @property
+    def pcap_program_time_s(self) -> float:
+        """Time to push this bitstream through the PCAP port."""
+        return PCAP_FIXED_OVERHEAD_S + (self.size_bytes * 8) / PCAP_BANDWIDTH_BPS
+
+
+class WrapperRegister(enum.Enum):
+    """Control/status registers exposed by the accelerator wrapper."""
+
+    CONTROL = "control"
+    STATUS = "status"
+    DATA_BASE = "data_base"
+    DATA_LENGTH = "data_length"
+
+
+class AcceleratorState(enum.Enum):
+    """Run state of the configured accelerator."""
+
+    EMPTY = "empty"
+    CONFIGURED = "configured"
+    RUNNING = "running"
+
+
+class AcceleratorWrapper:
+    """The wrapper template around the reconfigurable region.
+
+    Exposes the register file that glue logic reads/writes for control and
+    status monitoring.
+    """
+
+    def __init__(self) -> None:
+        self._registers: dict[WrapperRegister, int] = {
+            reg: 0 for reg in WrapperRegister}
+
+    def write(self, register: WrapperRegister, value: int) -> None:
+        """Glue-logic register write."""
+        if value < 0:
+            raise HardwareError(f"register value must be non-negative: {value}")
+        self._registers[register] = value
+
+    def read(self, register: WrapperRegister) -> int:
+        """Glue-logic register read."""
+        return self._registers[register]
+
+
+class AcceleratorSlot:
+    """The dynamic reconfigurable region plus its wrapper."""
+
+    def __init__(self, slot_id: str, resource_budget: int = 100) -> None:
+        if resource_budget <= 0:
+            raise ConfigurationError("slot resource budget must be positive")
+        self.slot_id = slot_id
+        self.resource_budget = resource_budget
+        self.wrapper = AcceleratorWrapper()
+        self._bitstream: Optional[Bitstream] = None
+        self._state = AcceleratorState.EMPTY
+        self.reconfiguration_count = 0
+
+    @property
+    def state(self) -> AcceleratorState:
+        return self._state
+
+    @property
+    def is_configured(self) -> bool:
+        return self._state is not AcceleratorState.EMPTY
+
+    @property
+    def bitstream(self) -> Optional[Bitstream]:
+        return self._bitstream
+
+    def configure(self, bitstream: Bitstream) -> float:
+        """Program *bitstream* into the slot; returns the PCAP latency.
+
+        A running accelerator must be stopped first; an oversized function
+        is rejected against the slot's resource budget.
+        """
+        if self._state is AcceleratorState.RUNNING:
+            raise HardwareError(
+                f"slot {self.slot_id}: stop the accelerator before reconfiguring")
+        if bitstream.resource_cost > self.resource_budget:
+            raise HardwareError(
+                f"slot {self.slot_id}: {bitstream.name} needs "
+                f"{bitstream.resource_cost} units, budget is {self.resource_budget}")
+        self._bitstream = bitstream
+        self._state = AcceleratorState.CONFIGURED
+        self.reconfiguration_count += 1
+        return bitstream.pcap_program_time_s
+
+    def start(self) -> None:
+        """Raise the wrapper CONTROL run bit."""
+        if self._state is not AcceleratorState.CONFIGURED:
+            raise HardwareError(
+                f"slot {self.slot_id}: cannot start from state {self._state.value}")
+        self._state = AcceleratorState.RUNNING
+        self.wrapper.write(WrapperRegister.CONTROL, 1)
+
+    def stop(self) -> None:
+        """Clear the run bit; the slot stays configured."""
+        if self._state is not AcceleratorState.RUNNING:
+            raise HardwareError(
+                f"slot {self.slot_id}: cannot stop from state {self._state.value}")
+        self._state = AcceleratorState.CONFIGURED
+        self.wrapper.write(WrapperRegister.CONTROL, 0)
+
+    def clear(self) -> None:
+        """Blank the region (e.g. before powering the brick down)."""
+        if self._state is AcceleratorState.RUNNING:
+            self.stop()
+        self._bitstream = None
+        self._state = AcceleratorState.EMPTY
+
+
+class ReconfigurationMiddleware:
+    """The thin APU middleware of §II: bitstream store + PCAP driver.
+
+    Remote dCOMPUBRICKs push bitstreams over the network; the middleware
+    caches them locally and programs the slot on demand.
+    """
+
+    def __init__(self, slot: AcceleratorSlot) -> None:
+        self.slot = slot
+        self._store: dict[str, Bitstream] = {}
+
+    @property
+    def stored_bitstreams(self) -> list[str]:
+        """Names of locally cached bitstreams."""
+        return sorted(self._store)
+
+    def receive_bitstream(self, bitstream: Bitstream) -> None:
+        """Store a bitstream pushed by a remote compute brick.
+
+        Re-uploading a name replaces the stored image (a newer build of
+        the same function).
+        """
+        self._store[bitstream.name] = bitstream
+
+    def drop_bitstream(self, name: str) -> None:
+        """Evict a cached bitstream."""
+        if name not in self._store:
+            raise HardwareError(f"no stored bitstream named {name!r}")
+        del self._store[name]
+
+    def reconfigure(self, name: str) -> float:
+        """Program the named cached bitstream; returns PCAP latency."""
+        if name not in self._store:
+            raise HardwareError(
+                f"bitstream {name!r} has not been uploaded to this brick")
+        return self.slot.configure(self._store[name])

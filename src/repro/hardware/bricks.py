@@ -1,0 +1,214 @@
+"""The three dReDBox brick types.
+
+Section II defines the principal building blocks:
+
+* **dCOMPUBRICK** — a Zynq Ultrascale+ MPSoC with a quad-core ARMv8 APU,
+  local off-chip DDR, the Transaction Glue Logic + RMST on the data path,
+  and GTH transceivers into both the circuit-based (CBN) and experimental
+  packet-based (PBN) networks.
+* **dMEMBRICK** — a large pool of DDR/HMC modules behind glue logic and a
+  local switch, partitionable among compute bricks.
+* **dACCELBRICK** — static + dynamic PL infrastructure hosting a
+  reconfigurable accelerator slot (detailed in
+  :mod:`repro.hardware.accelerator`).
+
+Bricks are individually powered units — the power-off granularity of the
+TCO study — so each derives from the :class:`~repro.hardware.power.Powered`
+mixin.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.accelerator import AcceleratorSlot
+from repro.hardware.glue import (
+    DEFAULT_GLUE_TIMINGS,
+    ComputeGlueLogic,
+    GlueLogicTimings,
+    MemoryGlueLogic,
+)
+from repro.hardware.mbo import MidboardOptics
+from repro.hardware.memory_tech import (
+    DDR4_2400,
+    MemoryModule,
+    MemoryTechnology,
+)
+from repro.hardware.ports import PortGroup, PortRole, TransceiverPort
+from repro.hardware.power import Powered, PowerProfile
+from repro.hardware.rmst import DEFAULT_RMST_ENTRIES, RemoteMemorySegmentTable
+from repro.units import gib
+
+
+class BrickType(enum.Enum):
+    """The three resource classes pooled by the architecture."""
+
+    COMPUTE = "dCOMPUBRICK"
+    MEMORY = "dMEMBRICK"
+    ACCELERATOR = "dACCELBRICK"
+
+
+#: Power profiles for the Zynq US+ based brick boards.  Calibrated to
+#: typical MPSoC evaluation-board figures: the compute brick runs the APU
+#: flat out, the memory brick is dominated by DRAM + PL transceivers, the
+#: accelerator brick by the programmable logic fabric.
+DEFAULT_BRICK_POWER: dict[BrickType, PowerProfile] = {
+    BrickType.COMPUTE: PowerProfile(active_w=22.0, idle_w=8.0),
+    BrickType.MEMORY: PowerProfile(active_w=18.0, idle_w=7.0),
+    BrickType.ACCELERATOR: PowerProfile(active_w=30.0, idle_w=10.0),
+}
+
+#: Default number of CBN (circuit) transceivers per brick — one per MBO
+#: channel on the prototype.
+DEFAULT_CBN_PORTS = 8
+#: Default number of PBN (packet) transceivers per brick.
+DEFAULT_PBN_PORTS = 2
+
+
+def _build_ports(brick_id: str, role: PortRole, count: int,
+                 rate_bps: float) -> PortGroup:
+    prefix = "cbn" if role is PortRole.CIRCUIT else "pbn"
+    ports = [
+        TransceiverPort(f"{brick_id}.{prefix}{i}", role, rate_bps)
+        for i in range(count)
+    ]
+    return PortGroup(ports)
+
+
+class Brick(Powered):
+    """Common state of every hot-pluggable module."""
+
+    brick_type: BrickType
+
+    def __init__(self, brick_id: str, brick_type: BrickType,
+                 cbn_ports: int = DEFAULT_CBN_PORTS,
+                 pbn_ports: int = DEFAULT_PBN_PORTS,
+                 port_rate_bps: float = TransceiverPort.DEFAULT_RATE_BPS,
+                 power_profile: Optional[PowerProfile] = None) -> None:
+        Powered.__init__(self, power_profile or DEFAULT_BRICK_POWER[brick_type])
+        if not brick_id:
+            raise ConfigurationError("brick id must be non-empty")
+        self.brick_id = brick_id
+        self.brick_type = brick_type
+        self.circuit_ports = _build_ports(
+            brick_id, PortRole.CIRCUIT, cbn_ports, port_rate_bps)
+        self.packet_ports = _build_ports(
+            brick_id, PortRole.PACKET, pbn_ports, port_rate_bps)
+        self.mbo = MidboardOptics(f"{brick_id}.mbo", channel_count=cbn_ports)
+        for index, port in enumerate(self.circuit_ports):
+            self.mbo.attach_port(index, port)
+        #: Set by :class:`~repro.hardware.tray.Tray` on plug-in.
+        self.tray_id: Optional[str] = None
+        self.slot_index: Optional[int] = None
+
+    @property
+    def is_plugged(self) -> bool:
+        """True once the brick sits in a tray slot."""
+        return self.tray_id is not None
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.brick_id!r}, "
+                f"power={self.power_state.value})")
+
+
+class ComputeBrick(Brick):
+    """dCOMPUBRICK: the software-execution module.
+
+    Attributes:
+        core_count: APU cores available to VMs (quad-core A53 on the
+            prototype; configurable for scaled studies).
+        local_memory: Off-chip DDR for low-latency instruction/data access.
+        rmst: The Remote Memory Segment Table consulted by the TGL.
+        glue: The Transaction Glue Logic steering remote transactions.
+    """
+
+    def __init__(self, brick_id: str,
+                 core_count: int = 4,
+                 local_memory_bytes: int = gib(4),
+                 local_technology: MemoryTechnology = DDR4_2400,
+                 rmst_entries: int = DEFAULT_RMST_ENTRIES,
+                 glue_timings: GlueLogicTimings = DEFAULT_GLUE_TIMINGS,
+                 **kwargs) -> None:
+        super().__init__(brick_id, BrickType.COMPUTE, **kwargs)
+        if core_count < 1:
+            raise ConfigurationError(f"core count must be >= 1, got {core_count}")
+        self.core_count = core_count
+        self.local_memory = MemoryModule(
+            f"{brick_id}.dram", local_technology, local_memory_bytes)
+        self.rmst = RemoteMemorySegmentTable(rmst_entries)
+        self.glue = ComputeGlueLogic(self.rmst, glue_timings)
+
+    @property
+    def local_memory_bytes(self) -> int:
+        return self.local_memory.capacity_bytes
+
+    @property
+    def remote_memory_bytes(self) -> int:
+        """Remote memory currently reachable through the RMST."""
+        return self.rmst.mapped_bytes()
+
+
+class MemoryBrick(Brick):
+    """dMEMBRICK: a pool of memory modules behind glue logic.
+
+    The brick "can be dimensioned in terms of memory size as well as the
+    number of memory controllers it supports" — both are constructor
+    parameters.  Mixed DDR/HMC population is allowed, as the glue logic
+    interfaces either controller IP over AXI (§II).
+    """
+
+    def __init__(self, brick_id: str,
+                 module_count: int = 4,
+                 module_bytes: int = gib(16),
+                 technology: MemoryTechnology = DDR4_2400,
+                 technologies: Optional[list[MemoryTechnology]] = None,
+                 glue_timings: GlueLogicTimings = DEFAULT_GLUE_TIMINGS,
+                 **kwargs) -> None:
+        super().__init__(brick_id, BrickType.MEMORY, **kwargs)
+        if module_count < 1:
+            raise ConfigurationError(
+                f"memory brick needs >= 1 module, got {module_count}")
+        if technologies is not None and len(technologies) != module_count:
+            raise ConfigurationError(
+                f"got {len(technologies)} technologies for {module_count} modules")
+        self.modules: list[MemoryModule] = []
+        for index in range(module_count):
+            tech = technologies[index] if technologies else technology
+            self.modules.append(
+                MemoryModule(f"{brick_id}.mod{index}", tech, module_bytes))
+        self.glue = MemoryGlueLogic(self.modules, glue_timings)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total pooled capacity across all modules."""
+        return sum(m.capacity_bytes for m in self.modules)
+
+    @property
+    def controller_count(self) -> int:
+        return len(self.modules)
+
+
+class AcceleratorBrick(Brick):
+    """dACCELBRICK: reconfigurable near-data accelerator host.
+
+    The brick carries one dynamic reconfigurable slot (wrapped accelerator
+    region) plus static infrastructure: local APU running the thin
+    reconfiguration middleware, PL DDR for accelerator-local data, and the
+    network-facing glue (Fig. 5).
+    """
+
+    def __init__(self, brick_id: str,
+                 pl_memory_bytes: int = gib(8),
+                 pl_technology: MemoryTechnology = DDR4_2400,
+                 slot_resources: int = 100,
+                 **kwargs) -> None:
+        super().__init__(brick_id, BrickType.ACCELERATOR, **kwargs)
+        self.pl_memory = MemoryModule(
+            f"{brick_id}.pl-ddr", pl_technology, pl_memory_bytes)
+        self.slot = AcceleratorSlot(f"{brick_id}.slot0", slot_resources)
+
+    @property
+    def hosts_accelerator(self) -> bool:
+        return self.slot.is_configured

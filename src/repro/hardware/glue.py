@@ -1,0 +1,149 @@
+"""Transaction Glue Logic (TGL) data-path models.
+
+The TGL is the dReDBox-specific IP sitting between the APU's master ports
+and the interconnect (Fig. 3).  On the compute brick it matches each remote
+transaction against the RMST and forwards it to the outgoing high-speed
+port of an already-established circuit.  On the memory brick the glue logic
+forwards ingress transactions to the local memory controllers and egress
+responses back to the local switch (Fig. 4).
+
+The classes here are *combinational* models: they resolve steering
+decisions and account fixed latencies; queueing and timing happen in the
+network/memory layers that drive them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import SegmentTableError
+from repro.hardware.rmst import RemoteMemorySegmentTable, SegmentEntry
+from repro.units import nanoseconds
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.hardware.memory_tech import MemoryModule
+    from repro.hardware.ports import TransceiverPort
+
+
+@dataclass(frozen=True)
+class GlueLogicTimings:
+    """Fixed latencies of the glue-logic pipeline stages.
+
+    Defaults reflect a PL implementation clocked at a few hundred MHz:
+    a handful of pipeline stages per decision.
+    """
+
+    #: APU master-port to TGL ingress (AXI handshake).
+    issue_latency_s: float = nanoseconds(50)
+    #: RMST associative lookup + header generation on the compute brick.
+    lookup_latency_s: float = nanoseconds(30)
+    #: Steering through the glue mux to the selected egress port.
+    forward_latency_s: float = nanoseconds(20)
+    #: Memory-brick glue: ingress decode to the memory-controller AXI port.
+    ingress_latency_s: float = nanoseconds(40)
+    #: Memory-brick glue: egress response back toward the local switch.
+    egress_latency_s: float = nanoseconds(40)
+
+
+#: Library-wide default timing set.
+DEFAULT_GLUE_TIMINGS = GlueLogicTimings()
+
+
+@dataclass(frozen=True)
+class SteeringDecision:
+    """Outcome of a compute-brick TGL lookup for one transaction."""
+
+    entry: SegmentEntry
+    remote_address: int
+    egress_port_id: str
+    latency_s: float
+
+
+class ComputeGlueLogic:
+    """Compute-brick TGL: RMST lookup + egress steering."""
+
+    def __init__(self, rmst: RemoteMemorySegmentTable,
+                 timings: GlueLogicTimings = DEFAULT_GLUE_TIMINGS) -> None:
+        self.rmst = rmst
+        self.timings = timings
+        self.transactions_steered = 0
+        self.lookup_misses = 0
+
+    def steer(self, address: int) -> SteeringDecision:
+        """Resolve the egress port and remote address for *address*.
+
+        Raises :class:`SegmentTableError` on an RMST miss (an unmapped
+        remote access — a bus error in the prototype).
+        """
+        try:
+            entry = self.rmst.lookup(address)
+        except SegmentTableError:
+            self.lookup_misses += 1
+            raise
+        self.transactions_steered += 1
+        latency = (self.timings.issue_latency_s
+                   + self.timings.lookup_latency_s
+                   + self.timings.forward_latency_s)
+        return SteeringDecision(
+            entry=entry,
+            remote_address=entry.translate(address),
+            egress_port_id=entry.egress_port_id,
+            latency_s=latency,
+        )
+
+    @property
+    def request_path_latency_s(self) -> float:
+        """Fixed TGL latency on the outbound (request) path."""
+        return (self.timings.issue_latency_s
+                + self.timings.lookup_latency_s
+                + self.timings.forward_latency_s)
+
+    @property
+    def response_path_latency_s(self) -> float:
+        """Fixed TGL latency returning a response to the APU."""
+        return self.timings.issue_latency_s
+
+
+class MemoryGlueLogic:
+    """Memory-brick glue: ingress to controllers, egress to the switch.
+
+    The glue logic selects the memory module whose address window covers
+    the transaction offset.  Windows are laid out back to back in module
+    order, matching the flat AXI address map the controllers occupy.
+    """
+
+    def __init__(self, modules: "list[MemoryModule]",
+                 timings: GlueLogicTimings = DEFAULT_GLUE_TIMINGS) -> None:
+        self.modules = list(modules)
+        self.timings = timings
+        self.ingress_count = 0
+        self.egress_count = 0
+
+    def module_for_offset(self, offset: int) -> "tuple[MemoryModule, int]":
+        """Map a brick-level byte offset to ``(module, in-module offset)``."""
+        if offset < 0:
+            raise SegmentTableError(f"offset must be non-negative, got {offset}")
+        window_base = 0
+        for module in self.modules:
+            window_end = window_base + module.capacity_bytes
+            if window_base <= offset < window_end:
+                return module, offset - window_base
+            window_base = window_end
+        raise SegmentTableError(
+            f"offset {offset:#x} exceeds brick capacity {window_base:#x}")
+
+    def ingress(self, offset: int) -> "tuple[MemoryModule, int, float]":
+        """Steer an ingress transaction; returns module, offset, latency."""
+        module, local_offset = self.module_for_offset(offset)
+        self.ingress_count += 1
+        return module, local_offset, self.timings.ingress_latency_s
+
+    def egress_latency_s(self) -> float:
+        """Fixed latency forwarding a response to the local switch."""
+        self.egress_count += 1
+        return self.timings.egress_latency_s
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        return sum(m.capacity_bytes for m in self.modules)

@@ -1,0 +1,119 @@
+"""SiP mid-board optics (MBO) model.
+
+Section III: "Each of the physical incoming/outgoing ports on the dBRICKs
+is attached to a different channel on the multi-channel SiP Mid-board
+optics (MBO).  The SiP MBO used has a total of 8 transceivers using
+external modulation and a shared laser operating at 1310 nm.  Each channel
+on average has an optical output power of -3.7 dBm."
+
+The MBO is the electrical/optical boundary: each brick transceiver port
+maps 1:1 onto an MBO channel whose launch power seeds the link power
+budget evaluated in the Fig. 7 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PortError
+from repro.hardware.ports import TransceiverPort
+
+#: Number of transceiver channels on the prototype's MBO.
+MBO_CHANNEL_COUNT = 8
+
+#: Average per-channel optical launch power (dBm), from the paper.
+MBO_MEAN_LAUNCH_POWER_DBM = -3.7
+
+#: Channel-to-channel launch power spread (1 sigma, dB).  SiP transmitter
+#: arrays show fractions of a dB of spread between lanes.
+MBO_LAUNCH_POWER_SIGMA_DB = 0.35
+
+#: Shared-laser wavelength (nm).
+MBO_WAVELENGTH_NM = 1310.0
+
+
+@dataclass
+class OpticalChannel:
+    """One MBO lane: launch power plus the electrical port behind it."""
+
+    channel_index: int
+    launch_power_dbm: float
+    wavelength_nm: float = MBO_WAVELENGTH_NM
+    port: Optional[TransceiverPort] = None
+
+    @property
+    def is_attached(self) -> bool:
+        return self.port is not None
+
+
+class MidboardOptics:
+    """An 8-channel SiP MBO attached to one brick.
+
+    Per-channel launch powers can be drawn from a supplied RNG to model
+    lane-to-lane variation (used by the Fig. 7 experiment) or left at the
+    nominal figure for deterministic runs.
+    """
+
+    def __init__(self, mbo_id: str,
+                 channel_count: int = MBO_CHANNEL_COUNT,
+                 mean_launch_power_dbm: float = MBO_MEAN_LAUNCH_POWER_DBM,
+                 launch_sigma_db: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if channel_count < 1:
+            raise PortError(f"MBO needs at least one channel, got {channel_count}")
+        if launch_sigma_db < 0:
+            raise PortError("launch power spread must be non-negative")
+        self.mbo_id = mbo_id
+        self.mean_launch_power_dbm = mean_launch_power_dbm
+        self._channels: list[OpticalChannel] = []
+        for index in range(channel_count):
+            if launch_sigma_db > 0:
+                if rng is None:
+                    raise PortError("an RNG is required for launch power spread")
+                power = float(rng.normal(mean_launch_power_dbm, launch_sigma_db))
+            else:
+                power = mean_launch_power_dbm
+            self._channels.append(OpticalChannel(index, power))
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def __iter__(self):
+        return iter(self._channels)
+
+    def channel(self, index: int) -> OpticalChannel:
+        """Channel by zero-based index."""
+        if not 0 <= index < len(self._channels):
+            raise PortError(
+                f"MBO {self.mbo_id} has no channel {index} "
+                f"(0..{len(self._channels) - 1})")
+        return self._channels[index]
+
+    def attach_port(self, index: int, port: TransceiverPort) -> OpticalChannel:
+        """Bind brick *port* to MBO channel *index* (1:1 mapping)."""
+        chan = self.channel(index)
+        if chan.is_attached:
+            raise PortError(
+                f"channel {index} of MBO {self.mbo_id} already has a port")
+        for other in self._channels:
+            if other.port is port:
+                raise PortError(
+                    f"port {port.port_id} is already attached to channel "
+                    f"{other.channel_index}")
+        chan.port = port
+        return chan
+
+    def channel_for_port(self, port: TransceiverPort) -> OpticalChannel:
+        """The channel a brick port is wired through."""
+        for chan in self._channels:
+            if chan.port is port:
+                return chan
+        raise PortError(
+            f"port {port.port_id} is not attached to MBO {self.mbo_id}")
+
+    @property
+    def attached_channels(self) -> list[OpticalChannel]:
+        return [c for c in self._channels if c.is_attached]

@@ -1,0 +1,159 @@
+"""Memory technologies and memory-controller models.
+
+Section II highlights that the dMEMBRICK "is not limited to a specific
+memory technology": its glue logic talks AXI to either Xilinx DDR or HMC
+controller IPs.  We model a technology as a parameter set
+(:class:`MemoryTechnology`), a controller as a service point with fixed
+per-request latency and finite bandwidth (:class:`MemoryController`), and a
+populated module as controller + capacity (:class:`MemoryModule`).
+
+The two presets are calibrated to public figures for the parts the
+prototype used (DDR4-2400 SODIMMs and gen-2 HMC):
+
+* DDR4-2400: ~45 ns device access (row hit/miss average), 19.2 GB/s per
+  channel, ~180 pJ/bit access energy.
+* HMC gen2: ~65 ns access through the vault controller, 30 GB/s usable link
+  bandwidth per half-width link, ~110 pJ/bit (HMC is more efficient per bit
+  moved, at somewhat higher latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GIB
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """Timing/bandwidth/energy characteristics of a memory device class.
+
+    Attributes:
+        name: Technology label, e.g. ``"DDR4-2400"``.
+        access_latency_s: Average device access latency for a cache-line
+            sized request, controller queueing excluded.
+        bandwidth_bps: Peak sustainable data bandwidth, bits per second.
+        access_energy_pj_per_bit: Energy per bit moved, picojoules.
+        controller_latency_s: Fixed latency added by the controller IP
+            (AXI handshake, scheduling, ECC).
+    """
+
+    name: str
+    access_latency_s: float
+    bandwidth_bps: float
+    access_energy_pj_per_bit: float
+    controller_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.access_latency_s <= 0 or self.controller_latency_s < 0:
+            raise ConfigurationError(f"bad latency figures for {self.name}")
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be positive for {self.name}")
+
+    def service_time(self, num_bytes: int) -> float:
+        """Device-level service time for a *num_bytes* access."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"access size must be >= 0, got {num_bytes}")
+        return (self.access_latency_s + self.controller_latency_s
+                + (num_bytes * 8) / self.bandwidth_bps)
+
+    def access_energy_j(self, num_bytes: int) -> float:
+        """Energy in joules to move *num_bytes* through the device."""
+        return num_bytes * 8 * self.access_energy_pj_per_bit * 1e-12
+
+
+#: DDR4-2400 (one 64-bit channel), as on the Zynq US+ brick boards.
+DDR4_2400 = MemoryTechnology(
+    name="DDR4-2400",
+    access_latency_s=45e-9,
+    bandwidth_bps=19.2e9 * 8,
+    access_energy_pj_per_bit=180.0,
+    controller_latency_s=25e-9,
+)
+
+#: Hybrid Memory Cube, generation 2, half-width link.
+HMC_GEN2 = MemoryTechnology(
+    name="HMC-gen2",
+    access_latency_s=65e-9,
+    bandwidth_bps=30e9 * 8,
+    access_energy_pj_per_bit=110.0,
+    controller_latency_s=35e-9,
+)
+
+_TECHNOLOGIES = {tech.name: tech for tech in (DDR4_2400, HMC_GEN2)}
+
+
+def technology_by_name(name: str) -> MemoryTechnology:
+    """Look up a built-in technology preset by name."""
+    try:
+        return _TECHNOLOGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_TECHNOLOGIES))
+        raise ConfigurationError(
+            f"unknown memory technology {name!r}; known: {known}") from None
+
+
+class MemoryController:
+    """One memory-controller IP instance on a brick.
+
+    The controller is the unit of bandwidth provisioning: a dMEMBRICK "can
+    be dimensioned in terms of ... the number of memory controllers it
+    supports" (§II).  Occupancy tracking lets the access path model
+    controller queueing without a full DRAM model.
+    """
+
+    def __init__(self, controller_id: str, technology: MemoryTechnology) -> None:
+        self.controller_id = controller_id
+        self.technology = technology
+        self._busy_until = 0.0
+        self.requests_served = 0
+        self.bytes_moved = 0
+
+    def service_time(self, num_bytes: int) -> float:
+        """Service time of one access through this controller."""
+        return self.technology.service_time(num_bytes)
+
+    def occupy(self, now: float, num_bytes: int) -> float:
+        """Serve an access arriving at *now*; returns its completion time.
+
+        Requests serialise on the controller: an access arriving while a
+        previous one is in flight waits for it (FIFO), which is how the AXI
+        interconnect ahead of the controller behaves.
+        """
+        start = max(now, self._busy_until)
+        finish = start + self.service_time(num_bytes)
+        self._busy_until = finish
+        self.requests_served += 1
+        self.bytes_moved += num_bytes
+        return finish
+
+    @property
+    def busy_until(self) -> float:
+        """Simulated time at which the controller next becomes free."""
+        return self._busy_until
+
+
+class MemoryModule:
+    """A populated memory bank: capacity behind one controller."""
+
+    def __init__(self, module_id: str, technology: MemoryTechnology,
+                 capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"module capacity must be positive, got {capacity_bytes}")
+        self.module_id = module_id
+        self.capacity_bytes = capacity_bytes
+        self.controller = MemoryController(f"{module_id}.mc", technology)
+
+    @property
+    def technology(self) -> MemoryTechnology:
+        return self.controller.technology
+
+    @property
+    def capacity_gib(self) -> float:
+        return self.capacity_bytes / GIB
+
+    def __repr__(self) -> str:
+        return (f"MemoryModule({self.module_id!r}, {self.technology.name}, "
+                f"{self.capacity_gib:.0f} GiB)")

@@ -1,0 +1,143 @@
+"""High-speed transceiver ports (GTH) on brick edges.
+
+Each brick exposes a set of GTH serial transceivers (Fig. 3-5 of the
+paper).  A port belongs to either the circuit-based network (CBN) or the
+packet-based network (PBN) and can be wired to exactly one far end at a
+time — on the CBN that wiring is an optical circuit through the rack
+switch, on the PBN it is a static link into the packet fabric.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import PortError
+from repro.units import gbps
+
+
+class PortRole(enum.Enum):
+    """Which interconnect plane the port serves."""
+
+    #: Circuit-based network: carried over the optical circuit switch.
+    CIRCUIT = "circuit"
+    #: Packet-based network: experimental packet-switched plane (§III).
+    PACKET = "packet"
+
+
+class PortState(enum.Enum):
+    """Wiring state of a transceiver port."""
+
+    FREE = "free"
+    CONNECTED = "connected"
+
+
+class TransceiverPort:
+    """One GTH serial transceiver lane on a brick.
+
+    Attributes:
+        port_id: Globally unique id, e.g. ``"tray0.slot1.cbn3"``.
+        role: CBN or PBN membership.
+        rate_bps: Line rate in bits/second (the prototype links ran at
+            10 Gb/s; §III reports ongoing work on faster transceivers).
+    """
+
+    DEFAULT_RATE_BPS = gbps(10)
+
+    def __init__(self, port_id: str, role: PortRole,
+                 rate_bps: float = DEFAULT_RATE_BPS) -> None:
+        if rate_bps <= 0:
+            raise PortError(f"port rate must be positive, got {rate_bps}")
+        self.port_id = port_id
+        self.role = role
+        self.rate_bps = rate_bps
+        self._state = PortState.FREE
+        self._peer: Optional["TransceiverPort"] = None
+
+    @property
+    def state(self) -> PortState:
+        return self._state
+
+    @property
+    def is_free(self) -> bool:
+        return self._state is PortState.FREE
+
+    @property
+    def peer(self) -> Optional["TransceiverPort"]:
+        """The far-end port when connected, else ``None``."""
+        return self._peer
+
+    def connect(self, peer: "TransceiverPort") -> None:
+        """Wire this port to *peer* (symmetric)."""
+        if self is peer:
+            raise PortError(f"port {self.port_id} cannot connect to itself")
+        if not self.is_free:
+            raise PortError(f"port {self.port_id} is already connected")
+        if not peer.is_free:
+            raise PortError(f"port {peer.port_id} is already connected")
+        if self.role is not peer.role:
+            raise PortError(
+                f"cannot wire {self.role.value} port {self.port_id} to "
+                f"{peer.role.value} port {peer.port_id}")
+        self._state = PortState.CONNECTED
+        self._peer = peer
+        peer._state = PortState.CONNECTED
+        peer._peer = self
+
+    def disconnect(self) -> None:
+        """Tear down the wiring (symmetric); no-op counterpart is illegal."""
+        if self._state is not PortState.CONNECTED or self._peer is None:
+            raise PortError(f"port {self.port_id} is not connected")
+        peer = self._peer
+        self._peer = None
+        self._state = PortState.FREE
+        peer._peer = None
+        peer._state = PortState.FREE
+
+    def serialization_delay(self, num_bytes: int) -> float:
+        """Time to clock *num_bytes* onto the serial lane."""
+        if num_bytes < 0:
+            raise PortError(f"size must be non-negative, got {num_bytes}")
+        return (num_bytes * 8) / self.rate_bps
+
+    def __repr__(self) -> str:
+        peer = self._peer.port_id if self._peer else None
+        return (f"TransceiverPort({self.port_id!r}, {self.role.value}, "
+                f"{self.rate_bps / 1e9:.0f}G, peer={peer})")
+
+
+class PortGroup:
+    """The ports of one role on one brick, with free-port allocation."""
+
+    def __init__(self, ports: list[TransceiverPort]) -> None:
+        self._ports = list(ports)
+        roles = {p.role for p in self._ports}
+        if len(roles) > 1:
+            raise PortError("a port group must contain a single role")
+
+    def __len__(self) -> int:
+        return len(self._ports)
+
+    def __iter__(self):
+        return iter(self._ports)
+
+    @property
+    def free_ports(self) -> list[TransceiverPort]:
+        return [p for p in self._ports if p.is_free]
+
+    @property
+    def connected_ports(self) -> list[TransceiverPort]:
+        return [p for p in self._ports if not p.is_free]
+
+    def allocate(self) -> TransceiverPort:
+        """Return the first free port; raises :class:`PortError` if none."""
+        for port in self._ports:
+            if port.is_free:
+                return port
+        raise PortError("no free port available in group")
+
+    def by_id(self, port_id: str) -> TransceiverPort:
+        for port in self._ports:
+            if port.port_id == port_id:
+                return port
+        raise PortError(f"no port named {port_id!r} in group")

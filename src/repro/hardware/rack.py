@@ -1,0 +1,110 @@
+"""Rack-level packaging: trays plus the shared optical switch fabric.
+
+The rack is the system boundary of the prototype ("datacentre-in-a-box"):
+trays of bricks whose cross-tray memory traffic traverses the in-rack
+optical circuit switch (§II-III).  The switch itself lives in
+:mod:`repro.network.optical.switch`; the rack holds the inventory and
+answers topology queries (same tray or not, distances for propagation
+delay).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import SlotError
+from repro.hardware.bricks import Brick, BrickType
+from repro.hardware.tray import Tray
+
+#: Assumed fibre run between a tray MBO and the rack optical switch, metres.
+#: A rack is ~2 m tall; patch fibres add slack.
+TRAY_TO_SWITCH_FIBRE_M = 5.0
+
+
+class Rack:
+    """A rack of dReDBox trays."""
+
+    def __init__(self, rack_id: str) -> None:
+        self.rack_id = rack_id
+        self._trays: dict[str, Tray] = {}
+
+    # -- tray management ---------------------------------------------------------
+
+    def add_tray(self, tray: Tray) -> Tray:
+        """Mount *tray*; tray ids must be unique within the rack."""
+        if tray.tray_id in self._trays:
+            raise SlotError(
+                f"rack {self.rack_id} already has a tray {tray.tray_id!r}")
+        self._trays[tray.tray_id] = tray
+        return tray
+
+    def new_tray(self, tray_id: Optional[str] = None,
+                 slot_count: Optional[int] = None) -> Tray:
+        """Create, mount and return a tray with an auto-generated id."""
+        if tray_id is None:
+            tray_id = f"{self.rack_id}.tray{len(self._trays)}"
+        kwargs = {} if slot_count is None else {"slot_count": slot_count}
+        return self.add_tray(Tray(tray_id, **kwargs))
+
+    def tray(self, tray_id: str) -> Tray:
+        try:
+            return self._trays[tray_id]
+        except KeyError:
+            raise SlotError(
+                f"rack {self.rack_id} has no tray {tray_id!r}") from None
+
+    @property
+    def trays(self) -> list[Tray]:
+        return list(self._trays.values())
+
+    # -- brick queries -----------------------------------------------------------------
+
+    def bricks(self, brick_type: Optional[BrickType] = None) -> Iterator[Brick]:
+        """All plugged bricks in the rack, optionally filtered by type."""
+        for tray in self._trays.values():
+            yield from tray.bricks(brick_type)
+
+    def brick(self, brick_id: str) -> Brick:
+        """Find a brick anywhere in the rack by id."""
+        for candidate in self.bricks():
+            if candidate.brick_id == brick_id:
+                return candidate
+        raise SlotError(f"rack {self.rack_id} has no brick {brick_id!r}")
+
+    def compute_bricks(self) -> list[Brick]:
+        return list(self.bricks(BrickType.COMPUTE))
+
+    def memory_bricks(self) -> list[Brick]:
+        return list(self.bricks(BrickType.MEMORY))
+
+    def accelerator_bricks(self) -> list[Brick]:
+        return list(self.bricks(BrickType.ACCELERATOR))
+
+    # -- topology ------------------------------------------------------------------------
+
+    def same_tray(self, brick_a: Brick, brick_b: Brick) -> bool:
+        """True when both bricks sit in the same tray (electrical reach)."""
+        return (brick_a.tray_id is not None
+                and brick_a.tray_id == brick_b.tray_id)
+
+    def fibre_length_m(self, brick_a: Brick, brick_b: Brick) -> float:
+        """End-to-end fibre run between two bricks via the rack switch."""
+        if self.same_tray(brick_a, brick_b):
+            return 0.0
+        return 2 * TRAY_TO_SWITCH_FIBRE_M
+
+    def total_power_draw_w(self) -> float:
+        """Instantaneous draw of every plugged brick."""
+        return sum(brick.power_draw_w for brick in self.bricks())
+
+    def inventory(self) -> dict[str, int]:
+        """Count of plugged bricks per type (by enum value name)."""
+        counts = {bt.value: 0 for bt in BrickType}
+        for brick in self.bricks():
+            counts[brick.brick_type.value] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        inv = self.inventory()
+        parts = ", ".join(f"{count} {name}" for name, count in inv.items())
+        return f"Rack({self.rack_id!r}, {len(self._trays)} trays: {parts})"

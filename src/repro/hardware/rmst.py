@@ -1,0 +1,153 @@
+"""Remote Memory Segment Table (RMST).
+
+Section II: "The Remote Memory Segment Table (RMST) is a fully associative
+structure, whose entries identify large and contiguous portions of remote
+memory space hosted in dMEMBRICKs."  The compute brick's Transaction Glue
+Logic consults the RMST on every remote transaction to find the destination
+segment and the outgoing high-speed port whose circuit leads to it.
+
+The model is a bounded, fully associative table of non-overlapping
+``[base, base+size)`` ranges in the compute brick's physical address space,
+each mapping to ``(remote brick, remote offset, egress port)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import SegmentTableError
+
+#: Default number of RMST entries.  The structure identifies "large and
+#: contiguous" regions, so a small associative table suffices in hardware.
+DEFAULT_RMST_ENTRIES = 32
+
+
+@dataclass(frozen=True)
+class SegmentEntry:
+    """One RMST mapping.
+
+    Attributes:
+        segment_id: Identifier assigned by orchestration.
+        base: First local physical address covered by the segment.
+        size: Segment length in bytes.
+        remote_brick_id: The dMEMBRICK hosting the backing memory.
+        remote_offset: Byte offset of the backing range on that brick.
+        egress_port_id: The local CBN port whose circuit reaches the brick.
+    """
+
+    segment_id: str
+    base: int
+    size: int
+    remote_brick_id: str
+    remote_offset: int
+    egress_port_id: str
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.remote_offset < 0:
+            raise SegmentTableError("addresses must be non-negative")
+        if self.size <= 0:
+            raise SegmentTableError(f"segment size must be positive, got {self.size}")
+
+    @property
+    def end(self) -> int:
+        """One past the last covered local address."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """True when *address* falls inside the segment."""
+        return self.base <= address < self.end
+
+    def translate(self, address: int) -> int:
+        """Map a covered local address to the remote-brick offset."""
+        if not self.contains(address):
+            raise SegmentTableError(
+                f"address {address:#x} outside segment {self.segment_id}")
+        return self.remote_offset + (address - self.base)
+
+    def overlaps(self, other: "SegmentEntry") -> bool:
+        """True when the local ranges of the two entries intersect."""
+        return self.base < other.end and other.base < self.end
+
+
+class RemoteMemorySegmentTable:
+    """Bounded, fully associative table of :class:`SegmentEntry` rows."""
+
+    def __init__(self, capacity: int = DEFAULT_RMST_ENTRIES) -> None:
+        if capacity < 1:
+            raise SegmentTableError(f"RMST needs >= 1 entry, got {capacity}")
+        self.capacity = capacity
+        self._entries: dict[str, SegmentEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[SegmentEntry]:
+        return iter(self._entries.values())
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def install(self, entry: SegmentEntry) -> None:
+        """Install a mapping; rejects duplicates, overlap and overflow."""
+        if entry.segment_id in self._entries:
+            raise SegmentTableError(
+                f"segment {entry.segment_id!r} is already installed")
+        if self.is_full:
+            raise SegmentTableError(
+                f"RMST full ({self.capacity} entries); evict before installing")
+        for existing in self._entries.values():
+            if entry.overlaps(existing):
+                raise SegmentTableError(
+                    f"segment {entry.segment_id!r} [{entry.base:#x},"
+                    f"{entry.end:#x}) overlaps {existing.segment_id!r} "
+                    f"[{existing.base:#x},{existing.end:#x})")
+        self._entries[entry.segment_id] = entry
+
+    def evict(self, segment_id: str) -> SegmentEntry:
+        """Remove and return the mapping for *segment_id*."""
+        try:
+            return self._entries.pop(segment_id)
+        except KeyError:
+            raise SegmentTableError(
+                f"segment {segment_id!r} is not installed") from None
+
+    def get(self, segment_id: str) -> SegmentEntry:
+        """The entry for *segment_id*."""
+        try:
+            return self._entries[segment_id]
+        except KeyError:
+            raise SegmentTableError(
+                f"segment {segment_id!r} is not installed") from None
+
+    def lookup(self, address: int) -> SegmentEntry:
+        """Associative match of *address* against all entries.
+
+        Raises :class:`SegmentTableError` on a miss — in hardware this is
+        the bus error the kernel would see for an unmapped access.
+        """
+        entry = self.lookup_or_none(address)
+        if entry is None:
+            raise SegmentTableError(f"address {address:#x} misses the RMST")
+        return entry
+
+    def lookup_or_none(self, address: int) -> Optional[SegmentEntry]:
+        """Like :meth:`lookup` but returns ``None`` on a miss."""
+        for entry in self._entries.values():
+            if entry.contains(address):
+                return entry
+        return None
+
+    def segments_for_brick(self, remote_brick_id: str) -> list[SegmentEntry]:
+        """All entries backed by the given dMEMBRICK."""
+        return [e for e in self._entries.values()
+                if e.remote_brick_id == remote_brick_id]
+
+    def mapped_bytes(self) -> int:
+        """Total remote bytes currently reachable through the table."""
+        return sum(e.size for e in self._entries.values())

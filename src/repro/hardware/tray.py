@@ -1,0 +1,116 @@
+"""Datacenter tray: hot-pluggable brick slots.
+
+Figure 1 of the paper shows the tray concept: a carrier of hot-pluggable
+modules providing compute, memory and accelerator resources.  Intra-tray
+bricks connect over a low-latency electrical circuit; cross-tray traffic
+goes through the rack's optical network (§II).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import SlotError
+from repro.hardware.bricks import Brick, BrickType
+from repro.units import nanoseconds
+
+#: Slots per tray in the prototype-scale configuration.
+DEFAULT_TRAY_SLOTS = 16
+
+#: One-way latency of the intra-tray electrical circuit between two bricks
+#: in the same tray (board traces + electrical crosspoint).
+INTRA_TRAY_LATENCY_S = nanoseconds(15)
+
+
+class Tray:
+    """A carrier of :data:`DEFAULT_TRAY_SLOTS` hot-pluggable brick slots."""
+
+    def __init__(self, tray_id: str, slot_count: int = DEFAULT_TRAY_SLOTS) -> None:
+        if slot_count < 1:
+            raise SlotError(f"tray needs >= 1 slot, got {slot_count}")
+        self.tray_id = tray_id
+        self._slots: list[Optional[Brick]] = [None] * slot_count
+        self.plug_events = 0
+        self.unplug_events = 0
+
+    # -- slot management -------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    @property
+    def occupied_slots(self) -> int:
+        return sum(1 for slot in self._slots if slot is not None)
+
+    @property
+    def free_slots(self) -> list[int]:
+        """Indices of empty slots."""
+        return [i for i, slot in enumerate(self._slots) if slot is None]
+
+    def slot(self, index: int) -> Optional[Brick]:
+        """Brick in slot *index*, or ``None`` when empty."""
+        self._check_index(index)
+        return self._slots[index]
+
+    def plug(self, brick: Brick, slot_index: Optional[int] = None) -> int:
+        """Hot-plug *brick*, returning the slot it landed in.
+
+        Without an explicit index the first free slot is used.  A brick
+        already seated in some tray cannot be plugged again.
+        """
+        if brick.is_plugged:
+            raise SlotError(
+                f"brick {brick.brick_id} is already plugged into "
+                f"tray {brick.tray_id}")
+        if slot_index is None:
+            free = self.free_slots
+            if not free:
+                raise SlotError(f"tray {self.tray_id} is full")
+            slot_index = free[0]
+        else:
+            self._check_index(slot_index)
+            if self._slots[slot_index] is not None:
+                raise SlotError(
+                    f"slot {slot_index} of tray {self.tray_id} is occupied")
+        self._slots[slot_index] = brick
+        brick.tray_id = self.tray_id
+        brick.slot_index = slot_index
+        self.plug_events += 1
+        return slot_index
+
+    def unplug(self, slot_index: int) -> Brick:
+        """Hot-remove and return the brick in *slot_index*."""
+        self._check_index(slot_index)
+        brick = self._slots[slot_index]
+        if brick is None:
+            raise SlotError(f"slot {slot_index} of tray {self.tray_id} is empty")
+        self._slots[slot_index] = None
+        brick.tray_id = None
+        brick.slot_index = None
+        self.unplug_events += 1
+        return brick
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._slots):
+            raise SlotError(
+                f"tray {self.tray_id} has slots 0..{len(self._slots) - 1}, "
+                f"got {index}")
+
+    # -- queries --------------------------------------------------------------------
+
+    def bricks(self, brick_type: Optional[BrickType] = None) -> Iterator[Brick]:
+        """Iterate plugged bricks, optionally filtered by type."""
+        for slot in self._slots:
+            if slot is None:
+                continue
+            if brick_type is None or slot.brick_type is brick_type:
+                yield slot
+
+    def contains(self, brick: Brick) -> bool:
+        """True when *brick* is seated in this tray."""
+        return any(slot is brick for slot in self._slots)
+
+    def __repr__(self) -> str:
+        return (f"Tray({self.tray_id!r}, {self.occupied_slots}/"
+                f"{self.slot_count} slots occupied)")

@@ -1,0 +1,49 @@
+"""Disaggregated memory: address spaces, segments, allocation, access paths.
+
+This package implements the data-plane view of remote memory (§II-III):
+
+* :mod:`repro.memory.address` — address ranges and per-brick physical
+  address maps (local DRAM window + hotplugged remote windows).
+* :mod:`repro.memory.segments` — the remote-segment objects orchestration
+  hands out.
+* :mod:`repro.memory.allocator` — first-fit offset allocation with
+  coalescing on each dMEMBRICK.
+* :mod:`repro.memory.transactions` — read/write transaction descriptors.
+* :mod:`repro.memory.path` — end-to-end latency models of a remote access
+  over the circuit-switched and packet-switched planes (the Fig. 8
+  quantities).
+"""
+
+from repro.memory.address import AddressRange, PhysicalAddressMap
+from repro.memory.allocator import SegmentAllocator
+from repro.memory.contention import (
+    ContentionResult,
+    MemoryContentionSim,
+)
+from repro.memory.path import (
+    CircuitAccessPath,
+    PacketAccessPath,
+    PacketPathBlocks,
+)
+from repro.memory.segments import RemoteSegment, SegmentState
+from repro.memory.transactions import (
+    MemoryOp,
+    MemoryTransaction,
+    TransactionResult,
+)
+
+__all__ = [
+    "AddressRange",
+    "CircuitAccessPath",
+    "ContentionResult",
+    "MemoryContentionSim",
+    "MemoryOp",
+    "MemoryTransaction",
+    "PacketAccessPath",
+    "PacketPathBlocks",
+    "PhysicalAddressMap",
+    "RemoteSegment",
+    "SegmentAllocator",
+    "SegmentState",
+    "TransactionResult",
+]

@@ -1,0 +1,203 @@
+"""Address ranges and per-brick physical address maps.
+
+A dCOMPUBRICK's physical address space starts with its local off-chip DDR
+window; every remote segment attached through the RMST appears as a
+further window above it.  :class:`PhysicalAddressMap` maintains that
+layout, keeping windows aligned (hotplug requires section alignment — see
+:mod:`repro.software.hotplug`) and non-overlapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import AddressError
+
+
+@dataclass(frozen=True, order=True)
+class AddressRange:
+    """A half-open ``[base, base + size)`` byte range."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise AddressError(f"base must be non-negative, got {self.base:#x}")
+        if self.size <= 0:
+            raise AddressError(f"size must be positive, got {self.size}")
+
+    @property
+    def end(self) -> int:
+        """One past the last contained address."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def contains_range(self, other: "AddressRange") -> bool:
+        return self.base <= other.base and other.end <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def intersection(self, other: "AddressRange") -> Optional["AddressRange"]:
+        """The overlapping sub-range, or ``None`` when disjoint."""
+        base = max(self.base, other.base)
+        end = min(self.end, other.end)
+        if base >= end:
+            return None
+        return AddressRange(base, end - base)
+
+    def offset_of(self, address: int) -> int:
+        """Byte offset of *address* from the range base."""
+        if not self.contains(address):
+            raise AddressError(
+                f"address {address:#x} outside [{self.base:#x}, {self.end:#x})")
+        return address - self.base
+
+    def aligned(self, alignment: int) -> bool:
+        """True when base and size are multiples of *alignment*."""
+        if alignment <= 0:
+            raise AddressError(f"alignment must be positive, got {alignment}")
+        return self.base % alignment == 0 and self.size % alignment == 0
+
+    def __repr__(self) -> str:
+        return f"AddressRange({self.base:#x}, {self.size:#x})"
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to the next multiple of *alignment*."""
+    if alignment <= 0:
+        raise AddressError(f"alignment must be positive, got {alignment}")
+    return ((value + alignment - 1) // alignment) * alignment
+
+
+class PhysicalAddressMap:
+    """The physical address layout of one compute brick.
+
+    Window 0 is the local DRAM; remote windows are appended with a given
+    alignment (hotplug sections must be section-aligned).
+    """
+
+    def __init__(self, local_bytes: int, window_alignment: int = 1) -> None:
+        if local_bytes <= 0:
+            raise AddressError(f"local size must be positive, got {local_bytes}")
+        if window_alignment <= 0:
+            raise AddressError("window alignment must be positive")
+        self.window_alignment = window_alignment
+        self._local = AddressRange(0, local_bytes)
+        self._windows: dict[str, AddressRange] = {}
+        self._reserved: dict[str, AddressRange] = {}
+        self._next_base = align_up(local_bytes, window_alignment)
+
+    @property
+    def local_window(self) -> AddressRange:
+        """The local-DRAM window (always starts at address 0)."""
+        return self._local
+
+    @property
+    def remote_windows(self) -> dict[str, AddressRange]:
+        """Mapping of window name to its range (copy)."""
+        return dict(self._windows)
+
+    @property
+    def highest_address(self) -> int:
+        """One past the highest mapped address."""
+        ends = [self._local.end] + [w.end for w in self._windows.values()]
+        return max(ends)
+
+    def peek_next_window_base(self) -> int:
+        """Where the next :meth:`map_window` call will place its window.
+
+        The SDM controller uses this to generate RMST entries *before*
+        the kernel maps the window (configuration push precedes the
+        baremetal attach in the §IV flow); the layout is deterministic,
+        so the peeked address is exact.
+        """
+        return self._next_base
+
+    def reserve_window(self, name: str, size: int) -> AddressRange:
+        """Pre-claim the address range a future window will occupy.
+
+        The SDM controller reserves window addresses at allocation time so
+        it can generate RMST entries *before* the kernel maps the window
+        (§IV pushes glue configuration ahead of the baremetal attach).
+        Reserving also makes concurrent allocations for the same brick
+        race-free: each gets a distinct range.
+        """
+        if name in self._windows or name in self._reserved:
+            raise AddressError(f"window {name!r} is already mapped/reserved")
+        if size <= 0:
+            raise AddressError(f"window size must be positive, got {size}")
+        padded = align_up(size, self.window_alignment)
+        window = AddressRange(self._next_base, padded)
+        self._reserved[name] = window
+        self._next_base = window.end
+        return window
+
+    def map_window(self, name: str, size: int) -> AddressRange:
+        """Map a remote window of *size* bytes; returns its range.
+
+        A previously reserved window is honoured (and its size checked);
+        otherwise the window lands at the next aligned address above
+        everything already mapped, padded to the alignment.
+        """
+        if name in self._windows:
+            raise AddressError(f"window {name!r} is already mapped")
+        if size <= 0:
+            raise AddressError(f"window size must be positive, got {size}")
+        padded = align_up(size, self.window_alignment)
+        if name in self._reserved:
+            window = self._reserved.pop(name)
+            if window.size != padded:
+                raise AddressError(
+                    f"window {name!r} was reserved with {window.size} bytes "
+                    f"but mapped with {padded}")
+        else:
+            window = AddressRange(self._next_base, padded)
+            self._next_base = window.end
+        self._windows[name] = window
+        return window
+
+    def cancel_reservation(self, name: str) -> AddressRange:
+        """Drop an unused window reservation (failed allocation path)."""
+        try:
+            return self._reserved.pop(name)
+        except KeyError:
+            raise AddressError(f"window {name!r} is not reserved") from None
+
+    def unmap_window(self, name: str) -> AddressRange:
+        """Remove a remote window (the hole is not reused — the kernel
+        keeps offlined section numbers retired, which mirrors that)."""
+        try:
+            return self._windows.pop(name)
+        except KeyError:
+            raise AddressError(f"window {name!r} is not mapped") from None
+
+    def window_of(self, address: int) -> tuple[Optional[str], AddressRange]:
+        """Resolve *address* to ``(window name, range)``.
+
+        The local window resolves to ``(None, local_range)``.
+        """
+        if self._local.contains(address):
+            return None, self._local
+        for name, window in self._windows.items():
+            if window.contains(address):
+                return name, window
+        raise AddressError(f"address {address:#x} is unmapped")
+
+    def is_remote(self, address: int) -> bool:
+        """True when *address* lives in a remote window."""
+        name, _window = self.window_of(address)
+        return name is not None
+
+    def total_mapped_bytes(self) -> int:
+        """Local + remote bytes currently mapped."""
+        return self._local.size + sum(w.size for w in self._windows.values())
+
+    def iter_windows(self) -> Iterator[tuple[Optional[str], AddressRange]]:
+        """Iterate ``(name, range)`` including the local window first."""
+        yield None, self._local
+        yield from self._windows.items()

@@ -1,0 +1,158 @@
+"""First-fit segment allocation on a dMEMBRICK.
+
+The dMEMBRICK provides "a large and flexible pool of memory resources that
+can be partitioned and (re)distributed among all processing nodes" (§II).
+The allocator is the partitioning mechanism: a classic first-fit free list
+over the brick's byte range with immediate coalescing on free, plus the
+occupancy/fragmentation statistics the orchestrator's placement policy
+consumes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.memory.address import AddressRange, align_up
+
+
+class SegmentAllocator:
+    """First-fit offset allocator with coalescing over ``[0, capacity)``."""
+
+    def __init__(self, capacity_bytes: int, alignment: int = 1) -> None:
+        if capacity_bytes <= 0:
+            raise AllocationError(
+                f"capacity must be positive, got {capacity_bytes}")
+        if alignment <= 0:
+            raise AllocationError(f"alignment must be positive, got {alignment}")
+        self.capacity_bytes = capacity_bytes
+        self.alignment = alignment
+        #: Sorted, disjoint, coalesced free spans.
+        self._free: list[AddressRange] = [AddressRange(0, capacity_bytes)]
+        self._allocated: dict[int, AddressRange] = {}
+
+    # -- allocation --------------------------------------------------------------
+
+    def allocate(self, size: int) -> int:
+        """Claim *size* bytes (padded to alignment); returns the offset.
+
+        Raises :class:`AllocationError` when no single free span fits —
+        callers distinguishing exhaustion from fragmentation can compare
+        :attr:`free_bytes` with the request.
+        """
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive: {size}")
+        padded = align_up(size, self.alignment)
+        for index, span in enumerate(self._free):
+            if span.size >= padded:
+                offset = span.base
+                remainder = span.size - padded
+                if remainder:
+                    self._free[index] = AddressRange(span.base + padded, remainder)
+                else:
+                    del self._free[index]
+                self._allocated[offset] = AddressRange(offset, padded)
+                return offset
+        if self.free_bytes >= padded:
+            raise AllocationError(
+                f"{padded} bytes free in total but fragmented; largest span "
+                f"is {self.largest_free_span} bytes")
+        raise AllocationError(
+            f"out of capacity: requested {padded}, free {self.free_bytes}")
+
+    def free(self, offset: int) -> int:
+        """Return the span at *offset* to the pool; returns its size."""
+        if offset not in self._allocated:
+            raise AllocationError(f"offset {offset:#x} is not allocated")
+        span = self._allocated.pop(offset)
+        self._insert_coalesced(span)
+        return span.size
+
+    def _insert_coalesced(self, span: AddressRange) -> None:
+        """Insert *span* into the sorted free list, merging neighbours."""
+        base, end = span.base, span.end
+        merged: list[AddressRange] = []
+        inserted = False
+        for free_span in self._free:
+            if free_span.end < base or (free_span.end == base and False):
+                merged.append(free_span)
+            elif free_span.end == base:
+                base = free_span.base
+            elif free_span.base == end:
+                end = free_span.end
+            elif free_span.base > end:
+                if not inserted:
+                    merged.append(AddressRange(base, end - base))
+                    inserted = True
+                merged.append(free_span)
+            else:
+                raise AllocationError(
+                    f"double free: [{span.base:#x},{span.end:#x}) intersects "
+                    f"free span [{free_span.base:#x},{free_span.end:#x})")
+        if not inserted:
+            merged.append(AddressRange(base, end - base))
+        self._free = merged
+
+    # -- statistics -------------------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(span.size for span in self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(span.size for span in self._free)
+
+    @property
+    def allocation_count(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def largest_free_span(self) -> int:
+        """Size of the biggest contiguous free span (0 when full)."""
+        return max((span.size for span in self._free), default=0)
+
+    @property
+    def utilization(self) -> float:
+        """Allocated fraction of capacity, in ``[0, 1]``."""
+        return self.allocated_bytes / self.capacity_bytes
+
+    @property
+    def fragmentation(self) -> float:
+        """``1 - largest_free/free`` — 0 when free space is contiguous."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - (self.largest_free_span / free)
+
+    def free_spans(self) -> list[AddressRange]:
+        """The free list (copy), sorted by base."""
+        return list(self._free)
+
+    def allocated_spans(self) -> list[AddressRange]:
+        """All live allocations, sorted by base."""
+        return sorted(self._allocated.values())
+
+    def check_invariants(self) -> None:
+        """Raise :class:`AllocationError` if internal state is corrupt.
+
+        Verifies that free and allocated spans are disjoint, sorted and
+        exactly tile the capacity.  Used by property-based tests.
+        """
+        spans = sorted(self._free + list(self._allocated.values()))
+        cursor = 0
+        for span in spans:
+            if span.base < cursor:
+                raise AllocationError(
+                    f"overlapping spans at {span.base:#x} (cursor {cursor:#x})")
+            cursor = span.end
+        if cursor > self.capacity_bytes:
+            raise AllocationError(
+                f"spans exceed capacity: {cursor:#x} > {self.capacity_bytes:#x}")
+        covered = sum(span.size for span in spans)
+        if covered != self.capacity_bytes:
+            raise AllocationError(
+                f"spans cover {covered} of {self.capacity_bytes} bytes")
+        # Free list must be coalesced: no two adjacent free spans.
+        for left, right in zip(self._free, self._free[1:]):
+            if left.end == right.base:
+                raise AllocationError(
+                    f"uncoalesced free spans at {left.end:#x}")

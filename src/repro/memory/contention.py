@@ -1,0 +1,196 @@
+"""Timed contention simulation of the remote-memory data path.
+
+Section II: a dMEMBRICK "can support multiple links.  These links can be
+used to provide more aggregate bandwidth, or can be partitioned by
+orchestrator software and assigned to different dCOMPUBRICKs".  This
+module quantifies that: several compute-brick clients issue transactions
+against one memory brick over a configurable number of links, over the
+DES kernel, with queueing at both the links and the memory controllers.
+
+The simulation is closed-loop: each client keeps a fixed number of
+transactions outstanding (its issue window), which is how a CPU's MSHRs
+drive a memory system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.bricks import MemoryBrick
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.units import gbps, nanoseconds, transfer_time
+
+#: Fixed one-way link latency (transceivers + propagation) on the CBN.
+LINK_ONE_WAY_S = nanoseconds(150)
+
+#: Request header bytes on the wire.
+REQUEST_BYTES = 16
+
+
+@dataclass
+class ClientStats:
+    """Per-client results."""
+
+    client_id: str
+    completed: int = 0
+    total_latency_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.completed if self.completed else 0.0
+
+
+@dataclass
+class ContentionResult:
+    """Aggregate outcome of one contention run."""
+
+    duration_s: float
+    link_count: int
+    client_count: int
+    transaction_bytes: int
+    clients: list[ClientStats] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return sum(c.completed for c in self.clients)
+
+    @property
+    def throughput_bps(self) -> float:
+        """Delivered data bandwidth, bits per second."""
+        if self.duration_s == 0:
+            return 0.0
+        return self.completed * self.transaction_bytes * 8 / self.duration_s
+
+    @property
+    def mean_latency_s(self) -> float:
+        total = sum(c.total_latency_s for c in self.clients)
+        return total / self.completed if self.completed else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile across every completed transaction."""
+        samples = [lat for c in self.clients for lat in c.latencies_s]
+        if not samples:
+            return 0.0
+        return float(np.percentile(samples, percentile))
+
+
+class MemoryContentionSim:
+    """Closed-loop clients hammering one dMEMBRICK over shared links."""
+
+    def __init__(self, memory_brick: Optional[MemoryBrick] = None,
+                 link_count: int = 1,
+                 link_rate_bps: float = gbps(10),
+                 transaction_bytes: int = 64) -> None:
+        """Create the simulation.
+
+        Args:
+            memory_brick: The target brick (a default 4-module DDR4 brick
+                when omitted).  Its modules' technologies set the service
+                times; requests stripe across modules.
+            link_count: Optical links into the brick (its partitionable
+                bandwidth).
+            link_rate_bps: Line rate per link.
+            transaction_bytes: Payload per transaction.
+        """
+        if link_count < 1:
+            raise ConfigurationError(f"need >= 1 link, got {link_count}")
+        if transaction_bytes < 1:
+            raise ConfigurationError("transactions need >= 1 byte")
+        self.memory_brick = memory_brick or MemoryBrick("contention.mb")
+        self.link_count = link_count
+        self.link_rate_bps = link_rate_bps
+        self.transaction_bytes = transaction_bytes
+
+    def run(self, client_count: int, window: int = 4,
+            duration_s: float = 100e-6) -> ContentionResult:
+        """Run *client_count* clients for *duration_s* of simulated time.
+
+        Each client keeps *window* transactions outstanding.  Returns
+        aggregate throughput/latency statistics.
+        """
+        if client_count < 1:
+            raise ConfigurationError("need >= 1 client")
+        if window < 1:
+            raise ConfigurationError("issue window must be >= 1")
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+
+        sim = Simulator()
+        # Each link serializes its frames; model as a unit resource held
+        # for the serialization time.  Requests round-robin over links.
+        links = [Resource(sim, capacity=1) for _ in range(self.link_count)]
+        # One service slot per memory controller (module).
+        controllers = [Resource(sim, capacity=1)
+                       for _ in self.memory_brick.modules]
+        service_times = [
+            module.controller.service_time(self.transaction_bytes)
+            for module in self.memory_brick.modules
+        ]
+        wire_time = transfer_time(
+            self.transaction_bytes + REQUEST_BYTES, self.link_rate_bps)
+
+        result = ContentionResult(
+            duration_s=duration_s,
+            link_count=self.link_count,
+            client_count=client_count,
+            transaction_bytes=self.transaction_bytes,
+        )
+
+        def transaction(client_index: int, sequence: int,
+                        stats: ClientStats):
+            start = sim.now
+            link = links[(client_index + sequence) % len(links)]
+            grant = link.request()
+            yield grant
+            yield sim.timeout(wire_time)
+            link.release(grant)
+            yield sim.timeout(LINK_ONE_WAY_S)
+
+            controller_index = sequence % len(controllers)
+            controller = controllers[controller_index]
+            grant = controller.request()
+            yield grant
+            yield sim.timeout(service_times[controller_index])
+            controller.release(grant)
+
+            # Response: link back (data direction) + flight time.
+            link = links[(client_index + sequence) % len(links)]
+            grant = link.request()
+            yield grant
+            yield sim.timeout(wire_time)
+            link.release(grant)
+            yield sim.timeout(LINK_ONE_WAY_S)
+
+            if sim.now <= duration_s:
+                stats.completed += 1
+                latency = sim.now - start
+                stats.total_latency_s += latency
+                stats.latencies_s.append(latency)
+
+        def client(client_index: int, stats: ClientStats):
+            sequence = 0
+            while sim.now < duration_s:
+                batch = [
+                    sim.process(transaction(client_index, sequence + i, stats))
+                    for i in range(window)
+                ]
+                sequence += window
+                yield sim.all_of(batch)
+
+        for index in range(client_count):
+            stats = ClientStats(f"client-{index}")
+            result.clients.append(stats)
+            sim.process(client(index, stats))
+
+        sim.run(until=duration_s * 1.5)  # drain in-flight transactions
+        return result
+
+    def link_saturation_bps(self) -> float:
+        """Aggregate wire capacity of the configured links."""
+        return self.link_count * self.link_rate_bps

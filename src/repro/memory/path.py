@@ -1,0 +1,258 @@
+"""End-to-end remote-memory access paths.
+
+Two data-plane variants, mirroring §III:
+
+* :class:`CircuitAccessPath` — the mainline approach: transactions ride an
+  already-established optical circuit; no packetization, no MAC/PHY, no
+  per-hop arbitration.  This is the latency-minimizing design point.
+* :class:`PacketAccessPath` — the experimental packet-switched mode, whose
+  measured round-trip breakdown is Fig. 8: on-brick switch, MAC/PHY blocks
+  on both bricks, and the optical propagation delay.
+
+Both produce a :class:`~repro.memory.transactions.TransactionResult` whose
+:class:`~repro.network.latency.LatencyBreakdown` lists every block in path
+order, grouped by ``dCOMPUBRICK`` / ``optical path`` / ``dMEMBRICK``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CircuitError, RoutingError
+from repro.hardware.bricks import ComputeBrick, MemoryBrick
+from repro.network.latency import LatencyBreakdown
+from repro.network.optical.topology import FabricCircuit
+from repro.network.packet.mac_phy import MacPhy
+from repro.network.packet.nic import NetworkInterface
+from repro.network.packet.switch import OnBrickPacketSwitch
+from repro.memory.transactions import (
+    MemoryTransaction,
+    TransactionResult,
+)
+from repro.units import nanoseconds
+
+#: Fixed latency of one GTH transceiver traversal (serial/parallel
+#: conversion) on the raw circuit path, where no MAC/PHY block exists.
+TRANSCEIVER_LATENCY_S = nanoseconds(50)
+
+#: Group labels used in breakdowns (match the Fig. 8 legend).
+GROUP_COMPUTE = "dCOMPUBRICK"
+GROUP_OPTICAL = "optical path"
+GROUP_MEMORY = "dMEMBRICK"
+
+
+class CircuitAccessPath:
+    """Remote access over an established optical circuit."""
+
+    def __init__(self, compute: ComputeBrick, memory: MemoryBrick,
+                 circuit: FabricCircuit) -> None:
+        if circuit.brick_a is not compute and circuit.brick_b is not compute:
+            raise CircuitError(
+                f"circuit {circuit.circuit_id} does not touch "
+                f"{compute.brick_id}")
+        if circuit.brick_a is not memory and circuit.brick_b is not memory:
+            raise CircuitError(
+                f"circuit {circuit.circuit_id} does not touch "
+                f"{memory.brick_id}")
+        self.compute = compute
+        self.memory = memory
+        self.circuit = circuit
+
+    def access(self, txn: MemoryTransaction,
+               now: Optional[float] = None) -> TransactionResult:
+        """Drive *txn* through the circuit; returns the latency ledger.
+
+        When *now* is given, memory-controller occupancy is modelled (a
+        transaction arriving while the controller is busy queues behind
+        it); otherwise the unloaded service time is charged.
+        """
+        decision = self.compute.glue.steer(txn.address)
+        local_port = self.circuit.port_toward(self.compute)
+        if decision.egress_port_id != local_port.port_id:
+            raise CircuitError(
+                f"RMST steers {txn.address:#x} to {decision.egress_port_id}, "
+                f"but the circuit terminates on {local_port.port_id}")
+        if decision.entry.remote_brick_id != self.memory.brick_id:
+            raise CircuitError(
+                f"segment {decision.entry.segment_id} lives on "
+                f"{decision.entry.remote_brick_id}, not {self.memory.brick_id}")
+
+        prop = self.circuit.propagation_delay_s
+        request_bytes = txn.size_bytes if txn.is_write else 0
+        response_bytes = 0 if txn.is_write else txn.size_bytes
+
+        breakdown = LatencyBreakdown()
+        breakdown.add("tgl", decision.latency_s, GROUP_COMPUTE)
+        breakdown.add("transceiver",
+                      TRANSCEIVER_LATENCY_S, GROUP_COMPUTE)
+        breakdown.add("serialization",
+                      local_port.serialization_delay(request_bytes + 16),
+                      GROUP_OPTICAL)
+        breakdown.add("propagation", prop, GROUP_OPTICAL)
+        breakdown.add("transceiver", TRANSCEIVER_LATENCY_S, GROUP_MEMORY)
+
+        module, local_offset, glue_in = self.memory.glue.ingress(
+            decision.remote_address)
+        breakdown.add("glue", glue_in, GROUP_MEMORY)
+        breakdown.add("memory",
+                      self._memory_service(module, txn.size_bytes, now,
+                                           breakdown.total_s),
+                      GROUP_MEMORY)
+        breakdown.add("glue", self.memory.glue.egress_latency_s(), GROUP_MEMORY)
+        breakdown.add("transceiver", TRANSCEIVER_LATENCY_S, GROUP_MEMORY)
+        breakdown.add("serialization",
+                      local_port.serialization_delay(response_bytes + 16),
+                      GROUP_OPTICAL)
+        breakdown.add("propagation", prop, GROUP_OPTICAL)
+        breakdown.add("transceiver", TRANSCEIVER_LATENCY_S, GROUP_COMPUTE)
+        breakdown.add("tgl", self.compute.glue.response_path_latency_s,
+                      GROUP_COMPUTE)
+        return TransactionResult(
+            transaction=txn,
+            breakdown=breakdown,
+            remote_brick_id=self.memory.brick_id,
+            remote_offset=local_offset,
+        )
+
+    @staticmethod
+    def _memory_service(module, size_bytes: int, now: Optional[float],
+                        elapsed_s: float) -> float:
+        if now is None:
+            return module.controller.service_time(size_bytes)
+        arrival = now + elapsed_s
+        finish = module.controller.occupy(arrival, size_bytes)
+        return finish - arrival
+
+
+@dataclass
+class PacketPathBlocks:
+    """The PBN blocks on one brick: NI, packet switch, MAC/PHY."""
+
+    nic: NetworkInterface
+    switch: OnBrickPacketSwitch
+    mac_phy: MacPhy
+
+    @classmethod
+    def for_brick(cls, brick_id: str,
+                  switch: Optional[OnBrickPacketSwitch] = None,
+                  fec_enabled: bool = False) -> "PacketPathBlocks":
+        """Default block set named after *brick_id*."""
+        return cls(
+            nic=NetworkInterface(f"{brick_id}.ni"),
+            switch=switch or OnBrickPacketSwitch(f"{brick_id}.pswitch"),
+            mac_phy=MacPhy(f"{brick_id}.macphy", fec_enabled=fec_enabled),
+        )
+
+
+class PacketAccessPath:
+    """Remote access over the experimental packet-switched plane.
+
+    The full Fig. 8 chain, request and response:
+
+    TGL -> NI -> on-brick switch -> MAC/PHY -> wire -> MAC/PHY ->
+    on-brick switch -> glue -> memory -> glue -> NI -> switch ->
+    MAC/PHY -> wire -> MAC/PHY -> switch -> TGL.
+    """
+
+    def __init__(self, compute: ComputeBrick, memory: MemoryBrick,
+                 compute_blocks: Optional[PacketPathBlocks] = None,
+                 memory_blocks: Optional[PacketPathBlocks] = None,
+                 propagation_delay_s: float = nanoseconds(49),
+                 ) -> None:
+        self.compute = compute
+        self.memory = memory
+        self.compute_blocks = (compute_blocks
+                               or PacketPathBlocks.for_brick(compute.brick_id))
+        self.memory_blocks = (memory_blocks
+                              or PacketPathBlocks.for_brick(memory.brick_id))
+        if propagation_delay_s < 0:
+            raise RoutingError("propagation delay must be non-negative")
+        self.propagation_delay_s = propagation_delay_s
+
+    def ensure_routes(self) -> None:
+        """Install default single-port lookup entries on both switches if
+        orchestration has not programmed them yet."""
+        cswitch = self.compute_blocks.switch
+        if self.memory.brick_id not in cswitch.routed_destinations():
+            port = self.compute.packet_ports.free_ports[0]
+            cswitch.program_route(self.memory.brick_id, [port.port_id])
+        mswitch = self.memory_blocks.switch
+        if self.compute.brick_id not in mswitch.routed_destinations():
+            port = self.memory.packet_ports.free_ports[0]
+            mswitch.program_route(self.compute.brick_id, [port.port_id])
+
+    def access(self, txn: MemoryTransaction,
+               now: Optional[float] = None) -> TransactionResult:
+        """Drive *txn* through the packet plane; returns the ledger."""
+        decision = self.compute.glue.steer(txn.address)
+        if decision.entry.remote_brick_id != self.memory.brick_id:
+            raise RoutingError(
+                f"segment {decision.entry.segment_id} lives on "
+                f"{decision.entry.remote_brick_id}, not {self.memory.brick_id}")
+
+        cblocks, mblocks = self.compute_blocks, self.memory_blocks
+        breakdown = LatencyBreakdown()
+
+        # --- request: compute brick egress -------------------------------
+        breakdown.add("tgl", decision.latency_s, GROUP_COMPUTE)
+        request = cblocks.nic.frame_request(
+            txn.is_write, self.compute.brick_id, self.memory.brick_id,
+            decision.remote_address, txn.size_bytes)
+        breakdown.add("ni", cblocks.nic.pipeline_latency_s, GROUP_COMPUTE)
+        _port, switch_latency = cblocks.switch.forward(request)
+        breakdown.add("switch", switch_latency, GROUP_COMPUTE)
+        breakdown.add("mac_phy",
+                      cblocks.mac_phy.transmit_latency_s(request.frame_bytes),
+                      GROUP_COMPUTE)
+        breakdown.add("propagation", self.propagation_delay_s, GROUP_OPTICAL)
+
+        # --- request: memory brick ingress ---------------------------------
+        breakdown.add("mac_phy", mblocks.mac_phy.receive_latency_s(),
+                      GROUP_MEMORY)
+        breakdown.add("switch", mblocks.switch.traversal_latency_s,
+                      GROUP_MEMORY)
+        mblocks.switch.packets_forwarded += 1
+        module, local_offset, glue_in = self.memory.glue.ingress(
+            decision.remote_address)
+        breakdown.add("glue", glue_in, GROUP_MEMORY)
+        breakdown.add("memory",
+                      self._memory_service(module, txn.size_bytes, now,
+                                           breakdown.total_s),
+                      GROUP_MEMORY)
+
+        # --- response: memory brick egress -----------------------------------
+        breakdown.add("glue", self.memory.glue.egress_latency_s(), GROUP_MEMORY)
+        response = mblocks.nic.frame_response(request, txn.size_bytes)
+        breakdown.add("ni", mblocks.nic.pipeline_latency_s, GROUP_MEMORY)
+        _port, switch_latency = mblocks.switch.forward(response)
+        breakdown.add("switch", switch_latency, GROUP_MEMORY)
+        breakdown.add("mac_phy",
+                      mblocks.mac_phy.transmit_latency_s(response.frame_bytes),
+                      GROUP_MEMORY)
+        breakdown.add("propagation", self.propagation_delay_s, GROUP_OPTICAL)
+
+        # --- response: compute brick ingress ------------------------------------
+        breakdown.add("mac_phy", cblocks.mac_phy.receive_latency_s(),
+                      GROUP_COMPUTE)
+        breakdown.add("switch", cblocks.switch.traversal_latency_s,
+                      GROUP_COMPUTE)
+        cblocks.switch.packets_forwarded += 1
+        breakdown.add("tgl", self.compute.glue.response_path_latency_s,
+                      GROUP_COMPUTE)
+
+        return TransactionResult(
+            transaction=txn,
+            breakdown=breakdown,
+            remote_brick_id=self.memory.brick_id,
+            remote_offset=local_offset,
+        )
+
+    @staticmethod
+    def _memory_service(module, size_bytes: int, now: Optional[float],
+                        elapsed_s: float) -> float:
+        if now is None:
+            return module.controller.service_time(size_bytes)
+        arrival = now + elapsed_s
+        finish = module.controller.occupy(arrival, size_bytes)
+        return finish - arrival

@@ -1,0 +1,90 @@
+"""Remote memory segments.
+
+A *segment* is the orchestration-level unit of disaggregated memory: a
+contiguous byte range carved out of one dMEMBRICK and assigned to one
+dCOMPUBRICK (and transitively to a VM).  Segments move through a small
+life cycle driven by the SDM controller:
+
+    RESERVED -> ACTIVE -> RELEASED
+
+``RESERVED`` exists so the controller can *safely reserve* resources
+(§IV.C, role c) before any hardware is touched; ``ACTIVE`` means the RMST
+entry and circuit exist; ``RELEASED`` segments are history.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+
+
+class SegmentState(enum.Enum):
+    """Life-cycle state of a remote segment."""
+
+    RESERVED = "reserved"
+    ACTIVE = "active"
+    RELEASED = "released"
+
+
+_LEGAL = {
+    SegmentState.RESERVED: {SegmentState.ACTIVE, SegmentState.RELEASED},
+    SegmentState.ACTIVE: {SegmentState.RELEASED},
+    SegmentState.RELEASED: set(),
+}
+
+
+@dataclass
+class RemoteSegment:
+    """One allocated span of disaggregated memory.
+
+    Attributes:
+        segment_id: Orchestrator-assigned identifier.
+        memory_brick_id: The dMEMBRICK hosting the bytes.
+        offset: Byte offset of the span on that brick.
+        size: Span length in bytes.
+        compute_brick_id: The dCOMPUBRICK the segment is assigned to.
+        vm_id: The consuming VM, when the request came from one.
+    """
+
+    segment_id: str
+    memory_brick_id: str
+    offset: int
+    size: int
+    compute_brick_id: str
+    vm_id: str = ""
+    state: SegmentState = field(default=SegmentState.RESERVED)
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise AllocationError(f"offset must be non-negative: {self.offset}")
+        if self.size <= 0:
+            raise AllocationError(f"size must be positive: {self.size}")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is SegmentState.ACTIVE
+
+    def transition(self, new_state: SegmentState) -> None:
+        """Move the segment along its life cycle; rejects illegal jumps."""
+        if new_state not in _LEGAL[self.state]:
+            raise AllocationError(
+                f"segment {self.segment_id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}")
+        self.state = new_state
+
+    def activate(self) -> None:
+        self.transition(SegmentState.ACTIVE)
+
+    def release(self) -> None:
+        self.transition(SegmentState.RELEASED)
+
+    def __repr__(self) -> str:
+        return (f"RemoteSegment({self.segment_id!r}, {self.size >> 20} MiB on "
+                f"{self.memory_brick_id} @ {self.offset:#x}, "
+                f"{self.state.value})")

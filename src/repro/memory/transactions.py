@@ -1,0 +1,90 @@
+"""Memory transaction descriptors and results.
+
+Remote accesses travel the data path as read/write transactions ("the
+resulting read/write memory requests and data transactions are sent to a
+dynamically controlled on-brick switch", §III).  A transaction couples an
+operation, a local physical address and a size; the access-path models
+return a :class:`TransactionResult` carrying the latency breakdown.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+from repro.network.latency import LatencyBreakdown
+
+#: The natural transaction unit: one CPU cache line.
+CACHE_LINE_BYTES = 64
+
+
+class MemoryOp(enum.Enum):
+    """Transaction direction."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemoryTransaction:
+    """One remote memory access request.
+
+    Attributes:
+        op: Read or write.
+        address: Local physical address on the issuing compute brick.
+        size_bytes: Access size (defaults to one cache line).
+    """
+
+    op: MemoryOp
+    address: int
+    size_bytes: int = CACHE_LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise AddressError(
+                f"address must be non-negative, got {self.address:#x}")
+        if self.size_bytes <= 0:
+            raise AddressError(
+                f"transaction size must be positive, got {self.size_bytes}")
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is MemoryOp.WRITE
+
+    @classmethod
+    def read(cls, address: int,
+             size_bytes: int = CACHE_LINE_BYTES) -> "MemoryTransaction":
+        return cls(MemoryOp.READ, address, size_bytes)
+
+    @classmethod
+    def write(cls, address: int,
+              size_bytes: int = CACHE_LINE_BYTES) -> "MemoryTransaction":
+        return cls(MemoryOp.WRITE, address, size_bytes)
+
+
+@dataclass(frozen=True)
+class TransactionResult:
+    """Outcome of driving one transaction through an access path.
+
+    Attributes:
+        transaction: The request served.
+        breakdown: Per-block latency contributions, in path order.
+        remote_brick_id: The dMEMBRICK that served the access.
+        remote_offset: The brick-level offset accessed.
+    """
+
+    transaction: MemoryTransaction
+    breakdown: LatencyBreakdown
+    remote_brick_id: str
+    remote_offset: int
+
+    @property
+    def round_trip_s(self) -> float:
+        """Total round-trip latency, seconds."""
+        return self.breakdown.total_s
+
+    @property
+    def round_trip_ns(self) -> float:
+        """Total round-trip latency, nanoseconds."""
+        return self.breakdown.total_ns

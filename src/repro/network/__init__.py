@@ -1,0 +1,18 @@
+"""Interconnect models: optical circuit plane and packet plane.
+
+Section III of the paper describes two interconnection substrates:
+
+* the mainline **circuit-based network (CBN)** — brick MBO channels wired
+  through a low-loss 48-port optical circuit switch
+  (:mod:`repro.network.optical`), minimizing remote-access latency;
+* an experimental **packet-based network (PBN)** — on-brick packet
+  switches and MAC/PHY blocks for cases where physical ports run out
+  (:mod:`repro.network.packet`).
+
+:mod:`repro.network.latency` provides the latency-breakdown accounting the
+Fig. 8 experiment reports.
+"""
+
+from repro.network.latency import LatencyBreakdown, LatencyComponent
+
+__all__ = ["LatencyBreakdown", "LatencyComponent"]

@@ -1,0 +1,105 @@
+"""Latency breakdown accounting.
+
+Figure 8 of the paper presents a "break down of (hardware-level) measured
+remote memory round-trip access latency": per-block contributions of the
+on-brick switches, MAC/PHY blocks on both bricks, and the optical path
+propagation delay.  :class:`LatencyBreakdown` is the ledger those
+contributions are collected into — an ordered list of named components
+that can be merged, grouped and rendered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class LatencyComponent:
+    """One named contribution to an end-to-end latency.
+
+    Attributes:
+        name: Component label, e.g. ``"compubrick.mac_phy"``.
+        seconds: Contribution in seconds (non-negative).
+        group: Coarse grouping used by figures, e.g. ``"dCOMPUBRICK"``.
+    """
+
+    name: str
+    seconds: float
+    group: str = ""
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(
+                f"latency component {self.name!r} must be non-negative, "
+                f"got {self.seconds}")
+
+
+class LatencyBreakdown:
+    """An ordered collection of :class:`LatencyComponent` entries."""
+
+    def __init__(self, components: Iterable[LatencyComponent] = ()) -> None:
+        self._components: list[LatencyComponent] = list(components)
+
+    def add(self, name: str, seconds: float, group: str = "") -> "LatencyBreakdown":
+        """Append a component; returns self for chaining."""
+        self._components.append(LatencyComponent(name, seconds, group))
+        return self
+
+    def extend(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        """Append all components of *other*; returns self."""
+        self._components.extend(other._components)
+        return self
+
+    def __iter__(self) -> Iterator[LatencyComponent]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    @property
+    def total_s(self) -> float:
+        """Sum of all components, seconds."""
+        return sum(c.seconds for c in self._components)
+
+    @property
+    def total_ns(self) -> float:
+        """Sum of all components, nanoseconds."""
+        return self.total_s * 1e9
+
+    def by_group(self) -> dict[str, float]:
+        """Total seconds per group, insertion-ordered."""
+        groups: dict[str, float] = {}
+        for comp in self._components:
+            groups[comp.group] = groups.get(comp.group, 0.0) + comp.seconds
+        return groups
+
+    def by_name(self) -> dict[str, float]:
+        """Total seconds per component name, insertion-ordered."""
+        names: dict[str, float] = {}
+        for comp in self._components:
+            names[comp.name] = names.get(comp.name, 0.0) + comp.seconds
+        return names
+
+    def share(self, name: str) -> float:
+        """Fraction of the total contributed by components named *name*."""
+        total = self.total_s
+        if total == 0:
+            return 0.0
+        return self.by_name().get(name, 0.0) / total
+
+    def scaled(self, factor: float) -> "LatencyBreakdown":
+        """A new breakdown with every component scaled by *factor*."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return LatencyBreakdown(
+            LatencyComponent(c.name, c.seconds * factor, c.group)
+            for c in self._components)
+
+    def rows(self) -> list[tuple[str, str, float]]:
+        """``(group, name, nanoseconds)`` rows for table rendering."""
+        return [(c.group, c.name, c.seconds * 1e9) for c in self._components]
+
+    def __repr__(self) -> str:
+        return (f"LatencyBreakdown({len(self._components)} components, "
+                f"total={self.total_ns:.1f} ns)")

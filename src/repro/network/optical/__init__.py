@@ -1,0 +1,39 @@
+"""Circuit-based optical network (CBN).
+
+Models the rack's optical interconnect of §III: brick MBO channels patched
+through a HUBER+SUHNER Polatis-style 48-port low-loss optical circuit
+switch.
+
+* :mod:`repro.network.optical.ber` — OOK receiver physics (Q factor,
+  BER vs received power, measurement-floor handling).
+* :mod:`repro.network.optical.link` — link power budgets.
+* :mod:`repro.network.optical.switch` — the circuit switch (cross-connect
+  matrix, 1 dB/hop insertion loss, 100 mW/port, ms-scale reconfiguration).
+* :mod:`repro.network.optical.circuits` — multi-hop circuit setup/teardown.
+* :mod:`repro.network.optical.topology` — the rack-level optical fabric
+  facade tying bricks, switch and circuits together.
+"""
+
+from repro.network.optical.ber import (
+    BER_TARGET,
+    ReceiverModel,
+    ber_for_q,
+    q_for_ber,
+)
+from repro.network.optical.circuits import Circuit, CircuitManager
+from repro.network.optical.link import LinkBudget, OpticalLink
+from repro.network.optical.switch import OpticalCircuitSwitch
+from repro.network.optical.topology import OpticalFabric
+
+__all__ = [
+    "BER_TARGET",
+    "Circuit",
+    "CircuitManager",
+    "LinkBudget",
+    "OpticalCircuitSwitch",
+    "OpticalFabric",
+    "OpticalLink",
+    "ReceiverModel",
+    "ber_for_q",
+    "q_for_ber",
+]

@@ -1,0 +1,166 @@
+"""Optical link power budgets.
+
+A link runs from one brick's MBO channel, through one or more hops of the
+optical circuit switch, into the far brick's receiver.  The budget sums
+the loss contributions (switch hops, connectors, fibre) and yields the
+received power that the :class:`~repro.network.optical.ber.ReceiverModel`
+turns into a BER — exactly the quantity plotted in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LinkBudgetError
+from repro.network.optical.ber import BER_TARGET, ReceiverModel
+from repro.units import fibre_propagation_delay
+
+#: Insertion loss of one traversal ("hop") of the optical circuit switch.
+#: "Each hop through the optical switch module introduces approximately
+#: 1 dB of attenuation" (§III).
+SWITCH_HOP_LOSS_DB = 1.0
+
+#: Loss per mated fibre connector pair.
+CONNECTOR_LOSS_DB = 0.3
+
+#: Fibre attenuation at 1310 nm, dB/km (negligible at rack scale but
+#: accounted for completeness).
+FIBRE_LOSS_DB_PER_KM = 0.35
+
+
+@dataclass
+class LinkBudget:
+    """Itemized loss ledger of one optical link."""
+
+    launch_dbm: float
+    switch_hops: int = 0
+    connector_pairs: int = 2
+    fibre_length_m: float = 10.0
+    extra_loss_db: float = 0.0
+    hop_loss_db: float = SWITCH_HOP_LOSS_DB
+    connector_loss_db: float = CONNECTOR_LOSS_DB
+
+    def __post_init__(self) -> None:
+        if self.switch_hops < 0:
+            raise LinkBudgetError(f"hop count must be >= 0: {self.switch_hops}")
+        if self.connector_pairs < 0:
+            raise LinkBudgetError(
+                f"connector count must be >= 0: {self.connector_pairs}")
+        if self.fibre_length_m < 0:
+            raise LinkBudgetError(
+                f"fibre length must be >= 0: {self.fibre_length_m}")
+        if self.extra_loss_db < 0:
+            raise LinkBudgetError(f"extra loss must be >= 0: {self.extra_loss_db}")
+
+    @property
+    def switch_loss_db(self) -> float:
+        return self.switch_hops * self.hop_loss_db
+
+    @property
+    def connector_total_loss_db(self) -> float:
+        return self.connector_pairs * self.connector_loss_db
+
+    @property
+    def fibre_loss_db(self) -> float:
+        return (self.fibre_length_m / 1000.0) * FIBRE_LOSS_DB_PER_KM
+
+    @property
+    def total_loss_db(self) -> float:
+        """All losses between launch and receiver."""
+        return (self.switch_loss_db + self.connector_total_loss_db
+                + self.fibre_loss_db + self.extra_loss_db)
+
+    @property
+    def received_dbm(self) -> float:
+        """Power arriving at the receiver."""
+        return self.launch_dbm - self.total_loss_db
+
+    @property
+    def propagation_delay_s(self) -> float:
+        """One-way flight time over the fibre run."""
+        return fibre_propagation_delay(self.fibre_length_m)
+
+    def itemized(self) -> dict[str, float]:
+        """Per-cause loss in dB, for reporting."""
+        return {
+            "switch_hops": self.switch_loss_db,
+            "connectors": self.connector_total_loss_db,
+            "fibre": self.fibre_loss_db,
+            "extra": self.extra_loss_db,
+        }
+
+
+class OpticalLink:
+    """A unidirectional optical link: budget + receiver.
+
+    The Fig. 7 experiment instantiates one link per MBO channel, measures
+    the received power and repeatedly samples the BER.
+    """
+
+    def __init__(self, name: str, budget: LinkBudget,
+                 receiver: Optional[ReceiverModel] = None) -> None:
+        self.name = name
+        self.budget = budget
+        self.receiver = receiver or ReceiverModel()
+
+    @property
+    def received_dbm(self) -> float:
+        return self.budget.received_dbm
+
+    @property
+    def theoretical_ber(self) -> float:
+        return self.receiver.ber(self.received_dbm)
+
+    @property
+    def propagation_delay_s(self) -> float:
+        return self.budget.propagation_delay_s
+
+    def closes(self, target_ber: float = BER_TARGET) -> bool:
+        """True when the link meets *target_ber* FEC-free."""
+        return self.receiver.meets_target(self.received_dbm, target_ber)
+
+    def margin_db(self, target_ber: float = BER_TARGET) -> float:
+        """Power margin above the receiver level needed for *target_ber*."""
+        return self.received_dbm - self.receiver.required_power_dbm(target_ber)
+
+    def measure_ber(self, rng: Optional[np.random.Generator] = None,
+                    power_jitter_db: float = 0.0,
+                    bits: float = 1e12) -> tuple[float, float]:
+        """One BER measurement with optional received-power jitter.
+
+        Returns ``(received_dbm, measured_ber)``.  Jitter models
+        measurement-to-measurement variation (connector reseating,
+        polarization, temperature) as a zero-mean Gaussian on the received
+        power in dB.
+        """
+        received = self._jittered_power(rng, power_jitter_db)
+        return received, self.receiver.measure_ber(received, rng=rng, bits=bits)
+
+    def estimate_ber_q_method(self, rng: Optional[np.random.Generator] = None,
+                              power_jitter_db: float = 0.0
+                              ) -> tuple[float, float]:
+        """One Q-factor-extrapolated BER estimate.
+
+        BERs far below 1e-12 cannot be counted directly in reasonable test
+        time; the standard lab technique (and the one sub-1e-12 box plots
+        like Fig. 7 rest on) measures the Q factor and extrapolates the
+        BER through the Gaussian model.  Returns ``(received_dbm, ber)``.
+        """
+        received = self._jittered_power(rng, power_jitter_db)
+        return received, self.receiver.ber(received)
+
+    def _jittered_power(self, rng: Optional[np.random.Generator],
+                        power_jitter_db: float) -> float:
+        received = self.received_dbm
+        if power_jitter_db > 0:
+            if rng is None:
+                raise LinkBudgetError("power jitter requires an RNG")
+            received += float(rng.normal(0.0, power_jitter_db))
+        return received
+
+    def __repr__(self) -> str:
+        return (f"OpticalLink({self.name!r}, rx={self.received_dbm:.1f} dBm, "
+                f"BER={self.theoretical_ber:.2e})")

@@ -1,0 +1,167 @@
+"""Rack-level optical fabric facade.
+
+Ties together the pieces of the CBN: brick transceiver ports behind MBO
+channels, the rack circuit switch, and the circuit manager.  Orchestration
+code (the SDM controller) talks to this facade: *"give me a light path
+from compute brick X to memory brick Y"*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CircuitError, PortError
+from repro.hardware.bricks import Brick
+from repro.hardware.ports import TransceiverPort
+from repro.network.optical.ber import ReceiverModel
+from repro.network.optical.circuits import Circuit, CircuitManager
+from repro.network.optical.switch import OpticalCircuitSwitch
+
+
+@dataclass
+class FabricCircuit:
+    """A brick-to-brick circuit: the light path plus the endpoint ports."""
+
+    circuit: Circuit
+    brick_a: Brick
+    port_a: TransceiverPort
+    brick_b: Brick
+    port_b: TransceiverPort
+
+    @property
+    def circuit_id(self) -> str:
+        return self.circuit.circuit_id
+
+    @property
+    def setup_time_s(self) -> float:
+        return self.circuit.setup_time_s
+
+    @property
+    def propagation_delay_s(self) -> float:
+        return self.circuit.propagation_delay_s
+
+    def port_toward(self, brick: Brick) -> TransceiverPort:
+        """The local endpoint port on *brick*."""
+        if brick is self.brick_a:
+            return self.port_a
+        if brick is self.brick_b:
+            return self.port_b
+        raise CircuitError(
+            f"brick {brick.brick_id} is not an endpoint of {self.circuit_id}")
+
+
+class OpticalFabric:
+    """The rack's software-defined optical interconnect."""
+
+    def __init__(self, switch: Optional[OpticalCircuitSwitch] = None,
+                 receiver: Optional[ReceiverModel] = None,
+                 fibre_length_m: float = 10.0) -> None:
+        self.switch = switch or OpticalCircuitSwitch("rack-switch")
+        self.manager = CircuitManager(
+            self.switch, receiver=receiver, fibre_length_m=fibre_length_m)
+        self._attached_bricks: dict[str, Brick] = {}
+        self._fabric_circuits: dict[str, FabricCircuit] = {}
+
+    # -- wiring --------------------------------------------------------------------
+
+    def attach_brick(self, brick: Brick) -> int:
+        """Fibre every CBN port of *brick* into the switch.
+
+        Returns the number of ports attached.  Each port's launch power is
+        taken from its MBO channel.
+        """
+        if brick.brick_id in self._attached_bricks:
+            raise CircuitError(f"brick {brick.brick_id} is already attached")
+        attached = 0
+        for port in brick.circuit_ports:
+            channel = brick.mbo.channel_for_port(port)
+            self.manager.attach_endpoint(port.port_id, channel.launch_power_dbm)
+            attached += 1
+        self._attached_bricks[brick.brick_id] = brick
+        return attached
+
+    def is_attached(self, brick: Brick) -> bool:
+        return brick.brick_id in self._attached_bricks
+
+    # -- circuits -------------------------------------------------------------------
+
+    def connect(self, brick_a: Brick, brick_b: Brick,
+                hops: int = 1) -> FabricCircuit:
+        """Establish a circuit between free CBN ports of the two bricks."""
+        for brick in (brick_a, brick_b):
+            if brick.brick_id not in self._attached_bricks:
+                raise CircuitError(
+                    f"brick {brick.brick_id} is not attached to the fabric")
+            if not brick.is_powered:
+                raise CircuitError(
+                    f"brick {brick.brick_id} is powered off")
+        try:
+            port_a = brick_a.circuit_ports.allocate()
+            port_b = brick_b.circuit_ports.allocate()
+        except PortError as exc:
+            raise CircuitError(
+                f"no free CBN port: {exc}") from exc
+        circuit = self.manager.establish(port_a.port_id, port_b.port_id, hops=hops)
+        port_a.connect(port_b)
+        fabric_circuit = FabricCircuit(circuit, brick_a, port_a, brick_b, port_b)
+        self._fabric_circuits[circuit.circuit_id] = fabric_circuit
+        return fabric_circuit
+
+    def connect_channels(self, brick_a: Brick, channel_a: int,
+                         brick_b: Brick, channel_b: int,
+                         hops: int = 1) -> FabricCircuit:
+        """Establish a circuit between two *specific* MBO channels.
+
+        The Fig. 7 characterisation drives each MBO channel through a
+        known hop count; this entry point pins the endpoints instead of
+        taking the first free port.
+        """
+        port_a = brick_a.mbo.channel(channel_a).port
+        port_b = brick_b.mbo.channel(channel_b).port
+        if port_a is None or port_b is None:
+            raise CircuitError("both MBO channels must have attached ports")
+        for brick, port in ((brick_a, port_a), (brick_b, port_b)):
+            if brick.brick_id not in self._attached_bricks:
+                raise CircuitError(
+                    f"brick {brick.brick_id} is not attached to the fabric")
+            if not port.is_free:
+                raise CircuitError(f"port {port.port_id} is busy")
+        circuit = self.manager.establish(port_a.port_id, port_b.port_id,
+                                         hops=hops)
+        port_a.connect(port_b)
+        fabric_circuit = FabricCircuit(circuit, brick_a, port_a, brick_b, port_b)
+        self._fabric_circuits[circuit.circuit_id] = fabric_circuit
+        return fabric_circuit
+
+    def disconnect(self, fabric_circuit: FabricCircuit) -> None:
+        """Tear the circuit down and free both endpoint ports."""
+        circuit_id = fabric_circuit.circuit_id
+        if circuit_id not in self._fabric_circuits:
+            raise CircuitError(f"unknown fabric circuit {circuit_id!r}")
+        self.manager.teardown(circuit_id)
+        fabric_circuit.port_a.disconnect()
+        del self._fabric_circuits[circuit_id]
+
+    def circuit_between(self, brick_a: Brick,
+                        brick_b: Brick) -> Optional[FabricCircuit]:
+        """An active circuit joining the two bricks, if one exists."""
+        for fc in self._fabric_circuits.values():
+            ends = {fc.brick_a.brick_id, fc.brick_b.brick_id}
+            if ends == {brick_a.brick_id, brick_b.brick_id}:
+                return fc
+        return None
+
+    def circuits_of(self, brick: Brick) -> list[FabricCircuit]:
+        """All active circuits touching *brick*."""
+        return [fc for fc in self._fabric_circuits.values()
+                if brick in (fc.brick_a, fc.brick_b)]
+
+    @property
+    def active_circuits(self) -> list[FabricCircuit]:
+        return list(self._fabric_circuits.values())
+
+    @property
+    def power_draw_w(self) -> float:
+        """Electrical draw of the switch module."""
+        return self.switch.power_draw_w

@@ -1,0 +1,33 @@
+"""Experimental packet-based network (PBN).
+
+Section III: "Beyond this mainline approach, experimental work is put on
+exploring packet-switching as a means of interconnecting pooled resources,
+particularly to cater for cases where the system is running low in terms
+of physical ports available to accommodate new circuits.  In such a mode,
+dedicated switching and MAC/PHY blocks are used to forward memory
+transactions to on-brick destination ports as appropriate in a round-robin
+fashion."
+
+* :mod:`repro.network.packet.mac_phy` — MAC/PHY block latencies (and the
+  FEC penalty the architecture avoids).
+* :mod:`repro.network.packet.switch` — the on-brick packet switch with its
+  orchestrator-programmed lookup table and round-robin port selection.
+* :mod:`repro.network.packet.nic` — the brick Network Interface
+  (packetization of memory transactions).
+* :mod:`repro.network.packet.routing` — control-path configuration of
+  lookup tables across bricks.
+"""
+
+from repro.network.packet.mac_phy import MacPhy, MacPhyTimings
+from repro.network.packet.nic import NetworkInterface, Packet
+from repro.network.packet.routing import PacketRouteProgrammer
+from repro.network.packet.switch import OnBrickPacketSwitch
+
+__all__ = [
+    "MacPhy",
+    "MacPhyTimings",
+    "NetworkInterface",
+    "OnBrickPacketSwitch",
+    "Packet",
+    "PacketRouteProgrammer",
+]

@@ -1,0 +1,122 @@
+"""Brick Network Interface (NI): packetization of memory transactions.
+
+On the packet path, remote memory requests leave the Transaction Glue
+Logic as bus transactions and must be framed before hitting the MAC/PHY.
+The NI adds a transaction header (routing + address + operation metadata)
+and accounts a fixed packetization pipeline latency.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import nanoseconds
+
+#: Header bytes carried by each memory-transaction frame: destination and
+#: source brick ids, remote address, operation, length, sequence and CRC.
+TRANSACTION_HEADER_BYTES = 26
+
+#: Fixed NI pipeline latency per frame (framing, CRC generation).
+DEFAULT_NI_LATENCY_S = nanoseconds(80)
+
+
+class PacketKind(enum.Enum):
+    """What a frame carries."""
+
+    READ_REQUEST = "read_req"
+    READ_RESPONSE = "read_resp"
+    WRITE_REQUEST = "write_req"
+    WRITE_ACK = "write_ack"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One framed memory transaction on the PBN.
+
+    Attributes:
+        packet_id: NI-assigned sequence number.
+        kind: Request/response discriminator.
+        src_brick_id / dst_brick_id: Endpoint bricks.
+        remote_address: Target byte offset on the destination brick.
+        payload_bytes: Data bytes carried (0 for read requests / write acks).
+    """
+
+    packet_id: int
+    kind: PacketKind
+    src_brick_id: str
+    dst_brick_id: str
+    remote_address: int
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ConfigurationError(
+                f"payload must be non-negative, got {self.payload_bytes}")
+        if self.remote_address < 0:
+            raise ConfigurationError(
+                f"remote address must be non-negative, got {self.remote_address}")
+
+    @property
+    def frame_bytes(self) -> int:
+        """Total wire size: header plus payload."""
+        return TRANSACTION_HEADER_BYTES + self.payload_bytes
+
+    @property
+    def is_request(self) -> bool:
+        return self.kind in (PacketKind.READ_REQUEST, PacketKind.WRITE_REQUEST)
+
+    def response_kind(self) -> PacketKind:
+        """The frame kind answering this request."""
+        if self.kind is PacketKind.READ_REQUEST:
+            return PacketKind.READ_RESPONSE
+        if self.kind is PacketKind.WRITE_REQUEST:
+            return PacketKind.WRITE_ACK
+        raise ConfigurationError(f"{self.kind.value} is not a request")
+
+
+class NetworkInterface:
+    """The NI block on one brick."""
+
+    def __init__(self, nic_id: str,
+                 pipeline_latency_s: float = DEFAULT_NI_LATENCY_S) -> None:
+        if pipeline_latency_s < 0:
+            raise ConfigurationError("NI latency must be non-negative")
+        self.nic_id = nic_id
+        self.pipeline_latency_s = pipeline_latency_s
+        self._sequence = itertools.count()
+        self.frames_built = 0
+
+    def frame(self, kind: PacketKind, src_brick_id: str, dst_brick_id: str,
+              remote_address: int, payload_bytes: int) -> Packet:
+        """Build a frame; the caller accounts :attr:`pipeline_latency_s`."""
+        self.frames_built += 1
+        return Packet(
+            packet_id=next(self._sequence),
+            kind=kind,
+            src_brick_id=src_brick_id,
+            dst_brick_id=dst_brick_id,
+            remote_address=remote_address,
+            payload_bytes=payload_bytes,
+        )
+
+    def frame_request(self, write: bool, src_brick_id: str, dst_brick_id: str,
+                      remote_address: int, size_bytes: int) -> Packet:
+        """Frame a read/write memory request.
+
+        Write requests carry the data as payload; read requests carry none
+        (the data returns in the response).
+        """
+        kind = PacketKind.WRITE_REQUEST if write else PacketKind.READ_REQUEST
+        payload = size_bytes if write else 0
+        return self.frame(kind, src_brick_id, dst_brick_id,
+                          remote_address, payload)
+
+    def frame_response(self, request: Packet, size_bytes: int) -> Packet:
+        """Frame the response to *request* (data for reads, ack for writes)."""
+        kind = request.response_kind()
+        payload = size_bytes if kind is PacketKind.READ_RESPONSE else 0
+        return self.frame(kind, request.dst_brick_id, request.src_brick_id,
+                          request.remote_address, payload)

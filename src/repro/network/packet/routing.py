@@ -1,0 +1,116 @@
+"""Control-path programming of the packet plane.
+
+Section III: "On the control-path, dedicated orchestration resources are
+required to make sure that packet-switch lookup-tables on
+dCOMPBRICKS/dMEMBRICKS are appropriately configured at runtime."
+
+:class:`PacketRouteProgrammer` is that orchestration resource: it owns the
+registry of on-brick switches and installs consistent forward/return
+routes between brick pairs, picking PBN ports on each side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PortError, RoutingError
+from repro.hardware.bricks import Brick
+from repro.network.packet.switch import OnBrickPacketSwitch
+
+
+class PacketRouteProgrammer:
+    """Registers brick packet switches and programs pairwise routes."""
+
+    def __init__(self) -> None:
+        self._switches: dict[str, OnBrickPacketSwitch] = {}
+        self._bricks: dict[str, Brick] = {}
+        self.routes_programmed = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, brick: Brick,
+                 switch: Optional[OnBrickPacketSwitch] = None
+                 ) -> OnBrickPacketSwitch:
+        """Add *brick* to the packet plane, creating its switch if needed."""
+        if brick.brick_id in self._switches:
+            raise RoutingError(f"brick {brick.brick_id} is already registered")
+        if switch is None:
+            switch = OnBrickPacketSwitch(f"{brick.brick_id}.pswitch")
+        self._switches[brick.brick_id] = switch
+        self._bricks[brick.brick_id] = brick
+        return switch
+
+    def switch_of(self, brick_id: str) -> OnBrickPacketSwitch:
+        try:
+            return self._switches[brick_id]
+        except KeyError:
+            raise RoutingError(
+                f"brick {brick_id!r} is not on the packet plane") from None
+
+    @property
+    def registered_bricks(self) -> list[str]:
+        return sorted(self._switches)
+
+    # -- route programming -------------------------------------------------------
+
+    def connect_pair(self, brick_a: Brick, brick_b: Brick,
+                     link_count: int = 1) -> None:
+        """Wire *link_count* PBN links between two bricks and program
+        symmetric lookup-table entries on both switches."""
+        switch_a = self.switch_of(brick_a.brick_id)
+        switch_b = self.switch_of(brick_b.brick_id)
+        ports_a: list[str] = []
+        ports_b: list[str] = []
+        for _ in range(link_count):
+            try:
+                port_a = brick_a.packet_ports.allocate()
+                port_b = brick_b.packet_ports.allocate()
+            except PortError as exc:
+                raise RoutingError(
+                    f"not enough PBN ports for {link_count} links between "
+                    f"{brick_a.brick_id} and {brick_b.brick_id}: {exc}") from exc
+            port_a.connect(port_b)
+            ports_a.append(port_a.port_id)
+            ports_b.append(port_b.port_id)
+        switch_a.program_route(brick_b.brick_id, ports_a)
+        switch_b.program_route(brick_a.brick_id, ports_b)
+        self.routes_programmed += 2
+
+    def disconnect_pair(self, brick_a: Brick, brick_b: Brick) -> None:
+        """Drop the routes and free the PBN ports between two bricks."""
+        switch_a = self.switch_of(brick_a.brick_id)
+        switch_b = self.switch_of(brick_b.brick_id)
+        for port_id in switch_a.route_ports(brick_b.brick_id):
+            port = brick_a.packet_ports.by_id(port_id)
+            if not port.is_free:
+                port.disconnect()
+        switch_a.drop_route(brick_b.brick_id)
+        switch_b.drop_route(brick_a.brick_id)
+
+    def validate(self) -> list[str]:
+        """Consistency check: every route's ports exist, are PBN ports of
+        the owning brick, and lead to the claimed destination.
+
+        Returns a list of human-readable problems (empty = consistent).
+        """
+        problems: list[str] = []
+        for brick_id, switch in self._switches.items():
+            brick = self._bricks[brick_id]
+            for dst in switch.routed_destinations():
+                for port_id in switch.route_ports(dst):
+                    try:
+                        port = brick.packet_ports.by_id(port_id)
+                    except PortError:
+                        problems.append(
+                            f"{brick_id}: route to {dst} uses unknown port "
+                            f"{port_id}")
+                        continue
+                    if port.peer is None:
+                        problems.append(
+                            f"{brick_id}: route to {dst} uses unwired port "
+                            f"{port_id}")
+                    elif not port.peer.port_id.startswith(dst + "."):
+                        problems.append(
+                            f"{brick_id}: port {port_id} leads to "
+                            f"{port.peer.port_id}, not to {dst}")
+        return problems

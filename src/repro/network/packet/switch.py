@@ -1,0 +1,105 @@
+"""On-brick packet switch.
+
+Each brick participating in the PBN implements a small packet switch in
+the PL (Fig. 3: "local NI / switch").  The switch forwards memory
+transactions to on-brick destination ports "in a round-robin fashion"
+across the ports programmed for a destination, using lookup tables that
+orchestration keeps configured at runtime (§III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.network.packet.nic import Packet
+from repro.units import nanoseconds
+
+#: Fixed cut-through latency of one switch traversal.
+DEFAULT_SWITCH_LATENCY_S = nanoseconds(100)
+
+
+@dataclass
+class _RouteState:
+    """Ports serving one destination plus the round-robin cursor."""
+
+    port_ids: list[str]
+    next_index: int = 0
+
+
+class OnBrickPacketSwitch:
+    """A lookup-table packet switch with round-robin port selection."""
+
+    def __init__(self, switch_id: str,
+                 traversal_latency_s: float = DEFAULT_SWITCH_LATENCY_S) -> None:
+        if traversal_latency_s < 0:
+            raise RoutingError("switch latency must be non-negative")
+        self.switch_id = switch_id
+        self.traversal_latency_s = traversal_latency_s
+        self._routes: dict[str, _RouteState] = {}
+        self.packets_forwarded = 0
+        self.lookup_failures = 0
+
+    # -- control path (programmed by orchestration) ----------------------------
+
+    def program_route(self, dst_brick_id: str, port_ids: list[str]) -> None:
+        """Install/replace the lookup-table entry for a destination."""
+        if not port_ids:
+            raise RoutingError(
+                f"route to {dst_brick_id!r} needs at least one port")
+        if len(set(port_ids)) != len(port_ids):
+            raise RoutingError(f"duplicate ports in route to {dst_brick_id!r}")
+        self._routes[dst_brick_id] = _RouteState(list(port_ids))
+
+    def add_port_to_route(self, dst_brick_id: str, port_id: str) -> None:
+        """Append a port to an existing route (capacity scale-out)."""
+        state = self._route_state(dst_brick_id)
+        if port_id in state.port_ids:
+            raise RoutingError(
+                f"port {port_id!r} already serves {dst_brick_id!r}")
+        state.port_ids.append(port_id)
+
+    def drop_route(self, dst_brick_id: str) -> None:
+        """Remove the lookup-table entry for a destination."""
+        if dst_brick_id not in self._routes:
+            raise RoutingError(f"no route to {dst_brick_id!r}")
+        del self._routes[dst_brick_id]
+
+    def routed_destinations(self) -> list[str]:
+        """All destinations with a lookup-table entry."""
+        return sorted(self._routes)
+
+    def route_ports(self, dst_brick_id: str) -> list[str]:
+        """The ports programmed for a destination (copy)."""
+        return list(self._route_state(dst_brick_id).port_ids)
+
+    # -- data path -------------------------------------------------------------------
+
+    def forward(self, packet: Packet) -> tuple[str, float]:
+        """Select the egress port for *packet*; returns (port, latency).
+
+        Port selection is round-robin over the ports programmed for the
+        packet's destination, as §III specifies.
+        """
+        state = self._lookup(packet.dst_brick_id)
+        port_id = state.port_ids[state.next_index % len(state.port_ids)]
+        state.next_index += 1
+        self.packets_forwarded += 1
+        return port_id, self.traversal_latency_s
+
+    def _lookup(self, dst_brick_id: str) -> _RouteState:
+        if dst_brick_id not in self._routes:
+            self.lookup_failures += 1
+            raise RoutingError(
+                f"switch {self.switch_id}: no lookup entry for "
+                f"{dst_brick_id!r} (orchestration must program it)")
+        return self._routes[dst_brick_id]
+
+    def _route_state(self, dst_brick_id: str) -> _RouteState:
+        if dst_brick_id not in self._routes:
+            raise RoutingError(f"no route to {dst_brick_id!r}")
+        return self._routes[dst_brick_id]
+
+    def __repr__(self) -> str:
+        return (f"OnBrickPacketSwitch({self.switch_id!r}, "
+                f"{len(self._routes)} routes)")

@@ -1,0 +1,196 @@
+"""Rack-level elastic memory management.
+
+Project objective (§I): "an appropriately revisited design of virtual
+memory ballooning subsystem for elastic distribution of disaggregated
+memory".  In dReDBox the two mechanisms complement each other:
+
+* **hotplug segments** (the §IV scale-up path) move memory between VMs
+  and the rack pool in section-sized chunks — slow but unbounded;
+* **balloons** move pages within a VM's configured memory — fast, fine
+  grained, but bounded by what was previously configured.
+
+:class:`ElasticMemoryManager` coordinates both across the VMs of a rack:
+VMs report demand; the manager reclaims from over-provisioned guests
+first (balloon-inflate small surpluses, scale-down whole segments) and
+then grows pressured guests (balloon-deflate if reclaimable, scale-up
+otherwise).  Reclaims run before grows so freed segments are available
+for reallocation within the same pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import BalloonError, OrchestrationError, PlacementError
+from repro.software.balloon import BalloonDriver
+from repro.units import gib, mib
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.core.system import DisaggregatedRack
+
+
+@dataclass
+class ElasticityAction:
+    """One adjustment the manager performed."""
+
+    vm_id: str
+    kind: str  # "scale_up" | "scale_down" | "inflate" | "deflate"
+    size_bytes: int
+    latency_s: float
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of one :meth:`ElasticMemoryManager.rebalance` pass."""
+
+    actions: list[ElasticityAction] = field(default_factory=list)
+    unmet_demand_bytes: int = 0
+
+    @property
+    def total_latency_s(self) -> float:
+        return sum(a.latency_s for a in self.actions)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for a in self.actions if a.kind == kind)
+
+    def bytes_moved(self, kind: str) -> int:
+        return sum(a.size_bytes for a in self.actions if a.kind == kind)
+
+
+class ElasticMemoryManager:
+    """Coordinates balloons and hotplug across a rack's VMs."""
+
+    def __init__(self, system: "DisaggregatedRack",
+                 step_bytes: int = gib(1),
+                 headroom_fraction: float = 0.1,
+                 min_adjust_bytes: int = mib(64)) -> None:
+        """Create the manager.
+
+        Args:
+            system: The rack whose VMs to manage.
+            step_bytes: Hotplug granularity (one segment per step).
+            headroom_fraction: Slack provisioned above reported demand.
+            min_adjust_bytes: Dead band — imbalances smaller than this
+                are left alone, so demand jitter does not thrash the
+                balloons.
+        """
+        if step_bytes <= 0:
+            raise OrchestrationError("step size must be positive")
+        if not 0 <= headroom_fraction < 1:
+            raise OrchestrationError("headroom fraction must be in [0, 1)")
+        if min_adjust_bytes < 0:
+            raise OrchestrationError("dead band must be non-negative")
+        self.system = system
+        self.step_bytes = step_bytes
+        self.headroom_fraction = headroom_fraction
+        self.min_adjust_bytes = min_adjust_bytes
+        self._demands: dict[str, int] = {}
+        self._balloons: dict[str, BalloonDriver] = {}
+        self._segments: dict[str, list] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def manage(self, vm_id: str) -> None:
+        """Put *vm_id* under management (instantiates its balloon)."""
+        hosted = self.system.hosting(vm_id)
+        if vm_id in self._balloons:
+            raise OrchestrationError(f"VM {vm_id!r} is already managed")
+        self._balloons[vm_id] = BalloonDriver(hosted.vm)
+        self._segments[vm_id] = []
+        self._demands[vm_id] = hosted.vm.ram_bytes
+
+    def release(self, vm_id: str) -> None:
+        """Stop managing *vm_id* (deflates its balloon fully)."""
+        balloon = self._balloon(vm_id)
+        if balloon.inflated_bytes:
+            balloon.deflate(balloon.inflated_bytes)
+        del self._balloons[vm_id]
+        del self._segments[vm_id]
+        del self._demands[vm_id]
+
+    @property
+    def managed_vms(self) -> list[str]:
+        return sorted(self._balloons)
+
+    def _balloon(self, vm_id: str) -> BalloonDriver:
+        try:
+            return self._balloons[vm_id]
+        except KeyError:
+            raise OrchestrationError(f"VM {vm_id!r} is not managed") from None
+
+    # -- demand reporting ----------------------------------------------------------
+
+    def set_demand(self, vm_id: str, demand_bytes: int) -> None:
+        """Record the memory *vm_id* currently needs."""
+        self._balloon(vm_id)  # membership check
+        if demand_bytes < 0:
+            raise OrchestrationError("demand must be non-negative")
+        self._demands[vm_id] = demand_bytes
+
+    def target_bytes(self, vm_id: str) -> int:
+        """Demand plus the configured headroom."""
+        return int(self._demands[vm_id] * (1.0 + self.headroom_fraction))
+
+    # -- the rebalancing pass ---------------------------------------------------------
+
+    def rebalance(self) -> RebalanceReport:
+        """One pass: reclaim from the over-provisioned, grow the starved."""
+        report = RebalanceReport()
+        # Phase 1 — reclaim, so the pool has capacity for phase 2.
+        for vm_id in self.managed_vms:
+            self._reclaim(vm_id, report)
+        # Phase 2 — grow.
+        for vm_id in self.managed_vms:
+            self._grow(vm_id, report)
+        return report
+
+    def _reclaim(self, vm_id: str, report: RebalanceReport) -> None:
+        hosted = self.system.hosting(vm_id)
+        balloon = self._balloons[vm_id]
+        target = self.target_bytes(vm_id)
+        surplus = hosted.vm.ram_bytes - target
+        # Whole steps go back to the rack pool via scale-down.
+        while surplus >= self.step_bytes and self._segments[vm_id]:
+            segment = self._segments[vm_id].pop()
+            steps = self.system.scale_down(vm_id, segment.segment_id)
+            report.actions.append(ElasticityAction(
+                vm_id, "scale_down", segment.size, sum(steps.values())))
+            surplus = hosted.vm.ram_bytes - target
+        # Sub-step surplus is parked in the balloon (fast reclaim);
+        # jitter inside the dead band is ignored.
+        if self.min_adjust_bytes <= surplus < self.step_bytes:
+            try:
+                latency = balloon.inflate(surplus)
+            except BalloonError:
+                return  # guaranteed floor reached; leave it be
+            report.actions.append(ElasticityAction(
+                vm_id, "inflate", surplus, latency))
+
+    def _grow(self, vm_id: str, report: RebalanceReport) -> None:
+        hosted = self.system.hosting(vm_id)
+        balloon = self._balloons[vm_id]
+        target = self.target_bytes(vm_id)
+        shortfall = target - hosted.vm.ram_bytes
+        if shortfall < self.min_adjust_bytes:
+            return
+        # Fast path: give back ballooned pages first.
+        if balloon.inflated_bytes:
+            give = min(shortfall, balloon.inflated_bytes)
+            latency = balloon.deflate(give)
+            report.actions.append(ElasticityAction(
+                vm_id, "deflate", give, latency))
+            shortfall -= give
+        # Slow path: hotplug fresh segments from the pool.
+        while shortfall > 0:
+            chunk = min(self.step_bytes,
+                        max(self.step_bytes, shortfall))
+            try:
+                result = self.system.scale_up(vm_id, chunk)
+            except PlacementError:
+                report.unmet_demand_bytes += shortfall
+                return
+            self._segments[vm_id].append(result.segment)
+            report.actions.append(ElasticityAction(
+                vm_id, "scale_up", chunk, result.total_latency_s))
+            shortfall -= chunk

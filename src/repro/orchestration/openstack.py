@@ -1,0 +1,103 @@
+"""Thin OpenStack-like facade.
+
+The real SDM-C "runs as an autonomous service ... integrated with
+OpenStack" (§IV.C).  Only the surface the controller consumes is needed
+here: flavors (vCPU/RAM shapes) and a boot API that converts a flavor
+into a :class:`~repro.orchestration.requests.VmAllocationRequest` and
+hands it to whoever fulfils it (the :mod:`repro.core.flows` layer).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+
+@dataclass(frozen=True)
+class Flavor:
+    """A nova-style instance shape."""
+
+    name: str
+    vcpus: int
+    ram_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ConfigurationError(f"flavor {self.name}: vcpus must be >= 1")
+        if self.ram_bytes <= 0:
+            raise ConfigurationError(
+                f"flavor {self.name}: ram must be positive")
+
+
+#: A conventional small/medium/large/xlarge ladder.
+DEFAULT_FLAVORS = {
+    "small": Flavor("small", vcpus=1, ram_bytes=gib(2)),
+    "medium": Flavor("medium", vcpus=2, ram_bytes=gib(4)),
+    "large": Flavor("large", vcpus=4, ram_bytes=gib(8)),
+    "xlarge": Flavor("xlarge", vcpus=8, ram_bytes=gib(16)),
+}
+
+
+class OpenStackFacade:
+    """The request-intake surface of the cloud layer."""
+
+    def __init__(self, fulfiller: Callable[[VmAllocationRequest], object],
+                 flavors: Optional[dict[str, Flavor]] = None) -> None:
+        """Create the facade.
+
+        Args:
+            fulfiller: Called with each :class:`VmAllocationRequest`;
+                its return value is passed through to the caller.
+            flavors: Flavor catalogue (defaults to the standard ladder).
+        """
+        self._fulfiller = fulfiller
+        self._flavors = dict(flavors or DEFAULT_FLAVORS)
+        self._instance_ids = itertools.count()
+        self.boots_requested = 0
+
+    # -- flavors ---------------------------------------------------------------
+
+    def flavor(self, name: str) -> Flavor:
+        try:
+            return self._flavors[name]
+        except KeyError:
+            known = ", ".join(sorted(self._flavors))
+            raise ConfigurationError(
+                f"unknown flavor {name!r}; known: {known}") from None
+
+    def register_flavor(self, flavor: Flavor) -> None:
+        if flavor.name in self._flavors:
+            raise ConfigurationError(f"flavor {flavor.name!r} exists")
+        self._flavors[flavor.name] = flavor
+
+    @property
+    def flavors(self) -> list[Flavor]:
+        return sorted(self._flavors.values(), key=lambda f: f.name)
+
+    # -- boot API -----------------------------------------------------------------
+
+    def boot(self, flavor_name: str, vm_id: Optional[str] = None) -> object:
+        """Boot an instance of *flavor_name*; returns the fulfiller's
+        result (a :class:`~repro.core.flows.BootResult` in the full stack)."""
+        flavor = self.flavor(flavor_name)
+        if vm_id is None:
+            vm_id = f"vm-{next(self._instance_ids)}"
+        request = VmAllocationRequest(
+            vm_id=vm_id, vcpus=flavor.vcpus, ram_bytes=flavor.ram_bytes)
+        self.boots_requested += 1
+        return self._fulfiller(request)
+
+    def boot_custom(self, vcpus: int, ram_bytes: int,
+                    vm_id: Optional[str] = None) -> object:
+        """Boot an instance with an ad-hoc shape (no flavor)."""
+        if vm_id is None:
+            vm_id = f"vm-{next(self._instance_ids)}"
+        request = VmAllocationRequest(
+            vm_id=vm_id, vcpus=vcpus, ram_bytes=ram_bytes)
+        self.boots_requested += 1
+        return self._fulfiller(request)

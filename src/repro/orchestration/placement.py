@@ -1,0 +1,122 @@
+"""Placement policies for the SDM controller.
+
+Section IV.C requires the controller to "safely inspect resource
+availability and make a power-consumption conscious selection of
+resources".  Three policies are provided:
+
+* :class:`PowerAwarePackingPolicy` — the paper's choice: pack onto
+  already-powered, already-used bricks so unused ones stay off.  This is
+  what makes the Fig. 12 power-off fractions possible.
+* :class:`FirstFitPolicy` — the neutral baseline (registration order).
+* :class:`SpreadPolicy` — load-balancing anti-policy used by the
+  placement ablation bench: most-free-first, which maximizes the number
+  of powered bricks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+from repro.orchestration.registry import (
+    ComputeAvailability,
+    MemoryAvailability,
+)
+
+
+class PlacementPolicy(Protocol):
+    """Strategy interface for brick selection."""
+
+    def select_memory_brick(
+            self, candidates: Sequence[MemoryAvailability],
+            size_bytes: int) -> Optional[str]:
+        """Pick the dMEMBRICK to carve *size_bytes* from, or ``None``."""
+        ...
+
+    def select_compute_brick(
+            self, candidates: Sequence[ComputeAvailability],
+            vcpus: int, ram_bytes: int) -> Optional[str]:
+        """Pick the dCOMPUBRICK to host a VM, or ``None``."""
+        ...
+
+
+def _memory_fits(candidate: MemoryAvailability, size_bytes: int) -> bool:
+    return candidate.largest_span_bytes >= size_bytes
+
+
+def _compute_fits(candidate: ComputeAvailability, vcpus: int,
+                  ram_bytes: int) -> bool:
+    return candidate.free_cores >= vcpus and candidate.free_ram_bytes >= ram_bytes
+
+
+class FirstFitPolicy:
+    """Take the first candidate (registration order) that fits."""
+
+    def select_memory_brick(self, candidates: Sequence[MemoryAvailability],
+                            size_bytes: int) -> Optional[str]:
+        for candidate in candidates:
+            if _memory_fits(candidate, size_bytes):
+                return candidate.brick_id
+        return None
+
+    def select_compute_brick(self, candidates: Sequence[ComputeAvailability],
+                             vcpus: int, ram_bytes: int) -> Optional[str]:
+        for candidate in candidates:
+            if _compute_fits(candidate, vcpus, ram_bytes):
+                return candidate.brick_id
+        return None
+
+
+class PowerAwarePackingPolicy:
+    """Pack onto powered/used bricks first; within those, best fit.
+
+    Ordering for memory bricks: powered before off, then most-utilized
+    first (tightest packing), then smallest adequate span.  For compute
+    bricks: powered and VM-hosting before idle, then fewest free cores.
+    Powering on a sleeping brick is the last resort.
+    """
+
+    def select_memory_brick(self, candidates: Sequence[MemoryAvailability],
+                            size_bytes: int) -> Optional[str]:
+        fitting = [c for c in candidates if _memory_fits(c, size_bytes)]
+        if not fitting:
+            return None
+        fitting.sort(key=lambda c: (
+            not c.powered,            # powered bricks first
+            -c.utilization,           # pack the fullest
+            c.largest_span_bytes,     # then tightest fitting span
+            c.brick_id,               # deterministic tie-break
+        ))
+        return fitting[0].brick_id
+
+    def select_compute_brick(self, candidates: Sequence[ComputeAvailability],
+                             vcpus: int, ram_bytes: int) -> Optional[str]:
+        fitting = [c for c in candidates if _compute_fits(c, vcpus, ram_bytes)]
+        if not fitting:
+            return None
+        fitting.sort(key=lambda c: (
+            not c.powered,
+            not c.hosts_vms,          # co-locate with existing VMs
+            c.free_cores,             # tightest core fit
+            c.brick_id,
+        ))
+        return fitting[0].brick_id
+
+
+class SpreadPolicy:
+    """Most-free-first: maximizes brick count in use (ablation baseline)."""
+
+    def select_memory_brick(self, candidates: Sequence[MemoryAvailability],
+                            size_bytes: int) -> Optional[str]:
+        fitting = [c for c in candidates if _memory_fits(c, size_bytes)]
+        if not fitting:
+            return None
+        fitting.sort(key=lambda c: (-c.free_bytes, c.brick_id))
+        return fitting[0].brick_id
+
+    def select_compute_brick(self, candidates: Sequence[ComputeAvailability],
+                             vcpus: int, ram_bytes: int) -> Optional[str]:
+        fitting = [c for c in candidates if _compute_fits(c, vcpus, ram_bytes)]
+        if not fitting:
+            return None
+        fitting.sort(key=lambda c: (-c.free_cores, c.brick_id))
+        return fitting[0].brick_id

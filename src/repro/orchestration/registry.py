@@ -1,0 +1,184 @@
+"""Rack-wide resource inventory and availability accounting.
+
+The registry is the SDM controller's world model: which bricks exist,
+their capacities, and what is currently reserved.  Memory bricks carry a
+:class:`~repro.memory.allocator.SegmentAllocator`; compute bricks are
+tracked through their kernels/hypervisors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import OrchestrationError
+from repro.hardware.bricks import ComputeBrick, MemoryBrick
+from repro.hardware.power import PowerState
+from repro.memory.allocator import SegmentAllocator
+from repro.software.agent import SdmAgent
+from repro.software.hypervisor import Hypervisor
+from repro.software.pages import DEFAULT_SECTION_BYTES
+
+
+@dataclass
+class ComputeEntry:
+    """Registry record of one compute brick."""
+
+    brick: ComputeBrick
+    hypervisor: Hypervisor
+    agent: SdmAgent
+
+
+@dataclass
+class MemoryEntry:
+    """Registry record of one memory brick."""
+
+    brick: MemoryBrick
+    allocator: SegmentAllocator
+    #: Set when the brick has failed; failed bricks never host segments.
+    failed: bool = False
+
+
+@dataclass(frozen=True)
+class ComputeAvailability:
+    """Snapshot of a compute brick's free capacity."""
+
+    brick_id: str
+    free_cores: int
+    free_ram_bytes: int
+    powered: bool
+    hosts_vms: bool
+
+
+@dataclass(frozen=True)
+class MemoryAvailability:
+    """Snapshot of a memory brick's free capacity."""
+
+    brick_id: str
+    free_bytes: int
+    largest_span_bytes: int
+    utilization: float
+    powered: bool
+
+
+class ResourceRegistry:
+    """Inventory of every brick the SDM controller manages."""
+
+    def __init__(self, segment_alignment: int = DEFAULT_SECTION_BYTES) -> None:
+        self.segment_alignment = segment_alignment
+        self._compute: dict[str, ComputeEntry] = {}
+        self._memory: dict[str, MemoryEntry] = {}
+
+    # -- registration -------------------------------------------------------------
+
+    def register_compute(self, brick: ComputeBrick, hypervisor: Hypervisor,
+                         agent: SdmAgent) -> ComputeEntry:
+        if brick.brick_id in self._compute:
+            raise OrchestrationError(
+                f"compute brick {brick.brick_id} already registered")
+        entry = ComputeEntry(brick, hypervisor, agent)
+        self._compute[brick.brick_id] = entry
+        return entry
+
+    def register_memory(self, brick: MemoryBrick) -> MemoryEntry:
+        if brick.brick_id in self._memory:
+            raise OrchestrationError(
+                f"memory brick {brick.brick_id} already registered")
+        allocator = SegmentAllocator(
+            brick.capacity_bytes, alignment=self.segment_alignment)
+        entry = MemoryEntry(brick, allocator)
+        self._memory[brick.brick_id] = entry
+        return entry
+
+    # -- lookups ----------------------------------------------------------------------
+
+    def compute(self, brick_id: str) -> ComputeEntry:
+        try:
+            return self._compute[brick_id]
+        except KeyError:
+            raise OrchestrationError(
+                f"unknown compute brick {brick_id!r}") from None
+
+    def memory(self, brick_id: str) -> MemoryEntry:
+        try:
+            return self._memory[brick_id]
+        except KeyError:
+            raise OrchestrationError(
+                f"unknown memory brick {brick_id!r}") from None
+
+    @property
+    def compute_entries(self) -> list[ComputeEntry]:
+        return list(self._compute.values())
+
+    @property
+    def memory_entries(self) -> list[MemoryEntry]:
+        return list(self._memory.values())
+
+    # -- availability snapshots ---------------------------------------------------------
+
+    def compute_availability(self) -> list[ComputeAvailability]:
+        """Free capacity of every compute brick."""
+        snapshots = []
+        for entry in self._compute.values():
+            hypervisor = entry.hypervisor
+            snapshots.append(ComputeAvailability(
+                brick_id=entry.brick.brick_id,
+                free_cores=(entry.brick.core_count
+                            - hypervisor.cores_in_use()),
+                free_ram_bytes=hypervisor.kernel.available_bytes,
+                powered=entry.brick.is_powered,
+                hosts_vms=bool(hypervisor.vms),
+            ))
+        return snapshots
+
+    def memory_availability(self) -> list[MemoryAvailability]:
+        """Free capacity of every healthy memory brick."""
+        return [
+            MemoryAvailability(
+                brick_id=entry.brick.brick_id,
+                free_bytes=entry.allocator.free_bytes,
+                largest_span_bytes=entry.allocator.largest_free_span,
+                utilization=entry.allocator.utilization,
+                powered=entry.brick.is_powered,
+            )
+            for entry in self._memory.values()
+            if not entry.failed
+        ]
+
+    def mark_memory_failed(self, brick_id: str) -> MemoryEntry:
+        """Exclude a failed memory brick from all future placement."""
+        entry = self.memory(brick_id)
+        entry.failed = True
+        entry.brick.power_off()
+        return entry
+
+    # -- power management ------------------------------------------------------------------
+
+    def power_off_idle_bricks(self) -> list[str]:
+        """Power down every brick with no allocation; returns their ids.
+
+        This is the TCO lever of §VI: "evaluate the number of unutilized
+        individually powered units that can be powered off".
+        """
+        powered_off: list[str] = []
+        for entry in self._compute.values():
+            if not entry.hypervisor.vms and entry.brick.is_powered:
+                entry.brick.power_off()
+                powered_off.append(entry.brick.brick_id)
+        for entry in self._memory.values():
+            if entry.allocator.allocation_count == 0 and entry.brick.is_powered:
+                entry.brick.power_off()
+                powered_off.append(entry.brick.brick_id)
+        return powered_off
+
+    def ensure_powered(self, brick_id: str) -> bool:
+        """Power a brick on if needed; returns True when it was off."""
+        if brick_id in self._compute:
+            brick = self._compute[brick_id].brick
+        elif brick_id in self._memory:
+            brick = self._memory[brick_id].brick
+        else:
+            raise OrchestrationError(f"unknown brick {brick_id!r}")
+        was_off = brick.power_state is PowerState.OFF
+        brick.power_on()
+        return was_off

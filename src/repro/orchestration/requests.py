@@ -1,0 +1,50 @@
+"""Allocation request records flowing into the SDM controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OrchestrationError
+
+
+@dataclass(frozen=True)
+class VmAllocationRequest:
+    """A VM/bare-metal allocation request, as received from OpenStack
+    (§IV.C role a).
+
+    Attributes:
+        vm_id: Requested instance identifier.
+        vcpus: Cores the instance needs.
+        ram_bytes: Memory the instance needs at boot.
+    """
+
+    vm_id: str
+    vcpus: int
+    ram_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise OrchestrationError(f"vcpus must be >= 1, got {self.vcpus}")
+        if self.ram_bytes <= 0:
+            raise OrchestrationError(
+                f"ram must be positive, got {self.ram_bytes}")
+
+
+@dataclass(frozen=True)
+class MemoryAllocationRequest:
+    """A dynamic scale-up request for an existing instance.
+
+    Attributes:
+        compute_brick_id: The brick whose VM wants more memory.
+        vm_id: The consuming VM.
+        size_bytes: How much memory to attach.
+    """
+
+    compute_brick_id: str
+    vm_id: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise OrchestrationError(
+                f"size must be positive, got {self.size_bytes}")

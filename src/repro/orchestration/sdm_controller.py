@@ -1,0 +1,382 @@
+"""The Software-Defined Memory Controller (SDM-C).
+
+Section IV.C assigns the SDM-C four roles:
+
+  a) receive VM/bare-metal allocation requests from OpenStack;
+  b) safely inspect resource availability and make a power-consumption
+     conscious selection of resources;
+  c) safely reserve selected resources;
+  d) generate all the necessary configurations and push them via
+     appropriate interfaces to all involved devices.
+
+The controller implements the :class:`~repro.software.scaleup.MemoryAllocator`
+protocol so :class:`~repro.software.scaleup.ScaleUpController` instances can
+drive it, and reuses/establishes optical circuits through the
+:class:`~repro.network.optical.topology.OpticalFabric`.
+
+Reservation is a *critical section* — the "safely" in roles (b) and (c).
+In timed simulations (Fig. 10) concurrent requests serialize on it; the
+synchronous API here accounts its latency per request.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PlacementError, ReservationError
+from repro.hardware.rmst import SegmentEntry
+from repro.memory.address import align_up
+from repro.memory.segments import RemoteSegment, SegmentState
+from repro.network.optical.topology import FabricCircuit, OpticalFabric
+from repro.orchestration.placement import (
+    PlacementPolicy,
+    PowerAwarePackingPolicy,
+)
+from repro.orchestration.registry import ResourceRegistry
+from repro.orchestration.requests import (
+    MemoryAllocationRequest,
+    VmAllocationRequest,
+)
+from repro.software.scaleup import AttachTicket
+from repro.units import milliseconds
+
+
+@dataclass(frozen=True)
+class SdmTimings:
+    """Latency parameters of SDM-C operations."""
+
+    #: Critical-section work per request: inspect + reserve (roles b, c).
+    reservation_s: float = milliseconds(5)
+    #: Generating and pushing configurations (role d), excluding the
+    #: circuit-switch reconfiguration itself.
+    config_generation_s: float = milliseconds(2)
+    #: Brick power-on settle time when a sleeping brick must wake.
+    power_on_s: float = milliseconds(500)
+
+
+DEFAULT_SDM_TIMINGS = SdmTimings()
+
+
+@dataclass
+class _SegmentRecord:
+    """Controller-private record of a live segment."""
+
+    segment: RemoteSegment
+    entry: SegmentEntry
+    circuit: FabricCircuit
+
+
+class SdmController:
+    """The rack's SDM-C service."""
+
+    def __init__(self, registry: ResourceRegistry, fabric: OpticalFabric,
+                 policy: Optional[PlacementPolicy] = None,
+                 timings: SdmTimings = DEFAULT_SDM_TIMINGS) -> None:
+        self.registry = registry
+        self.fabric = fabric
+        self.policy = policy or PowerAwarePackingPolicy()
+        self.timings = timings
+        self._segments: dict[str, _SegmentRecord] = {}
+        self._segment_ids = itertools.count()
+        #: circuit_id -> number of segments riding it.
+        self._circuit_refs: dict[str, int] = {}
+        self.allocations = 0
+        self.releases = 0
+
+    # ------------------------------------------------------------------
+    # MemoryAllocator protocol (consumed by ScaleUpController)
+    # ------------------------------------------------------------------
+
+    def allocate(self, compute_brick_id: str, vm_id: str,
+                 size_bytes: int) -> AttachTicket:
+        """Reserve a remote segment + circuit for *compute_brick_id*.
+
+        Returns an :class:`AttachTicket` whose ``control_latency_s``
+        covers reservation, any brick power-on, circuit setup (only when
+        a new circuit is needed) and configuration generation.
+        """
+        compute_entry = self.registry.compute(compute_brick_id)
+        padded = align_up(size_bytes, self.registry.segment_alignment)
+        latency = self.timings.reservation_s
+
+        # Walk the policy's preferences, skipping bricks we cannot reach:
+        # a brick with space but no free optical port toward us is the
+        # "running low in terms of physical ports" situation of §III.
+        candidates = self.registry.memory_availability()
+        target_id: Optional[str] = None
+        while candidates:
+            pick = self.policy.select_memory_brick(candidates, padded)
+            if pick is None:
+                break
+            memory_entry = self.registry.memory(pick)
+            if self._circuit_feasible(compute_entry.brick, memory_entry.brick):
+                target_id = pick
+                break
+            candidates = [c for c in candidates if c.brick_id != pick]
+        if target_id is None:
+            raise PlacementError(
+                f"no reachable dMEMBRICK can host {padded} contiguous bytes "
+                f"for {compute_brick_id} (capacity or optical ports exhausted)")
+        memory_entry = self.registry.memory(target_id)
+
+        if self.registry.ensure_powered(target_id):
+            latency += self.timings.power_on_s
+
+        offset = memory_entry.allocator.allocate(padded)
+        segment = RemoteSegment(
+            segment_id=f"seg-{next(self._segment_ids)}",
+            memory_brick_id=target_id,
+            offset=offset,
+            size=padded,
+            compute_brick_id=compute_brick_id,
+            vm_id=vm_id,
+        )
+
+        # Reuse a live circuit between the pair when one exists; else
+        # program a new one through the optical switch.
+        circuit = self.fabric.circuit_between(
+            compute_entry.brick, memory_entry.brick)
+        if circuit is None:
+            circuit = self.fabric.connect(
+                compute_entry.brick, memory_entry.brick)
+            latency += circuit.setup_time_s
+        self._circuit_refs[circuit.circuit_id] = (
+            self._circuit_refs.get(circuit.circuit_id, 0) + 1)
+
+        window = compute_entry.agent.kernel.address_map.reserve_window(
+            segment.segment_id, padded)
+        entry = SegmentEntry(
+            segment_id=segment.segment_id,
+            base=window.base,
+            size=padded,
+            remote_brick_id=target_id,
+            remote_offset=offset,
+            egress_port_id=circuit.port_toward(compute_entry.brick).port_id,
+        )
+        latency += self.timings.config_generation_s
+
+        self._segments[segment.segment_id] = _SegmentRecord(
+            segment, entry, circuit)
+        self.allocations += 1
+        return AttachTicket(segment=segment, rmst_entry=entry,
+                            control_latency_s=latency)
+
+    def _circuit_feasible(self, compute_brick, memory_brick) -> bool:
+        """Can traffic flow between the two bricks?
+
+        True when a live circuit already joins them, or both still have a
+        free CBN port for a new one.
+        """
+        if self.fabric.circuit_between(compute_brick, memory_brick):
+            return True
+        return bool(compute_brick.circuit_ports.free_ports
+                    and memory_brick.circuit_ports.free_ports)
+
+    def can_reach(self, compute_brick_id: str, memory_brick_id: str) -> bool:
+        """Public reachability probe (used by migration pre-flight)."""
+        return self._circuit_feasible(
+            self.registry.compute(compute_brick_id).brick,
+            self.registry.memory(memory_brick_id).brick)
+
+    def release(self, segment_id: str) -> float:
+        """Free a segment; tears the circuit down when unreferenced."""
+        record = self._segments.pop(segment_id, None)
+        if record is None:
+            raise ReservationError(f"unknown segment {segment_id!r}")
+        memory_entry = self.registry.memory(record.segment.memory_brick_id)
+        memory_entry.allocator.free(record.segment.offset)
+        latency = self.timings.reservation_s
+
+        circuit_id = record.circuit.circuit_id
+        self._circuit_refs[circuit_id] -= 1
+        if self._circuit_refs[circuit_id] == 0:
+            del self._circuit_refs[circuit_id]
+            self.fabric.disconnect(record.circuit)
+            latency += record.circuit.circuit.setup_time_s
+        self.releases += 1
+        return latency
+
+    # ------------------------------------------------------------------
+    # Migration support: re-point a segment at a new compute brick
+    # ------------------------------------------------------------------
+
+    def repoint_segment(self, segment_id: str,
+                        new_compute_brick_id: str) -> tuple[SegmentEntry, float]:
+        """Re-assign a live segment to a different compute brick.
+
+        This is the disaggregation migration win: the memory *content*
+        never moves — the controller only swings the light path and
+        issues a fresh RMST entry for the new brick.  Returns the entry
+        the new brick's agent must program, plus the control latency.
+
+        The caller is responsible for the source-side teardown (agent
+        detach/unprogram) and the target-side attach, in that order.
+        """
+        record = self._segments.get(segment_id)
+        if record is None:
+            raise ReservationError(f"unknown segment {segment_id!r}")
+        target_entry = self.registry.compute(new_compute_brick_id)
+        memory_entry = self.registry.memory(record.segment.memory_brick_id)
+        if not self._circuit_feasible(target_entry.brick, memory_entry.brick):
+            raise PlacementError(
+                f"no optical path from {new_compute_brick_id} to "
+                f"{record.segment.memory_brick_id}")
+
+        latency = self.timings.reservation_s
+
+        # Swing the circuit: drop the old reference, take/make a new one.
+        old_circuit = record.circuit
+        self._circuit_refs[old_circuit.circuit_id] -= 1
+        if self._circuit_refs[old_circuit.circuit_id] == 0:
+            del self._circuit_refs[old_circuit.circuit_id]
+            self.fabric.disconnect(old_circuit)
+        new_circuit = self.fabric.circuit_between(
+            target_entry.brick, memory_entry.brick)
+        if new_circuit is None:
+            new_circuit = self.fabric.connect(
+                target_entry.brick, memory_entry.brick)
+            latency += new_circuit.setup_time_s
+        self._circuit_refs[new_circuit.circuit_id] = (
+            self._circuit_refs.get(new_circuit.circuit_id, 0) + 1)
+
+        segment = record.segment
+        segment.compute_brick_id = new_compute_brick_id
+        window = target_entry.agent.kernel.address_map.reserve_window(
+            segment.segment_id, segment.size)
+        entry = SegmentEntry(
+            segment_id=segment.segment_id,
+            base=window.base,
+            size=segment.size,
+            remote_brick_id=segment.memory_brick_id,
+            remote_offset=segment.offset,
+            egress_port_id=new_circuit.port_toward(
+                target_entry.brick).port_id,
+        )
+        latency += self.timings.config_generation_s
+        record.entry = entry
+        record.circuit = new_circuit
+        return entry, latency
+
+    # ------------------------------------------------------------------
+    # VM allocation (role a: requests arriving from OpenStack)
+    # ------------------------------------------------------------------
+
+    def place_vm(self, request: VmAllocationRequest) -> tuple[str, float]:
+        """Choose a compute brick for *request*; returns (brick, latency).
+
+        Local brick RAM may be insufficient for the request — boot-time
+        memory beyond local DRAM is attached through :meth:`allocate` by
+        the caller (see :mod:`repro.core.flows`).
+        """
+        latency = self.timings.reservation_s
+        candidates = self.registry.compute_availability()
+        # Boot RAM beyond the brick's local DRAM comes from remote
+        # segments, so only the vCPU requirement gates placement here.
+        brick_id = self.policy.select_compute_brick(
+            candidates, request.vcpus, ram_bytes=0)
+        if brick_id is None:
+            raise PlacementError(
+                f"no dCOMPUBRICK has {request.vcpus} free cores")
+        if self.registry.ensure_powered(brick_id):
+            latency += self.timings.power_on_s
+        return brick_id, latency
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+
+    def scan_unhealthy_circuits(self, target_ber: float = 1e-12
+                                ) -> list[FabricCircuit]:
+        """Circuits carrying segments whose links no longer close.
+
+        Optical paths degrade in service (connector contamination, fibre
+        stress); the SDM-C periodically audits every circuit it manages
+        against the FEC-free BER target.
+        """
+        unhealthy: list[FabricCircuit] = []
+        seen: set[str] = set()
+        for record in self._segments.values():
+            circuit = record.circuit
+            if circuit.circuit_id in seen:
+                continue
+            seen.add(circuit.circuit_id)
+            if not circuit.circuit.closes(target_ber):
+                unhealthy.append(circuit)
+        return unhealthy
+
+    def repair_circuit(self, circuit_id: str) -> float:
+        """Re-establish a degraded circuit and re-program its segments.
+
+        The light path is torn down and rebuilt (a fresh path through
+        the switch avoids the lossy patch); every segment that rode it
+        gets a new RMST entry with the same local window — no hotplug is
+        needed, since the memory and its mapping are unchanged.  Returns
+        the total control latency.
+        """
+        riders = [record for record in self._segments.values()
+                  if record.circuit.circuit_id == circuit_id]
+        if not riders:
+            raise ReservationError(
+                f"no managed segments ride circuit {circuit_id!r}")
+        old_circuit = riders[0].circuit
+        compute_brick = (old_circuit.brick_a
+                         if old_circuit.brick_a.brick_id
+                         == riders[0].segment.compute_brick_id
+                         else old_circuit.brick_b)
+        memory_brick = (old_circuit.brick_b
+                        if compute_brick is old_circuit.brick_a
+                        else old_circuit.brick_a)
+
+        latency = self.timings.reservation_s
+        del self._circuit_refs[circuit_id]
+        self.fabric.disconnect(old_circuit)
+        new_circuit = self.fabric.connect(compute_brick, memory_brick)
+        latency += new_circuit.setup_time_s
+        self._circuit_refs[new_circuit.circuit_id] = len(riders)
+
+        agent = self.registry.compute(compute_brick.brick_id).agent
+        for record in riders:
+            new_entry = SegmentEntry(
+                segment_id=record.entry.segment_id,
+                base=record.entry.base,
+                size=record.entry.size,
+                remote_brick_id=record.entry.remote_brick_id,
+                remote_offset=record.entry.remote_offset,
+                egress_port_id=new_circuit.port_toward(
+                    compute_brick).port_id,
+            )
+            latency += agent.unprogram_segment(record.entry.segment_id)
+            latency += agent.program_segment(new_entry)
+            record.entry = new_entry
+            record.circuit = new_circuit
+        latency += self.timings.config_generation_s
+        return latency
+
+    def impacted_by_memory_brick(self, brick_id: str
+                                 ) -> list[RemoteSegment]:
+        """Segments whose backing memory lives on *brick_id*."""
+        return self.segments_on(brick_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def live_segments(self) -> list[RemoteSegment]:
+        return [r.segment for r in self._segments.values()]
+
+    def segments_on(self, memory_brick_id: str) -> list[RemoteSegment]:
+        return [r.segment for r in self._segments.values()
+                if r.segment.memory_brick_id == memory_brick_id]
+
+    def segment_record(self, segment_id: str) -> _SegmentRecord:
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise ReservationError(f"unknown segment {segment_id!r}") from None
+
+    def circuit_utilization(self) -> dict[str, int]:
+        """Live circuits and how many segments ride each."""
+        return dict(self._circuit_refs)

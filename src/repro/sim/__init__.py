@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel.
+
+The dReDBox paper evaluated its prototype on real hardware with wall-clock
+instrumentation.  This package is the substitute substrate: a small,
+deterministic discrete-event simulation (DES) kernel in the style of SimPy.
+
+* :mod:`repro.sim.engine` — event heap, :class:`Simulator`, generator-based
+  :class:`Process` coroutines, timeouts and condition events.
+* :mod:`repro.sim.resources` — contention primitives (:class:`Resource`,
+  :class:`Store`) used to model serialized controllers and queues.
+* :mod:`repro.sim.rng` — named, reproducible random-number streams.
+* :mod:`repro.sim.trace` — structured event tracing and counters.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngRegistry, stable_stream_seed
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "stable_stream_seed",
+]

@@ -1,0 +1,393 @@
+"""Core discrete-event simulation engine.
+
+The engine follows the classic event-heap design: a priority queue of
+``(time, priority, sequence, event)`` entries, popped in order, with each
+popped event running its callbacks.  Model code is written as generator
+functions ("processes") that ``yield`` events; the :class:`Process` wrapper
+resumes the generator whenever the yielded event triggers.
+
+The kernel is deliberately small but complete enough for the whole library:
+timeouts, process joining, failure propagation, interrupts, and ``AnyOf`` /
+``AllOf`` condition events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Default scheduling priority; lower numbers run first at equal times.
+NORMAL_PRIORITY = 1
+#: Priority used for immediate resumption of processes (runs before normal).
+URGENT_PRIORITY = 0
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* once a value (or an
+    exception) has been scheduled for it, and *processed* after its
+    callbacks have run.  Callbacks receive the event itself.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    #: Sentinel distinguishing "no value yet" from an explicit ``None``.
+    PENDING = object()
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = Event.PENDING
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a scheduled outcome."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event carries a value rather than an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event outcome; raises if the event is still pending."""
+        if self._value is Event.PENDING:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to succeed with *value* after *delay*."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fail with *exception* after *delay*."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self, delay=delay)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim.schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running generator coroutine; also an event (fires on completion).
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event succeeds, its value is sent back into the generator; when it
+    fails, the exception is thrown into the generator (and considered
+    handled if the generator survives the throw).
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        carrier = Event(self.sim)
+        carrier.callbacks.append(self._resume)
+        carrier.fail(Interrupt(cause))
+
+    # -- generator driving ----------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the outcome of *trigger*."""
+        self._waiting_on = None
+        while True:
+            try:
+                if trigger._ok:
+                    yielded = self._generator.send(
+                        None if trigger._value is Event.PENDING else trigger._value)
+                else:
+                    yielded = self._generator.throw(trigger._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt as exc:
+                # An unhandled interrupt terminates the process as a failure.
+                self.fail(exc)
+                return
+            except Exception as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(yielded, Event):
+                error = SimulationError(
+                    f"process yielded {yielded!r}; processes must yield events")
+                self._generator.close()
+                self.fail(error)
+                return
+            if yielded.sim is not self.sim:
+                error = SimulationError(
+                    "process yielded an event bound to a different simulator")
+                self._generator.close()
+                self.fail(error)
+                return
+
+            if yielded._processed:
+                # Already-processed events resume the generator immediately,
+                # within this same callback, preserving causal time.
+                trigger = yielded
+                continue
+            self._waiting_on = yielded
+            yielded.callbacks.append(self._resume)
+            return
+
+
+class _Condition(Event):
+    """Base for events that aggregate the outcome of several events."""
+
+    __slots__ = ("_events", "_outstanding")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError(
+                    "condition mixes events from different simulators")
+        self._outstanding = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event._processed:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        """Values of all constituents that have already *occurred*.
+
+        Checks ``_processed`` (the event fired), not ``_triggered`` —
+        timeouts are born triggered but have not happened yet.
+        """
+        return {
+            event: event._value
+            for event in self._events
+            if event._processed and event._ok
+        }
+
+
+class AllOf(_Condition):
+    """Succeeds when every constituent event has succeeded.
+
+    Fails as soon as any constituent fails, with that event's exception.
+    The success value is a dict mapping each event to its value.
+    """
+
+    __slots__ = ()
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Succeeds when the first constituent event succeeds.
+
+    Fails only if the *first* event to trigger fails.  The success value is
+    a dict of all constituents that had succeeded by that moment.
+    """
+
+    __slots__ = ()
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: owns the clock and the pending-event heap."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL_PRIORITY) -> None:
+        """Enqueue a triggered *event* to be processed after *delay*."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+
+    # -- event factories --------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a pending event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after *delay* seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a process from *generator*; returns its completion event."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of *events* have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of *events* succeeds."""
+        return AnyOf(self, events)
+
+    # -- running ----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event from the heap."""
+        if not self._heap:
+            raise SimulationError("simulation heap is empty")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks:
+            # A failed event nobody waited on would silently swallow the
+            # error; surface it instead (mirrors SimPy's behaviour).
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<float>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until that event is processed and return
+          its value (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            if sentinel.sim is not self:
+                raise SimulationError("cannot run until a foreign event")
+            while not sentinel._processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the target event fired")
+                self.step()
+            if not sentinel._ok:
+                raise sentinel._value
+            return sentinel._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon}; clock is already at {self._now}")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,72 @@
+"""The SDM Agent running on each dCOMPUBRICK's OS.
+
+Section IV.C: the SDM Controller interacts "with agents (SDM Agents)
+running on the OS of dCOMPUBRICKs".  The agent is the controller's hands
+on the brick: it programs the RMST/glue with pushed configurations and
+drives the kernel's attach/detach operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OrchestrationError
+from repro.hardware.rmst import SegmentEntry
+from repro.memory.segments import RemoteSegment
+from repro.software.kernel import BaremetalKernel
+from repro.units import microseconds, milliseconds
+
+
+@dataclass(frozen=True)
+class AgentTimings:
+    """Latency parameters of agent operations."""
+
+    #: One controller->agent RPC over the management network.
+    rpc_latency_s: float = milliseconds(0.5)
+    #: Programming one RMST entry through the glue-logic registers.
+    rmst_program_s: float = microseconds(200)
+
+
+DEFAULT_AGENT_TIMINGS = AgentTimings()
+
+
+class SdmAgent:
+    """Applies SDM-C configuration pushes on one compute brick."""
+
+    def __init__(self, kernel: BaremetalKernel,
+                 timings: AgentTimings = DEFAULT_AGENT_TIMINGS) -> None:
+        self.kernel = kernel
+        self.timings = timings
+        self.configs_applied = 0
+
+    @property
+    def brick_id(self) -> str:
+        return self.kernel.brick.brick_id
+
+    def program_segment(self, entry: SegmentEntry) -> float:
+        """Install an RMST entry pushed by the controller; returns latency."""
+        self.kernel.brick.rmst.install(entry)
+        self.configs_applied += 1
+        return self.timings.rpc_latency_s + self.timings.rmst_program_s
+
+    def unprogram_segment(self, segment_id: str) -> float:
+        """Evict an RMST entry; returns latency."""
+        self.kernel.brick.rmst.evict(segment_id)
+        self.configs_applied += 1
+        return self.timings.rpc_latency_s + self.timings.rmst_program_s
+
+    def attach_segment(self, segment: RemoteSegment) -> float:
+        """Drive the kernel attach (hotplug add+online); returns latency."""
+        if segment.compute_brick_id != self.brick_id:
+            raise OrchestrationError(
+                f"segment {segment.segment_id} targets "
+                f"{segment.compute_brick_id}, agent runs on {self.brick_id}")
+        _record, latency = self.kernel.attach_segment(segment)
+        self.configs_applied += 1
+        return self.timings.rpc_latency_s + latency
+
+    def detach_segment(self, segment_id: str) -> float:
+        """Drive the kernel detach (offline+remove); returns latency."""
+        latency = self.kernel.detach_segment(segment_id)
+        self.configs_applied += 1
+        return self.timings.rpc_latency_s + latency

@@ -1,0 +1,91 @@
+"""Memory ballooning for elastic redistribution.
+
+One of the project objectives is "an appropriately revisited design of
+virtual memory ballooning subsystem for elastic distribution of
+disaggregated memory" (§I).  The balloon reclaims guest pages without the
+latency of DIMM unplug: inflating the balloon takes memory *from* the
+guest (making it available to others), deflating gives it back.
+
+In the dReDBox design the balloon complements hotplug: hotplug changes
+the guest's configured memory (slow, section-granular), the balloon moves
+pages within it (fast, page-granular).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BalloonError
+from repro.software.vm import VirtualMachine
+from repro.units import milliseconds
+
+
+@dataclass(frozen=True)
+class BalloonTimings:
+    """Latency parameters of balloon operations."""
+
+    #: Per-GiB cost of inflating (guest must find and release pages).
+    inflate_per_gib_s: float = milliseconds(35)
+    #: Per-GiB cost of deflating (returning pages is nearly free).
+    deflate_per_gib_s: float = milliseconds(5)
+
+
+DEFAULT_BALLOON_TIMINGS = BalloonTimings()
+
+_GIB = 1 << 30
+
+
+class BalloonDriver:
+    """The virtio-balloon instance of one VM."""
+
+    def __init__(self, vm: VirtualMachine,
+                 timings: BalloonTimings = DEFAULT_BALLOON_TIMINGS,
+                 guaranteed_bytes: int = 0) -> None:
+        """Create the driver.
+
+        Args:
+            vm: The guest this balloon lives in.
+            timings: Latency parameters.
+            guaranteed_bytes: Floor below which inflation may not push the
+                guest's visible memory (defaults to half the initial RAM).
+        """
+        self.vm = vm
+        self.timings = timings
+        self.guaranteed_bytes = (guaranteed_bytes
+                                 or vm.initial_ram_bytes // 2)
+
+    @property
+    def inflated_bytes(self) -> int:
+        """Bytes currently reclaimed from the guest."""
+        return self.vm.ballooned_bytes
+
+    def inflate(self, size: int) -> float:
+        """Reclaim *size* bytes from the guest; returns the latency.
+
+        Refuses to push the guest below its guaranteed floor — the
+        "protect the guest from running out-of-memory" concern of §IV.B.
+        """
+        if size <= 0:
+            raise BalloonError(f"inflate size must be positive, got {size}")
+        remaining = self.vm.ram_bytes - size
+        if remaining < self.guaranteed_bytes:
+            raise BalloonError(
+                f"inflating {size} bytes would leave {remaining} bytes, "
+                f"below the guaranteed {self.guaranteed_bytes}")
+        self.vm.ballooned_bytes += size
+        return (size / _GIB) * self.timings.inflate_per_gib_s
+
+    def deflate(self, size: int) -> float:
+        """Give *size* bytes back to the guest; returns the latency."""
+        if size <= 0:
+            raise BalloonError(f"deflate size must be positive, got {size}")
+        if size > self.vm.ballooned_bytes:
+            raise BalloonError(
+                f"cannot deflate {size} bytes; balloon holds "
+                f"{self.vm.ballooned_bytes}")
+        self.vm.ballooned_bytes -= size
+        return (size / _GIB) * self.timings.deflate_per_gib_s
+
+    def available_for_inflation(self) -> int:
+        """Bytes that could be reclaimed without breaching the floor."""
+        return max(0, self.vm.ram_bytes - self.guaranteed_bytes)

@@ -1,0 +1,129 @@
+"""Virtual machine model.
+
+A commodity VM as the paper's hypervisor hosts them: vCPUs, an amount of
+guest-visible RAM (growable at runtime through DIMM hotplug), and a guest
+kernel with its own memory-hotplug machinery — "the guest kernel is
+leveraging the hotplug support that has been previously described for the
+baremetal kernel" (§IV.B).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import HypervisorError
+from repro.software.hotplug import MemoryHotplug
+from repro.software.pages import DEFAULT_SECTION_BYTES
+
+
+class VmState(enum.Enum):
+    """VM life cycle."""
+
+    PROVISIONING = "provisioning"
+    RUNNING = "running"
+    PAUSED = "paused"
+    TERMINATED = "terminated"
+
+
+_LEGAL = {
+    VmState.PROVISIONING: {VmState.RUNNING, VmState.TERMINATED},
+    VmState.RUNNING: {VmState.PAUSED, VmState.TERMINATED},
+    VmState.PAUSED: {VmState.RUNNING, VmState.TERMINATED},
+    VmState.TERMINATED: set(),
+}
+
+
+class VirtualMachine:
+    """One guest, possibly consuming disaggregated memory."""
+
+    def __init__(self, vm_id: str, vcpus: int, ram_bytes: int,
+                 guest_section_bytes: int = DEFAULT_SECTION_BYTES) -> None:
+        if vcpus < 1:
+            raise HypervisorError(f"VM needs >= 1 vCPU, got {vcpus}")
+        if ram_bytes <= 0:
+            raise HypervisorError(f"VM needs positive RAM, got {ram_bytes}")
+        self.vm_id = vm_id
+        self.vcpus = vcpus
+        self.initial_ram_bytes = ram_bytes
+        self._ram_bytes = ram_bytes
+        self._state = VmState.PROVISIONING
+        #: The guest kernel's own hotplug machinery (for DIMM onlining).
+        self.guest_hotplug = MemoryHotplug(guest_section_bytes)
+        #: Guest-physical cursor where the next DIMM lands.
+        self._guest_phys_cursor = self._align_up(ram_bytes, guest_section_bytes)
+        #: Balloon-reclaimed bytes (not visible to the guest right now).
+        self.ballooned_bytes = 0
+
+    @staticmethod
+    def _align_up(value: int, alignment: int) -> int:
+        return ((value + alignment - 1) // alignment) * alignment
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def state(self) -> VmState:
+        return self._state
+
+    def transition(self, new_state: VmState) -> None:
+        if new_state not in _LEGAL[self._state]:
+            raise HypervisorError(
+                f"VM {self.vm_id}: illegal transition "
+                f"{self._state.value} -> {new_state.value}")
+        self._state = new_state
+
+    def start(self) -> None:
+        self.transition(VmState.RUNNING)
+
+    def terminate(self) -> None:
+        self.transition(VmState.TERMINATED)
+
+    @property
+    def is_running(self) -> bool:
+        return self._state is VmState.RUNNING
+
+    # -- memory ----------------------------------------------------------------------
+
+    @property
+    def ram_bytes(self) -> int:
+        """Guest-visible RAM right now (hotplugged DIMMs included,
+        ballooned-out memory excluded)."""
+        return self._ram_bytes - self.ballooned_bytes
+
+    @property
+    def configured_ram_bytes(self) -> int:
+        """RAM configured into the guest (ignores the balloon)."""
+        return self._ram_bytes
+
+    def accept_dimm(self, size: int) -> float:
+        """Guest side of DIMM hotplug: online the new range.
+
+        Returns the guest-kernel latency (add + online of the covered
+        sections).  The hypervisor calls this after its own attach step.
+        """
+        if size <= 0:
+            raise HypervisorError(f"DIMM size must be positive, got {size}")
+        if self._state is not VmState.RUNNING:
+            raise HypervisorError(
+                f"VM {self.vm_id} is {self._state.value}; cannot hotplug")
+        base = self._guest_phys_cursor
+        padded = self._align_up(size, self.guest_hotplug.section_bytes)
+        latency = self.guest_hotplug.add_memory(base, padded)
+        latency += self.guest_hotplug.online(base, padded)
+        self._guest_phys_cursor = base + padded
+        self._ram_bytes += size
+        return latency
+
+    def surrender_ram(self, size: int) -> None:
+        """Scale-down accounting after a DIMM removal or balloon inflate."""
+        if size <= 0:
+            raise HypervisorError(f"size must be positive, got {size}")
+        if size > self._ram_bytes - self.initial_ram_bytes + self.ballooned_bytes:
+            raise HypervisorError(
+                f"VM {self.vm_id} cannot surrender {size} bytes below its "
+                f"initial allocation")
+        self._ram_bytes -= size
+
+    def __repr__(self) -> str:
+        return (f"VirtualMachine({self.vm_id!r}, {self.vcpus} vCPU, "
+                f"{self.ram_bytes >> 30} GiB, {self._state.value})")

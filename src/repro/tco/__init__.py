@@ -1,0 +1,52 @@
+"""The TCO value-proposition study (§VI).
+
+"The TCO of the two types of datacenters is evaluated through
+simulation.  The simulation uses a First Come First Served (FCFS) policy
+to schedule a given workload of virtual machines (VMs) with different
+requirements to each of the two datacenter types.  Then it evaluates the
+number of unutilized individually powered units that can be powered off."
+
+* :mod:`repro.tco.workloads` — the Table I workload mixes.
+* :mod:`repro.tco.datacenter` — conventional vs dReDBox datacenter
+  models with equal aggregate resources (Fig. 11).
+* :mod:`repro.tco.scheduler` — the FCFS scheduler.
+* :mod:`repro.tco.energy` — unit power models and energy accounting.
+* :mod:`repro.tco.study` — the end-to-end study producing the Fig. 12
+  (power-off percentages) and Fig. 13 (normalized power) numbers.
+"""
+
+from repro.tco.datacenter import (
+    ConventionalDatacenter,
+    DisaggregatedDatacenter,
+    VmPlacement,
+)
+from repro.tco.energy import PowerModel
+from repro.tco.meter import EnergyMeter
+from repro.tco.refresh import RefreshCostModel, RefreshOutcome, RefreshStudy
+from repro.tco.scheduler import FcfsScheduler, ScheduleOutcome
+from repro.tco.study import TcoResult, TcoStudy
+from repro.tco.workloads import (
+    TABLE_I,
+    VmDemand,
+    WorkloadConfig,
+    generate_vms,
+)
+
+__all__ = [
+    "ConventionalDatacenter",
+    "EnergyMeter",
+    "RefreshCostModel",
+    "RefreshOutcome",
+    "RefreshStudy",
+    "DisaggregatedDatacenter",
+    "FcfsScheduler",
+    "PowerModel",
+    "ScheduleOutcome",
+    "TABLE_I",
+    "TcoResult",
+    "TcoStudy",
+    "VmDemand",
+    "VmPlacement",
+    "WorkloadConfig",
+    "generate_vms",
+]

@@ -1,0 +1,233 @@
+"""The two datacenter models of the TCO study (Fig. 11).
+
+Both have the *same aggregate* compute and memory resources:
+
+* **Conventional** — server nodes with cores and RAM coupled on one
+  mainboard.  A VM must fit entirely inside one node: "when all CPUs are
+  utilized, it will not be possible to allocate more memory and vice
+  versa" (§VI).
+* **dReDBox** — separate compute-brick and memory-brick pools.  A VM
+  draws cores from a single dCOMPUBRICK (vCPUs cannot span coherence
+  domains) but RAM from *any* memory bricks, split freely.
+
+Both place with packing (use the fullest unit that fits first), which is
+what lets unused units be powered off — the paper's stated scheduling
+behaviour ("scheduling the VMs on dBRICKs which are already running a
+VM").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.tco.workloads import VmDemand
+
+
+@dataclass
+class VmPlacement:
+    """Where one VM landed.
+
+    ``compute_unit`` is a node index (conventional) or a compute-brick
+    index (dReDBox); ``memory_shares`` maps memory-unit index to the GiB
+    taken there (conventional placements always have a single share on
+    the same node).
+    """
+
+    vm: VmDemand
+    compute_unit: int
+    memory_shares: dict[int, int] = field(default_factory=dict)
+
+
+class _Unit:
+    """One individually powered unit with a single scalar resource."""
+
+    __slots__ = ("capacity", "used")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.used = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def is_idle(self) -> bool:
+        return self.used == 0
+
+    def take(self, amount: int) -> None:
+        if amount > self.free:
+            raise SchedulingError(
+                f"cannot take {amount} from unit with {self.free} free")
+        self.used += amount
+
+
+class ConventionalDatacenter:
+    """Coupled nodes: a VM needs cores *and* RAM on the same node."""
+
+    def __init__(self, node_count: int = 64, cores_per_node: int = 32,
+                 ram_per_node_gib: int = 32) -> None:
+        if node_count < 1 or cores_per_node < 1 or ram_per_node_gib < 1:
+            raise ConfigurationError("datacenter dimensions must be >= 1")
+        self.node_count = node_count
+        self.cores_per_node = cores_per_node
+        self.ram_per_node_gib = ram_per_node_gib
+        self._cores = [_Unit(cores_per_node) for _ in range(node_count)]
+        self._ram = [_Unit(ram_per_node_gib) for _ in range(node_count)]
+        self.placements: list[VmPlacement] = []
+
+    # -- aggregate view -----------------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return self.node_count * self.cores_per_node
+
+    @property
+    def total_ram_gib(self) -> int:
+        return self.node_count * self.ram_per_node_gib
+
+    # -- placement -----------------------------------------------------------------
+
+    def place(self, vm: VmDemand) -> Optional[VmPlacement]:
+        """Place *vm* on the fullest node that fits both demands.
+
+        Returns the placement, or ``None`` when no node fits (the FCFS
+        scheduler counts that as a rejection).
+        """
+        candidates = [
+            index for index in range(self.node_count)
+            if (self._cores[index].free >= vm.vcpus
+                and self._ram[index].free >= vm.ram_gib)
+        ]
+        if not candidates:
+            return None
+        # Packing: fullest (fewest free cores, then least free RAM) first.
+        candidates.sort(key=lambda i: (self._cores[i].free, self._ram[i].free, i))
+        chosen = candidates[0]
+        self._cores[chosen].take(vm.vcpus)
+        self._ram[chosen].take(vm.ram_gib)
+        placement = VmPlacement(vm, chosen, {chosen: vm.ram_gib})
+        self.placements.append(placement)
+        return placement
+
+    # -- power-off accounting ----------------------------------------------------------
+
+    def idle_nodes(self) -> list[int]:
+        """Nodes hosting nothing (candidates for power-off)."""
+        return [index for index in range(self.node_count)
+                if self._cores[index].is_idle and self._ram[index].is_idle]
+
+    def poweroff_fraction(self) -> float:
+        """Fraction of nodes that can be powered off."""
+        return len(self.idle_nodes()) / self.node_count
+
+    def used_cores(self) -> int:
+        return sum(unit.used for unit in self._cores)
+
+    def used_ram_gib(self) -> int:
+        return sum(unit.used for unit in self._ram)
+
+
+class DisaggregatedDatacenter:
+    """Separate pools: cores from one brick, RAM from anywhere."""
+
+    def __init__(self, compute_bricks: int = 64, cores_per_brick: int = 32,
+                 memory_bricks: int = 64, ram_per_brick_gib: int = 32) -> None:
+        if min(compute_bricks, cores_per_brick,
+               memory_bricks, ram_per_brick_gib) < 1:
+            raise ConfigurationError("datacenter dimensions must be >= 1")
+        self.compute_brick_count = compute_bricks
+        self.cores_per_brick = cores_per_brick
+        self.memory_brick_count = memory_bricks
+        self.ram_per_brick_gib = ram_per_brick_gib
+        self._cores = [_Unit(cores_per_brick) for _ in range(compute_bricks)]
+        self._ram = [_Unit(ram_per_brick_gib) for _ in range(memory_bricks)]
+        self.placements: list[VmPlacement] = []
+
+    # -- aggregate view -----------------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return self.compute_brick_count * self.cores_per_brick
+
+    @property
+    def total_ram_gib(self) -> int:
+        return self.memory_brick_count * self.ram_per_brick_gib
+
+    # -- placement -----------------------------------------------------------------
+
+    def place(self, vm: VmDemand) -> Optional[VmPlacement]:
+        """Place *vm*: cores packed onto one brick, RAM split freely.
+
+        Memory is carved from the fullest non-idle bricks first, waking
+        idle bricks only when the powered pool is exhausted — the
+        power-conscious selection of §IV.C applied to the TCO study.
+        """
+        compute_candidates = [
+            index for index in range(self.compute_brick_count)
+            if self._cores[index].free >= vm.vcpus
+        ]
+        if not compute_candidates:
+            return None
+        free_ram_total = sum(unit.free for unit in self._ram)
+        if free_ram_total < vm.ram_gib:
+            return None
+
+        compute_candidates.sort(key=lambda i: (self._cores[i].free, i))
+        compute_chosen = compute_candidates[0]
+
+        # RAM: fullest-but-not-full bricks first, idle bricks last.
+        ram_order = sorted(
+            (index for index in range(self.memory_brick_count)
+             if self._ram[index].free > 0),
+            key=lambda i: (self._ram[i].is_idle, self._ram[i].free, i),
+        )
+        shares: dict[int, int] = {}
+        remaining = vm.ram_gib
+        for index in ram_order:
+            if remaining == 0:
+                break
+            take = min(remaining, self._ram[index].free)
+            shares[index] = take
+            remaining -= take
+        if remaining:
+            raise SchedulingError(
+                "internal error: free RAM accounting is inconsistent")
+
+        self._cores[compute_chosen].take(vm.vcpus)
+        for index, share in shares.items():
+            self._ram[index].take(share)
+        placement = VmPlacement(vm, compute_chosen, shares)
+        self.placements.append(placement)
+        return placement
+
+    # -- power-off accounting ----------------------------------------------------------
+
+    def idle_compute_bricks(self) -> list[int]:
+        return [i for i in range(self.compute_brick_count)
+                if self._cores[i].is_idle]
+
+    def idle_memory_bricks(self) -> list[int]:
+        return [i for i in range(self.memory_brick_count)
+                if self._ram[i].is_idle]
+
+    def compute_poweroff_fraction(self) -> float:
+        """Fraction of dCOMPUBRICKs that can be powered off."""
+        return len(self.idle_compute_bricks()) / self.compute_brick_count
+
+    def memory_poweroff_fraction(self) -> float:
+        """Fraction of dMEMBRICKs that can be powered off."""
+        return len(self.idle_memory_bricks()) / self.memory_brick_count
+
+    def poweroff_fraction(self) -> float:
+        """Fraction of all bricks that can be powered off."""
+        idle = len(self.idle_compute_bricks()) + len(self.idle_memory_bricks())
+        return idle / (self.compute_brick_count + self.memory_brick_count)
+
+    def used_cores(self) -> int:
+        return sum(unit.used for unit in self._cores)
+
+    def used_ram_gib(self) -> int:
+        return sum(unit.used for unit in self._ram)

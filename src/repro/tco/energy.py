@@ -1,0 +1,99 @@
+"""Unit power models and energy accounting for the TCO study.
+
+Figure 13 estimates power consumption "normalized to a conventional
+datacenter".  The model keeps the two datacenters energy-comparable when
+everything is on (Fig. 11: same aggregate resources) and lets savings
+come exclusively from powering off unutilized units — the effect §VI
+isolates:
+
+* a conventional node's draw is split into a compute part and a memory
+  part; a dReDBox compute brick draws the compute part, a memory brick
+  the memory part (per equal amount of resource);
+* the optical circuit switch adds its per-port draw (~100 mW/port) to
+  the disaggregated side only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tco.datacenter import (
+    ConventionalDatacenter,
+    DisaggregatedDatacenter,
+)
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-unit electrical draw, watts.
+
+    Defaults model a dense 2-socket node around 300 W, split 220 W for
+    the compute complex and 80 W for its DRAM.  Powered-off units draw
+    zero; powered-on units are charged full draw (the study powers off
+    whole idle units and does not model DVFS within used ones).
+    """
+
+    node_active_w: float = 300.0
+    compute_brick_active_w: float = 220.0
+    memory_brick_active_w: float = 80.0
+    optical_port_w: float = 0.1
+    #: Optical ports lit per powered brick (each brick keeps its fibre
+    #: into the rack switch live).
+    ports_per_brick: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.node_active_w, self.compute_brick_active_w,
+               self.memory_brick_active_w) <= 0:
+            raise ConfigurationError("unit powers must be positive")
+        if self.optical_port_w < 0 or self.ports_per_brick < 0:
+            raise ConfigurationError("optical parameters must be >= 0")
+
+    # -- conventional ---------------------------------------------------------
+
+    def conventional_power_w(self, dc: ConventionalDatacenter) -> float:
+        """Draw with idle nodes powered off."""
+        powered_nodes = dc.node_count - len(dc.idle_nodes())
+        return powered_nodes * self.node_active_w
+
+    def conventional_power_all_on_w(self, dc: ConventionalDatacenter) -> float:
+        """Draw if nothing were powered off (the Fig. 13 denominator)."""
+        return dc.node_count * self.node_active_w
+
+    # -- disaggregated ----------------------------------------------------------
+
+    def disaggregated_power_w(self, dc: DisaggregatedDatacenter) -> float:
+        """Draw with idle bricks powered off, switch ports included."""
+        compute_on = dc.compute_brick_count - len(dc.idle_compute_bricks())
+        memory_on = dc.memory_brick_count - len(dc.idle_memory_bricks())
+        bricks_on = compute_on + memory_on
+        return (compute_on * self.compute_brick_active_w
+                + memory_on * self.memory_brick_active_w
+                + bricks_on * self.ports_per_brick * self.optical_port_w)
+
+    def disaggregated_power_all_on_w(self,
+                                     dc: DisaggregatedDatacenter) -> float:
+        """Draw if every brick stayed on."""
+        bricks = dc.compute_brick_count + dc.memory_brick_count
+        return (dc.compute_brick_count * self.compute_brick_active_w
+                + dc.memory_brick_count * self.memory_brick_active_w
+                + bricks * self.ports_per_brick * self.optical_port_w)
+
+    # -- the Fig. 13 quantity ------------------------------------------------------
+
+    def normalized_power(self, disaggregated: DisaggregatedDatacenter,
+                         conventional: ConventionalDatacenter) -> float:
+        """dReDBox draw as a fraction of the conventional datacenter's
+        draw (both with their idle units powered off)."""
+        conv = self.conventional_power_w(conventional)
+        if conv == 0:
+            raise ConfigurationError(
+                "conventional datacenter draws nothing; nothing to "
+                "normalize against")
+        return self.disaggregated_power_w(disaggregated) / conv
+
+    def energy_kwh(self, power_w: float, hours: float) -> float:
+        """Energy in kWh at constant *power_w* for *hours*."""
+        if hours < 0:
+            raise ConfigurationError(f"hours must be >= 0, got {hours}")
+        return power_w * hours / 1000.0

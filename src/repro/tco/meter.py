@@ -1,0 +1,104 @@
+"""Time-series energy accounting.
+
+The §VI study compares instantaneous draw; scenarios that change state
+over time (the pilot applications, the elastic manager) need energy —
+the integral of draw.  :class:`EnergyMeter` does piecewise-constant
+integration: sample the power whenever it changes, read the integral at
+the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One recorded operating point."""
+
+    time_s: float
+    power_w: float
+
+
+class EnergyMeter:
+    """Piecewise-constant energy integrator."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        """Create the meter.
+
+        Args:
+            clock: Time source (e.g. a simulator's ``now``); when omitted,
+                sample times must be passed explicitly.
+        """
+        self._clock = clock
+        self._samples: list[PowerSample] = []
+
+    def sample(self, power_w: float,
+               time_s: Optional[float] = None) -> None:
+        """Record that the draw is *power_w* from now on.
+
+        Samples must arrive in non-decreasing time order.
+        """
+        if power_w < 0:
+            raise ConfigurationError("power must be non-negative")
+        if time_s is None:
+            if self._clock is None:
+                raise ConfigurationError(
+                    "no clock configured; pass time_s explicitly")
+            time_s = self._clock()
+        if self._samples and time_s < self._samples[-1].time_s:
+            raise ConfigurationError(
+                f"samples must be time-ordered; got {time_s} after "
+                f"{self._samples[-1].time_s}")
+        self._samples.append(PowerSample(time_s, power_w))
+
+    @property
+    def samples(self) -> list[PowerSample]:
+        return list(self._samples)
+
+    def energy_j(self, until_s: Optional[float] = None) -> float:
+        """Energy integrated from the first sample to *until_s*.
+
+        Defaults to the clock's current time (or the last sample's time
+        without a clock).
+        """
+        if not self._samples:
+            return 0.0
+        if until_s is None:
+            if self._clock is not None:
+                until_s = self._clock()
+            else:
+                until_s = self._samples[-1].time_s
+        if until_s < self._samples[-1].time_s:
+            raise ConfigurationError(
+                "cannot integrate backwards from the last sample")
+        total = 0.0
+        for current, following in zip(self._samples, self._samples[1:]):
+            total += current.power_w * (following.time_s - current.time_s)
+        total += self._samples[-1].power_w * (until_s - self._samples[-1].time_s)
+        return total
+
+    def energy_kwh(self, until_s: Optional[float] = None) -> float:
+        """Energy in kilowatt-hours."""
+        return self.energy_j(until_s) / 3.6e6
+
+    def mean_power_w(self, until_s: Optional[float] = None) -> float:
+        """Average draw over the metered interval."""
+        if not self._samples:
+            return 0.0
+        if until_s is None:
+            if self._clock is not None:
+                until_s = self._clock()
+            else:
+                until_s = self._samples[-1].time_s
+        duration = until_s - self._samples[0].time_s
+        if duration <= 0:
+            return self._samples[0].power_w
+        return self.energy_j(until_s) / duration
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self._samples.clear()

@@ -1,0 +1,166 @@
+"""Technology-refresh TCO extension (the paper's stated future work).
+
+Section VI closes: "the modularity and interchangeability of the
+dBRICKs plays a significant role in lowering the price of the
+procurement, as well in delivering technology refreshes at the component
+level instead of the server level.  This study does not consider how
+these aspects ... affect the TCO; the latter is targeted by our on-going
+work."
+
+This module builds that follow-on study: over a planning horizon,
+compute and memory technologies refresh on *different* cadences (CPUs
+faster than DRAM).  A conventional datacenter must replace whole servers
+at the faster cadence — discarding perfectly good DRAM — while a
+disaggregated one replaces only the brick type that aged out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RefreshCostModel:
+    """Unit procurement costs and refresh cadences.
+
+    Defaults reflect typical enterprise figures: the compute complex of
+    a node is ~70% of its cost and refreshes every 3 years; DRAM is ~30%
+    and stays useful for 6.
+    """
+
+    #: Full server node price (compute + memory on one board).
+    node_cost: float = 10_000.0
+    #: Fraction of the node cost attributable to the compute complex.
+    compute_cost_fraction: float = 0.7
+    #: Compute refresh cadence, years.
+    compute_refresh_years: float = 3.0
+    #: Memory refresh cadence, years.
+    memory_refresh_years: float = 6.0
+    #: Modularity premium on brick hardware (enclosures, connectors,
+    #: optical interfaces) relative to the equivalent server share.
+    brick_cost_premium: float = 1.10
+
+    def __post_init__(self) -> None:
+        if self.node_cost <= 0:
+            raise ConfigurationError("node cost must be positive")
+        if not 0 < self.compute_cost_fraction < 1:
+            raise ConfigurationError("compute fraction must be in (0, 1)")
+        if (self.compute_refresh_years <= 0
+                or self.memory_refresh_years <= 0):
+            raise ConfigurationError("refresh cadences must be positive")
+        if self.brick_cost_premium < 1.0:
+            raise ConfigurationError("brick premium must be >= 1.0")
+
+    # -- unit prices ------------------------------------------------------------
+
+    @property
+    def compute_brick_cost(self) -> float:
+        """One dCOMPUBRICK, carrying the modularity premium."""
+        return (self.node_cost * self.compute_cost_fraction
+                * self.brick_cost_premium)
+
+    @property
+    def memory_brick_cost(self) -> float:
+        """One dMEMBRICK, carrying the modularity premium."""
+        return (self.node_cost * (1.0 - self.compute_cost_fraction)
+                * self.brick_cost_premium)
+
+
+@dataclass(frozen=True)
+class RefreshOutcome:
+    """Procurement totals over the studied horizon."""
+
+    horizon_years: float
+    conventional_total: float
+    disaggregated_total: float
+    conventional_refreshes: int
+    compute_brick_refreshes: int
+    memory_brick_refreshes: int
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of conventional procurement the bricks save."""
+        if self.conventional_total == 0:
+            return 0.0
+        return 1.0 - self.disaggregated_total / self.conventional_total
+
+
+def _refresh_count(horizon_years: float, cadence_years: float) -> int:
+    """Purchases within the horizon: initial buy + refreshes.
+
+    A refresh lands at each whole multiple of the cadence strictly
+    inside the horizon (the fleet bought at year 0 counts as the first
+    purchase).
+    """
+    return 1 + math.ceil(horizon_years / cadence_years) - 1
+
+
+class RefreshStudy:
+    """Procurement comparison over a refresh horizon."""
+
+    def __init__(self, unit_count: int = 64,
+                 model: RefreshCostModel | None = None) -> None:
+        """Create the study.
+
+        Args:
+            unit_count: Nodes in the conventional DC; the disaggregated
+                DC gets the same number of compute and of memory bricks
+                (equal aggregate resources, Fig. 11).
+            model: Cost/cadence parameters.
+        """
+        if unit_count < 1:
+            raise ConfigurationError("unit count must be >= 1")
+        self.unit_count = unit_count
+        self.model = model or RefreshCostModel()
+
+    def run(self, horizon_years: float = 12.0) -> RefreshOutcome:
+        """Total procurement spend over *horizon_years*."""
+        if horizon_years <= 0:
+            raise ConfigurationError("horizon must be positive")
+        model = self.model
+
+        # Conventional: whole servers turn over at the *fastest* cadence
+        # of any component on the board.
+        driving_cadence = min(model.compute_refresh_years,
+                              model.memory_refresh_years)
+        conventional_buys = _refresh_count(horizon_years, driving_cadence)
+        conventional_total = (conventional_buys * self.unit_count
+                              * model.node_cost)
+
+        # Disaggregated: each brick class refreshes on its own clock.
+        compute_buys = _refresh_count(horizon_years,
+                                      model.compute_refresh_years)
+        memory_buys = _refresh_count(horizon_years,
+                                     model.memory_refresh_years)
+        disaggregated_total = self.unit_count * (
+            compute_buys * model.compute_brick_cost
+            + memory_buys * model.memory_brick_cost)
+
+        return RefreshOutcome(
+            horizon_years=horizon_years,
+            conventional_total=conventional_total,
+            disaggregated_total=disaggregated_total,
+            conventional_refreshes=conventional_buys,
+            compute_brick_refreshes=compute_buys,
+            memory_brick_refreshes=memory_buys,
+        )
+
+    def breakeven_premium(self, horizon_years: float = 12.0) -> float:
+        """The brick cost premium at which the two strategies cost the
+        same — how much modularity overhead disaggregation can absorb."""
+        base = RefreshStudy(
+            self.unit_count,
+            RefreshCostModel(
+                node_cost=self.model.node_cost,
+                compute_cost_fraction=self.model.compute_cost_fraction,
+                compute_refresh_years=self.model.compute_refresh_years,
+                memory_refresh_years=self.model.memory_refresh_years,
+                brick_cost_premium=1.0,
+            ))
+        outcome = base.run(horizon_years)
+        if outcome.disaggregated_total == 0:
+            return float("inf")
+        return outcome.conventional_total / outcome.disaggregated_total

@@ -1,0 +1,60 @@
+"""The FCFS scheduler of the TCO study.
+
+"The simulation uses a First Come First Served (FCFS) policy to schedule
+a given workload of virtual machines" (§VI): VMs are offered to the
+datacenter strictly in arrival order; a VM that no unit can host is
+rejected (there are no departures in the study, so nothing ever frees
+up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.tco.datacenter import VmPlacement
+from repro.tco.workloads import VmDemand
+
+
+class PlacesVms(Protocol):
+    """Any datacenter model the scheduler can drive."""
+
+    def place(self, vm: VmDemand) -> "VmPlacement | None": ...
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of offering a workload to one datacenter."""
+
+    placed: list[VmPlacement] = field(default_factory=list)
+    rejected: list[VmDemand] = field(default_factory=list)
+
+    @property
+    def admitted_count(self) -> int:
+        return len(self.placed)
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.rejected)
+
+    @property
+    def admission_rate(self) -> float:
+        total = self.admitted_count + self.rejected_count
+        return self.admitted_count / total if total else 0.0
+
+
+class FcfsScheduler:
+    """Strict arrival-order admission."""
+
+    def schedule(self, datacenter: PlacesVms,
+                 workload: Sequence[VmDemand]) -> ScheduleOutcome:
+        """Offer every VM in *workload* order; collect placements and
+        rejections."""
+        outcome = ScheduleOutcome()
+        for vm in workload:
+            placement = datacenter.place(vm)
+            if placement is None:
+                outcome.rejected.append(vm)
+            else:
+                outcome.placed.append(placement)
+        return outcome

@@ -1,0 +1,151 @@
+"""The end-to-end TCO study driver.
+
+For each Table I configuration the study:
+
+1. sizes a workload to a target fraction of the binding aggregate
+   resource (the paper schedules "a given workload" against both
+   datacenter types; the fraction keeps both systems comparably loaded),
+2. generates the VM demands,
+3. FCFS-schedules the *same* demand list on a conventional and on a
+   dReDBox datacenter of equal aggregate resources (Fig. 11),
+4. evaluates the power-off percentages (Fig. 12) and the power draw
+   normalized to the conventional datacenter (Fig. 13).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tco.datacenter import (
+    ConventionalDatacenter,
+    DisaggregatedDatacenter,
+)
+from repro.tco.energy import PowerModel
+from repro.tco.scheduler import FcfsScheduler
+from repro.tco.workloads import TABLE_I, WorkloadConfig, generate_vms
+
+
+@dataclass(frozen=True)
+class TcoResult:
+    """Study outcome for one workload configuration."""
+
+    config_name: str
+    vm_count: int
+    conventional_admitted: int
+    conventional_rejected: int
+    disaggregated_admitted: int
+    disaggregated_rejected: int
+    #: Fig. 12 quantities (fractions in [0, 1]).
+    conventional_poweroff: float
+    compute_brick_poweroff: float
+    memory_brick_poweroff: float
+    disaggregated_poweroff: float
+    #: Fig. 13 quantities.
+    conventional_power_w: float
+    disaggregated_power_w: float
+    normalized_power: float
+
+    @property
+    def energy_savings(self) -> float:
+        """Fractional energy saving of dReDBox vs conventional."""
+        return 1.0 - self.normalized_power
+
+    @property
+    def best_brick_poweroff(self) -> float:
+        """The paper's headline: 'up to 88% of dMEMBRICKs or
+        dCOMPUBRICKs can be powered off'."""
+        return max(self.compute_brick_poweroff, self.memory_brick_poweroff)
+
+
+class TcoStudy:
+    """Configurable runner for the §VI simulation."""
+
+    def __init__(self, node_count: int = 64, cores_per_node: int = 32,
+                 ram_per_node_gib: int = 32,
+                 demand_fraction: float = 0.85,
+                 power_model: Optional[PowerModel] = None,
+                 seed: int = 2018) -> None:
+        """Create a study.
+
+        Args:
+            node_count: Conventional nodes; the dReDBox datacenter gets
+                the same number of compute bricks and of memory bricks,
+                for equal aggregates (Fig. 11).
+            cores_per_node: Cores per node and per compute brick.
+            ram_per_node_gib: RAM per node and per memory brick.
+            demand_fraction: Fraction of the binding aggregate resource
+                the generated workload requests in expectation.
+            power_model: Unit power figures (defaults applied when None).
+            seed: Base seed; each configuration derives its own stream.
+        """
+        if not 0 < demand_fraction <= 1.2:
+            raise ConfigurationError(
+                f"demand fraction should be in (0, 1.2], got {demand_fraction}")
+        self.node_count = node_count
+        self.cores_per_node = cores_per_node
+        self.ram_per_node_gib = ram_per_node_gib
+        self.demand_fraction = demand_fraction
+        self.power_model = power_model or PowerModel()
+        self.seed = seed
+        self.scheduler = FcfsScheduler()
+
+    # -- sizing ---------------------------------------------------------------
+
+    def workload_size(self, config: WorkloadConfig) -> int:
+        """VMs such that expected demand hits the target fraction of the
+        binding (scarcer) aggregate resource."""
+        total_cores = self.node_count * self.cores_per_node
+        total_ram = self.node_count * self.ram_per_node_gib
+        by_cores = total_cores / config.mean_vcpus
+        by_ram = total_ram / config.mean_ram_gib
+        return max(1, math.floor(self.demand_fraction * min(by_cores, by_ram)))
+
+    # -- running -----------------------------------------------------------------
+
+    def run_config(self, config: WorkloadConfig,
+                   vm_count: Optional[int] = None) -> TcoResult:
+        """Run the study for one workload configuration."""
+        if vm_count is None:
+            vm_count = self.workload_size(config)
+        rng = np.random.default_rng(
+            (self.seed, sum(ord(c) for c in config.name)))
+        workload = generate_vms(config, vm_count, rng)
+
+        conventional = ConventionalDatacenter(
+            self.node_count, self.cores_per_node, self.ram_per_node_gib)
+        disaggregated = DisaggregatedDatacenter(
+            self.node_count, self.cores_per_node,
+            self.node_count, self.ram_per_node_gib)
+
+        conv_outcome = self.scheduler.schedule(conventional, workload)
+        disagg_outcome = self.scheduler.schedule(disaggregated, workload)
+
+        model = self.power_model
+        return TcoResult(
+            config_name=config.name,
+            vm_count=vm_count,
+            conventional_admitted=conv_outcome.admitted_count,
+            conventional_rejected=conv_outcome.rejected_count,
+            disaggregated_admitted=disagg_outcome.admitted_count,
+            disaggregated_rejected=disagg_outcome.rejected_count,
+            conventional_poweroff=conventional.poweroff_fraction(),
+            compute_brick_poweroff=disaggregated.compute_poweroff_fraction(),
+            memory_brick_poweroff=disaggregated.memory_poweroff_fraction(),
+            disaggregated_poweroff=disaggregated.poweroff_fraction(),
+            conventional_power_w=model.conventional_power_w(conventional),
+            disaggregated_power_w=model.disaggregated_power_w(disaggregated),
+            normalized_power=model.normalized_power(
+                disaggregated, conventional),
+        )
+
+    def run_all(self, configs: Optional[Sequence[WorkloadConfig]] = None
+                ) -> list[TcoResult]:
+        """Run every (or the given) Table I configuration."""
+        if configs is None:
+            configs = list(TABLE_I.values())
+        return [self.run_config(config) for config in configs]

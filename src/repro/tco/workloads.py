@@ -1,0 +1,119 @@
+"""Table I: the VM workload mixes of the TCO study.
+
+    Configuration   vCPUs          RAM
+    Random          1-32 cores     1-32 GB
+    High RAM        1-8 cores      24-32 GB
+    High CPU        24-32 cores    1-8 GB
+    Half Half       16 cores       16 GB
+    More RAM        1-6 cores      17-32 GB
+    More CPU        17-32 cores    1-16 GB
+
+Each configuration draws vCPU and RAM demands independently and
+uniformly from its integer ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VmDemand:
+    """One VM's resource requirement in the TCO study."""
+
+    vm_id: str
+    vcpus: int
+    ram_gib: int
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ConfigurationError(f"{self.vm_id}: vcpus must be >= 1")
+        if self.ram_gib < 1:
+            raise ConfigurationError(f"{self.vm_id}: ram must be >= 1 GiB")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One Table I row: uniform integer ranges for vCPUs and RAM."""
+
+    name: str
+    vcpu_min: int
+    vcpu_max: int
+    ram_min_gib: int
+    ram_max_gib: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.vcpu_min <= self.vcpu_max:
+            raise ConfigurationError(f"{self.name}: bad vCPU range")
+        if not 1 <= self.ram_min_gib <= self.ram_max_gib:
+            raise ConfigurationError(f"{self.name}: bad RAM range")
+
+    @property
+    def mean_vcpus(self) -> float:
+        """Expected vCPU demand of one VM."""
+        return (self.vcpu_min + self.vcpu_max) / 2.0
+
+    @property
+    def mean_ram_gib(self) -> float:
+        """Expected RAM demand of one VM, GiB."""
+        return (self.ram_min_gib + self.ram_max_gib) / 2.0
+
+    @property
+    def vcpu_label(self) -> str:
+        if self.vcpu_min == self.vcpu_max:
+            return f"{self.vcpu_min} cores"
+        return f"{self.vcpu_min}-{self.vcpu_max} cores"
+
+    @property
+    def ram_label(self) -> str:
+        if self.ram_min_gib == self.ram_max_gib:
+            return f"{self.ram_min_gib} GB"
+        return f"{self.ram_min_gib}-{self.ram_max_gib} GB"
+
+    def sample(self, rng: np.random.Generator, vm_id: str) -> VmDemand:
+        """Draw one VM demand."""
+        return VmDemand(
+            vm_id=vm_id,
+            vcpus=int(rng.integers(self.vcpu_min, self.vcpu_max + 1)),
+            ram_gib=int(rng.integers(self.ram_min_gib, self.ram_max_gib + 1)),
+        )
+
+
+#: The six Table I configurations, in paper order.
+TABLE_I: dict[str, WorkloadConfig] = {
+    "Random": WorkloadConfig("Random", 1, 32, 1, 32),
+    "High RAM": WorkloadConfig("High RAM", 1, 8, 24, 32),
+    "High CPU": WorkloadConfig("High CPU", 24, 32, 1, 8),
+    "Half Half": WorkloadConfig("Half Half", 16, 16, 16, 16),
+    "More RAM": WorkloadConfig("More RAM", 1, 6, 17, 32),
+    "More CPU": WorkloadConfig("More CPU", 17, 32, 1, 16),
+}
+
+
+def config_by_name(name: str) -> WorkloadConfig:
+    """Look up a Table I configuration by its paper name."""
+    try:
+        return TABLE_I[name]
+    except KeyError:
+        known = ", ".join(TABLE_I)
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known: {known}") from None
+
+
+def generate_vms(config: WorkloadConfig, count: int,
+                 rng: np.random.Generator) -> list[VmDemand]:
+    """Draw *count* VM demands from *config*."""
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    return [config.sample(rng, f"{config.name.lower().replace(' ', '-')}-{i}")
+            for i in range(count)]
+
+
+def table_rows() -> list[tuple[str, str, str]]:
+    """Table I rendered as ``(Configuration, vCPUs, RAM)`` rows."""
+    return [(cfg.name, cfg.vcpu_label, cfg.ram_label)
+            for cfg in TABLE_I.values()]

@@ -1,0 +1,182 @@
+"""Unit helpers shared across the library.
+
+The simulation kernel keeps time as a ``float`` number of **seconds** and
+capacities as ``int`` **bytes**.  These helpers make call sites read like the
+paper ("a 128 MiB hotplug section", "-3.7 dBm launch power", "1 dB per hop")
+instead of forcing raw multipliers everywhere.
+
+Optical power is handled in both linear (milliwatt) and logarithmic (dBm)
+form; the conversion functions are exact inverses of each other.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --------------------------------------------------------------------------
+# Time (seconds)
+# --------------------------------------------------------------------------
+
+#: One nanosecond, in seconds.
+NANOSECOND = 1e-9
+#: One microsecond, in seconds.
+MICROSECOND = 1e-6
+#: One millisecond, in seconds.
+MILLISECOND = 1e-3
+#: One second.
+SECOND = 1.0
+#: One minute, in seconds.
+MINUTE = 60.0
+#: One hour, in seconds.
+HOUR = 3600.0
+
+
+def nanoseconds(value: float) -> float:
+    """Return *value* nanoseconds expressed in seconds."""
+    return value * NANOSECOND
+
+
+def microseconds(value: float) -> float:
+    """Return *value* microseconds expressed in seconds."""
+    return value * MICROSECOND
+
+
+def milliseconds(value: float) -> float:
+    """Return *value* milliseconds expressed in seconds."""
+    return value * MILLISECOND
+
+
+def to_nanoseconds(seconds: float) -> float:
+    """Express *seconds* in nanoseconds."""
+    return seconds / NANOSECOND
+
+
+def to_microseconds(seconds: float) -> float:
+    """Express *seconds* in microseconds."""
+    return seconds / MICROSECOND
+
+
+def to_milliseconds(seconds: float) -> float:
+    """Express *seconds* in milliseconds."""
+    return seconds / MILLISECOND
+
+
+# --------------------------------------------------------------------------
+# Capacity (bytes)
+# --------------------------------------------------------------------------
+
+#: One kibibyte in bytes.
+KIB = 1024
+#: One mebibyte in bytes.
+MIB = 1024 * KIB
+#: One gibibyte in bytes.
+GIB = 1024 * MIB
+#: One tebibyte in bytes.
+TIB = 1024 * GIB
+
+
+def kib(value: float) -> int:
+    """Return *value* KiB as an integer byte count."""
+    return int(value * KIB)
+
+
+def mib(value: float) -> int:
+    """Return *value* MiB as an integer byte count."""
+    return int(value * MIB)
+
+
+def gib(value: float) -> int:
+    """Return *value* GiB as an integer byte count."""
+    return int(value * GIB)
+
+
+def to_gib(num_bytes: int) -> float:
+    """Express a byte count in GiB."""
+    return num_bytes / GIB
+
+
+def to_mib(num_bytes: int) -> float:
+    """Express a byte count in MiB."""
+    return num_bytes / MIB
+
+
+# --------------------------------------------------------------------------
+# Data rate (bits per second)
+# --------------------------------------------------------------------------
+
+#: One gigabit per second, in bits per second.
+GBPS = 1e9
+
+
+def gbps(value: float) -> float:
+    """Return *value* Gb/s expressed in bits per second."""
+    return value * GBPS
+
+
+def transfer_time(num_bytes: int, rate_bps: float) -> float:
+    """Serialization time in seconds for *num_bytes* at *rate_bps*.
+
+    Raises :class:`ValueError` for a non-positive rate.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"data rate must be positive, got {rate_bps}")
+    return (num_bytes * 8) / rate_bps
+
+
+# --------------------------------------------------------------------------
+# Optical power (dBm <-> mW) and attenuation (dB)
+# --------------------------------------------------------------------------
+
+
+def dbm_to_mw(power_dbm: float) -> float:
+    """Convert optical power from dBm to milliwatts."""
+    return 10.0 ** (power_dbm / 10.0)
+
+
+def mw_to_dbm(power_mw: float) -> float:
+    """Convert optical power from milliwatts to dBm.
+
+    Raises :class:`ValueError` for non-positive linear power, which has no
+    logarithmic representation.
+    """
+    if power_mw <= 0:
+        raise ValueError(f"linear power must be positive, got {power_mw} mW")
+    return 10.0 * math.log10(power_mw)
+
+
+def apply_loss_db(power_dbm: float, loss_db: float) -> float:
+    """Attenuate a dBm power figure by *loss_db* decibels."""
+    return power_dbm - loss_db
+
+
+def db_ratio(value: float) -> float:
+    """Convert a dB figure to a linear power ratio."""
+    return 10.0 ** (value / 10.0)
+
+
+def ratio_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if ratio <= 0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+# --------------------------------------------------------------------------
+# Physical constants
+# --------------------------------------------------------------------------
+
+#: Speed of light in vacuum, metres per second.
+SPEED_OF_LIGHT_VACUUM = 299_792_458.0
+
+#: Group index of standard single-mode fibre at 1310 nm.
+FIBRE_GROUP_INDEX = 1.4677
+
+#: Propagation speed of light in standard single-mode fibre (m/s).
+FIBRE_LIGHT_SPEED = SPEED_OF_LIGHT_VACUUM / FIBRE_GROUP_INDEX
+
+
+def fibre_propagation_delay(length_m: float) -> float:
+    """One-way propagation delay in seconds over *length_m* metres of fibre."""
+    if length_m < 0:
+        raise ValueError(f"fibre length must be non-negative, got {length_m}")
+    return length_m / FIBRE_LIGHT_SPEED

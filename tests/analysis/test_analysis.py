@@ -1,0 +1,147 @@
+"""Unit tests for statistics and text rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import render_bars, render_grouped_bars
+from repro.analysis.stats import (
+    boxplot_stats,
+    geometric_mean,
+    summarize,
+)
+from repro.analysis.tables import render_table
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.std == 0.0
+        assert stats.mean == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_form(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestBoxplot:
+    def test_quartiles(self):
+        stats = boxplot_stats(list(range(1, 101)))
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.iqr == pytest.approx(49.5)
+
+    def test_outlier_detection(self):
+        values = [10.0] * 20 + [1000.0]
+        stats = boxplot_stats(values)
+        assert stats.outliers == (1000.0,)
+        assert stats.whisker_high == 10.0
+
+    def test_no_outliers(self):
+        stats = boxplot_stats([1.0, 2.0, 3.0])
+        assert stats.outliers == ()
+        assert stats.whisker_low == 1.0
+        assert stats.whisker_high == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+
+class TestGeometricMean:
+    def test_powers_of_two(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestRenderTable:
+    def test_alignment_and_borders(self):
+        text = render_table(["name", "value"],
+                            [("alpha", 1.5), ("b", 22.25)])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| name " in lines[1]
+        # Numeric column right-aligned: both rows end consistently.
+        assert lines[3].endswith("|")
+
+    def test_title(self):
+        text = render_table(["a"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_bool_and_scientific_formatting(self):
+        text = render_table(["x", "ok"], [(1.5e-13, True)])
+        assert "1.500e-13" in text
+        assert "yes" in text
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+
+class TestRenderBars:
+    def test_longest_bar_is_peak(self):
+        text = render_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_log_scale_for_ber(self):
+        text = render_bars(["ch1", "ch8"], [1e-18, 1e-60], log_scale=True)
+        ch1, ch8 = text.splitlines()
+        assert ch1.count("#") > ch8.count("#")
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [0.0], log_scale=True)
+
+    def test_unit_suffix(self):
+        text = render_bars(["a"], [3.0], unit="s")
+        assert "3 s" in text
+
+    def test_label_value_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_zero_values_render(self):
+        text = render_bars(["a", "b"], [0.0, 0.0])
+        assert "a" in text
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        text = render_grouped_bars(
+            ["w1", "w2"],
+            {"conv": [1.0, 1.0], "dredbox": [0.5, 0.9]})
+        assert "w1:" in text and "w2:" in text
+        assert text.count("conv") == 2
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_grouped_bars(["a"], {"s": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_grouped_bars([], {})

@@ -1,0 +1,183 @@
+"""Tests for the three §V pilot applications."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppReport, MemoryDemandPoint
+from repro.apps.network_analytics import (
+    LINE_RATE_BPS,
+    NetworkAnalyticsScenario,
+)
+from repro.apps.nfv import DiurnalTrafficModel, KeyServerScenario
+from repro.apps.video_analytics import (
+    InvestigationEvent,
+    VideoAnalyticsScenario,
+    generate_investigations,
+)
+from repro.core.builder import RackBuilder
+from repro.errors import ConfigurationError
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+
+@pytest.fixture
+def app_system():
+    system = (RackBuilder("apps")
+              .with_compute_bricks(2, cores=8, local_memory=gib(2))
+              .with_memory_bricks(3, modules=4, module_size=gib(16))
+              .with_accelerator_bricks(1)
+              .build())
+    system.boot_vm(VmAllocationRequest("app-vm", vcpus=4, ram_bytes=gib(2)))
+    return system
+
+
+class TestAppReport:
+    def test_demand_satisfaction(self):
+        report = AppReport("x")
+        report.demand_trace = [
+            MemoryDemandPoint(0.0, 100, 200),
+            MemoryDemandPoint(1.0, 300, 200),
+        ]
+        assert report.demand_satisfaction == pytest.approx(0.5)
+
+    def test_empty_trace_fully_satisfied(self):
+        assert AppReport("x").demand_satisfaction == 1.0
+
+    def test_mean_scale_latency(self):
+        report = AppReport("x", scale_latencies_s=[1.0, 3.0])
+        assert report.mean_scale_latency_s == 2.0
+
+    def test_provisioning_efficiency(self):
+        report = AppReport("x")
+        report.demand_trace = [
+            MemoryDemandPoint(0.0, 100, 50),
+            MemoryDemandPoint(1.0, 100, 100),
+        ]
+        assert report.provisioning_efficiency() == pytest.approx(0.75)
+
+
+class TestVideoAnalytics:
+    def test_events_generated_sorted_and_positive(self):
+        events = generate_investigations(20, np.random.default_rng(0))
+        assert len(events) == 20
+        arrivals = [event.arrival_s for event in events]
+        assert arrivals == sorted(arrivals)
+        assert all(event.video_hours >= 500 for event in events)
+
+    def test_memory_demand_proportional_to_hours(self):
+        small = InvestigationEvent("a", 0.0, 1000)
+        large = InvestigationEvent("b", 0.0, 100_000)
+        assert large.memory_demand_bytes == 100 * small.memory_demand_bytes
+
+    def test_scenario_scales_up_and_back(self, app_system):
+        scenario = VideoAnalyticsScenario(app_system, "app-vm")
+        events = [InvestigationEvent("case-0", 0.0, 4000),
+                  InvestigationEvent("case-1", 100.0, 8000)]
+        report = scenario.run(events)
+        assert report.scale_up_events == report.scale_down_events >= 2
+        # Memory returned to baseline after the run.
+        vm = app_system.hosting("app-vm").vm
+        assert vm.configured_ram_bytes == vm.initial_ram_bytes
+
+    def test_large_case_splits_segments(self, app_system):
+        scenario = VideoAnalyticsScenario(app_system, "app-vm",
+                                          max_segment_bytes=gib(4))
+        events = [InvestigationEvent("huge", 0.0, 10_000)]  # 20 GiB demand
+        report = scenario.run(events)
+        assert report.scale_up_events >= 5
+
+    def test_scale_latencies_recorded(self, app_system):
+        scenario = VideoAnalyticsScenario(app_system, "app-vm")
+        report = scenario.run([InvestigationEvent("c", 0.0, 2000)])
+        assert all(latency > 0 for latency in report.scale_latencies_s)
+
+    def test_invalid_event_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InvestigationEvent("bad", 0.0, 0)
+
+
+class TestNfv:
+    def test_diurnal_shape(self):
+        traffic = DiurnalTrafficModel(peak_rps=4000, trough_rps=400,
+                                      night_hour=3.0)
+        assert traffic.load_rps(3.0) == pytest.approx(400.0)
+        assert traffic.load_rps(15.0) == pytest.approx(4000.0)
+        assert traffic.load_rps(9.0) < traffic.load_rps(12.0)
+
+    def test_invalid_traffic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalTrafficModel(peak_rps=100, trough_rps=200)
+
+    def test_key_server_tracks_demand_without_scale_out(self, app_system):
+        scenario = KeyServerScenario(app_system, "app-vm")
+        report = scenario.run(hours=24, samples_per_hour=1)
+        assert report.details["scale_out_vms_spawned"] == 0.0
+        assert report.scale_up_events > 0
+        assert report.scale_down_events > 0
+        assert report.demand_satisfaction > 0.9
+
+    def test_elasticity_beats_peak_provisioning(self, app_system):
+        scenario = KeyServerScenario(app_system, "app-vm")
+        report = scenario.run(hours=24, samples_per_hour=1)
+        # Mean provisioned memory stays below a static peak deployment.
+        assert report.provisioning_efficiency() < 1.0
+
+    def test_headroom_validation(self, app_system):
+        with pytest.raises(ConfigurationError):
+            KeyServerScenario(app_system, "app-vm", headroom_fraction=1.5)
+
+
+class TestNetworkAnalytics:
+    def test_requires_accelerator_brick(self):
+        bare = (RackBuilder("bare")
+                .with_compute_bricks(1)
+                .with_memory_bricks(1)
+                .build())
+        bare.boot_vm(VmAllocationRequest("vm", vcpus=1, ram_bytes=gib(1)))
+        with pytest.raises(ConfigurationError, match="dACCELBRICK"):
+            NetworkAnalyticsScenario(bare, "vm")
+
+    def test_online_stage_line_rate(self, app_system):
+        scenario = NetworkAnalyticsScenario(app_system, "app-vm")
+        online = scenario.run_online(1.0, np.random.default_rng(0))
+        assert online.keeps_line_rate
+        assert online.frames_inspected > 1e6
+        assert 0 < online.mark_fraction < 0.1
+        assert online.reconfiguration_s > 0
+
+    def test_slow_accelerator_detected(self, app_system):
+        scenario = NetworkAnalyticsScenario(
+            app_system, "app-vm",
+            accelerator_throughput_bps=0.5 * LINE_RATE_BPS)
+        online = scenario.run_online(0.5, np.random.default_rng(0))
+        assert not online.keeps_line_rate
+
+    def test_offline_stage_elastic_speedup(self, app_system):
+        # A 10 s capture at 5% marking yields a working set several times
+        # the VM's 2 GiB local DRAM: the fixed-node baseline must make
+        # multiple passes while the elastic VM holds it all at once.
+        scenario = NetworkAnalyticsScenario(app_system, "app-vm",
+                                            mark_probability=0.05)
+        online = scenario.run_online(10.0, np.random.default_rng(0))
+        report = scenario.run_offline(online)
+        assert report.details["speedup"] > 1.0
+        assert report.scale_up_events == report.scale_down_events >= 1
+        # Memory fully returned afterwards.
+        vm = app_system.hosting("app-vm").vm
+        assert vm.configured_ram_bytes == vm.initial_ram_bytes
+
+    def test_bitstream_deployed_via_middleware(self, app_system):
+        scenario = NetworkAnalyticsScenario(app_system, "app-vm")
+        scenario.run_online(0.1, np.random.default_rng(0))
+        assert scenario.middleware.stored_bitstreams == ["flow-classifier"]
+        assert scenario.accel_brick.slot.is_configured
+
+    def test_invalid_parameters(self, app_system):
+        with pytest.raises(ConfigurationError):
+            NetworkAnalyticsScenario(app_system, "app-vm",
+                                     mark_probability=0.0)
+        scenario = NetworkAnalyticsScenario(app_system, "app-vm")
+        with pytest.raises(ConfigurationError):
+            scenario.run_online(0.0, np.random.default_rng(0))

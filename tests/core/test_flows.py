@@ -1,0 +1,131 @@
+"""Unit tests for the timed scale-up harness and scale-out baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import RackBuilder
+from repro.core.flows import (
+    SCALE_OUT_MEAN_S,
+    TimedScaleUpHarness,
+    scale_out_baseline_delays,
+)
+from repro.errors import SimulationError
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+
+def build_loaded_system(vm_count=4):
+    system = (RackBuilder("flows")
+              .with_compute_bricks(vm_count, cores=8, local_memory=gib(2))
+              .with_memory_bricks(2, modules=4, module_size=gib(16))
+              .build())
+    for index in range(vm_count):
+        system.boot_vm(VmAllocationRequest(
+            f"vm-{index}", vcpus=8, ram_bytes=gib(1)))
+    return system
+
+
+class TestTimedHarness:
+    def test_single_scale_up_completes(self):
+        system = build_loaded_system(1)
+        harness = TimedScaleUpHarness(system)
+        harness.post_scale_up("vm-0", gib(1))
+        (sample,) = harness.run()
+        assert sample.vm_id == "vm-0"
+        assert sample.delay_s > 0
+        assert set(sample.steps) >= {
+            "controller", "sdm_queue", "sdm", "glue_config",
+            "kernel_attach", "hypervisor"}
+
+    def test_vm_actually_scaled(self):
+        system = build_loaded_system(1)
+        harness = TimedScaleUpHarness(system)
+        harness.post_scale_up("vm-0", gib(2))
+        harness.run()
+        assert system.hosting("vm-0").vm.configured_ram_bytes == gib(3)
+
+    def test_concurrency_queues_at_sdm(self):
+        system = build_loaded_system(4)
+        harness = TimedScaleUpHarness(system)
+        for index in range(4):
+            harness.post_scale_up(f"vm-{index}", gib(1), at=0.0)
+        samples = harness.run()
+        queues = sorted(s.steps["sdm_queue"] for s in samples)
+        assert queues[0] == pytest.approx(0.0, abs=1e-9)
+        assert queues[-1] > 0.0
+
+    def test_concurrency_raises_mean_delay(self):
+        lone_system = build_loaded_system(1)
+        lone = TimedScaleUpHarness(lone_system)
+        lone.post_scale_up("vm-0", gib(1))
+        (lone_sample,) = lone.run()
+
+        busy_system = build_loaded_system(6)
+        busy = TimedScaleUpHarness(busy_system)
+        for index in range(6):
+            busy.post_scale_up(f"vm-{index}", gib(1), at=0.0)
+        samples = busy.run()
+        mean_busy = np.mean([s.delay_s for s in samples])
+        assert mean_busy > lone_sample.delay_s
+
+    def test_staggered_posting_times(self):
+        system = build_loaded_system(2)
+        harness = TimedScaleUpHarness(system)
+        harness.post_scale_up("vm-0", gib(1), at=0.0)
+        harness.post_scale_up("vm-1", gib(1), at=5.0)
+        samples = harness.run()
+        late = next(s for s in samples if s.vm_id == "vm-1")
+        assert late.posted_at == 5.0
+        # Posted after the rush: no queueing.
+        assert late.steps["sdm_queue"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_posting_into_past_rejected(self):
+        system = build_loaded_system(1)
+        harness = TimedScaleUpHarness(system)
+        harness.post_scale_up("vm-0", gib(1), at=1.0)
+        harness.run()
+        with pytest.raises(SimulationError):
+            harness.post_scale_up("vm-0", gib(1), at=0.5)
+
+    def test_delay_dominated_by_attach_for_big_requests(self):
+        system = build_loaded_system(1)
+        harness = TimedScaleUpHarness(system)
+        harness.post_scale_up("vm-0", gib(8))
+        (sample,) = harness.run()
+        attach_cost = (sample.steps["kernel_attach"]
+                       + sample.steps["hypervisor"])
+        assert attach_cost > sample.steps["sdm"]
+
+
+class TestScaleOutBaseline:
+    def test_mean_near_reference(self):
+        rng = np.random.default_rng(0)
+        delays = scale_out_baseline_delays(200, rng,
+                                           contention_s_per_vm=0.0)
+        assert np.mean(delays) == pytest.approx(SCALE_OUT_MEAN_S, rel=0.3)
+
+    def test_orders_of_magnitude_slower_than_scale_up(self):
+        system = build_loaded_system(1)
+        harness = TimedScaleUpHarness(system)
+        harness.post_scale_up("vm-0", gib(1))
+        (sample,) = harness.run()
+        rng = np.random.default_rng(0)
+        scale_out = np.mean(scale_out_baseline_delays(8, rng))
+        assert scale_out / sample.delay_s > 10
+
+    def test_floor_at_one_second(self):
+        rng = np.random.default_rng(0)
+        delays = scale_out_baseline_delays(100, rng, mean_s=0.5, sigma_s=0.1)
+        assert min(delays) >= 1.0
+
+    def test_contention_grows_with_count(self):
+        rng = np.random.default_rng(0)
+        delays = scale_out_baseline_delays(
+            50, rng, sigma_s=0.0, contention_s_per_vm=1.0)
+        assert delays[-1] > delays[0]
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(SimulationError):
+            scale_out_baseline_delays(0, np.random.default_rng(0))

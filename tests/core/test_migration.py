@@ -1,0 +1,161 @@
+"""Tests for VM migration across compute bricks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import RackBuilder
+from repro.core.migration import MigrationFlow
+from repro.errors import HypervisorError, OrchestrationError, PlacementError
+from repro.orchestration.requests import VmAllocationRequest
+from repro.software.vm import VmState
+from repro.units import gib
+
+
+@pytest.fixture
+def migration_rack():
+    system = (RackBuilder("mig")
+              .with_compute_bricks(3, cores=8, local_memory=gib(2))
+              .with_memory_bricks(2, modules=4, module_size=gib(16))
+              .build())
+    system.boot_vm(VmAllocationRequest("vm-0", vcpus=4, ram_bytes=gib(10)))
+    return system
+
+
+def other_brick(system, vm_id="vm-0"):
+    current = system.hosting(vm_id).brick_id
+    return next(b.brick_id for b in system.compute_bricks
+                if b.brick_id != current)
+
+
+class TestMigrationFlow:
+    def test_vm_lands_running_on_target(self, migration_rack):
+        target = other_brick(migration_rack)
+        report = migration_rack.migrate_vm("vm-0", target)
+        hosted = migration_rack.hosting("vm-0")
+        assert hosted.brick_id == target
+        assert hosted.vm.is_running
+        assert report.total_s > 0
+
+    def test_memory_content_never_copied(self, migration_rack):
+        """The headline: remote segments re-point instead of moving."""
+        target = other_brick(migration_rack)
+        report = migration_rack.migrate_vm("vm-0", target)
+        assert report.repointed_bytes >= gib(8)
+        # Only the local slice + device state crossed the network.
+        assert report.copied_bytes < gib(3)
+
+    def test_beats_conventional_full_copy(self, migration_rack):
+        target = other_brick(migration_rack)
+        report = migration_rack.migrate_vm("vm-0", target)
+        assert report.speedup_vs_conventional > 2.0
+
+    def test_rmst_moves_with_the_vm(self, migration_rack):
+        source_id = migration_rack.hosting("vm-0").brick_id
+        target = other_brick(migration_rack)
+        migration_rack.migrate_vm("vm-0", target)
+        assert len(migration_rack.stack(source_id).brick.rmst) == 0
+        assert len(migration_rack.stack(target).brick.rmst) >= 1
+
+    def test_circuits_swing_to_target(self, migration_rack):
+        source_id = migration_rack.hosting("vm-0").brick_id
+        target = other_brick(migration_rack)
+        migration_rack.migrate_vm("vm-0", target)
+        source_brick = migration_rack.stack(source_id).brick
+        target_brick = migration_rack.stack(target).brick
+        assert migration_rack.fabric.circuits_of(source_brick) == []
+        assert len(migration_rack.fabric.circuits_of(target_brick)) >= 1
+
+    def test_runtime_segments_migrate_too(self, migration_rack):
+        result = migration_rack.scale_up("vm-0", gib(4))
+        target = other_brick(migration_rack)
+        migration_rack.migrate_vm("vm-0", target)
+        # Scale-down works through the *target* brick's controller now.
+        migration_rack.scale_down("vm-0", result.segment.segment_id)
+        assert migration_rack.hosting("vm-0").vm.configured_ram_bytes == \
+            gib(10)
+
+    def test_source_resources_freed(self, migration_rack):
+        source_id = migration_rack.hosting("vm-0").brick_id
+        target = other_brick(migration_rack)
+        migration_rack.migrate_vm("vm-0", target)
+        source = migration_rack.stack(source_id)
+        assert source.hypervisor.cores_in_use() == 0
+        assert source.kernel.reserved_bytes == 0
+        # Source can host a new VM immediately.
+        migration_rack.boot_vm(VmAllocationRequest(
+            "vm-new", vcpus=8, ram_bytes=gib(1)))
+
+    def test_lifecycle_after_migration(self, migration_rack):
+        target = other_brick(migration_rack)
+        migration_rack.migrate_vm("vm-0", target)
+        latency = migration_rack.terminate_vm("vm-0")
+        assert latency > 0
+        assert migration_rack.sdm.live_segments == []
+        assert migration_rack.fabric.active_circuits == []
+
+    def test_migrate_to_same_brick_rejected(self, migration_rack):
+        current = migration_rack.hosting("vm-0").brick_id
+        with pytest.raises(OrchestrationError, match="already on"):
+            migration_rack.migrate_vm("vm-0", current)
+
+    def test_target_core_shortage_rejected_preflight(self, migration_rack):
+        """A full target is rejected BEFORE the VM is touched."""
+        target = other_brick(migration_rack)
+        migration_rack.boot_vm(VmAllocationRequest(
+            "blocker", vcpus=8, ram_bytes=gib(1)))
+        blocker_home = migration_rack.hosting("blocker").brick_id
+        if blocker_home == target:
+            with pytest.raises(OrchestrationError, match="free cores"):
+                migration_rack.migrate_vm("vm-0", target)
+            # Pre-flight failure leaves the guest untouched and running.
+            hosted = migration_rack.hosting("vm-0")
+            assert hosted.vm.is_running
+            assert hosted.brick_id != target
+
+    def test_migrate_to_sleeping_brick_wakes_it(self, migration_rack):
+        target = other_brick(migration_rack)
+        migration_rack.stack(target).brick.power_off()
+        report = migration_rack.migrate_vm("vm-0", target)
+        assert "target_power_on" in report.steps
+        assert migration_rack.stack(target).brick.is_powered
+        assert migration_rack.hosting("vm-0").vm.is_running
+
+    def test_conventional_estimate_scales_with_ram(self):
+        system = (RackBuilder("est")
+                  .with_compute_bricks(2)
+                  .with_memory_bricks(1)
+                  .build())
+        flow = MigrationFlow(system)
+        assert (flow.conventional_estimate_s(gib(64))
+                > 4 * flow.conventional_estimate_s(gib(8)))
+
+    def test_bad_link_rate_rejected(self, migration_rack):
+        with pytest.raises(OrchestrationError):
+            MigrationFlow(migration_rack, link_rate_bps=0)
+
+
+class TestHypervisorEvictAdopt:
+    def test_evict_requires_paused(self, migration_rack):
+        hosted = migration_rack.hosting("vm-0")
+        stack = migration_rack.stack(hosted.brick_id)
+        with pytest.raises(HypervisorError, match="paused"):
+            stack.hypervisor.evict_vm("vm-0")
+
+    def test_adopt_requires_paused(self, migration_rack):
+        hosted = migration_rack.hosting("vm-0")
+        source = migration_rack.stack(hosted.brick_id)
+        hosted.vm.transition(VmState.PAUSED)
+        vm, dimms = source.hypervisor.evict_vm("vm-0")
+        vm.transition(VmState.RUNNING)
+        target = migration_rack.stack(other_brick(migration_rack))
+        with pytest.raises(HypervisorError, match="paused"):
+            target.hypervisor.adopt_vm(vm, dimms)
+
+    def test_evict_releases_accounting(self, migration_rack):
+        hosted = migration_rack.hosting("vm-0")
+        stack = migration_rack.stack(hosted.brick_id)
+        hosted.vm.transition(VmState.PAUSED)
+        stack.hypervisor.evict_vm("vm-0")
+        assert stack.hypervisor.cores_in_use() == 0
+        assert stack.kernel.reserved_bytes == 0

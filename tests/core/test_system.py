@@ -1,0 +1,135 @@
+"""Unit tests for the assembled DisaggregatedRack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OrchestrationError
+from repro.memory.segments import SegmentState
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+
+class TestBootVm:
+    def test_boot_within_local_memory(self, small_system):
+        info = small_system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=2, ram_bytes=gib(1)))
+        assert info.boot_segments == []
+        assert info.vm.is_running
+        assert info.latency_s > 0
+
+    def test_boot_beyond_local_attaches_remote(self, small_system):
+        info = small_system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=2, ram_bytes=gib(6)))
+        assert len(info.boot_segments) >= 1
+        stack = small_system.stack(info.brick_id)
+        assert stack.kernel.total_ram_bytes >= gib(6)
+        assert all(s.state is SegmentState.ACTIVE
+                   for s in info.boot_segments)
+
+    def test_boot_creates_circuits(self, small_system):
+        small_system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=2, ram_bytes=gib(6)))
+        assert len(small_system.fabric.active_circuits) >= 1
+
+    def test_duplicate_vm_id_rejected(self, system_with_vm):
+        with pytest.raises(OrchestrationError, match="already in use"):
+            system_with_vm.boot_vm(
+                VmAllocationRequest("vm-0", vcpus=1, ram_bytes=gib(1)))
+
+    def test_memory_bigger_than_any_brick(self, small_system):
+        # 12 GiB VM on a rack with 2 GiB local + 2 x 16 GiB membricks.
+        info = small_system.boot_vm(
+            VmAllocationRequest("vm-big", vcpus=2, ram_bytes=gib(12)))
+        assert info.vm.configured_ram_bytes == gib(12)
+
+    def test_hosting_lookup(self, system_with_vm):
+        hosted = system_with_vm.hosting("vm-0")
+        assert hosted.vm.vm_id == "vm-0"
+        with pytest.raises(OrchestrationError):
+            system_with_vm.hosting("ghost")
+
+
+class TestScaleUpDown:
+    def test_scale_up_increases_vm_ram(self, system_with_vm):
+        before = system_with_vm.hosting("vm-0").vm.configured_ram_bytes
+        result = system_with_vm.scale_up("vm-0", gib(2))
+        after = system_with_vm.hosting("vm-0").vm.configured_ram_bytes
+        assert after == before + gib(2)
+        assert result.segment.state is SegmentState.ACTIVE
+
+    def test_scale_down_returns_memory(self, system_with_vm):
+        result = system_with_vm.scale_up("vm-0", gib(2))
+        before = system_with_vm.hosting("vm-0").vm.configured_ram_bytes
+        system_with_vm.scale_down("vm-0", result.segment.segment_id)
+        after = system_with_vm.hosting("vm-0").vm.configured_ram_bytes
+        assert after == before - gib(2)
+        assert result.segment.state is SegmentState.RELEASED
+
+    def test_scale_unknown_vm_rejected(self, small_system):
+        with pytest.raises(OrchestrationError):
+            small_system.scale_up("ghost", gib(1))
+
+
+class TestTerminate:
+    def test_terminate_releases_everything(self, small_system):
+        small_system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=2, ram_bytes=gib(6)))
+        small_system.scale_up("vm-0", gib(2))
+        latency = small_system.terminate_vm("vm-0")
+        assert latency > 0
+        assert small_system.vms == []
+        assert small_system.sdm.live_segments == []
+        assert small_system.fabric.active_circuits == []
+
+    def test_terminate_frees_cores_for_new_vm(self, small_system):
+        small_system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=8, ram_bytes=gib(1)))
+        small_system.terminate_vm("vm-0")
+        info = small_system.boot_vm(
+            VmAllocationRequest("vm-1", vcpus=8, ram_bytes=gib(1)))
+        assert info.vm.is_running
+
+    def test_terminate_unknown_rejected(self, small_system):
+        with pytest.raises(OrchestrationError):
+            small_system.terminate_vm("ghost")
+
+
+class TestPowerManagement:
+    def test_power_off_idle_spares_used_bricks(self, system_with_vm):
+        off = system_with_vm.power_off_idle()
+        hosted_brick = system_with_vm.hosting("vm-0").brick_id
+        assert hosted_brick not in off
+        # The second compute brick is idle and goes dark.
+        assert any(brick_id.startswith("test-rack.cb") for brick_id in off)
+
+    def test_power_draw_drops_after_power_off(self, system_with_vm):
+        before = system_with_vm.total_power_w()
+        system_with_vm.power_off_idle()
+        assert system_with_vm.total_power_w() < before
+
+    def test_booting_after_power_off_wakes_bricks(self, small_system):
+        small_system.power_off_idle()
+        info = small_system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=2, ram_bytes=gib(6)))
+        assert info.vm.is_running
+
+
+class TestSnapshot:
+    def test_snapshot_consistency(self, system_with_vm):
+        from repro.core.metrics import snapshot
+        snap = snapshot(system_with_vm)
+        assert snap.vm_count == 1
+        assert snap.cores_in_use == 2
+        assert snap.cores_total == 16
+        assert snap.core_utilization == pytest.approx(2 / 16)
+        assert 0 <= snap.memory_utilization <= 1
+        assert snap.power_draw_w == pytest.approx(
+            system_with_vm.total_power_w())
+
+    def test_snapshot_tracks_power_off(self, system_with_vm):
+        from repro.core.metrics import snapshot
+        system_with_vm.power_off_idle()
+        snap = snapshot(system_with_vm)
+        assert snap.compute_bricks_off + snap.memory_bricks_off > 0
+        assert snap.bricks_off_fraction > 0

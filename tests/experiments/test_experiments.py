@@ -1,0 +1,201 @@
+"""Tests for the per-figure experiment drivers.
+
+These assert the *shapes* the paper reports (see DESIGN.md §2), not the
+absolute numbers of the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7_ber import run_fig7
+from repro.experiments.fig8_latency import run_fig8
+from repro.experiments.fig10_agility import run_fig10
+from repro.experiments.fig12_poweroff import run_fig12
+from repro.experiments.fig13_energy import run_fig13
+from repro.experiments.table1_workloads import run_table1
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(sample_count=500)
+
+    def test_rows_are_the_paper_table(self, result):
+        assert result.rows() == [
+            ("Random", "1-32 cores", "1-32 GB"),
+            ("High RAM", "1-8 cores", "24-32 GB"),
+            ("High CPU", "24-32 cores", "1-8 GB"),
+            ("Half Half", "16 cores", "16 GB"),
+            ("More RAM", "1-6 cores", "17-32 GB"),
+            ("More CPU", "17-32 cores", "1-16 GB"),
+        ]
+
+    def test_sampled_means_near_midpoints(self, result):
+        stats = result.sample_stats["Random"]
+        assert stats["mean_vcpus"] == pytest.approx(16.5, rel=0.1)
+        assert stats["mean_ram_gib"] == pytest.approx(16.5, rel=0.1)
+
+    def test_sampled_extremes_within_ranges(self, result):
+        stats = result.sample_stats["High RAM"]
+        assert stats["min_ram_gib"] >= 24
+        assert stats["max_ram_gib"] <= 32
+
+    def test_render(self, result):
+        text = result.render()
+        assert "TABLE I" in text
+        assert "High CPU" in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(measurements_per_channel=25)
+
+    def test_every_channel_below_target(self, result):
+        # The paper's headline: all links achieve BER below 1e-12.
+        assert all(m.meets_target for m in result.channels)
+
+    def test_hop_counts_match_paper(self, result):
+        hops = {m.channel: m.hops for m in result.channels}
+        assert hops[8] == 6
+        assert all(hops[ch] == 8 for ch in range(1, 8))
+
+    def test_six_hop_channel_receives_more_power(self, result):
+        ch6 = result.channel(8)  # the six-hop channel
+        eight_hop_power = max(m.mean_received_dbm for m in result.channels
+                              if m.hops == 8)
+        assert ch6.mean_received_dbm > eight_hop_power
+
+    def test_ber_monotone_in_received_power(self, result):
+        ordered = sorted(result.channels,
+                         key=lambda m: m.mean_received_dbm)
+        weakest, strongest = ordered[0], ordered[-1]
+        assert weakest.ber_stats.median > strongest.ber_stats.median
+
+    def test_boxplot_has_spread(self, result):
+        measurement = result.channel(1)
+        assert measurement.ber_stats.q3 > measurement.ber_stats.q1
+
+    def test_render_mentions_featured_channels(self, result):
+        text = result.render()
+        assert "ch-1" in text and "ch-8" in text
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8()
+
+    def test_groups_match_figure_legend(self, result):
+        assert set(result.by_group) == {
+            "dCOMPUBRICK", "optical path", "dMEMBRICK"}
+
+    def test_mac_phy_and_switch_dominate(self, result):
+        assert result.by_block["mac_phy"] > result.by_block["propagation"]
+        assert result.by_block["switch"] > result.by_block["propagation"]
+
+    def test_total_in_microsecond_regime(self, result):
+        assert 1000 <= result.packet_total_ns <= 3000
+
+    def test_fec_penalty_exceeds_100ns_per_direction(self, result):
+        # Four MAC/PHY traversals per round trip -> > 400 ns total.
+        assert result.fec_penalty_ns > 400
+
+    def test_circuit_path_faster(self, result):
+        assert result.circuit_total_ns < result.packet_total_ns
+
+    def test_rows_sum_to_total(self, result):
+        total = sum(ns for _g, _n, ns in result.rows())
+        # rows() rounds to 0.1 ns per component.
+        assert total == pytest.approx(result.packet_total_ns, abs=1.0)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "FEC" in text
+        assert "dMEMBRICK" in text
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Scaled-down but same structure: 2 sizes x 3 concurrency levels.
+        return run_fig10(sizes_gib=(1, 4), concurrencies=(2, 4, 8))
+
+    def test_all_cells_present(self, result):
+        assert len(result.cells) == 6
+
+    def test_scale_up_far_faster_than_scale_out(self, result):
+        for cell in result.cells:
+            assert result.speedup_vs_scale_out(
+                cell.size_gib, cell.concurrency) > 10
+
+    def test_delay_grows_with_concurrency(self, result):
+        for size in result.sizes_gib:
+            low = result.cell(size, 2).mean_delay_s
+            high = result.cell(size, 8).mean_delay_s
+            assert high >= low
+
+    def test_delay_grows_with_size(self, result):
+        for concurrency in result.concurrencies:
+            small = result.cell(1, concurrency).mean_delay_s
+            large = result.cell(4, concurrency).mean_delay_s
+            assert large > small
+
+    def test_each_vm_sampled_once(self, result):
+        cell = result.cell(1, 8)
+        assert len(cell.delays_s) == 8
+
+    def test_render(self, result):
+        text = result.render()
+        assert "scale-out" in text
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig12(node_count=64)
+
+    def test_headline_up_to_88_percent(self, result):
+        assert result.max_brick_poweroff == pytest.approx(0.88, abs=0.06)
+
+    def test_conventional_at_most_about_15_percent(self, result):
+        assert result.max_conventional_poweroff <= 0.20
+
+    def test_disaggregated_dominates(self, result):
+        for r in result.results:
+            assert r.disaggregated_poweroff >= r.conventional_poweroff - 1e-9
+
+    def test_unbalanced_beats_balanced(self, result):
+        by_name = {r.config_name: r for r in result.results}
+        assert (by_name["High RAM"].disaggregated_poweroff
+                > by_name["Half Half"].disaggregated_poweroff)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "88%" in text or "87%" in text or "86%" in text
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig13(node_count=64)
+
+    def test_savings_reach_paper_regime(self, result):
+        # "almost 50% energy savings depending on the workload"
+        assert result.best_savings >= 0.45
+
+    def test_memory_heavy_workloads_save_most(self, result):
+        assert result.savings_for("High RAM") > result.savings_for("Half Half")
+        assert result.savings_for("More RAM") > result.savings_for("Random")
+
+    def test_balanced_near_parity(self, result):
+        assert abs(result.savings_for("Half Half")) < 0.1
+
+    def test_normalized_power_bounds(self, result):
+        for r in result.results:
+            assert 0.0 < r.normalized_power < 1.1
+
+    def test_render(self, result):
+        text = result.render()
+        assert "normalized" in text.lower()

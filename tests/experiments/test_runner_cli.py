@@ -1,0 +1,50 @@
+"""Tests for the experiment runner and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+class TestRunner:
+    def test_registry_covers_every_artifact(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig7", "fig8", "fig10", "fig12", "fig13"}
+
+    def test_run_selected(self):
+        report = run_all(["table1"])
+        assert len(report.runs) == 1
+        assert report.runs[0].name == "table1"
+        assert "TABLE I" in report.runs[0].rendered
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_all(["fig99"])
+
+    def test_rendered_concatenation(self):
+        report = run_all(["table1", "fig8"])
+        text = report.rendered()
+        assert "Experiment: table1" in text
+        assert "Experiment: fig8" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_run_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,123 @@
+"""Unit tests for the accelerator slot / PCAP middleware."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, HardwareError
+from repro.hardware.accelerator import (
+    AcceleratorSlot,
+    AcceleratorState,
+    Bitstream,
+    ReconfigurationMiddleware,
+    WrapperRegister,
+)
+from repro.units import mib
+
+
+def make_bitstream(name="edge-detect", size=mib(8), cost=50):
+    return Bitstream(name, size_bytes=size, resource_cost=cost)
+
+
+class TestBitstream:
+    def test_pcap_time_grows_with_size(self):
+        small = make_bitstream(size=mib(4))
+        large = make_bitstream(size=mib(32))
+        assert large.pcap_program_time_s > small.pcap_program_time_s
+
+    def test_pcap_time_has_fixed_overhead(self):
+        tiny = make_bitstream(size=1)
+        assert tiny.pcap_program_time_s > 0.001
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_bitstream(size=0)
+
+    def test_invalid_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_bitstream(cost=0)
+
+
+class TestAcceleratorSlot:
+    def test_configure_then_start_stop(self):
+        slot = AcceleratorSlot("s0")
+        latency = slot.configure(make_bitstream())
+        assert latency > 0
+        assert slot.state is AcceleratorState.CONFIGURED
+        slot.start()
+        assert slot.state is AcceleratorState.RUNNING
+        assert slot.wrapper.read(WrapperRegister.CONTROL) == 1
+        slot.stop()
+        assert slot.state is AcceleratorState.CONFIGURED
+        assert slot.wrapper.read(WrapperRegister.CONTROL) == 0
+
+    def test_start_empty_slot_rejected(self):
+        with pytest.raises(HardwareError):
+            AcceleratorSlot("s0").start()
+
+    def test_stop_non_running_rejected(self):
+        slot = AcceleratorSlot("s0")
+        slot.configure(make_bitstream())
+        with pytest.raises(HardwareError):
+            slot.stop()
+
+    def test_reconfigure_while_running_rejected(self):
+        slot = AcceleratorSlot("s0")
+        slot.configure(make_bitstream("a"))
+        slot.start()
+        with pytest.raises(HardwareError, match="stop"):
+            slot.configure(make_bitstream("b"))
+
+    def test_oversized_bitstream_rejected(self):
+        slot = AcceleratorSlot("s0", resource_budget=40)
+        with pytest.raises(HardwareError, match="budget"):
+            slot.configure(make_bitstream(cost=50))
+
+    def test_reconfiguration_counter(self):
+        slot = AcceleratorSlot("s0")
+        slot.configure(make_bitstream("a"))
+        slot.configure(make_bitstream("b"))
+        assert slot.reconfiguration_count == 2
+        assert slot.bitstream.name == "b"
+
+    def test_clear_blanks_even_running(self):
+        slot = AcceleratorSlot("s0")
+        slot.configure(make_bitstream())
+        slot.start()
+        slot.clear()
+        assert slot.state is AcceleratorState.EMPTY
+        assert slot.bitstream is None
+
+    def test_wrapper_rejects_negative_register_value(self):
+        slot = AcceleratorSlot("s0")
+        with pytest.raises(HardwareError):
+            slot.wrapper.write(WrapperRegister.DATA_BASE, -1)
+
+
+class TestMiddleware:
+    def test_receive_and_reconfigure(self):
+        slot = AcceleratorSlot("s0")
+        middleware = ReconfigurationMiddleware(slot)
+        middleware.receive_bitstream(make_bitstream("fn"))
+        latency = middleware.reconfigure("fn")
+        assert latency > 0
+        assert slot.is_configured
+
+    def test_reconfigure_unknown_rejected(self):
+        middleware = ReconfigurationMiddleware(AcceleratorSlot("s0"))
+        with pytest.raises(HardwareError, match="has not been uploaded"):
+            middleware.reconfigure("ghost")
+
+    def test_reupload_replaces(self):
+        middleware = ReconfigurationMiddleware(AcceleratorSlot("s0"))
+        middleware.receive_bitstream(make_bitstream("fn", size=mib(4)))
+        middleware.receive_bitstream(make_bitstream("fn", size=mib(16)))
+        assert middleware.stored_bitstreams == ["fn"]
+
+    def test_drop(self):
+        middleware = ReconfigurationMiddleware(AcceleratorSlot("s0"))
+        middleware.receive_bitstream(make_bitstream("fn"))
+        middleware.drop_bitstream("fn")
+        assert middleware.stored_bitstreams == []
+        with pytest.raises(HardwareError):
+            middleware.drop_bitstream("fn")

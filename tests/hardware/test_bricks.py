@@ -1,0 +1,125 @@
+"""Unit tests for the three brick types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.bricks import (
+    AcceleratorBrick,
+    BrickType,
+    ComputeBrick,
+    MemoryBrick,
+)
+from repro.hardware.memory_tech import DDR4_2400, HMC_GEN2
+from repro.hardware.ports import PortRole
+from repro.units import gib
+
+
+class TestBrickCommon:
+    def test_ports_and_mbo_wired(self):
+        brick = ComputeBrick("cb0", cbn_ports=8, pbn_ports=2)
+        assert len(brick.circuit_ports) == 8
+        assert len(brick.packet_ports) == 2
+        assert len(brick.mbo.attached_channels) == 8
+
+    def test_port_roles(self):
+        brick = ComputeBrick("cb0")
+        assert all(p.role is PortRole.CIRCUIT for p in brick.circuit_ports)
+        assert all(p.role is PortRole.PACKET for p in brick.packet_ports)
+
+    def test_port_names_carry_brick_id(self):
+        brick = MemoryBrick("mb7")
+        assert all(p.port_id.startswith("mb7.cbn")
+                   for p in brick.circuit_ports)
+
+    def test_unplugged_initially(self):
+        assert not ComputeBrick("cb0").is_plugged
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComputeBrick("")
+
+    def test_default_power_profiles_differ_by_type(self):
+        compute = ComputeBrick("cb0")
+        memory = MemoryBrick("mb0")
+        accel = AcceleratorBrick("ab0")
+        assert compute.power_profile.active_w != memory.power_profile.active_w
+        assert accel.power_profile.active_w > memory.power_profile.active_w
+
+
+class TestComputeBrick:
+    def test_type(self):
+        assert ComputeBrick("cb0").brick_type is BrickType.COMPUTE
+
+    def test_default_quad_core(self):
+        assert ComputeBrick("cb0").core_count == 4
+
+    def test_local_memory(self):
+        brick = ComputeBrick("cb0", local_memory_bytes=gib(8))
+        assert brick.local_memory_bytes == gib(8)
+
+    def test_remote_memory_tracks_rmst(self):
+        from repro.hardware.rmst import SegmentEntry
+        brick = ComputeBrick("cb0")
+        assert brick.remote_memory_bytes == 0
+        brick.rmst.install(SegmentEntry(
+            "s", base=gib(4), size=gib(2), remote_brick_id="mb0",
+            remote_offset=0, egress_port_id="cb0.cbn0"))
+        assert brick.remote_memory_bytes == gib(2)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComputeBrick("cb0", core_count=0)
+
+    def test_rmst_capacity_configurable(self):
+        brick = ComputeBrick("cb0", rmst_entries=4)
+        assert brick.rmst.capacity == 4
+
+
+class TestMemoryBrick:
+    def test_type(self):
+        assert MemoryBrick("mb0").brick_type is BrickType.MEMORY
+
+    def test_capacity_is_module_sum(self):
+        brick = MemoryBrick("mb0", module_count=4, module_bytes=gib(16))
+        assert brick.capacity_bytes == gib(64)
+        assert brick.controller_count == 4
+
+    def test_dimensioning(self):
+        brick = MemoryBrick("mb0", module_count=2, module_bytes=gib(8))
+        assert brick.capacity_bytes == gib(16)
+
+    def test_mixed_technologies(self):
+        brick = MemoryBrick("mb0", module_count=2,
+                            technologies=[DDR4_2400, HMC_GEN2])
+        assert brick.modules[0].technology is DDR4_2400
+        assert brick.modules[1].technology is HMC_GEN2
+
+    def test_technology_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBrick("mb0", module_count=3, technologies=[DDR4_2400])
+
+    def test_zero_modules_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBrick("mb0", module_count=0)
+
+    def test_glue_covers_all_modules(self):
+        brick = MemoryBrick("mb0", module_count=3, module_bytes=gib(4))
+        assert brick.glue.total_capacity_bytes == gib(12)
+
+
+class TestAcceleratorBrick:
+    def test_type(self):
+        assert AcceleratorBrick("ab0").brick_type is BrickType.ACCELERATOR
+
+    def test_starts_without_accelerator(self):
+        assert not AcceleratorBrick("ab0").hosts_accelerator
+
+    def test_pl_memory(self):
+        brick = AcceleratorBrick("ab0", pl_memory_bytes=gib(16))
+        assert brick.pl_memory.capacity_bytes == gib(16)
+
+    def test_slot_budget(self):
+        brick = AcceleratorBrick("ab0", slot_resources=42)
+        assert brick.slot.resource_budget == 42

@@ -1,0 +1,98 @@
+"""Unit tests for the Transaction Glue Logic models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SegmentTableError
+from repro.hardware.glue import (
+    ComputeGlueLogic,
+    GlueLogicTimings,
+    MemoryGlueLogic,
+)
+from repro.hardware.memory_tech import DDR4_2400, MemoryModule
+from repro.hardware.rmst import RemoteMemorySegmentTable, SegmentEntry
+from repro.units import gib
+
+
+@pytest.fixture
+def rmst():
+    table = RemoteMemorySegmentTable()
+    table.install(SegmentEntry("seg0", base=gib(4), size=gib(2),
+                               remote_brick_id="mb0", remote_offset=gib(1),
+                               egress_port_id="cb0.cbn2"))
+    return table
+
+
+class TestComputeGlueLogic:
+    def test_steer_resolves_translation_and_port(self, rmst):
+        glue = ComputeGlueLogic(rmst)
+        decision = glue.steer(gib(4) + 4096)
+        assert decision.remote_address == gib(1) + 4096
+        assert decision.egress_port_id == "cb0.cbn2"
+        assert decision.entry.segment_id == "seg0"
+
+    def test_steer_latency_is_fixed_pipeline(self, rmst):
+        timings = GlueLogicTimings()
+        glue = ComputeGlueLogic(rmst, timings)
+        decision = glue.steer(gib(4))
+        expected = (timings.issue_latency_s + timings.lookup_latency_s
+                    + timings.forward_latency_s)
+        assert decision.latency_s == pytest.approx(expected)
+        assert glue.request_path_latency_s == pytest.approx(expected)
+
+    def test_miss_counts_and_raises(self, rmst):
+        glue = ComputeGlueLogic(rmst)
+        with pytest.raises(SegmentTableError):
+            glue.steer(0)
+        assert glue.lookup_misses == 1
+        assert glue.transactions_steered == 0
+
+    def test_steer_counter(self, rmst):
+        glue = ComputeGlueLogic(rmst)
+        glue.steer(gib(4))
+        glue.steer(gib(5))
+        assert glue.transactions_steered == 2
+
+    def test_response_latency_smaller_than_request(self, rmst):
+        glue = ComputeGlueLogic(rmst)
+        assert glue.response_path_latency_s < glue.request_path_latency_s
+
+
+class TestMemoryGlueLogic:
+    @pytest.fixture
+    def modules(self):
+        return [MemoryModule(f"m{i}", DDR4_2400, gib(4)) for i in range(3)]
+
+    def test_offset_to_module_windows(self, modules):
+        glue = MemoryGlueLogic(modules)
+        module, local = glue.module_for_offset(0)
+        assert module is modules[0] and local == 0
+        module, local = glue.module_for_offset(gib(4))
+        assert module is modules[1] and local == 0
+        module, local = glue.module_for_offset(gib(11))
+        assert module is modules[2] and local == gib(3)
+
+    def test_offset_beyond_capacity_raises(self, modules):
+        glue = MemoryGlueLogic(modules)
+        with pytest.raises(SegmentTableError, match="exceeds"):
+            glue.module_for_offset(gib(12))
+
+    def test_negative_offset_rejected(self, modules):
+        glue = MemoryGlueLogic(modules)
+        with pytest.raises(SegmentTableError):
+            glue.module_for_offset(-1)
+
+    def test_ingress_counts_and_latency(self, modules):
+        glue = MemoryGlueLogic(modules)
+        _module, _local, latency = glue.ingress(gib(5))
+        assert latency == glue.timings.ingress_latency_s
+        assert glue.ingress_count == 1
+
+    def test_egress_latency(self, modules):
+        glue = MemoryGlueLogic(modules)
+        assert glue.egress_latency_s() == glue.timings.egress_latency_s
+        assert glue.egress_count == 1
+
+    def test_total_capacity(self, modules):
+        assert MemoryGlueLogic(modules).total_capacity_bytes == gib(12)

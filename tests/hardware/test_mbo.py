@@ -1,0 +1,88 @@
+"""Unit tests for the mid-board optics model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PortError
+from repro.hardware.mbo import (
+    MBO_CHANNEL_COUNT,
+    MBO_MEAN_LAUNCH_POWER_DBM,
+    MidboardOptics,
+)
+from repro.hardware.ports import PortRole, TransceiverPort
+
+
+def make_port(name="p0"):
+    return TransceiverPort(name, PortRole.CIRCUIT)
+
+
+class TestConstruction:
+    def test_default_eight_channels(self):
+        mbo = MidboardOptics("mbo0")
+        assert len(mbo) == MBO_CHANNEL_COUNT
+
+    def test_nominal_launch_power(self):
+        mbo = MidboardOptics("mbo0")
+        assert all(c.launch_power_dbm == MBO_MEAN_LAUNCH_POWER_DBM
+                   for c in mbo)
+
+    def test_launch_spread_requires_rng(self):
+        with pytest.raises(PortError):
+            MidboardOptics("mbo0", launch_sigma_db=0.5)
+
+    def test_launch_spread_varies_channels(self):
+        rng = np.random.default_rng(7)
+        mbo = MidboardOptics("mbo0", launch_sigma_db=0.5, rng=rng)
+        powers = [c.launch_power_dbm for c in mbo]
+        assert len(set(powers)) > 1
+
+    def test_wavelength_1310(self):
+        mbo = MidboardOptics("mbo0")
+        assert all(c.wavelength_nm == 1310.0 for c in mbo)
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(PortError):
+            MidboardOptics("mbo0", channel_count=0)
+
+
+class TestAttachments:
+    def test_attach_and_resolve(self):
+        mbo = MidboardOptics("mbo0")
+        port = make_port()
+        channel = mbo.attach_port(3, port)
+        assert channel.channel_index == 3
+        assert mbo.channel_for_port(port) is channel
+
+    def test_double_attach_same_channel_rejected(self):
+        mbo = MidboardOptics("mbo0")
+        mbo.attach_port(0, make_port("a"))
+        with pytest.raises(PortError):
+            mbo.attach_port(0, make_port("b"))
+
+    def test_same_port_two_channels_rejected(self):
+        mbo = MidboardOptics("mbo0")
+        port = make_port()
+        mbo.attach_port(0, port)
+        with pytest.raises(PortError):
+            mbo.attach_port(1, port)
+
+    def test_channel_index_bounds(self):
+        mbo = MidboardOptics("mbo0")
+        with pytest.raises(PortError):
+            mbo.channel(8)
+        with pytest.raises(PortError):
+            mbo.channel(-1)
+
+    def test_unattached_port_lookup_raises(self):
+        mbo = MidboardOptics("mbo0")
+        with pytest.raises(PortError):
+            mbo.channel_for_port(make_port())
+
+    def test_attached_channels_view(self):
+        mbo = MidboardOptics("mbo0")
+        mbo.attach_port(2, make_port("a"))
+        mbo.attach_port(5, make_port("b"))
+        indexes = [c.channel_index for c in mbo.attached_channels]
+        assert indexes == [2, 5]

@@ -1,0 +1,110 @@
+"""Unit tests for memory technologies and controllers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.memory_tech import (
+    DDR4_2400,
+    HMC_GEN2,
+    MemoryController,
+    MemoryModule,
+    MemoryTechnology,
+    technology_by_name,
+)
+from repro.units import gib
+
+
+class TestTechnologyPresets:
+    def test_ddr4_faster_access_than_hmc(self):
+        assert DDR4_2400.access_latency_s < HMC_GEN2.access_latency_s
+
+    def test_hmc_more_bandwidth(self):
+        assert HMC_GEN2.bandwidth_bps > DDR4_2400.bandwidth_bps
+
+    def test_hmc_lower_energy_per_bit(self):
+        assert (HMC_GEN2.access_energy_pj_per_bit
+                < DDR4_2400.access_energy_pj_per_bit)
+
+    def test_lookup_by_name(self):
+        assert technology_by_name("DDR4-2400") is DDR4_2400
+        assert technology_by_name("HMC-gen2") is HMC_GEN2
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown memory"):
+            technology_by_name("DDR9")
+
+
+class TestServiceTime:
+    def test_includes_access_and_controller(self):
+        service = DDR4_2400.service_time(0)
+        expected = DDR4_2400.access_latency_s + DDR4_2400.controller_latency_s
+        assert service == pytest.approx(expected)
+
+    def test_grows_with_size(self):
+        assert DDR4_2400.service_time(4096) > DDR4_2400.service_time(64)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DDR4_2400.service_time(-1)
+
+    def test_access_energy(self):
+        energy = DDR4_2400.access_energy_j(64)
+        expected = 64 * 8 * 180.0 * 1e-12
+        assert energy == pytest.approx(expected)
+
+    def test_invalid_technology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTechnology("bad", access_latency_s=0.0,
+                             bandwidth_bps=1.0,
+                             access_energy_pj_per_bit=1.0,
+                             controller_latency_s=0.0)
+
+
+class TestMemoryController:
+    def test_occupy_serializes_requests(self):
+        controller = MemoryController("mc0", DDR4_2400)
+        service = controller.service_time(64)
+        first_done = controller.occupy(0.0, 64)
+        assert first_done == pytest.approx(service)
+        second_done = controller.occupy(0.0, 64)
+        assert second_done == pytest.approx(2 * service)
+
+    def test_idle_gap_no_queueing(self):
+        controller = MemoryController("mc0", DDR4_2400)
+        controller.occupy(0.0, 64)
+        later = controller.occupy(1.0, 64)
+        assert later == pytest.approx(1.0 + controller.service_time(64))
+
+    def test_counters(self):
+        controller = MemoryController("mc0", DDR4_2400)
+        controller.occupy(0.0, 64)
+        controller.occupy(0.0, 128)
+        assert controller.requests_served == 2
+        assert controller.bytes_moved == 192
+
+    def test_busy_until_advances(self):
+        controller = MemoryController("mc0", DDR4_2400)
+        assert controller.busy_until == 0.0
+        controller.occupy(0.0, 64)
+        assert controller.busy_until > 0.0
+
+
+class TestMemoryModule:
+    def test_capacity(self):
+        module = MemoryModule("m0", DDR4_2400, gib(16))
+        assert module.capacity_bytes == gib(16)
+        assert module.capacity_gib == pytest.approx(16.0)
+
+    def test_technology_exposed(self):
+        module = MemoryModule("m0", HMC_GEN2, gib(8))
+        assert module.technology is HMC_GEN2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModule("m0", DDR4_2400, 0)
+
+    def test_controller_named_after_module(self):
+        module = MemoryModule("brick.mod3", DDR4_2400, gib(4))
+        assert module.controller.controller_id == "brick.mod3.mc"

@@ -1,0 +1,113 @@
+"""Unit tests for transceiver ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PortError
+from repro.hardware.ports import (
+    PortGroup,
+    PortRole,
+    PortState,
+    TransceiverPort,
+)
+from repro.units import gbps
+
+
+def make_port(name="p0", role=PortRole.CIRCUIT, rate=gbps(10)):
+    return TransceiverPort(name, role, rate)
+
+
+class TestTransceiverPort:
+    def test_starts_free(self):
+        port = make_port()
+        assert port.is_free
+        assert port.state is PortState.FREE
+        assert port.peer is None
+
+    def test_connect_is_symmetric(self):
+        a, b = make_port("a"), make_port("b")
+        a.connect(b)
+        assert a.peer is b
+        assert b.peer is a
+        assert not a.is_free and not b.is_free
+
+    def test_connect_to_self_rejected(self):
+        port = make_port()
+        with pytest.raises(PortError):
+            port.connect(port)
+
+    def test_connect_busy_port_rejected(self):
+        a, b, c = make_port("a"), make_port("b"), make_port("c")
+        a.connect(b)
+        with pytest.raises(PortError):
+            c.connect(a)
+
+    def test_role_mismatch_rejected(self):
+        cbn = make_port("a", PortRole.CIRCUIT)
+        pbn = make_port("b", PortRole.PACKET)
+        with pytest.raises(PortError):
+            cbn.connect(pbn)
+
+    def test_disconnect_frees_both(self):
+        a, b = make_port("a"), make_port("b")
+        a.connect(b)
+        b.disconnect()
+        assert a.is_free and b.is_free
+
+    def test_disconnect_free_port_rejected(self):
+        with pytest.raises(PortError):
+            make_port().disconnect()
+
+    def test_serialization_delay(self):
+        port = make_port(rate=gbps(10))
+        assert port.serialization_delay(64) == pytest.approx(51.2e-9)
+
+    def test_serialization_negative_rejected(self):
+        with pytest.raises(PortError):
+            make_port().serialization_delay(-1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(PortError):
+            TransceiverPort("x", PortRole.CIRCUIT, 0)
+
+
+class TestPortGroup:
+    def test_mixed_roles_rejected(self):
+        with pytest.raises(PortError):
+            PortGroup([make_port("a", PortRole.CIRCUIT),
+                       make_port("b", PortRole.PACKET)])
+
+    def test_allocate_first_free(self):
+        ports = [make_port(f"p{i}") for i in range(3)]
+        group = PortGroup(ports)
+        assert group.allocate() is ports[0]
+        ports[0].connect(make_port("ext"))
+        assert group.allocate() is ports[1]
+
+    def test_allocate_exhausted_raises(self):
+        lone = make_port("p0")
+        group = PortGroup([lone])
+        lone.connect(make_port("ext"))
+        with pytest.raises(PortError):
+            group.allocate()
+
+    def test_free_and_connected_views(self):
+        ports = [make_port(f"p{i}") for i in range(2)]
+        group = PortGroup(ports)
+        ports[0].connect(make_port("ext"))
+        assert group.free_ports == [ports[1]]
+        assert group.connected_ports == [ports[0]]
+
+    def test_by_id(self):
+        ports = [make_port(f"p{i}") for i in range(2)]
+        group = PortGroup(ports)
+        assert group.by_id("p1") is ports[1]
+        with pytest.raises(PortError):
+            group.by_id("missing")
+
+    def test_len_and_iter(self):
+        ports = [make_port(f"p{i}") for i in range(4)]
+        group = PortGroup(ports)
+        assert len(group) == 4
+        assert list(group) == ports

@@ -1,0 +1,115 @@
+"""Unit tests for power states and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PowerStateError
+from repro.hardware.power import (
+    PowerAccountant,
+    Powered,
+    PowerProfile,
+    PowerState,
+)
+
+
+@pytest.fixture
+def profile() -> PowerProfile:
+    return PowerProfile(active_w=20.0, idle_w=8.0)
+
+
+class TestPowerProfile:
+    def test_draw_per_state(self, profile):
+        assert profile.draw(PowerState.ACTIVE) == 20.0
+        assert profile.draw(PowerState.IDLE) == 8.0
+        assert profile.draw(PowerState.OFF) == 0.0
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            PowerProfile(active_w=5.0, idle_w=10.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PowerProfile(active_w=-1.0, idle_w=-2.0)
+
+    def test_nonzero_off_allowed(self):
+        profile = PowerProfile(active_w=10.0, idle_w=5.0, off_w=0.5)
+        assert profile.draw(PowerState.OFF) == 0.5
+
+
+class TestPowered:
+    def test_starts_idle(self, profile):
+        component = Powered(profile)
+        assert component.power_state is PowerState.IDLE
+        assert component.is_powered
+
+    def test_idle_to_active(self, profile):
+        component = Powered(profile)
+        component.set_power_state(PowerState.ACTIVE)
+        assert component.power_draw_w == 20.0
+
+    def test_off_to_active_is_illegal(self, profile):
+        component = Powered(profile, initial_state=PowerState.OFF)
+        with pytest.raises(PowerStateError):
+            component.set_power_state(PowerState.ACTIVE)
+
+    def test_active_to_off_is_illegal_directly(self, profile):
+        component = Powered(profile, initial_state=PowerState.ACTIVE)
+        with pytest.raises(PowerStateError):
+            component.set_power_state(PowerState.OFF)
+
+    def test_power_off_from_active_steps_through_idle(self, profile):
+        component = Powered(profile, initial_state=PowerState.ACTIVE)
+        component.power_off()
+        assert component.power_state is PowerState.OFF
+        assert not component.is_powered
+
+    def test_power_on_from_off(self, profile):
+        component = Powered(profile, initial_state=PowerState.OFF)
+        component.power_on()
+        assert component.power_state is PowerState.IDLE
+
+    def test_power_on_noop_when_powered(self, profile):
+        component = Powered(profile, initial_state=PowerState.ACTIVE)
+        component.power_on()
+        assert component.power_state is PowerState.ACTIVE
+
+    def test_same_state_transition_is_noop(self, profile):
+        component = Powered(profile)
+        component.set_power_state(PowerState.IDLE)
+        assert component.power_state is PowerState.IDLE
+
+
+class TestPowerAccountant:
+    def test_sums_components(self, profile):
+        components = [Powered(profile) for _ in range(3)]
+        accountant = PowerAccountant(components)
+        assert accountant.total_draw_w() == pytest.approx(24.0)
+
+    def test_attach_later(self, profile):
+        accountant = PowerAccountant()
+        accountant.attach(Powered(profile, initial_state=PowerState.ACTIVE))
+        assert accountant.component_count == 1
+        assert accountant.total_draw_w() == pytest.approx(20.0)
+
+    def test_tracks_state_changes(self, profile):
+        component = Powered(profile)
+        accountant = PowerAccountant([component])
+        component.power_off()
+        assert accountant.total_draw_w() == 0.0
+
+    def test_energy(self, profile):
+        accountant = PowerAccountant(
+            [Powered(profile, initial_state=PowerState.ACTIVE)])
+        assert accountant.energy_j(10.0) == pytest.approx(200.0)
+
+    def test_energy_negative_duration_rejected(self, profile):
+        accountant = PowerAccountant([Powered(profile)])
+        with pytest.raises(ValueError):
+            accountant.energy_j(-1.0)
+
+
+def test_total_draw_is_method(profile):
+    # total_draw_w is a method, not a property; calling it works.
+    accountant = PowerAccountant([Powered(profile)])
+    assert accountant.total_draw_w() == pytest.approx(8.0)

@@ -1,0 +1,139 @@
+"""Unit tests for the Remote Memory Segment Table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SegmentTableError
+from repro.hardware.rmst import RemoteMemorySegmentTable, SegmentEntry
+from repro.units import gib
+
+
+def entry(segment_id="seg0", base=gib(4), size=gib(1), brick="mb0",
+          offset=0, port="cb0.cbn0"):
+    return SegmentEntry(segment_id, base, size, brick, offset, port)
+
+
+class TestSegmentEntry:
+    def test_end_and_contains(self):
+        e = entry()
+        assert e.end == gib(5)
+        assert e.contains(gib(4))
+        assert e.contains(gib(5) - 1)
+        assert not e.contains(gib(5))
+        assert not e.contains(gib(4) - 1)
+
+    def test_translate(self):
+        e = entry(offset=gib(2))
+        assert e.translate(gib(4) + 4096) == gib(2) + 4096
+
+    def test_translate_outside_raises(self):
+        with pytest.raises(SegmentTableError):
+            entry().translate(0)
+
+    def test_overlap_detection(self):
+        a = entry("a", base=0, size=100)
+        b = entry("b", base=50, size=100)
+        c = entry("c", base=100, size=50)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(SegmentTableError):
+            entry(size=0)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(SegmentTableError):
+            entry(base=-1)
+
+
+class TestTable:
+    def test_install_and_lookup(self):
+        table = RemoteMemorySegmentTable()
+        e = entry()
+        table.install(e)
+        assert table.lookup(gib(4) + 123) is e
+
+    def test_lookup_miss_raises(self):
+        table = RemoteMemorySegmentTable()
+        with pytest.raises(SegmentTableError, match="misses"):
+            table.lookup(0)
+
+    def test_lookup_or_none(self):
+        table = RemoteMemorySegmentTable()
+        assert table.lookup_or_none(0) is None
+
+    def test_duplicate_id_rejected(self):
+        table = RemoteMemorySegmentTable()
+        table.install(entry())
+        with pytest.raises(SegmentTableError, match="already installed"):
+            table.install(entry(base=gib(10)))
+
+    def test_overlapping_ranges_rejected(self):
+        table = RemoteMemorySegmentTable()
+        table.install(entry("a", base=0, size=gib(2)))
+        with pytest.raises(SegmentTableError, match="overlaps"):
+            table.install(entry("b", base=gib(1), size=gib(2)))
+
+    def test_capacity_enforced(self):
+        table = RemoteMemorySegmentTable(capacity=2)
+        table.install(entry("a", base=0, size=10))
+        table.install(entry("b", base=10, size=10))
+        assert table.is_full
+        with pytest.raises(SegmentTableError, match="full"):
+            table.install(entry("c", base=20, size=10))
+
+    def test_evict_frees_entry(self):
+        table = RemoteMemorySegmentTable(capacity=1)
+        table.install(entry("a"))
+        evicted = table.evict("a")
+        assert evicted.segment_id == "a"
+        assert len(table) == 0
+        table.install(entry("b"))  # slot is reusable
+
+    def test_evict_missing_raises(self):
+        with pytest.raises(SegmentTableError):
+            RemoteMemorySegmentTable().evict("ghost")
+
+    def test_get(self):
+        table = RemoteMemorySegmentTable()
+        e = entry("a")
+        table.install(e)
+        assert table.get("a") is e
+        with pytest.raises(SegmentTableError):
+            table.get("b")
+
+    def test_segments_for_brick(self):
+        table = RemoteMemorySegmentTable()
+        table.install(entry("a", base=0, size=10, brick="mb0"))
+        table.install(entry("b", base=10, size=10, brick="mb1"))
+        table.install(entry("c", base=20, size=10, brick="mb0"))
+        ids = {e.segment_id for e in table.segments_for_brick("mb0")}
+        assert ids == {"a", "c"}
+
+    def test_mapped_bytes(self):
+        table = RemoteMemorySegmentTable()
+        table.install(entry("a", base=0, size=gib(1)))
+        table.install(entry("b", base=gib(1), size=gib(2)))
+        assert table.mapped_bytes() == gib(3)
+
+    def test_free_entries(self):
+        table = RemoteMemorySegmentTable(capacity=4)
+        table.install(entry("a"))
+        assert table.free_entries == 3
+
+    def test_adjacent_segments_allowed(self):
+        table = RemoteMemorySegmentTable()
+        table.install(entry("a", base=0, size=gib(1)))
+        table.install(entry("b", base=gib(1), size=gib(1)))
+        assert len(table) == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SegmentTableError):
+            RemoteMemorySegmentTable(capacity=0)
+
+    def test_iteration(self):
+        table = RemoteMemorySegmentTable()
+        table.install(entry("a", base=0, size=10))
+        table.install(entry("b", base=10, size=10))
+        assert {e.segment_id for e in table} == {"a", "b"}

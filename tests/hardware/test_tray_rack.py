@@ -1,0 +1,161 @@
+"""Unit tests for trays and the rack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SlotError
+from repro.hardware.bricks import (
+    AcceleratorBrick,
+    BrickType,
+    ComputeBrick,
+    MemoryBrick,
+)
+from repro.hardware.rack import Rack
+from repro.hardware.tray import Tray
+
+
+class TestTray:
+    def test_plug_into_first_free_slot(self):
+        tray = Tray("t0", slot_count=4)
+        brick = ComputeBrick("cb0")
+        assert tray.plug(brick) == 0
+        assert brick.tray_id == "t0"
+        assert brick.slot_index == 0
+        assert tray.occupied_slots == 1
+
+    def test_plug_specific_slot(self):
+        tray = Tray("t0", slot_count=4)
+        assert tray.plug(ComputeBrick("cb0"), slot_index=2) == 2
+        assert tray.slot(2) is not None
+        assert tray.slot(0) is None
+
+    def test_occupied_slot_rejected(self):
+        tray = Tray("t0", slot_count=2)
+        tray.plug(ComputeBrick("cb0"), slot_index=1)
+        with pytest.raises(SlotError, match="occupied"):
+            tray.plug(ComputeBrick("cb1"), slot_index=1)
+
+    def test_full_tray_rejected(self):
+        tray = Tray("t0", slot_count=1)
+        tray.plug(ComputeBrick("cb0"))
+        with pytest.raises(SlotError, match="full"):
+            tray.plug(ComputeBrick("cb1"))
+
+    def test_double_plug_rejected(self):
+        tray_a, tray_b = Tray("a"), Tray("b")
+        brick = ComputeBrick("cb0")
+        tray_a.plug(brick)
+        with pytest.raises(SlotError, match="already plugged"):
+            tray_b.plug(brick)
+
+    def test_unplug_returns_and_clears(self):
+        tray = Tray("t0")
+        brick = ComputeBrick("cb0")
+        index = tray.plug(brick)
+        returned = tray.unplug(index)
+        assert returned is brick
+        assert brick.tray_id is None
+        assert not brick.is_plugged
+        assert tray.unplug_events == 1
+
+    def test_unplug_empty_slot_rejected(self):
+        with pytest.raises(SlotError, match="empty"):
+            Tray("t0").unplug(0)
+
+    def test_slot_index_bounds(self):
+        tray = Tray("t0", slot_count=2)
+        with pytest.raises(SlotError):
+            tray.slot(2)
+        with pytest.raises(SlotError):
+            tray.plug(ComputeBrick("cb0"), slot_index=-1)
+
+    def test_replug_after_unplug(self):
+        tray = Tray("t0", slot_count=1)
+        brick = ComputeBrick("cb0")
+        tray.plug(brick)
+        tray.unplug(0)
+        assert tray.plug(brick) == 0
+        assert tray.plug_events == 2
+
+    def test_bricks_filter_by_type(self):
+        tray = Tray("t0")
+        tray.plug(ComputeBrick("cb0"))
+        tray.plug(MemoryBrick("mb0"))
+        assert len(list(tray.bricks())) == 2
+        assert len(list(tray.bricks(BrickType.MEMORY))) == 1
+
+    def test_contains(self):
+        tray = Tray("t0")
+        brick = ComputeBrick("cb0")
+        tray.plug(brick)
+        assert tray.contains(brick)
+        assert not tray.contains(ComputeBrick("cb1"))
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(SlotError):
+            Tray("t0", slot_count=0)
+
+
+class TestRack:
+    @pytest.fixture
+    def rack(self):
+        rack = Rack("r0")
+        tray0 = rack.new_tray()
+        tray0.plug(ComputeBrick("cb0"))
+        tray0.plug(MemoryBrick("mb0"))
+        tray1 = rack.new_tray()
+        tray1.plug(AcceleratorBrick("ab0"))
+        return rack
+
+    def test_auto_tray_ids(self, rack):
+        assert [t.tray_id for t in rack.trays] == ["r0.tray0", "r0.tray1"]
+
+    def test_duplicate_tray_rejected(self, rack):
+        with pytest.raises(SlotError):
+            rack.add_tray(Tray("r0.tray0"))
+
+    def test_tray_lookup(self, rack):
+        assert rack.tray("r0.tray1").occupied_slots == 1
+        with pytest.raises(SlotError):
+            rack.tray("ghost")
+
+    def test_brick_lookup_across_trays(self, rack):
+        assert rack.brick("ab0").brick_id == "ab0"
+        with pytest.raises(SlotError):
+            rack.brick("ghost")
+
+    def test_typed_views(self, rack):
+        assert len(rack.compute_bricks()) == 1
+        assert len(rack.memory_bricks()) == 1
+        assert len(rack.accelerator_bricks()) == 1
+
+    def test_inventory(self, rack):
+        inventory = rack.inventory()
+        assert inventory == {"dCOMPUBRICK": 1, "dMEMBRICK": 1,
+                             "dACCELBRICK": 1}
+
+    def test_same_tray(self, rack):
+        cb = rack.brick("cb0")
+        mb = rack.brick("mb0")
+        ab = rack.brick("ab0")
+        assert rack.same_tray(cb, mb)
+        assert not rack.same_tray(cb, ab)
+
+    def test_fibre_length(self, rack):
+        cb = rack.brick("cb0")
+        mb = rack.brick("mb0")
+        ab = rack.brick("ab0")
+        assert rack.fibre_length_m(cb, mb) == 0.0
+        assert rack.fibre_length_m(cb, ab) == 10.0
+
+    def test_total_power(self, rack):
+        draw = rack.total_power_draw_w()
+        assert draw > 0
+        rack.brick("mb0").power_off()
+        assert rack.total_power_draw_w() < draw
+
+    def test_tray_slot_count_override(self):
+        rack = Rack("r1")
+        tray = rack.new_tray(slot_count=2)
+        assert tray.slot_count == 2

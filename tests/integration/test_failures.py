@@ -1,0 +1,153 @@
+"""Failure-injection tests: degraded optics and dying memory bricks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import RackBuilder
+from repro.errors import ReservationError
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+
+@pytest.fixture
+def rack():
+    system = (RackBuilder("fail")
+              .with_compute_bricks(2, cores=8, local_memory=gib(2))
+              .with_memory_bricks(3, modules=2, module_size=gib(8))
+              .build())
+    # vm-1 boots first so it fits entirely in local DRAM (no segments);
+    # vm-0 then needs remote memory and is exposed to brick failures.
+    system.boot_vm(VmAllocationRequest("vm-1", vcpus=2, ram_bytes=gib(1)))
+    system.boot_vm(VmAllocationRequest("vm-0", vcpus=2, ram_bytes=gib(6)))
+    return system
+
+
+def degrade(circuit, extra_db=13.0):
+    """Inject optical loss into both directions of a circuit."""
+    circuit.circuit.link_ab.budget.extra_loss_db += extra_db
+    circuit.circuit.link_ba.budget.extra_loss_db += extra_db
+
+
+class TestCircuitDegradation:
+    def test_healthy_fabric_scans_clean(self, rack):
+        assert rack.sdm.scan_unhealthy_circuits() == []
+        assert rack.audit_circuits() == 0.0
+
+    def test_degraded_circuit_detected(self, rack):
+        circuit = rack.fabric.active_circuits[0]
+        degrade(circuit)
+        unhealthy = rack.sdm.scan_unhealthy_circuits()
+        assert [c.circuit_id for c in unhealthy] == [circuit.circuit_id]
+
+    def test_repair_restores_ber(self, rack):
+        circuit = rack.fabric.active_circuits[0]
+        degrade(circuit)
+        latency = rack.audit_circuits()
+        assert latency > 0
+        assert rack.sdm.scan_unhealthy_circuits() == []
+        for healthy in rack.fabric.active_circuits:
+            assert healthy.circuit.closes(1e-12)
+
+    def test_repair_reprograms_rmst(self, rack):
+        hosted = rack.hosting("vm-0")
+        stack = rack.stack(hosted.brick_id)
+        entries_before = {e.segment_id: e.egress_port_id
+                          for e in stack.brick.rmst}
+        circuit = rack.fabric.circuits_of(stack.brick)[0]
+        degrade(circuit)
+        rack.audit_circuits()
+        entries_after = {e.segment_id: e.egress_port_id
+                         for e in stack.brick.rmst}
+        # Same segments, re-steered (same or new port, but all present).
+        assert set(entries_after) == set(entries_before)
+        # And every entry steers into a live circuit port.
+        live_ports = {fc.port_toward(stack.brick).port_id
+                      for fc in rack.fabric.circuits_of(stack.brick)}
+        assert set(entries_after.values()) <= live_ports
+
+    def test_vm_survives_repair(self, rack):
+        circuit = rack.fabric.active_circuits[0]
+        degrade(circuit)
+        rack.audit_circuits()
+        # The VM is untouched and can still scale.
+        result = rack.scale_up("vm-0", gib(1))
+        assert result.total_latency_s > 0
+
+    def test_repair_unknown_circuit_rejected(self, rack):
+        with pytest.raises(ReservationError):
+            rack.sdm.repair_circuit("ghost")
+
+    def test_segment_windows_unchanged_by_repair(self, rack):
+        """Repair must not hotplug: local windows stay exactly put."""
+        hosted = rack.hosting("vm-0")
+        stack = rack.stack(hosted.brick_id)
+        windows_before = {
+            record.segment.segment_id: record.window_base
+            for record in stack.kernel.attached_segments}
+        circuit = rack.fabric.circuits_of(stack.brick)[0]
+        degrade(circuit)
+        rack.audit_circuits()
+        windows_after = {
+            record.segment.segment_id: record.window_base
+            for record in stack.kernel.attached_segments}
+        assert windows_after == windows_before
+
+
+class TestMemoryBrickFailure:
+    def _failed_brick(self, rack):
+        """The brick backing vm-0's segments."""
+        segment = rack.hosting("vm-0").boot_segments[0]
+        return segment.memory_brick_id
+
+    def test_impact_identifies_victims(self, rack):
+        brick_id = self._failed_brick(rack)
+        impact = rack.handle_memory_brick_failure(brick_id)
+        assert impact.brick_id == brick_id
+        assert "vm-0" in impact.vm_ids
+        assert impact.segment_ids
+
+    def test_victims_terminated_others_survive(self, rack):
+        brick_id = self._failed_brick(rack)
+        rack.handle_memory_brick_failure(brick_id)
+        surviving = [vm.vm_id for vm in rack.vms]
+        assert "vm-0" not in surviving
+        assert "vm-1" in surviving  # all-local VM is unaffected
+
+    def test_failed_brick_excluded_from_placement(self, rack):
+        brick_id = self._failed_brick(rack)
+        rack.handle_memory_brick_failure(brick_id)
+        available = {a.brick_id
+                     for a in rack.sdm.registry.memory_availability()}
+        assert brick_id not in available
+        # New allocations land elsewhere.
+        info = rack.boot_vm(VmAllocationRequest(
+            "vm-new", vcpus=2, ram_bytes=gib(6)))
+        assert all(s.memory_brick_id != brick_id
+                   for s in info.boot_segments)
+
+    def test_failed_brick_powered_off(self, rack):
+        brick_id = self._failed_brick(rack)
+        rack.handle_memory_brick_failure(brick_id)
+        brick = rack.sdm.registry.memory(brick_id).brick
+        assert not brick.is_powered
+
+    def test_no_leaked_state_after_failure(self, rack):
+        brick_id = self._failed_brick(rack)
+        rack.handle_memory_brick_failure(brick_id)
+        # No segments reference the failed brick anymore.
+        assert rack.sdm.segments_on(brick_id) == []
+        # No circuit still touches it.
+        brick = rack.sdm.registry.memory(brick_id).brick
+        assert rack.fabric.circuits_of(brick) == []
+
+    def test_unaffected_brick_failure_is_cheap(self, rack):
+        # Fail a brick hosting nothing.
+        used = {s.memory_brick_id
+                for s in rack.sdm.live_segments}
+        idle = next(b.brick_id for b in rack.memory_bricks
+                    if b.brick_id not in used)
+        impact = rack.handle_memory_brick_failure(idle)
+        assert impact.vm_ids == []
+        assert impact.teardown_latency_s == 0.0
+        assert len(rack.vms) == 2

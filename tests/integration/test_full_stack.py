@@ -1,0 +1,146 @@
+"""Integration tests across the full stack.
+
+These exercise the complete §IV control flow on an assembled rack: from
+the OpenStack facade through the SDM controller, optical fabric, RMST,
+baremetal hotplug and hypervisor — then verify the data plane can
+actually reach the attached memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import RackBuilder
+from repro.core.system import DisaggregatedRack
+from repro.memory.path import CircuitAccessPath
+from repro.memory.transactions import MemoryTransaction
+from repro.orchestration.openstack import OpenStackFacade
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+
+@pytest.fixture
+def rack() -> DisaggregatedRack:
+    return (RackBuilder("int")
+            .with_compute_bricks(3, cores=8, local_memory=gib(2))
+            .with_memory_bricks(3, modules=4, module_size=gib(16))
+            .with_accelerator_bricks(1)
+            .build())
+
+
+class TestControlToDataPlane:
+    def test_scaled_up_memory_is_reachable_over_the_circuit(self, rack):
+        """After a scale-up, the RMST steers loads into the new segment
+        and the transaction arrives at the right brick offset."""
+        rack.boot_vm(VmAllocationRequest("vm-0", vcpus=2, ram_bytes=gib(1)))
+        result = rack.scale_up("vm-0", gib(2))
+        segment = result.segment
+
+        hosted = rack.hosting("vm-0")
+        stack = rack.stack(hosted.brick_id)
+        memory_brick = next(b for b in rack.memory_bricks
+                            if b.brick_id == segment.memory_brick_id)
+        circuit = rack.fabric.circuit_between(stack.brick, memory_brick)
+        assert circuit is not None
+
+        window = stack.kernel.window_of_segment(segment.segment_id)
+        path = CircuitAccessPath(stack.brick, memory_brick, circuit)
+        txn = MemoryTransaction.read(window.window_base + 4096)
+        access = path.access(txn)
+        assert access.remote_brick_id == segment.memory_brick_id
+        assert access.remote_offset == segment.offset + 4096
+        assert access.round_trip_s < 2e-6
+
+    def test_rmst_cleared_after_scale_down(self, rack):
+        rack.boot_vm(VmAllocationRequest("vm-0", vcpus=2, ram_bytes=gib(1)))
+        result = rack.scale_up("vm-0", gib(1))
+        hosted = rack.hosting("vm-0")
+        stack = rack.stack(hosted.brick_id)
+        assert len(stack.brick.rmst) == 1
+        rack.scale_down("vm-0", result.segment.segment_id)
+        assert len(stack.brick.rmst) == 0
+
+    def test_openstack_to_running_vm(self, rack):
+        facade = OpenStackFacade(rack.boot_vm)
+        info = facade.boot("xlarge")  # 8 vCPU / 16 GiB > any single brick
+        assert info.vm.is_running
+        assert info.vm.configured_ram_bytes == gib(16)
+        assert len(info.boot_segments) >= 1
+
+
+class TestMultiVmLifecycle:
+    def test_many_vms_share_the_pool(self, rack):
+        for index in range(6):
+            rack.boot_vm(VmAllocationRequest(
+                f"vm-{index}", vcpus=2, ram_bytes=gib(4)))
+        assert len(rack.vms) == 6
+        total_guest_ram = sum(v.configured_ram_bytes for v in rack.vms)
+        assert total_guest_ram == gib(24)
+
+    def test_full_lifecycle_conserves_resources(self, rack):
+        """Boot, scale up, scale down, terminate — the pool returns to
+        its initial state (no leaked segments, circuits or reservations)."""
+        initial_free = sum(e.allocator.free_bytes
+                           for e in rack.sdm.registry.memory_entries)
+        for round_number in range(3):
+            rack.boot_vm(VmAllocationRequest(
+                "cycle-vm", vcpus=4, ram_bytes=gib(6)))
+            result = rack.scale_up("cycle-vm", gib(3))
+            rack.scale_down("cycle-vm", result.segment.segment_id)
+            rack.terminate_vm("cycle-vm")
+        assert rack.sdm.live_segments == []
+        assert rack.fabric.active_circuits == []
+        final_free = sum(e.allocator.free_bytes
+                         for e in rack.sdm.registry.memory_entries)
+        assert final_free == initial_free
+        for stack in rack.stacks:
+            assert stack.kernel.reserved_bytes == 0
+            assert len(stack.brick.rmst) == 0
+
+    def test_power_cycle_with_running_vms(self, rack):
+        rack.boot_vm(VmAllocationRequest("vm-0", vcpus=2, ram_bytes=gib(6)))
+        off = rack.power_off_idle()
+        assert off  # something was idle
+        # The system still serves scale-ups (waking bricks as needed).
+        result = rack.scale_up("vm-0", gib(2))
+        assert result.total_latency_s > 0
+
+    def test_vm_spanning_multiple_memory_bricks(self, rack):
+        # 80 GiB guest: 2 GiB local + 78 GiB of segments.  One membrick
+        # holds 64 GiB, so the boot memory must span at least two bricks.
+        info = rack.boot_vm(VmAllocationRequest(
+            "vm-huge", vcpus=2, ram_bytes=gib(80)))
+        bricks_used = {s.memory_brick_id for s in info.boot_segments}
+        assert len(bricks_used) >= 2
+
+    def test_core_exhaustion_spreads_vms(self, rack):
+        # 3 bricks x 8 cores: three 5-core VMs land on distinct bricks
+        # (5 cores do not fit next to another 5-core VM), and a fourth
+        # cannot be placed at all.
+        from repro.errors import PlacementError
+        brick_ids = set()
+        for index in range(3):
+            info = rack.boot_vm(VmAllocationRequest(
+                f"vm-{index}", vcpus=5, ram_bytes=gib(1)))
+            brick_ids.add(info.brick_id)
+        assert len(brick_ids) == 3
+        with pytest.raises(PlacementError):
+            rack.boot_vm(VmAllocationRequest(
+                "vm-overflow", vcpus=5, ram_bytes=gib(1)))
+
+
+class TestAcceleratorIntegration:
+    def test_bitstream_offload_flow(self, rack):
+        """A compute brick pushes a bitstream to the dACCELBRICK and the
+        middleware programs the slot (§II dynamic infrastructure)."""
+        from repro.hardware.accelerator import (
+            Bitstream,
+            ReconfigurationMiddleware,
+        )
+        accel = rack.accelerator_bricks[0]
+        middleware = ReconfigurationMiddleware(accel.slot)
+        middleware.receive_bitstream(Bitstream("offload-fn"))
+        latency = middleware.reconfigure("offload-fn")
+        accel.slot.start()
+        assert latency > 0
+        assert accel.hosts_accelerator

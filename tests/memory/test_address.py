@@ -1,0 +1,178 @@
+"""Unit tests for address ranges and physical address maps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError
+from repro.memory.address import AddressRange, PhysicalAddressMap, align_up
+from repro.units import gib, mib
+
+
+class TestAddressRange:
+    def test_end_contains(self):
+        r = AddressRange(0x1000, 0x1000)
+        assert r.end == 0x2000
+        assert r.contains(0x1000)
+        assert r.contains(0x1FFF)
+        assert not r.contains(0x2000)
+
+    def test_contains_range(self):
+        outer = AddressRange(0, 100)
+        inner = AddressRange(10, 50)
+        assert outer.contains_range(inner)
+        assert not inner.contains_range(outer)
+
+    def test_overlap(self):
+        a = AddressRange(0, 100)
+        b = AddressRange(99, 10)
+        c = AddressRange(100, 10)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_intersection(self):
+        a = AddressRange(0, 100)
+        b = AddressRange(50, 100)
+        overlap = a.intersection(b)
+        assert overlap == AddressRange(50, 50)
+        assert a.intersection(AddressRange(200, 10)) is None
+
+    def test_offset_of(self):
+        r = AddressRange(0x1000, 0x100)
+        assert r.offset_of(0x1010) == 0x10
+        with pytest.raises(AddressError):
+            r.offset_of(0x2000)
+
+    def test_aligned(self):
+        assert AddressRange(mib(128), mib(256)).aligned(mib(128))
+        assert not AddressRange(mib(64), mib(128)).aligned(mib(128))
+        with pytest.raises(AddressError):
+            AddressRange(0, 10).aligned(0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(AddressError):
+            AddressRange(-1, 10)
+        with pytest.raises(AddressError):
+            AddressRange(0, 0)
+
+    def test_ordering(self):
+        assert AddressRange(0, 10) < AddressRange(10, 10)
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(mib(256), mib(128)) == mib(256)
+
+    def test_rounds_up(self):
+        assert align_up(mib(129), mib(128)) == mib(256)
+
+    def test_zero(self):
+        assert align_up(0, mib(128)) == 0
+
+    def test_bad_alignment(self):
+        with pytest.raises(AddressError):
+            align_up(1, 0)
+
+
+class TestPhysicalAddressMap:
+    def test_local_window_at_zero(self):
+        pmap = PhysicalAddressMap(gib(4))
+        assert pmap.local_window == AddressRange(0, gib(4))
+
+    def test_map_window_above_local_aligned(self):
+        pmap = PhysicalAddressMap(gib(4) + 1, window_alignment=mib(128))
+        window = pmap.map_window("seg0", gib(1))
+        assert window.base % mib(128) == 0
+        assert window.base >= gib(4) + 1
+
+    def test_window_size_padded(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        window = pmap.map_window("seg0", mib(100))
+        assert window.size == mib(128)
+
+    def test_windows_stack(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        first = pmap.map_window("a", gib(1))
+        second = pmap.map_window("b", gib(1))
+        assert second.base == first.end
+
+    def test_duplicate_name_rejected(self):
+        pmap = PhysicalAddressMap(gib(1))
+        pmap.map_window("a", 100)
+        with pytest.raises(AddressError):
+            pmap.map_window("a", 100)
+
+    def test_window_of_resolution(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        window = pmap.map_window("a", gib(1))
+        assert pmap.window_of(0) == (None, pmap.local_window)
+        assert pmap.window_of(window.base) == ("a", window)
+        with pytest.raises(AddressError):
+            pmap.window_of(window.end)
+
+    def test_is_remote(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        window = pmap.map_window("a", mib(128))
+        assert not pmap.is_remote(0)
+        assert pmap.is_remote(window.base)
+
+    def test_unmap(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        pmap.map_window("a", mib(128))
+        pmap.unmap_window("a")
+        assert pmap.remote_windows == {}
+        with pytest.raises(AddressError):
+            pmap.unmap_window("a")
+
+    def test_hole_not_reused(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        first = pmap.map_window("a", mib(128))
+        pmap.unmap_window("a")
+        second = pmap.map_window("b", mib(128))
+        assert second.base > first.base
+
+    def test_total_mapped(self):
+        pmap = PhysicalAddressMap(gib(2), window_alignment=mib(128))
+        pmap.map_window("a", gib(1))
+        assert pmap.total_mapped_bytes() == gib(3)
+
+    def test_reserve_then_map_honours_address(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        reserved = pmap.reserve_window("a", gib(1))
+        # Another reservation claims the next range.
+        other = pmap.reserve_window("b", gib(1))
+        assert other.base == reserved.end
+        mapped = pmap.map_window("a", gib(1))
+        assert mapped == reserved
+
+    def test_reserve_size_mismatch_rejected(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        pmap.reserve_window("a", gib(1))
+        with pytest.raises(AddressError, match="reserved with"):
+            pmap.map_window("a", gib(2))
+
+    def test_cancel_reservation(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        pmap.reserve_window("a", mib(128))
+        pmap.cancel_reservation("a")
+        with pytest.raises(AddressError):
+            pmap.cancel_reservation("a")
+        # Name is usable again.
+        pmap.reserve_window("a", mib(128))
+
+    def test_reserve_duplicate_rejected(self):
+        pmap = PhysicalAddressMap(gib(1))
+        pmap.reserve_window("a", 100)
+        with pytest.raises(AddressError):
+            pmap.reserve_window("a", 100)
+
+    def test_iter_windows_local_first(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        pmap.map_window("a", mib(128))
+        names = [name for name, _r in pmap.iter_windows()]
+        assert names == [None, "a"]
+
+    def test_highest_address(self):
+        pmap = PhysicalAddressMap(gib(1), window_alignment=mib(128))
+        window = pmap.map_window("a", mib(256))
+        assert pmap.highest_address == window.end

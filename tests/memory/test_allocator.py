@@ -1,0 +1,137 @@
+"""Unit tests for the dMEMBRICK segment allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory.allocator import SegmentAllocator
+from repro.units import gib, mib
+
+
+class TestAllocate:
+    def test_first_fit_from_zero(self):
+        allocator = SegmentAllocator(gib(16))
+        assert allocator.allocate(gib(1)) == 0
+        assert allocator.allocate(gib(1)) == gib(1)
+
+    def test_alignment_padding(self):
+        allocator = SegmentAllocator(gib(16), alignment=mib(128))
+        allocator.allocate(mib(100))
+        assert allocator.allocated_bytes == mib(128)
+
+    def test_exhaustion(self):
+        allocator = SegmentAllocator(gib(1))
+        allocator.allocate(gib(1))
+        with pytest.raises(AllocationError, match="out of capacity"):
+            allocator.allocate(1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            SegmentAllocator(gib(1)).allocate(0)
+
+    def test_adjacent_frees_coalesce_for_reuse(self):
+        allocator = SegmentAllocator(300, alignment=1)
+        a = allocator.allocate(100)
+        b = allocator.allocate(100)
+        allocator.allocate(100)
+        allocator.free(a)
+        allocator.free(b)
+        # The first two spans coalesce into 200 contiguous bytes.
+        assert allocator.allocate(200) == 0
+
+    def test_fragmented_but_sufficient_total(self):
+        allocator = SegmentAllocator(300, alignment=1)
+        spans = [allocator.allocate(100) for _ in range(3)]
+        allocator.free(spans[0])
+        allocator.free(spans[2])
+        # 200 free in two non-adjacent spans of 100.
+        with pytest.raises(AllocationError, match="fragmented"):
+            allocator.allocate(150)
+
+
+class TestFree:
+    def test_free_returns_size(self):
+        allocator = SegmentAllocator(gib(4), alignment=mib(128))
+        offset = allocator.allocate(mib(128))
+        assert allocator.free(offset) == mib(128)
+        assert allocator.free_bytes == gib(4)
+
+    def test_double_free_rejected(self):
+        allocator = SegmentAllocator(gib(1))
+        offset = allocator.allocate(mib(1))
+        allocator.free(offset)
+        with pytest.raises(AllocationError, match="not allocated"):
+            allocator.free(offset)
+
+    def test_free_unknown_offset_rejected(self):
+        with pytest.raises(AllocationError):
+            SegmentAllocator(gib(1)).free(42)
+
+    def test_coalescing_left_and_right(self):
+        allocator = SegmentAllocator(300, alignment=1)
+        a = allocator.allocate(100)
+        b = allocator.allocate(100)
+        c = allocator.allocate(100)
+        allocator.free(a)
+        allocator.free(c)
+        allocator.free(b)  # merges with both neighbours
+        assert len(allocator.free_spans()) == 1
+        assert allocator.largest_free_span == 300
+
+    def test_reuse_after_free(self):
+        allocator = SegmentAllocator(gib(1), alignment=mib(128))
+        offset = allocator.allocate(mib(512))
+        allocator.free(offset)
+        assert allocator.allocate(mib(512)) == offset
+
+
+class TestStatistics:
+    def test_utilization(self):
+        allocator = SegmentAllocator(gib(4))
+        allocator.allocate(gib(1))
+        assert allocator.utilization == pytest.approx(0.25)
+
+    def test_fragmentation_zero_when_contiguous(self):
+        allocator = SegmentAllocator(gib(4))
+        allocator.allocate(gib(1))
+        assert allocator.fragmentation == 0.0
+
+    def test_fragmentation_positive_with_holes(self):
+        allocator = SegmentAllocator(400, alignment=1)
+        spans = [allocator.allocate(100) for _ in range(4)]
+        allocator.free(spans[0])
+        allocator.free(spans[2])
+        assert allocator.fragmentation == pytest.approx(0.5)
+
+    def test_fragmentation_when_full(self):
+        allocator = SegmentAllocator(100, alignment=1)
+        allocator.allocate(100)
+        assert allocator.fragmentation == 0.0
+
+    def test_allocation_count(self):
+        allocator = SegmentAllocator(gib(1))
+        a = allocator.allocate(mib(1))
+        allocator.allocate(mib(1))
+        assert allocator.allocation_count == 2
+        allocator.free(a)
+        assert allocator.allocation_count == 1
+
+    def test_allocated_spans_sorted(self):
+        allocator = SegmentAllocator(gib(1), alignment=mib(1))
+        offsets = [allocator.allocate(mib(1)) for _ in range(3)]
+        spans = allocator.allocated_spans()
+        assert [s.base for s in spans] == sorted(offsets)
+
+    def test_invariants_hold(self):
+        allocator = SegmentAllocator(gib(1), alignment=mib(64))
+        offsets = [allocator.allocate(mib(64)) for _ in range(8)]
+        for offset in offsets[::2]:
+            allocator.free(offset)
+        allocator.check_invariants()
+
+    def test_invalid_construction(self):
+        with pytest.raises(AllocationError):
+            SegmentAllocator(0)
+        with pytest.raises(AllocationError):
+            SegmentAllocator(100, alignment=0)

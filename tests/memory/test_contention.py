@@ -1,0 +1,85 @@
+"""Tests for the timed memory-contention simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.bricks import MemoryBrick
+from repro.hardware.memory_tech import HMC_GEN2
+from repro.memory.contention import MemoryContentionSim
+from repro.units import gib
+
+
+class TestContention:
+    def test_single_client_unloaded_latency(self):
+        sim = MemoryContentionSim(link_count=4)
+        result = sim.run(client_count=1, window=1, duration_s=50e-6)
+        # One outstanding transaction: latency = wire + flight + service,
+        # well under a microsecond, with no queueing variance.
+        assert result.completed > 10
+        assert result.mean_latency_s < 1e-6
+        assert result.latency_percentile(99) == pytest.approx(
+            result.latency_percentile(50), rel=0.2)
+
+    def test_throughput_scales_with_links(self):
+        one = MemoryContentionSim(link_count=1).run(8, duration_s=100e-6)
+        four = MemoryContentionSim(link_count=4).run(8, duration_s=100e-6)
+        assert four.throughput_bps > 3 * one.throughput_bps
+
+    def test_contention_raises_latency(self):
+        sim = MemoryContentionSim(link_count=1)
+        light = sim.run(client_count=1, window=1, duration_s=100e-6)
+        heavy = MemoryContentionSim(link_count=1).run(
+            client_count=8, window=4, duration_s=100e-6)
+        assert heavy.mean_latency_s > 2 * light.mean_latency_s
+
+    def test_throughput_bounded_by_wire(self):
+        sim = MemoryContentionSim(link_count=1)
+        result = sim.run(client_count=16, window=8, duration_s=100e-6)
+        assert result.throughput_bps <= sim.link_saturation_bps()
+
+    def test_every_client_makes_progress(self):
+        sim = MemoryContentionSim(link_count=2)
+        result = sim.run(client_count=4, window=2, duration_s=100e-6)
+        assert all(c.completed > 0 for c in result.clients)
+
+    def test_faster_memory_technology_helps_when_memory_bound(self):
+        # With abundant links, the controller service time shows up.
+        ddr_brick = MemoryBrick("ddr", module_count=1, module_bytes=gib(16))
+        hmc_brick = MemoryBrick("hmc", module_count=1, module_bytes=gib(16),
+                                technology=HMC_GEN2)
+        ddr = MemoryContentionSim(ddr_brick, link_count=8).run(
+            8, window=4, duration_s=100e-6)
+        hmc = MemoryContentionSim(hmc_brick, link_count=8).run(
+            8, window=4, duration_s=100e-6)
+        # HMC's higher device latency costs it here (single module).
+        assert hmc.mean_latency_s != ddr.mean_latency_s
+
+    def test_percentiles_ordered(self):
+        result = MemoryContentionSim(link_count=2).run(
+            4, window=2, duration_s=100e-6)
+        assert (result.latency_percentile(50)
+                <= result.latency_percentile(95)
+                <= result.latency_percentile(99))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoryContentionSim(link_count=0)
+        with pytest.raises(ConfigurationError):
+            MemoryContentionSim(transaction_bytes=0)
+        sim = MemoryContentionSim()
+        with pytest.raises(ConfigurationError):
+            sim.run(client_count=0)
+        with pytest.raises(ConfigurationError):
+            sim.run(client_count=1, window=0)
+        with pytest.raises(ConfigurationError):
+            sim.run(client_count=1, duration_s=0)
+
+    def test_empty_result_properties(self):
+        from repro.memory.contention import ContentionResult
+        result = ContentionResult(duration_s=0, link_count=1,
+                                  client_count=0, transaction_bytes=64)
+        assert result.throughput_bps == 0.0
+        assert result.mean_latency_s == 0.0
+        assert result.latency_percentile(99) == 0.0

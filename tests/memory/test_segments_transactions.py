@@ -1,0 +1,90 @@
+"""Unit tests for remote segments and memory transactions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError, AllocationError
+from repro.memory.segments import RemoteSegment, SegmentState
+from repro.memory.transactions import (
+    CACHE_LINE_BYTES,
+    MemoryOp,
+    MemoryTransaction,
+)
+from repro.units import gib
+
+
+def make_segment(**kwargs) -> RemoteSegment:
+    defaults = dict(segment_id="seg0", memory_brick_id="mb0", offset=0,
+                    size=gib(1), compute_brick_id="cb0", vm_id="vm-0")
+    defaults.update(kwargs)
+    return RemoteSegment(**defaults)
+
+
+class TestRemoteSegment:
+    def test_starts_reserved(self):
+        segment = make_segment()
+        assert segment.state is SegmentState.RESERVED
+        assert not segment.is_active
+
+    def test_activate_then_release(self):
+        segment = make_segment()
+        segment.activate()
+        assert segment.is_active
+        segment.release()
+        assert segment.state is SegmentState.RELEASED
+
+    def test_reserved_can_be_released_directly(self):
+        segment = make_segment()
+        segment.release()
+        assert segment.state is SegmentState.RELEASED
+
+    def test_released_is_terminal(self):
+        segment = make_segment()
+        segment.release()
+        with pytest.raises(AllocationError, match="illegal transition"):
+            segment.activate()
+
+    def test_double_activate_rejected(self):
+        segment = make_segment()
+        segment.activate()
+        with pytest.raises(AllocationError):
+            segment.activate()
+
+    def test_end(self):
+        segment = make_segment(offset=gib(2), size=gib(1))
+        assert segment.end == gib(3)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(AllocationError):
+            make_segment(size=0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(AllocationError):
+            make_segment(offset=-1)
+
+
+class TestMemoryTransaction:
+    def test_defaults_to_cache_line(self):
+        txn = MemoryTransaction.read(0x1000)
+        assert txn.size_bytes == CACHE_LINE_BYTES
+        assert txn.op is MemoryOp.READ
+        assert not txn.is_write
+
+    def test_write_constructor(self):
+        txn = MemoryTransaction.write(0x1000, 128)
+        assert txn.is_write
+        assert txn.size_bytes == 128
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(AddressError):
+            MemoryTransaction.read(-1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AddressError):
+            MemoryTransaction.read(0, 0)
+
+    def test_frozen(self):
+        txn = MemoryTransaction.read(0)
+        with pytest.raises(AttributeError):
+            txn.address = 5  # type: ignore[misc]

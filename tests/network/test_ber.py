@@ -1,0 +1,110 @@
+"""Unit tests for the BER physics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LinkBudgetError
+from repro.network.optical.ber import (
+    BER_TARGET,
+    ReceiverModel,
+    ber_for_q,
+    q_for_ber,
+    received_power_dbm,
+    received_power_mw,
+)
+
+
+class TestQBerConversion:
+    def test_q7_is_about_1e_minus12(self):
+        # The canonical fact: Q ~= 7.03 gives BER 1e-12.
+        assert ber_for_q(7.034) == pytest.approx(1e-12, rel=0.05)
+
+    def test_roundtrip(self):
+        for ber in (1e-3, 1e-9, 1e-12, 1e-15):
+            assert ber_for_q(q_for_ber(ber)) == pytest.approx(ber, rel=1e-6)
+
+    def test_monotonic_in_q(self):
+        assert ber_for_q(8.0) < ber_for_q(7.0) < ber_for_q(6.0)
+
+    def test_q_zero_is_half(self):
+        assert ber_for_q(0.0) == pytest.approx(0.5)
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(LinkBudgetError):
+            ber_for_q(-1.0)
+
+    def test_ber_bounds_enforced(self):
+        with pytest.raises(LinkBudgetError):
+            q_for_ber(0.0)
+        with pytest.raises(LinkBudgetError):
+            q_for_ber(0.6)
+
+
+class TestReceiverModel:
+    def test_ber_at_sensitivity_is_reference(self):
+        receiver = ReceiverModel(sensitivity_dbm=-15.0)
+        assert receiver.ber(-15.0) == pytest.approx(BER_TARGET, rel=0.01)
+
+    def test_ber_improves_with_power(self):
+        receiver = ReceiverModel()
+        assert receiver.ber(-10.0) < receiver.ber(-14.0) < receiver.ber(-16.0)
+
+    def test_margin(self):
+        receiver = ReceiverModel(sensitivity_dbm=-15.0)
+        assert receiver.power_margin_db(-12.0) == pytest.approx(3.0)
+
+    def test_meets_target(self):
+        receiver = ReceiverModel(sensitivity_dbm=-15.0)
+        assert receiver.meets_target(-14.0)
+        assert not receiver.meets_target(-16.0)
+
+    def test_required_power_inverse_of_ber(self):
+        receiver = ReceiverModel(sensitivity_dbm=-15.0)
+        power = receiver.required_power_dbm(1e-15)
+        assert receiver.ber(power) == pytest.approx(1e-15, rel=0.05)
+        assert power > -15.0  # lower BER needs more power
+
+    def test_q_factor_linear_in_power(self):
+        receiver = ReceiverModel(sensitivity_dbm=-15.0)
+        # +3 dB of optical power roughly doubles Q.
+        ratio = receiver.q_factor(-12.0) / receiver.q_factor(-15.0)
+        assert ratio == pytest.approx(2.0, rel=0.01)
+
+
+class TestMeasurement:
+    def test_deterministic_floor(self):
+        receiver = ReceiverModel(sensitivity_dbm=-15.0)
+        # Way above sensitivity -> true BER below floor -> report floor.
+        measured = receiver.measure_ber(-5.0, bits=1e12)
+        assert measured == pytest.approx(1e-12)
+
+    def test_deterministic_above_floor(self):
+        receiver = ReceiverModel(sensitivity_dbm=-15.0)
+        measured = receiver.measure_ber(-16.5, bits=1e12)
+        assert measured == pytest.approx(receiver.ber(-16.5))
+
+    def test_poisson_sampling_near_truth(self):
+        receiver = ReceiverModel(sensitivity_dbm=-15.0)
+        rng = np.random.default_rng(3)
+        true_ber = receiver.ber(-15.0)
+        samples = [receiver.measure_ber(-15.0, rng=rng, bits=1e14)
+                   for _ in range(50)]
+        assert np.mean(samples) == pytest.approx(true_ber, rel=0.2)
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(LinkBudgetError):
+            ReceiverModel().measure_ber(-10.0, bits=0)
+
+
+class TestReceivedPower:
+    def test_subtraction(self):
+        assert received_power_dbm(-3.7, 8.0) == pytest.approx(-11.7)
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(LinkBudgetError):
+            received_power_dbm(-3.7, -1.0)
+
+    def test_linear_conversion(self):
+        assert received_power_mw(0.0, 3.0103) == pytest.approx(0.5, rel=1e-3)

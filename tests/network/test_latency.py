@@ -1,0 +1,76 @@
+"""Unit tests for latency-breakdown accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.latency import LatencyBreakdown, LatencyComponent
+
+
+class TestComponent:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyComponent("x", -1e-9)
+
+    def test_zero_allowed(self):
+        assert LatencyComponent("x", 0.0).seconds == 0.0
+
+
+class TestBreakdown:
+    @pytest.fixture
+    def breakdown(self) -> LatencyBreakdown:
+        b = LatencyBreakdown()
+        b.add("tgl", 100e-9, "compute")
+        b.add("mac_phy", 200e-9, "compute")
+        b.add("propagation", 49e-9, "optical")
+        b.add("mac_phy", 200e-9, "memory")
+        return b
+
+    def test_total(self, breakdown):
+        assert breakdown.total_s == pytest.approx(549e-9)
+        assert breakdown.total_ns == pytest.approx(549.0)
+
+    def test_by_group(self, breakdown):
+        groups = breakdown.by_group()
+        assert groups["compute"] == pytest.approx(300e-9)
+        assert groups["optical"] == pytest.approx(49e-9)
+        assert groups["memory"] == pytest.approx(200e-9)
+
+    def test_by_name_merges_duplicates(self, breakdown):
+        names = breakdown.by_name()
+        assert names["mac_phy"] == pytest.approx(400e-9)
+
+    def test_share(self, breakdown):
+        assert breakdown.share("mac_phy") == pytest.approx(400 / 549, rel=1e-6)
+        assert breakdown.share("ghost") == 0.0
+
+    def test_share_of_empty_breakdown(self):
+        assert LatencyBreakdown().share("x") == 0.0
+
+    def test_scaled(self, breakdown):
+        doubled = breakdown.scaled(2.0)
+        assert doubled.total_s == pytest.approx(2 * breakdown.total_s)
+        assert len(doubled) == len(breakdown)
+
+    def test_scaled_negative_rejected(self, breakdown):
+        with pytest.raises(ValueError):
+            breakdown.scaled(-1.0)
+
+    def test_extend(self, breakdown):
+        other = LatencyBreakdown().add("memory", 70e-9, "memory")
+        combined_total = breakdown.total_s + other.total_s
+        breakdown.extend(other)
+        assert breakdown.total_s == pytest.approx(combined_total)
+
+    def test_rows_in_path_order(self, breakdown):
+        rows = breakdown.rows()
+        assert rows[0] == ("compute", "tgl", pytest.approx(100.0))
+        assert [name for _g, name, _ns in rows] == [
+            "tgl", "mac_phy", "propagation", "mac_phy"]
+
+    def test_add_chains(self):
+        b = LatencyBreakdown().add("a", 1e-9).add("b", 2e-9)
+        assert len(b) == 2
+
+    def test_iteration(self, breakdown):
+        assert all(isinstance(c, LatencyComponent) for c in breakdown)

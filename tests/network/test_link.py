@@ -1,0 +1,107 @@
+"""Unit tests for optical link budgets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LinkBudgetError
+from repro.network.optical.ber import ReceiverModel
+from repro.network.optical.link import (
+    CONNECTOR_LOSS_DB,
+    SWITCH_HOP_LOSS_DB,
+    LinkBudget,
+    OpticalLink,
+)
+
+
+def budget(**kwargs) -> LinkBudget:
+    defaults = dict(launch_dbm=-3.7, switch_hops=8, connector_pairs=2,
+                    fibre_length_m=10.0)
+    defaults.update(kwargs)
+    return LinkBudget(**defaults)
+
+
+class TestLinkBudget:
+    def test_hop_loss_is_one_db_each(self):
+        assert budget().switch_loss_db == pytest.approx(8 * SWITCH_HOP_LOSS_DB)
+
+    def test_connector_loss(self):
+        assert budget(connector_pairs=3).connector_total_loss_db == \
+            pytest.approx(3 * CONNECTOR_LOSS_DB)
+
+    def test_fibre_loss_tiny_at_rack_scale(self):
+        assert budget().fibre_loss_db < 0.01
+
+    def test_total_is_sum(self):
+        b = budget(extra_loss_db=0.5)
+        assert b.total_loss_db == pytest.approx(
+            b.switch_loss_db + b.connector_total_loss_db
+            + b.fibre_loss_db + b.extra_loss_db)
+
+    def test_received_power(self):
+        b = budget()
+        assert b.received_dbm == pytest.approx(-3.7 - b.total_loss_db)
+
+    def test_more_hops_less_power(self):
+        assert budget(switch_hops=8).received_dbm < \
+            budget(switch_hops=6).received_dbm
+
+    def test_propagation_delay(self):
+        assert budget(fibre_length_m=10.0).propagation_delay_s == \
+            pytest.approx(49e-9, rel=0.01)
+
+    def test_itemized_covers_total(self):
+        b = budget(extra_loss_db=1.0)
+        assert sum(b.itemized().values()) == pytest.approx(b.total_loss_db)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(LinkBudgetError):
+            budget(switch_hops=-1)
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(LinkBudgetError):
+            budget(extra_loss_db=-0.1)
+
+
+class TestOpticalLink:
+    def test_eight_hop_link_closes_at_target(self):
+        link = OpticalLink("l8", budget(switch_hops=8, connector_pairs=9))
+        assert link.closes(1e-12)
+
+    def test_absurd_hops_do_not_close(self):
+        link = OpticalLink("bad", budget(switch_hops=14))
+        assert not link.closes(1e-12)
+
+    def test_margin_positive_when_closing(self):
+        link = OpticalLink("l6", budget(switch_hops=6))
+        assert link.margin_db(1e-12) > 0
+
+    def test_theoretical_ber_monotone_in_hops(self):
+        six = OpticalLink("l6", budget(switch_hops=6))
+        eight = OpticalLink("l8", budget(switch_hops=8))
+        assert six.theoretical_ber < eight.theoretical_ber
+
+    def test_measure_requires_rng_for_jitter(self):
+        link = OpticalLink("l", budget())
+        with pytest.raises(LinkBudgetError):
+            link.measure_ber(power_jitter_db=0.2)
+
+    def test_measure_with_jitter_varies(self):
+        link = OpticalLink("l", budget())
+        rng = np.random.default_rng(1)
+        powers = {link.measure_ber(rng=rng, power_jitter_db=0.3)[0]
+                  for _ in range(10)}
+        assert len(powers) > 1
+
+    def test_q_method_estimate_matches_model(self):
+        receiver = ReceiverModel()
+        link = OpticalLink("l", budget(), receiver)
+        received, ber = link.estimate_ber_q_method()
+        assert received == pytest.approx(link.received_dbm)
+        assert ber == pytest.approx(receiver.ber(received))
+
+    def test_custom_receiver_respected(self):
+        tight = ReceiverModel(sensitivity_dbm=-10.0)
+        link = OpticalLink("l", budget(switch_hops=8), tight)
+        assert not link.closes(1e-12)

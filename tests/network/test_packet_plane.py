@@ -1,0 +1,214 @@
+"""Unit tests for the packet-switched plane: MAC/PHY, NI, switch, routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.hardware.bricks import ComputeBrick, MemoryBrick
+from repro.network.packet.mac_phy import MacPhy, MacPhyTimings
+from repro.network.packet.nic import (
+    TRANSACTION_HEADER_BYTES,
+    NetworkInterface,
+    Packet,
+    PacketKind,
+)
+from repro.network.packet.routing import PacketRouteProgrammer
+from repro.network.packet.switch import OnBrickPacketSwitch
+from repro.units import gbps, nanoseconds
+
+
+class TestMacPhy:
+    def test_fec_adds_over_100ns_per_direction(self):
+        plain = MacPhy("m0")
+        fec = MacPhy("m1", fec_enabled=True)
+        assert fec.tx_latency_s() - plain.tx_latency_s() > nanoseconds(100)
+        assert fec.rx_latency_s() - plain.rx_latency_s() > nanoseconds(100)
+
+    def test_serialization_at_line_rate(self):
+        mac = MacPhy("m0", line_rate_bps=gbps(10))
+        assert mac.serialization_s(64) == pytest.approx(51.2e-9)
+
+    def test_transmit_includes_serialization(self):
+        mac = MacPhy("m0")
+        total = mac.transmit_latency_s(64)
+        assert total == pytest.approx(mac.tx_latency_s()
+                                      + mac.serialization_s(64))
+
+    def test_counters(self):
+        mac = MacPhy("m0")
+        mac.transmit_latency_s(64)
+        mac.receive_latency_s()
+        assert mac.frames_tx == 1
+        assert mac.frames_rx == 1
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacPhy("m0").serialization_s(-1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacPhy("m0", line_rate_bps=0)
+
+    def test_custom_timings(self):
+        timings = MacPhyTimings(tx_latency_s=1e-9, rx_latency_s=2e-9,
+                                fec_latency_s=3e-9)
+        mac = MacPhy("m0", timings=timings, fec_enabled=True)
+        assert mac.tx_latency_s() == pytest.approx(4e-9)
+        assert mac.fec_penalty_per_direction_s == pytest.approx(3e-9)
+
+
+class TestNetworkInterface:
+    def test_read_request_has_no_payload(self):
+        ni = NetworkInterface("ni0")
+        packet = ni.frame_request(False, "cb0", "mb0", 0x1000, 64)
+        assert packet.kind is PacketKind.READ_REQUEST
+        assert packet.payload_bytes == 0
+        assert packet.frame_bytes == TRANSACTION_HEADER_BYTES
+
+    def test_write_request_carries_payload(self):
+        ni = NetworkInterface("ni0")
+        packet = ni.frame_request(True, "cb0", "mb0", 0x1000, 64)
+        assert packet.kind is PacketKind.WRITE_REQUEST
+        assert packet.payload_bytes == 64
+        assert packet.frame_bytes == TRANSACTION_HEADER_BYTES + 64
+
+    def test_read_response_carries_data(self):
+        ni = NetworkInterface("ni0")
+        request = ni.frame_request(False, "cb0", "mb0", 0x0, 64)
+        response = ni.frame_response(request, 64)
+        assert response.kind is PacketKind.READ_RESPONSE
+        assert response.payload_bytes == 64
+        assert response.src_brick_id == "mb0"
+        assert response.dst_brick_id == "cb0"
+
+    def test_write_ack_is_empty(self):
+        ni = NetworkInterface("ni0")
+        request = ni.frame_request(True, "cb0", "mb0", 0x0, 64)
+        ack = ni.frame_response(request, 64)
+        assert ack.kind is PacketKind.WRITE_ACK
+        assert ack.payload_bytes == 0
+
+    def test_response_to_response_rejected(self):
+        ni = NetworkInterface("ni0")
+        request = ni.frame_request(False, "cb0", "mb0", 0x0, 64)
+        response = ni.frame_response(request, 64)
+        with pytest.raises(ConfigurationError):
+            ni.frame_response(response, 64)
+
+    def test_sequence_numbers_increase(self):
+        ni = NetworkInterface("ni0")
+        first = ni.frame_request(False, "a", "b", 0, 64)
+        second = ni.frame_request(False, "a", "b", 0, 64)
+        assert second.packet_id > first.packet_id
+        assert ni.frames_built == 2
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Packet(0, PacketKind.READ_REQUEST, "a", "b", 0, -1)
+
+
+class TestOnBrickSwitch:
+    def make_packet(self, dst="mb0"):
+        return Packet(0, PacketKind.READ_REQUEST, "cb0", dst, 0, 0)
+
+    def test_round_robin_over_ports(self):
+        switch = OnBrickPacketSwitch("sw")
+        switch.program_route("mb0", ["p0", "p1", "p2"])
+        picks = [switch.forward(self.make_packet())[0] for _ in range(6)]
+        assert picks == ["p0", "p1", "p2", "p0", "p1", "p2"]
+
+    def test_unprogrammed_destination_raises(self):
+        switch = OnBrickPacketSwitch("sw")
+        with pytest.raises(RoutingError, match="lookup"):
+            switch.forward(self.make_packet("ghost"))
+        assert switch.lookup_failures == 1
+
+    def test_route_replacement(self):
+        switch = OnBrickPacketSwitch("sw")
+        switch.program_route("mb0", ["p0"])
+        switch.program_route("mb0", ["p9"])
+        assert switch.route_ports("mb0") == ["p9"]
+
+    def test_add_port_to_route(self):
+        switch = OnBrickPacketSwitch("sw")
+        switch.program_route("mb0", ["p0"])
+        switch.add_port_to_route("mb0", "p1")
+        assert switch.route_ports("mb0") == ["p0", "p1"]
+        with pytest.raises(RoutingError):
+            switch.add_port_to_route("mb0", "p0")
+
+    def test_drop_route(self):
+        switch = OnBrickPacketSwitch("sw")
+        switch.program_route("mb0", ["p0"])
+        switch.drop_route("mb0")
+        assert switch.routed_destinations() == []
+        with pytest.raises(RoutingError):
+            switch.drop_route("mb0")
+
+    def test_empty_route_rejected(self):
+        switch = OnBrickPacketSwitch("sw")
+        with pytest.raises(RoutingError):
+            switch.program_route("mb0", [])
+
+    def test_duplicate_ports_rejected(self):
+        switch = OnBrickPacketSwitch("sw")
+        with pytest.raises(RoutingError):
+            switch.program_route("mb0", ["p0", "p0"])
+
+    def test_forward_counts(self):
+        switch = OnBrickPacketSwitch("sw")
+        switch.program_route("mb0", ["p0"])
+        switch.forward(self.make_packet())
+        assert switch.packets_forwarded == 1
+
+
+class TestRouteProgrammer:
+    def test_connect_pair_programs_both_sides(self):
+        programmer = PacketRouteProgrammer()
+        compute, memory = ComputeBrick("cb0"), MemoryBrick("mb0")
+        programmer.register(compute)
+        programmer.register(memory)
+        programmer.connect_pair(compute, memory, link_count=2)
+        assert len(programmer.switch_of("cb0").route_ports("mb0")) == 2
+        assert len(programmer.switch_of("mb0").route_ports("cb0")) == 2
+        assert programmer.validate() == []
+
+    def test_double_register_rejected(self):
+        programmer = PacketRouteProgrammer()
+        brick = ComputeBrick("cb0")
+        programmer.register(brick)
+        with pytest.raises(RoutingError):
+            programmer.register(brick)
+
+    def test_unknown_brick_rejected(self):
+        with pytest.raises(RoutingError):
+            PacketRouteProgrammer().switch_of("ghost")
+
+    def test_port_exhaustion_detected(self):
+        programmer = PacketRouteProgrammer()
+        compute = ComputeBrick("cb0", pbn_ports=1)
+        memory = MemoryBrick("mb0", pbn_ports=1)
+        programmer.register(compute)
+        programmer.register(memory)
+        with pytest.raises(RoutingError, match="not enough PBN ports"):
+            programmer.connect_pair(compute, memory, link_count=2)
+
+    def test_disconnect_pair(self):
+        programmer = PacketRouteProgrammer()
+        compute, memory = ComputeBrick("cb0"), MemoryBrick("mb0")
+        programmer.register(compute)
+        programmer.register(memory)
+        programmer.connect_pair(compute, memory)
+        programmer.disconnect_pair(compute, memory)
+        assert programmer.switch_of("cb0").routed_destinations() == []
+        assert all(p.is_free for p in compute.packet_ports)
+
+    def test_validate_flags_unwired_port(self):
+        programmer = PacketRouteProgrammer()
+        compute = ComputeBrick("cb0")
+        programmer.register(compute)
+        switch = programmer.switch_of("cb0")
+        switch.program_route("mb0", [compute.packet_ports.free_ports[0].port_id])
+        problems = programmer.validate()
+        assert any("unwired" in p for p in problems)

@@ -1,0 +1,150 @@
+"""Tests for the rack-level elastic memory manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import RackBuilder
+from repro.errors import OrchestrationError
+from repro.orchestration.elasticity import ElasticMemoryManager
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib, mib
+
+
+@pytest.fixture
+def managed_rack():
+    system = (RackBuilder("elastic")
+              .with_compute_bricks(2, cores=16, local_memory=gib(4))
+              .with_memory_bricks(2, modules=4, module_size=gib(16))
+              .build())
+    system.boot_vm(VmAllocationRequest("vm-a", vcpus=4, ram_bytes=gib(4)))
+    system.boot_vm(VmAllocationRequest("vm-b", vcpus=4, ram_bytes=gib(4)))
+    manager = ElasticMemoryManager(system, step_bytes=gib(1))
+    manager.manage("vm-a")
+    manager.manage("vm-b")
+    return system, manager
+
+
+class TestRegistration:
+    def test_manage_and_release(self, managed_rack):
+        _system, manager = managed_rack
+        assert manager.managed_vms == ["vm-a", "vm-b"]
+        manager.release("vm-a")
+        assert manager.managed_vms == ["vm-b"]
+
+    def test_double_manage_rejected(self, managed_rack):
+        _system, manager = managed_rack
+        with pytest.raises(OrchestrationError, match="already managed"):
+            manager.manage("vm-a")
+
+    def test_unmanaged_vm_rejected(self, managed_rack):
+        _system, manager = managed_rack
+        with pytest.raises(OrchestrationError, match="not managed"):
+            manager.set_demand("ghost", gib(1))
+
+    def test_release_deflates_balloon(self, managed_rack):
+        system, manager = managed_rack
+        manager.set_demand("vm-a", int(gib(3.5)))
+        manager.rebalance()  # parks ~0.15 GiB in the balloon
+        vm = system.hosting("vm-a").vm
+        visible_before = vm.ram_bytes
+        manager.release("vm-a")
+        assert vm.ram_bytes >= visible_before
+        assert vm.ballooned_bytes == 0
+
+
+class TestRebalance:
+    def test_grows_pressured_vm(self, managed_rack):
+        system, manager = managed_rack
+        manager.set_demand("vm-a", gib(7))
+        report = manager.rebalance()
+        assert report.count("scale_up") >= 3
+        assert system.hosting("vm-a").vm.ram_bytes >= gib(7)
+        assert report.unmet_demand_bytes == 0
+
+    def test_reclaims_oversized_vm(self, managed_rack):
+        system, manager = managed_rack
+        manager.set_demand("vm-a", gib(8))
+        manager.rebalance()
+        manager.set_demand("vm-a", gib(2))
+        report = manager.rebalance()
+        assert report.count("scale_down") >= 3
+        assert system.hosting("vm-a").vm.configured_ram_bytes <= gib(6)
+
+    def test_balloon_handles_sub_step_surplus(self, managed_rack):
+        system, manager = managed_rack
+        # Demand slightly below current provisioning: balloon, not unplug.
+        manager.set_demand("vm-a", int(gib(4) * 0.85))
+        report = manager.rebalance()
+        assert report.count("inflate") == 1
+        assert report.count("scale_down") == 0
+        assert system.hosting("vm-a").vm.ballooned_bytes > 0
+
+    def test_deflate_is_the_fast_path_back(self, managed_rack):
+        system, manager = managed_rack
+        manager.set_demand("vm-a", int(gib(4) * 0.85))
+        manager.rebalance()
+        inflated = system.hosting("vm-a").vm.ballooned_bytes
+        assert inflated > 0
+        # Demand rises again: the ballooned pages return first.
+        manager.set_demand("vm-a", int(gib(4) / 1.1))
+        report = manager.rebalance()
+        deflates = [a for a in report.actions if a.kind == "deflate"]
+        assert deflates and deflates[0].latency_s < 0.05
+        assert report.count("scale_up") == 0
+
+    def test_reclaim_feeds_growth_in_same_pass(self):
+        # A small pool: what vm-a gives back, vm-b can take.
+        system = (RackBuilder("tight")
+                  .with_compute_bricks(2, cores=8, local_memory=gib(2))
+                  .with_memory_bricks(1, modules=1, module_size=gib(8))
+                  .build())
+        system.boot_vm(VmAllocationRequest("vm-a", vcpus=4,
+                                           ram_bytes=gib(2)))
+        system.boot_vm(VmAllocationRequest("vm-b", vcpus=4,
+                                           ram_bytes=gib(2)))
+        manager = ElasticMemoryManager(system, step_bytes=gib(1),
+                                       headroom_fraction=0.0)
+        manager.manage("vm-a")
+        manager.manage("vm-b")
+        # vm-a grabs most of the pool.
+        manager.set_demand("vm-a", gib(9))
+        manager.rebalance()
+        # Shift: vm-a shrinks, vm-b needs the freed segments.
+        manager.set_demand("vm-a", gib(2))
+        manager.set_demand("vm-b", gib(8))
+        report = manager.rebalance()
+        assert report.count("scale_down") > 0
+        assert report.count("scale_up") > 0
+        assert system.hosting("vm-b").vm.ram_bytes >= gib(8)
+
+    def test_unmet_demand_reported(self):
+        system = (RackBuilder("tiny")
+                  .with_compute_bricks(1, cores=8, local_memory=gib(2))
+                  .with_memory_bricks(1, modules=1, module_size=gib(4))
+                  .build())
+        system.boot_vm(VmAllocationRequest("vm-a", vcpus=4,
+                                           ram_bytes=gib(2)))
+        manager = ElasticMemoryManager(system, step_bytes=gib(1),
+                                       headroom_fraction=0.0)
+        manager.manage("vm-a")
+        manager.set_demand("vm-a", gib(32))
+        report = manager.rebalance()
+        assert report.unmet_demand_bytes > 0
+
+    def test_noop_when_demand_matches(self, managed_rack):
+        _system, manager = managed_rack
+        # Demand equal to current visible memory (inside headroom band).
+        manager.set_demand("vm-a", int(gib(4) / 1.1))
+        manager.set_demand("vm-b", int(gib(4) / 1.1))
+        report = manager.rebalance()
+        assert report.actions == []
+
+    def test_validation(self, managed_rack):
+        system, manager = managed_rack
+        with pytest.raises(OrchestrationError):
+            ElasticMemoryManager(system, step_bytes=0)
+        with pytest.raises(OrchestrationError):
+            ElasticMemoryManager(system, headroom_fraction=1.0)
+        with pytest.raises(OrchestrationError):
+            manager.set_demand("vm-a", -1)

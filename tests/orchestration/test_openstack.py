@@ -1,0 +1,85 @@
+"""Unit tests for the OpenStack facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, OrchestrationError
+from repro.orchestration.openstack import (
+    DEFAULT_FLAVORS,
+    Flavor,
+    OpenStackFacade,
+)
+from repro.orchestration.requests import (
+    MemoryAllocationRequest,
+    VmAllocationRequest,
+)
+from repro.units import gib
+
+
+class TestFlavors:
+    def test_default_ladder(self):
+        facade = OpenStackFacade(lambda request: request)
+        names = [flavor.name for flavor in facade.flavors]
+        assert names == ["large", "medium", "small", "xlarge"]
+
+    def test_lookup(self):
+        facade = OpenStackFacade(lambda request: request)
+        assert facade.flavor("small").vcpus == 1
+        with pytest.raises(ConfigurationError, match="unknown flavor"):
+            facade.flavor("mega")
+
+    def test_register_custom(self):
+        facade = OpenStackFacade(lambda request: request)
+        facade.register_flavor(Flavor("huge", vcpus=32, ram_bytes=gib(64)))
+        assert facade.flavor("huge").ram_bytes == gib(64)
+
+    def test_register_duplicate_rejected(self):
+        facade = OpenStackFacade(lambda request: request)
+        with pytest.raises(ConfigurationError):
+            facade.register_flavor(DEFAULT_FLAVORS["small"])
+
+    def test_invalid_flavor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flavor("bad", vcpus=0, ram_bytes=gib(1))
+
+
+class TestBoot:
+    def test_boot_builds_request(self):
+        received = []
+        facade = OpenStackFacade(lambda request: received.append(request))
+        facade.boot("medium", vm_id="my-vm")
+        (request,) = received
+        assert request == VmAllocationRequest("my-vm", 2, gib(4))
+
+    def test_boot_auto_ids_unique(self):
+        received = []
+        facade = OpenStackFacade(lambda request: received.append(request))
+        facade.boot("small")
+        facade.boot("small")
+        assert received[0].vm_id != received[1].vm_id
+        assert facade.boots_requested == 2
+
+    def test_boot_custom_shape(self):
+        received = []
+        facade = OpenStackFacade(lambda request: received.append(request))
+        facade.boot_custom(vcpus=5, ram_bytes=gib(10))
+        assert received[0].vcpus == 5
+
+    def test_fulfiller_result_passed_through(self):
+        facade = OpenStackFacade(lambda request: "booted:" + request.vm_id)
+        assert facade.boot("small", vm_id="x") == "booted:x"
+
+
+class TestRequestValidation:
+    def test_vm_request_validation(self):
+        with pytest.raises(OrchestrationError):
+            VmAllocationRequest("vm", vcpus=0, ram_bytes=gib(1))
+        with pytest.raises(OrchestrationError):
+            VmAllocationRequest("vm", vcpus=1, ram_bytes=0)
+
+    def test_memory_request_validation(self):
+        with pytest.raises(OrchestrationError):
+            MemoryAllocationRequest("cb0", "vm", size_bytes=0)
+        request = MemoryAllocationRequest("cb0", "vm", size_bytes=gib(1))
+        assert request.compute_brick_id == "cb0"

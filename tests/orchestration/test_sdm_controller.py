@@ -1,0 +1,180 @@
+"""Unit tests for the SDM controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlacementError, ReservationError
+from repro.hardware.bricks import ComputeBrick, MemoryBrick
+from repro.network.optical.switch import OpticalCircuitSwitch
+from repro.network.optical.topology import OpticalFabric
+from repro.orchestration.registry import ResourceRegistry
+from repro.orchestration.requests import VmAllocationRequest
+from repro.orchestration.sdm_controller import SdmController
+from repro.software.agent import SdmAgent
+from repro.software.hypervisor import Hypervisor
+from repro.software.kernel import BaremetalKernel
+from repro.software.pages import DEFAULT_SECTION_BYTES
+from repro.units import gib, mib
+
+
+def build_controller(compute_count=1, memory_count=2, cbn_ports=8):
+    switch = OpticalCircuitSwitch("sw", port_count=128)
+    fabric = OpticalFabric(switch)
+    registry = ResourceRegistry()
+    for index in range(compute_count):
+        brick = ComputeBrick(f"cb{index}", core_count=8,
+                             local_memory_bytes=gib(4), cbn_ports=cbn_ports)
+        kernel = BaremetalKernel(brick)
+        registry.register_compute(brick, Hypervisor(kernel), SdmAgent(kernel))
+        fabric.attach_brick(brick)
+    for index in range(memory_count):
+        brick = MemoryBrick(f"mb{index}", module_count=2,
+                            module_bytes=gib(16), cbn_ports=cbn_ports)
+        registry.register_memory(brick)
+        fabric.attach_brick(brick)
+    return SdmController(registry, fabric)
+
+
+class TestAllocate:
+    def test_ticket_is_complete(self):
+        controller = build_controller()
+        ticket = controller.allocate("cb0", "vm-0", gib(2))
+        assert ticket.segment.size == gib(2)
+        assert ticket.segment.compute_brick_id == "cb0"
+        assert ticket.rmst_entry.size == gib(2)
+        assert ticket.rmst_entry.remote_brick_id == \
+            ticket.segment.memory_brick_id
+        assert ticket.control_latency_s > 0
+
+    def test_size_padded_to_alignment(self):
+        controller = build_controller()
+        ticket = controller.allocate("cb0", "vm-0", mib(100))
+        assert ticket.segment.size == DEFAULT_SECTION_BYTES
+
+    def test_circuit_established_and_reused(self):
+        controller = build_controller()
+        first = controller.allocate("cb0", "vm-0", gib(1))
+        circuits_after_first = len(controller.fabric.active_circuits)
+        second = controller.allocate("cb0", "vm-0", gib(1))
+        assert len(controller.fabric.active_circuits) == circuits_after_first
+        # Reuse is visible in the latency: no switching time on the 2nd.
+        assert second.control_latency_s < first.control_latency_s
+
+    def test_rmst_entry_window_matches_kernel_attach(self):
+        controller = build_controller()
+        ticket = controller.allocate("cb0", "vm-0", gib(1))
+        agent = controller.registry.compute("cb0").agent
+        agent.program_segment(ticket.rmst_entry)
+        record, _latency = agent.kernel.attach_segment(ticket.segment)
+        assert record.window_base == ticket.rmst_entry.base
+        assert record.window_size == ticket.rmst_entry.size
+
+    def test_capacity_exhaustion(self):
+        controller = build_controller(memory_count=1)
+        controller.allocate("cb0", "vm-0", gib(32))
+        with pytest.raises(PlacementError):
+            controller.allocate("cb0", "vm-0", gib(8))
+
+    def test_power_on_adds_latency(self):
+        controller = build_controller(memory_count=1)
+        controller.registry.memory("mb0").brick.power_off()
+        ticket = controller.allocate("cb0", "vm-0", gib(1))
+        assert ticket.control_latency_s >= controller.timings.power_on_s
+
+    def test_port_exhaustion_falls_back_to_other_brick(self):
+        # One CBN port per brick: the first allocation claims mb0's only
+        # port via cb0; a second compute brick must land on mb1.
+        controller = build_controller(compute_count=2, memory_count=2,
+                                      cbn_ports=1)
+        first = controller.allocate("cb0", "vm-0", gib(1))
+        second = controller.allocate("cb1", "vm-1", gib(1))
+        assert second.segment.memory_brick_id != \
+            first.segment.memory_brick_id
+
+    def test_unreachable_everything_raises(self):
+        controller = build_controller(compute_count=2, memory_count=1,
+                                      cbn_ports=1)
+        controller.allocate("cb0", "vm-0", gib(1))
+        with pytest.raises(PlacementError, match="reachable"):
+            controller.allocate("cb1", "vm-1", gib(1))
+
+    def test_allocations_counted(self):
+        controller = build_controller()
+        controller.allocate("cb0", "vm-0", gib(1))
+        assert controller.allocations == 1
+
+
+class TestRelease:
+    def test_release_returns_capacity(self):
+        controller = build_controller(memory_count=1)
+        ticket = controller.allocate("cb0", "vm-0", gib(32))
+        controller.release(ticket.segment.segment_id)
+        # All capacity is back.
+        controller.allocate("cb0", "vm-1", gib(32))
+
+    def test_release_tears_down_unreferenced_circuit(self):
+        controller = build_controller()
+        ticket = controller.allocate("cb0", "vm-0", gib(1))
+        assert len(controller.fabric.active_circuits) == 1
+        controller.release(ticket.segment.segment_id)
+        assert controller.fabric.active_circuits == []
+
+    def test_release_keeps_shared_circuit(self):
+        controller = build_controller()
+        first = controller.allocate("cb0", "vm-0", gib(1))
+        controller.allocate("cb0", "vm-0", gib(1))
+        controller.release(first.segment.segment_id)
+        assert len(controller.fabric.active_circuits) == 1
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(ReservationError):
+            build_controller().release("ghost")
+
+
+class TestPlaceVm:
+    def test_place_returns_brick_and_latency(self):
+        controller = build_controller(compute_count=2)
+        brick_id, latency = controller.place_vm(
+            VmAllocationRequest("vm-0", vcpus=4, ram_bytes=gib(8)))
+        assert brick_id in ("cb0", "cb1")
+        assert latency >= controller.timings.reservation_s
+
+    def test_no_cores_anywhere_raises(self):
+        controller = build_controller(compute_count=1)
+        with pytest.raises(PlacementError, match="free cores"):
+            controller.place_vm(
+                VmAllocationRequest("vm-0", vcpus=99, ram_bytes=gib(1)))
+
+    def test_wakes_sleeping_brick(self):
+        controller = build_controller(compute_count=1)
+        controller.registry.compute("cb0").brick.power_off()
+        _brick, latency = controller.place_vm(
+            VmAllocationRequest("vm-0", vcpus=1, ram_bytes=gib(1)))
+        assert latency >= controller.timings.power_on_s
+        assert controller.registry.compute("cb0").brick.is_powered
+
+
+class TestIntrospection:
+    def test_live_segments_and_per_brick(self):
+        controller = build_controller()
+        ticket = controller.allocate("cb0", "vm-0", gib(1))
+        assert controller.live_segments == [ticket.segment]
+        on_brick = controller.segments_on(ticket.segment.memory_brick_id)
+        assert on_brick == [ticket.segment]
+        assert controller.segments_on("ghost") == []
+
+    def test_circuit_utilization(self):
+        controller = build_controller()
+        controller.allocate("cb0", "vm-0", gib(1))
+        controller.allocate("cb0", "vm-0", gib(1))
+        (refs,) = controller.circuit_utilization().values()
+        assert refs == 2
+
+    def test_segment_record_lookup(self):
+        controller = build_controller()
+        ticket = controller.allocate("cb0", "vm-0", gib(1))
+        record = controller.segment_record(ticket.segment.segment_id)
+        assert record.segment is ticket.segment
+        with pytest.raises(ReservationError):
+            controller.segment_record("ghost")

@@ -1,0 +1,149 @@
+"""Stateful property test of the full rack.
+
+Hypothesis drives random interleavings of the rack's public operations
+(boot, scale up, scale down, migrate, terminate, power management) and
+checks the global conservation invariants after every step: no leaked
+segments, circuits, reservations or RMST entries, and allocator books
+that always balance.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.builder import RackBuilder
+from repro.errors import ReproError
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+
+class RackMachine(RuleBasedStateMachine):
+    """Random walks over the rack's control plane."""
+
+    def __init__(self):
+        super().__init__()
+        self.system = (RackBuilder("prop")
+                       .with_compute_bricks(3, cores=8, local_memory=gib(2))
+                       .with_memory_bricks(3, modules=2, module_size=gib(8))
+                       .build())
+        self.vm_counter = 0
+        self.live_vms: list[str] = []
+        #: vm_id -> list of scale-up segment ids still attached.
+        self.runtime_segments: dict[str, list[str]] = {}
+
+    # -- operations ---------------------------------------------------------
+
+    @rule(vcpus=st.integers(1, 4), ram_gib=st.integers(1, 6))
+    def boot(self, vcpus, ram_gib):
+        vm_id = f"vm-{self.vm_counter}"
+        try:
+            self.system.boot_vm(VmAllocationRequest(
+                vm_id, vcpus=vcpus, ram_bytes=gib(ram_gib)))
+        except ReproError:
+            return  # rack full — a legal outcome
+        self.vm_counter += 1
+        self.live_vms.append(vm_id)
+        self.runtime_segments[vm_id] = []
+
+    @precondition(lambda self: self.live_vms)
+    @rule(data=st.data(), size_gib=st.integers(1, 3))
+    def scale_up(self, data, size_gib):
+        vm_id = data.draw(st.sampled_from(self.live_vms))
+        try:
+            result = self.system.scale_up(vm_id, gib(size_gib))
+        except ReproError:
+            return  # pool exhausted — legal
+        self.runtime_segments[vm_id].append(result.segment.segment_id)
+
+    @precondition(lambda self: any(self.runtime_segments.get(v)
+                                   for v in self.live_vms))
+    @rule(data=st.data())
+    def scale_down(self, data):
+        candidates = [v for v in self.live_vms if self.runtime_segments[v]]
+        vm_id = data.draw(st.sampled_from(candidates))
+        segment_id = self.runtime_segments[vm_id].pop()
+        self.system.scale_down(vm_id, segment_id)
+
+    @precondition(lambda self: self.live_vms)
+    @rule(data=st.data())
+    def migrate(self, data):
+        vm_id = data.draw(st.sampled_from(self.live_vms))
+        current = self.system.hosting(vm_id).brick_id
+        others = [b.brick_id for b in self.system.compute_bricks
+                  if b.brick_id != current]
+        target = data.draw(st.sampled_from(others))
+        try:
+            self.system.migrate_vm(vm_id, target)
+        except ReproError:
+            # Target full or unreachable — the VM must still be intact.
+            hosted = self.system.hosting(vm_id)
+            assert hosted.vm.is_running
+
+    @precondition(lambda self: self.live_vms)
+    @rule(data=st.data())
+    def terminate(self, data):
+        vm_id = data.draw(st.sampled_from(self.live_vms))
+        self.system.terminate_vm(vm_id)
+        self.live_vms.remove(vm_id)
+        del self.runtime_segments[vm_id]
+
+    @rule()
+    def power_off_idle(self):
+        self.system.power_off_idle()
+
+    @rule()
+    def audit(self):
+        assert self.system.audit_circuits() == 0.0  # nothing degraded
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def vm_set_agrees(self):
+        assert sorted(v.vm_id for v in self.system.vms) == \
+            sorted(self.live_vms)
+
+    @invariant()
+    def allocator_books_balance(self):
+        for entry in self.system.sdm.registry.memory_entries:
+            entry.allocator.check_invariants()
+        allocated = sum(e.allocator.allocated_bytes
+                        for e in self.system.sdm.registry.memory_entries)
+        live = sum(s.size for s in self.system.sdm.live_segments)
+        assert allocated == live
+
+    @invariant()
+    def circuits_match_refcounts(self):
+        refs = self.system.sdm.circuit_utilization()
+        active = {fc.circuit_id for fc in self.system.fabric.active_circuits}
+        assert set(refs) <= active
+        # Every referenced circuit carries at least one segment.
+        assert all(count > 0 for count in refs.values())
+
+    @invariant()
+    def rmst_entries_match_segments(self):
+        live_by_brick: dict[str, int] = {}
+        for segment in self.system.sdm.live_segments:
+            live_by_brick[segment.compute_brick_id] = \
+                live_by_brick.get(segment.compute_brick_id, 0) + 1
+        for stack in self.system.stacks:
+            expected = live_by_brick.get(stack.brick.brick_id, 0)
+            assert len(stack.brick.rmst) == expected
+
+    @invariant()
+    def reservations_match_guests(self):
+        for stack in self.system.stacks:
+            guest_ram = stack.hypervisor.guest_ram_bytes()
+            assert stack.kernel.reserved_bytes == guest_ram
+            assert stack.kernel.reserved_bytes <= stack.kernel.total_ram_bytes
+
+
+TestRackStateMachine = RackMachine.TestCase
+TestRackStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)

@@ -1,0 +1,108 @@
+"""Unit tests for the baremetal kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HotplugError, HypervisorError
+from repro.hardware.bricks import ComputeBrick
+from repro.memory.segments import RemoteSegment
+from repro.software.kernel import BaremetalKernel
+from repro.units import gib, mib
+
+
+@pytest.fixture
+def kernel() -> BaremetalKernel:
+    return BaremetalKernel(ComputeBrick("cb0", local_memory_bytes=gib(4)))
+
+
+def make_segment(segment_id="seg0", size=gib(2)) -> RemoteSegment:
+    return RemoteSegment(segment_id=segment_id, memory_brick_id="mb0",
+                         offset=0, size=size, compute_brick_id="cb0")
+
+
+class TestRamAccounting:
+    def test_initial_ram_is_local(self, kernel):
+        assert kernel.total_ram_bytes == gib(4)
+        assert kernel.available_bytes == gib(4)
+
+    def test_reserve_release(self, kernel):
+        kernel.reserve_ram(gib(1))
+        assert kernel.available_bytes == gib(3)
+        kernel.release_ram(gib(1))
+        assert kernel.available_bytes == gib(4)
+
+    def test_over_reserve_rejected(self, kernel):
+        with pytest.raises(HypervisorError, match="cannot reserve"):
+            kernel.reserve_ram(gib(5))
+
+    def test_over_release_rejected(self, kernel):
+        kernel.reserve_ram(gib(1))
+        with pytest.raises(HypervisorError):
+            kernel.release_ram(gib(2))
+
+    def test_non_positive_rejected(self, kernel):
+        with pytest.raises(HypervisorError):
+            kernel.reserve_ram(0)
+        with pytest.raises(HypervisorError):
+            kernel.release_ram(-1)
+
+
+class TestAttachDetach:
+    def test_attach_grows_ram(self, kernel):
+        record, latency = kernel.attach_segment(make_segment())
+        assert latency > 0
+        assert kernel.total_ram_bytes == gib(6)
+        assert record.window_base >= gib(4)
+        assert record.window_size == gib(2)
+
+    def test_attach_same_id_rejected(self, kernel):
+        kernel.attach_segment(make_segment())
+        with pytest.raises(HotplugError, match="already attached"):
+            kernel.attach_segment(make_segment())
+
+    def test_detach_shrinks_ram(self, kernel):
+        kernel.attach_segment(make_segment())
+        latency = kernel.detach_segment("seg0")
+        assert latency > 0
+        assert kernel.total_ram_bytes == gib(4)
+        assert kernel.attached_segments == []
+
+    def test_detach_unknown_rejected(self, kernel):
+        with pytest.raises(HotplugError, match="not attached"):
+            kernel.detach_segment("ghost")
+
+    def test_detach_blocked_by_reservations(self, kernel):
+        kernel.attach_segment(make_segment())
+        kernel.reserve_ram(gib(5))  # uses part of the remote window
+        with pytest.raises(HotplugError, match="reserved"):
+            kernel.detach_segment("seg0")
+
+    def test_detach_allowed_when_headroom_remains(self, kernel):
+        kernel.attach_segment(make_segment())
+        kernel.reserve_ram(gib(3))
+        kernel.detach_segment("seg0")  # 4 GiB local still covers it
+        assert kernel.total_ram_bytes == gib(4)
+
+    def test_attach_uses_section_alignment(self):
+        kernel = BaremetalKernel(ComputeBrick("cb0"),
+                                 section_bytes=mib(128))
+        record, _latency = kernel.attach_segment(
+            make_segment(size=mib(100)))
+        assert record.window_size == mib(128)
+
+    def test_window_lookup(self, kernel):
+        kernel.attach_segment(make_segment())
+        assert kernel.window_of_segment("seg0") is not None
+        assert kernel.window_of_segment("ghost") is None
+
+    def test_multiple_segments_stack(self, kernel):
+        first, _ = kernel.attach_segment(make_segment("a", gib(1)))
+        second, _ = kernel.attach_segment(make_segment("b", gib(1)))
+        assert second.window_base >= first.window_base + first.window_size
+        assert kernel.total_ram_bytes == gib(6)
+
+    def test_attach_latency_scales_with_size(self, kernel):
+        _, small = kernel.attach_segment(make_segment("small", gib(1)))
+        _, large = kernel.attach_segment(make_segment("large", gib(4)))
+        assert large > small

@@ -1,0 +1,161 @@
+"""Unit tests for VMs and the hypervisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.hardware.bricks import ComputeBrick
+from repro.software.hypervisor import Hypervisor
+from repro.software.kernel import BaremetalKernel
+from repro.software.vm import VirtualMachine, VmState
+from repro.units import gib, mib
+
+
+@pytest.fixture
+def hypervisor() -> Hypervisor:
+    kernel = BaremetalKernel(
+        ComputeBrick("cb0", core_count=8, local_memory_bytes=gib(16)))
+    return Hypervisor(kernel)
+
+
+class TestVirtualMachine:
+    def test_lifecycle(self):
+        vm = VirtualMachine("vm-0", vcpus=2, ram_bytes=gib(2))
+        assert vm.state is VmState.PROVISIONING
+        vm.start()
+        assert vm.is_running
+        vm.terminate()
+        assert vm.state is VmState.TERMINATED
+
+    def test_illegal_transition(self):
+        vm = VirtualMachine("vm-0", 1, gib(1))
+        vm.start()
+        vm.terminate()
+        with pytest.raises(HypervisorError):
+            vm.start()
+
+    def test_pause_resume(self):
+        vm = VirtualMachine("vm-0", 1, gib(1))
+        vm.start()
+        vm.transition(VmState.PAUSED)
+        vm.transition(VmState.RUNNING)
+        assert vm.is_running
+
+    def test_accept_dimm_grows_visible_ram(self):
+        vm = VirtualMachine("vm-0", 1, gib(2))
+        vm.start()
+        latency = vm.accept_dimm(gib(1))
+        assert latency > 0
+        assert vm.ram_bytes == gib(3)
+
+    def test_accept_dimm_requires_running(self):
+        vm = VirtualMachine("vm-0", 1, gib(2))
+        with pytest.raises(HypervisorError, match="cannot hotplug"):
+            vm.accept_dimm(gib(1))
+
+    def test_guest_hotplug_latency_scales(self):
+        vm = VirtualMachine("vm-0", 1, gib(2))
+        vm.start()
+        small = vm.accept_dimm(mib(256))
+        large = vm.accept_dimm(gib(2))
+        assert large > small
+
+    def test_surrender_cannot_undercut_initial(self):
+        vm = VirtualMachine("vm-0", 1, gib(2))
+        vm.start()
+        vm.accept_dimm(gib(1))
+        vm.surrender_ram(gib(1))
+        with pytest.raises(HypervisorError, match="initial"):
+            vm.surrender_ram(gib(1))
+
+    def test_invalid_construction(self):
+        with pytest.raises(HypervisorError):
+            VirtualMachine("vm-0", 0, gib(1))
+        with pytest.raises(HypervisorError):
+            VirtualMachine("vm-0", 1, 0)
+
+
+class TestHypervisorSpawn:
+    def test_spawn_reserves_resources(self, hypervisor):
+        vm, latency = hypervisor.spawn_vm("vm-0", vcpus=4, ram_bytes=gib(8))
+        assert latency > 0
+        assert vm.is_running
+        assert hypervisor.cores_in_use() == 4
+        assert hypervisor.kernel.available_bytes == gib(8)
+
+    def test_core_admission_control(self, hypervisor):
+        hypervisor.spawn_vm("vm-0", vcpus=6, ram_bytes=gib(1))
+        with pytest.raises(HypervisorError, match="cores"):
+            hypervisor.spawn_vm("vm-1", vcpus=4, ram_bytes=gib(1))
+
+    def test_ram_admission_control(self, hypervisor):
+        with pytest.raises(HypervisorError, match="reserve"):
+            hypervisor.spawn_vm("vm-0", vcpus=1, ram_bytes=gib(32))
+
+    def test_duplicate_id_rejected(self, hypervisor):
+        hypervisor.spawn_vm("vm-0", 1, gib(1))
+        with pytest.raises(HypervisorError, match="already in use"):
+            hypervisor.spawn_vm("vm-0", 1, gib(1))
+
+    def test_terminate_releases(self, hypervisor):
+        hypervisor.spawn_vm("vm-0", 4, gib(8))
+        hypervisor.terminate_vm("vm-0")
+        assert hypervisor.cores_in_use() == 0
+        assert hypervisor.kernel.available_bytes == gib(16)
+        assert hypervisor.vms == []
+
+    def test_unknown_vm_lookup(self, hypervisor):
+        with pytest.raises(HypervisorError, match="hosts no VM"):
+            hypervisor.vm("ghost")
+
+
+class TestDimmHotplug:
+    def test_hotplug_dimm_full_flow(self, hypervisor):
+        hypervisor.spawn_vm("vm-0", 2, gib(4))
+        dimm, latency = hypervisor.hotplug_dimm("vm-0", gib(2), "seg-0")
+        assert latency > hypervisor.timings.dimm_attach_s
+        assert dimm.segment_id == "seg-0"
+        assert hypervisor.vm("vm-0").ram_bytes == gib(6)
+        assert hypervisor.kernel.available_bytes == gib(10)
+
+    def test_dimm_slots_exhaustion(self, hypervisor):
+        hypervisor.spawn_vm("vm-0", 1, gib(1))
+        limited = Hypervisor(hypervisor.kernel, dimm_slots=1)
+        # Use a separate hypervisor instance with 1 slot for clarity.
+        limited.spawn_vm("vm-1", 1, gib(1))
+        limited.hotplug_dimm("vm-1", mib(128))
+        with pytest.raises(HypervisorError, match="DIMM slots"):
+            limited.hotplug_dimm("vm-1", mib(128))
+
+    def test_hotplug_respects_kernel_capacity(self, hypervisor):
+        hypervisor.spawn_vm("vm-0", 1, gib(15))
+        with pytest.raises(HypervisorError):
+            hypervisor.hotplug_dimm("vm-0", gib(4))
+
+    def test_failed_guest_attach_rolls_back_reservation(self, hypervisor):
+        vm, _ = hypervisor.spawn_vm("vm-0", 1, gib(1))
+        vm.transition(VmState.PAUSED)  # guest cannot accept DIMMs now
+        available = hypervisor.kernel.available_bytes
+        with pytest.raises(HypervisorError):
+            hypervisor.hotplug_dimm("vm-0", gib(1))
+        assert hypervisor.kernel.available_bytes == available
+
+    def test_unplug_dimm(self, hypervisor):
+        hypervisor.spawn_vm("vm-0", 1, gib(2))
+        dimm, _ = hypervisor.hotplug_dimm("vm-0", gib(1))
+        latency = hypervisor.unplug_dimm("vm-0", dimm.dimm_id)
+        assert latency > 0
+        assert hypervisor.vm("vm-0").ram_bytes == gib(2)
+        assert hypervisor.dimms_of("vm-0") == []
+
+    def test_unplug_unknown_dimm(self, hypervisor):
+        hypervisor.spawn_vm("vm-0", 1, gib(1))
+        with pytest.raises(HypervisorError, match="no DIMM"):
+            hypervisor.unplug_dimm("vm-0", "ghost")
+
+    def test_guest_ram_accounting(self, hypervisor):
+        hypervisor.spawn_vm("vm-0", 1, gib(2))
+        hypervisor.spawn_vm("vm-1", 1, gib(3))
+        hypervisor.hotplug_dimm("vm-0", gib(1))
+        assert hypervisor.guest_ram_bytes() == gib(6)

@@ -1,0 +1,148 @@
+"""Tests for the refresh-TCO extension and the energy meter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.tco.meter import EnergyMeter
+from repro.tco.refresh import RefreshCostModel, RefreshStudy
+
+
+class TestRefreshStudy:
+    def test_disaggregation_saves_on_long_horizons(self):
+        outcome = RefreshStudy(unit_count=64).run(horizon_years=12.0)
+        # 12 years: conventional buys whole fleets at years 0/3/6/9 (4x),
+        # disaggregated buys compute 4x but memory only 2x.
+        assert outcome.conventional_refreshes == 4
+        assert outcome.compute_brick_refreshes == 4
+        assert outcome.memory_brick_refreshes == 2
+        assert outcome.savings_fraction > 0.05
+
+    def test_premium_eats_into_savings(self):
+        cheap = RefreshStudy(
+            64, RefreshCostModel(brick_cost_premium=1.0)).run(12.0)
+        pricey = RefreshStudy(
+            64, RefreshCostModel(brick_cost_premium=1.25)).run(12.0)
+        assert cheap.savings_fraction > pricey.savings_fraction
+
+    def test_no_savings_when_cadences_match(self):
+        # Same refresh clock for both components: modularity only costs.
+        model = RefreshCostModel(compute_refresh_years=3.0,
+                                 memory_refresh_years=3.0,
+                                 brick_cost_premium=1.10)
+        outcome = RefreshStudy(64, model).run(12.0)
+        assert outcome.savings_fraction < 0
+
+    def test_short_horizon_single_buy(self):
+        outcome = RefreshStudy(64).run(horizon_years=2.0)
+        assert outcome.conventional_refreshes == 1
+        assert outcome.compute_brick_refreshes == 1
+        # Initial buy only: the premium makes bricks slightly pricier.
+        assert outcome.savings_fraction < 0
+
+    def test_savings_at_aligned_horizons(self):
+        """Savings are a step function of the horizon: equal at every
+        horizon aligned to both cadences, dipping in between (an extra
+        conventional fleet buy lands before the memory bricks age out)."""
+        study = RefreshStudy(64)
+        aligned = [study.run(h).savings_fraction for h in (6.0, 12.0, 18.0)]
+        assert all(s > 0 for s in aligned)
+        assert aligned[0] == pytest.approx(aligned[1], abs=1e-9)
+        assert aligned[1] == pytest.approx(aligned[2], abs=1e-9)
+        misaligned = study.run(9.0).savings_fraction
+        assert misaligned < aligned[0]
+
+    def test_breakeven_premium_above_one(self):
+        study = RefreshStudy(64)
+        breakeven = study.breakeven_premium(12.0)
+        assert breakeven > 1.0
+        # At exactly the breakeven premium, costs match.
+        model = RefreshCostModel(brick_cost_premium=breakeven)
+        outcome = RefreshStudy(64, model).run(12.0)
+        assert outcome.savings_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_scales_with_units(self):
+        small = RefreshStudy(10).run(12.0)
+        large = RefreshStudy(100).run(12.0)
+        assert large.conventional_total == pytest.approx(
+            10 * small.conventional_total)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RefreshStudy(0)
+        with pytest.raises(ConfigurationError):
+            RefreshCostModel(node_cost=0)
+        with pytest.raises(ConfigurationError):
+            RefreshCostModel(compute_cost_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            RefreshCostModel(brick_cost_premium=0.9)
+        with pytest.raises(ConfigurationError):
+            RefreshStudy(64).run(horizon_years=0)
+
+
+class TestEnergyMeter:
+    def test_piecewise_integration(self):
+        meter = EnergyMeter()
+        meter.sample(100.0, time_s=0.0)
+        meter.sample(50.0, time_s=10.0)
+        meter.sample(0.0, time_s=20.0)
+        assert meter.energy_j(until_s=30.0) == pytest.approx(1500.0)
+
+    def test_constant_power(self):
+        meter = EnergyMeter()
+        meter.sample(200.0, time_s=0.0)
+        assert meter.energy_j(until_s=3600.0) == pytest.approx(720_000.0)
+        assert meter.energy_kwh(until_s=3600.0) == pytest.approx(0.2)
+
+    def test_mean_power(self):
+        meter = EnergyMeter()
+        meter.sample(100.0, time_s=0.0)
+        meter.sample(300.0, time_s=10.0)
+        assert meter.mean_power_w(until_s=20.0) == pytest.approx(200.0)
+
+    def test_with_simulator_clock(self):
+        sim = Simulator()
+        meter = EnergyMeter(clock=lambda: sim.now)
+
+        def scenario():
+            meter.sample(100.0)
+            yield sim.timeout(5.0)
+            meter.sample(10.0)
+            yield sim.timeout(5.0)
+
+        sim.process(scenario())
+        sim.run()
+        assert meter.energy_j() == pytest.approx(550.0)
+
+    def test_empty_meter(self):
+        meter = EnergyMeter()
+        assert meter.energy_j(until_s=100.0) == 0.0
+        assert meter.mean_power_w(until_s=100.0) == 0.0
+
+    def test_out_of_order_rejected(self):
+        meter = EnergyMeter()
+        meter.sample(10.0, time_s=5.0)
+        with pytest.raises(ConfigurationError, match="time-ordered"):
+            meter.sample(20.0, time_s=1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyMeter().sample(-1.0, time_s=0.0)
+
+    def test_no_clock_requires_explicit_time(self):
+        with pytest.raises(ConfigurationError, match="no clock"):
+            EnergyMeter().sample(10.0)
+
+    def test_backwards_integration_rejected(self):
+        meter = EnergyMeter()
+        meter.sample(10.0, time_s=10.0)
+        with pytest.raises(ConfigurationError):
+            meter.energy_j(until_s=5.0)
+
+    def test_reset(self):
+        meter = EnergyMeter()
+        meter.sample(10.0, time_s=0.0)
+        meter.reset()
+        assert meter.samples == []

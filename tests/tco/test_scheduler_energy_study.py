@@ -1,0 +1,169 @@
+"""Unit tests for the FCFS scheduler, power model and TCO study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tco.datacenter import (
+    ConventionalDatacenter,
+    DisaggregatedDatacenter,
+)
+from repro.tco.energy import PowerModel
+from repro.tco.scheduler import FcfsScheduler
+from repro.tco.study import TcoStudy
+from repro.tco.workloads import TABLE_I, VmDemand
+
+
+def vm(vm_id="vm", vcpus=4, ram_gib=4):
+    return VmDemand(vm_id, vcpus, ram_gib)
+
+
+class TestFcfsScheduler:
+    def test_arrival_order_preserved(self):
+        dc = ConventionalDatacenter(1, 8, 8)
+        outcome = FcfsScheduler().schedule(
+            dc, [vm("big", 8, 8), vm("small", 1, 1)])
+        # The big VM arrived first and took the node; the small one lost.
+        assert outcome.admitted_count == 1
+        assert outcome.placed[0].vm.vm_id == "big"
+        assert outcome.rejected[0].vm_id == "small"
+
+    def test_rejection_does_not_block_later_fits(self):
+        dc = ConventionalDatacenter(1, 8, 8)
+        outcome = FcfsScheduler().schedule(
+            dc, [vm("a", 6, 6), vm("huge", 8, 8), vm("b", 2, 2)])
+        assert outcome.admitted_count == 2
+        assert [p.vm.vm_id for p in outcome.placed] == ["a", "b"]
+
+    def test_admission_rate(self):
+        dc = ConventionalDatacenter(1, 8, 8)
+        outcome = FcfsScheduler().schedule(dc, [vm("a", 8, 8), vm("b", 1, 1)])
+        assert outcome.admission_rate == pytest.approx(0.5)
+
+    def test_empty_workload(self):
+        outcome = FcfsScheduler().schedule(ConventionalDatacenter(), [])
+        assert outcome.admitted_count == 0
+        assert outcome.admission_rate == 0.0
+
+
+class TestPowerModel:
+    def test_all_on_parity_up_to_switch_ports(self):
+        model = PowerModel()
+        conventional = ConventionalDatacenter(64, 32, 32)
+        disaggregated = DisaggregatedDatacenter(64, 32, 64, 32)
+        conv = model.conventional_power_all_on_w(conventional)
+        disagg = model.disaggregated_power_all_on_w(disaggregated)
+        # Same resources, near-equal draw; optical ports add ~0.1%.
+        assert disagg == pytest.approx(conv, rel=0.01)
+        assert disagg > conv
+
+    def test_off_units_draw_nothing(self):
+        model = PowerModel()
+        dc = ConventionalDatacenter(4, 8, 8)
+        dc.place(vm("a", 8, 8))
+        assert model.conventional_power_w(dc) == pytest.approx(
+            model.node_active_w)
+
+    def test_disaggregated_counts_both_pools(self):
+        model = PowerModel()
+        dc = DisaggregatedDatacenter(2, 8, 2, 8)
+        dc.place(vm("a", 8, 8))
+        expected = (model.compute_brick_active_w
+                    + model.memory_brick_active_w
+                    + 2 * model.ports_per_brick * model.optical_port_w)
+        assert model.disaggregated_power_w(dc) == pytest.approx(expected)
+
+    def test_normalized_power(self):
+        model = PowerModel()
+        conventional = ConventionalDatacenter(2, 8, 8)
+        disaggregated = DisaggregatedDatacenter(2, 8, 2, 8)
+        for dc in (conventional, disaggregated):
+            dc.place(vm("a", 1, 8))
+        normalized = model.normalized_power(disaggregated, conventional)
+        assert 0 < normalized < 2
+
+    def test_normalize_against_dark_dc_rejected(self):
+        model = PowerModel()
+        with pytest.raises(ConfigurationError):
+            model.normalized_power(DisaggregatedDatacenter(1, 1, 1, 1),
+                                   ConventionalDatacenter(1, 1, 1))
+
+    def test_energy_kwh(self):
+        model = PowerModel()
+        assert model.energy_kwh(1000.0, 24.0) == pytest.approx(24.0)
+        with pytest.raises(ConfigurationError):
+            model.energy_kwh(100.0, -1.0)
+
+    def test_invalid_powers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(node_active_w=0.0)
+
+
+class TestTcoStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {r.config_name: r
+                for r in TcoStudy(node_count=32, seed=7).run_all()}
+
+    def test_all_configs_run(self, results):
+        assert set(results) == set(TABLE_I)
+
+    def test_disaggregated_never_worse_at_poweroff(self, results):
+        for result in results.values():
+            assert (result.disaggregated_poweroff
+                    >= result.conventional_poweroff - 1e-9), \
+                result.config_name
+
+    def test_unbalanced_mixes_show_large_brick_poweroff(self, results):
+        for name in ("High RAM", "High CPU", "More RAM", "More CPU"):
+            assert results[name].best_brick_poweroff > 0.5, name
+
+    def test_high_ram_powers_off_compute(self, results):
+        result = results["High RAM"]
+        assert result.compute_brick_poweroff > result.memory_brick_poweroff
+
+    def test_high_cpu_powers_off_memory(self, results):
+        result = results["High CPU"]
+        assert result.memory_brick_poweroff > result.compute_brick_poweroff
+
+    def test_balanced_mix_near_parity(self, results):
+        result = results["Half Half"]
+        assert result.normalized_power == pytest.approx(1.0, abs=0.05)
+
+    def test_energy_savings_on_memory_heavy(self, results):
+        assert results["High RAM"].energy_savings > 0.3
+        assert results["More RAM"].energy_savings > 0.3
+
+    def test_admission_counts_consistent(self, results):
+        for result in results.values():
+            assert (result.conventional_admitted
+                    + result.conventional_rejected) == result.vm_count
+            assert (result.disaggregated_admitted
+                    + result.disaggregated_rejected) == result.vm_count
+
+    def test_workload_size_scales_with_fraction(self):
+        small = TcoStudy(demand_fraction=0.4)
+        large = TcoStudy(demand_fraction=0.8)
+        config = TABLE_I["Random"]
+        assert large.workload_size(config) > small.workload_size(config)
+
+    def test_workload_size_uses_binding_resource(self):
+        study = TcoStudy(node_count=64, cores_per_node=32,
+                         ram_per_node_gib=32, demand_fraction=1.0)
+        config = TABLE_I["High RAM"]  # RAM is binding
+        expected = int((64 * 32) / config.mean_ram_gib)
+        assert study.workload_size(config) == expected
+
+    def test_reproducible_for_seed(self):
+        first = TcoStudy(seed=11).run_config(TABLE_I["Random"])
+        second = TcoStudy(seed=11).run_config(TABLE_I["Random"])
+        assert first == second
+
+    def test_bad_demand_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcoStudy(demand_fraction=0.0)
+
+    def test_explicit_vm_count(self):
+        result = TcoStudy().run_config(TABLE_I["Half Half"], vm_count=10)
+        assert result.vm_count == 10

@@ -1,0 +1,107 @@
+"""Unit tests for the Table I workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tco.workloads import (
+    TABLE_I,
+    VmDemand,
+    WorkloadConfig,
+    config_by_name,
+    generate_vms,
+    table_rows,
+)
+
+
+class TestTableI:
+    def test_six_configurations(self):
+        assert list(TABLE_I) == ["Random", "High RAM", "High CPU",
+                                 "Half Half", "More RAM", "More CPU"]
+
+    def test_paper_ranges_exact(self):
+        assert TABLE_I["Random"].vcpu_min == 1
+        assert TABLE_I["Random"].vcpu_max == 32
+        assert TABLE_I["High RAM"].ram_min_gib == 24
+        assert TABLE_I["High CPU"].vcpu_min == 24
+        assert TABLE_I["Half Half"].vcpu_min == 16
+        assert TABLE_I["Half Half"].vcpu_max == 16
+        assert TABLE_I["More RAM"].vcpu_max == 6
+        assert TABLE_I["More CPU"].ram_max_gib == 16
+
+    def test_table_rows_match_paper(self):
+        rows = table_rows()
+        assert rows[0] == ("Random", "1-32 cores", "1-32 GB")
+        assert rows[3] == ("Half Half", "16 cores", "16 GB")
+
+    def test_config_by_name(self):
+        assert config_by_name("High RAM") is TABLE_I["High RAM"]
+        with pytest.raises(ConfigurationError):
+            config_by_name("Mega RAM")
+
+
+class TestSampling:
+    @pytest.mark.parametrize("name", list(TABLE_I))
+    def test_samples_within_ranges(self, name):
+        config = TABLE_I[name]
+        rng = np.random.default_rng(0)
+        for vm in generate_vms(config, 300, rng):
+            assert config.vcpu_min <= vm.vcpus <= config.vcpu_max
+            assert config.ram_min_gib <= vm.ram_gib <= config.ram_max_gib
+
+    def test_bounds_are_attained(self):
+        config = TABLE_I["Random"]
+        rng = np.random.default_rng(0)
+        vms = generate_vms(config, 2000, rng)
+        assert min(vm.vcpus for vm in vms) == 1
+        assert max(vm.vcpus for vm in vms) == 32
+
+    def test_mean_near_midpoint(self):
+        config = TABLE_I["Random"]
+        rng = np.random.default_rng(0)
+        vms = generate_vms(config, 5000, rng)
+        assert np.mean([vm.vcpus for vm in vms]) == pytest.approx(
+            config.mean_vcpus, rel=0.05)
+
+    def test_fixed_config_is_constant(self):
+        config = TABLE_I["Half Half"]
+        rng = np.random.default_rng(0)
+        vms = generate_vms(config, 50, rng)
+        assert all(vm.vcpus == 16 and vm.ram_gib == 16 for vm in vms)
+
+    def test_reproducible(self):
+        config = TABLE_I["Random"]
+        first = generate_vms(config, 20, np.random.default_rng(5))
+        second = generate_vms(config, 20, np.random.default_rng(5))
+        assert first == second
+
+    def test_ids_unique(self):
+        config = TABLE_I["Random"]
+        vms = generate_vms(config, 100, np.random.default_rng(0))
+        assert len({vm.vm_id for vm in vms}) == 100
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_vms(TABLE_I["Random"], -1, np.random.default_rng(0))
+
+
+class TestValidation:
+    def test_bad_vcpu_range(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig("bad", 5, 4, 1, 2)
+
+    def test_bad_ram_range(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig("bad", 1, 2, 0, 2)
+
+    def test_vm_demand_validation(self):
+        with pytest.raises(ConfigurationError):
+            VmDemand("vm", vcpus=0, ram_gib=1)
+        with pytest.raises(ConfigurationError):
+            VmDemand("vm", vcpus=1, ram_gib=0)
+
+    def test_labels(self):
+        assert TABLE_I["Half Half"].vcpu_label == "16 cores"
+        assert TABLE_I["Random"].ram_label == "1-32 GB"

@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro import errors
+
+
+def all_error_classes():
+    return [
+        obj for _name, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception)
+    ]
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, errors.ReproError), cls.__name__
+
+    def test_single_except_catches_all(self):
+        for cls in all_error_classes():
+            if cls is errors.ReproError:
+                continue
+            with pytest.raises(errors.ReproError):
+                raise cls("boom")
+
+    def test_subsystem_grouping(self):
+        assert issubclass(errors.CircuitError, errors.NetworkError)
+        assert issubclass(errors.LinkBudgetError, errors.NetworkError)
+        assert issubclass(errors.RoutingError, errors.NetworkError)
+        assert issubclass(errors.PortError, errors.HardwareError)
+        assert issubclass(errors.SlotError, errors.HardwareError)
+        assert issubclass(errors.SegmentTableError, errors.HardwareError)
+        assert issubclass(errors.HotplugError, errors.SoftwareError)
+        assert issubclass(errors.HypervisorError, errors.SoftwareError)
+        assert issubclass(errors.BalloonError, errors.SoftwareError)
+        assert issubclass(errors.ReservationError, errors.OrchestrationError)
+        assert issubclass(errors.PlacementError, errors.OrchestrationError)
+        assert issubclass(errors.AddressError, errors.MemoryError_)
+        assert issubclass(errors.AllocationError, errors.MemoryError_)
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert errors.MemoryError_ is not MemoryError
+        assert not issubclass(errors.MemoryError_, MemoryError)
+
+    def test_cross_subsystem_isolation(self):
+        # A network error is not a hardware error and vice versa.
+        assert not issubclass(errors.CircuitError, errors.HardwareError)
+        assert not issubclass(errors.SlotError, errors.NetworkError)
+
+    def test_every_class_documented(self):
+        for cls in all_error_classes():
+            assert cls.__doc__, f"{cls.__name__} lacks a docstring"

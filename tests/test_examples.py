@@ -1,0 +1,76 @@
+"""Smoke tests: every example script runs and prints its key results.
+
+Examples are part of the public surface — if an API change breaks them,
+these tests fail before a user does.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Import and run ``examples/<name>.py`` and return its stdout."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        del sys.modules[spec.name]
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "booted vm-0" in out
+        assert "scale-up of 8 GiB took" in out
+        assert "powered off" in out
+
+    def test_video_surveillance(self, capsys):
+        out = run_example("video_surveillance", capsys)
+        assert "investigations" in out
+        assert "mean time-to-capacity" in out
+        assert "elastic provisioning averaged" in out
+
+    def test_nfv_elastic_keyserver(self, capsys):
+        out = run_example("nfv_elastic_keyserver", capsys)
+        assert "0 VMs spawned" in out
+        assert "demand satisfied at" in out
+
+    def test_network_analytics_100gbe(self, capsys):
+        out = run_example("network_analytics_100gbe", capsys)
+        assert "line rate held" in out
+        assert "speedup from disaggregated memory" in out
+
+    def test_tco_study(self, capsys):
+        out = run_example("tco_study", capsys)
+        assert "TCO study" in out
+        assert "headline" in out
+
+    def test_live_migration(self, capsys):
+        out = run_example("live_migration", capsys)
+        assert "migration ledger" in out
+        assert "faster" in out
+
+    def test_elastic_multi_tenant(self, capsys):
+        out = run_example("elastic_multi_tenant", capsys)
+        assert "anti-correlated demand" in out
+        assert "elastic redistribution carried both tenants" in out
+
+    def test_all_examples_covered(self):
+        """Every example file has a smoke test here."""
+        examples = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        tested = {name[len("test_"):] for name in dir(self)
+                  if name.startswith("test_") and
+                  name != "test_all_examples_covered"}
+        assert examples == tested

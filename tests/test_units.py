@@ -1,0 +1,100 @@
+"""Unit tests for unit helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTime:
+    def test_nanoseconds(self):
+        assert units.nanoseconds(100) == pytest.approx(1e-7)
+
+    def test_roundtrip_ns(self):
+        assert units.to_nanoseconds(units.nanoseconds(42)) == pytest.approx(42)
+
+    def test_roundtrip_us(self):
+        assert units.to_microseconds(units.microseconds(7)) == pytest.approx(7)
+
+    def test_roundtrip_ms(self):
+        assert units.to_milliseconds(units.milliseconds(3)) == pytest.approx(3)
+
+    def test_minute_hour(self):
+        assert units.HOUR == 60 * units.MINUTE
+
+
+class TestCapacity:
+    def test_gib_is_int(self):
+        assert isinstance(units.gib(4), int)
+        assert units.gib(4) == 4 * 1024 ** 3
+
+    def test_mib_kib(self):
+        assert units.mib(1) == 1024 * units.kib(1)
+
+    def test_to_gib(self):
+        assert units.to_gib(units.gib(3)) == pytest.approx(3.0)
+
+    def test_to_mib(self):
+        assert units.to_mib(units.mib(128)) == pytest.approx(128.0)
+
+    def test_fractional_gib(self):
+        assert units.gib(0.5) == units.mib(512)
+
+
+class TestDataRate:
+    def test_gbps(self):
+        assert units.gbps(10) == 10e9
+
+    def test_transfer_time_64_bytes_at_10g(self):
+        assert units.transfer_time(64, units.gbps(10)) == pytest.approx(51.2e-9)
+
+    def test_transfer_time_zero_bytes(self):
+        assert units.transfer_time(0, units.gbps(1)) == 0.0
+
+    def test_transfer_time_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            units.transfer_time(64, 0)
+
+
+class TestOpticalPower:
+    def test_zero_dbm_is_one_mw(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        assert units.mw_to_dbm(units.dbm_to_mw(-3.7)) == pytest.approx(-3.7)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(0.0)
+
+    def test_apply_loss(self):
+        assert units.apply_loss_db(-3.7, 8.0) == pytest.approx(-11.7)
+
+    def test_db_ratio_3db_doubles(self):
+        assert units.db_ratio(3.0103) == pytest.approx(2.0, rel=1e-3)
+
+    def test_ratio_db_roundtrip(self):
+        assert units.ratio_db(units.db_ratio(5.5)) == pytest.approx(5.5)
+
+    def test_ratio_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.ratio_db(-1.0)
+
+
+class TestFibre:
+    def test_propagation_speed_below_c(self):
+        assert units.FIBRE_LIGHT_SPEED < units.SPEED_OF_LIGHT_VACUUM
+
+    def test_ten_metres_about_49ns(self):
+        delay = units.fibre_propagation_delay(10.0)
+        assert delay == pytest.approx(49e-9, rel=0.01)
+
+    def test_zero_length(self):
+        assert units.fibre_propagation_delay(0.0) == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            units.fibre_propagation_delay(-1.0)
