@@ -1,0 +1,55 @@
+"""Bench: pod-size sweep — VM density and remote-memory latency 1..8 racks.
+
+Shape assertions: capacity grows with pod size (the pool composes across
+racks), the locality-first placement only spills across the pod switch
+once a rack's memory is drained, and an inter-rack read is strictly —
+but boundedly — slower than an intra-rack one (the interconnect
+hierarchy as the dominant remote-latency term).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.pod_scale import run_pod_scale
+
+
+def test_bench_pod_scale(benchmark, artifact_writer):
+    result = benchmark.pedantic(
+        run_pod_scale,
+        kwargs={"rack_counts": (1, 2, 4, 8)},
+        rounds=1, iterations=1)
+    artifact_writer("pod_scale", result.render())
+    print(result.render())
+
+    cells = {cell.rack_count: cell for cell in result.cells}
+    assert sorted(cells) == [1, 2, 4, 8]
+
+    # Capacity scales with racks: each doubling of the pod at least
+    # doubles VM capacity minus rounding (memory-bound packing).
+    assert cells[2].vm_capacity > cells[1].vm_capacity
+    assert cells[4].vm_capacity > cells[2].vm_capacity
+    assert cells[8].vm_capacity > cells[4].vm_capacity
+    assert cells[8].vm_capacity >= 4 * cells[1].vm_capacity
+
+    # A single rack never crosses the pod switch.
+    assert cells[1].remote_segment_count == 0
+    assert cells[1].inter_rack_read_ns is None
+    assert cells[1].uplinks_in_use == 0
+
+    # Multi-rack pods spill once the local rack drains, and more racks
+    # mean a larger remote share for the same per-rack memory.
+    for racks in (2, 4, 8):
+        assert cells[racks].remote_segment_count > 0
+        assert cells[racks].uplinks_in_use > 0
+    assert cells[8].remote_fraction >= cells[2].remote_fraction
+
+    # The pod switch tier costs latency: strictly slower than
+    # intra-rack, but within the same order of magnitude (circuit
+    # switching adds fibre flight time, not store-and-forward hops).
+    for racks in (2, 4, 8):
+        cell = cells[racks]
+        assert cell.inter_rack_read_ns > cell.intra_rack_read_ns
+        assert cell.inter_over_intra < 10
+
+    # Power grows with pod size (more bricks + lit switch ports).
+    assert (cells[8].total_power_w > cells[4].total_power_w
+            > cells[2].total_power_w > cells[1].total_power_w)

@@ -31,10 +31,10 @@ Sub-packages (bottom-up):
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
-from repro.core.builder import RackBuilder
+from repro.core.builder import PodBuilder, RackBuilder
 from repro.core.flows import TimedScaleUpHarness
 from repro.core.metrics import snapshot
-from repro.core.system import DisaggregatedRack
+from repro.core.system import DisaggregatedRack, DisaggregatedSystem
 from repro.errors import ReproError
 from repro.orchestration.requests import (
     MemoryAllocationRequest,
@@ -42,11 +42,13 @@ from repro.orchestration.requests import (
 )
 from repro.units import gbps, gib, mib
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DisaggregatedRack",
+    "DisaggregatedSystem",
     "MemoryAllocationRequest",
+    "PodBuilder",
     "RackBuilder",
     "ReproError",
     "TimedScaleUpHarness",

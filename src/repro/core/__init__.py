@@ -12,18 +12,24 @@ paper prototypes:
 * :mod:`repro.core.metrics` — system-wide snapshots (power, utilization).
 """
 
-from repro.core.builder import RackBuilder
+from repro.core.builder import PodBuilder, RackBuilder
 from repro.core.flows import BootResult, TimedScaleUpHarness
 from repro.core.metrics import SystemSnapshot, snapshot
 from repro.core.migration import MigrationFlow, MigrationReport
-from repro.core.system import BrickStack, DisaggregatedRack
+from repro.core.system import (
+    BrickStack,
+    DisaggregatedRack,
+    DisaggregatedSystem,
+)
 
 __all__ = [
     "BootResult",
     "BrickStack",
     "DisaggregatedRack",
+    "DisaggregatedSystem",
     "MigrationFlow",
     "MigrationReport",
+    "PodBuilder",
     "RackBuilder",
     "SystemSnapshot",
     "TimedScaleUpHarness",

@@ -1,20 +1,30 @@
-"""The assembled disaggregated rack.
+"""The assembled disaggregated system (one rack, or a pod of racks).
 
-:class:`DisaggregatedRack` is the user-facing system object: a rack of
-bricks, the optical fabric, the per-brick software stacks and the SDM
-controller, with the paper's end-to-end operations as methods — boot a
-VM whose memory may exceed any single brick, scale a VM's memory up and
-down at runtime, and power-manage unutilized bricks.
+:class:`DisaggregatedSystem` is the user-facing system object: racks of
+bricks, the optical fabric (rack-local or pod-wide), the per-brick
+software stacks and the SDM controller, with the paper's end-to-end
+operations as methods — boot a VM whose memory may exceed any single
+brick, scale a VM's memory up and down at runtime, migrate VMs (within
+or across racks), and power-manage unutilized bricks.
+:data:`DisaggregatedRack` remains as the single-rack-era alias.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
-from repro.errors import OrchestrationError, PlacementError
+from repro.errors import (
+    FabricError,
+    OrchestrationError,
+    PlacementError,
+    SlotError,
+)
 from repro.hardware.bricks import AcceleratorBrick, ComputeBrick, MemoryBrick
 from repro.hardware.rack import Rack
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.fabric.pod import Pod
 from repro.memory.segments import RemoteSegment
 from repro.network.optical.topology import OpticalFabric
 from repro.orchestration.requests import VmAllocationRequest
@@ -76,20 +86,43 @@ class FailureImpact:
     teardown_latency_s: float = 0.0
 
 
-class DisaggregatedRack:
+class DisaggregatedSystem:
     """The full-stack system object (built by
-    :class:`~repro.core.builder.RackBuilder`)."""
+    :class:`~repro.core.builder.RackBuilder` or
+    :class:`~repro.core.builder.PodBuilder`)."""
 
-    def __init__(self, rack: Rack, fabric: OpticalFabric,
+    def __init__(self, rack: Union[Rack, Sequence[Rack]],
+                 fabric: OpticalFabric,
                  sdm: SdmController,
-                 stacks: dict[str, BrickStack]) -> None:
-        self.rack = rack
+                 stacks: dict[str, BrickStack],
+                 pod: Optional["Pod"] = None) -> None:
+        self.racks: list[Rack] = ([rack] if isinstance(rack, Rack)
+                                  else list(rack))
+        if not self.racks:
+            raise OrchestrationError("a system needs at least one rack")
         self.fabric = fabric
         self.sdm = sdm
+        self.pod = pod
         self._stacks = stacks
         self._vms: dict[str, HostedVm] = {}
 
     # -- inventory ------------------------------------------------------------
+
+    @property
+    def rack(self) -> Rack:
+        """The (first) rack — the whole system in single-rack setups."""
+        return self.racks[0]
+
+    def rack_of_brick(self, brick_id: str) -> Rack:
+        """The rack physically holding *brick_id*."""
+        try:
+            if self.pod is not None:
+                return self.pod.rack_of_brick_id(brick_id)
+            self.rack.brick(brick_id)
+            return self.rack
+        except (FabricError, SlotError):
+            raise OrchestrationError(
+                f"no brick {brick_id!r} in this system") from None
 
     @property
     def compute_bricks(self) -> list[ComputeBrick]:
@@ -101,7 +134,7 @@ class DisaggregatedRack:
 
     @property
     def accelerator_bricks(self) -> list[AcceleratorBrick]:
-        return [b for b in self.rack.bricks()
+        return [b for rack in self.racks for b in rack.bricks()
                 if isinstance(b, AcceleratorBrick)]
 
     def stack(self, brick_id: str) -> BrickStack:
@@ -240,11 +273,17 @@ class DisaggregatedRack:
         return self.sdm.registry.power_off_idle_bricks()
 
     def total_power_w(self) -> float:
-        """Bricks plus optical switch draw."""
-        return self.rack.total_power_draw_w() + self.fabric.power_draw_w
+        """Bricks plus optical switch draw (all tiers)."""
+        return (sum(rack.total_power_draw_w() for rack in self.racks)
+                + self.fabric.power_draw_w)
 
     def __repr__(self) -> str:
-        return (f"DisaggregatedRack({len(self._stacks)} compute, "
+        scope = (f"{len(self.racks)} racks, " if len(self.racks) > 1 else "")
+        return (f"DisaggregatedSystem({scope}{len(self._stacks)} compute, "
                 f"{len(self.memory_bricks)} memory, "
                 f"{len(self.accelerator_bricks)} accel bricks, "
                 f"{len(self._vms)} VMs)")
+
+
+#: Single-rack-era name; a pod-capable system is the same object.
+DisaggregatedRack = DisaggregatedSystem

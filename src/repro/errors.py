@@ -44,6 +44,10 @@ class CircuitError(NetworkError):
     """Optical circuit setup/teardown failed (no path, port busy)."""
 
 
+class FabricError(NetworkError):
+    """Pod-fabric topology error (unknown rack, uplink exhaustion)."""
+
+
 class LinkBudgetError(NetworkError):
     """An optical link violates its power budget or BER requirement."""
 

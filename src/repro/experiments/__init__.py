@@ -17,6 +17,11 @@ Mapping (see DESIGN.md §2):
   8/16/32-way concurrency.
 * ``fig12_poweroff`` — percentage of unutilized resources powered off.
 * ``fig13_energy`` — power consumption normalized to conventional.
+
+Beyond the paper's artifacts:
+
+* ``pod_scale`` — VM density and remote-memory latency vs. pod size
+  (1..8 racks behind the inter-rack switch tier).
 """
 
 from repro.experiments.fig7_ber import Fig7Result, run_fig7
@@ -24,6 +29,7 @@ from repro.experiments.fig8_latency import Fig8Result, run_fig8
 from repro.experiments.fig10_agility import Fig10Result, run_fig10
 from repro.experiments.fig12_poweroff import Fig12Result, run_fig12
 from repro.experiments.fig13_energy import Fig13Result, run_fig13
+from repro.experiments.pod_scale import PodScaleResult, run_pod_scale
 from repro.experiments.table1_workloads import Table1Result, run_table1
 
 __all__ = [
@@ -32,11 +38,13 @@ __all__ = [
     "Fig13Result",
     "Fig7Result",
     "Fig8Result",
+    "PodScaleResult",
     "Table1Result",
     "run_fig10",
     "run_fig12",
     "run_fig13",
     "run_fig7",
     "run_fig8",
+    "run_pod_scale",
     "run_table1",
 ]

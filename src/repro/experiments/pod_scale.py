@@ -1,0 +1,193 @@
+"""Pod-scale sweep: VM density and remote-memory latency vs. pod size.
+
+The paper prototypes one rack; its architecture section (§II) composes
+racks into pods behind a second switching tier.  This driver quantifies
+what that tier costs and buys: for pod sizes 1..8 racks it packs VMs
+until the memory pool is exhausted, then reports
+
+* **VM capacity** — how density scales with racks (the DRackSim-style
+  capacity question);
+* **remote-segment fraction** — how much traffic the power-aware,
+  locality-first placement pushes across the pod switch;
+* **end-to-end 64 B read latency** over an intra-rack circuit vs. an
+  inter-rack circuit spanning the
+  :class:`~repro.fabric.pod.InterRackSwitch` — the interconnect
+  hierarchy as the dominant remote-memory latency term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.tables import render_table
+from repro.core.builder import PodBuilder
+from repro.core.system import DisaggregatedSystem
+from repro.errors import ReproError
+from repro.memory.path import CircuitAccessPath
+from repro.memory.transactions import MemoryTransaction
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+#: Safety valve on the boot loop (cores bound capacity long before this).
+MAX_VMS_PER_SWEEP = 512
+
+
+@dataclass
+class PodScaleCell:
+    """Measurements of one pod size."""
+
+    rack_count: int
+    vm_capacity: int
+    segment_count: int
+    remote_segment_count: int
+    intra_rack_read_ns: float
+    inter_rack_read_ns: Optional[float]
+    uplinks_in_use: int
+    total_power_w: float
+
+    @property
+    def remote_fraction(self) -> float:
+        if self.segment_count == 0:
+            return 0.0
+        return self.remote_segment_count / self.segment_count
+
+    @property
+    def inter_over_intra(self) -> Optional[float]:
+        """Latency penalty of crossing the pod switch."""
+        if self.inter_rack_read_ns is None or self.intra_rack_read_ns == 0:
+            return None
+        return self.inter_rack_read_ns / self.intra_rack_read_ns
+
+
+@dataclass
+class PodScaleResult:
+    """The sweep: one cell per pod size."""
+
+    vm_ram_gib: int
+    cells: list[PodScaleCell] = field(default_factory=list)
+
+    @property
+    def rack_counts(self) -> list[int]:
+        return [cell.rack_count for cell in self.cells]
+
+    def cell(self, rack_count: int) -> PodScaleCell:
+        for candidate in self.cells:
+            if candidate.rack_count == rack_count:
+                return candidate
+        raise KeyError(f"no cell for pod size {rack_count}")
+
+    def rows(self) -> list[tuple]:
+        rows = []
+        for cell in self.cells:
+            inter = (f"{cell.inter_rack_read_ns:.0f}"
+                     if cell.inter_rack_read_ns is not None else "-")
+            ratio = (f"{cell.inter_over_intra:.2f}x"
+                     if cell.inter_over_intra is not None else "-")
+            rows.append((
+                cell.rack_count,
+                cell.vm_capacity,
+                cell.segment_count,
+                f"{cell.remote_fraction:.0%}",
+                f"{cell.intra_rack_read_ns:.0f}",
+                inter,
+                ratio,
+                cell.uplinks_in_use,
+                f"{cell.total_power_w:.0f}",
+            ))
+        return rows
+
+    def render(self) -> str:
+        table = render_table(
+            ["racks", "VMs", "segments", "remote segs",
+             "intra read (ns)", "inter read (ns)", "penalty",
+             "uplinks", "power (W)"],
+            self.rows(),
+            title=f"Pod-scale sweep: {self.vm_ram_gib} GiB VMs packed "
+                  f"until the disaggregated pool is exhausted")
+        capacity = " -> ".join(
+            f"{cell.rack_count}r:{cell.vm_capacity}" for cell in self.cells)
+        return (f"{table}\n"
+                f"VM capacity by pod size: {capacity}\n"
+                f"(inter-rack reads cross the pod switch tier: "
+                f"2 extra fibre runs + 2 extra switch traversals each way)")
+
+
+def _pack_vms(system: DisaggregatedSystem, vm_ram_bytes: int,
+              vcpus: int) -> int:
+    """Boot VMs until placement fails; returns the count that fit."""
+    booted = 0
+    while booted < MAX_VMS_PER_SWEEP:
+        request = VmAllocationRequest(
+            f"sweep-vm-{booted}", vcpus=vcpus, ram_bytes=vm_ram_bytes)
+        try:
+            system.boot_vm(request)
+        except ReproError:
+            break
+        booted += 1
+    return booted
+
+
+def _sample_read_ns(system: DisaggregatedSystem,
+                    cross_rack: bool) -> Optional[float]:
+    """64 B read latency over the first (intra|inter)-rack segment."""
+    sdm = system.sdm
+    for segment in sdm.live_segments:
+        record = sdm.segment_record(segment.segment_id)
+        hop_path = record.circuit.hop_path
+        if hop_path is None or hop_path.crosses_racks != cross_rack:
+            continue
+        compute = system.stack(segment.compute_brick_id).brick
+        memory = sdm.registry.memory(segment.memory_brick_id).brick
+        path = CircuitAccessPath(compute, memory, record.circuit)
+        result = path.access(MemoryTransaction.read(record.entry.base, 64))
+        return result.breakdown.total_ns
+    return None
+
+
+def run_pod_scale(rack_counts: tuple[int, ...] = (1, 2, 4, 8),
+                  vm_ram_gib: int = 4,
+                  compute_bricks_per_rack: int = 2,
+                  cores_per_brick: int = 8,
+                  local_memory_gib: int = 2,
+                  memory_bricks_per_rack: int = 1,
+                  module_gib: int = 8) -> PodScaleResult:
+    """Sweep pod sizes; each rack is deliberately memory-poor so VM RAM
+    must come from the disaggregated pool and, once the local rack is
+    drained, from remote racks."""
+    result = PodScaleResult(vm_ram_gib=vm_ram_gib)
+    for rack_count in rack_counts:
+        system = (PodBuilder(f"sweep{rack_count}")
+                  .with_racks(rack_count)
+                  .with_compute_bricks(compute_bricks_per_rack,
+                                       cores=cores_per_brick,
+                                       local_memory=gib(local_memory_gib))
+                  .with_memory_bricks(memory_bricks_per_rack, modules=1,
+                                      module_size=gib(module_gib))
+                  .build())
+        vm_capacity = _pack_vms(system, gib(vm_ram_gib), vcpus=1)
+
+        segments = system.sdm.live_segments
+        remote = 0
+        for segment in segments:
+            record = system.sdm.segment_record(segment.segment_id)
+            hop_path = record.circuit.hop_path
+            if hop_path is not None and hop_path.crosses_racks:
+                remote += 1
+        intra_ns = _sample_read_ns(system, cross_rack=False) or 0.0
+        inter_ns = _sample_read_ns(system, cross_rack=True)
+        uplinks = sum(
+            1 for slot_rack in system.pod.racks
+            for uplink in system.pod.slot(slot_rack.rack_id).uplinks
+            if not uplink.is_free)
+        result.cells.append(PodScaleCell(
+            rack_count=rack_count,
+            vm_capacity=vm_capacity,
+            segment_count=len(segments),
+            remote_segment_count=remote,
+            intra_rack_read_ns=intra_ns,
+            inter_rack_read_ns=inter_ns,
+            uplinks_in_use=uplinks,
+            total_power_w=system.total_power_w(),
+        ))
+    return result

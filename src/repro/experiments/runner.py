@@ -14,6 +14,7 @@ from repro.experiments.fig8_latency import run_fig8
 from repro.experiments.fig10_agility import run_fig10
 from repro.experiments.fig12_poweroff import run_fig12
 from repro.experiments.fig13_energy import run_fig13
+from repro.experiments.pod_scale import run_pod_scale
 from repro.experiments.table1_workloads import run_table1
 
 #: Registry of experiment name -> zero-argument driver.
@@ -24,6 +25,7 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
     "fig10": run_fig10,
     "fig12": run_fig12,
     "fig13": run_fig13,
+    "pod_scale": run_pod_scale,
 }
 
 

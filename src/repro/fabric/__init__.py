@@ -1,0 +1,37 @@
+"""Pod-scale fabric: the unified interconnect layer above single racks.
+
+dReDBox composes hierarchically (§II): bricks in trays, trays behind the
+in-rack optical circuit switch, and racks stitched into pods/datacenters
+by a second switching tier.  This package models that hierarchy:
+
+* :mod:`repro.fabric.interconnect` — the unified :class:`Interconnect`
+  abstraction: per-hop latency/bandwidth composition over a hop table
+  (:class:`~repro.hardware.rack.FibrePlan`).
+* :mod:`repro.fabric.pod` — :class:`Pod` (racks with positions, uplink
+  inventory) and :class:`InterRackSwitch` (the second switching tier).
+* :mod:`repro.fabric.fabric` — :class:`PodFabric`, the pod-wide optical
+  interconnect facade whose circuits can span the second switch tier.
+"""
+
+from repro.fabric.interconnect import (
+    Hop,
+    HopKind,
+    HopPath,
+    Interconnect,
+    PathScope,
+)
+from repro.fabric.pod import InterRackSwitch, Pod, Uplink
+from repro.fabric.fabric import InterRackCircuit, PodFabric
+
+__all__ = [
+    "Hop",
+    "HopKind",
+    "HopPath",
+    "InterRackCircuit",
+    "InterRackSwitch",
+    "Interconnect",
+    "PathScope",
+    "Pod",
+    "PodFabric",
+    "Uplink",
+]

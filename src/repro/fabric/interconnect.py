@@ -1,0 +1,215 @@
+"""The unified interconnect abstraction.
+
+Remote-memory traffic in a disaggregated pod crosses an *ordered list of
+hops*: the tray backplane, a fibre run to the rack switch, a traversal of
+that switch, possibly a fibre run up to the pod-level switch tier and
+back down, and the mirror-image hops on the far side.  "Network in
+Disaggregated Datacenters" argues this hierarchy is the dominant term in
+remote-memory latency, so it is modelled explicitly instead of being
+folded into per-tier constants.
+
+:class:`Interconnect` builds :class:`HopPath` objects from packaging
+facts (same tray / same rack / cross rack) and a
+:class:`~repro.hardware.rack.FibrePlan` hop table.  Every consumer —
+circuit link budgets, latency breakdowns, placement scoring — composes
+the same hop list rather than assuming a single rack.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, Optional
+
+from repro.errors import FabricError
+from repro.hardware.rack import DEFAULT_FIBRE_PLAN, FibrePlan
+from repro.units import fibre_propagation_delay
+
+
+class HopKind(enum.Enum):
+    """What one hop of a light path physically is."""
+
+    #: Electrical reach inside one tray (no fibre, no switch).
+    ELECTRICAL = "electrical"
+    #: A fibre run between two devices.
+    FIBRE = "fibre"
+    #: One traversal (cross-connect) of an optical switch.
+    SWITCH = "switch"
+
+
+class PathScope(enum.Enum):
+    """The highest packaging tier a path crosses."""
+
+    TRAY = "tray"
+    RACK = "rack"
+    POD = "pod"
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One segment of an end-to-end interconnect path.
+
+    Attributes:
+        name: Short label used in latency itemization, e.g.
+            ``"rack-uplink"``.
+        kind: Physical nature of the hop.
+        fibre_m: Fibre run of this hop (0 for electrical/switch hops).
+        switch_loss_db: Insertion loss when the hop is a switch traversal.
+        fixed_latency_s: Device latency charged regardless of length.
+        bandwidth_bps: Capacity of this hop (``inf`` when not the
+            bottleneck model's concern, e.g. a passive fibre).
+    """
+
+    name: str
+    kind: HopKind
+    fibre_m: float = 0.0
+    switch_loss_db: float = 0.0
+    fixed_latency_s: float = 0.0
+    bandwidth_bps: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.fibre_m < 0:
+            raise FabricError(f"hop {self.name!r}: fibre must be >= 0")
+        if self.fixed_latency_s < 0 or self.switch_loss_db < 0:
+            raise FabricError(
+                f"hop {self.name!r}: latency/loss must be >= 0")
+        if self.bandwidth_bps <= 0:
+            raise FabricError(f"hop {self.name!r}: bandwidth must be > 0")
+
+    @property
+    def propagation_delay_s(self) -> float:
+        """Flight time through this hop (fibre plus fixed device time)."""
+        return fibre_propagation_delay(self.fibre_m) + self.fixed_latency_s
+
+
+@dataclass(frozen=True)
+class HopPath:
+    """An ordered, composable list of hops between two bricks."""
+
+    hops: tuple[Hop, ...]
+    scope: PathScope
+
+    def __iter__(self) -> Iterator[Hop]:
+        return iter(self.hops)
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    @property
+    def fibre_length_m(self) -> float:
+        """Total fibre of the path."""
+        return sum(hop.fibre_m for hop in self.hops)
+
+    @property
+    def switch_hops(self) -> int:
+        """Number of switch traversals (cross-connects) on the path."""
+        return sum(1 for hop in self.hops if hop.kind is HopKind.SWITCH)
+
+    @property
+    def switch_loss_db(self) -> float:
+        """Total insertion loss of every switch traversal."""
+        return sum(hop.switch_loss_db for hop in self.hops)
+
+    @cached_property
+    def propagation_delay_s(self) -> float:
+        """One-way flight time: per-hop fibre plus fixed latencies."""
+        return sum(hop.propagation_delay_s for hop in self.hops)
+
+    @property
+    def bottleneck_bps(self) -> float:
+        """Capacity of the slowest hop (``inf`` for all-passive paths)."""
+        return min((hop.bandwidth_bps for hop in self.hops),
+                   default=math.inf)
+
+    @property
+    def crosses_racks(self) -> bool:
+        return self.scope is PathScope.POD
+
+    def propagation_segments(self) -> list[tuple[str, float]]:
+        """``(hop name, seconds)`` for every hop that costs flight time.
+
+        This is what latency breakdowns itemize instead of one opaque
+        "propagation" figure; zero-delay hops (switch traversals of a
+        transparent circuit) are omitted.
+        """
+        return [(hop.name, hop.propagation_delay_s) for hop in self.hops
+                if hop.propagation_delay_s > 0]
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(hop.name for hop in self.hops)
+        return (f"HopPath({self.scope.value}: {chain}, "
+                f"{self.fibre_length_m:g} m, {self.switch_hops} switch hops)")
+
+
+class Interconnect:
+    """Builds hop paths from packaging facts and the fibre hop table.
+
+    One instance describes one pod's cabling plan; rack-local paths work
+    without any pod at all (the degenerate single-rack deployment).
+    """
+
+    def __init__(self, fibre_plan: FibrePlan = DEFAULT_FIBRE_PLAN,
+                 rack_switch_loss_db: float = 1.0,
+                 pod_switch_loss_db: float = 1.0) -> None:
+        if rack_switch_loss_db < 0 or pod_switch_loss_db < 0:
+            raise FabricError("switch losses must be non-negative")
+        self.fibre_plan = fibre_plan
+        self.rack_switch_loss_db = rack_switch_loss_db
+        self.pod_switch_loss_db = pod_switch_loss_db
+
+    # -- path construction -------------------------------------------------------
+
+    def intra_tray_path(self) -> HopPath:
+        """Electrical reach inside one tray."""
+        return HopPath(
+            hops=(Hop("intra-tray", HopKind.ELECTRICAL,
+                      fibre_m=self.fibre_plan.intra_tray_m),),
+            scope=PathScope.TRAY)
+
+    def intra_rack_path(self) -> HopPath:
+        """Tray -> rack switch -> tray, one switch traversal."""
+        plan = self.fibre_plan
+        return HopPath(
+            hops=(
+                Hop("tray-uplink", HopKind.FIBRE,
+                    fibre_m=plan.tray_to_switch_m),
+                Hop("rack-switch", HopKind.SWITCH,
+                    switch_loss_db=self.rack_switch_loss_db),
+                Hop("tray-downlink", HopKind.FIBRE,
+                    fibre_m=plan.tray_to_switch_m),
+            ),
+            scope=PathScope.RACK)
+
+    def inter_rack_path(self) -> HopPath:
+        """Tray -> rack switch -> pod switch -> rack switch -> tray."""
+        plan = self.fibre_plan
+        return HopPath(
+            hops=(
+                Hop("tray-uplink", HopKind.FIBRE,
+                    fibre_m=plan.tray_to_switch_m),
+                Hop("rack-switch", HopKind.SWITCH,
+                    switch_loss_db=self.rack_switch_loss_db),
+                Hop("rack-uplink", HopKind.FIBRE,
+                    fibre_m=plan.rack_to_pod_switch_m),
+                Hop("pod-switch", HopKind.SWITCH,
+                    switch_loss_db=self.pod_switch_loss_db),
+                Hop("rack-downlink", HopKind.FIBRE,
+                    fibre_m=plan.rack_to_pod_switch_m),
+                Hop("remote-rack-switch", HopKind.SWITCH,
+                    switch_loss_db=self.rack_switch_loss_db),
+                Hop("tray-downlink", HopKind.FIBRE,
+                    fibre_m=plan.tray_to_switch_m),
+            ),
+            scope=PathScope.POD)
+
+    def path(self, *, same_tray: bool, same_rack: bool) -> HopPath:
+        """The hop path for a brick pair's packaging relationship."""
+        if same_tray and not same_rack:
+            raise FabricError("bricks in one tray are in one rack")
+        if same_tray:
+            return self.intra_tray_path()
+        if same_rack:
+            return self.intra_rack_path()
+        return self.inter_rack_path()

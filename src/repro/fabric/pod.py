@@ -1,0 +1,255 @@
+"""Pod packaging: racks behind a second, inter-rack switching tier.
+
+The paper's system view (§II) stops at one rack, but its architecture is
+explicitly hierarchical: "dBOXes are organized in racks and pods,
+interconnected by a hybrid optical/electrical network".  :class:`Pod`
+models that next tier — racks with positions, each rack's switch trunked
+into an :class:`InterRackSwitch` by a fixed budget of uplink fibres — and
+answers the pod-wide topology queries (which rack owns a brick, hop path
+between any two bricks) the orchestration layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import FabricError
+from repro.fabric.interconnect import HopPath, Interconnect
+from repro.hardware.bricks import Brick, BrickType
+from repro.hardware.rack import DEFAULT_FIBRE_PLAN, FibrePlan, Rack
+from repro.network.optical.switch import (
+    DEFAULT_PORT_POWER_W,
+    OpticalCircuitSwitch,
+)
+
+#: Default uplink fibres trunking one rack switch into the pod switch.
+DEFAULT_UPLINKS_PER_RACK = 8
+
+#: Port count of the inter-rack switch: enough for a healthy pod
+#: (e.g. 16 racks x 8 uplinks) with slack.
+DEFAULT_POD_PORT_COUNT = 192
+
+
+class InterRackSwitch(OpticalCircuitSwitch):
+    """The second switching tier stitching racks into a pod.
+
+    Same all-optical cross-connect semantics as the in-rack module, with
+    pod-scale defaults: higher port density (trunk ports for every rack)
+    and a slightly slower reconfiguration (larger beam-steering matrix).
+    """
+
+    def __init__(self, switch_id: str,
+                 port_count: int = DEFAULT_POD_PORT_COUNT,
+                 hop_loss_db: float = 1.0,
+                 port_power_w: float = DEFAULT_PORT_POWER_W,
+                 switching_time_s: float = 0.040) -> None:
+        super().__init__(switch_id, port_count=port_count,
+                         hop_loss_db=hop_loss_db,
+                         port_power_w=port_power_w,
+                         switching_time_s=switching_time_s)
+
+
+@dataclass
+class Uplink:
+    """One pre-cabled fibre between a rack switch and the pod switch.
+
+    Inter-rack circuits claim a free uplink on each participating rack;
+    exhaustion is the pod-tier analogue of "running low in terms of
+    physical ports" (§III).
+    """
+
+    rack_id: str
+    index: int
+    rack_switch_port: int
+    pod_switch_port: int
+    #: Circuit id currently riding this uplink, or ``None`` when free.
+    in_use_by: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.rack_id}.uplink{self.index}"
+
+    @property
+    def is_free(self) -> bool:
+        return self.in_use_by is None
+
+
+@dataclass
+class RackSlot:
+    """One rack's membership record in the pod."""
+
+    rack: Rack
+    position: int
+    switch: OpticalCircuitSwitch
+    uplinks: list[Uplink] = field(default_factory=list)
+
+
+class Pod:
+    """A pod of dReDBox racks behind an inter-rack switch."""
+
+    def __init__(self, pod_id: str,
+                 switch: Optional[InterRackSwitch] = None,
+                 fibre_plan: FibrePlan = DEFAULT_FIBRE_PLAN) -> None:
+        self.pod_id = pod_id
+        self.switch = switch or InterRackSwitch(f"{pod_id}.switch")
+        self.fibre_plan = fibre_plan
+        #: Planning-level hop model; its switch losses are the nominal
+        #: figures.  Per-circuit link budgets use each traversed
+        #: switch's actual loss (see ``PodFabric._connect_inter_rack``).
+        self.interconnect = Interconnect(
+            fibre_plan,
+            rack_switch_loss_db=1.0,
+            pod_switch_loss_db=self.switch.hop_loss_db)
+        self._slots: dict[str, RackSlot] = {}
+
+    # -- rack management ---------------------------------------------------------
+
+    def add_rack(self, rack: Rack, rack_switch: OpticalCircuitSwitch,
+                 uplinks: int = DEFAULT_UPLINKS_PER_RACK) -> RackSlot:
+        """Mount *rack* at the next position and trunk its switch.
+
+        ``uplinks`` fibres are pre-cabled between free ports of the rack
+        switch and the pod switch; inter-rack circuits later claim them.
+        """
+        if rack.rack_id in self._slots:
+            raise FabricError(
+                f"pod {self.pod_id} already has rack {rack.rack_id!r}")
+        if uplinks < 0:
+            raise FabricError("uplink count must be >= 0")
+        slot = RackSlot(rack=rack, position=len(self._slots),
+                        switch=rack_switch)
+        for index in range(uplinks):
+            free_rack = rack_switch.free_attachment_ports()
+            free_pod = self.switch.free_attachment_ports()
+            if not free_rack:
+                raise FabricError(
+                    f"rack switch {rack_switch.switch_id} has no free port "
+                    f"for uplink {index}")
+            if not free_pod:
+                raise FabricError(
+                    f"pod switch {self.switch.switch_id} has no free port "
+                    f"for uplink {index} of {rack.rack_id}")
+            uplink = Uplink(rack_id=rack.rack_id, index=index,
+                            rack_switch_port=free_rack[0],
+                            pod_switch_port=free_pod[0])
+            rack_switch.attach(uplink.rack_switch_port, uplink.label)
+            self.switch.attach(uplink.pod_switch_port, uplink.label)
+            slot.uplinks.append(uplink)
+        rack.pod_id = self.pod_id
+        rack.pod_position = slot.position
+        self._slots[rack.rack_id] = slot
+        return slot
+
+    def slot(self, rack_id: str) -> RackSlot:
+        try:
+            return self._slots[rack_id]
+        except KeyError:
+            raise FabricError(
+                f"pod {self.pod_id} has no rack {rack_id!r}") from None
+
+    def rack(self, rack_id: str) -> Rack:
+        return self.slot(rack_id).rack
+
+    @property
+    def racks(self) -> list[Rack]:
+        return [slot.rack for slot in self._slots.values()]
+
+    @property
+    def rack_count(self) -> int:
+        return len(self._slots)
+
+    # -- brick location queries ---------------------------------------------------
+
+    def rack_of(self, brick: Brick) -> Rack:
+        """The rack physically holding *brick*."""
+        for slot in self._slots.values():
+            for candidate in slot.rack.bricks():
+                if candidate is brick:
+                    return slot.rack
+        raise FabricError(
+            f"brick {brick.brick_id} is not in any rack of pod {self.pod_id}")
+
+    def rack_of_brick_id(self, brick_id: str) -> Rack:
+        """The rack holding the brick with *brick_id*."""
+        for slot in self._slots.values():
+            for candidate in slot.rack.bricks():
+                if candidate.brick_id == brick_id:
+                    return slot.rack
+        raise FabricError(
+            f"no brick {brick_id!r} in any rack of pod {self.pod_id}")
+
+    def bricks(self, brick_type: Optional[BrickType] = None) -> Iterator[Brick]:
+        """All plugged bricks across every rack."""
+        for slot in self._slots.values():
+            yield from slot.rack.bricks(brick_type)
+
+    def same_rack(self, brick_a: Brick, brick_b: Brick) -> bool:
+        return self.rack_of(brick_a) is self.rack_of(brick_b)
+
+    def same_tray(self, brick_a: Brick, brick_b: Brick) -> bool:
+        return (brick_a.tray_id is not None
+                and brick_a.tray_id == brick_b.tray_id
+                and self.same_rack(brick_a, brick_b))
+
+    # -- interconnect composition ---------------------------------------------------
+
+    def hop_path(self, brick_a: Brick, brick_b: Brick) -> HopPath:
+        """The hop list of the shortest data path between the bricks
+        (same-tray pairs reach each other electrically)."""
+        same_rack = self.same_rack(brick_a, brick_b)
+        same_tray = same_rack and self.same_tray(brick_a, brick_b)
+        return self.interconnect.path(same_tray=same_tray,
+                                      same_rack=same_rack)
+
+    def circuit_hop_path(self, brick_a: Brick, brick_b: Brick) -> HopPath:
+        """The hop list an *optical circuit* between the bricks traverses.
+
+        CBN ports are fibred into the rack switch, so a circuit crosses
+        it even when both bricks share a tray; only the rack/pod tier
+        distinction matters here.
+        """
+        same_rack = self.same_rack(brick_a, brick_b)
+        return self.interconnect.path(same_tray=False, same_rack=same_rack)
+
+    def fibre_length_m(self, brick_a: Brick, brick_b: Brick) -> float:
+        """End-to-end fibre between any two bricks of the pod."""
+        return self.hop_path(brick_a, brick_b).fibre_length_m
+
+    # -- uplink inventory -----------------------------------------------------------
+
+    def free_uplinks(self, rack_id: str) -> list[Uplink]:
+        return [u for u in self.slot(rack_id).uplinks if u.is_free]
+
+    def claim_uplink(self, rack_id: str, circuit_id: str) -> Uplink:
+        """Reserve a free uplink of *rack_id* for *circuit_id*."""
+        free = self.free_uplinks(rack_id)
+        if not free:
+            raise FabricError(
+                f"rack {rack_id} has no free uplink to the pod switch")
+        uplink = free[0]
+        uplink.in_use_by = circuit_id
+        return uplink
+
+    def release_uplink(self, uplink: Uplink) -> None:
+        if uplink.is_free:
+            raise FabricError(f"uplink {uplink.label} is not in use")
+        uplink.in_use_by = None
+
+    # -- aggregates -------------------------------------------------------------------
+
+    def total_power_draw_w(self) -> float:
+        """Brick draw of every rack (switches are accounted by fabrics)."""
+        return sum(slot.rack.total_power_draw_w()
+                   for slot in self._slots.values())
+
+    def inventory(self) -> dict[str, int]:
+        """Pod-wide count of plugged bricks per type."""
+        counts = {bt.value: 0 for bt in BrickType}
+        for brick in self.bricks():
+            counts[brick.brick_type.value] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (f"Pod({self.pod_id!r}, {self.rack_count} racks, "
+                f"{sum(len(s.uplinks) for s in self._slots.values())} uplinks)")

@@ -44,7 +44,7 @@ from repro.hardware.memory_tech import (
 )
 from repro.hardware.ports import PortRole, PortState, TransceiverPort
 from repro.hardware.power import PowerProfile, PowerState, PowerAccountant
-from repro.hardware.rack import Rack
+from repro.hardware.rack import DEFAULT_FIBRE_PLAN, FibrePlan, Rack
 from repro.hardware.rmst import RemoteMemorySegmentTable, SegmentEntry
 from repro.hardware.tray import Tray
 
@@ -58,6 +58,8 @@ __all__ = [
     "ComputeBrick",
     "ComputeGlueLogic",
     "DDR4_2400",
+    "DEFAULT_FIBRE_PLAN",
+    "FibrePlan",
     "GlueLogicTimings",
     "HMC_GEN2",
     "MemoryBrick",

@@ -10,6 +10,7 @@ delay).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import SlotError
@@ -20,12 +21,57 @@ from repro.hardware.tray import Tray
 #: A rack is ~2 m tall; patch fibres add slack.
 TRAY_TO_SWITCH_FIBRE_M = 5.0
 
+#: Assumed fibre run between a rack switch uplink and the pod-level
+#: inter-rack switch, metres (an aisle-scale structured-cabling run).
+RACK_TO_POD_SWITCH_FIBRE_M = 50.0
+
+
+@dataclass(frozen=True)
+class FibrePlan:
+    """Per-hop fibre lengths of the packaging hierarchy, metres.
+
+    Generalizes the old single ``TRAY_TO_SWITCH_FIBRE_M`` constant into a
+    hop table: every tier of the interconnect (tray backplane, tray to
+    rack switch, rack switch to pod switch) carries its own run length,
+    so end-to-end fibre is composed per hop instead of hard-coded.
+    """
+
+    intra_tray_m: float = 0.0
+    tray_to_switch_m: float = TRAY_TO_SWITCH_FIBRE_M
+    rack_to_pod_switch_m: float = RACK_TO_POD_SWITCH_FIBRE_M
+
+    def __post_init__(self) -> None:
+        for name in ("intra_tray_m", "tray_to_switch_m",
+                     "rack_to_pod_switch_m"):
+            if getattr(self, name) < 0:
+                raise SlotError(f"fibre run {name} must be non-negative")
+
+    @property
+    def intra_rack_m(self) -> float:
+        """Fibre of a tray -> rack switch -> tray light path."""
+        return 2 * self.tray_to_switch_m
+
+    @property
+    def inter_rack_m(self) -> float:
+        """Fibre of a tray -> rack switch -> pod switch -> rack switch
+        -> tray light path."""
+        return 2 * self.tray_to_switch_m + 2 * self.rack_to_pod_switch_m
+
+
+DEFAULT_FIBRE_PLAN = FibrePlan()
+
 
 class Rack:
     """A rack of dReDBox trays."""
 
-    def __init__(self, rack_id: str) -> None:
+    def __init__(self, rack_id: str,
+                 fibre_plan: FibrePlan = DEFAULT_FIBRE_PLAN) -> None:
         self.rack_id = rack_id
+        self.fibre_plan = fibre_plan
+        #: Position index within a pod; assigned by ``Pod.add_rack``.
+        self.pod_position: Optional[int] = None
+        #: Owning pod id; assigned by ``Pod.add_rack``.
+        self.pod_id: Optional[str] = None
         self._trays: dict[str, Tray] = {}
 
     # -- tray management ---------------------------------------------------------
@@ -90,8 +136,8 @@ class Rack:
     def fibre_length_m(self, brick_a: Brick, brick_b: Brick) -> float:
         """End-to-end fibre run between two bricks via the rack switch."""
         if self.same_tray(brick_a, brick_b):
-            return 0.0
-        return 2 * TRAY_TO_SWITCH_FIBRE_M
+            return self.fibre_plan.intra_tray_m
+        return self.fibre_plan.intra_rack_m
 
     def total_power_draw_w(self) -> float:
         """Instantaneous draw of every plugged brick."""

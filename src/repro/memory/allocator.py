@@ -10,6 +10,9 @@ consumes.
 
 from __future__ import annotations
 
+import bisect
+import operator
+
 from repro.errors import AllocationError
 from repro.memory.address import AddressRange, align_up
 
@@ -67,29 +70,33 @@ class SegmentAllocator:
         return span.size
 
     def _insert_coalesced(self, span: AddressRange) -> None:
-        """Insert *span* into the sorted free list, merging neighbours."""
+        """Insert *span* into the sorted free list, merging neighbours.
+
+        The free list is sorted and coalesced, so only the spans
+        immediately before and after the insertion point can touch the
+        new one: an O(log n) bisect finds them, then a single slice
+        assignment splices the (possibly merged) span in.
+        """
         base, end = span.base, span.end
-        merged: list[AddressRange] = []
-        inserted = False
-        for free_span in self._free:
-            if free_span.end < base or (free_span.end == base and False):
-                merged.append(free_span)
-            elif free_span.end == base:
-                base = free_span.base
-            elif free_span.base == end:
-                end = free_span.end
-            elif free_span.base > end:
-                if not inserted:
-                    merged.append(AddressRange(base, end - base))
-                    inserted = True
-                merged.append(free_span)
-            else:
-                raise AllocationError(
-                    f"double free: [{span.base:#x},{span.end:#x}) intersects "
-                    f"free span [{free_span.base:#x},{free_span.end:#x})")
-        if not inserted:
-            merged.append(AddressRange(base, end - base))
-        self._free = merged
+        index = bisect.bisect_right(self._free, base,
+                                    key=operator.attrgetter("base"))
+        prev_span = self._free[index - 1] if index > 0 else None
+        next_span = self._free[index] if index < len(self._free) else None
+        if ((prev_span is not None and prev_span.end > base)
+                or (next_span is not None and next_span.base < end)):
+            bad = prev_span if (prev_span is not None
+                                and prev_span.end > base) else next_span
+            raise AllocationError(
+                f"double free: [{span.base:#x},{span.end:#x}) intersects "
+                f"free span [{bad.base:#x},{bad.end:#x})")
+        start, stop = index, index
+        if prev_span is not None and prev_span.end == base:
+            base = prev_span.base
+            start -= 1
+        if next_span is not None and next_span.base == end:
+            end = next_span.end
+            stop += 1
+        self._free[start:stop] = [AddressRange(base, end - base)]
 
     # -- statistics -------------------------------------------------------------------
 

@@ -42,6 +42,23 @@ GROUP_OPTICAL = "optical path"
 GROUP_MEMORY = "dMEMBRICK"
 
 
+def propagation_segments(hop_path, total_delay_s: float
+                         ) -> list[tuple[str, float]]:
+    """One-way propagation itemized from an interconnect hop list.
+
+    When *hop_path* is ``None`` (single-rack fabrics that predate the
+    pod layer) the whole flight time stays one ``"propagation"``
+    component; otherwise each costed hop becomes its own
+    ``"propagation:<hop>"`` entry, so a pod-spanning access shows where
+    the extra nanoseconds live.
+    """
+    if hop_path is None:
+        return [("propagation", total_delay_s)]
+    segments = [(f"propagation:{name}", seconds)
+                for name, seconds in hop_path.propagation_segments()]
+    return segments or [("propagation", total_delay_s)]
+
+
 class CircuitAccessPath:
     """Remote access over an established optical circuit."""
 
@@ -79,6 +96,8 @@ class CircuitAccessPath:
                 f"{decision.entry.remote_brick_id}, not {self.memory.brick_id}")
 
         prop = self.circuit.propagation_delay_s
+        prop_segments = propagation_segments(
+            getattr(self.circuit, "hop_path", None), prop)
         request_bytes = txn.size_bytes if txn.is_write else 0
         response_bytes = 0 if txn.is_write else txn.size_bytes
 
@@ -89,7 +108,7 @@ class CircuitAccessPath:
         breakdown.add("serialization",
                       local_port.serialization_delay(request_bytes + 16),
                       GROUP_OPTICAL)
-        breakdown.add("propagation", prop, GROUP_OPTICAL)
+        breakdown.add_segments(prop_segments, GROUP_OPTICAL)
         breakdown.add("transceiver", TRANSCEIVER_LATENCY_S, GROUP_MEMORY)
 
         module, local_offset, glue_in = self.memory.glue.ingress(
@@ -104,7 +123,7 @@ class CircuitAccessPath:
         breakdown.add("serialization",
                       local_port.serialization_delay(response_bytes + 16),
                       GROUP_OPTICAL)
-        breakdown.add("propagation", prop, GROUP_OPTICAL)
+        breakdown.add_segments(prop_segments, GROUP_OPTICAL)
         breakdown.add("transceiver", TRANSCEIVER_LATENCY_S, GROUP_COMPUTE)
         breakdown.add("tgl", self.compute.glue.response_path_latency_s,
                       GROUP_COMPUTE)
@@ -159,13 +178,18 @@ class PacketAccessPath:
                  compute_blocks: Optional[PacketPathBlocks] = None,
                  memory_blocks: Optional[PacketPathBlocks] = None,
                  propagation_delay_s: float = nanoseconds(49),
-                 ) -> None:
+                 hop_path=None) -> None:
         self.compute = compute
         self.memory = memory
         self.compute_blocks = (compute_blocks
                                or PacketPathBlocks.for_brick(compute.brick_id))
         self.memory_blocks = (memory_blocks
                               or PacketPathBlocks.for_brick(memory.brick_id))
+        #: Interconnect hop list; when given it both sets the flight time
+        #: and lets the breakdown itemize per-tier propagation.
+        self.hop_path = hop_path
+        if hop_path is not None:
+            propagation_delay_s = hop_path.propagation_delay_s
         if propagation_delay_s < 0:
             raise RoutingError("propagation delay must be non-negative")
         self.propagation_delay_s = propagation_delay_s
@@ -192,6 +216,8 @@ class PacketAccessPath:
                 f"{decision.entry.remote_brick_id}, not {self.memory.brick_id}")
 
         cblocks, mblocks = self.compute_blocks, self.memory_blocks
+        prop_segments = propagation_segments(self.hop_path,
+                                             self.propagation_delay_s)
         breakdown = LatencyBreakdown()
 
         # --- request: compute brick egress -------------------------------
@@ -205,7 +231,7 @@ class PacketAccessPath:
         breakdown.add("mac_phy",
                       cblocks.mac_phy.transmit_latency_s(request.frame_bytes),
                       GROUP_COMPUTE)
-        breakdown.add("propagation", self.propagation_delay_s, GROUP_OPTICAL)
+        breakdown.add_segments(prop_segments, GROUP_OPTICAL)
 
         # --- request: memory brick ingress ---------------------------------
         breakdown.add("mac_phy", mblocks.mac_phy.receive_latency_s(),
@@ -230,7 +256,7 @@ class PacketAccessPath:
         breakdown.add("mac_phy",
                       mblocks.mac_phy.transmit_latency_s(response.frame_bytes),
                       GROUP_MEMORY)
-        breakdown.add("propagation", self.propagation_delay_s, GROUP_OPTICAL)
+        breakdown.add_segments(prop_segments, GROUP_OPTICAL)
 
         # --- response: compute brick ingress ------------------------------------
         breakdown.add("mac_phy", cblocks.mac_phy.receive_latency_s(),

@@ -51,6 +51,18 @@ class LatencyBreakdown:
         self._components.extend(other._components)
         return self
 
+    def add_segments(self, segments: Iterable[tuple[str, float]],
+                     group: str = "") -> "LatencyBreakdown":
+        """Append one component per ``(name, seconds)`` segment.
+
+        Used to itemize a composed interconnect path — e.g. the
+        intra-tray / intra-rack / inter-rack propagation segments of a
+        pod-spanning circuit — instead of one opaque figure.
+        """
+        for name, seconds in segments:
+            self.add(name, seconds, group)
+        return self
+
     def __iter__(self) -> Iterator[LatencyComponent]:
         return iter(self._components)
 

@@ -9,7 +9,7 @@ from compute brick X to memory brick Y"*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import CircuitError, PortError
 from repro.hardware.bricks import Brick
@@ -18,16 +18,28 @@ from repro.network.optical.ber import ReceiverModel
 from repro.network.optical.circuits import Circuit, CircuitManager
 from repro.network.optical.switch import OpticalCircuitSwitch
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.fabric.interconnect import HopPath
+
 
 @dataclass
 class FabricCircuit:
-    """A brick-to-brick circuit: the light path plus the endpoint ports."""
+    """A brick-to-brick circuit: the light path plus the endpoint ports.
+
+    ``circuit`` is the single-switch :class:`Circuit` for rack-local
+    paths, or an :class:`~repro.fabric.fabric.InterRackCircuit` when the
+    light path spans the second switch tier; both expose the same
+    interface.  ``hop_path`` carries the interconnect hop list when the
+    owning fabric is topology-aware (pod deployments), letting latency
+    accounting itemize per-tier propagation.
+    """
 
     circuit: Circuit
     brick_a: Brick
     port_a: TransceiverPort
     brick_b: Brick
     port_b: TransceiverPort
+    hop_path: Optional["HopPath"] = None
 
     @property
     def circuit_id(self) -> str:
@@ -142,6 +154,19 @@ class OpticalFabric:
         self.manager.teardown(circuit_id)
         fabric_circuit.port_a.disconnect()
         del self._fabric_circuits[circuit_id]
+
+    def can_connect(self, brick_a: Brick, brick_b: Brick) -> bool:
+        """Can traffic flow between the two bricks?
+
+        True when a live circuit already joins them, or both still have
+        a free CBN port for a new one.  Pod-scale fabrics override this
+        with uplink-aware logic; orchestration must use this probe
+        instead of reasoning about ports directly.
+        """
+        if self.circuit_between(brick_a, brick_b):
+            return True
+        return bool(brick_a.circuit_ports.free_ports
+                    and brick_b.circuit_ports.free_ports)
 
     def circuit_between(self, brick_a: Brick,
                         brick_b: Brick) -> Optional[FabricCircuit]:

@@ -2,15 +2,20 @@
 
 Section IV.C requires the controller to "safely inspect resource
 availability and make a power-consumption conscious selection of
-resources".  Three policies are provided:
+resources".  At pod scale a second concern appears: the interconnect
+hierarchy is the dominant term in remote-memory latency, so policies
+score *distance* (same rack vs. across the pod switch) alongside power.
+Three policies are provided:
 
-* :class:`PowerAwarePackingPolicy` — the paper's choice: pack onto
-  already-powered, already-used bricks so unused ones stay off.  This is
-  what makes the Fig. 12 power-off fractions possible.
-* :class:`FirstFitPolicy` — the neutral baseline (registration order).
+* :class:`PowerAwarePackingPolicy` — the paper's choice: prefer the
+  requester's own rack, then pack onto already-powered, already-used
+  bricks so unused ones stay off.  This is what makes the Fig. 12
+  power-off fractions possible.
+* :class:`FirstFitPolicy` — the neutral baseline (registration order),
+  local rack first.
 * :class:`SpreadPolicy` — load-balancing anti-policy used by the
   placement ablation bench: most-free-first, which maximizes the number
-  of powered bricks.
+  of powered bricks and deliberately ignores topology.
 """
 
 from __future__ import annotations
@@ -24,17 +29,24 @@ from repro.orchestration.registry import (
 
 
 class PlacementPolicy(Protocol):
-    """Strategy interface for brick selection."""
+    """Strategy interface for brick selection.
+
+    ``origin_rack_id`` names the rack the request originates from (the
+    requesting compute brick's rack for memory placement, an affinity
+    hint for VM placement); ``None`` means topology-oblivious selection.
+    """
 
     def select_memory_brick(
             self, candidates: Sequence[MemoryAvailability],
-            size_bytes: int) -> Optional[str]:
+            size_bytes: int,
+            origin_rack_id: Optional[str] = None) -> Optional[str]:
         """Pick the dMEMBRICK to carve *size_bytes* from, or ``None``."""
         ...
 
     def select_compute_brick(
             self, candidates: Sequence[ComputeAvailability],
-            vcpus: int, ram_bytes: int) -> Optional[str]:
+            vcpus: int, ram_bytes: int,
+            origin_rack_id: Optional[str] = None) -> Optional[str]:
         """Pick the dCOMPUBRICK to host a VM, or ``None``."""
         ...
 
@@ -48,39 +60,73 @@ def _compute_fits(candidate: ComputeAvailability, vcpus: int,
     return candidate.free_cores >= vcpus and candidate.free_ram_bytes >= ram_bytes
 
 
+def rack_distance(candidate_rack_id: str,
+                  origin_rack_id: Optional[str]) -> int:
+    """Interconnect tiers between a candidate and the request origin.
+
+    0 — same rack (or topology unknown on either side): traffic stays
+    behind the in-rack switch.  1 — different rack: traffic crosses the
+    pod's second switch tier.
+    """
+    if not origin_rack_id or not candidate_rack_id:
+        return 0
+    return 0 if candidate_rack_id == origin_rack_id else 1
+
+
 class FirstFitPolicy:
-    """Take the first candidate (registration order) that fits."""
+    """Take the first fitting candidate, preferring the origin rack.
+
+    Within each distance tier the registration order is preserved (the
+    sort is stable), so single-rack behaviour is unchanged.
+    """
 
     def select_memory_brick(self, candidates: Sequence[MemoryAvailability],
-                            size_bytes: int) -> Optional[str]:
-        for candidate in candidates:
+                            size_bytes: int,
+                            origin_rack_id: Optional[str] = None
+                            ) -> Optional[str]:
+        ordered = sorted(candidates,
+                         key=lambda c: rack_distance(c.rack_id,
+                                                     origin_rack_id))
+        for candidate in ordered:
             if _memory_fits(candidate, size_bytes):
                 return candidate.brick_id
         return None
 
     def select_compute_brick(self, candidates: Sequence[ComputeAvailability],
-                             vcpus: int, ram_bytes: int) -> Optional[str]:
-        for candidate in candidates:
+                             vcpus: int, ram_bytes: int,
+                             origin_rack_id: Optional[str] = None
+                             ) -> Optional[str]:
+        ordered = sorted(candidates,
+                         key=lambda c: rack_distance(c.rack_id,
+                                                     origin_rack_id))
+        for candidate in ordered:
             if _compute_fits(candidate, vcpus, ram_bytes):
                 return candidate.brick_id
         return None
 
 
 class PowerAwarePackingPolicy:
-    """Pack onto powered/used bricks first; within those, best fit.
+    """Local rack first, then pack onto powered/used bricks, best fit.
 
-    Ordering for memory bricks: powered before off, then most-utilized
-    first (tightest packing), then smallest adequate span.  For compute
-    bricks: powered and VM-hosting before idle, then fewest free cores.
-    Powering on a sleeping brick is the last resort.
+    Ordering for memory bricks: fewest interconnect tiers to the
+    requester, then powered before off, then most-utilized first
+    (tightest packing), then smallest adequate span.  For compute
+    bricks: closest to the affinity hint, then powered and VM-hosting
+    before idle, then fewest free cores.  Powering on a sleeping brick
+    is the last resort within a distance tier; crossing the pod switch
+    is a later resort still, because the inter-rack hop dominates every
+    remote access while power-on is paid once.
     """
 
     def select_memory_brick(self, candidates: Sequence[MemoryAvailability],
-                            size_bytes: int) -> Optional[str]:
+                            size_bytes: int,
+                            origin_rack_id: Optional[str] = None
+                            ) -> Optional[str]:
         fitting = [c for c in candidates if _memory_fits(c, size_bytes)]
         if not fitting:
             return None
         fitting.sort(key=lambda c: (
+            rack_distance(c.rack_id, origin_rack_id),  # stay in-rack
             not c.powered,            # powered bricks first
             -c.utilization,           # pack the fullest
             c.largest_span_bytes,     # then tightest fitting span
@@ -89,11 +135,14 @@ class PowerAwarePackingPolicy:
         return fitting[0].brick_id
 
     def select_compute_brick(self, candidates: Sequence[ComputeAvailability],
-                             vcpus: int, ram_bytes: int) -> Optional[str]:
+                             vcpus: int, ram_bytes: int,
+                             origin_rack_id: Optional[str] = None
+                             ) -> Optional[str]:
         fitting = [c for c in candidates if _compute_fits(c, vcpus, ram_bytes)]
         if not fitting:
             return None
         fitting.sort(key=lambda c: (
+            rack_distance(c.rack_id, origin_rack_id),
             not c.powered,
             not c.hosts_vms,          # co-locate with existing VMs
             c.free_cores,             # tightest core fit
@@ -103,10 +152,16 @@ class PowerAwarePackingPolicy:
 
 
 class SpreadPolicy:
-    """Most-free-first: maximizes brick count in use (ablation baseline)."""
+    """Most-free-first: maximizes brick count in use (ablation baseline).
+
+    Deliberately topology-oblivious — the ablation contrasts it with the
+    locality-aware packing policy.
+    """
 
     def select_memory_brick(self, candidates: Sequence[MemoryAvailability],
-                            size_bytes: int) -> Optional[str]:
+                            size_bytes: int,
+                            origin_rack_id: Optional[str] = None
+                            ) -> Optional[str]:
         fitting = [c for c in candidates if _memory_fits(c, size_bytes)]
         if not fitting:
             return None
@@ -114,7 +169,9 @@ class SpreadPolicy:
         return fitting[0].brick_id
 
     def select_compute_brick(self, candidates: Sequence[ComputeAvailability],
-                             vcpus: int, ram_bytes: int) -> Optional[str]:
+                             vcpus: int, ram_bytes: int,
+                             origin_rack_id: Optional[str] = None
+                             ) -> Optional[str]:
         fitting = [c for c in candidates if _compute_fits(c, vcpus, ram_bytes)]
         if not fitting:
             return None

@@ -1,9 +1,11 @@
-"""Rack-wide resource inventory and availability accounting.
+"""System-wide resource inventory and availability accounting.
 
 The registry is the SDM controller's world model: which bricks exist,
-their capacities, and what is currently reserved.  Memory bricks carry a
-:class:`~repro.memory.allocator.SegmentAllocator`; compute bricks are
-tracked through their kernels/hypervisors.
+their capacities, which rack holds them, and what is currently reserved.
+Memory bricks carry a :class:`~repro.memory.allocator.SegmentAllocator`;
+compute bricks are tracked through their kernels/hypervisors.  Entries
+record their rack so placement can score interconnect distance at pod
+scale; single-rack deployments may leave ``rack_id`` empty.
 """
 
 from __future__ import annotations
@@ -27,6 +29,9 @@ class ComputeEntry:
     brick: ComputeBrick
     hypervisor: Hypervisor
     agent: SdmAgent
+    #: Rack holding the brick ("" in single-rack deployments that never
+    #: told the registry about topology).
+    rack_id: str = ""
 
 
 @dataclass
@@ -37,6 +42,7 @@ class MemoryEntry:
     allocator: SegmentAllocator
     #: Set when the brick has failed; failed bricks never host segments.
     failed: bool = False
+    rack_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -48,6 +54,7 @@ class ComputeAvailability:
     free_ram_bytes: int
     powered: bool
     hosts_vms: bool
+    rack_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,7 @@ class MemoryAvailability:
     largest_span_bytes: int
     utilization: float
     powered: bool
+    rack_id: str = ""
 
 
 class ResourceRegistry:
@@ -72,21 +80,22 @@ class ResourceRegistry:
     # -- registration -------------------------------------------------------------
 
     def register_compute(self, brick: ComputeBrick, hypervisor: Hypervisor,
-                         agent: SdmAgent) -> ComputeEntry:
+                         agent: SdmAgent, rack_id: str = "") -> ComputeEntry:
         if brick.brick_id in self._compute:
             raise OrchestrationError(
                 f"compute brick {brick.brick_id} already registered")
-        entry = ComputeEntry(brick, hypervisor, agent)
+        entry = ComputeEntry(brick, hypervisor, agent, rack_id=rack_id)
         self._compute[brick.brick_id] = entry
         return entry
 
-    def register_memory(self, brick: MemoryBrick) -> MemoryEntry:
+    def register_memory(self, brick: MemoryBrick,
+                        rack_id: str = "") -> MemoryEntry:
         if brick.brick_id in self._memory:
             raise OrchestrationError(
                 f"memory brick {brick.brick_id} already registered")
         allocator = SegmentAllocator(
             brick.capacity_bytes, alignment=self.segment_alignment)
-        entry = MemoryEntry(brick, allocator)
+        entry = MemoryEntry(brick, allocator, rack_id=rack_id)
         self._memory[brick.brick_id] = entry
         return entry
 
@@ -128,6 +137,7 @@ class ResourceRegistry:
                 free_ram_bytes=hypervisor.kernel.available_bytes,
                 powered=entry.brick.is_powered,
                 hosts_vms=bool(hypervisor.vms),
+                rack_id=entry.rack_id,
             ))
         return snapshots
 
@@ -140,6 +150,7 @@ class ResourceRegistry:
                 largest_span_bytes=entry.allocator.largest_free_span,
                 utilization=entry.allocator.utilization,
                 powered=entry.brick.is_powered,
+                rack_id=entry.rack_id,
             )
             for entry in self._memory.values()
             if not entry.failed

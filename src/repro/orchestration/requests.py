@@ -16,11 +16,16 @@ class VmAllocationRequest:
         vm_id: Requested instance identifier.
         vcpus: Cores the instance needs.
         ram_bytes: Memory the instance needs at boot.
+        affinity_rack_id: Optional placement hint — prefer compute
+            bricks in this rack (e.g. near the tenant's other VMs or a
+            pinned dataset); topology-aware policies score it as rack
+            distance, topology-oblivious ones ignore it.
     """
 
     vm_id: str
     vcpus: int
     ram_bytes: int
+    affinity_rack_id: str = ""
 
     def __post_init__(self) -> None:
         if self.vcpus < 1:

@@ -69,7 +69,14 @@ class _SegmentRecord:
 
 
 class SdmController:
-    """The rack's SDM-C service."""
+    """The SDM-C service (one per rack, or one per pod).
+
+    The controller is topology-oblivious by construction: it talks to a
+    fabric facade (rack-local :class:`OpticalFabric` or pod-wide
+    :class:`~repro.fabric.fabric.PodFabric`) for light paths and passes
+    the requester's rack to the placement policy so locality is scored
+    where topology is known.
+    """
 
     def __init__(self, registry: ResourceRegistry, fabric: OpticalFabric,
                  policy: Optional[PlacementPolicy] = None,
@@ -102,12 +109,17 @@ class SdmController:
         latency = self.timings.reservation_s
 
         # Walk the policy's preferences, skipping bricks we cannot reach:
-        # a brick with space but no free optical port toward us is the
-        # "running low in terms of physical ports" situation of §III.
+        # a brick with space but no free optical port (or, across racks,
+        # no free uplink) toward us is the "running low in terms of
+        # physical ports" situation of §III.  The requester's rack is
+        # passed so topology-aware policies prefer local memory and only
+        # spill across the pod switch when the rack is exhausted.
         candidates = self.registry.memory_availability()
         target_id: Optional[str] = None
         while candidates:
-            pick = self.policy.select_memory_brick(candidates, padded)
+            pick = self.policy.select_memory_brick(
+                candidates, padded,
+                origin_rack_id=compute_entry.rack_id or None)
             if pick is None:
                 break
             memory_entry = self.registry.memory(pick)
@@ -166,13 +178,11 @@ class SdmController:
     def _circuit_feasible(self, compute_brick, memory_brick) -> bool:
         """Can traffic flow between the two bricks?
 
-        True when a live circuit already joins them, or both still have a
-        free CBN port for a new one.
+        Delegated to the fabric, which knows the topology: a live
+        circuit, free CBN ports, and — across racks — a free uplink to
+        the pod switch on both sides.
         """
-        if self.fabric.circuit_between(compute_brick, memory_brick):
-            return True
-        return bool(compute_brick.circuit_ports.free_ports
-                    and memory_brick.circuit_ports.free_ports)
+        return self.fabric.can_connect(compute_brick, memory_brick)
 
     def can_reach(self, compute_brick_id: str, memory_brick_id: str) -> bool:
         """Public reachability probe (used by migration pre-flight)."""
@@ -275,7 +285,8 @@ class SdmController:
         # Boot RAM beyond the brick's local DRAM comes from remote
         # segments, so only the vCPU requirement gates placement here.
         brick_id = self.policy.select_compute_brick(
-            candidates, request.vcpus, ram_bytes=0)
+            candidates, request.vcpus, ram_bytes=0,
+            origin_rack_id=request.affinity_rack_id or None)
         if brick_id is None:
             raise PlacementError(
                 f"no dCOMPUBRICK has {request.vcpus} free cores")

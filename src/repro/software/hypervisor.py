@@ -140,8 +140,15 @@ class Hypervisor:
         except Exception:
             self.kernel.release_ram(size_bytes)
             raise
+        # The id counter is per-hypervisor, but a migrated VM arrives
+        # with DIMMs minted by *another* hypervisor's counter; skip any
+        # colliding ids so unplug_dimm can never match the wrong device.
+        taken = {d.dimm_id for d in self._dimms[vm_id]}
+        dimm_id = f"{vm_id}.dimm{next(self._dimm_ids)}"
+        while dimm_id in taken:
+            dimm_id = f"{vm_id}.dimm{next(self._dimm_ids)}"
         dimm = VirtualDimm(
-            dimm_id=f"{vm_id}.dimm{next(self._dimm_ids)}",
+            dimm_id=dimm_id,
             vm_id=vm_id,
             size_bytes=size_bytes,
             segment_id=segment_id,

@@ -107,7 +107,15 @@ class BaremetalKernel:
         return record, latency
 
     def detach_segment(self, segment_id: str) -> float:
-        """Detach a segment: offline, remove, unmap.  Returns latency."""
+        """Detach a segment: offline, remove, unmap.  Returns latency.
+
+        The guard compares *live* reservations against the post-detach
+        headroom.  Reservations track guest-configured RAM (hypervisor
+        DIMM accounting) — balloon-reclaimed pages stay configured and
+        therefore still need backing, so they rightly count; a
+        reservation that never touched this window only blocks the
+        detach when the remaining memory genuinely cannot hold it.
+        """
         record = self._attached.get(segment_id)
         if record is None:
             raise HotplugError(f"segment {segment_id} is not attached")
@@ -115,8 +123,9 @@ class BaremetalKernel:
         headroom = self.total_ram_bytes - record.window_size
         if in_use > headroom:
             raise HotplugError(
-                f"cannot detach {segment_id}: {in_use} bytes reserved but "
-                f"only {headroom} would remain")
+                f"cannot detach {segment_id} ({record.window_size} bytes): "
+                f"{in_use} bytes of guest RAM reserved but only {headroom} "
+                f"would remain on {self.brick.brick_id}")
         latency = self.hotplug.offline(record.window_base, record.window_size)
         latency += self.hotplug.remove_memory(record.window_base,
                                               record.window_size)

@@ -1,0 +1,94 @@
+"""Regression: scale-down after migration must detach the right DIMM.
+
+The seed-failing property test distilled: a VM that scaled up, migrated,
+and scaled up again ended with two DIMMs named ``vm.dimm0`` — the target
+hypervisor's id counter restarts at 0, and the migrated VM arrived with
+DIMMs minted by the *source* hypervisor's counter.  ``unplug_dimm``
+then matched the wrong (smaller) DIMM, leaving stale reservations that
+made ``detach_segment`` reject the detach as if balloon/guest
+reservations exceeded the post-detach headroom.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import RackBuilder
+from repro.errors import HotplugError
+from repro.orchestration.requests import VmAllocationRequest
+from repro.software.balloon import BalloonDriver
+from repro.units import gib
+
+
+@pytest.fixture
+def system():
+    return (RackBuilder("reg")
+            .with_compute_bricks(3, cores=8, local_memory=gib(2))
+            .with_memory_bricks(3, modules=2, module_size=gib(8))
+            .build())
+
+
+class TestScaleDownAfterMigration:
+    def test_falsifying_sequence_from_seed(self, system):
+        """boot -> scale_up -> migrate -> scale_up -> scale_down."""
+        system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=1, ram_bytes=gib(2)))
+        first = system.scale_up("vm-0", gib(1))
+        system.migrate_vm("vm-0", "reg.cb1")
+        second = system.scale_up("vm-0", gib(2))
+
+        steps = system.scale_down("vm-0", second.segment.segment_id)
+        assert steps["kernel_detach"] > 0
+
+        kernel = system.stack("reg.cb1").kernel
+        # Only the boot RAM and the first scale-up remain reserved.
+        assert kernel.reserved_bytes == gib(3)
+        # The remaining segment is the first scale-up's.
+        attached_ids = {r.segment.segment_id
+                        for r in kernel.attached_segments}
+        assert attached_ids == {first.segment.segment_id}
+
+    def test_dimm_ids_stay_unique_after_migration(self, system):
+        system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=1, ram_bytes=gib(2)))
+        system.scale_up("vm-0", gib(1))
+        system.migrate_vm("vm-0", "reg.cb1")
+        system.scale_up("vm-0", gib(2))
+        dimms = system.stack("reg.cb1").hypervisor.dimms_of("vm-0")
+        ids = [d.dimm_id for d in dimms]
+        assert len(ids) == len(set(ids)) == 2
+
+    def test_scale_down_order_is_preserved(self, system):
+        """Both segments remain individually detachable, in any order."""
+        system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=1, ram_bytes=gib(2)))
+        first = system.scale_up("vm-0", gib(1))
+        system.migrate_vm("vm-0", "reg.cb2")
+        second = system.scale_up("vm-0", gib(2))
+        system.scale_down("vm-0", first.segment.segment_id)
+        system.scale_down("vm-0", second.segment.segment_id)
+        assert system.stack("reg.cb2").kernel.attached_segments == []
+
+
+class TestDetachHeadroomWithBalloon:
+    def test_balloon_reservation_does_not_block_unrelated_detach(
+            self, system):
+        """An inflated balloon holds *configured* pages; detaching a
+        window whose DIMM was unplugged must still succeed."""
+        info = system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=1, ram_bytes=gib(2)))
+        result = system.scale_up("vm-0", gib(1))
+        balloon = BalloonDriver(info.vm)
+        balloon.inflate(gib(1))
+        steps = system.scale_down("vm-0", result.segment.segment_id)
+        assert steps["kernel_detach"] > 0
+        assert system.stack(info.brick_id).kernel.reserved_bytes == gib(2)
+
+    def test_detach_still_guards_genuinely_needed_windows(self, system):
+        """Detaching a window that backs live guest RAM must fail."""
+        info = system.boot_vm(
+            VmAllocationRequest("vm-0", vcpus=1, ram_bytes=gib(4)))
+        assert info.boot_segments, "boot should have needed remote memory"
+        kernel = system.stack(info.brick_id).kernel
+        with pytest.raises(HotplugError, match="would remain"):
+            kernel.detach_segment(info.boot_segments[0].segment_id)

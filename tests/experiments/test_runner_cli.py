@@ -11,7 +11,8 @@ from repro.experiments.runner import EXPERIMENTS, run_all
 class TestRunner:
     def test_registry_covers_every_artifact(self):
         assert set(EXPERIMENTS) == {
-            "table1", "fig7", "fig8", "fig10", "fig12", "fig13"}
+            "table1", "fig7", "fig8", "fig10", "fig12", "fig13",
+            "pod_scale"}
 
     def test_run_selected(self):
         report = run_all(["table1"])

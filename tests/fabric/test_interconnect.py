@@ -1,0 +1,119 @@
+"""Unit tests for the unified interconnect hop model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.interconnect import (
+    Hop,
+    HopKind,
+    HopPath,
+    Interconnect,
+    PathScope,
+)
+from repro.hardware.rack import FibrePlan
+from repro.units import fibre_propagation_delay
+
+
+class TestHop:
+    def test_propagation_is_fibre_plus_fixed(self):
+        hop = Hop("x", HopKind.FIBRE, fibre_m=100.0, fixed_latency_s=1e-9)
+        assert hop.propagation_delay_s == pytest.approx(
+            fibre_propagation_delay(100.0) + 1e-9)
+
+    def test_rejects_negative_fibre(self):
+        with pytest.raises(FabricError):
+            Hop("x", HopKind.FIBRE, fibre_m=-1.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(FabricError):
+            Hop("x", HopKind.FIBRE, bandwidth_bps=0)
+
+
+class TestHopPath:
+    def path(self):
+        return HopPath(
+            hops=(
+                Hop("up", HopKind.FIBRE, fibre_m=5.0, bandwidth_bps=10e9),
+                Hop("sw", HopKind.SWITCH, switch_loss_db=1.0),
+                Hop("down", HopKind.FIBRE, fibre_m=5.0, bandwidth_bps=40e9),
+            ),
+            scope=PathScope.RACK)
+
+    def test_fibre_composes(self):
+        assert self.path().fibre_length_m == 10.0
+
+    def test_switch_hops_and_loss_compose(self):
+        path = self.path()
+        assert path.switch_hops == 1
+        assert path.switch_loss_db == 1.0
+
+    def test_propagation_composes_per_hop(self):
+        path = self.path()
+        assert path.propagation_delay_s == pytest.approx(
+            fibre_propagation_delay(10.0))
+        segments = path.propagation_segments()
+        assert [name for name, _ in segments] == ["up", "down"]
+        assert sum(s for _, s in segments) == pytest.approx(
+            path.propagation_delay_s)
+
+    def test_bottleneck_is_slowest_hop(self):
+        assert self.path().bottleneck_bps == 10e9
+
+    def test_all_passive_path_has_infinite_bottleneck(self):
+        path = HopPath(hops=(Hop("up", HopKind.FIBRE, fibre_m=1.0),),
+                       scope=PathScope.TRAY)
+        assert path.bottleneck_bps == math.inf
+
+    def test_scope_flags(self):
+        assert not self.path().crosses_racks
+        pod_path = Interconnect().inter_rack_path()
+        assert pod_path.crosses_racks
+
+
+class TestInterconnect:
+    def test_intra_tray_is_electrical(self):
+        path = Interconnect().intra_tray_path()
+        assert path.scope is PathScope.TRAY
+        assert path.switch_hops == 0
+        assert path.fibre_length_m == 0.0
+
+    def test_intra_rack_crosses_one_switch(self):
+        path = Interconnect().intra_rack_path()
+        assert path.scope is PathScope.RACK
+        assert path.switch_hops == 1
+        assert path.fibre_length_m == 10.0  # 2 x 5 m default
+
+    def test_inter_rack_crosses_three_switches(self):
+        path = Interconnect().inter_rack_path()
+        assert path.scope is PathScope.POD
+        assert path.switch_hops == 3
+        # 2 x 5 m tray runs + 2 x 50 m rack-to-pod runs.
+        assert path.fibre_length_m == 110.0
+
+    def test_inter_rack_strictly_slower_than_intra(self):
+        interconnect = Interconnect()
+        assert (interconnect.inter_rack_path().propagation_delay_s
+                > interconnect.intra_rack_path().propagation_delay_s)
+
+    def test_custom_fibre_plan_propagates(self):
+        plan = FibrePlan(tray_to_switch_m=2.0, rack_to_pod_switch_m=100.0)
+        interconnect = Interconnect(plan)
+        assert interconnect.intra_rack_path().fibre_length_m == 4.0
+        assert interconnect.inter_rack_path().fibre_length_m == 204.0
+
+    def test_same_tray_in_different_racks_rejected(self):
+        with pytest.raises(FabricError):
+            Interconnect().path(same_tray=True, same_rack=False)
+
+    def test_path_dispatch(self):
+        interconnect = Interconnect()
+        assert interconnect.path(
+            same_tray=True, same_rack=True).scope is PathScope.TRAY
+        assert interconnect.path(
+            same_tray=False, same_rack=True).scope is PathScope.RACK
+        assert interconnect.path(
+            same_tray=False, same_rack=False).scope is PathScope.POD

@@ -1,0 +1,165 @@
+"""Integration: a pod-built system placing VMs across racks.
+
+The acceptance scenario of the pod-scale refactor: a pod of >= 2 racks,
+a VM placed on rack A attaching a segment on rack B through an
+inter-rack circuit, with strictly higher remote-memory latency than the
+intra-rack case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PodBuilder, VmAllocationRequest, gib
+from repro.errors import ReproError
+from repro.fabric.fabric import InterRackCircuit
+from repro.memory.path import CircuitAccessPath
+from repro.memory.transactions import MemoryTransaction
+
+
+@pytest.fixture
+def pod_system():
+    """Two racks, deliberately memory-poor so boots spill across racks."""
+    return (PodBuilder("tp")
+            .with_racks(2)
+            .with_compute_bricks(2, cores=8, local_memory=gib(2))
+            .with_memory_bricks(1, modules=1, module_size=gib(8))
+            .build())
+
+
+def read_latency_ns(system, segment_id: str) -> float:
+    record = system.sdm.segment_record(segment_id)
+    compute = system.stack(record.segment.compute_brick_id).brick
+    memory = system.sdm.registry.memory(
+        record.segment.memory_brick_id).brick
+    path = CircuitAccessPath(compute, memory, record.circuit)
+    txn = MemoryTransaction.read(record.entry.base, 64)
+    return path.access(txn).breakdown.total_ns
+
+
+class TestPodSystem:
+    def test_build_shape(self, pod_system):
+        assert len(pod_system.racks) == 2
+        assert pod_system.pod is not None
+        assert pod_system.pod.rack_count == 2
+        assert len(pod_system.compute_bricks) == 4
+        assert len(pod_system.memory_bricks) == 2
+        # Registry knows which rack each brick sits in.
+        for entry in pod_system.sdm.registry.memory_entries:
+            assert entry.rack_id.startswith("tp.rack")
+
+    def test_local_rack_preferred(self, pod_system):
+        info = pod_system.boot_vm(
+            VmAllocationRequest("vm-local", vcpus=1, ram_bytes=gib(4)))
+        compute_rack = pod_system.rack_of_brick(info.brick_id).rack_id
+        for segment in info.boot_segments:
+            segment_rack = pod_system.rack_of_brick(
+                segment.memory_brick_id).rack_id
+            assert segment_rack == compute_rack
+
+    def test_spill_crosses_racks_with_higher_latency(self, pod_system):
+        intra_segment = None
+        inter_segment = None
+        for index in range(8):
+            try:
+                info = pod_system.boot_vm(VmAllocationRequest(
+                    f"vm-{index}", vcpus=1, ram_bytes=gib(4)))
+            except ReproError:
+                break
+            compute_rack = pod_system.rack_of_brick(info.brick_id).rack_id
+            for segment in info.boot_segments:
+                segment_rack = pod_system.rack_of_brick(
+                    segment.memory_brick_id).rack_id
+                if segment_rack == compute_rack and intra_segment is None:
+                    intra_segment = segment
+                if segment_rack != compute_rack and inter_segment is None:
+                    inter_segment = segment
+        assert intra_segment is not None, "no rack-local placement"
+        assert inter_segment is not None, "placement never spilled racks"
+
+        record = pod_system.sdm.segment_record(inter_segment.segment_id)
+        assert isinstance(record.circuit.circuit, InterRackCircuit)
+        assert record.circuit.hop_path.crosses_racks
+
+        intra_ns = read_latency_ns(pod_system, intra_segment.segment_id)
+        inter_ns = read_latency_ns(pod_system, inter_segment.segment_id)
+        assert inter_ns > intra_ns
+
+        # The inter-rack read itemizes the pod-tier fibre runs.
+        rec = pod_system.sdm.segment_record(inter_segment.segment_id)
+        compute = pod_system.stack(rec.segment.compute_brick_id).brick
+        memory = pod_system.sdm.registry.memory(
+            rec.segment.memory_brick_id).brick
+        result = CircuitAccessPath(compute, memory, rec.circuit).access(
+            MemoryTransaction.read(rec.entry.base, 64))
+        names = set(result.breakdown.by_name())
+        assert "propagation:rack-uplink" in names
+        assert "propagation:rack-downlink" in names
+
+    def test_terminate_returns_uplinks(self, pod_system):
+        pod = pod_system.pod
+        total_uplinks = sum(len(pod.slot(r.rack_id).uplinks)
+                            for r in pod.racks)
+        vms = []
+        for index in range(6):
+            try:
+                pod_system.boot_vm(VmAllocationRequest(
+                    f"vm-{index}", vcpus=1, ram_bytes=gib(4)))
+                vms.append(f"vm-{index}")
+            except ReproError:
+                break
+        for vm_id in vms:
+            pod_system.terminate_vm(vm_id)
+        assert pod_system.sdm.live_segments == []
+        assert pod_system.fabric.active_circuits == []
+        free = sum(len(pod.free_uplinks(r.rack_id)) for r in pod.racks)
+        assert free == total_uplinks
+
+    def test_cross_rack_migration_repoints_segments(self, pod_system):
+        info = pod_system.boot_vm(
+            VmAllocationRequest("vm-m", vcpus=1, ram_bytes=gib(4)))
+        source_rack = pod_system.rack_of_brick(info.brick_id).rack_id
+        target = next(
+            s.brick.brick_id for s in pod_system.stacks
+            if pod_system.rack_of_brick(s.brick.brick_id).rack_id
+            != source_rack)
+        report = pod_system.migrate_vm("vm-m", target)
+        assert report.target_brick_id == target
+        # The segment content never moved; the circuit now spans racks.
+        for segment in info.boot_segments:
+            record = pod_system.sdm.segment_record(segment.segment_id)
+            assert record.segment.compute_brick_id == target
+            assert record.circuit.hop_path.crosses_racks
+        hosted = pod_system.hosting("vm-m")
+        assert hosted.vm.is_running
+
+    def test_scale_up_spills_when_local_rack_drained(self, pod_system):
+        info = pod_system.boot_vm(
+            VmAllocationRequest("vm-s", vcpus=1, ram_bytes=gib(8)))
+        compute_rack = pod_system.rack_of_brick(info.brick_id).rack_id
+        # 8 GiB VM drains most of the local brick; a further 4 GiB must
+        # come from the remote rack.
+        result = pod_system.scale_up("vm-s", gib(4))
+        segment_rack = pod_system.rack_of_brick(
+            result.segment.memory_brick_id).rack_id
+        assert segment_rack != compute_rack
+
+    def test_affinity_hint_steers_vm_placement(self, pod_system):
+        info = pod_system.boot_vm(VmAllocationRequest(
+            "vm-aff", vcpus=1, ram_bytes=gib(2),
+            affinity_rack_id="tp.rack1"))
+        assert (pod_system.rack_of_brick(info.brick_id).rack_id
+                == "tp.rack1")
+
+    def test_pod_power_includes_inter_rack_switch(self, pod_system):
+        baseline = sum(rack.total_power_draw_w()
+                       for rack in pod_system.racks)
+        assert pod_system.total_power_w() >= baseline
+        for index in range(4):
+            try:
+                pod_system.boot_vm(VmAllocationRequest(
+                    f"vm-{index}", vcpus=1, ram_bytes=gib(6)))
+            except ReproError:
+                break
+        if pod_system.fabric.inter_rack_circuits:
+            assert pod_system.pod.switch.power_draw_w > 0
