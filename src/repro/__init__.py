@@ -23,6 +23,8 @@ Sub-packages (bottom-up):
 * :mod:`repro.hardware` — bricks, trays, rack, MBO, RMST, glue logic.
 * :mod:`repro.network` — optical circuit plane + packet plane.
 * :mod:`repro.memory` — segments, allocation, remote access paths.
+* :mod:`repro.datamover` — remote page cache, adaptive granularity,
+  multi-queue link scheduling, prefetch (the DaeMon layer).
 * :mod:`repro.software` — hotplug, kernel, hypervisor, scale-up.
 * :mod:`repro.orchestration` — SDM controller, placement, OpenStack.
 * :mod:`repro.core` — the assembled system.
@@ -35,6 +37,7 @@ from repro.core.builder import PodBuilder, RackBuilder
 from repro.core.flows import TimedScaleUpHarness
 from repro.core.metrics import snapshot
 from repro.core.system import DisaggregatedRack, DisaggregatedSystem
+from repro.datamover.mover import DataMover, MoverConfig
 from repro.errors import ReproError
 from repro.orchestration.requests import (
     MemoryAllocationRequest,
@@ -45,9 +48,11 @@ from repro.units import gbps, gib, mib
 __version__ = "1.1.0"
 
 __all__ = [
+    "DataMover",
     "DisaggregatedRack",
     "DisaggregatedSystem",
     "MemoryAllocationRequest",
+    "MoverConfig",
     "PodBuilder",
     "RackBuilder",
     "ReproError",

@@ -24,6 +24,7 @@ from repro.hardware.bricks import AcceleratorBrick, ComputeBrick, MemoryBrick
 from repro.hardware.rack import Rack
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.datamover.mover import DataMover, MoverConfig
     from repro.fabric.pod import Pod
 from repro.memory.segments import RemoteSegment
 from repro.network.optical.topology import OpticalFabric
@@ -55,6 +56,8 @@ class BrickStack:
     hypervisor: Hypervisor
     agent: SdmAgent
     scaleup: ScaleUpController
+    #: The brick's remote-memory data mover, once one is attached.
+    data_mover: Optional["DataMover"] = None
 
 
 @dataclass
@@ -210,6 +213,62 @@ class DisaggregatedSystem:
             segment.release()
         del self._vms[vm_id]
         return latency
+
+    # -- the remote data path -----------------------------------------------------
+
+    def attach_data_mover(self, brick_id: str,
+                          config: Optional["MoverConfig"] = None
+                          ) -> "DataMover":
+        """Install a :class:`~repro.datamover.mover.DataMover` on a brick.
+
+        The mover resolves access paths at call time through the SDM
+        registry and the fabric, so circuits swung by migration or
+        repair are picked up transparently.  Already-attached segments
+        are registered immediately; re-attaching replaces the brick's
+        mover with a fresh, cold cache — after flushing the old mover's
+        dirty blocks, so no pending write-back is silently dropped.
+        """
+        from repro.datamover.mover import DataMover, MoverConfig
+        from repro.memory.path import CircuitAccessPath
+
+        stack = self.stack(brick_id)
+        if stack.data_mover is not None:
+            for segment_id in stack.data_mover.registered_segments():
+                stack.data_mover.flush_segment(segment_id)
+
+        def resolve_path(memory_brick_id: str) -> CircuitAccessPath:
+            memory = self.sdm.registry.memory(memory_brick_id).brick
+            circuit = self.fabric.circuit_between(stack.brick, memory)
+            if circuit is None:
+                raise FabricError(
+                    f"no live circuit between {brick_id} and "
+                    f"{memory_brick_id}")
+            return CircuitAccessPath(stack.brick, memory, circuit)
+
+        mover = DataMover(stack.brick, resolve_path,
+                          config or MoverConfig())
+        stack.kernel.bind_data_mover(mover)
+        stack.data_mover = mover
+        return mover
+
+    def note_hot_placement(self, min_accesses: int = 1024) -> set[str]:
+        """Feed mover heat statistics into the placement policy.
+
+        Collects each attached mover's hot dMEMBRICKs and, when the SDM
+        policy supports co-location (see
+        :class:`~repro.orchestration.placement.PowerAwarePackingPolicy`),
+        records them so future segments pack onto the same bricks.
+        Returns the hot brick ids found.
+        """
+        hot: set[str] = set()
+        for stack in self._stacks.values():
+            if stack.data_mover is not None:
+                hot |= stack.data_mover.hot_memory_bricks(min_accesses)
+        note = getattr(self.sdm.policy, "note_hot_brick", None)
+        if note is not None:
+            for brick_id in sorted(hot):
+                note(brick_id)
+        return hot
 
     # -- runtime elasticity ------------------------------------------------------------
 

@@ -1,0 +1,64 @@
+"""Remote-memory data-movement subsystem (the DaeMon layer).
+
+Sits between the software stacks and the optical fabric: a per-brick
+:class:`~repro.datamover.cache.RemotePageCache`, DaeMon-style
+:class:`~repro.datamover.granularity.AdaptiveGranularitySelector`,
+miss-triggered prefetchers, and a decoupled multi-queue
+:class:`~repro.datamover.scheduler.LinkScheduler` over the fabric's
+per-hop budgets — composed by the
+:class:`~repro.datamover.mover.DataMover` facade and stress-tested by
+:class:`~repro.datamover.traffic.MoverTrafficSim`.
+"""
+
+from repro.datamover.cache import (
+    LINE_BYTES,
+    PAGE_BYTES,
+    CacheBlock,
+    RemotePageCache,
+)
+from repro.datamover.granularity import (
+    AdaptiveGranularitySelector,
+    FetchGranularity,
+    FixedGranularitySelector,
+    GranularityConfig,
+)
+from repro.datamover.mover import (
+    DataMover,
+    DataMoverStats,
+    MoverAccessResult,
+    MoverConfig,
+)
+from repro.datamover.prefetcher import (
+    NullPrefetcher,
+    SequentialPrefetcher,
+    StridePrefetcher,
+)
+from repro.datamover.scheduler import (
+    LinkScheduler,
+    LinkTransfer,
+    TransferClass,
+)
+from repro.datamover.traffic import MoverTrafficResult, MoverTrafficSim
+
+__all__ = [
+    "AdaptiveGranularitySelector",
+    "CacheBlock",
+    "DataMover",
+    "DataMoverStats",
+    "FetchGranularity",
+    "FixedGranularitySelector",
+    "GranularityConfig",
+    "LINE_BYTES",
+    "LinkScheduler",
+    "LinkTransfer",
+    "MoverAccessResult",
+    "MoverConfig",
+    "MoverTrafficResult",
+    "MoverTrafficSim",
+    "NullPrefetcher",
+    "PAGE_BYTES",
+    "RemotePageCache",
+    "SequentialPrefetcher",
+    "StridePrefetcher",
+    "TransferClass",
+]

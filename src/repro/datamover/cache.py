@@ -1,0 +1,241 @@
+"""Per-compute-brick cache of remote-memory blocks.
+
+dReDBox pays the full optical round trip on every remote transaction
+(Fig. 8: propagation and transceiver blocks dominate).  DaeMon
+(Giannoula et al., 2023) shows that a small compute-side cache in front
+of the link removes that round trip for re-referenced data.
+:class:`RemotePageCache` reproduces DaeMon's *data caching on the
+compute side* mechanism: it holds recently fetched remote blocks — at
+cache-line or page granularity, mixed freely — and short-circuits the
+circuit/packet access paths on a hit.
+
+Blocks are keyed by ``(aligned base address, size)`` so a line block and
+the page block covering it never collide; filling a page absorbs any
+line blocks it covers (their dirty bits are inherited).  Two eviction
+policies are provided: exact LRU and the CLOCK second-chance
+approximation real TGL hardware would implement.  Dirty blocks are
+returned to the caller on eviction and invalidation so the
+:class:`~repro.datamover.mover.DataMover` can schedule write-backs on
+the low-priority queue.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import DataMoverError
+from repro.memory.transactions import CACHE_LINE_BYTES
+from repro.units import kib
+
+#: Fetch granularities the data mover works in (DaeMon's two levels).
+LINE_BYTES = CACHE_LINE_BYTES
+PAGE_BYTES = 4096
+
+#: Default cache capacity: a modest on-brick SRAM/DRAM slice.
+DEFAULT_CACHE_CAPACITY = kib(256)
+
+#: Supported eviction policies.
+EVICTION_POLICIES = ("lru", "clock")
+
+
+@dataclass
+class CacheBlock:
+    """One cached remote block.
+
+    Attributes:
+        base: Local physical address of the block (aligned to ``size``).
+        size: Block length — :data:`LINE_BYTES` or :data:`PAGE_BYTES`.
+        dirty: True when the block holds writes not yet on the dMEMBRICK.
+        referenced: CLOCK second-chance bit.
+    """
+
+    base: int
+    size: int
+    dirty: bool = False
+    referenced: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def covers(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class RemotePageCache:
+    """Compute-side cache of remote blocks with dirty write-back."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_CAPACITY,
+                 policy: str = "lru") -> None:
+        if capacity_bytes < PAGE_BYTES:
+            raise DataMoverError(
+                f"cache capacity must hold at least one page "
+                f"({PAGE_BYTES} bytes), got {capacity_bytes}")
+        if policy not in EVICTION_POLICIES:
+            raise DataMoverError(
+                f"unknown eviction policy {policy!r}; "
+                f"known: {', '.join(EVICTION_POLICIES)}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        #: (base, size) -> block, in insertion/recency order.
+        self._blocks: "OrderedDict[tuple[int, int], CacheBlock]" = OrderedDict()
+        self._occupancy = 0
+        self._hand = 0  # CLOCK hand (index into the key order)
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def occupancy_bytes(self) -> int:
+        return self._occupancy
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def blocks(self) -> list[CacheBlock]:
+        return list(self._blocks.values())
+
+    # -- lookup -------------------------------------------------------------
+
+    def block_for(self, address: int) -> CacheBlock | None:
+        """The cached block covering *address*, without touching stats."""
+        line_key = (address - address % LINE_BYTES, LINE_BYTES)
+        page_key = (address - address % PAGE_BYTES, PAGE_BYTES)
+        block = self._blocks.get(page_key)
+        if block is None:
+            block = self._blocks.get(line_key)
+        return block
+
+    def lookup(self, address: int) -> CacheBlock | None:
+        """Probe the cache for *address*; updates hit/miss accounting."""
+        block = self.block_for(address)
+        if block is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(block)
+        return block
+
+    def _touch(self, block: CacheBlock) -> None:
+        block.referenced = True
+        if self.policy == "lru":
+            self._blocks.move_to_end((block.base, block.size))
+
+    # -- fill / eviction -----------------------------------------------------
+
+    def fill(self, base: int, size: int,
+             dirty: bool = False) -> list[CacheBlock]:
+        """Install the block ``[base, base+size)``; returns evicted blocks.
+
+        A page fill absorbs line blocks it covers (inheriting their
+        dirty bits); filling a block that is already cached just marks
+        recency (and dirtiness).  Evicted *dirty* blocks must be written
+        back by the caller — the cache only tracks them.
+        """
+        if size not in (LINE_BYTES, PAGE_BYTES):
+            raise DataMoverError(
+                f"block size must be {LINE_BYTES} or {PAGE_BYTES}, got {size}")
+        if base < 0 or base % size:
+            raise DataMoverError(
+                f"block base {base:#x} is not {size}-byte aligned")
+
+        existing = self._blocks.get((base, size))
+        if existing is None and size == LINE_BYTES:
+            page = self._blocks.get((base - base % PAGE_BYTES, PAGE_BYTES))
+            if page is not None:
+                existing = page  # the covering page already caches the line
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            self._touch(existing)
+            return []
+
+        block = CacheBlock(base=base, size=size, dirty=dirty)
+        if size == PAGE_BYTES:
+            for key in [k for k in self._blocks
+                        if k[1] == LINE_BYTES and base <= k[0] < base + size]:
+                absorbed = self._blocks.pop(key)
+                self._occupancy -= absorbed.size
+                block.dirty = block.dirty or absorbed.dirty
+
+        evicted: list[CacheBlock] = []
+        while self._occupancy + size > self.capacity_bytes:
+            evicted.append(self._evict_one())
+        self._blocks[(base, size)] = block
+        self._occupancy += size
+        self.fills += 1
+        return evicted
+
+    def _evict_one(self) -> CacheBlock:
+        if not self._blocks:
+            raise DataMoverError("cannot evict from an empty cache")
+        if self.policy == "lru":
+            _key, victim = self._blocks.popitem(last=False)
+        else:
+            victim = self._clock_victim()
+        self._occupancy -= victim.size
+        self.evictions += 1
+        if victim.dirty:
+            self.dirty_evictions += 1
+        return victim
+
+    def _clock_victim(self) -> CacheBlock:
+        """Sweep the hand, clearing reference bits, until one is clear."""
+        keys = list(self._blocks)
+        while True:
+            self._hand %= len(keys)
+            key = keys[self._hand]
+            block = self._blocks[key]
+            if block.referenced:
+                block.referenced = False
+                self._hand += 1
+                continue
+            del self._blocks[key]
+            return block
+
+    # -- writes / invalidation ------------------------------------------------
+
+    def mark_dirty(self, address: int) -> bool:
+        """Set the dirty bit of the block covering *address* (if cached)."""
+        block = self.block_for(address)
+        if block is None:
+            return False
+        block.dirty = True
+        self._touch(block)
+        return True
+
+    def invalidate_range(self, base: int, size: int) -> list[CacheBlock]:
+        """Drop every block overlapping ``[base, base+size)``.
+
+        Returns the dropped blocks; dirty ones still hold unwritten data
+        and must be flushed to the dMEMBRICK by the caller.
+        """
+        if size <= 0:
+            raise DataMoverError(f"range size must be positive, got {size}")
+        dropped: list[CacheBlock] = []
+        for key in [k for k in self._blocks
+                    if k[0] < base + size and k[0] + k[1] > base]:
+            block = self._blocks.pop(key)
+            self._occupancy -= block.size
+            dropped.append(block)
+        return dropped
+
+    def clean(self, block: CacheBlock) -> None:
+        """Clear a block's dirty bit after its write-back completed."""
+        block.dirty = False
+
+    def __repr__(self) -> str:
+        return (f"RemotePageCache({self.policy}, "
+                f"{self._occupancy}/{self.capacity_bytes} B, "
+                f"{len(self._blocks)} blocks, hit ratio "
+                f"{self.hit_ratio:.2f})")

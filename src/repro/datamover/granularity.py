@@ -1,0 +1,169 @@
+"""Adaptive fetch-granularity selection (DaeMon mechanism 2).
+
+DaeMon's second mechanism selects the data-movement granularity — cache
+line or page — *per region, at runtime*, from observed spatial locality:
+dense regions amortize the link round trip over a whole page, sparse
+regions avoid moving 4 KiB to use 64 B.
+:class:`AdaptiveGranularitySelector` reproduces that decision logic per
+remote segment: it tracks how many distinct lines of each recently
+touched page are actually referenced and switches the segment between
+:attr:`FetchGranularity.LINE` and :attr:`FetchGranularity.PAGE` with
+hysteresis, so the mover fetches pages only while locality pays for
+them.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.datamover.cache import LINE_BYTES, PAGE_BYTES
+from repro.errors import DataMoverError
+
+
+class FetchGranularity(enum.Enum):
+    """Fetch size the mover uses for a segment's misses."""
+
+    LINE = LINE_BYTES
+    PAGE = PAGE_BYTES
+
+    @property
+    def bytes(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class GranularityConfig:
+    """Tuning knobs of the locality tracker.
+
+    Attributes:
+        window_pages: Recently touched pages tracked per segment.
+        promote_lines: Mean distinct lines per tracked page at (or
+            above) which fetches switch to page granularity.
+        demote_lines: Mean at (or below) which they fall back to lines.
+        min_accesses: Accesses observed before any switch (warm-up).
+    """
+
+    window_pages: int = 16
+    promote_lines: float = 8.0
+    demote_lines: float = 2.0
+    min_accesses: int = 16
+
+    def __post_init__(self) -> None:
+        if self.window_pages < 1:
+            raise DataMoverError("need to track at least one page")
+        if not 0 < self.demote_lines < self.promote_lines:
+            raise DataMoverError(
+                "thresholds must satisfy 0 < demote < promote "
+                f"(got demote={self.demote_lines}, "
+                f"promote={self.promote_lines})")
+        if self.min_accesses < 1:
+            raise DataMoverError("min_accesses must be >= 1")
+
+
+@dataclass
+class _SegmentLocality:
+    """Per-segment tracking state."""
+
+    mode: FetchGranularity
+    #: page number -> distinct line indices touched, recency-ordered.
+    pages: "OrderedDict[int, set[int]]" = field(default_factory=OrderedDict)
+    accesses: int = 0
+    flips: int = 0
+
+
+class AdaptiveGranularitySelector:
+    """Per-segment line/page fetch decision from spatial locality."""
+
+    def __init__(self, config: GranularityConfig | None = None,
+                 initial: FetchGranularity = FetchGranularity.LINE) -> None:
+        self.config = config or GranularityConfig()
+        self.initial = initial
+        self._segments: dict[str, _SegmentLocality] = {}
+
+    def _state(self, segment_id: str) -> _SegmentLocality:
+        state = self._segments.get(segment_id)
+        if state is None:
+            state = _SegmentLocality(mode=self.initial)
+            self._segments[segment_id] = state
+        return state
+
+    # -- observation --------------------------------------------------------
+
+    def record_access(self, segment_id: str, address: int) -> None:
+        """Note one access; may flip the segment's fetch granularity."""
+        if address < 0:
+            raise DataMoverError(f"address must be >= 0, got {address:#x}")
+        state = self._state(segment_id)
+        state.accesses += 1
+        page = address // PAGE_BYTES
+        line = (address % PAGE_BYTES) // LINE_BYTES
+        lines = state.pages.get(page)
+        if lines is None:
+            lines = set()
+            state.pages[page] = lines
+            while len(state.pages) > self.config.window_pages:
+                state.pages.popitem(last=False)
+        else:
+            state.pages.move_to_end(page)
+        lines.add(line)
+        self._evaluate(state)
+
+    def _evaluate(self, state: _SegmentLocality) -> None:
+        if state.accesses < self.config.min_accesses or not state.pages:
+            return
+        mean_lines = (sum(len(lines) for lines in state.pages.values())
+                      / len(state.pages))
+        if (state.mode is FetchGranularity.LINE
+                and mean_lines >= self.config.promote_lines):
+            state.mode = FetchGranularity.PAGE
+            state.flips += 1
+        elif (state.mode is FetchGranularity.PAGE
+                and mean_lines <= self.config.demote_lines):
+            state.mode = FetchGranularity.LINE
+            state.flips += 1
+
+    # -- decisions ----------------------------------------------------------
+
+    def mode(self, segment_id: str) -> FetchGranularity:
+        """The segment's current fetch granularity."""
+        return self._state(segment_id).mode
+
+    def fetch_bytes(self, segment_id: str) -> int:
+        """Fetch size for the segment's next miss, in bytes."""
+        return self.mode(segment_id).bytes
+
+    def flips(self, segment_id: str) -> int:
+        """How many times the segment has switched granularity."""
+        return self._state(segment_id).flips
+
+    def forget(self, segment_id: str) -> None:
+        """Drop all tracking state for a detached segment."""
+        self._segments.pop(segment_id, None)
+
+
+class FixedGranularitySelector:
+    """Degenerate selector pinning every segment to one granularity.
+
+    The ablation baseline: DaeMon's adaptive decision contrasted with
+    always-line and always-page policies.
+    """
+
+    def __init__(self, granularity: FetchGranularity) -> None:
+        self.granularity = granularity
+
+    def record_access(self, segment_id: str, address: int) -> None:
+        pass
+
+    def mode(self, segment_id: str) -> FetchGranularity:
+        return self.granularity
+
+    def fetch_bytes(self, segment_id: str) -> int:
+        return self.granularity.bytes
+
+    def flips(self, segment_id: str) -> int:
+        return 0
+
+    def forget(self, segment_id: str) -> None:
+        pass

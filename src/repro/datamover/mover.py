@@ -1,0 +1,375 @@
+"""The per-compute-brick data mover: cache + granularity + prefetch.
+
+This is the subsystem facade the software layer routes remote reads and
+writes through (instead of driving
+:class:`~repro.memory.path.CircuitAccessPath` directly).  Per access:
+
+1. The RMST identifies the backing segment; the
+   :class:`~repro.datamover.granularity.AdaptiveGranularitySelector`
+   records the reference for its locality tracking.
+2. The :class:`~repro.datamover.cache.RemotePageCache` is probed.  A hit
+   is served on-brick for :attr:`MoverConfig.hit_latency_s` — no optical
+   round trip (DaeMon's compute-side caching).
+3. A miss fetches the enclosing block — line or page, per the
+   selector's current decision — over the access path resolved for the
+   backing dMEMBRICK, fills the cache (write-allocate; writes dirty the
+   block) and hands dirty evictions to the write-back ledger.
+4. The prefetcher predicts follow-on blocks from the miss stream; they
+   are brought in off the demand path and accounted as bulk traffic.
+
+This synchronous model charges demand misses the full access-path
+round trip and keeps prefetch/write-back traffic off the demand
+latency, i.e. an ideally decoupled link; the queueing truth of that
+decoupling (what happens when bulk and demand *contend*) is simulated
+by :class:`~repro.datamover.scheduler.LinkScheduler` and
+:class:`~repro.datamover.traffic.MoverTrafficSim` on the DES kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.datamover.cache import (
+    DEFAULT_CACHE_CAPACITY,
+    LINE_BYTES,
+    CacheBlock,
+    RemotePageCache,
+)
+from repro.datamover.granularity import (
+    AdaptiveGranularitySelector,
+    FetchGranularity,
+    FixedGranularitySelector,
+    GranularityConfig,
+)
+from repro.datamover.prefetcher import PREFETCHERS
+from repro.errors import DataMoverError
+from repro.hardware.bricks import ComputeBrick
+from repro.memory.transactions import (
+    MemoryTransaction,
+    TransactionResult,
+)
+from repro.network.latency import LatencyBreakdown
+from repro.units import nanoseconds
+
+
+class AccessPath(Protocol):
+    """What the mover needs from a resolved data path."""
+
+    def access(self, txn: MemoryTransaction,
+               now: Optional[float] = None) -> TransactionResult:
+        ...
+
+
+#: Resolves the access path toward a dMEMBRICK at call time (circuits
+#: may be swung by migration or repair between accesses).
+PathResolver = Callable[[str], AccessPath]
+
+
+@dataclass(frozen=True)
+class MoverConfig:
+    """Configuration of one brick's data mover."""
+
+    cache_capacity_bytes: int = DEFAULT_CACHE_CAPACITY
+    eviction: str = "lru"
+    #: ``"adaptive"`` (DaeMon), ``"line"`` or ``"page"``.
+    granularity: str = "adaptive"
+    granularity_config: Optional[GranularityConfig] = None
+    #: ``"stride"``, ``"sequential"`` or ``"none"``.
+    prefetch: str = "stride"
+    prefetch_depth: int = 4
+    #: Service time of a cache hit (on-brick SRAM/DRAM, no optics).
+    hit_latency_s: float = nanoseconds(80)
+
+    def make_selector(self):
+        if self.granularity == "adaptive":
+            return AdaptiveGranularitySelector(self.granularity_config)
+        if self.granularity == "line":
+            return FixedGranularitySelector(FetchGranularity.LINE)
+        if self.granularity == "page":
+            return FixedGranularitySelector(FetchGranularity.PAGE)
+        raise DataMoverError(
+            f"unknown granularity policy {self.granularity!r}; "
+            f"known: adaptive, line, page")
+
+    def make_prefetcher(self):
+        try:
+            factory = PREFETCHERS[self.prefetch]
+        except KeyError:
+            raise DataMoverError(
+                f"unknown prefetcher {self.prefetch!r}; "
+                f"known: {', '.join(PREFETCHERS)}") from None
+        if self.prefetch == "none":
+            return factory()
+        return factory(depth=self.prefetch_depth)
+
+
+DEFAULT_MOVER_CONFIG = MoverConfig()
+
+
+@dataclass(frozen=True)
+class MoverAccessResult:
+    """Outcome of one access routed through the data mover."""
+
+    transaction: MemoryTransaction
+    breakdown: LatencyBreakdown
+    hit: bool
+    fetched_bytes: int
+    remote_brick_id: str
+
+    @property
+    def latency_s(self) -> float:
+        return self.breakdown.total_s
+
+    @property
+    def latency_ns(self) -> float:
+        return self.breakdown.total_ns
+
+
+@dataclass
+class DataMoverStats:
+    """Running accounting of one mover instance."""
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    demand_latency_s: float = 0.0
+    demand_latencies_s: list[float] = field(default_factory=list)
+    demand_bytes: int = 0
+    #: Bytes misses pulled over the fabric (block fills, not payloads).
+    demand_fill_bytes: int = 0
+    prefetch_fills: int = 0
+    prefetch_bytes: int = 0
+    prefetch_latency_s: float = 0.0
+    writebacks: int = 0
+    writeback_bytes: int = 0
+    writeback_latency_s: float = 0.0
+    flushes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return (self.demand_hits / self.demand_accesses
+                if self.demand_accesses else 0.0)
+
+    @property
+    def mean_latency_s(self) -> float:
+        return (self.demand_latency_s / self.demand_accesses
+                if self.demand_accesses else 0.0)
+
+
+@dataclass
+class _RegisteredSegment:
+    """Mover-side record of one attached segment's local window."""
+
+    segment_id: str
+    window_base: int
+    window_size: int
+    accesses: int = 0
+
+
+class DataMover:
+    """The remote-memory data-movement engine of one compute brick."""
+
+    def __init__(self, brick: ComputeBrick, path_resolver: PathResolver,
+                 config: MoverConfig = DEFAULT_MOVER_CONFIG) -> None:
+        self.brick = brick
+        self.path_resolver = path_resolver
+        self.config = config
+        self.cache = RemotePageCache(config.cache_capacity_bytes,
+                                     policy=config.eviction)
+        self.selector = config.make_selector()
+        self.prefetcher = config.make_prefetcher()
+        self.stats = DataMoverStats()
+        self._segments: dict[str, _RegisteredSegment] = {}
+
+    # -- segment lifecycle --------------------------------------------------
+
+    def register_segment(self, segment_id: str, window_base: int,
+                         window_size: int) -> None:
+        """Start tracking an attached segment's local window."""
+        self._segments[segment_id] = _RegisteredSegment(
+            segment_id, window_base, window_size)
+
+    def flush_segment(self, segment_id: str) -> float:
+        """Write back and invalidate a segment's cached blocks.
+
+        Called on detach, *before* the RMST entry is evicted (the
+        write-backs still need the mapping and the circuit).  Returns
+        the accumulated write-back latency.
+        """
+        record = self._segments.pop(segment_id, None)
+        self.selector.forget(segment_id)
+        self.prefetcher.forget(segment_id)
+        if record is None:
+            return 0.0
+        latency = 0.0
+        for block in self.cache.invalidate_range(record.window_base,
+                                                 record.window_size):
+            if block.dirty:
+                latency += self._write_back(block)
+        self.stats.writeback_latency_s += latency
+        self.stats.flushes += 1
+        return latency
+
+    def registered_segments(self) -> list[str]:
+        return list(self._segments)
+
+    def segment_accesses(self, segment_id: str) -> int:
+        record = self._segments.get(segment_id)
+        return record.accesses if record else 0
+
+    def hot_memory_bricks(self, min_accesses: int = 1024) -> set[str]:
+        """dMEMBRICKs backing segments this mover hammers.
+
+        Feeds the placement layer's hot-segment co-location knob (see
+        :class:`~repro.orchestration.placement.PowerAwarePackingPolicy`).
+        """
+        hot: set[str] = set()
+        for record in self._segments.values():
+            if record.accesses < min_accesses:
+                continue
+            entry = self.brick.rmst.lookup_or_none(record.window_base)
+            if entry is not None:
+                hot.add(entry.remote_brick_id)
+        return hot
+
+    # -- the data path ------------------------------------------------------
+
+    def read(self, address: int, size_bytes: int = LINE_BYTES,
+             now: Optional[float] = None) -> MoverAccessResult:
+        return self.access(MemoryTransaction.read(address, size_bytes), now)
+
+    def write(self, address: int, size_bytes: int = LINE_BYTES,
+              now: Optional[float] = None) -> MoverAccessResult:
+        return self.access(MemoryTransaction.write(address, size_bytes), now)
+
+    def access(self, txn: MemoryTransaction,
+               now: Optional[float] = None) -> MoverAccessResult:
+        """Serve one transaction; cache hits skip the optical path."""
+        entry = self.brick.rmst.lookup(txn.address)
+        segment = self._segments.get(entry.segment_id)
+        if segment is None:
+            # Accessed before anyone registered it (e.g. a mover bound
+            # after attach): adopt the window from the RMST entry.
+            segment = _RegisteredSegment(entry.segment_id, entry.base,
+                                         entry.size)
+            self._segments[entry.segment_id] = segment
+        segment.accesses += 1
+        self.stats.demand_accesses += 1
+        self.selector.record_access(entry.segment_id, txn.address)
+
+        block = self.cache.lookup(txn.address)
+        if block is not None:
+            if txn.is_write:
+                block.dirty = True
+            self.stats.demand_hits += 1
+            breakdown = LatencyBreakdown()
+            breakdown.add("tgl", self.brick.glue.timings.lookup_latency_s,
+                          "dCOMPUBRICK")
+            breakdown.add("datamover.cache", self.config.hit_latency_s,
+                          "dCOMPUBRICK")
+            self._note_demand(breakdown.total_s, txn.size_bytes)
+            return MoverAccessResult(
+                transaction=txn,
+                breakdown=breakdown,
+                hit=True,
+                fetched_bytes=0,
+                remote_brick_id=entry.remote_brick_id,
+            )
+
+        # Miss: fetch the enclosing block at the selector's granularity
+        # (write-allocate — writes fetch then dirty the block).
+        self.stats.demand_misses += 1
+        fetch_bytes = self.selector.fetch_bytes(entry.segment_id)
+        block_base = self._block_base(txn.address, fetch_bytes, entry)
+        if block_base is None:
+            fetch_bytes = LINE_BYTES
+            block_base = txn.address - txn.address % LINE_BYTES
+        self.stats.demand_fill_bytes += fetch_bytes
+        path = self.path_resolver(entry.remote_brick_id)
+        result = path.access(
+            MemoryTransaction.read(block_base, fetch_bytes), now)
+        for evicted in self.cache.fill(block_base, fetch_bytes,
+                                       dirty=txn.is_write):
+            if evicted.dirty:
+                self.stats.writeback_latency_s += self._write_back(evicted)
+        self._prefetch_after_miss(entry, block_base, fetch_bytes, now)
+        self._note_demand(result.breakdown.total_s, txn.size_bytes)
+        return MoverAccessResult(
+            transaction=txn,
+            breakdown=result.breakdown,
+            hit=False,
+            fetched_bytes=fetch_bytes,
+            remote_brick_id=entry.remote_brick_id,
+        )
+
+    def _note_demand(self, latency_s: float, size_bytes: int) -> None:
+        self.stats.demand_latency_s += latency_s
+        self.stats.demand_latencies_s.append(latency_s)
+        self.stats.demand_bytes += size_bytes
+
+    @staticmethod
+    def _block_base(address: int, fetch_bytes: int, entry) -> Optional[int]:
+        """Aligned block base, or ``None`` if it escapes the window."""
+        base = address - address % fetch_bytes
+        if base < entry.base or base + fetch_bytes > entry.base + entry.size:
+            return None
+        return base
+
+    def _prefetch_after_miss(self, entry, block_base: int,
+                             fetch_bytes: int,
+                             now: Optional[float]) -> None:
+        """Bring predicted blocks in off the demand path.
+
+        Prefetch fills are charged to the bulk ledgers, not to demand
+        latency: they ride the low-priority queue of an ideally
+        decoupled link.  The DES traffic model quantifies what that
+        costs when the link is contended.
+        """
+        predictions = self.prefetcher.observe(entry.segment_id, block_base,
+                                              fetch_bytes)
+        window_end = entry.base + entry.size
+        for base in predictions:
+            if base % fetch_bytes:
+                # A stride learned at line granularity can survive a
+                # flip to page mode; page-misaligned predictions are
+                # not fetchable blocks.
+                continue
+            if base < entry.base or base + fetch_bytes > window_end:
+                continue
+            if self.cache.block_for(base) is not None:
+                continue
+            path = self.path_resolver(entry.remote_brick_id)
+            result = path.access(
+                MemoryTransaction.read(base, fetch_bytes), now)
+            self.stats.prefetch_latency_s += result.breakdown.total_s
+            self.stats.prefetch_fills += 1
+            self.stats.prefetch_bytes += fetch_bytes
+            for evicted in self.cache.fill(base, fetch_bytes):
+                if evicted.dirty:
+                    self.stats.writeback_latency_s += self._write_back(
+                        evicted)
+
+    def _write_back(self, block: CacheBlock) -> float:
+        """Push a dirty block to its dMEMBRICK; returns the latency.
+
+        The backing segment may already be unmapped (flushing races a
+        teardown); such blocks are dropped — the prototype has no
+        stable storage behind a detached segment.
+        """
+        entry = self.brick.rmst.lookup_or_none(block.base)
+        if entry is None:
+            return 0.0
+        path = self.path_resolver(entry.remote_brick_id)
+        result = path.access(
+            MemoryTransaction.write(block.base, block.size))
+        self.cache.clean(block)
+        self.stats.writebacks += 1
+        self.stats.writeback_bytes += block.size
+        return result.breakdown.total_s
+
+    def __repr__(self) -> str:
+        return (f"DataMover({self.brick.brick_id!r}, "
+                f"{self.config.granularity}/{self.config.prefetch}, "
+                f"hit ratio {self.stats.hit_ratio:.2f}, "
+                f"{len(self._segments)} segments)")

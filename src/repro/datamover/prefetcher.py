@@ -1,0 +1,108 @@
+"""Miss-triggered prefetchers feeding the low-priority link queue.
+
+The mover's prefetchers predict the next remote blocks from the demand
+miss stream and hand them to the bulk (low-priority) traffic class, so
+predicted data crosses the fabric *behind* demand misses — never in
+front of them (the DaeMon decoupling property enforced by
+:class:`~repro.datamover.scheduler.LinkScheduler`).
+
+Two classic predictors are provided:
+
+* :class:`SequentialPrefetcher` — next-N-blocks, the streaming case.
+* :class:`StridePrefetcher` — per-segment stride detection with a
+  confidence counter; degenerates to sequential for unit strides and
+  stays silent on random streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataMoverError
+
+
+class NullPrefetcher:
+    """Prefetching disabled (the ablation baseline)."""
+
+    def observe(self, segment_id: str, block_base: int,
+                block_size: int) -> list[int]:
+        return []
+
+    def forget(self, segment_id: str) -> None:
+        pass
+
+
+class SequentialPrefetcher:
+    """Predict the next *depth* consecutive blocks after every miss."""
+
+    def __init__(self, depth: int = 4) -> None:
+        if depth < 1:
+            raise DataMoverError(f"prefetch depth must be >= 1, got {depth}")
+        self.depth = depth
+
+    def observe(self, segment_id: str, block_base: int,
+                block_size: int) -> list[int]:
+        """Block bases predicted from a miss on ``block_base``."""
+        return [block_base + i * block_size
+                for i in range(1, self.depth + 1)]
+
+    def forget(self, segment_id: str) -> None:
+        pass
+
+
+@dataclass
+class _StrideState:
+    last_base: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Per-segment stride detector with a confidence threshold.
+
+    A prediction is only issued once the same inter-miss stride has been
+    seen ``confidence_threshold`` times in a row, so a random stream
+    never floods the bulk queue with useless traffic.
+    """
+
+    def __init__(self, depth: int = 4, confidence_threshold: int = 2) -> None:
+        if depth < 1:
+            raise DataMoverError(f"prefetch depth must be >= 1, got {depth}")
+        if confidence_threshold < 1:
+            raise DataMoverError("confidence threshold must be >= 1")
+        self.depth = depth
+        self.confidence_threshold = confidence_threshold
+        self._segments: dict[str, _StrideState] = {}
+
+    def observe(self, segment_id: str, block_base: int,
+                block_size: int) -> list[int]:
+        """Update the stride state with a miss; return predictions."""
+        state = self._segments.get(segment_id)
+        if state is None:
+            self._segments[segment_id] = _StrideState(last_base=block_base)
+            return []
+        stride = block_base - state.last_base
+        state.last_base = block_base
+        if stride == 0:
+            return []
+        if stride == state.stride:
+            state.confidence += 1
+        else:
+            state.stride = stride
+            state.confidence = 1
+        if state.confidence < self.confidence_threshold:
+            return []
+        return [block_base + i * state.stride
+                for i in range(1, self.depth + 1)
+                if block_base + i * state.stride >= 0]
+
+    def forget(self, segment_id: str) -> None:
+        self._segments.pop(segment_id, None)
+
+
+#: Prefetcher factory keyed by the mover-config name.
+PREFETCHERS = {
+    "none": NullPrefetcher,
+    "sequential": SequentialPrefetcher,
+    "stride": StridePrefetcher,
+}

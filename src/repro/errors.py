@@ -106,3 +106,7 @@ class SchedulingError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid user-supplied configuration or parameters."""
+
+
+class DataMoverError(ReproError):
+    """Error in the remote-memory data-movement subsystem."""

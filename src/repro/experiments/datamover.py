@@ -1,0 +1,274 @@
+"""Data-mover sweep: cache, granularity and queue discipline vs. latency.
+
+The paper's Fig. 8 shows propagation and transceiver blocks dominating
+every remote transaction; DaeMon's answer is to stop paying them per
+access.  This driver quantifies that answer on top of the pod fabric,
+for pod sizes 1..8 racks:
+
+* **Granularity policy** — a locality-heavy page walk is driven through
+  the uncached :class:`~repro.memory.path.CircuitAccessPath` and then
+  through :class:`~repro.datamover.mover.DataMover` instances pinned to
+  line, page and adaptive fetch granularity.  Reported: hit ratio,
+  mean/p99 demand latency, speedup over uncached, bytes moved.
+  Multi-rack cells measure a segment whose circuit crosses the pod
+  switch, so the mover is hiding the *worst* interconnect tier.
+* **Queue discipline** — the timed
+  :class:`~repro.datamover.traffic.MoverTrafficSim` contends demand,
+  prefetch and write-back traffic on one scheduled link over the same
+  hop path, under the decoupled priority discipline vs. a single FIFO.
+  Reported: demand mean/p99 and priority inversions (demand transfers
+  served after later-enqueued bulk) — zero, by construction, under the
+  priority discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.builder import PodBuilder
+from repro.core.system import DisaggregatedSystem
+from repro.datamover.cache import LINE_BYTES, PAGE_BYTES
+from repro.datamover.mover import MoverConfig
+from repro.datamover.scheduler import TransferClass
+from repro.datamover.traffic import MoverTrafficSim
+from repro.errors import ReproError
+from repro.memory.path import CircuitAccessPath
+from repro.memory.transactions import MemoryTransaction
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import MIB, gbps, gib, to_nanoseconds
+
+#: Safety valve on the VM packing loop.
+MAX_BOOTS = 64
+
+#: Workload shape: a dense page walk (the spatial locality the
+#: granularity selector exists to exploit).
+WORKLOAD_PAGES = 48
+LINES_PER_PAGE = 48
+
+#: Granularity policies contrasted per pod size.
+POLICIES = ("line", "page", "adaptive")
+
+
+@dataclass
+class PolicyCell:
+    """One granularity policy measured at one pod size."""
+
+    policy: str
+    hit_ratio: float
+    mean_ns: float
+    p99_ns: float
+    speedup: float
+    moved_mib: float
+
+
+@dataclass
+class DisciplineCell:
+    """One queue discipline measured at one pod size."""
+
+    discipline: str
+    mean_ns: float
+    p99_ns: float
+    bulk_served: int
+    inversions: int
+
+
+@dataclass
+class DataMoverCell:
+    """All measurements of one pod size."""
+
+    rack_count: int
+    cross_rack: bool
+    uncached_mean_ns: float
+    uncached_p99_ns: float
+    policies: list[PolicyCell] = field(default_factory=list)
+    disciplines: list[DisciplineCell] = field(default_factory=list)
+
+    def policy(self, name: str) -> PolicyCell:
+        for cell in self.policies:
+            if cell.policy == name:
+                return cell
+        raise KeyError(f"no policy cell {name!r}")
+
+    def discipline(self, name: str) -> DisciplineCell:
+        for cell in self.disciplines:
+            if cell.discipline == name:
+                return cell
+        raise KeyError(f"no discipline cell {name!r}")
+
+
+@dataclass
+class DataMoverResult:
+    """The sweep: one cell per pod size."""
+
+    cells: list[DataMoverCell] = field(default_factory=list)
+
+    @property
+    def rack_counts(self) -> list[int]:
+        return [cell.rack_count for cell in self.cells]
+
+    def cell(self, rack_count: int) -> DataMoverCell:
+        for cell in self.cells:
+            if cell.rack_count == rack_count:
+                return cell
+        raise KeyError(f"no cell for pod size {rack_count}")
+
+    def render(self) -> str:
+        policy_rows = []
+        for cell in self.cells:
+            scope = "pod" if cell.cross_rack else "rack"
+            policy_rows.append((
+                cell.rack_count, scope, "uncached", "-",
+                f"{cell.uncached_mean_ns:.0f}",
+                f"{cell.uncached_p99_ns:.0f}",
+                "1.00x", "-",
+            ))
+            for pol in cell.policies:
+                policy_rows.append((
+                    cell.rack_count, scope, pol.policy,
+                    f"{pol.hit_ratio:.0%}",
+                    f"{pol.mean_ns:.0f}",
+                    f"{pol.p99_ns:.0f}",
+                    f"{pol.speedup:.2f}x",
+                    f"{pol.moved_mib:.2f}",
+                ))
+        policy_table = render_table(
+            ["racks", "scope", "policy", "hit ratio", "mean (ns)",
+             "p99 (ns)", "speedup", "moved (MiB)"],
+            policy_rows,
+            title="Data mover: fetch-granularity policy vs. demand latency "
+                  "(dense page walk through the measured segment)")
+
+        discipline_rows = []
+        for cell in self.cells:
+            for disc in cell.disciplines:
+                discipline_rows.append((
+                    cell.rack_count,
+                    disc.discipline,
+                    f"{disc.mean_ns:.0f}",
+                    f"{disc.p99_ns:.0f}",
+                    disc.bulk_served,
+                    disc.inversions,
+                ))
+        discipline_table = render_table(
+            ["racks", "discipline", "demand mean (ns)", "demand p99 (ns)",
+             "bulk served", "inversions"],
+            discipline_rows,
+            title="Link scheduler: decoupled priority queues vs. one FIFO "
+                  "(timed contention of demand, prefetch and write-back)")
+        return (f"{policy_table}\n\n{discipline_table}\n"
+                f"(inversions = demand transfers served after a "
+                f"later-enqueued bulk transfer; the decoupled multi-queue "
+                f"scheduler shows 0)")
+
+
+def _build_system(rack_count: int) -> DisaggregatedSystem:
+    """A deliberately memory-poor pod so VM RAM spills across racks."""
+    return (PodBuilder(f"dm{rack_count}")
+            .with_racks(rack_count)
+            .with_compute_bricks(2, cores=8, local_memory=gib(2))
+            .with_memory_bricks(1, modules=1, module_size=gib(8))
+            .build())
+
+
+def _boot_until_target(system: DisaggregatedSystem, want_cross_rack: bool):
+    """Boot VMs until a (cross-rack, when asked) segment exists.
+
+    Returns the target ``(segment, record)`` pair; falls back to the
+    first live segment when no boot produces the wanted scope.
+    """
+    for index in range(MAX_BOOTS):
+        try:
+            system.boot_vm(VmAllocationRequest(
+                f"dm-vm-{index}", vcpus=1, ram_bytes=gib(4)))
+        except ReproError:
+            break
+        for segment in system.sdm.live_segments:
+            record = system.sdm.segment_record(segment.segment_id)
+            hop_path = record.circuit.hop_path
+            crosses = hop_path is not None and hop_path.crosses_racks
+            if crosses == want_cross_rack:
+                return segment, record
+    segment = system.sdm.live_segments[0]
+    return segment, system.sdm.segment_record(segment.segment_id)
+
+
+def _workload(entry) -> list[int]:
+    """Dense page walk over the segment's local window."""
+    return [entry.base + page * PAGE_BYTES + line * LINE_BYTES
+            for page in range(WORKLOAD_PAGES)
+            for line in range(LINES_PER_PAGE)]
+
+
+def run_datamover(rack_counts: tuple[int, ...] = (1, 2, 4, 8),
+                  traffic_accesses: int = 1536,
+                  traffic_clients: int = 4,
+                  traffic_locality: float = 0.85) -> DataMoverResult:
+    """Sweep pod sizes; measure granularity policies and disciplines."""
+    result = DataMoverResult()
+    for rack_count in rack_counts:
+        system = _build_system(rack_count)
+        segment, record = _boot_until_target(
+            system, want_cross_rack=rack_count > 1)
+        entry = record.entry
+        addresses = _workload(entry)
+
+        compute = system.stack(segment.compute_brick_id).brick
+        memory = system.sdm.registry.memory(segment.memory_brick_id).brick
+        uncached_path = CircuitAccessPath(compute, memory, record.circuit)
+        uncached = [
+            uncached_path.access(MemoryTransaction.read(address)).round_trip_s
+            for address in addresses]
+        uncached_mean = float(np.mean(uncached))
+        hop_path = record.circuit.hop_path
+        cell = DataMoverCell(
+            rack_count=rack_count,
+            cross_rack=bool(hop_path is not None and hop_path.crosses_racks),
+            uncached_mean_ns=to_nanoseconds(uncached_mean),
+            uncached_p99_ns=to_nanoseconds(
+                float(np.percentile(uncached, 99))),
+        )
+
+        for policy in POLICIES:
+            # Re-attaching replaces the brick's mover: each policy
+            # starts from a cold cache.
+            mover = system.attach_data_mover(
+                segment.compute_brick_id,
+                MoverConfig(granularity=policy, prefetch="stride",
+                            prefetch_depth=4))
+            latencies = [mover.read(address).latency_s
+                         for address in addresses]
+            mean = float(np.mean(latencies))
+            moved = (mover.stats.demand_fill_bytes
+                     + mover.stats.prefetch_bytes
+                     + mover.stats.writeback_bytes)
+            cell.policies.append(PolicyCell(
+                policy=policy,
+                hit_ratio=mover.stats.hit_ratio,
+                mean_ns=to_nanoseconds(mean),
+                p99_ns=to_nanoseconds(float(np.percentile(latencies, 99))),
+                speedup=uncached_mean / mean if mean else 0.0,
+                moved_mib=moved / MIB,
+            ))
+
+        for discipline in ("priority", "fifo"):
+            sim = MoverTrafficSim(hop_path=hop_path,
+                                  link_rate_bps=gbps(10),
+                                  discipline=discipline,
+                                  prefetch_depth=4)
+            run = sim.run(client_count=traffic_clients,
+                          accesses_per_client=traffic_accesses,
+                          locality=traffic_locality)
+            bulk = (run.served.get(TransferClass.PREFETCH, 0)
+                    + run.served.get(TransferClass.WRITEBACK, 0))
+            cell.disciplines.append(DisciplineCell(
+                discipline=discipline,
+                mean_ns=to_nanoseconds(run.mean_latency_s),
+                p99_ns=to_nanoseconds(run.latency_percentile(99)),
+                bulk_served=bulk,
+                inversions=run.priority_inversions,
+            ))
+        result.cells.append(cell)
+    return result

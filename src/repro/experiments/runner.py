@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.experiments.datamover import run_datamover
 from repro.experiments.fig7_ber import run_fig7
 from repro.experiments.fig8_latency import run_fig8
 from repro.experiments.fig10_agility import run_fig10
@@ -26,6 +27,7 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
     "fig12": run_fig12,
     "fig13": run_fig13,
     "pod_scale": run_pod_scale,
+    "datamover": run_datamover,
 }
 
 

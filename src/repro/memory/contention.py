@@ -20,16 +20,18 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.fabric.interconnect import HopPath, Interconnect
 from repro.hardware.bricks import MemoryBrick
+from repro.memory.path import link_one_way_s
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
-from repro.units import gbps, nanoseconds, transfer_time
-
-#: Fixed one-way link latency (transceivers + propagation) on the CBN.
-LINK_ONE_WAY_S = nanoseconds(150)
+from repro.units import gbps, transfer_time
 
 #: Request header bytes on the wire.
 REQUEST_BYTES = 16
+
+__all__ = ["ClientStats", "ContentionResult", "MemoryContentionSim",
+           "link_one_way_s"]
 
 
 @dataclass
@@ -86,7 +88,8 @@ class MemoryContentionSim:
     def __init__(self, memory_brick: Optional[MemoryBrick] = None,
                  link_count: int = 1,
                  link_rate_bps: float = gbps(10),
-                 transaction_bytes: int = 64) -> None:
+                 transaction_bytes: int = 64,
+                 hop_path: Optional[HopPath] = None) -> None:
         """Create the simulation.
 
         Args:
@@ -95,8 +98,14 @@ class MemoryContentionSim:
                 times; requests stripe across modules.
             link_count: Optical links into the brick (its partitionable
                 bandwidth).
-            link_rate_bps: Line rate per link.
+            link_rate_bps: Line rate per link (capped by the hop path's
+                bottleneck hop).
             transaction_bytes: Payload per transaction.
+            hop_path: The interconnect path the links ride — sets the
+                one-way flight time from the fabric hop table.  Defaults
+                to a rack-local path (tray -> rack switch -> tray); pass
+                :meth:`~repro.fabric.interconnect.Interconnect.inter_rack_path`
+                to model contention across the pod switch tier.
         """
         if link_count < 1:
             raise ConfigurationError(f"need >= 1 link, got {link_count}")
@@ -104,7 +113,9 @@ class MemoryContentionSim:
             raise ConfigurationError("transactions need >= 1 byte")
         self.memory_brick = memory_brick or MemoryBrick("contention.mb")
         self.link_count = link_count
-        self.link_rate_bps = link_rate_bps
+        self.hop_path = hop_path or Interconnect().intra_rack_path()
+        self.link_rate_bps = min(link_rate_bps, self.hop_path.bottleneck_bps)
+        self.link_one_way_s = link_one_way_s(self.hop_path)
         self.transaction_bytes = transaction_bytes
 
     def run(self, client_count: int, window: int = 4,
@@ -150,7 +161,7 @@ class MemoryContentionSim:
             yield grant
             yield sim.timeout(wire_time)
             link.release(grant)
-            yield sim.timeout(LINK_ONE_WAY_S)
+            yield sim.timeout(self.link_one_way_s)
 
             controller_index = sequence % len(controllers)
             controller = controllers[controller_index]
@@ -165,7 +176,7 @@ class MemoryContentionSim:
             yield grant
             yield sim.timeout(wire_time)
             link.release(grant)
-            yield sim.timeout(LINK_ONE_WAY_S)
+            yield sim.timeout(self.link_one_way_s)
 
             if sim.now <= duration_s:
                 stats.completed += 1

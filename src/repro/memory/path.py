@@ -36,6 +36,17 @@ from repro.units import nanoseconds
 #: conversion) on the raw circuit path, where no MAC/PHY block exists.
 TRANSCEIVER_LATENCY_S = nanoseconds(50)
 
+
+def link_one_way_s(hop_path) -> float:
+    """One-way link latency composed from a fabric hop path.
+
+    A transceiver traversal at each end plus the path's flight time —
+    the single composition every timed link model (contention sim, data
+    mover scheduler) charges, so they cannot drift from the access-path
+    model above.
+    """
+    return hop_path.propagation_delay_s + 2 * TRANSCEIVER_LATENCY_S
+
 #: Group labels used in breakdowns (match the Fig. 8 legend).
 GROUP_COMPUTE = "dCOMPUBRICK"
 GROUP_OPTICAL = "optical path"

@@ -109,14 +109,44 @@ class PowerAwarePackingPolicy:
     """Local rack first, then pack onto powered/used bricks, best fit.
 
     Ordering for memory bricks: fewest interconnect tiers to the
-    requester, then powered before off, then most-utilized first
-    (tightest packing), then smallest adequate span.  For compute
-    bricks: closest to the affinity hint, then powered and VM-hosting
-    before idle, then fewest free cores.  Powering on a sleeping brick
-    is the last resort within a distance tier; crossing the pod switch
-    is a later resort still, because the inter-rack hop dominates every
-    remote access while power-on is paid once.
+    requester, then bricks already serving *hot* segments (see below),
+    then powered before off, then most-utilized first (tightest
+    packing), then smallest adequate span.  For compute bricks: closest
+    to the affinity hint, then powered and VM-hosting before idle, then
+    fewest free cores.  Powering on a sleeping brick is the last resort
+    within a distance tier; crossing the pod switch is a later resort
+    still, because the inter-rack hop dominates every remote access
+    while power-on is paid once.
+
+    **Hot-segment co-location.**  The data-mover layer reports which
+    dMEMBRICKs back heavily accessed segments
+    (:meth:`~repro.datamover.mover.DataMover.hot_memory_bricks`); when
+    ``colocate_hot`` is on, new segments within a distance tier prefer
+    those bricks, so hot traffic concentrates on fewer circuits — the
+    mover's cache and prefetcher then see deeper locality per light
+    path.  With no hot hints recorded the ordering is unchanged.
     """
+
+    def __init__(self, colocate_hot: bool = True) -> None:
+        self.colocate_hot = colocate_hot
+        self._hot_bricks: set[str] = set()
+
+    def note_hot_brick(self, brick_id: str) -> None:
+        """Record that *brick_id* backs hot segments."""
+        self._hot_bricks.add(brick_id)
+
+    def clear_hot_bricks(self) -> None:
+        self._hot_bricks.clear()
+
+    @property
+    def hot_bricks(self) -> frozenset[str]:
+        return frozenset(self._hot_bricks)
+
+    def _hot_rank(self, brick_id: str) -> int:
+        """0 for a hot brick when co-location is on, else 1."""
+        if self.colocate_hot and brick_id in self._hot_bricks:
+            return 0
+        return 1
 
     def select_memory_brick(self, candidates: Sequence[MemoryAvailability],
                             size_bytes: int,
@@ -127,6 +157,7 @@ class PowerAwarePackingPolicy:
             return None
         fitting.sort(key=lambda c: (
             rack_distance(c.rack_id, origin_rack_id),  # stay in-rack
+            self._hot_rank(c.brick_id),  # co-locate with hot segments
             not c.powered,            # powered bricks first
             -c.utilization,           # pack the fullest
             c.largest_span_bytes,     # then tightest fitting span

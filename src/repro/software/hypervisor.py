@@ -168,6 +168,29 @@ class Hypervisor:
         dimms.remove(match)
         return self.timings.dimm_detach_s
 
+    # -- the guest data path ---------------------------------------------------------
+
+    def guest_read(self, vm_id: str, address: int, size_bytes: int = 64):
+        """A guest load hitting remote memory, routed via the data mover.
+
+        The VM must be running; *address* is a brick physical address
+        inside one of the kernel's attached segment windows (the RMST
+        rejects anything else).  Returns the mover's access result.
+        """
+        vm = self.vm(vm_id)
+        if vm.state is not VmState.RUNNING:
+            raise HypervisorError(
+                f"VM {vm_id} is not running (state: {vm.state.value})")
+        return self.kernel.remote_read(address, size_bytes)
+
+    def guest_write(self, vm_id: str, address: int, size_bytes: int = 64):
+        """A guest store hitting remote memory, routed via the data mover."""
+        vm = self.vm(vm_id)
+        if vm.state is not VmState.RUNNING:
+            raise HypervisorError(
+                f"VM {vm_id} is not running (state: {vm.state.value})")
+        return self.kernel.remote_write(address, size_bytes)
+
     # -- migration support ----------------------------------------------------------
 
     def evict_vm(self, vm_id: str) -> tuple[VirtualMachine, list[VirtualDimm]]:

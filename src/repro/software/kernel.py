@@ -10,10 +10,13 @@ so the hypervisor can admission-check VM memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.errors import HotplugError, HypervisorError
+from repro.errors import HotplugError, HypervisorError, SoftwareError
 from repro.hardware.bricks import ComputeBrick
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.datamover.mover import DataMover, MoverAccessResult
 from repro.memory.address import PhysicalAddressMap
 from repro.memory.segments import RemoteSegment
 from repro.software.hotplug import (
@@ -47,6 +50,9 @@ class BaremetalKernel:
         self._attached: dict[str, AttachedSegment] = {}
         #: RAM reserved by the hypervisor for running VMs.
         self._reserved_bytes = 0
+        #: The brick's data mover, once one is bound.  Remote reads and
+        #: writes route through it; attach/detach keep it coherent.
+        self.data_mover: Optional["DataMover"] = None
 
     # -- RAM accounting ----------------------------------------------------------
 
@@ -104,6 +110,9 @@ class BaremetalKernel:
         latency += self.hotplug.online(window.base, window.size)
         record = AttachedSegment(segment, window.base, window.size)
         self._attached[segment.segment_id] = record
+        if self.data_mover is not None:
+            self.data_mover.register_segment(segment.segment_id,
+                                             window.base, window.size)
         return record, latency
 
     def detach_segment(self, segment_id: str) -> float:
@@ -126,7 +135,13 @@ class BaremetalKernel:
                 f"cannot detach {segment_id} ({record.window_size} bytes): "
                 f"{in_use} bytes of guest RAM reserved but only {headroom} "
                 f"would remain on {self.brick.brick_id}")
-        latency = self.hotplug.offline(record.window_base, record.window_size)
+        latency = 0.0
+        if self.data_mover is not None:
+            # Flush the mover's dirty blocks while the RMST entry and
+            # circuit still exist — offlining first would strand them.
+            latency += self.data_mover.flush_segment(segment_id)
+        latency += self.hotplug.offline(record.window_base,
+                                        record.window_size)
         latency += self.hotplug.remove_memory(record.window_base,
                                               record.window_size)
         self.address_map.unmap_window(segment_id)
@@ -135,6 +150,37 @@ class BaremetalKernel:
 
     def window_of_segment(self, segment_id: str) -> Optional[AttachedSegment]:
         return self._attached.get(segment_id)
+
+    # -- the remote data path ------------------------------------------------
+
+    def bind_data_mover(self, mover: "DataMover") -> None:
+        """Route this kernel's remote accesses through *mover*.
+
+        Every already-attached segment is registered with the mover so
+        detaches flush it correctly.
+        """
+        self.data_mover = mover
+        for record in self._attached.values():
+            mover.register_segment(record.segment.segment_id,
+                                   record.window_base, record.window_size)
+
+    def _require_mover(self) -> "DataMover":
+        if self.data_mover is None:
+            raise SoftwareError(
+                f"no data mover bound on {self.brick.brick_id}; call "
+                f"bind_data_mover (or DisaggregatedSystem."
+                f"attach_data_mover) first")
+        return self.data_mover
+
+    def remote_read(self, address: int,
+                    size_bytes: int = 64) -> "MoverAccessResult":
+        """Read remote memory through the data mover."""
+        return self._require_mover().read(address, size_bytes)
+
+    def remote_write(self, address: int,
+                     size_bytes: int = 64) -> "MoverAccessResult":
+        """Write remote memory through the data mover (write-allocate)."""
+        return self._require_mover().write(address, size_bytes)
 
     def __repr__(self) -> str:
         return (f"BaremetalKernel({self.brick.brick_id!r}, "

@@ -1,0 +1,131 @@
+"""Tests for the remote page cache (hit/miss, eviction, write-back)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamover.cache import (
+    LINE_BYTES,
+    PAGE_BYTES,
+    RemotePageCache,
+)
+from repro.errors import DataMoverError
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = RemotePageCache(capacity_bytes=PAGE_BYTES)
+        assert cache.lookup(0x1000) is None
+        cache.fill(0x1000, LINE_BYTES)
+        block = cache.lookup(0x1010)  # same line
+        assert block is not None
+        assert block.base == 0x1000
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_ratio == 0.5
+
+    def test_page_block_serves_every_line(self):
+        cache = RemotePageCache(capacity_bytes=2 * PAGE_BYTES)
+        cache.fill(0x2000, PAGE_BYTES)
+        for line in range(PAGE_BYTES // LINE_BYTES):
+            assert cache.lookup(0x2000 + line * LINE_BYTES) is not None
+        assert cache.misses == 0
+
+    def test_page_fill_absorbs_covered_lines(self):
+        cache = RemotePageCache(capacity_bytes=4 * PAGE_BYTES)
+        cache.fill(0x1000, LINE_BYTES, dirty=True)
+        cache.fill(0x1040, LINE_BYTES)
+        cache.fill(0x1000, PAGE_BYTES)
+        assert cache.block_count == 1
+        block = cache.block_for(0x1040)
+        assert block.size == PAGE_BYTES
+        assert block.dirty  # inherited from the absorbed dirty line
+
+    def test_refill_marks_dirty_without_duplicating(self):
+        cache = RemotePageCache(capacity_bytes=PAGE_BYTES)
+        cache.fill(0x0, LINE_BYTES)
+        assert cache.fill(0x0, LINE_BYTES, dirty=True) == []
+        assert cache.block_count == 1
+        assert cache.block_for(0x0).dirty
+
+    def test_misaligned_fill_rejected(self):
+        cache = RemotePageCache()
+        with pytest.raises(DataMoverError):
+            cache.fill(0x10, PAGE_BYTES)
+        with pytest.raises(DataMoverError):
+            cache.fill(0x0, 128)
+
+
+class TestEviction:
+    def test_lru_evicts_least_recent(self):
+        cache = RemotePageCache(capacity_bytes=2 * PAGE_BYTES, policy="lru")
+        cache.fill(0x0000, PAGE_BYTES)
+        cache.fill(0x1000, PAGE_BYTES)
+        cache.lookup(0x0000)  # page 0 is now the most recent
+        evicted = cache.fill(0x2000, PAGE_BYTES)
+        assert [b.base for b in evicted] == [0x1000]
+        assert cache.block_for(0x0000) is not None
+
+    def test_clock_gives_second_chance(self):
+        cache = RemotePageCache(capacity_bytes=2 * PAGE_BYTES, policy="clock")
+        cache.fill(0x0000, PAGE_BYTES)
+        cache.fill(0x1000, PAGE_BYTES)
+        # Both referenced: the hand clears page 0 first, so page 0 is
+        # the victim on the next pass.
+        evicted = cache.fill(0x2000, PAGE_BYTES)
+        assert len(evicted) == 1
+        assert cache.evictions == 1
+
+    def test_dirty_eviction_reported_for_write_back(self):
+        cache = RemotePageCache(capacity_bytes=PAGE_BYTES, policy="lru")
+        cache.fill(0x0000, PAGE_BYTES, dirty=True)
+        evicted = cache.fill(0x1000, PAGE_BYTES)
+        assert len(evicted) == 1
+        assert evicted[0].dirty
+        assert cache.dirty_evictions == 1
+
+    def test_occupancy_never_exceeds_capacity(self):
+        cache = RemotePageCache(capacity_bytes=2 * PAGE_BYTES)
+        for page in range(8):
+            cache.fill(page * PAGE_BYTES, PAGE_BYTES)
+            assert cache.occupancy_bytes <= cache.capacity_bytes
+
+
+class TestWritesAndInvalidation:
+    def test_mark_dirty(self):
+        cache = RemotePageCache()
+        cache.fill(0x0, LINE_BYTES)
+        assert cache.mark_dirty(0x20)
+        assert cache.block_for(0x0).dirty
+        assert not cache.mark_dirty(0x9000)  # not cached
+
+    def test_invalidate_range_returns_dirty_blocks(self):
+        cache = RemotePageCache(capacity_bytes=8 * PAGE_BYTES)
+        cache.fill(0x0000, PAGE_BYTES, dirty=True)
+        cache.fill(0x1000, PAGE_BYTES)
+        cache.fill(0x8000, LINE_BYTES, dirty=True)  # outside the range
+        dropped = cache.invalidate_range(0x0000, 2 * PAGE_BYTES)
+        assert {b.base for b in dropped} == {0x0000, 0x1000}
+        assert sum(1 for b in dropped if b.dirty) == 1
+        assert cache.block_for(0x8000) is not None
+
+    def test_clean_clears_dirty_bit(self):
+        cache = RemotePageCache()
+        cache.fill(0x0, LINE_BYTES, dirty=True)
+        block = cache.block_for(0x0)
+        cache.clean(block)
+        assert not block.dirty
+
+
+class TestValidation:
+    def test_capacity_must_hold_a_page(self):
+        with pytest.raises(DataMoverError):
+            RemotePageCache(capacity_bytes=PAGE_BYTES - 1)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(DataMoverError):
+            RemotePageCache(policy="fifo")
+
+    def test_invalidate_range_size_positive(self):
+        with pytest.raises(DataMoverError):
+            RemotePageCache().invalidate_range(0, 0)

@@ -1,0 +1,102 @@
+"""Tests for the adaptive fetch-granularity selector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamover.cache import LINE_BYTES, PAGE_BYTES
+from repro.datamover.granularity import (
+    AdaptiveGranularitySelector,
+    FetchGranularity,
+    FixedGranularitySelector,
+    GranularityConfig,
+)
+from repro.errors import DataMoverError
+
+
+def dense_walk(selector, segment_id, pages, lines_per_page):
+    for page in range(pages):
+        for line in range(lines_per_page):
+            selector.record_access(
+                segment_id, page * PAGE_BYTES + line * LINE_BYTES)
+
+
+class TestAdaptiveSelector:
+    def test_starts_at_line_granularity(self):
+        selector = AdaptiveGranularitySelector()
+        assert selector.mode("seg") is FetchGranularity.LINE
+        assert selector.fetch_bytes("seg") == LINE_BYTES
+
+    def test_dense_access_promotes_to_page(self):
+        selector = AdaptiveGranularitySelector()
+        dense_walk(selector, "seg", pages=2, lines_per_page=32)
+        assert selector.mode("seg") is FetchGranularity.PAGE
+        assert selector.fetch_bytes("seg") == PAGE_BYTES
+        assert selector.flips("seg") == 1
+
+    def test_sparse_access_stays_at_line(self):
+        selector = AdaptiveGranularitySelector()
+        # One line per page: no spatial locality to amortize a page.
+        for page in range(64):
+            selector.record_access("seg", page * PAGE_BYTES)
+        assert selector.mode("seg") is FetchGranularity.LINE
+
+    def test_page_mode_demotes_when_locality_dies(self):
+        selector = AdaptiveGranularitySelector(
+            GranularityConfig(window_pages=4))
+        dense_walk(selector, "seg", pages=4, lines_per_page=32)
+        assert selector.mode("seg") is FetchGranularity.PAGE
+        # The dense pages age out of the 4-page window; sparse pages
+        # (1 line each) replace them and drag the mean under demote.
+        for page in range(100, 120):
+            selector.record_access("seg", page * PAGE_BYTES)
+        assert selector.mode("seg") is FetchGranularity.LINE
+        assert selector.flips("seg") == 2
+
+    def test_no_switch_before_warmup(self):
+        selector = AdaptiveGranularitySelector(
+            GranularityConfig(min_accesses=1000))
+        dense_walk(selector, "seg", pages=2, lines_per_page=32)
+        assert selector.mode("seg") is FetchGranularity.LINE
+
+    def test_segments_tracked_independently(self):
+        selector = AdaptiveGranularitySelector()
+        dense_walk(selector, "dense", pages=2, lines_per_page=32)
+        for page in range(64):
+            selector.record_access("sparse", page * PAGE_BYTES)
+        assert selector.mode("dense") is FetchGranularity.PAGE
+        assert selector.mode("sparse") is FetchGranularity.LINE
+
+    def test_forget_resets_state(self):
+        selector = AdaptiveGranularitySelector()
+        dense_walk(selector, "seg", pages=2, lines_per_page=32)
+        selector.forget("seg")
+        assert selector.mode("seg") is FetchGranularity.LINE
+        assert selector.flips("seg") == 0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(DataMoverError):
+            AdaptiveGranularitySelector().record_access("seg", -1)
+
+
+class TestConfigValidation:
+    def test_thresholds_ordered(self):
+        with pytest.raises(DataMoverError):
+            GranularityConfig(promote_lines=2.0, demote_lines=4.0)
+
+    def test_window_positive(self):
+        with pytest.raises(DataMoverError):
+            GranularityConfig(window_pages=0)
+
+    def test_min_accesses_positive(self):
+        with pytest.raises(DataMoverError):
+            GranularityConfig(min_accesses=0)
+
+
+class TestFixedSelector:
+    def test_pinned_granularity_never_moves(self):
+        selector = FixedGranularitySelector(FetchGranularity.PAGE)
+        dense_walk(selector, "seg", pages=2, lines_per_page=32)
+        assert selector.mode("seg") is FetchGranularity.PAGE
+        assert selector.fetch_bytes("seg") == PAGE_BYTES
+        assert selector.flips("seg") == 0

@@ -1,0 +1,203 @@
+"""Integration: the data mover over a 2-rack PodFabric.
+
+Boots VMs on a memory-poor pod until a segment's circuit crosses the
+pod switch, attaches a :class:`~repro.datamover.mover.DataMover` to the
+owning compute brick, and verifies the end-to-end story: hits
+short-circuit the optical path, kernel/hypervisor reads route through
+the mover, detach flushes dirty blocks, and the placement layer learns
+about hot bricks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import PodBuilder
+from repro.datamover.mover import MoverConfig
+from repro.errors import ReproError, SoftwareError
+from repro.memory.path import CircuitAccessPath
+from repro.memory.transactions import MemoryTransaction
+from repro.orchestration.placement import PowerAwarePackingPolicy
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+
+@pytest.fixture(scope="module")
+def pod_system():
+    """A 2-rack pod packed until a cross-rack segment exists."""
+    system = (PodBuilder("dmint")
+              .with_racks(2)
+              .with_compute_bricks(2, cores=8, local_memory=gib(2))
+              .with_memory_bricks(1, modules=1, module_size=gib(8))
+              .build())
+    for index in range(16):
+        try:
+            system.boot_vm(VmAllocationRequest(
+                f"vm-{index}", vcpus=1, ram_bytes=gib(4)))
+        except ReproError:
+            break
+        if any(_crosses(system, s) for s in system.sdm.live_segments):
+            break
+    return system
+
+
+def _crosses(system, segment) -> bool:
+    record = system.sdm.segment_record(segment.segment_id)
+    hop_path = record.circuit.hop_path
+    return hop_path is not None and hop_path.crosses_racks
+
+
+def _cross_rack_segment(system):
+    for segment in system.sdm.live_segments:
+        if _crosses(system, segment):
+            return segment, system.sdm.segment_record(segment.segment_id)
+    raise AssertionError("packing never produced a cross-rack segment")
+
+
+class TestMoverOverPodFabric:
+    def test_hits_short_circuit_the_pod_switch(self, pod_system):
+        segment, record = _cross_rack_segment(pod_system)
+        mover = pod_system.attach_data_mover(segment.compute_brick_id)
+        address = record.entry.base + 4096
+
+        cold = mover.read(address)
+        warm = mover.read(address)
+        assert not cold.hit and warm.hit
+        assert cold.fetched_bytes > 0 and warm.fetched_bytes == 0
+        # The cross-rack miss pays the pod-switch tier; the hit stays
+        # on-brick and is an order of magnitude cheaper.
+        assert cold.latency_s > 10 * warm.latency_s
+        assert warm.latency_s < 200e-9
+
+    def test_mover_beats_uncached_path_on_locality(self, pod_system):
+        segment, record = _cross_rack_segment(pod_system)
+        stack = pod_system.stack(segment.compute_brick_id)
+        memory = pod_system.sdm.registry.memory(
+            segment.memory_brick_id).brick
+        uncached = CircuitAccessPath(stack.brick, memory, record.circuit)
+        base = record.entry.base + 16 * 4096
+        addresses = [base + page * 4096 + line * 64
+                     for page in range(8) for line in range(32)]
+
+        uncached_total = sum(
+            uncached.access(MemoryTransaction.read(a)).round_trip_s
+            for a in addresses)
+        mover = pod_system.attach_data_mover(
+            segment.compute_brick_id,
+            MoverConfig(granularity="adaptive", prefetch="stride"))
+        mover_total = sum(mover.read(a).latency_s for a in addresses)
+        assert mover.stats.hit_ratio >= 0.8
+        assert mover_total * 2 < uncached_total
+
+    def test_kernel_and_hypervisor_route_through_mover(self, pod_system):
+        segment, record = _cross_rack_segment(pod_system)
+        stack = pod_system.stack(segment.compute_brick_id)
+        mover = pod_system.attach_data_mover(segment.compute_brick_id)
+        address = record.entry.base + 32 * 4096
+
+        first = stack.kernel.remote_read(address)
+        again = stack.kernel.remote_read(address)
+        assert not first.hit and again.hit
+        assert mover.stats.demand_accesses >= 2
+
+        vm_id = segment.vm_id or pod_system.vms[0].vm_id
+        if any(v.vm_id == vm_id for v in stack.hypervisor.vms):
+            result = stack.hypervisor.guest_read(vm_id, address)
+            assert result.hit
+
+    def test_unbound_kernel_rejects_remote_reads(self):
+        system = (PodBuilder("dmunbound")
+                  .with_racks(1)
+                  .with_compute_bricks(1, cores=4, local_memory=gib(2))
+                  .with_memory_bricks(1, modules=1, module_size=gib(8))
+                  .build())
+        stack = system.stacks[0]
+        with pytest.raises(SoftwareError, match="no data mover"):
+            stack.kernel.remote_read(0x1000)
+
+    def test_write_dirties_and_detach_flushes(self):
+        system = (PodBuilder("dmflush")
+                  .with_racks(2)
+                  .with_compute_bricks(1, cores=8, local_memory=gib(2))
+                  .with_memory_bricks(1, modules=1, module_size=gib(8))
+                  .build())
+        system.boot_vm(VmAllocationRequest("vm-0", vcpus=1,
+                                           ram_bytes=gib(1)))
+        result = system.scale_up("vm-0", gib(1))
+        segment = result.segment
+        mover = system.attach_data_mover(segment.compute_brick_id)
+        record = system.sdm.segment_record(segment.segment_id)
+        address = record.entry.base + 4096
+
+        write = mover.write(address)
+        assert not write.hit  # write-allocate fetched the block
+        assert mover.cache.block_for(address).dirty
+        assert segment.segment_id in mover.registered_segments()
+
+        system.scale_down("vm-0", segment.segment_id)
+        # The kernel detach flushed the dirty block back over the
+        # still-live circuit before offlining the window.
+        assert mover.stats.writebacks >= 1
+        assert mover.stats.writeback_bytes >= 64
+        assert mover.cache.block_for(address) is None
+        assert segment.segment_id not in mover.registered_segments()
+
+    def test_misaligned_prefetch_predictions_skipped(self, pod_system):
+        """A stride learned at line granularity can predict bases that
+        are line- but not page-aligned after a granularity flip; they
+        must be dropped, not crash the demand access (regression)."""
+        segment, record = _cross_rack_segment(pod_system)
+        mover = pod_system.attach_data_mover(
+            segment.compute_brick_id, MoverConfig(granularity="page"))
+
+        class CrookedPrefetcher:
+            def observe(self, segment_id, base, size):
+                return [base + size + 2112]  # 64- but not 4096-aligned
+
+            def forget(self, segment_id):
+                pass
+
+        mover.prefetcher = CrookedPrefetcher()
+        result = mover.read(record.entry.base + 200 * 4096)
+        assert not result.hit
+        assert mover.stats.prefetch_fills == 0  # skipped, not crashed
+
+    def test_reattach_flushes_old_movers_dirty_blocks(self):
+        system = (PodBuilder("dmreattach")
+                  .with_racks(1)
+                  .with_compute_bricks(1, cores=8, local_memory=gib(2))
+                  .with_memory_bricks(1, modules=1, module_size=gib(8))
+                  .build())
+        system.boot_vm(VmAllocationRequest("vm-0", vcpus=1,
+                                           ram_bytes=gib(1)))
+        result = system.scale_up("vm-0", gib(1))
+        segment = result.segment
+        record = system.sdm.segment_record(segment.segment_id)
+        old = system.attach_data_mover(segment.compute_brick_id)
+        old.write(record.entry.base + 4096)
+        assert old.cache.block_for(record.entry.base + 4096).dirty
+
+        fresh = system.attach_data_mover(segment.compute_brick_id)
+        # The replaced mover wrote its dirty block back before handing
+        # the brick over; the new mover starts cold but registered.
+        assert old.stats.writebacks >= 1
+        assert old.cache.block_for(record.entry.base + 4096) is None
+        assert fresh.cache.block_count == 0
+        assert segment.segment_id in fresh.registered_segments()
+
+    def test_hot_segments_feed_placement(self, pod_system):
+        segment, record = _cross_rack_segment(pod_system)
+        mover = pod_system.attach_data_mover(segment.compute_brick_id)
+        base = record.entry.base + 64 * 4096
+        for index in range(64):
+            mover.read(base + (index % 16) * 64)
+        assert mover.segment_accesses(segment.segment_id) >= 64
+
+        hot = mover.hot_memory_bricks(min_accesses=64)
+        assert segment.memory_brick_id in hot
+
+        policy = pod_system.sdm.policy
+        assert isinstance(policy, PowerAwarePackingPolicy)
+        noted = pod_system.note_hot_placement(min_accesses=64)
+        assert segment.memory_brick_id in noted
+        assert segment.memory_brick_id in policy.hot_bricks

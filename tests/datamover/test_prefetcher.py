@@ -1,0 +1,78 @@
+"""Tests for the sequential and stride prefetchers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamover.prefetcher import (
+    NullPrefetcher,
+    SequentialPrefetcher,
+    StridePrefetcher,
+)
+from repro.errors import DataMoverError
+
+
+class TestSequential:
+    def test_predicts_next_blocks(self):
+        prefetcher = SequentialPrefetcher(depth=3)
+        assert prefetcher.observe("seg", 0x1000, 64) == [
+            0x1040, 0x1080, 0x10C0]
+
+    def test_depth_validated(self):
+        with pytest.raises(DataMoverError):
+            SequentialPrefetcher(depth=0)
+
+
+class TestStride:
+    def test_silent_until_confident(self):
+        prefetcher = StridePrefetcher(depth=2, confidence_threshold=2)
+        assert prefetcher.observe("seg", 0x0, 64) == []      # first miss
+        assert prefetcher.observe("seg", 0x40, 64) == []     # confidence 1
+        assert prefetcher.observe("seg", 0x80, 64) == [0xC0, 0x100]
+
+    def test_detects_non_unit_stride(self):
+        prefetcher = StridePrefetcher(depth=2, confidence_threshold=2)
+        prefetcher.observe("seg", 0x0, 64)
+        prefetcher.observe("seg", 0x1000, 64)
+        predictions = prefetcher.observe("seg", 0x2000, 64)
+        assert predictions == [0x3000, 0x4000]
+
+    def test_random_stream_stays_silent(self):
+        prefetcher = StridePrefetcher(depth=4, confidence_threshold=2)
+        issued = []
+        for base in (0x0, 0x5000, 0x100, 0x9000, 0x240):
+            issued.extend(prefetcher.observe("seg", base, 64))
+        assert issued == []
+
+    def test_stride_change_resets_confidence(self):
+        prefetcher = StridePrefetcher(depth=1, confidence_threshold=2)
+        prefetcher.observe("seg", 0x0, 64)
+        prefetcher.observe("seg", 0x40, 64)
+        assert prefetcher.observe("seg", 0x80, 64)  # confident at +64
+        assert prefetcher.observe("seg", 0x1080, 64) == []  # new stride
+        assert prefetcher.observe("seg", 0x2080, 64) == [0x3080]
+
+    def test_segments_independent(self):
+        prefetcher = StridePrefetcher(depth=1, confidence_threshold=2)
+        prefetcher.observe("a", 0x0, 64)
+        prefetcher.observe("a", 0x40, 64)
+        assert prefetcher.observe("b", 0x0, 64) == []  # fresh segment
+
+    def test_forget_drops_state(self):
+        prefetcher = StridePrefetcher(depth=1, confidence_threshold=2)
+        prefetcher.observe("seg", 0x0, 64)
+        prefetcher.observe("seg", 0x40, 64)
+        prefetcher.forget("seg")
+        assert prefetcher.observe("seg", 0x80, 64) == []
+
+    def test_validation(self):
+        with pytest.raises(DataMoverError):
+            StridePrefetcher(depth=0)
+        with pytest.raises(DataMoverError):
+            StridePrefetcher(confidence_threshold=0)
+
+
+class TestNull:
+    def test_never_predicts(self):
+        prefetcher = NullPrefetcher()
+        assert prefetcher.observe("seg", 0x0, 64) == []

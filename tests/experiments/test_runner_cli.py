@@ -12,7 +12,7 @@ class TestRunner:
     def test_registry_covers_every_artifact(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig7", "fig8", "fig10", "fig12", "fig13",
-            "pod_scale"}
+            "pod_scale", "datamover"}
 
     def test_run_selected(self):
         report = run_all(["table1"])

@@ -5,9 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.fabric.interconnect import Interconnect
 from repro.hardware.bricks import MemoryBrick
 from repro.hardware.memory_tech import HMC_GEN2
-from repro.memory.contention import MemoryContentionSim
+from repro.memory.contention import MemoryContentionSim, link_one_way_s
+from repro.memory.path import TRANSCEIVER_LATENCY_S
 from repro.units import gib
 
 
@@ -75,6 +77,30 @@ class TestContention:
             sim.run(client_count=1, window=0)
         with pytest.raises(ConfigurationError):
             sim.run(client_count=1, duration_s=0)
+
+    def test_link_latency_composed_from_hop_table(self):
+        """The one-way figure derives from the fabric Interconnect, not
+        a hardcoded constant — contention and access-path models share
+        one hop model."""
+        sim = MemoryContentionSim()
+        intra = Interconnect().intra_rack_path()
+        assert sim.link_one_way_s == pytest.approx(
+            intra.propagation_delay_s + 2 * TRANSCEIVER_LATENCY_S)
+        assert sim.link_one_way_s == pytest.approx(link_one_way_s(intra))
+
+    def test_pod_spanning_links_cost_more_latency(self):
+        interconnect = Interconnect()
+        local = MemoryContentionSim(
+            link_count=2, hop_path=interconnect.intra_rack_path())
+        remote = MemoryContentionSim(
+            link_count=2, hop_path=interconnect.inter_rack_path())
+        assert remote.link_one_way_s > local.link_one_way_s
+        local_run = local.run(client_count=1, window=1, duration_s=50e-6)
+        remote_run = remote.run(client_count=1, window=1, duration_s=50e-6)
+        # Unloaded latency reflects the extra pod-switch tier exactly:
+        # two more fibre runs each way.
+        assert (remote_run.mean_latency_s
+                > local_run.mean_latency_s)
 
     def test_empty_result_properties(self):
         from repro.memory.contention import ContentionResult

@@ -99,10 +99,12 @@ class TestRegistry:
             registry.ensure_powered("ghost")
 
 
-def mem(brick_id, free, span=None, utilization=0.0, powered=True):
+def mem(brick_id, free, span=None, utilization=0.0, powered=True,
+        rack_id=""):
     return MemoryAvailability(brick_id=brick_id, free_bytes=free,
                               largest_span_bytes=span or free,
-                              utilization=utilization, powered=powered)
+                              utilization=utilization, powered=powered,
+                              rack_id=rack_id)
 
 
 def comp(brick_id, cores, ram=gib(64), powered=True, hosts=False):
@@ -165,6 +167,35 @@ class TestPowerAwarePacking:
         policy = PowerAwarePackingPolicy()
         candidates = [mem("b", gib(8)), mem("a", gib(8))]
         assert policy.select_memory_brick(candidates, gib(1)) == "a"
+
+    def test_hot_brick_colocation(self):
+        """The data-mover heat hint pulls new segments onto the brick
+        already serving hot segments (within a distance tier)."""
+        policy = PowerAwarePackingPolicy()
+        candidates = [mem("cold", gib(32), utilization=0.5),
+                      mem("warm", gib(64), utilization=0.0)]
+        assert policy.select_memory_brick(candidates, gib(1)) == "cold"
+        policy.note_hot_brick("warm")
+        assert policy.select_memory_brick(candidates, gib(1)) == "warm"
+        assert policy.hot_bricks == frozenset({"warm"})
+        policy.clear_hot_bricks()
+        assert policy.select_memory_brick(candidates, gib(1)) == "cold"
+
+    def test_hot_colocation_can_be_disabled(self):
+        policy = PowerAwarePackingPolicy(colocate_hot=False)
+        policy.note_hot_brick("warm")
+        candidates = [mem("cold", gib(32), utilization=0.5),
+                      mem("warm", gib(64), utilization=0.0)]
+        assert policy.select_memory_brick(candidates, gib(1)) == "cold"
+
+    def test_hot_hint_never_overrides_locality(self):
+        """A hot brick across the pod switch still loses to a local one."""
+        policy = PowerAwarePackingPolicy()
+        policy.note_hot_brick("far")
+        near = mem("near", gib(32), rack_id="rack0")
+        far = mem("far", gib(64), rack_id="rack1")
+        assert policy.select_memory_brick(
+            [near, far], gib(1), origin_rack_id="rack0") == "near"
 
 
 class TestSpread:
