@@ -28,11 +28,21 @@ Sub-packages (bottom-up):
 * :mod:`repro.software` — hotplug, kernel, hypervisor, scale-up.
 * :mod:`repro.orchestration` — SDM controller, placement, OpenStack.
 * :mod:`repro.core` — the assembled system.
+* :mod:`repro.cluster` — event-driven control plane: tenant traces,
+  admission queue, batched dispatch, defragmentation.
 * :mod:`repro.tco` — the §VI TCO simulation study.
 * :mod:`repro.apps` — the §V pilot applications.
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
+from repro.cluster.control_plane import ControlPlane
+from repro.cluster.defrag import DefragmentationTask
+from repro.cluster.trace import (
+    TenantTrace,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+)
 from repro.core.builder import PodBuilder, RackBuilder
 from repro.core.flows import TimedScaleUpHarness
 from repro.core.metrics import snapshot
@@ -45,10 +55,12 @@ from repro.orchestration.requests import (
 )
 from repro.units import gbps, gib, mib
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ControlPlane",
     "DataMover",
+    "DefragmentationTask",
     "DisaggregatedRack",
     "DisaggregatedSystem",
     "MemoryAllocationRequest",
@@ -56,11 +68,15 @@ __all__ = [
     "PodBuilder",
     "RackBuilder",
     "ReproError",
+    "TenantTrace",
     "TimedScaleUpHarness",
     "VmAllocationRequest",
     "__version__",
+    "bursty_trace",
+    "diurnal_trace",
     "gbps",
     "gib",
     "mib",
+    "poisson_trace",
     "snapshot",
 ]

@@ -27,8 +27,14 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS),
                      help="experiment id (paper table/figure)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="base RNG seed threaded through the "
+                          "experiment (default: each driver's own)")
 
-    sub.add_parser("run-all", help="run every experiment")
+    run_all_cmd = sub.add_parser("run-all", help="run every experiment")
+    run_all_cmd.add_argument("--seed", type=int, default=None,
+                             help="base RNG seed threaded through "
+                                  "every experiment")
     return parser
 
 
@@ -40,11 +46,11 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.command == "run":
-        report = run_all([args.experiment])
+        report = run_all([args.experiment], seed=args.seed)
         print(report.runs[0].rendered)
         return 0
     if args.command == "run-all":
-        print(run_all().rendered())
+        print(run_all(seed=args.seed).rendered())
         return 0
     return 2  # pragma: no cover - argparse enforces the choices
 

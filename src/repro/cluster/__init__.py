@@ -1,0 +1,55 @@
+"""Cluster-scale control plane on the DES kernel.
+
+The layer above orchestration: where :mod:`repro.orchestration` answers
+one request at a time, this package serves *traffic* — open-loop
+multi-tenant arrival traces driven through an admission queue, a
+batched dispatcher, the SDM-C reservation critical section modeled as a
+real DES resource, and background pool housekeeping.
+
+* :mod:`repro.cluster.trace` — tenant arrival traces (Poisson, diurnal,
+  bursty).
+* :mod:`repro.cluster.control_plane` — admission queue, batched
+  dispatch, full VM lifecycles.
+* :mod:`repro.cluster.defrag` — idle-window memory-pool consolidation.
+* :mod:`repro.cluster.metrics` — request records and latency/queue
+  statistics.
+"""
+
+from repro.cluster.control_plane import (
+    AMORTIZABLE_KINDS,
+    ClusterRequest,
+    ControlPlane,
+    REQUEST_KINDS,
+)
+from repro.cluster.defrag import DefragmentationTask, DefragReport
+from repro.cluster.metrics import (
+    ControlPlaneStats,
+    RequestRecord,
+    TimedSample,
+)
+from repro.cluster.trace import (
+    ScaleEvent,
+    TenantSpec,
+    TenantTrace,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+)
+
+__all__ = [
+    "AMORTIZABLE_KINDS",
+    "ClusterRequest",
+    "ControlPlane",
+    "ControlPlaneStats",
+    "DefragReport",
+    "DefragmentationTask",
+    "REQUEST_KINDS",
+    "RequestRecord",
+    "ScaleEvent",
+    "TenantSpec",
+    "TenantTrace",
+    "TimedSample",
+    "bursty_trace",
+    "diurnal_trace",
+    "poisson_trace",
+]

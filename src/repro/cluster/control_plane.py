@@ -1,0 +1,392 @@
+"""The event-driven cluster control plane.
+
+The SDM controller is the serialization point of the whole rack
+(§IV.C): every allocation passes through its inspect/reserve critical
+section.  :class:`ControlPlane` puts that bottleneck on the DES kernel
+and serves open-loop multi-tenant traffic through it:
+
+* tenants arrive from a :class:`~repro.cluster.trace.TenantTrace` and
+  drive full VM lifecycles — boot, runtime scale-up/down (explicitly or
+  through a periodically rebalancing
+  :class:`~repro.orchestration.elasticity.ElasticMemoryManager`),
+  optional migration, departure;
+* every operation enters a FIFO **admission queue** and is served by
+  dispatcher workers that execute the system's ``*_process`` DES forms,
+  so concurrent requests queue on the SDM-C reservation critical
+  section with their waiting time accounted;
+* dispatchers serve requests in **batches**: the batch holds placement
+  work per request but pushes ONE amortized configuration generation
+  (``SdmTimings.config_generation_s``) for the whole batch — the
+  classic control-plane throughput lever (``max_batch=1`` is the
+  per-request baseline);
+* same-tenant requests are never reordered, even with several workers:
+  each request gates on its tenant's previous request completing;
+* an optional :class:`~repro.cluster.defrag.DefragmentationTask`
+  consolidates the memory pool during idle windows.
+
+Latency, queue depth, utilization and fragmentation are collected in
+:class:`~repro.cluster.metrics.ControlPlaneStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.cluster.metrics import (
+    ControlPlaneStats,
+    RequestRecord,
+    TimedSample,
+)
+from repro.cluster.trace import TenantSpec, TenantTrace
+from repro.errors import OrchestrationError, ReproError
+from repro.orchestration.elasticity import ElasticMemoryManager
+from repro.orchestration.requests import VmAllocationRequest
+from repro.sim.control import ControlContext
+from repro.sim.engine import Event, ProcessGenerator
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.cluster.defrag import DefragmentationTask
+    from repro.core.system import DisaggregatedSystem
+
+#: Request kinds whose configuration generation a batch amortizes.
+AMORTIZABLE_KINDS = frozenset({"boot", "scale_up"})
+
+#: All request kinds the control plane understands.
+REQUEST_KINDS = frozenset(
+    {"boot", "scale_up", "scale_down", "migrate", "depart"})
+
+
+@dataclass
+class ClusterRequest:
+    """One admitted control-plane request."""
+
+    kind: str
+    tenant_id: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    record: RequestRecord = field(init=False)
+    #: Fires (with this request) when the request finishes, served or
+    #: rejected; inspect ``record.ok`` to tell which.  In batched mode
+    #: this is the *batch* completion (after the shared config push).
+    done: Event = field(init=False, repr=False)
+    #: Fires as soon as this request's system mutation has executed —
+    #: the same-tenant ordering gate.  Unlike ``done`` it never waits
+    #: for batch-mates, so two same-tenant requests sharing a batch
+    #: cannot deadlock on each other.
+    executed: Event = field(init=False, repr=False)
+    #: The predecessor request of the same tenant, if still in flight.
+    _after: Optional[Event] = field(default=None, repr=False)
+    result: Any = None
+
+
+class ControlPlane:
+    """Admission queue + batched dispatch over one
+    :class:`~repro.core.system.DisaggregatedSystem`."""
+
+    def __init__(self, system: "DisaggregatedSystem", *,
+                 max_batch: int = 1,
+                 batch_window_s: float = 0.0,
+                 workers: int = 1,
+                 rebalance_interval_s: Optional[float] = None,
+                 defrag: Optional["DefragmentationTask"] = None) -> None:
+        if max_batch < 1:
+            raise OrchestrationError("max_batch must be >= 1")
+        if batch_window_s < 0:
+            raise OrchestrationError("batch window must be >= 0")
+        if workers < 1:
+            raise OrchestrationError("need >= 1 dispatcher worker")
+        self.system = system
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.workers = workers
+        #: Per-request mode keeps the single-threaded SDM-C semantics
+        #: (config generated under the critical section, per request);
+        #: only a real batch amortizes one push over its members.
+        self._amortize = max_batch > 1
+        self.ctx = ControlContext()
+        self.sim = self.ctx.sim
+        self.admission: Store = Store(self.sim)
+        self.stats = ControlPlaneStats(worker_count=workers)
+        self._tenant_tail: dict[str, Event] = {}
+        self._in_service = 0
+
+        self.manager: Optional[ElasticMemoryManager] = None
+        self._rebalance_interval_s = rebalance_interval_s
+        if rebalance_interval_s is not None:
+            if rebalance_interval_s <= 0:
+                raise OrchestrationError(
+                    "rebalance interval must be positive")
+            self.manager = ElasticMemoryManager(system)
+            self.sim.process(self._rebalancer())
+
+        self.defrag = defrag
+        if defrag is not None:
+            defrag.install(self.ctx, idle_probe=self.is_idle)
+
+        for index in range(workers):
+            self.sim.process(self._worker(index))
+
+    # -- admission ----------------------------------------------------------
+
+    def is_idle(self) -> bool:
+        """True when no request is queued or being served."""
+        return self.admission.size == 0 and self._in_service == 0
+
+    def submit(self, kind: str, tenant_id: str,
+               **payload: Any) -> ClusterRequest:
+        """Enqueue a request at the current simulated time.
+
+        Must be called at simulation time (from a process or before the
+        run starts).  Returns the request; wait on ``request.done`` for
+        completion and check ``request.record.ok`` for the outcome.
+        """
+        if kind not in REQUEST_KINDS:
+            raise OrchestrationError(
+                f"unknown request kind {kind!r}; known: "
+                f"{', '.join(sorted(REQUEST_KINDS))}")
+        request = ClusterRequest(kind=kind, tenant_id=tenant_id,
+                                 payload=payload)
+        # Control-plane backlog = requests still in the admission store
+        # plus requests already claimed by a worker but queued on the
+        # SDM-C reservation critical section.
+        depth = self.admission.size + self.ctx.reservation.queue_length
+        request.record = RequestRecord(
+            tenant_id=tenant_id, kind=kind, submitted_s=self.sim.now,
+            queue_depth_at_submit=depth)
+        request.done = self.sim.event()
+        request.executed = self.sim.event()
+        # Same-tenant FIFO: gate on the tenant's previous request having
+        # *executed*, so a second worker (or a later slot of the same
+        # batch) can never apply same-tenant operations out of order.
+        request._after = self._tenant_tail.get(tenant_id)
+        self._tenant_tail[tenant_id] = request.executed
+        self.stats.records.append(request.record)
+        self.stats.queue_depth_samples.append(
+            TimedSample(self.sim.now, depth))
+        self.admission.put(request)
+        return request
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _worker(self, index: int) -> ProcessGenerator:
+        while True:
+            first = yield self.admission.get()
+            # Claimed work makes the plane non-idle immediately — the
+            # batch window must not read as an idle window (background
+            # defragmentation would start ahead of a pending batch).
+            self._in_service += 1
+            batch = [first]
+            if (self.batch_window_s > 0
+                    and 1 + self.admission.size < self.max_batch):
+                # Hold the door briefly so a burst can share one
+                # configuration push — but only when the queue cannot
+                # already fill the batch.
+                yield self.sim.timeout(self.batch_window_s)
+            while len(batch) < self.max_batch and self.admission.size:
+                batch.append(self.admission.get().value)
+            serve_start = self.sim.now
+            self._in_service += len(batch) - 1
+            try:
+                yield from self._serve_batch(batch)
+            finally:
+                self._in_service -= len(batch)
+                self.stats.busy_s += self.sim.now - serve_start
+
+    def _serve_batch(self, batch: list[ClusterRequest]) -> ProcessGenerator:
+        # Batch members run concurrently: their reservations still
+        # serialize one by one on the SDM-C critical section, but the
+        # brick-side phases (agent/kernel/hypervisor) overlap, since
+        # each executes on its own brick.
+        members = [self.sim.process(self._serve_one(request))
+                   for request in batch]
+        yield self.sim.all_of(members)
+        if self._amortize and any(r.record.ok and r.kind in AMORTIZABLE_KINDS
+                                  for r in batch):
+            # One configuration push covers every placement in the
+            # batch (role d is a template instantiation; its cost does
+            # not scale with the number of segments in the push).
+            yield self.sim.timeout(
+                self.system.sdm.timings.config_generation_s)
+        for request in batch:
+            request.record.completed_s = self.sim.now
+            request.done.succeed(request)
+        self.stats.fragmentation_samples.append(
+            TimedSample(self.sim.now, self._fragmentation()))
+
+    def _serve_one(self, request: ClusterRequest) -> ProcessGenerator:
+        if request._after is not None:
+            yield request._after
+        request.record.started_s = self.sim.now
+        try:
+            request.result = yield from self._execute(request)
+            request.record.ok = True
+        except ReproError as exc:
+            request.record.ok = False
+            request.record.note = f"{type(exc).__name__}: {exc}"
+        request.executed.succeed(request)
+
+    def _execute(self, request: ClusterRequest) -> ProcessGenerator:
+        """Run one request through the system's DES pipelines."""
+        charge_config = not (self._amortize
+                             and request.kind in AMORTIZABLE_KINDS)
+        if request.kind == "boot":
+            info = yield from self.system.boot_vm_process(
+                self.ctx, request.payload["request"],
+                charge_config=charge_config)
+            return info
+        if request.kind == "scale_up":
+            result = yield from self.system.scale_up_process(
+                self.ctx, request.tenant_id,
+                request.payload["size_bytes"],
+                charge_config=charge_config)
+            return result
+        if request.kind == "scale_down":
+            steps = yield from self.system.scale_down_process(
+                self.ctx, request.tenant_id,
+                request.payload["segment_id"])
+            return steps
+        if request.kind == "migrate":
+            target = self._resolve_migration_target(request)
+            if target is None:
+                raise OrchestrationError(
+                    f"no migration target for {request.tenant_id}")
+            report = yield from self.system.migrate_vm_process(
+                self.ctx, request.tenant_id, target)
+            return report
+        # depart
+        latency = yield from self.system.terminate_vm_process(
+            self.ctx, request.tenant_id)
+        return latency
+
+    def _resolve_migration_target(self,
+                                  request: ClusterRequest) -> Optional[str]:
+        """Pick a destination brick at serve time (load has moved since
+        submission); an explicit ``target_brick_id`` payload wins."""
+        explicit = request.payload.get("target_brick_id")
+        if explicit:
+            return explicit
+        hosted = self.system.hosting(request.tenant_id)
+        vm = hosted.vm
+        candidates = [
+            c for c in self.system.sdm.registry.compute_availability()
+            if c.brick_id != hosted.brick_id and c.free_cores >= vm.vcpus]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda c: (not c.powered, -c.free_cores,
+                                       c.brick_id))
+        return candidates[0].brick_id
+
+    def _fragmentation(self) -> float:
+        """Mean free-space fragmentation across healthy memory bricks."""
+        entries = [e for e in self.system.sdm.registry.memory_entries
+                   if not e.failed]
+        if not entries:
+            return 0.0
+        return sum(e.allocator.fragmentation
+                   for e in entries) / len(entries)
+
+    # -- tenant lifecycles --------------------------------------------------
+
+    def serve_trace(self, trace: TenantTrace) -> ControlPlaneStats:
+        """Drive every tenant lifecycle in *trace* to completion.
+
+        Runs the simulation until the last tenant departs (background
+        tasks keep their future events; the clock simply stops there)
+        and returns the collected statistics.
+        """
+        lifecycles = [self.sim.process(self._tenant(spec))
+                      for spec in trace.tenants]
+        self.sim.run(until=self.sim.all_of(lifecycles))
+        self.stats.duration_s = self.sim.now
+        return self.stats
+
+    def drain(self) -> ControlPlaneStats:
+        """Run until all submitted work is served (unit-test helper).
+
+        Only valid without periodic background tasks (rebalancer /
+        defragmentation), whose timers would keep the heap non-empty
+        forever.
+        """
+        if self.manager is not None or self.defrag is not None:
+            raise OrchestrationError(
+                "drain() cannot terminate with periodic background "
+                "tasks installed; use serve_trace()")
+        self.sim.run()
+        self.stats.duration_s = self.sim.now
+        return self.stats
+
+    def _tenant(self, spec: TenantSpec) -> ProcessGenerator:
+        yield self.sim.timeout(spec.arrival_s)
+        boot = self.submit("boot", spec.tenant_id,
+                           request=VmAllocationRequest(
+                               vm_id=spec.tenant_id, vcpus=spec.vcpus,
+                               ram_bytes=spec.ram_bytes))
+        yield boot.done
+        if not boot.record.ok:
+            return
+        booted_at = self.sim.now
+        if self.manager is not None:
+            self.manager.manage(spec.tenant_id)
+            yield from self._demand_lifecycle(spec, booted_at)
+        else:
+            yield from self._explicit_lifecycle(spec, booted_at)
+        if spec.migrate_at_s is not None:
+            yield self.sim.timeout(max(
+                0.0, booted_at + spec.migrate_at_s - self.sim.now))
+            migrate = self.submit("migrate", spec.tenant_id)
+            yield migrate.done  # a rejected migration is not fatal
+        yield self.sim.timeout(max(
+            0.0, booted_at + spec.lifetime_s - self.sim.now))
+        if self.manager is not None:
+            self.manager.release(spec.tenant_id)
+        depart = self.submit("depart", spec.tenant_id)
+        yield depart.done
+
+    def _explicit_lifecycle(self, spec: TenantSpec,
+                            booted_at: float) -> ProcessGenerator:
+        """Scale events as explicit admission-queue requests."""
+        attached: list[str] = []
+        for event in spec.scale_events:
+            yield self.sim.timeout(max(
+                0.0, booted_at + event.at_s - self.sim.now))
+            if event.kind == "up":
+                request = self.submit("scale_up", spec.tenant_id,
+                                      size_bytes=event.size_bytes)
+                yield request.done
+                if request.record.ok:
+                    attached.append(request.result.segment.segment_id)
+            elif attached:
+                request = self.submit("scale_down", spec.tenant_id,
+                                      segment_id=attached.pop())
+                yield request.done
+
+    def _demand_lifecycle(self, spec: TenantSpec,
+                          booted_at: float) -> ProcessGenerator:
+        """Scale events as demand reports; the rebalancer does the work."""
+        demand = spec.ram_bytes
+        for event in spec.scale_events:
+            yield self.sim.timeout(max(
+                0.0, booted_at + event.at_s - self.sim.now))
+            if event.kind == "up":
+                demand += event.size_bytes
+            else:
+                demand = max(spec.ram_bytes, demand - event.size_bytes)
+            if spec.tenant_id in (self.manager.managed_vms
+                                  if self.manager else ()):
+                self.manager.set_demand(spec.tenant_id, demand)
+
+    def _rebalancer(self) -> ProcessGenerator:
+        """Periodic :meth:`ElasticMemoryManager.rebalance` pass, holding
+        the SDM-C critical section for its reservation work."""
+        while True:
+            yield self.sim.timeout(self._rebalance_interval_s)
+            if self.manager is None or not self.manager.managed_vms:
+                continue
+            grant = yield from self.ctx.enter_reservation("rebalance")
+            try:
+                report = self.manager.rebalance()
+                yield self.sim.timeout(report.total_latency_s)
+            finally:
+                self.ctx.reservation.release(grant)
+            self.stats.rebalance_passes += 1

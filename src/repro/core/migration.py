@@ -108,9 +108,10 @@ class MigrationFlow:
         report.conventional_estimate_s = self.conventional_estimate_s(
             vm.configured_ram_bytes)
 
-        # -- pre-flight: validate the target BEFORE touching the VM ------------
+        # -- pre-flight: validate BOTH sides BEFORE touching the VM ------------
         # A failed check must leave the guest running on the source.
-        power_on_s = self._preflight(vm, target, target_brick_id, segments)
+        power_on_s = self._preflight(vm, source, target, target_brick_id,
+                                     segments)
         if power_on_s:
             report.steps["target_power_on"] = power_on_s
 
@@ -150,16 +151,36 @@ class MigrationFlow:
         self.migrations += 1
         return report
 
-    def _preflight(self, vm, target, target_brick_id: str,
+    def _preflight(self, vm, source, target, target_brick_id: str,
                    segments) -> float:
-        """Validate the target can host the VM; returns any power-on cost.
+        """Validate both sides can survive the move; returns any
+        power-on cost.
 
         Checks (all before the VM is paused, so failure is harmless):
-        cores, local-DRAM headroom for the slice that must move, and an
+        source-side memory accounting after the detach, target cores,
+        target local-DRAM headroom for the slice that must move, and an
         optical path to every dMEMBRICK backing a segment.  A sleeping
         target is woken here.
         """
         from repro.orchestration.sdm_controller import DEFAULT_SDM_TIMINGS
+
+        # Source side: this VM's remote segments leave with it, but the
+        # hotplugged pool they contribute is brick-wide — other guests'
+        # RAM may be backed by it.  Refuse the move (cleanly, with the
+        # guest still running) rather than strand co-hosted VMs; the
+        # mid-pipeline kernel guard would otherwise fire after the VM
+        # was already paused and evicted.
+        leaving = sum(s.size for s in segments)
+        remaining_pool = source.kernel.total_ram_bytes - leaving
+        remaining_reserved = (source.kernel.reserved_bytes
+                              - vm.configured_ram_bytes)
+        if remaining_reserved > remaining_pool:
+            raise OrchestrationError(
+                f"cannot migrate {vm.vm_id}: detaching its {leaving} "
+                f"segment bytes would leave {remaining_pool} bytes on "
+                f"{source.brick.brick_id} for {remaining_reserved} bytes "
+                f"of co-hosted guest RAM")
+
         power_on_s = 0.0
         if self.system.sdm.registry.ensure_powered(target_brick_id):
             power_on_s = DEFAULT_SDM_TIMINGS.power_on_s

@@ -7,6 +7,14 @@ operations as methods — boot a VM whose memory may exceed any single
 brick, scale a VM's memory up and down at runtime, migrate VMs (within
 or across racks), and power-manage unutilized bricks.
 :data:`DisaggregatedRack` remains as the single-rack-era alias.
+
+Every lifecycle operation is exposed twice: as the historical
+synchronous method (a zero-contention wrapper running a private
+one-event simulation, so results and latency ledgers are unchanged) and
+as a ``*_process`` DES generator for event-driven control planes
+(:mod:`repro.cluster`), where concurrent operations queue on the SDM-C
+reservation critical section of a shared
+:class:`~repro.sim.control.ControlContext`.
 """
 
 from __future__ import annotations
@@ -17,19 +25,18 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 from repro.errors import (
     FabricError,
     OrchestrationError,
-    PlacementError,
+    ReproError,
     SlotError,
 )
 from repro.hardware.bricks import AcceleratorBrick, ComputeBrick, MemoryBrick
 from repro.hardware.rack import Rack
 
-if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
-    from repro.datamover.mover import DataMover, MoverConfig
-    from repro.fabric.pod import Pod
 from repro.memory.segments import RemoteSegment
 from repro.network.optical.topology import OpticalFabric
 from repro.orchestration.requests import VmAllocationRequest
 from repro.orchestration.sdm_controller import SdmController
+from repro.sim.control import ControlContext, run_sync
+from repro.sim.engine import ProcessGenerator
 from repro.software.agent import SdmAgent
 from repro.software.hypervisor import Hypervisor
 from repro.software.kernel import BaremetalKernel
@@ -40,6 +47,10 @@ from repro.software.scaleup import (
 )
 from repro.software.vm import VirtualMachine
 from repro.units import gib
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.datamover.mover import DataMover, MoverConfig
+    from repro.fabric.pod import Pod
 
 #: Largest single segment requested per allocation when assembling large
 #: boot memories; bigger demands are satisfied with multiple segments
@@ -166,26 +177,77 @@ class DisaggregatedSystem:
     def boot_vm(self, request: VmAllocationRequest) -> BootInfo:
         """Boot a VM, attaching remote boot memory when the chosen brick's
         local DRAM cannot cover the request (the core disaggregation win:
-        "resource allocation ... no longer bounded by the mainboard")."""
+        "resource allocation ... no longer bounded by the mainboard").
+
+        Zero-contention synchronous wrapper around
+        :meth:`boot_vm_process`.
+        """
+        return run_sync(lambda ctx: self.boot_vm_process(ctx, request))
+
+    def boot_vm_process(self, ctx: ControlContext,
+                        request: VmAllocationRequest, *,
+                        charge_config: bool = True) -> ProcessGenerator:
+        """DES process form of :meth:`boot_vm`.
+
+        Placement and each boot-segment reservation queue on the SDM-C
+        critical section of *ctx*; agent programming, kernel attach and
+        the hypervisor spawn are charged on the shared clock.
+        """
         if request.vm_id in self._vms:
             raise OrchestrationError(f"VM id {request.vm_id!r} already in use")
-        brick_id, latency = self.sdm.place_vm(request)
+        brick_id, latency = yield from self.sdm.place_vm_process(ctx, request)
         stack = self.stack(brick_id)
 
         boot_segments: list[RemoteSegment] = []
-        shortfall = request.ram_bytes - stack.kernel.available_bytes
-        while shortfall > 0:
-            chunk = min(shortfall, MAX_SEGMENT_BYTES)
-            ticket = self.sdm.allocate(brick_id, request.vm_id, chunk)
-            latency += ticket.control_latency_s
-            latency += stack.agent.program_segment(ticket.rmst_entry)
-            latency += stack.agent.attach_segment(ticket.segment)
-            ticket.segment.activate()
-            boot_segments.append(ticket.segment)
+        try:
             shortfall = request.ram_bytes - stack.kernel.available_bytes
-
-        vm, spawn_latency = stack.hypervisor.spawn_vm(
-            request.vm_id, request.vcpus, request.ram_bytes)
+            while shortfall > 0:
+                chunk = min(shortfall, MAX_SEGMENT_BYTES)
+                ticket = yield from self.sdm.allocate_process(
+                    ctx, brick_id, request.vm_id, chunk,
+                    charge_config=charge_config)
+                latency += ticket.control_latency_s
+                programmed = False
+                try:
+                    software_s = stack.agent.program_segment(
+                        ticket.rmst_entry)
+                    programmed = True
+                    software_s += stack.agent.attach_segment(ticket.segment)
+                except ReproError:
+                    # The in-flight ticket is not in boot_segments yet;
+                    # unwind it here before the outer cleanup runs.
+                    if programmed:
+                        yield ctx.sim.timeout(stack.agent.unprogram_segment(
+                            ticket.segment.segment_id))
+                    stack.kernel.address_map.cancel_reservation(
+                        ticket.segment.segment_id)
+                    yield from self.sdm.release_process(
+                        ctx, ticket.segment.segment_id)
+                    ticket.segment.release()
+                    raise
+                yield ctx.sim.timeout(software_s)
+                latency += software_s
+                ticket.segment.activate()
+                boot_segments.append(ticket.segment)
+                shortfall = request.ram_bytes - stack.kernel.available_bytes
+            # The spawn can also fail (cores or RAM consumed by a
+            # concurrent boot/scale-up since placement), so it lives
+            # inside the cleanup scope.
+            vm, spawn_latency = stack.hypervisor.spawn_vm(
+                request.vm_id, request.vcpus, request.ram_bytes)
+        except ReproError:
+            # A rejected boot must not leak partially attached memory:
+            # an open-loop control plane keeps running after the
+            # rejection, so return every segment to the pool.
+            for segment in boot_segments:
+                software_s = stack.agent.detach_segment(segment.segment_id)
+                software_s += stack.agent.unprogram_segment(
+                    segment.segment_id)
+                yield ctx.sim.timeout(software_s)
+                yield from self.sdm.release_process(ctx, segment.segment_id)
+                segment.release()
+            raise
+        yield ctx.sim.timeout(spawn_latency)
         latency += spawn_latency
         self._vms[request.vm_id] = HostedVm(vm, brick_id, boot_segments)
         return BootInfo(vm=vm, brick_id=brick_id, latency_s=latency,
@@ -194,8 +256,14 @@ class DisaggregatedSystem:
     def terminate_vm(self, vm_id: str) -> float:
         """Tear a VM down, detach its boot segments, release resources.
 
-        Returns the accumulated teardown latency.
+        Zero-contention synchronous wrapper around
+        :meth:`terminate_vm_process`; returns the teardown latency.
         """
+        return run_sync(lambda ctx: self.terminate_vm_process(ctx, vm_id))
+
+    def terminate_vm_process(self, ctx: ControlContext,
+                             vm_id: str) -> ProcessGenerator:
+        """DES process form of :meth:`terminate_vm`."""
         hosted = self.hosting(vm_id)
         stack = self.stack(hosted.brick_id)
         latency = 0.0
@@ -203,13 +271,17 @@ class DisaggregatedSystem:
         # scale-up controller.
         for segment in list(stack.scaleup.attached_segments()):
             if segment.vm_id == vm_id:
-                steps = stack.scaleup.scale_down(vm_id, segment.segment_id)
+                steps = yield from stack.scaleup.scale_down_process(
+                    ctx, vm_id, segment.segment_id)
                 latency += sum(steps.values())
         stack.hypervisor.terminate_vm(vm_id)
         for segment in hosted.boot_segments:
-            latency += stack.agent.detach_segment(segment.segment_id)
-            latency += stack.agent.unprogram_segment(segment.segment_id)
-            latency += self.sdm.release(segment.segment_id)
+            software_s = stack.agent.detach_segment(segment.segment_id)
+            software_s += stack.agent.unprogram_segment(segment.segment_id)
+            yield ctx.sim.timeout(software_s)
+            latency += software_s
+            latency += yield from self.sdm.release_process(
+                ctx, segment.segment_id)
             segment.release()
         del self._vms[vm_id]
         return latency
@@ -278,11 +350,31 @@ class DisaggregatedSystem:
         stack = self.stack(hosted.brick_id)
         return stack.scaleup.scale_up(ScaleUpRequest(vm_id, size_bytes))
 
+    def scale_up_process(self, ctx: ControlContext, vm_id: str,
+                         size_bytes: int, *,
+                         charge_config: bool = True) -> ProcessGenerator:
+        """DES process form of :meth:`scale_up`."""
+        hosted = self.hosting(vm_id)
+        stack = self.stack(hosted.brick_id)
+        result = yield from stack.scaleup.scale_up_process(
+            ctx, ScaleUpRequest(vm_id, size_bytes),
+            charge_config=charge_config)
+        return result
+
     def scale_down(self, vm_id: str, segment_id: str) -> dict[str, float]:
         """Return a previously scaled-up segment."""
         hosted = self.hosting(vm_id)
         stack = self.stack(hosted.brick_id)
         return stack.scaleup.scale_down(vm_id, segment_id)
+
+    def scale_down_process(self, ctx: ControlContext, vm_id: str,
+                           segment_id: str) -> ProcessGenerator:
+        """DES process form of :meth:`scale_down`."""
+        hosted = self.hosting(vm_id)
+        stack = self.stack(hosted.brick_id)
+        steps = yield from stack.scaleup.scale_down_process(
+            ctx, vm_id, segment_id)
+        return steps
 
     def migrate_vm(self, vm_id: str, target_brick_id: str):
         """Migrate a running VM to another compute brick.
@@ -293,6 +385,27 @@ class DisaggregatedSystem:
         """
         from repro.core.migration import MigrationFlow
         return MigrationFlow(self).migrate(vm_id, target_brick_id)
+
+    def migrate_vm_process(self, ctx: ControlContext, vm_id: str,
+                           target_brick_id: str) -> ProcessGenerator:
+        """DES process form of :meth:`migrate_vm`.
+
+        The SDM-side work (power-on pre-flight plus the per-segment
+        circuit/RMST swing) holds the reservation critical section; the
+        pause/copy/resume phases are charged after it is released, so
+        other control traffic only queues behind the controller part.
+        """
+        from repro.core.migration import MigrationFlow
+        grant = yield from ctx.enter_reservation(vm_id)
+        try:
+            report = MigrationFlow(self).migrate(vm_id, target_brick_id)
+            critical_s = (report.steps.get("segment_repoint", 0.0)
+                          + report.steps.get("target_power_on", 0.0))
+            yield ctx.sim.timeout(critical_s)
+        finally:
+            ctx.reservation.release(grant)
+        yield ctx.sim.timeout(report.total_s - critical_s)
+        return report
 
     # -- failure handling ---------------------------------------------------------------
 

@@ -205,7 +205,8 @@ def _workload(entry) -> list[int]:
 def run_datamover(rack_counts: tuple[int, ...] = (1, 2, 4, 8),
                   traffic_accesses: int = 1536,
                   traffic_clients: int = 4,
-                  traffic_locality: float = 0.85) -> DataMoverResult:
+                  traffic_locality: float = 0.85,
+                  seed: int = 2018) -> DataMoverResult:
     """Sweep pod sizes; measure granularity policies and disciplines."""
     result = DataMoverResult()
     for rack_count in rack_counts:
@@ -257,7 +258,8 @@ def run_datamover(rack_counts: tuple[int, ...] = (1, 2, 4, 8),
             sim = MoverTrafficSim(hop_path=hop_path,
                                   link_rate_bps=gbps(10),
                                   discipline=discipline,
-                                  prefetch_depth=4)
+                                  prefetch_depth=4,
+                                  seed=seed)
             run = sim.run(client_count=traffic_clients,
                           accesses_per_client=traffic_accesses,
                           locality=traffic_locality)

@@ -73,8 +73,12 @@ class Fig8Result:
         return table + "\n" + groups + "\n" + summary
 
 
-def run_fig8(transaction_bytes: int = 64) -> Fig8Result:
-    """Build the two data paths and break down one read's round trip."""
+def run_fig8(transaction_bytes: int = 64, seed: int = 2018) -> Fig8Result:
+    """Build the two data paths and break down one read's round trip.
+
+    *seed* is accepted for runner-interface uniformity; the latency
+    breakdown is fully deterministic.
+    """
     compute = ComputeBrick("fig8.cb")
     memory = MemoryBrick("fig8.mb")
     fabric = OpticalFabric()

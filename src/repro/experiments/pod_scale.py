@@ -151,10 +151,15 @@ def run_pod_scale(rack_counts: tuple[int, ...] = (1, 2, 4, 8),
                   cores_per_brick: int = 8,
                   local_memory_gib: int = 2,
                   memory_bricks_per_rack: int = 1,
-                  module_gib: int = 8) -> PodScaleResult:
+                  module_gib: int = 8,
+                  seed: int = 2018) -> PodScaleResult:
     """Sweep pod sizes; each rack is deliberately memory-poor so VM RAM
     must come from the disaggregated pool and, once the local rack is
-    drained, from remote racks."""
+    drained, from remote racks.
+
+    *seed* is accepted for runner-interface uniformity; the packing
+    sweep is fully deterministic.
+    """
     result = PodScaleResult(vm_ram_gib=vm_ram_gib)
     for rack_count in rack_counts:
         system = (PodBuilder(f"sweep{rack_count}")

@@ -2,13 +2,20 @@
 
 Used by the CLI (``dredbox-repro run-all``) and handy for regenerating
 the EXPERIMENTS.md data in one pass.
+
+Every driver accepts a ``seed`` keyword: the runner threads one base
+seed through the whole sweep, so a full reproduction is a single
+``(code version, seed)`` pair.  Drivers derive their per-component
+streams from it via :class:`~repro.sim.rng.RngRegistry`; deterministic
+drivers accept and ignore it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.experiments.cluster_scale import run_cluster_scale
 from repro.experiments.datamover import run_datamover
 from repro.experiments.fig7_ber import run_fig7
 from repro.experiments.fig8_latency import run_fig8
@@ -18,8 +25,8 @@ from repro.experiments.fig13_energy import run_fig13
 from repro.experiments.pod_scale import run_pod_scale
 from repro.experiments.table1_workloads import run_table1
 
-#: Registry of experiment name -> zero-argument driver.
-EXPERIMENTS: dict[str, Callable[[], object]] = {
+#: Registry of experiment name -> driver (every driver takes ``seed=``).
+EXPERIMENTS: dict[str, Callable[..., object]] = {
     "table1": run_table1,
     "fig7": run_fig7,
     "fig8": run_fig8,
@@ -28,6 +35,7 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
     "fig13": run_fig13,
     "pod_scale": run_pod_scale,
     "datamover": run_datamover,
+    "cluster_scale": run_cluster_scale,
 }
 
 
@@ -57,16 +65,22 @@ class RunAllReport:
         return "\n".join(parts)
 
 
-def run_all(names: list[str] | None = None) -> RunAllReport:
-    """Execute the named experiments (all of them by default)."""
+def run_all(names: list[str] | None = None,
+            seed: Optional[int] = None) -> RunAllReport:
+    """Execute the named experiments (all of them by default).
+
+    When *seed* is given it is passed to every driver, overriding each
+    one's default, so the whole sweep reproduces from one number.
+    """
     if names is None:
         names = list(EXPERIMENTS)
+    kwargs = {} if seed is None else {"seed": seed}
     report = RunAllReport()
     for name in names:
         if name not in EXPERIMENTS:
             known = ", ".join(EXPERIMENTS)
             raise KeyError(f"unknown experiment {name!r}; known: {known}")
-        result = EXPERIMENTS[name]()
+        result = EXPERIMENTS[name](**kwargs)
         report.runs.append(ExperimentRun(
             name=name,
             result=result,

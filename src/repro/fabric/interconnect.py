@@ -21,7 +21,7 @@ import enum
 import math
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.errors import FabricError
 from repro.hardware.rack import DEFAULT_FIBRE_PLAN, FibrePlan

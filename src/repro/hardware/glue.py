@@ -23,7 +23,6 @@ from repro.units import nanoseconds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.hardware.memory_tech import MemoryModule
-    from repro.hardware.ports import TransceiverPort
 
 
 @dataclass(frozen=True)

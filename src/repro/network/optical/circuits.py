@@ -12,15 +12,11 @@ extra connector losses of each patch.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import CircuitError
-from repro.network.optical.link import (
-    CONNECTOR_LOSS_DB,
-    LinkBudget,
-    OpticalLink,
-)
+from repro.network.optical.link import LinkBudget, OpticalLink
 from repro.network.optical.ber import ReceiverModel
 from repro.network.optical.switch import OpticalCircuitSwitch
 

@@ -9,7 +9,7 @@ turns into a BER — exactly the quantity plotted in Fig. 7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -9,7 +9,7 @@ orchestration keeps configured at runtime (§III).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import RoutingError
 from repro.network.packet.nic import Packet

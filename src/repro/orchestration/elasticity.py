@@ -20,7 +20,7 @@ for reallocation within the same pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.errors import BalloonError, OrchestrationError, PlacementError
 from repro.software.balloon import BalloonDriver

@@ -11,7 +11,6 @@ scale; single-rack deployments may leave ``rack_id`` empty.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import OrchestrationError
 from repro.hardware.bricks import ComputeBrick, MemoryBrick

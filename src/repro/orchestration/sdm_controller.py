@@ -15,32 +15,47 @@ drive it, and reuses/establishes optical circuits through the
 :class:`~repro.network.optical.topology.OpticalFabric`.
 
 Reservation is a *critical section* — the "safely" in roles (b) and (c).
-In timed simulations (Fig. 10) concurrent requests serialize on it; the
-synchronous API here accounts its latency per request.
+The ``*_process`` generator methods model it as a real DES resource:
+concurrent requests running on one shared
+:class:`~repro.sim.control.ControlContext` queue on
+``ctx.reservation`` and serialize in FIFO order, with their queueing
+delay accounted on the simulated clock (the Fig. 10 agility-under-load
+regime).  A single-threaded controller also generates and pushes each
+request's configuration (role d) before serving the next, so by default
+that cost is charged while the section is held; a batching control
+plane passes ``charge_config=False`` and pushes ONE amortized
+configuration per batch instead (see
+:mod:`repro.cluster.control_plane`).
+
+The synchronous methods (``allocate``, ``release``, ``place_vm``) are
+**zero-contention compatibility wrappers**: each runs its process as
+the only traffic on a private one-shot simulator
+(:func:`~repro.sim.control.run_sync`), so the latencies they report are
+pure service time — no queueing delay is, or can be, included.  Use the
+process API on a shared context to study contention.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import PlacementError, ReservationError
 from repro.hardware.rmst import SegmentEntry
 from repro.memory.address import align_up
-from repro.memory.segments import RemoteSegment, SegmentState
+from repro.memory.segments import RemoteSegment
 from repro.network.optical.topology import FabricCircuit, OpticalFabric
 from repro.orchestration.placement import (
     PlacementPolicy,
     PowerAwarePackingPolicy,
 )
 from repro.orchestration.registry import ResourceRegistry
-from repro.orchestration.requests import (
-    MemoryAllocationRequest,
-    VmAllocationRequest,
-)
+from repro.orchestration.requests import VmAllocationRequest
+from repro.sim.control import ControlContext, run_sync
+from repro.sim.engine import ProcessGenerator
 from repro.software.scaleup import AttachTicket
-from repro.units import milliseconds
+from repro.units import gbps, milliseconds, transfer_time
 
 
 @dataclass(frozen=True)
@@ -57,6 +72,10 @@ class SdmTimings:
 
 
 DEFAULT_SDM_TIMINGS = SdmTimings()
+
+#: Default brick-to-brick copy rate when relocating a segment's backing
+#: bytes during defragmentation (the dMEMBRICK-to-dMEMBRICK bulk path).
+SEGMENT_COPY_RATE_BPS = gbps(40)
 
 
 @dataclass
@@ -100,10 +119,55 @@ class SdmController:
                  size_bytes: int) -> AttachTicket:
         """Reserve a remote segment + circuit for *compute_brick_id*.
 
-        Returns an :class:`AttachTicket` whose ``control_latency_s``
-        covers reservation, any brick power-on, circuit setup (only when
-        a new circuit is needed) and configuration generation.
+        Zero-contention synchronous wrapper around
+        :meth:`allocate_process` (see the module docstring).  Returns an
+        :class:`AttachTicket` whose ``control_latency_s`` covers
+        reservation, any brick power-on, circuit setup (only when a new
+        circuit is needed) and configuration generation — pure service
+        time, since the private context has no competing requests.
         """
+        return run_sync(lambda ctx: self.allocate_process(
+            ctx, compute_brick_id, vm_id, size_bytes))
+
+    def allocate_process(self, ctx: ControlContext, compute_brick_id: str,
+                         vm_id: str, size_bytes: int, *,
+                         charge_config: bool = True) -> ProcessGenerator:
+        """DES process: reserve a segment under the critical section.
+
+        Queues on ``ctx.reservation`` (FIFO) for the SDM-C service and,
+        while holding it, charges the full per-request work on the
+        clock: inspect/reserve, any power-on, circuit setup and — in
+        the per-request baseline — configuration generation, because a
+        single-threaded controller finishes pushing one request's
+        configuration before picking up the next (roles b-d of §IV.C).
+
+        With ``charge_config=False`` only the inspect/reserve part is
+        charged (and the ticket's latency excludes the config share):
+        this is the hook for batching control planes, which hold the
+        section per-reservation but push ONE amortized configuration
+        for a whole batch (see
+        :class:`~repro.cluster.control_plane.ControlPlane`).
+
+        Returns (via ``yield from``) the :class:`AttachTicket`; the
+        queueing delay is observable as the difference between entry
+        time and grant time, and is traced as ``sdm.reserve.wait``.
+        """
+        grant = yield from ctx.enter_reservation(vm_id)
+        try:
+            ticket = self._allocate_inner(compute_brick_id, vm_id,
+                                          size_bytes)
+            critical_s = ticket.control_latency_s
+            if not charge_config:
+                critical_s -= self.timings.config_generation_s
+                ticket = replace(ticket, control_latency_s=critical_s)
+            yield ctx.sim.timeout(critical_s)
+        finally:
+            ctx.reservation.release(grant)
+        return ticket
+
+    def _allocate_inner(self, compute_brick_id: str, vm_id: str,
+                        size_bytes: int) -> AttachTicket:
+        """The reservation work itself (state mutation + latency ledger)."""
         compute_entry = self.registry.compute(compute_brick_id)
         padded = align_up(size_bytes, self.registry.segment_alignment)
         latency = self.timings.reservation_s
@@ -191,7 +255,31 @@ class SdmController:
             self.registry.memory(memory_brick_id).brick)
 
     def release(self, segment_id: str) -> float:
-        """Free a segment; tears the circuit down when unreferenced."""
+        """Free a segment; tears the circuit down when unreferenced.
+
+        Zero-contention synchronous wrapper around
+        :meth:`release_process`; returns the orchestration latency.
+        """
+        return run_sync(lambda ctx: self.release_process(ctx, segment_id))
+
+    def release_process(self, ctx: ControlContext,
+                        segment_id: str) -> ProcessGenerator:
+        """DES process: free a segment under the critical section.
+
+        The whole release is reservation-table work, so it runs (and is
+        charged) while holding ``ctx.reservation``.  Returns the
+        orchestration latency.
+        """
+        grant = yield from ctx.enter_reservation(segment_id)
+        try:
+            latency = self._release_inner(segment_id)
+            yield ctx.sim.timeout(latency)
+        finally:
+            ctx.reservation.release(grant)
+        return latency
+
+    def _release_inner(self, segment_id: str) -> float:
+        """The release work itself (state mutation + latency ledger)."""
         record = self._segments.pop(segment_id, None)
         if record is None:
             raise ReservationError(f"unknown segment {segment_id!r}")
@@ -270,16 +358,126 @@ class SdmController:
         return entry, latency
 
     # ------------------------------------------------------------------
+    # Defragmentation support: move a segment's bytes to another brick
+    # ------------------------------------------------------------------
+
+    def relocate_segment(self, segment_id: str, target_memory_brick_id: str,
+                         copy_rate_bps: float = SEGMENT_COPY_RATE_BPS
+                         ) -> tuple[SegmentEntry, float]:
+        """Move a live segment's backing bytes onto another dMEMBRICK.
+
+        The consolidation primitive behind background defragmentation:
+        unlike :meth:`repoint_segment` (which swings the compute side
+        and moves nothing), relocation copies the segment's content
+        brick-to-brick, so free space coalesces on the source and the
+        pod runs on fewer powered memory bricks.  The compute brick's
+        local window is untouched — only the RMST entry's remote side
+        changes — so the guest never notices beyond the copy time.
+
+        Returns ``(new_entry, latency_s)`` where the latency covers
+        reservation, target power-on, circuit setup, the byte copy at
+        *copy_rate_bps*, glue reprogramming, and config generation.
+        """
+        record = self._segments.get(segment_id)
+        if record is None:
+            raise ReservationError(f"unknown segment {segment_id!r}")
+        segment = record.segment
+        if target_memory_brick_id == segment.memory_brick_id:
+            raise ReservationError(
+                f"segment {segment_id!r} already lives on "
+                f"{target_memory_brick_id!r}")
+        compute_entry = self.registry.compute(segment.compute_brick_id)
+        target_entry = self.registry.memory(target_memory_brick_id)
+        if target_entry.failed:
+            raise PlacementError(
+                f"cannot relocate onto failed brick "
+                f"{target_memory_brick_id!r}")
+        if not self._circuit_feasible(compute_entry.brick,
+                                      target_entry.brick):
+            raise PlacementError(
+                f"no optical path from {segment.compute_brick_id} to "
+                f"{target_memory_brick_id}")
+
+        latency = self.timings.reservation_s
+        if self.registry.ensure_powered(target_memory_brick_id):
+            latency += self.timings.power_on_s
+        new_offset = target_entry.allocator.allocate(segment.size)
+
+        new_circuit = self.fabric.circuit_between(
+            compute_entry.brick, target_entry.brick)
+        if new_circuit is None:
+            new_circuit = self.fabric.connect(
+                compute_entry.brick, target_entry.brick)
+            latency += new_circuit.setup_time_s
+        self._circuit_refs[new_circuit.circuit_id] = (
+            self._circuit_refs.get(new_circuit.circuit_id, 0) + 1)
+
+        # The bytes actually move (the one cost repointing never pays).
+        latency += transfer_time(segment.size, copy_rate_bps)
+
+        new_entry = SegmentEntry(
+            segment_id=segment.segment_id,
+            base=record.entry.base,
+            size=record.entry.size,
+            remote_brick_id=target_memory_brick_id,
+            remote_offset=new_offset,
+            egress_port_id=new_circuit.port_toward(
+                compute_entry.brick).port_id,
+        )
+        # Reprogram the glue only when the entry is installed; a still-
+        # RESERVED segment gets the updated entry from the controller
+        # record when its owner programs it.
+        agent = compute_entry.agent
+        if any(e.segment_id == segment_id
+               for e in compute_entry.brick.rmst):
+            latency += agent.unprogram_segment(segment_id)
+            latency += agent.program_segment(new_entry)
+
+        source_entry = self.registry.memory(segment.memory_brick_id)
+        source_entry.allocator.free(segment.offset)
+        old_circuit = record.circuit
+        self._circuit_refs[old_circuit.circuit_id] -= 1
+        if self._circuit_refs[old_circuit.circuit_id] == 0:
+            del self._circuit_refs[old_circuit.circuit_id]
+            self.fabric.disconnect(old_circuit)
+
+        latency += self.timings.config_generation_s
+        segment.memory_brick_id = target_memory_brick_id
+        segment.offset = new_offset
+        record.entry = new_entry
+        record.circuit = new_circuit
+        return new_entry, latency
+
+    # ------------------------------------------------------------------
     # VM allocation (role a: requests arriving from OpenStack)
     # ------------------------------------------------------------------
 
     def place_vm(self, request: VmAllocationRequest) -> tuple[str, float]:
         """Choose a compute brick for *request*; returns (brick, latency).
 
-        Local brick RAM may be insufficient for the request — boot-time
-        memory beyond local DRAM is attached through :meth:`allocate` by
-        the caller (see :mod:`repro.core.flows`).
+        Zero-contention synchronous wrapper around
+        :meth:`place_vm_process`.  Local brick RAM may be insufficient
+        for the request — boot-time memory beyond local DRAM is attached
+        through :meth:`allocate` by the caller (see
+        :mod:`repro.core.flows`).
         """
+        return run_sync(lambda ctx: self.place_vm_process(ctx, request))
+
+    def place_vm_process(self, ctx: ControlContext,
+                         request: VmAllocationRequest) -> ProcessGenerator:
+        """DES process: select (and reserve) a compute brick under the
+        critical section.  Returns ``(brick_id, latency_s)``."""
+        grant = yield from ctx.enter_reservation(request.vm_id)
+        try:
+            brick_id, latency = self._place_vm_inner(request)
+            yield ctx.sim.timeout(latency)
+        finally:
+            ctx.reservation.release(grant)
+        return brick_id, latency
+
+    def _place_vm_inner(self, request: VmAllocationRequest
+                        ) -> tuple[str, float]:
+        """The placement work itself (state mutation + latency ledger)."""
         latency = self.timings.reservation_s
         candidates = self.registry.compute_availability()
         # Boot RAM beyond the brick's local DRAM comes from remote

@@ -10,8 +10,12 @@ deterministic discrete-event simulation (DES) kernel in the style of SimPy.
   :class:`Store`) used to model serialized controllers and queues.
 * :mod:`repro.sim.rng` — named, reproducible random-number streams.
 * :mod:`repro.sim.trace` — structured event tracing and counters.
+* :mod:`repro.sim.control` — control-plane execution contexts: the
+  shared reservation critical section and the synchronous-wrapper
+  convention (``run_sync``).
 """
 
+from repro.sim.control import ControlContext, run_sync
 from repro.sim.engine import (
     AllOf,
     AnyOf,
@@ -28,6 +32,7 @@ from repro.sim.trace import TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ControlContext",
     "Event",
     "Interrupt",
     "Process",
@@ -38,5 +43,6 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "run_sync",
     "stable_stream_seed",
 ]

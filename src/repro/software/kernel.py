@@ -15,8 +15,6 @@ from typing import TYPE_CHECKING, Optional
 from repro.errors import HotplugError, HypervisorError, SoftwareError
 from repro.hardware.bricks import ComputeBrick
 
-if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
-    from repro.datamover.mover import DataMover, MoverAccessResult
 from repro.memory.address import PhysicalAddressMap
 from repro.memory.segments import RemoteSegment
 from repro.software.hotplug import (
@@ -25,6 +23,9 @@ from repro.software.hotplug import (
     MemoryHotplug,
 )
 from repro.software.pages import DEFAULT_SECTION_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.datamover.mover import DataMover
 
 
 @dataclass(frozen=True)

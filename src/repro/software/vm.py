@@ -10,7 +10,6 @@ baremetal kernel" (§IV.B).
 from __future__ import annotations
 
 import enum
-from typing import Optional
 
 from repro.errors import HypervisorError
 from repro.software.hotplug import MemoryHotplug

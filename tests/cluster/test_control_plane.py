@@ -1,0 +1,195 @@
+"""Unit tests for the event-driven control plane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.control_plane import ControlPlane
+from repro.cluster.trace import ScaleEvent, TenantSpec, TenantTrace
+from repro.core.builder import RackBuilder
+from repro.errors import OrchestrationError
+from repro.units import gib, mib
+
+
+def build_system(compute=2, memory=2):
+    return (RackBuilder("cp")
+            .with_compute_bricks(compute, cores=16, local_memory=gib(4))
+            .with_memory_bricks(memory, modules=4, module_size=gib(8))
+            .build())
+
+
+def boot_vm(plane, vm_id="vm-0", vcpus=2, ram=gib(1)):
+    from repro.orchestration.requests import VmAllocationRequest
+    request = plane.submit("boot", vm_id, request=VmAllocationRequest(
+        vm_id=vm_id, vcpus=vcpus, ram_bytes=ram))
+    return request
+
+
+class TestAdmission:
+    def test_unknown_kind_rejected(self):
+        plane = ControlPlane(build_system())
+        with pytest.raises(OrchestrationError, match="unknown request kind"):
+            plane.submit("reboot", "t0")
+
+    def test_boot_served_and_latency_accounted(self):
+        plane = ControlPlane(build_system())
+        request = boot_vm(plane)
+        stats = plane.drain()
+        assert request.record.ok
+        record = stats.completed("boot")[0]
+        # Boot service (hypervisor spawn alone is 900 ms) is charged on
+        # the simulated clock end to end.
+        assert record.latency_s > 0.9
+        assert record.latency_s == pytest.approx(
+            request.result.latency_s, rel=0.1)
+        assert plane.system.vms[0].vm_id == "vm-0"
+
+    def test_rejected_boot_recorded_not_raised(self):
+        plane = ControlPlane(build_system())
+        request = boot_vm(plane, vcpus=99)
+        stats = plane.drain()
+        assert not request.record.ok
+        assert "PlacementError" in request.record.note
+        assert len(stats.rejected("boot")) == 1
+
+    def test_queue_depth_sampled_at_submit(self):
+        plane = ControlPlane(build_system(), workers=1)
+        for index in range(4):
+            boot_vm(plane, f"vm-{index}", vcpus=1)
+        plane.drain()
+        depths = [s.value for s in plane.stats.queue_depth_samples]
+        # All four submitted at t=0 with one worker: backlog visible.
+        assert max(depths) >= 2
+
+    def test_drain_refused_with_background_tasks(self):
+        plane = ControlPlane(build_system(), rebalance_interval_s=0.5)
+        with pytest.raises(OrchestrationError, match="background"):
+            plane.drain()
+
+
+class TestBatching:
+    def _scale_traffic(self, plane, count):
+        boot = boot_vm(plane, "vm-0", vcpus=2, ram=mib(512))
+        requests = []
+
+        def driver():
+            yield boot.done
+            for _ in range(count):
+                request = plane.submit("scale_up", "vm-0",
+                                       size_bytes=mib(256))
+                requests.append(request)
+            yield plane.sim.all_of([r.done for r in requests])
+
+        plane.sim.process(driver())
+        plane.drain()
+        return requests
+
+    def test_batch_amortizes_config_generation(self):
+        config_s = None
+        total = {}
+        for max_batch in (1, 8):
+            plane = ControlPlane(build_system(), max_batch=max_batch,
+                                 workers=1)
+            config_s = plane.system.sdm.timings.config_generation_s
+            requests = self._scale_traffic(plane, 8)
+            assert all(r.record.ok for r in requests)
+            total[max_batch] = max(r.record.completed_s
+                                   for r in requests)
+        # The batched plane pushes one configuration instead of eight:
+        # the makespan shrinks by at least a few config times (the
+        # batch also overlaps brick-side work, which only helps more).
+        assert total[8] < total[1] - 3 * config_s
+
+    def test_per_request_mode_charges_config_each_time(self):
+        plane = ControlPlane(build_system(), max_batch=1, workers=1)
+        requests = self._scale_traffic(plane, 3)
+        sdm_steps = [r.result.steps["sdm"] for r in requests]
+        config_s = plane.system.sdm.timings.config_generation_s
+        for step in sdm_steps:
+            assert step >= config_s
+
+    def test_batched_ticket_excludes_config_share(self):
+        sdm_steps = {}
+        for max_batch in (1, 8):
+            plane = ControlPlane(build_system(), max_batch=max_batch,
+                                 workers=1)
+            requests = self._scale_traffic(plane, 4)
+            sdm_steps[max_batch] = [r.result.steps["sdm"]
+                                    for r in requests]
+            config_s = plane.system.sdm.timings.config_generation_s
+        # Identical traffic: the batched tickets bill exactly one
+        # config-generation less per request (it is amortized).
+        for per_request, batched in zip(sdm_steps[1], sdm_steps[8]):
+            assert batched == pytest.approx(per_request - config_s)
+
+
+class TestLifecycles:
+    def test_full_lifecycle_trace(self):
+        plane = ControlPlane(build_system(), max_batch=4,
+                             batch_window_s=0.001)
+        spec = TenantSpec(
+            tenant_id="tenant-0", arrival_s=0.0, vcpus=2,
+            ram_bytes=gib(1), lifetime_s=3.0,
+            scale_events=(ScaleEvent(0.5, "up", gib(1)),
+                          ScaleEvent(1.5, "down", gib(1))),
+            migrate_at_s=2.0)
+        stats = plane.serve_trace(TenantTrace("unit", [spec]))
+        kinds = {r.kind for r in stats.completed()}
+        assert kinds == {"boot", "scale_up", "scale_down",
+                         "migrate", "depart"}
+        # Everything wound down: no VMs, no segments, no leaks.
+        assert plane.system.vms == []
+        assert plane.system.sdm.live_segments == []
+
+    def test_migration_moved_the_vm(self):
+        plane = ControlPlane(build_system(compute=2))
+        spec = TenantSpec(
+            tenant_id="tenant-0", arrival_s=0.0, vcpus=2,
+            ram_bytes=gib(1), lifetime_s=2.0, migrate_at_s=0.5)
+        bricks = []
+
+        def spy():
+            yield plane.sim.timeout(1.2)
+            bricks.append(plane.system.hosting("tenant-0").brick_id)
+
+        plane.sim.process(spy())
+        stats = plane.serve_trace(TenantTrace("unit", [spec]))
+        migrations = stats.completed("migrate")
+        assert len(migrations) == 1
+        report = next(r for r in stats.records
+                      if r.kind == "migrate")
+        assert report.ok
+
+    def test_rejected_tenant_stops_its_lifecycle(self):
+        plane = ControlPlane(build_system())
+        specs = [TenantSpec(f"t{i}", 0.0, vcpus=99, ram_bytes=gib(1),
+                            lifetime_s=1.0) for i in range(3)]
+        stats = plane.serve_trace(TenantTrace("unit", specs))
+        assert len(stats.rejected("boot")) == 3
+        assert stats.completed("depart") == []
+
+    def test_elastic_manager_lifecycle(self):
+        plane = ControlPlane(build_system(), rebalance_interval_s=0.25)
+        spec = TenantSpec(
+            tenant_id="tenant-0", arrival_s=0.0, vcpus=2,
+            ram_bytes=gib(1), lifetime_s=3.0,
+            scale_events=(ScaleEvent(0.5, "up", gib(2)),
+                          ScaleEvent(2.0, "down", gib(2))))
+        stats = plane.serve_trace(TenantTrace("unit", [spec]))
+        # Demand went through the rebalancer, not the admission queue.
+        assert stats.completed("scale_up") == []
+        assert stats.rebalance_passes >= 1
+        assert plane.system.vms == []
+
+
+class TestUtilizationAndFragmentation:
+    def test_stats_populated(self):
+        plane = ControlPlane(build_system())
+        spec = TenantSpec("tenant-0", 0.0, vcpus=2, ram_bytes=gib(6),
+                          lifetime_s=1.0)
+        stats = plane.serve_trace(TenantTrace("unit", [spec]))
+        assert stats.duration_s > 0
+        assert 0 < stats.utilization <= 1
+        assert stats.fragmentation_samples
+        assert stats.latency_percentile(99, "boot") >= \
+            stats.latency_percentile(50, "boot") > 0

@@ -1,0 +1,127 @@
+"""Tests for background defragmentation / consolidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.control_plane import ControlPlane
+from repro.cluster.defrag import DefragmentationTask
+from repro.cluster.trace import TenantSpec, TenantTrace
+from repro.core.builder import RackBuilder
+from repro.errors import ReproError
+from repro.units import gib
+
+
+def build_system(memory=3):
+    return (RackBuilder("defrag")
+            .with_compute_bricks(2, cores=32, local_memory=gib(8))
+            .with_memory_bricks(memory, modules=2, module_size=gib(8))
+            .build())
+
+
+def spread_segments(system, per_brick=2):
+    """Force segments onto every memory brick (spread by hand)."""
+    from repro.orchestration.placement import SpreadPolicy
+    system.sdm.policy = SpreadPolicy()
+    results = []
+    brick_count = len(system.sdm.registry.memory_entries)
+    system.boot_vm(__vm_request("spread-vm"))
+    for index in range(per_brick * brick_count):
+        results.append(system.scale_up("spread-vm", gib(1)))
+    return results
+
+
+def __vm_request(vm_id):
+    from repro.orchestration.requests import VmAllocationRequest
+    return VmAllocationRequest(vm_id=vm_id, vcpus=2, ram_bytes=gib(1))
+
+
+class TestPassMechanics:
+    def test_consolidates_onto_fewer_bricks(self):
+        system = build_system()
+        spread_segments(system, per_brick=2)
+        occupied_before = sum(
+            1 for e in system.sdm.registry.memory_entries
+            if e.allocator.allocation_count > 0)
+        assert occupied_before == 3
+
+        task = DefragmentationTask(system, max_relocations_per_pass=16)
+        report = task.run_pass()
+        occupied_after = sum(
+            1 for e in system.sdm.registry.memory_entries
+            if e.allocator.allocation_count > 0)
+        assert report.relocations > 0
+        assert report.bytes_moved >= report.relocations * gib(1)
+        assert occupied_after < occupied_before
+
+    def test_emptied_brick_powered_off(self):
+        system = build_system()
+        spread_segments(system, per_brick=1)
+        task = DefragmentationTask(system, max_relocations_per_pass=16)
+        report = task.run_pass()
+        assert report.bricks_emptied >= 1
+        powered = [e.brick.is_powered
+                   for e in system.sdm.registry.memory_entries]
+        assert not all(powered)
+
+    def test_segments_stay_consistent_after_relocation(self):
+        system = build_system()
+        results = spread_segments(system, per_brick=2)
+        task = DefragmentationTask(system, max_relocations_per_pass=16)
+        task.run_pass()
+        # Every runtime segment still resolves: records point at the
+        # brick that now really holds the allocation.
+        for result in results:
+            record = system.sdm.segment_record(
+                result.segment.segment_id)
+            entry = system.sdm.registry.memory(
+                record.segment.memory_brick_id)
+            spans = {span.base
+                     for span in entry.allocator.allocated_spans()}
+            assert record.segment.offset in spans
+            assert record.entry.remote_brick_id == \
+                record.segment.memory_brick_id
+        # And the owning VM can still scale everything back down.
+        for result in results:
+            system.scale_down("spread-vm", result.segment.segment_id)
+        assert system.sdm.live_segments == []
+        brick_id = system.hosting("spread-vm").brick_id
+        assert system.stack(brick_id).scaleup.attached_segments() == []
+
+    def test_feeds_placement_policy(self):
+        system = build_system()
+        spread_segments(system, per_brick=2)
+        from repro.orchestration.placement import PowerAwarePackingPolicy
+        system.sdm.policy = PowerAwarePackingPolicy()
+        task = DefragmentationTask(system, max_relocations_per_pass=4)
+        task.run_pass()
+        assert system.sdm.policy.hot_bricks  # consolidation targets
+
+    def test_nothing_to_do_is_a_noop(self):
+        system = build_system()
+        task = DefragmentationTask(system)
+        report = task.run_pass()
+        assert report.relocations == 0
+        assert report.passes == 1
+
+    def test_invalid_configuration_rejected(self):
+        system = build_system()
+        with pytest.raises(ReproError):
+            DefragmentationTask(system, interval_s=0)
+        with pytest.raises(ReproError):
+            DefragmentationTask(system, max_relocations_per_pass=0)
+
+
+class TestInControlPlane:
+    def test_defrag_runs_in_idle_windows(self):
+        system = build_system()
+        task = DefragmentationTask(system, interval_s=0.1,
+                                   max_relocations_per_pass=4)
+        plane = ControlPlane(system, defrag=task)
+        # Two tenants spread over the pool, then a long idle tail.
+        specs = [
+            TenantSpec(f"tenant-{i}", arrival_s=0.1 * i, vcpus=2,
+                       ram_bytes=gib(10), lifetime_s=3.0)
+            for i in range(2)]
+        plane.serve_trace(TenantTrace("defrag", specs))
+        assert task.report.passes > 0

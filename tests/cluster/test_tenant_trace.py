@@ -1,0 +1,110 @@
+"""Unit tests for the tenant trace generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.trace import (
+    ScaleEvent,
+    TenantTrace,
+    TenantSpec,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+)
+from repro.errors import ConfigurationError
+from repro.units import gib
+
+
+class TestTraceBasics:
+    def test_trace_is_sorted_by_arrival(self):
+        trace = poisson_trace(200, arrival_rate_hz=50.0)
+        arrivals = [t.arrival_s for t in trace.tenants]
+        assert arrivals == sorted(arrivals)
+
+    def test_requested_count_generated(self):
+        trace = poisson_trace(137, arrival_rate_hz=10.0)
+        assert len(trace) == 137
+
+    def test_request_count_covers_lifecycle(self):
+        spec = TenantSpec("t", 0.0, 1, gib(1), 1.0,
+                          scale_events=(ScaleEvent(0.1, "up", gib(1)),),
+                          migrate_at_s=0.5)
+        trace = TenantTrace("unit", [spec])
+        # boot + 1 scale + migrate + depart
+        assert trace.request_count() == 4
+
+    def test_scales_to_thousands_of_tenants(self):
+        trace = poisson_trace(5000, arrival_rate_hz=100.0)
+        assert len(trace) == 5000
+        assert trace.arrival_rate_hz == pytest.approx(100.0, rel=0.15)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_trace(0, arrival_rate_hz=1.0)
+        with pytest.raises(ConfigurationError):
+            poisson_trace(1, arrival_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            ScaleEvent(0.1, "sideways", gib(1))
+
+
+class TestReproducibility:
+    @pytest.mark.parametrize("generator", [
+        poisson_trace, diurnal_trace, bursty_trace])
+    def test_same_seed_same_trace(self, generator):
+        first = generator(100, 20.0, seed=42)
+        second = generator(100, 20.0, seed=42)
+        assert first.tenants == second.tenants
+
+    @pytest.mark.parametrize("generator", [
+        poisson_trace, diurnal_trace, bursty_trace])
+    def test_different_seed_different_trace(self, generator):
+        first = generator(100, 20.0, seed=42)
+        second = generator(100, 20.0, seed=43)
+        assert first.tenants != second.tenants
+
+
+class TestShapes:
+    def test_poisson_mean_rate(self):
+        trace = poisson_trace(2000, arrival_rate_hz=40.0)
+        assert trace.arrival_rate_hz == pytest.approx(40.0, rel=0.1)
+
+    def test_diurnal_rate_oscillates(self):
+        period = 10.0
+        trace = diurnal_trace(3000, base_rate_hz=20.0, peak_factor=4.0,
+                              period_s=period)
+        # Split arrivals by position in the day: the half-period around
+        # the sine peak must hold clearly more arrivals than the trough.
+        peak, trough = 0, 0
+        for tenant in trace.tenants:
+            phase = (tenant.arrival_s % period) / period
+            if 0.0 <= phase < 0.5:
+                peak += 1
+            else:
+                trough += 1
+        assert peak > 1.5 * trough
+
+    def test_bursty_clusters_arrivals(self):
+        trace = bursty_trace(2000, arrival_rate_hz=40.0,
+                             mean_burst_size=10.0,
+                             intra_burst_gap_s=0.001)
+        gaps = [b.arrival_s - a.arrival_s
+                for a, b in zip(trace.tenants, trace.tenants[1:])]
+        tiny = sum(1 for gap in gaps if gap <= 0.001 + 1e-9)
+        # Most inter-arrival gaps are intra-burst.
+        assert tiny > 0.7 * len(gaps)
+
+    def test_scale_events_sorted_and_bounded(self):
+        trace = poisson_trace(500, arrival_rate_hz=50.0,
+                              scale_fraction=1.0, mean_lifetime_s=2.0)
+        for tenant in trace.tenants:
+            offsets = [e.at_s for e in tenant.scale_events]
+            assert offsets == sorted(offsets)
+            assert all(0 <= at <= tenant.lifetime_s for at in offsets)
+
+    def test_migrate_fraction(self):
+        trace = poisson_trace(1000, arrival_rate_hz=50.0,
+                              migrate_fraction=0.5)
+        migrating = sum(1 for t in trace.tenants
+                        if t.migrate_at_s is not None)
+        assert 300 < migrating < 700

@@ -9,7 +9,7 @@ from repro.errors import ConfigurationError
 from repro.network.optical.switch import OpticalCircuitSwitch
 from repro.orchestration.placement import SpreadPolicy
 from repro.orchestration.sdm_controller import SdmTimings
-from repro.units import gib, mib
+from repro.units import gib
 
 
 class TestBuild:

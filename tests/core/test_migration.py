@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.builder import RackBuilder
 from repro.core.migration import MigrationFlow
-from repro.errors import HypervisorError, OrchestrationError, PlacementError
+from repro.errors import HypervisorError, OrchestrationError
 from repro.orchestration.requests import VmAllocationRequest
 from repro.software.vm import VmState
 from repro.units import gib
@@ -159,3 +159,43 @@ class TestHypervisorEvictAdopt:
         stack.hypervisor.evict_vm("vm-0")
         assert stack.hypervisor.cores_in_use() == 0
         assert stack.kernel.reserved_bytes == 0
+
+
+class TestSourceSidePreflight:
+    """Migration must refuse — cleanly, pre-pause — when the VM's
+    remote segments back co-hosted guests' RAM (regression: the kernel
+    guard used to fire mid-pipeline, after pause+evict, stranding the
+    VM outside any hypervisor)."""
+
+    def test_migration_refused_when_cohosted_ram_depends_on_segments(self):
+        system = (RackBuilder("srcpre")
+                  .with_compute_bricks(2, cores=8, local_memory=gib(2))
+                  .with_memory_bricks(1, modules=1, module_size=gib(8))
+                  .build())
+        # The VM attaches a 2 GiB remote boot segment to cb0's pool.
+        first = system.boot_vm(VmAllocationRequest(
+            "vm-a", vcpus=1, ram_bytes=gib(4)))
+        assert first.boot_segments  # remote memory really backs it
+        brick = first.brick_id
+        stack = system.stack(brick)
+        # A co-hosted guest's RAM leans on the pool vm-a's segment
+        # provides.  Concurrent boot/migrate/depart traffic produces
+        # exactly this dependence (observed in control-plane runs);
+        # reproducing the multi-VM interleaving here would obscure the
+        # point, so the leaning reservation is installed white-box.
+        stack.kernel._reserved_bytes += gib(3)
+
+        target = next(s.brick.brick_id for s in system.stacks
+                      if s.brick.brick_id != brick)
+        with pytest.raises(OrchestrationError, match="co-hosted guest RAM"):
+            system.migrate_vm("vm-a", target)
+
+        # Clean refusal: vm-a still runs on the source, untouched, and
+        # winds down normally once the dependence is gone.
+        assert system.hosting("vm-a").brick_id == brick
+        assert system.hosting("vm-a").vm.is_running
+        stack.kernel._reserved_bytes -= gib(3)
+        system.migrate_vm("vm-a", target)
+        assert system.hosting("vm-a").brick_id == target
+        system.terminate_vm("vm-a")
+        assert system.sdm.live_segments == []

@@ -133,3 +133,72 @@ class TestSnapshot:
         snap = snapshot(system_with_vm)
         assert snap.compute_bricks_off + snap.memory_bricks_off > 0
         assert snap.bricks_off_fraction > 0
+
+
+class TestBootRollback:
+    """A boot that fails mid-pipeline must return every resource."""
+
+    def _system(self):
+        from repro.core.builder import RackBuilder
+        return (RackBuilder("rollback")
+                .with_compute_bricks(1, cores=8, local_memory=gib(2))
+                .with_memory_bricks(1, modules=1, module_size=gib(8))
+                .build())
+
+    def test_attach_failure_releases_in_flight_segment(self):
+        from repro.errors import HotplugError
+        system = self._system()
+        stack = system.stacks[0]
+        original = stack.agent.attach_segment
+
+        def injected(segment):
+            raise HotplugError("injected attach failure")
+
+        stack.agent.attach_segment = injected
+        with pytest.raises(HotplugError, match="injected"):
+            system.boot_vm(VmAllocationRequest(
+                "vm-x", vcpus=1, ram_bytes=gib(4)))
+        # Nothing leaked: no SDM record, no allocator bytes, no circuit,
+        # no RMST entry, no VM.
+        assert system.sdm.live_segments == []
+        assert sum(e.allocator.allocated_bytes
+                   for e in system.sdm.registry.memory_entries) == 0
+        assert system.fabric.active_circuits == []
+        assert len(stack.brick.rmst) == 0
+        assert system.vms == []
+
+        # The brick is fully reusable afterwards.
+        stack.agent.attach_segment = original
+        info = system.boot_vm(VmAllocationRequest(
+            "vm-x", vcpus=1, ram_bytes=gib(4)))
+        assert info.boot_segments
+        system.terminate_vm("vm-x")
+        assert system.sdm.live_segments == []
+
+    def test_scale_up_rollback_on_hypervisor_failure(self):
+        from repro.errors import HypervisorError
+        system = self._system()
+        system.boot_vm(VmAllocationRequest("vm-x", vcpus=1,
+                                           ram_bytes=gib(1)))
+        stack = system.stacks[0]
+        allocated_before = sum(e.allocator.allocated_bytes
+                               for e in system.sdm.registry.memory_entries)
+        segments_before = len(system.sdm.live_segments)
+
+        original = stack.hypervisor.hotplug_dimm
+
+        def injected(vm_id, size_bytes, segment_id=None):
+            raise HypervisorError("injected DIMM failure")
+
+        stack.hypervisor.hotplug_dimm = injected
+        with pytest.raises(HypervisorError, match="injected"):
+            system.scale_up("vm-x", gib(1))
+        assert len(system.sdm.live_segments) == segments_before
+        assert sum(e.allocator.allocated_bytes
+                   for e in system.sdm.registry.memory_entries) == \
+            allocated_before
+        assert stack.scaleup.attached_segments() == []
+
+        stack.hypervisor.hotplug_dimm = original
+        result = system.scale_up("vm-x", gib(1))
+        assert result.segment.is_active

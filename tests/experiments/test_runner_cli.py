@@ -12,7 +12,19 @@ class TestRunner:
     def test_registry_covers_every_artifact(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig7", "fig8", "fig10", "fig12", "fig13",
-            "pod_scale", "datamover"}
+            "pod_scale", "datamover", "cluster_scale"}
+
+    def test_every_driver_accepts_a_seed(self):
+        import inspect
+        for name, driver in EXPERIMENTS.items():
+            assert "seed" in inspect.signature(driver).parameters, name
+
+    def test_seed_threads_through_run_all(self):
+        first = run_all(["table1"], seed=7).runs[0].rendered
+        again = run_all(["table1"], seed=7).runs[0].rendered
+        other = run_all(["table1"], seed=8).runs[0].rendered
+        assert first == again
+        assert first != other
 
     def test_run_selected(self):
         report = run_all(["table1"])
@@ -49,3 +61,15 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_seed_flag_parsed(self):
+        args = build_parser().parse_args(["run", "table1", "--seed", "7"])
+        assert args.seed == 7
+        args = build_parser().parse_args(["run-all", "--seed", "9"])
+        assert args.seed == 9
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.seed is None
+
+    def test_run_single_with_seed(self, capsys):
+        assert main(["run", "table1", "--seed", "7"]) == 0
+        assert "TABLE I" in capsys.readouterr().out

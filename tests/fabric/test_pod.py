@@ -9,7 +9,7 @@ from repro.fabric.fabric import InterRackCircuit, PodFabric
 from repro.fabric.interconnect import PathScope
 from repro.fabric.pod import InterRackSwitch, Pod
 from repro.hardware.bricks import ComputeBrick, MemoryBrick
-from repro.hardware.rack import FibrePlan, Rack
+from repro.hardware.rack import Rack
 from repro.network.optical.switch import OpticalCircuitSwitch
 from repro.network.optical.topology import OpticalFabric
 

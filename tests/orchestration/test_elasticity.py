@@ -8,7 +8,7 @@ from repro.core.builder import RackBuilder
 from repro.errors import OrchestrationError
 from repro.orchestration.elasticity import ElasticMemoryManager
 from repro.orchestration.requests import VmAllocationRequest
-from repro.units import gib, mib
+from repro.units import gib
 
 
 @pytest.fixture

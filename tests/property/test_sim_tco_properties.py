@@ -13,7 +13,7 @@ from repro.tco.datacenter import (
     DisaggregatedDatacenter,
 )
 from repro.tco.scheduler import FcfsScheduler
-from repro.tco.workloads import TABLE_I, VmDemand, generate_vms
+from repro.tco.workloads import TABLE_I, generate_vms
 
 
 # ---------------------------------------------------------------------------

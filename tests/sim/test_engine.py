@@ -5,14 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import (
-    AllOf,
-    AnyOf,
-    Event,
-    Interrupt,
-    Simulator,
-    Timeout,
-)
+from repro.sim.engine import AllOf, AnyOf, Interrupt, Simulator
 
 
 class TestEvent:
