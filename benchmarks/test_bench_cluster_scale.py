@@ -1,12 +1,15 @@
-"""Bench: event-driven control plane under arrival rate × pod size.
+"""Bench: event-driven control plane under rate × pod size × shards.
 
-Shape assertions: contention is really modeled — per-request p99
-allocation latency and admission-queue depth rise with arrival rate —
-and batched dispatch (one amortized configuration push per batch)
-achieves a lower p99 than the per-request baseline at the highest
-swept rate on every pod size.  One SDM-C serves the whole pod, so
-adding racks does not add controller capacity: the per-request plane
-saturates at the same arrival rate regardless of pod size.
+Shape assertions: contention is really modeled — with a single
+reservation domain, per-request p99 allocation latency and
+admission-queue depth rise with arrival rate — and batched dispatch
+(one amortized configuration push per batch) achieves a lower p99 than
+the per-request baseline at the highest swept rate on every pod size.
+The sharding axis shows the controller capacity wall moving: at the
+top rate on the multi-rack pod, per-rack reservation shards cut the
+per-request p99 by at least 3x versus the single-domain controller
+(the pre-sharding sweep recorded 2318 ms there), and batched-mode
+queue depth falls with shard count.
 """
 
 from __future__ import annotations
@@ -24,12 +27,13 @@ def test_bench_cluster_scale(benchmark, artifact_writer):
     top = rates[-1]
 
     for racks in result.rack_counts:
-        per_request = [result.cell(racks, rate, "per-request")
+        per_request = [result.cell(racks, rate, "per-request", shards=1)
                        for rate in rates]
 
-        # Contention is modeled: the per-request baseline's tail
-        # latency and queue depth climb monotonically with load, and
-        # the top rate drives the critical section past saturation.
+        # Contention is modeled: the single-domain per-request
+        # baseline's tail latency and queue depth climb monotonically
+        # with load, and the top rate drives the critical section past
+        # saturation.
         p99s = [cell.p99_ms for cell in per_request]
         queues = [cell.mean_queue_depth for cell in per_request]
         assert p99s == sorted(p99s)
@@ -39,8 +43,8 @@ def test_bench_cluster_scale(benchmark, artifact_writer):
 
         # Batching beats per-request dispatch where it matters: at the
         # highest swept arrival rate.
-        base = result.cell(racks, top, "per-request")
-        batched = result.cell(racks, top, "batched")
+        base = result.cell(racks, top, "per-request", shards=1)
+        batched = result.cell(racks, top, "batched", shards=1)
         assert batched.p99_ms < base.p99_ms
         assert batched.p99_ms < 0.5 * base.p99_ms
         assert batched.mean_queue_depth < base.mean_queue_depth
@@ -49,6 +53,21 @@ def test_bench_cluster_scale(benchmark, artifact_writer):
         for cell in per_request:
             assert cell.completed + cell.rejected >= cell.completed > 0
 
+        # Controller capacity scales with shard count: per-rack shards
+        # move the saturation point, so the sharded per-request p99 at
+        # the top rate beats the single-domain controller by >= 3x on
+        # multi-rack pods, and the batched plane's backlog shrinks too.
+        shard_axis = result.shard_counts(racks)
+        if len(shard_axis) > 1:
+            sharded = result.cell(racks, top, "per-request",
+                                  shards=shard_axis[-1])
+            assert sharded.p99_ms * 3 <= base.p99_ms
+            sharded_batched = result.cell(racks, top, "batched",
+                                          shards=shard_axis[-1])
+            assert (sharded_batched.mean_queue_depth
+                    <= batched.mean_queue_depth)
+
     # Mixed-size churn fragments the pool; the stat is being tracked.
-    one_rack_top = result.cell(result.rack_counts[0], top, "per-request")
+    one_rack_top = result.cell(result.rack_counts[0], top, "per-request",
+                               shards=1)
     assert one_rack_top.peak_fragmentation > 0

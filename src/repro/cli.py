@@ -30,11 +30,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None,
                      help="base RNG seed threaded through the "
                           "experiment (default: each driver's own)")
+    run.add_argument("--shards", type=int, default=None,
+                     help="controller shard count for shard-aware "
+                          "experiments (cluster_scale; default: sweep "
+                          "1 and one-per-rack)")
 
     run_all_cmd = sub.add_parser("run-all", help="run every experiment")
     run_all_cmd.add_argument("--seed", type=int, default=None,
                              help="base RNG seed threaded through "
                                   "every experiment")
+    run_all_cmd.add_argument("--shards", type=int, default=None,
+                             help="controller shard count for "
+                                  "shard-aware experiments")
     return parser
 
 
@@ -46,11 +53,12 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.command == "run":
-        report = run_all([args.experiment], seed=args.seed)
+        report = run_all([args.experiment], seed=args.seed,
+                         shards=args.shards)
         print(report.runs[0].rendered)
         return 0
     if args.command == "run-all":
-        print(run_all(seed=args.seed).rendered())
+        print(run_all(seed=args.seed, shards=args.shards).rendered())
         return 0
     return 2  # pragma: no cover - argparse enforces the choices
 

@@ -19,6 +19,13 @@ and serves open-loop multi-tenant traffic through it:
   (``SdmTimings.config_generation_s``) for the whole batch — the
   classic control-plane throughput lever (``max_batch=1`` is the
   per-request baseline);
+* with **completion offload** (``offload=True``) a dispatcher worker
+  frees its slot as soon as every batch member's SDM-side reservation
+  has committed; the brick-side remainder (glue programming, kernel
+  attach, hypervisor) runs as a detached DES process with the agent's
+  acknowledgement firing ``request.done`` — so worker count stops
+  bounding throughput and the controller critical section is the only
+  serialization left;
 * same-tenant requests are never reordered, even with several workers:
   each request gates on its tenant's previous request completing;
 * an optional :class:`~repro.cluster.defrag.DefragmentationTask`
@@ -75,6 +82,12 @@ class ClusterRequest:
     #: for batch-mates, so two same-tenant requests sharing a batch
     #: cannot deadlock on each other.
     executed: Event = field(init=False, repr=False)
+    #: Fires as soon as the request's SDM-side reservation work has
+    #: committed (everything after is brick-side).  Pipelines that
+    #: cannot commit early (their release comes last) fire it together
+    #: with ``executed``.  This is what a completion-offloading worker
+    #: waits for before freeing its slot.
+    committed: Event = field(init=False, repr=False)
     #: The predecessor request of the same tenant, if still in flight.
     _after: Optional[Event] = field(default=None, repr=False)
     result: Any = None
@@ -88,6 +101,7 @@ class ControlPlane:
                  max_batch: int = 1,
                  batch_window_s: float = 0.0,
                  workers: int = 1,
+                 offload: bool = False,
                  rebalance_interval_s: Optional[float] = None,
                  defrag: Optional["DefragmentationTask"] = None) -> None:
         if max_batch < 1:
@@ -100,6 +114,10 @@ class ControlPlane:
         self.max_batch = max_batch
         self.batch_window_s = batch_window_s
         self.workers = workers
+        #: Brick-side completion offload: a worker frees its slot once
+        #: the batch's reservations committed; the brick-side tail runs
+        #: detached (see the module docstring).
+        self.offload = offload
         #: Per-request mode keeps the single-threaded SDM-C semantics
         #: (config generated under the critical section, per request);
         #: only a real batch amortizes one push over its members.
@@ -110,6 +128,11 @@ class ControlPlane:
         self.stats = ControlPlaneStats(worker_count=workers)
         self._tenant_tail: dict[str, Event] = {}
         self._in_service = 0
+        #: Offloaded batches whose brick-side tail is still in flight.
+        self._detached = 0
+        #: brick_id -> (allocator version, fragmentation) — the
+        #: incremental fragmentation cache (see :meth:`_fragmentation`).
+        self._frag_cache: dict[str, tuple[int, float]] = {}
 
         self.manager: Optional[ElasticMemoryManager] = None
         self._rebalance_interval_s = rebalance_interval_s
@@ -130,8 +153,9 @@ class ControlPlane:
     # -- admission ----------------------------------------------------------
 
     def is_idle(self) -> bool:
-        """True when no request is queued or being served."""
-        return self.admission.size == 0 and self._in_service == 0
+        """True when no request is queued, being served, or detached."""
+        return (self.admission.size == 0 and self._in_service == 0
+                and self._detached == 0)
 
     def submit(self, kind: str, tenant_id: str,
                **payload: Any) -> ClusterRequest:
@@ -148,14 +172,17 @@ class ControlPlane:
         request = ClusterRequest(kind=kind, tenant_id=tenant_id,
                                  payload=payload)
         # Control-plane backlog = requests still in the admission store
-        # plus requests already claimed by a worker but queued on the
-        # SDM-C reservation critical section.
-        depth = self.admission.size + self.ctx.reservation.queue_length
+        # plus requests already claimed by a worker but queued on a
+        # SDM-C reservation critical section (the default domain and,
+        # with a sharded controller, every shard domain).
+        depth = (self.admission.size
+                 + self.ctx.total_reservation_queue_depth)
         request.record = RequestRecord(
             tenant_id=tenant_id, kind=kind, submitted_s=self.sim.now,
             queue_depth_at_submit=depth)
         request.done = self.sim.event()
         request.executed = self.sim.event()
+        request.committed = self.sim.event()
         # Same-tenant FIFO: gate on the tenant's previous request having
         # *executed*, so a second worker (or a later slot of the same
         # batch) can never apply same-tenant operations out of order.
@@ -195,11 +222,32 @@ class ControlPlane:
 
     def _serve_batch(self, batch: list[ClusterRequest]) -> ProcessGenerator:
         # Batch members run concurrently: their reservations still
-        # serialize one by one on the SDM-C critical section, but the
-        # brick-side phases (agent/kernel/hypervisor) overlap, since
-        # each executes on its own brick.
+        # serialize one by one on the SDM-C critical section(s), but
+        # the brick-side phases (agent/kernel/hypervisor) overlap,
+        # since each executes on its own brick.
         members = [self.sim.process(self._serve_one(request))
                    for request in batch]
+        if self.offload:
+            # Brick-side completion offload: hold the slot only until
+            # every member's reservation committed (plus the batch's
+            # amortized config push — that is controller work); the
+            # brick-side tail, ending in the agents' acknowledgement,
+            # runs detached.
+            yield self.sim.all_of([r.committed for r in batch])
+            # Push only when an amortizable member actually got past
+            # its reservation: a member still mid-pipeline committed
+            # via on_commit (reservation granted); one already executed
+            # must have succeeded.  All-rejected batches push nothing,
+            # matching the serial path's `record.ok` guard.
+            if self._amortize and any(
+                    r.kind in AMORTIZABLE_KINDS
+                    and (r.record.ok or not r.executed.triggered)
+                    for r in batch):
+                yield self.sim.timeout(
+                    self.system.sdm.timings.config_generation_s)
+            self._detached += 1
+            self.sim.process(self._finish_batch(batch, members))
+            return
         yield self.sim.all_of(members)
         if self._amortize and any(r.record.ok and r.kind in AMORTIZABLE_KINDS
                                   for r in batch):
@@ -208,6 +256,19 @@ class ControlPlane:
             # not scale with the number of segments in the push).
             yield self.sim.timeout(
                 self.system.sdm.timings.config_generation_s)
+        self._complete_batch(batch)
+
+    def _finish_batch(self, batch: list[ClusterRequest],
+                      members: list[Event]) -> ProcessGenerator:
+        """Detached tail of an offloaded batch: wait for the brick-side
+        work (the modeled agent acknowledgement), then complete."""
+        try:
+            yield self.sim.all_of(members)
+            self._complete_batch(batch)
+        finally:
+            self._detached -= 1
+
+    def _complete_batch(self, batch: list[ClusterRequest]) -> None:
         for request in batch:
             request.record.completed_s = self.sim.now
             request.done.succeed(request)
@@ -225,21 +286,34 @@ class ControlPlane:
             request.record.ok = False
             request.record.note = f"{type(exc).__name__}: {exc}"
         request.executed.succeed(request)
+        # Pipelines whose controller work ends the pipeline (release-
+        # last kinds) — and any rejected request — commit here at the
+        # latest, so an offloading worker never waits forever.
+        if not request.committed.triggered:
+            request.committed.succeed(request)
+
+    def _commit_hook(self, request: ClusterRequest):
+        """The ``on_commit`` callback handed to the system pipelines."""
+        def fire() -> None:
+            if not request.committed.triggered:
+                request.committed.succeed(request)
+        return fire
 
     def _execute(self, request: ClusterRequest) -> ProcessGenerator:
         """Run one request through the system's DES pipelines."""
         charge_config = not (self._amortize
                              and request.kind in AMORTIZABLE_KINDS)
+        on_commit = self._commit_hook(request)
         if request.kind == "boot":
             info = yield from self.system.boot_vm_process(
                 self.ctx, request.payload["request"],
-                charge_config=charge_config)
+                charge_config=charge_config, on_commit=on_commit)
             return info
         if request.kind == "scale_up":
             result = yield from self.system.scale_up_process(
                 self.ctx, request.tenant_id,
                 request.payload["size_bytes"],
-                charge_config=charge_config)
+                charge_config=charge_config, on_commit=on_commit)
             return result
         if request.kind == "scale_down":
             steps = yield from self.system.scale_down_process(
@@ -252,7 +326,8 @@ class ControlPlane:
                 raise OrchestrationError(
                     f"no migration target for {request.tenant_id}")
             report = yield from self.system.migrate_vm_process(
-                self.ctx, request.tenant_id, target)
+                self.ctx, request.tenant_id, target,
+                on_commit=on_commit)
             return report
         # depart
         latency = yield from self.system.terminate_vm_process(
@@ -278,13 +353,29 @@ class ControlPlane:
         return candidates[0].brick_id
 
     def _fragmentation(self) -> float:
-        """Mean free-space fragmentation across healthy memory bricks."""
+        """Mean free-space fragmentation across healthy memory bricks.
+
+        Computed **incrementally**: each brick's fragmentation is
+        cached keyed on its allocator's mutation ``version``, so a
+        completion sample only recomputes the free-list statistics of
+        bricks that actually changed since the previous sample —
+        O(changed bricks) span walks instead of O(all bricks) on every
+        request completion.
+        """
         entries = [e for e in self.system.sdm.registry.memory_entries
                    if not e.failed]
         if not entries:
             return 0.0
-        return sum(e.allocator.fragmentation
-                   for e in entries) / len(entries)
+        total = 0.0
+        for entry in entries:
+            allocator = entry.allocator
+            brick_id = entry.brick.brick_id
+            cached = self._frag_cache.get(brick_id)
+            if cached is None or cached[0] != allocator.version:
+                cached = (allocator.version, allocator.fragmentation)
+                self._frag_cache[brick_id] = cached
+            total += cached[1]
+        return total / len(entries)
 
     # -- tenant lifecycles --------------------------------------------------
 
@@ -378,15 +469,18 @@ class ControlPlane:
 
     def _rebalancer(self) -> ProcessGenerator:
         """Periodic :meth:`ElasticMemoryManager.rebalance` pass, holding
-        the SDM-C critical section for its reservation work."""
+        the SDM-C reservation scope (every shard, on a sharded
+        controller — the pass may touch the whole pool) for its
+        reservation work."""
         while True:
             yield self.sim.timeout(self._rebalance_interval_s)
             if self.manager is None or not self.manager.managed_vms:
                 continue
-            grant = yield from self.ctx.enter_reservation("rebalance")
+            token = yield from self.system.sdm.reserve_scope(
+                self.ctx, "rebalance")
             try:
                 report = self.manager.rebalance()
                 yield self.sim.timeout(report.total_latency_s)
             finally:
-                self.ctx.reservation.release(grant)
+                self.system.sdm.release_scope(token)
             self.stats.rebalance_passes += 1

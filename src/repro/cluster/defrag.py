@@ -90,31 +90,34 @@ class DefragmentationTask:
     def pass_process(self, ctx: ControlContext) -> ProcessGenerator:
         """One pass: relocate up to the per-pass budget of segments.
 
-        Holds the SDM-C reservation critical section for the whole pass
-        (relocation rewrites the reservation tables), so foreground
-        allocations queue behind it — which is exactly why passes are
-        gated on idle windows.  Returns the cumulative report.
+        Each move holds only the reservation scope its bricks need
+        (:meth:`~repro.orchestration.sdm_controller.SdmController.\
+relocate_segment_process`): the single critical section on a plain
+        controller, the involved shards on a sharded one — so
+        consolidation in one shard no longer stalls foreground
+        allocations in every other shard.  A move whose plan went stale
+        while queueing (the segment moved or the target filled up) is
+        skipped.  Returns the cumulative report.
         """
-        grant = yield from ctx.enter_reservation("defrag")
         sources_touched: set[str] = set()
         targets_touched: set[str] = set()
-        try:
-            for _ in range(self.max_relocations_per_pass):
-                move = self._next_move()
-                if move is None:
-                    break
-                segment_id, size, source_id, target_id = move
-                _entry, latency = self.system.sdm.relocate_segment(
-                    segment_id, target_id,
-                    copy_rate_bps=self.copy_rate_bps)
-                yield ctx.sim.timeout(latency)
-                self.report.relocations += 1
-                self.report.bytes_moved += size
-                self.report.latency_s += latency
-                sources_touched.add(source_id)
-                targets_touched.add(target_id)
-        finally:
-            ctx.reservation.release(grant)
+        for _ in range(self.max_relocations_per_pass):
+            move = self._next_move()
+            if move is None:
+                break
+            segment_id, size, source_id, target_id = move
+            try:
+                _entry, latency = (
+                    yield from self.system.sdm.relocate_segment_process(
+                        ctx, segment_id, target_id,
+                        copy_rate_bps=self.copy_rate_bps))
+            except ReproError:
+                continue  # plan went stale while queueing; re-plan
+            self.report.relocations += 1
+            self.report.bytes_moved += size
+            self.report.latency_s += latency
+            sources_touched.add(source_id)
+            targets_touched.add(target_id)
         self.report.passes += 1
         if targets_touched:
             self._feed_placement(targets_touched)

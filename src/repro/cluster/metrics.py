@@ -55,7 +55,19 @@ class TimedSample:
 
 @dataclass
 class ControlPlaneStats:
-    """Everything the control plane measured during one run."""
+    """Everything the control plane measured during one run.
+
+    Sampling notes:
+
+    * ``queue_depth_samples`` — one sample per submission (admission
+      backlog plus waiters on every SDM-C reservation domain).
+    * ``fragmentation_samples`` — one sample per batch completion,
+      computed **incrementally**: the control plane caches each
+      brick's fragmentation keyed on its allocator's mutation
+      ``version`` and only recomputes bricks that changed since the
+      previous sample (see ``ControlPlane._fragmentation``), so the
+      gauge no longer walks every free list on every completion.
+    """
 
     records: list[RequestRecord] = field(default_factory=list)
     queue_depth_samples: list[TimedSample] = field(default_factory=list)

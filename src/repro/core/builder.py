@@ -69,6 +69,8 @@ class _SystemBuilder:
         self._sdm_timings: Optional[SdmTimings] = None
         self._cbn_ports = 8
         self._fibre_plan = DEFAULT_FIBRE_PLAN
+        self._shard_controller = False
+        self._controller_shards: Optional[int] = None
 
     # -- configuration -----------------------------------------------------------
 
@@ -133,6 +135,22 @@ class _SystemBuilder:
         self._fibre_plan = plan
         return self
 
+    def with_controller_shards(self, count: Optional[int] = None):
+        """Build a :class:`~repro.orchestration.sharding.\
+ShardedSdmController` instead of the single-domain SDM-C.
+
+        ``count=None`` shards the reservation domain per rack; an
+        explicit count groups racks round-robin into that many shards
+        (``count=1`` is the single-serialized-controller baseline, on
+        the sharded code path).
+        """
+        if count is not None and count < 1:
+            raise ConfigurationError(
+                f"controller shard count must be >= 1, got {count}")
+        self._shard_controller = True
+        self._controller_shards = count
+        return self
+
     # -- shared assembly ---------------------------------------------------------
 
     def _bricks_per_rack(self) -> int:
@@ -184,6 +202,15 @@ class _SystemBuilder:
             kwargs["timings"] = self._sdm_timings
         return kwargs
 
+    def _make_controller(self, registry: ResourceRegistry,
+                         fabric: OpticalFabric) -> SdmController:
+        if self._shard_controller:
+            from repro.orchestration.sharding import ShardedSdmController
+            return ShardedSdmController(
+                registry, fabric, shard_count=self._controller_shards,
+                **self._sdm_kwargs())
+        return SdmController(registry, fabric, **self._sdm_kwargs())
+
     def _install_stacks(self, bricks: list[Brick],
                         registry: ResourceRegistry, sdm: SdmController,
                         stacks: dict[str, BrickStack],
@@ -231,7 +258,7 @@ class RackBuilder(_SystemBuilder):
         for brick in bricks:
             fabric.attach_brick(brick)
 
-        sdm = SdmController(registry, fabric, **self._sdm_kwargs())
+        sdm = self._make_controller(registry, fabric)
         stacks: dict[str, BrickStack] = {}
         self._install_stacks(bricks, registry, sdm, stacks,
                              rack_id=self.rack_id)
@@ -307,7 +334,7 @@ class PodBuilder(_SystemBuilder):
             for brick in bricks_by_rack[rack.rack_id]:
                 pod_fabric.attach_brick(brick)
 
-        sdm = SdmController(registry, pod_fabric, **self._sdm_kwargs())
+        sdm = self._make_controller(registry, pod_fabric)
         stacks: dict[str, BrickStack] = {}
         for rack in racks:
             self._install_stacks(bricks_by_rack[rack.rack_id], registry,

@@ -186,12 +186,17 @@ class DisaggregatedSystem:
 
     def boot_vm_process(self, ctx: ControlContext,
                         request: VmAllocationRequest, *,
-                        charge_config: bool = True) -> ProcessGenerator:
+                        charge_config: bool = True,
+                        on_commit=None) -> ProcessGenerator:
         """DES process form of :meth:`boot_vm`.
 
         Placement and each boot-segment reservation queue on the SDM-C
         critical section of *ctx*; agent programming, kernel attach and
         the hypervisor spawn are charged on the shared clock.
+        ``on_commit`` (when given) fires once every SDM-side
+        reservation has committed — the remaining hypervisor spawn is
+        brick-side work a completion-offloading control plane detaches
+        from its dispatcher slot.
         """
         if request.vm_id in self._vms:
             raise OrchestrationError(f"VM id {request.vm_id!r} already in use")
@@ -230,6 +235,8 @@ class DisaggregatedSystem:
                 ticket.segment.activate()
                 boot_segments.append(ticket.segment)
                 shortfall = request.ram_bytes - stack.kernel.available_bytes
+            if on_commit is not None:
+                on_commit()
             # The spawn can also fail (cores or RAM consumed by a
             # concurrent boot/scale-up since placement), so it lives
             # inside the cleanup scope.
@@ -352,13 +359,14 @@ class DisaggregatedSystem:
 
     def scale_up_process(self, ctx: ControlContext, vm_id: str,
                          size_bytes: int, *,
-                         charge_config: bool = True) -> ProcessGenerator:
+                         charge_config: bool = True,
+                         on_commit=None) -> ProcessGenerator:
         """DES process form of :meth:`scale_up`."""
         hosted = self.hosting(vm_id)
         stack = self.stack(hosted.brick_id)
         result = yield from stack.scaleup.scale_up_process(
             ctx, ScaleUpRequest(vm_id, size_bytes),
-            charge_config=charge_config)
+            charge_config=charge_config, on_commit=on_commit)
         return result
 
     def scale_down(self, vm_id: str, segment_id: str) -> dict[str, float]:
@@ -387,23 +395,45 @@ class DisaggregatedSystem:
         return MigrationFlow(self).migrate(vm_id, target_brick_id)
 
     def migrate_vm_process(self, ctx: ControlContext, vm_id: str,
-                           target_brick_id: str) -> ProcessGenerator:
+                           target_brick_id: str, *,
+                           on_commit=None) -> ProcessGenerator:
         """DES process form of :meth:`migrate_vm`.
 
         The SDM-side work (power-on pre-flight plus the per-segment
-        circuit/RMST swing) holds the reservation critical section; the
+        circuit/RMST swing) holds the reservation scope covering the
+        source brick, the target brick and every involved memory brick
+        (the single critical section on a plain controller; the
+        affected shards, in canonical order, on a sharded one).  The
         pause/copy/resume phases are charged after it is released, so
-        other control traffic only queues behind the controller part.
+        other control traffic only queues behind the controller part;
+        ``on_commit`` fires at that hand-off point.
         """
         from repro.core.migration import MigrationFlow
-        grant = yield from ctx.enter_reservation(vm_id)
+
+        def brick_ids() -> tuple:
+            # Re-derived at (re-)grant time: a concurrent relocation or
+            # scale event may move the VM's segments while we queue, and
+            # the scope must cover where they live *now*.
+            hosted = self.hosting(vm_id)
+            stack = self.stack(hosted.brick_id)
+            ids = [hosted.brick_id, target_brick_id]
+            ids += [s.memory_brick_id for s in hosted.boot_segments]
+            ids += [s.memory_brick_id
+                    for s in stack.scaleup.attached_segments()
+                    if s.vm_id == vm_id]
+            return tuple(ids)
+
+        token = yield from self.sdm.reserve_scope_stable(
+            ctx, vm_id, brick_ids)
         try:
             report = MigrationFlow(self).migrate(vm_id, target_brick_id)
             critical_s = (report.steps.get("segment_repoint", 0.0)
                           + report.steps.get("target_power_on", 0.0))
             yield ctx.sim.timeout(critical_s)
         finally:
-            ctx.reservation.release(grant)
+            self.sdm.release_scope(token)
+        if on_commit is not None:
+            on_commit()
         yield ctx.sim.timeout(report.total_s - critical_s)
         return report
 

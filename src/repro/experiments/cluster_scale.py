@@ -1,4 +1,4 @@
-"""Cluster-scale control-plane sweep: arrival rate × pod size.
+"""Cluster-scale control-plane sweep: arrival rate × pod size × shards.
 
 The SDM controller is the rack's serialization point: every allocation
 passes through its inspect/reserve/configure service (§IV.C), and
@@ -14,20 +14,30 @@ driven through the event-driven
 * ``batched`` — reservations still serialize one at a time, but one
   amortized configuration push covers a whole batch.
 
+The third axis is **controller shards**
+(:class:`~repro.orchestration.sharding.ShardedSdmController`): each
+pod size runs with a single reservation domain (``shards=1``, the
+centralized baseline) and with one shard per rack.  The control plane
+runs with brick-side completion offload, so dispatcher workers free
+their slots at reservation commit and the shard critical sections are
+the only serialization left.
+
 Reported per cell: p50/p99 allocation latency, admission-queue depth,
-dispatcher utilization, pool fragmentation and rejections.  Two shapes
-matter: latency and queue depth **rise with arrival rate** (the
-critical section saturates — contention is really modeled), and at the
+dispatcher utilization, pool fragmentation and rejections.  Three
+shapes matter: latency and queue depth **rise with arrival rate** (the
+critical section saturates — contention is really modeled); at the
 highest rate the **batched plane beats the per-request baseline** on
-p99, because amortizing ``config_generation_s`` moves the saturation
-point.  A bigger pod adds brick-side capacity but not controller
-capacity — which is why controller sharding is the next scaling step
-(see ROADMAP).
+p99 (amortizing ``config_generation_s`` moves the saturation point);
+and with per-rack shards the **saturation point moves with shard
+count** — the 2-rack pod at the top rate drops from seconds of
+per-request p99 under one domain to well under a second with two,
+because locality-first placements only take their home shard's lock.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.tables import render_table
 from repro.cluster.control_plane import ControlPlane
@@ -66,9 +76,10 @@ POD_SDM_TIMINGS = SdmTimings(reservation_s=milliseconds(5),
 
 @dataclass
 class ClusterScaleCell:
-    """Measurements of one (racks, arrival rate, mode) run."""
+    """Measurements of one (racks, shards, arrival rate, mode) run."""
 
     rack_count: int
+    shards: int
     arrival_rate_hz: float
     mode: str
     completed: int
@@ -85,19 +96,25 @@ class ClusterScaleCell:
 
 @dataclass
 class ClusterScaleResult:
-    """The sweep: one cell per (racks, rate, mode)."""
+    """The sweep: one cell per (racks, shards, rate, mode)."""
 
     allocation_count: int
     cells: list[ClusterScaleCell] = field(default_factory=list)
 
-    def cell(self, rack_count: int, rate_hz: float,
-             mode: str) -> ClusterScaleCell:
+    def cell(self, rack_count: int, rate_hz: float, mode: str,
+             shards: Optional[int] = None) -> ClusterScaleCell:
+        """Look a cell up; ``shards=None`` means the single-domain
+        (shards=1) controller baseline."""
+        wanted = 1 if shards is None else shards
         for candidate in self.cells:
             if (candidate.rack_count == rack_count
                     and candidate.arrival_rate_hz == rate_hz
-                    and candidate.mode == mode):
+                    and candidate.mode == mode
+                    and candidate.shards == wanted):
                 return candidate
-        raise KeyError(f"no cell for ({rack_count}, {rate_hz}, {mode!r})")
+        raise KeyError(
+            f"no cell for ({rack_count}, {rate_hz}, {mode!r}, "
+            f"shards={wanted})")
 
     @property
     def rates(self) -> list[float]:
@@ -107,11 +124,16 @@ class ClusterScaleResult:
     def rack_counts(self) -> list[int]:
         return sorted({cell.rack_count for cell in self.cells})
 
+    def shard_counts(self, rack_count: int) -> list[int]:
+        return sorted({cell.shards for cell in self.cells
+                       if cell.rack_count == rack_count})
+
     def rows(self) -> list[tuple]:
         rows = []
         for cell in self.cells:
             rows.append((
                 cell.rack_count,
+                cell.shards,
                 f"{cell.arrival_rate_hz:.0f}",
                 cell.mode,
                 cell.completed,
@@ -128,28 +150,44 @@ class ClusterScaleResult:
 
     def render(self) -> str:
         table = render_table(
-            ["racks", "rate (/s)", "mode", "ok", "rej",
+            ["racks", "shards", "rate (/s)", "mode", "ok", "rej",
              "p50 (ms)", "p99 (ms)", "wait p50 (ms)", "queue",
              "queue max", "util", "frag peak"],
             self.rows(),
             title=f"Cluster control plane: {self.allocation_count} "
                   f"open-loop allocations per cell, "
-                  f"batch={BATCH_SIZE} vs per-request dispatch")
+                  f"batch={BATCH_SIZE} vs per-request dispatch, "
+                  f"sharded SDM-C vs single reservation domain")
         lines = [table]
         top = max(self.rates)
         for racks in self.rack_counts:
-            base = self.cell(racks, top, "per-request")
-            batched = self.cell(racks, top, "batched")
-            gain = (base.p99_ms / batched.p99_ms
-                    if batched.p99_ms else float("inf"))
-            lines.append(
-                f"{racks}-rack pod at {top:.0f}/s: p99 "
-                f"{base.p99_ms:.0f} ms per-request vs "
-                f"{batched.p99_ms:.0f} ms batched "
-                f"({gain:.1f}x tail win from amortized config push)")
+            for shards in self.shard_counts(racks):
+                base = self.cell(racks, top, "per-request", shards)
+                batched = self.cell(racks, top, "batched", shards)
+                gain = (base.p99_ms / batched.p99_ms
+                        if batched.p99_ms else float("inf"))
+                lines.append(
+                    f"{racks}-rack pod / {shards} shard(s) at "
+                    f"{top:.0f}/s: p99 {base.p99_ms:.0f} ms per-request "
+                    f"vs {batched.p99_ms:.0f} ms batched "
+                    f"({gain:.1f}x tail win from amortized config push)")
+            shard_axis = self.shard_counts(racks)
+            if len(shard_axis) > 1:
+                single = self.cell(racks, top, "per-request",
+                                   shard_axis[0])
+                sharded = self.cell(racks, top, "per-request",
+                                    shard_axis[-1])
+                gain = (single.p99_ms / sharded.p99_ms
+                        if sharded.p99_ms else float("inf"))
+                lines.append(
+                    f"{racks}-rack pod at {top:.0f}/s per-request: "
+                    f"sharding {shard_axis[0]} -> {shard_axis[-1]} "
+                    f"domains cuts p99 {single.p99_ms:.0f} ms -> "
+                    f"{sharded.p99_ms:.0f} ms ({gain:.1f}x: the "
+                    f"saturation point moves with shard count)")
         lines.append(
-            "(one SDM-C serves the whole pod: adding racks adds "
-            "brick-side capacity, not controller capacity)")
+            "(per-rack reservation shards + brick-side completion "
+            "offload: adding racks now adds controller capacity too)")
         return "\n".join(lines)
 
 
@@ -157,14 +195,22 @@ class ClusterScaleResult:
 # one cell
 # ---------------------------------------------------------------------------
 
-def _build_system(rack_count: int) -> DisaggregatedSystem:
-    """A deliberately controller-bound pod: plenty of bricks, one SDM-C."""
+def _build_system(rack_count: int,
+                  shard_count: int) -> DisaggregatedSystem:
+    """A deliberately controller-bound pod.
+
+    The controller is always the sharded facade so the comparison is
+    apples-to-apples: ``shard_count=1`` is the centralized baseline
+    (one reservation domain), ``shard_count=rack_count`` is per-rack
+    sharding.
+    """
     return (PodBuilder(f"cluster{rack_count}")
             .with_racks(rack_count)
             .with_compute_bricks(4, cores=16, local_memory=gib(4))
             .with_memory_bricks(3, modules=4, module_size=gib(4))
             .with_section_size(mib(128))
             .with_sdm_timings(POD_SDM_TIMINGS)
+            .with_controller_shards(shard_count)
             .build())
 
 
@@ -188,19 +234,22 @@ def _boot_population(system: DisaggregatedSystem,
     return vm_ids
 
 
-def _run_cell(rack_count: int, rate_hz: float, mode: str,
-              allocation_count: int, seed: int) -> ClusterScaleCell:
-    system = _build_system(rack_count)
+def _run_cell(rack_count: int, shard_count: int, rate_hz: float,
+              mode: str, allocation_count: int,
+              seed: int) -> ClusterScaleCell:
+    system = _build_system(rack_count, shard_count)
     vm_ids = _boot_population(system, vm_count=64 * rack_count)
     batched = mode == "batched"
     plane = ControlPlane(
         system,
         max_batch=BATCH_SIZE if batched else 1,
         batch_window_s=BATCH_WINDOW_S if batched else 0.0,
-        workers=WORKER_COUNT)
+        workers=WORKER_COUNT,
+        offload=True)
 
     rng = RngRegistry(seed).stream(
-        f"cluster_scale.r{rack_count}.a{rate_hz:g}.{mode}")
+        f"cluster_scale.r{rack_count}.s{shard_count}"
+        f".a{rate_hz:g}.{mode}")
     gaps = rng.exponential(1.0 / rate_hz, size=allocation_count)
     sizes = rng.choice(SEGMENT_SIZES, size=allocation_count)
 
@@ -230,6 +279,7 @@ def _run_cell(rack_count: int, rate_hz: float, mode: str,
 
     return ClusterScaleCell(
         rack_count=rack_count,
+        shards=shard_count,
         arrival_rate_hz=rate_hz,
         mode=mode,
         completed=len(stats.completed("scale_up")),
@@ -249,13 +299,23 @@ def _run_cell(rack_count: int, rate_hz: float, mode: str,
 def run_cluster_scale(rack_counts: tuple[int, ...] = (1, 2),
                       arrival_rates_hz: tuple[float, ...] = (30, 50, 70),
                       allocation_count: int = 400,
-                      seed: int = 2018) -> ClusterScaleResult:
-    """Sweep arrival rate × pod size in both dispatch modes."""
+                      seed: int = 2018,
+                      shards: Optional[int] = None) -> ClusterScaleResult:
+    """Sweep arrival rate × pod size × shard count in both modes.
+
+    By default every pod size runs with one reservation domain
+    (``shards=1``, the centralized baseline) and with one shard per
+    rack; an explicit *shards* (the CLI ``--shards`` flag) pins the
+    axis to that single count instead.
+    """
     result = ClusterScaleResult(allocation_count=allocation_count)
     for rack_count in rack_counts:
-        for rate_hz in arrival_rates_hz:
-            for mode in ("per-request", "batched"):
-                result.cells.append(_run_cell(
-                    rack_count, float(rate_hz), mode,
-                    allocation_count, seed))
+        shard_axis = ((shards,) if shards is not None
+                      else tuple(sorted({1, rack_count})))
+        for shard_count in shard_axis:
+            for rate_hz in arrival_rates_hz:
+                for mode in ("per-request", "batched"):
+                    result.cells.append(_run_cell(
+                        rack_count, shard_count, float(rate_hz), mode,
+                        allocation_count, seed))
     return result

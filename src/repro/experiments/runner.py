@@ -8,10 +8,16 @@ seed through the whole sweep, so a full reproduction is a single
 ``(code version, seed)`` pair.  Drivers derive their per-component
 streams from it via :class:`~repro.sim.rng.RngRegistry`; deterministic
 drivers accept and ignore it.
+
+Axis overrides (currently ``shards``, the controller shard count of
+the ``cluster_scale`` sweep) are forwarded only to drivers whose
+signature declares the keyword, so sweep-specific flags never break
+the other experiments.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -66,21 +72,28 @@ class RunAllReport:
 
 
 def run_all(names: list[str] | None = None,
-            seed: Optional[int] = None) -> RunAllReport:
+            seed: Optional[int] = None,
+            shards: Optional[int] = None) -> RunAllReport:
     """Execute the named experiments (all of them by default).
 
     When *seed* is given it is passed to every driver, overriding each
     one's default, so the whole sweep reproduces from one number.
+    *shards* pins the controller shard count of shard-aware drivers
+    (``cluster_scale``); drivers without the keyword ignore it.
     """
     if names is None:
         names = list(EXPERIMENTS)
-    kwargs = {} if seed is None else {"seed": seed}
     report = RunAllReport()
     for name in names:
         if name not in EXPERIMENTS:
             known = ", ".join(EXPERIMENTS)
             raise KeyError(f"unknown experiment {name!r}; known: {known}")
-        result = EXPERIMENTS[name](**kwargs)
+        driver = EXPERIMENTS[name]
+        kwargs = {} if seed is None else {"seed": seed}
+        if (shards is not None
+                and "shards" in inspect.signature(driver).parameters):
+            kwargs["shards"] = shards
+        result = driver(**kwargs)
         report.runs.append(ExperimentRun(
             name=name,
             result=result,

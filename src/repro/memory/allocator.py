@@ -31,6 +31,10 @@ class SegmentAllocator:
         #: Sorted, disjoint, coalesced free spans.
         self._free: list[AddressRange] = [AddressRange(0, capacity_bytes)]
         self._allocated: dict[int, AddressRange] = {}
+        #: Mutation counter, bumped by every allocate/free.  Consumers
+        #: caching derived statistics (e.g. the control plane's
+        #: incremental fragmentation gauge) key their cache on it.
+        self.version = 0
 
     # -- allocation --------------------------------------------------------------
 
@@ -53,6 +57,7 @@ class SegmentAllocator:
                 else:
                     del self._free[index]
                 self._allocated[offset] = AddressRange(offset, padded)
+                self.version += 1
                 return offset
         if self.free_bytes >= padded:
             raise AllocationError(
@@ -67,6 +72,7 @@ class SegmentAllocator:
             raise AllocationError(f"offset {offset:#x} is not allocated")
         span = self._allocated.pop(offset)
         self._insert_coalesced(span)
+        self.version += 1
         return span.size
 
     def _insert_coalesced(self, span: AddressRange) -> None:

@@ -10,6 +10,8 @@ component integrated with OpenStack, namely the SDM Controller (SDM-C)."
   the power-consumption-conscious one the paper calls for.
 * :mod:`repro.orchestration.sdm_controller` — the SDM-C itself: safe
   reservation, circuit programming, configuration push.
+* :mod:`repro.orchestration.sharding` — the sharded SDM-C facade:
+  per-rack reservation domains with a two-phase cross-shard reserve.
 * :mod:`repro.orchestration.openstack` — the thin OpenStack-like facade
   that feeds VM allocation requests to the SDM-C.
 """
@@ -36,6 +38,7 @@ from repro.orchestration.requests import (
     VmAllocationRequest,
 )
 from repro.orchestration.sdm_controller import SdmController, SdmTimings
+from repro.orchestration.sharding import ShardedSdmController, ShardHold
 
 __all__ = [
     "ComputeAvailability",
@@ -52,6 +55,8 @@ __all__ = [
     "ResourceRegistry",
     "SdmController",
     "SdmTimings",
+    "ShardHold",
+    "ShardedSdmController",
     "SpreadPolicy",
     "VmAllocationRequest",
 ]

@@ -114,6 +114,19 @@ class ResourceRegistry:
             raise OrchestrationError(
                 f"unknown memory brick {brick_id!r}") from None
 
+    def rack_of(self, brick_id: str) -> str:
+        """Rack holding *brick_id* (compute or memory), "" if untagged."""
+        entry = self._compute.get(brick_id) or self._memory.get(brick_id)
+        if entry is None:
+            raise OrchestrationError(f"unknown brick {brick_id!r}")
+        return entry.rack_id
+
+    @property
+    def brick_count(self) -> int:
+        """Registered bricks (compute + memory); registries only grow,
+        so this doubles as a cheap change marker for derived caches."""
+        return len(self._compute) + len(self._memory)
+
     @property
     def compute_entries(self) -> list[ComputeEntry]:
         return list(self._compute.values())

@@ -41,7 +41,7 @@ import itertools
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.errors import PlacementError, ReservationError
+from repro.errors import PlacementError, ReproError, ReservationError
 from repro.hardware.rmst import SegmentEntry
 from repro.memory.address import align_up
 from repro.memory.segments import RemoteSegment
@@ -108,8 +108,92 @@ class SdmController:
         self._segment_ids = itertools.count()
         #: circuit_id -> number of segments riding it.
         self._circuit_refs: dict[str, int] = {}
+        #: memory_brick_id -> segment ids backed by that brick, in
+        #: insertion order.  Kept in lockstep with ``_segments`` so
+        #: :meth:`segments_on` / :meth:`impacted_by_memory_brick` are
+        #: O(segments on the brick) instead of O(all live segments) —
+        #: defragmentation and failure handling call them in loops.
+        self._segments_by_brick: dict[str, dict[str, None]] = {}
         self.allocations = 0
         self.releases = 0
+
+    # -- per-brick segment index ---------------------------------------
+
+    def _index_add(self, memory_brick_id: str, segment_id: str) -> None:
+        self._segments_by_brick.setdefault(memory_brick_id, {})[
+            segment_id] = None
+
+    def _index_discard(self, memory_brick_id: str,
+                       segment_id: str) -> None:
+        bucket = self._segments_by_brick.get(memory_brick_id)
+        if bucket is not None:
+            bucket.pop(segment_id, None)
+            if not bucket:
+                del self._segments_by_brick[memory_brick_id]
+
+    # ------------------------------------------------------------------
+    # Reservation scope (overridden by the sharded controller)
+    # ------------------------------------------------------------------
+
+    def reserve_scope(self, ctx: ControlContext, label: str,
+                      brick_ids: tuple = ()) -> ProcessGenerator:
+        """Acquire the reservation critical section(s) covering *brick_ids*.
+
+        Process-style helper returning an opaque token the caller must
+        hand back to :meth:`release_scope` (in a ``finally``).  The
+        single-domain controller ignores *brick_ids* — there is exactly
+        one critical section.  :class:`~repro.orchestration.sharding.\
+ShardedSdmController` maps the bricks to their shards and acquires the
+        involved shard domains in canonical order (deadlock-free).  An
+        empty *brick_ids* means "everything the controller manages"
+        (used by whole-pool passes such as elasticity rebalancing).
+        """
+        grant = yield from ctx.enter_reservation(label)
+        return (("reservation", ctx.reservation, grant),)
+
+    def reserve_scope_stable(self, ctx: ControlContext, label: str,
+                             brick_ids_fn) -> ProcessGenerator:
+        """Acquire a scope whose brick set may move while we queue.
+
+        *brick_ids_fn* is re-evaluated after the locks are granted: if
+        the bricks meanwhile migrated outside the held scope (e.g. a
+        concurrent relocation moved the segment to another shard), the
+        scope is released and re-acquired for the new set — so the
+        critical work below always runs under the locks that actually
+        cover its bricks.  On the single-domain controller one lock
+        covers everything, so the first acquisition always stands.
+        """
+        while True:
+            token = yield from self.reserve_scope(
+                ctx, label, brick_ids=tuple(brick_ids_fn()))
+            if self.scope_covers(token, tuple(brick_ids_fn())):
+                return token
+            self.release_scope(token)
+
+    def scope_covers(self, token, brick_ids: tuple) -> bool:
+        """Does *token* hold every critical section *brick_ids* need?
+        Trivially true with a single reservation domain."""
+        return True
+
+    def release_scope(self, token) -> None:
+        """Release every critical section acquired by :meth:`reserve_scope`."""
+        for _name, resource, grant in reversed(token):
+            resource.release(grant)
+
+    def _segment_scope_fn(self, segment_id: str, extra: tuple = ()):
+        """brick_ids factory tracking a segment's *current* bricks.
+
+        Used with :meth:`reserve_scope_stable`; when the segment is
+        gone by grant time only *extra* remains and the inner operation
+        raises its usual unknown-segment error under the lock.
+        """
+        def brick_ids() -> tuple:
+            record = self._segments.get(segment_id)
+            if record is None:
+                return tuple(extra)
+            return (record.segment.memory_brick_id,
+                    record.segment.compute_brick_id) + tuple(extra)
+        return brick_ids
 
     # ------------------------------------------------------------------
     # MemoryAllocator protocol (consumed by ScaleUpController)
@@ -156,29 +240,49 @@ class SdmController:
         try:
             ticket = self._allocate_inner(compute_brick_id, vm_id,
                                           size_bytes)
-            critical_s = ticket.control_latency_s
-            if not charge_config:
-                critical_s -= self.timings.config_generation_s
-                ticket = replace(ticket, control_latency_s=critical_s)
+            ticket, critical_s = self._charged(ticket, charge_config)
             yield ctx.sim.timeout(critical_s)
         finally:
             ctx.reservation.release(grant)
         return ticket
+
+    def _charged(self, ticket: AttachTicket,
+                 charge_config: bool) -> tuple[AttachTicket, float]:
+        """Apply the batching config-share convention; returns
+        ``(ticket, critical_section_seconds)``.
+
+        With ``charge_config=False`` the configuration-generation share
+        is stripped from both the charged critical time and the
+        ticket's reported latency (a batching control plane pushes one
+        amortized configuration per batch instead).
+        """
+        critical_s = ticket.control_latency_s
+        if not charge_config:
+            critical_s -= self.timings.config_generation_s
+            ticket = replace(ticket, control_latency_s=critical_s)
+        return ticket, critical_s
 
     def _allocate_inner(self, compute_brick_id: str, vm_id: str,
                         size_bytes: int) -> AttachTicket:
         """The reservation work itself (state mutation + latency ledger)."""
         compute_entry = self.registry.compute(compute_brick_id)
         padded = align_up(size_bytes, self.registry.segment_alignment)
-        latency = self.timings.reservation_s
+        return self._allocate_from_candidates(
+            compute_entry, vm_id, padded,
+            self.registry.memory_availability())
 
-        # Walk the policy's preferences, skipping bricks we cannot reach:
-        # a brick with space but no free optical port (or, across racks,
-        # no free uplink) toward us is the "running low in terms of
-        # physical ports" situation of §III.  The requester's rack is
-        # passed so topology-aware policies prefer local memory and only
-        # spill across the pod switch when the rack is exhausted.
-        candidates = self.registry.memory_availability()
+    def _allocate_from_candidates(self, compute_entry, vm_id: str,
+                                  padded: int,
+                                  candidates: list) -> AttachTicket:
+        """Select a target among *candidates* and reserve on it.
+
+        Walks the policy's preferences, skipping bricks we cannot reach:
+        a brick with space but no free optical port (or, across racks,
+        no free uplink) toward us is the "running low in terms of
+        physical ports" situation of §III.  The requester's rack is
+        passed so topology-aware policies prefer local memory and only
+        spill across the pod switch when the rack is exhausted.
+        """
         target_id: Optional[str] = None
         while candidates:
             pick = self.policy.select_memory_brick(
@@ -194,35 +298,59 @@ class SdmController:
         if target_id is None:
             raise PlacementError(
                 f"no reachable dMEMBRICK can host {padded} contiguous bytes "
-                f"for {compute_brick_id} (capacity or optical ports exhausted)")
+                f"for {compute_entry.brick.brick_id} "
+                f"(capacity or optical ports exhausted)")
         memory_entry = self.registry.memory(target_id)
 
+        latency = self.timings.reservation_s
         if self.registry.ensure_powered(target_id):
             latency += self.timings.power_on_s
 
         offset = memory_entry.allocator.allocate(padded)
+        try:
+            return self._finish_allocation(
+                compute_entry, vm_id, padded, memory_entry, offset, latency)
+        except ReproError:
+            memory_entry.allocator.free(offset)
+            raise
+
+    def _finish_allocation(self, compute_entry, vm_id: str, padded: int,
+                           memory_entry, offset: int,
+                           latency: float) -> AttachTicket:
+        """Build segment, window, circuit and RMST entry for a granted
+        reservation at *offset* on *memory_entry*'s brick.
+
+        The caller owns the capacity at *offset* (an allocator grant or
+        a two-phase hold) and must roll it back if this raises; the
+        window/circuit steps clean up after themselves.
+        """
+        target_id = memory_entry.brick.brick_id
         segment = RemoteSegment(
             segment_id=f"seg-{next(self._segment_ids)}",
             memory_brick_id=target_id,
             offset=offset,
             size=padded,
-            compute_brick_id=compute_brick_id,
+            compute_brick_id=compute_entry.brick.brick_id,
             vm_id=vm_id,
         )
-
-        # Reuse a live circuit between the pair when one exists; else
-        # program a new one through the optical switch.
-        circuit = self.fabric.circuit_between(
-            compute_entry.brick, memory_entry.brick)
-        if circuit is None:
-            circuit = self.fabric.connect(
+        window = compute_entry.agent.kernel.address_map.reserve_window(
+            segment.segment_id, padded)
+        try:
+            # Reuse a live circuit between the pair when one exists;
+            # else program a new one through the optical switch.
+            circuit = self.fabric.circuit_between(
                 compute_entry.brick, memory_entry.brick)
-            latency += circuit.setup_time_s
+            if circuit is None:
+                circuit = self.fabric.connect(
+                    compute_entry.brick, memory_entry.brick)
+                latency += circuit.setup_time_s
+        except ReproError:
+            compute_entry.agent.kernel.address_map.cancel_reservation(
+                segment.segment_id)
+            raise
         self._circuit_refs[circuit.circuit_id] = (
             self._circuit_refs.get(circuit.circuit_id, 0) + 1)
 
-        window = compute_entry.agent.kernel.address_map.reserve_window(
-            segment.segment_id, padded)
         entry = SegmentEntry(
             segment_id=segment.segment_id,
             base=window.base,
@@ -235,6 +363,7 @@ class SdmController:
 
         self._segments[segment.segment_id] = _SegmentRecord(
             segment, entry, circuit)
+        self._index_add(target_id, segment.segment_id)
         self.allocations += 1
         return AttachTicket(segment=segment, rmst_entry=entry,
                             control_latency_s=latency)
@@ -267,15 +396,19 @@ class SdmController:
         """DES process: free a segment under the critical section.
 
         The whole release is reservation-table work, so it runs (and is
-        charged) while holding ``ctx.reservation``.  Returns the
+        charged) while holding the reservation scope covering the
+        segment's bricks (the single critical section here; the
+        involved shards on a sharded controller).  Returns the
         orchestration latency.
         """
-        grant = yield from ctx.enter_reservation(segment_id)
+        self.segment_record(segment_id)  # fail fast on unknown ids
+        token = yield from self.reserve_scope_stable(
+            ctx, segment_id, self._segment_scope_fn(segment_id))
         try:
             latency = self._release_inner(segment_id)
             yield ctx.sim.timeout(latency)
         finally:
-            ctx.reservation.release(grant)
+            self.release_scope(token)
         return latency
 
     def _release_inner(self, segment_id: str) -> float:
@@ -283,6 +416,7 @@ class SdmController:
         record = self._segments.pop(segment_id, None)
         if record is None:
             raise ReservationError(f"unknown segment {segment_id!r}")
+        self._index_discard(record.segment.memory_brick_id, segment_id)
         memory_entry = self.registry.memory(record.segment.memory_brick_id)
         memory_entry.allocator.free(record.segment.offset)
         latency = self.timings.reservation_s
@@ -378,6 +512,52 @@ class SdmController:
         reservation, target power-on, circuit setup, the byte copy at
         *copy_rate_bps*, glue reprogramming, and config generation.
         """
+        record, compute_entry, target_entry = self._relocate_validate(
+            segment_id, target_memory_brick_id)
+        latency = self.timings.reservation_s
+        if self.registry.ensure_powered(target_memory_brick_id):
+            latency += self.timings.power_on_s
+        new_offset = target_entry.allocator.allocate(record.segment.size)
+        try:
+            return self._relocate_commit(record, compute_entry,
+                                         target_entry, new_offset,
+                                         copy_rate_bps, latency)
+        except ReproError:
+            target_entry.allocator.free(new_offset)
+            raise
+
+    def relocate_segment_process(self, ctx: ControlContext,
+                                 segment_id: str,
+                                 target_memory_brick_id: str,
+                                 copy_rate_bps: float = SEGMENT_COPY_RATE_BPS
+                                 ) -> ProcessGenerator:
+        """DES process form of :meth:`relocate_segment`.
+
+        Holds the reservation scope covering the segment's current
+        brick, its compute brick and the relocation target for the
+        whole move (relocation rewrites the reservation tables on both
+        sides).  On a sharded controller a cross-shard move runs as a
+        two-phase reserve instead of taking a global lock.  Returns
+        ``(new_entry, latency_s)``.
+        """
+        self.segment_record(segment_id)  # fail fast on unknown ids
+        token = yield from self.reserve_scope_stable(
+            ctx, f"relocate:{segment_id}",
+            self._segment_scope_fn(segment_id,
+                                   extra=(target_memory_brick_id,)))
+        try:
+            entry, latency = self.relocate_segment(
+                segment_id, target_memory_brick_id,
+                copy_rate_bps=copy_rate_bps)
+            yield ctx.sim.timeout(latency)
+        finally:
+            self.release_scope(token)
+        return entry, latency
+
+    def _relocate_validate(self, segment_id: str,
+                           target_memory_brick_id: str):
+        """Pre-flight checks; returns ``(record, compute_entry,
+        target_entry)`` or raises."""
         record = self._segments.get(segment_id)
         if record is None:
             raise ReservationError(f"unknown segment {segment_id!r}")
@@ -397,12 +577,17 @@ class SdmController:
             raise PlacementError(
                 f"no optical path from {segment.compute_brick_id} to "
                 f"{target_memory_brick_id}")
+        return record, compute_entry, target_entry
 
-        latency = self.timings.reservation_s
-        if self.registry.ensure_powered(target_memory_brick_id):
-            latency += self.timings.power_on_s
-        new_offset = target_entry.allocator.allocate(segment.size)
-
+    def _relocate_commit(self, record: _SegmentRecord, compute_entry,
+                         target_entry, new_offset: int,
+                         copy_rate_bps: float,
+                         latency: float) -> tuple[SegmentEntry, float]:
+        """The relocation work itself, with the target capacity already
+        granted at *new_offset* (allocator grant or two-phase hold).
+        The caller rolls that capacity back if this raises."""
+        segment = record.segment
+        target_memory_brick_id = target_entry.brick.brick_id
         new_circuit = self.fabric.circuit_between(
             compute_entry.brick, target_entry.brick)
         if new_circuit is None:
@@ -428,9 +613,9 @@ class SdmController:
         # RESERVED segment gets the updated entry from the controller
         # record when its owner programs it.
         agent = compute_entry.agent
-        if any(e.segment_id == segment_id
+        if any(e.segment_id == segment.segment_id
                for e in compute_entry.brick.rmst):
-            latency += agent.unprogram_segment(segment_id)
+            latency += agent.unprogram_segment(segment.segment_id)
             latency += agent.program_segment(new_entry)
 
         source_entry = self.registry.memory(segment.memory_brick_id)
@@ -442,6 +627,8 @@ class SdmController:
             self.fabric.disconnect(old_circuit)
 
         latency += self.timings.config_generation_s
+        self._index_discard(segment.memory_brick_id, segment.segment_id)
+        self._index_add(target_memory_brick_id, segment.segment_id)
         segment.memory_brick_id = target_memory_brick_id
         segment.offset = new_offset
         record.entry = new_entry
@@ -565,7 +752,12 @@ class SdmController:
 
     def impacted_by_memory_brick(self, brick_id: str
                                  ) -> list[RemoteSegment]:
-        """Segments whose backing memory lives on *brick_id*."""
+        """Segments whose backing memory lives on *brick_id*.
+
+        Served from the per-brick index (O(segments on the brick)), so
+        failure handling stays cheap even with a large live-segment
+        population.
+        """
         return self.segments_on(brick_id)
 
     # ------------------------------------------------------------------
@@ -577,8 +769,15 @@ class SdmController:
         return [r.segment for r in self._segments.values()]
 
     def segments_on(self, memory_brick_id: str) -> list[RemoteSegment]:
-        return [r.segment for r in self._segments.values()
-                if r.segment.memory_brick_id == memory_brick_id]
+        """Segments backed by *memory_brick_id*, in allocation order.
+
+        Backed by the per-brick index maintained on allocate/release/
+        relocate, not a scan of every live segment — defragmentation
+        and failure handling call this in loops.
+        """
+        return [self._segments[segment_id].segment
+                for segment_id in self._segments_by_brick.get(
+                    memory_brick_id, ())]
 
     def segment_record(self, segment_id: str) -> _SegmentRecord:
         try:

@@ -16,6 +16,14 @@ Every orchestration operation in the library exists in two forms:
 :class:`ControlContext` bundles what a control-plane process needs — the
 simulator, the shared reservation critical section, and a tracer — and
 :func:`run_sync` implements the wrapper convention.
+
+A context also hosts **named reservation domains** (:meth:`ControlContext.domain`):
+lazily created capacity-1 resources keyed by name.  A sharded SDM
+controller (:class:`~repro.orchestration.sharding.ShardedSdmController`)
+uses one domain per shard, so reservations in different shards proceed
+in parallel while reservations inside one shard still serialize FIFO.
+The legacy ``ctx.reservation`` attribute remains the default
+(un-sharded) domain.
 """
 
 from __future__ import annotations
@@ -47,13 +55,38 @@ class ControlContext:
         self.sim = sim if sim is not None else Simulator()
         self.reservation = Resource(self.sim,
                                     capacity=reservation_capacity)
+        self._domains: dict[str, Resource] = {}
         self.tracer = tracer if tracer is not None else Tracer(
             lambda: self.sim.now)
 
     @property
     def reservation_queue_depth(self) -> int:
-        """Requests currently waiting for the critical section."""
+        """Requests currently waiting for the default critical section."""
         return self.reservation.queue_length
+
+    @property
+    def total_reservation_queue_depth(self) -> int:
+        """Waiters across the default domain and every named domain."""
+        return (self.reservation.queue_length
+                + sum(r.queue_length for r in self._domains.values()))
+
+    def domain(self, name: str, capacity: int = 1) -> Resource:
+        """The named reservation domain, lazily created on first use.
+
+        Domains model independently serialized controller shards: each
+        is its own capacity-1 (by default) FIFO resource on this
+        context's simulator.  The *capacity* argument only applies on
+        creation; later calls return the existing resource.
+        """
+        resource = self._domains.get(name)
+        if resource is None:
+            resource = Resource(self.sim, capacity=capacity)
+            self._domains[name] = resource
+        return resource
+
+    def domain_names(self) -> list[str]:
+        """Names of every domain created on this context, sorted."""
+        return sorted(self._domains)
 
     def enter_reservation(self, label: str) -> ProcessGenerator:
         """Acquire the critical section, tracing the queueing delay.
@@ -67,6 +100,15 @@ class ControlContext:
         enqueued = self.sim.now
         grant: Request = yield from self.reservation.acquire()
         self.tracer.record(RESERVE_WAIT, label, self.sim.now - enqueued)
+        return grant
+
+    def enter_domain(self, name: str, label: str) -> ProcessGenerator:
+        """Acquire the named domain, tracing the wait like
+        :meth:`enter_reservation` (label ``<name>:<label>``)."""
+        enqueued = self.sim.now
+        grant: Request = yield from self.domain(name).acquire()
+        self.tracer.record(RESERVE_WAIT, f"{name}:{label}",
+                           self.sim.now - enqueued)
         return grant
 
     @classmethod

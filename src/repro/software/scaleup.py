@@ -130,20 +130,27 @@ class ScaleUpController:
         return run_sync(lambda ctx: self.scale_up_process(ctx, request))
 
     def scale_up_process(self, ctx: ControlContext, request: ScaleUpRequest,
-                         *, charge_config: bool = True) -> ProcessGenerator:
+                         *, charge_config: bool = True,
+                         on_commit=None) -> ProcessGenerator:
         """DES process form of :meth:`scale_up`.
 
         Each pipeline step is charged on the shared clock; the SDM
         reservation queues on ``ctx.reservation`` when the allocator
         exposes ``allocate_process``.  ``charge_config`` is forwarded to
         the allocator so a batching control plane can amortize
-        configuration generation across a batch.
+        configuration generation across a batch.  ``on_commit`` (when
+        given) is invoked the moment the SDM-side reservation has
+        committed — everything after it is brick-side work (glue,
+        kernel, hypervisor), which a completion-offloading control
+        plane runs without holding a dispatcher slot.
         """
         vm = self.hypervisor.vm(request.vm_id)
         yield ctx.sim.timeout(CONTROLLER_OVERHEAD_S)
         ticket = yield from self._allocate_on(
             ctx, request.vm_id, request.size_bytes,
             charge_config=charge_config)
+        if on_commit is not None:
+            on_commit()
         segment = ticket.segment
 
         steps: dict[str, float] = {"controller": CONTROLLER_OVERHEAD_S}

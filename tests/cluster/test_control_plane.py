@@ -123,6 +123,58 @@ class TestBatching:
             assert batched == pytest.approx(per_request - config_s)
 
 
+class TestCompletionOffload:
+    def _scale_pair_makespan(self, offload):
+        """Two tenants' scale-ups through a single-worker plane."""
+        system = build_system()
+        for index in range(2):
+            from repro.orchestration.requests import VmAllocationRequest
+            system.boot_vm(VmAllocationRequest(
+                vm_id=f"vm-{index}", vcpus=2, ram_bytes=mib(512)))
+        plane = ControlPlane(system, workers=1, offload=offload)
+        requests = [plane.submit("scale_up", f"vm-{index}",
+                                 size_bytes=mib(256))
+                    for index in range(2)]
+        plane.drain()
+        assert all(r.record.ok for r in requests)
+        return requests, max(r.record.completed_s for r in requests)
+
+    def test_worker_freed_at_commit_overlaps_brick_side(self):
+        # With one worker, the serial plane fully serializes the two
+        # pipelines; the offloading plane frees the worker once the
+        # first reservation commits, so the second request's brick-side
+        # phase overlaps the first's detached acknowledgement.
+        _requests, serial = self._scale_pair_makespan(offload=False)
+        _requests, offloaded = self._scale_pair_makespan(offload=True)
+        assert offloaded < serial
+
+    def test_done_still_fires_at_full_completion(self):
+        requests, _makespan = self._scale_pair_makespan(offload=True)
+        for request in requests:
+            # committed (reservation) strictly precedes the brick-side
+            # acknowledgement that completes the request...
+            assert request.committed.triggered
+            # ...and the reported latency covers the whole pipeline,
+            # not just the controller part.
+            assert request.record.latency_s >= \
+                request.result.total_latency_s
+
+    def test_release_last_kind_commits_at_execution(self):
+        system = build_system()
+        plane = ControlPlane(system, workers=1, offload=True)
+        boot = boot_vm(plane, "vm-0", vcpus=2, ram=mib(512))
+
+        def driver():
+            yield boot.done
+            depart = plane.submit("depart", "vm-0")
+            yield depart.done
+            assert depart.committed.triggered
+
+        plane.sim.process(driver())
+        plane.drain()
+        assert plane.system.vms == []
+
+
 class TestLifecycles:
     def test_full_lifecycle_trace(self):
         plane = ControlPlane(build_system(), max_batch=4,

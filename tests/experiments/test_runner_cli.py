@@ -42,6 +42,34 @@ class TestRunner:
         assert "Experiment: table1" in text
         assert "Experiment: fig8" in text
 
+    def test_shards_forwarded_only_to_shard_aware_drivers(self):
+        # table1 has no `shards` keyword: the override must not break it.
+        report = run_all(["table1"], shards=2)
+        assert "TABLE I" in report.runs[0].rendered
+
+    def test_shards_forwarded_to_shard_aware_driver(self, monkeypatch):
+        captured = {}
+
+        def fake_driver(seed=None, shards=None):
+            captured["shards"] = shards
+
+            class Result:
+                def render(self):
+                    return "ok"
+            return Result()
+
+        monkeypatch.setitem(EXPERIMENTS, "cluster_scale", fake_driver)
+        run_all(["cluster_scale"], shards=3)
+        assert captured["shards"] == 3
+
+    def test_shards_pins_cluster_scale_axis(self):
+        from repro.experiments.cluster_scale import run_cluster_scale
+        result = run_cluster_scale(rack_counts=(2,),
+                                   arrival_rates_hz=(30,),
+                                   allocation_count=40, shards=2)
+        assert result.cells
+        assert all(cell.shards == 2 for cell in result.cells)
+
 
 class TestCli:
     def test_list(self, capsys):
@@ -69,6 +97,15 @@ class TestCli:
         assert args.seed == 9
         args = build_parser().parse_args(["run", "table1"])
         assert args.seed is None
+
+    def test_shards_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "cluster_scale", "--shards", "2"])
+        assert args.shards == 2
+        args = build_parser().parse_args(["run-all", "--shards", "4"])
+        assert args.shards == 4
+        args = build_parser().parse_args(["run", "cluster_scale"])
+        assert args.shards is None
 
     def test_run_single_with_seed(self, capsys):
         assert main(["run", "table1", "--seed", "7"]) == 0

@@ -180,6 +180,56 @@ class TestIntrospection:
             controller.segment_record("ghost")
 
 
+class TestSegmentIndex:
+    """The per-brick segment index stays in lockstep with the live
+    segment table through allocate / release / relocate."""
+
+    def _scan(self, controller, brick_id):
+        """Brute-force reference: scan every live segment."""
+        return [s.segment_id for s in controller.live_segments
+                if s.memory_brick_id == brick_id]
+
+    def _assert_index_matches(self, controller):
+        bricks = {e.brick.brick_id
+                  for e in controller.registry.memory_entries}
+        for brick_id in bricks:
+            indexed = [s.segment_id
+                       for s in controller.segments_on(brick_id)]
+            assert sorted(indexed) == sorted(
+                self._scan(controller, brick_id))
+
+    def test_index_tracks_allocate_release_relocate(self):
+        controller = build_controller(memory_count=2)
+        tickets = [controller.allocate("cb0", f"vm-{i}", gib(1))
+                   for i in range(3)]
+        self._assert_index_matches(controller)
+
+        moved = tickets[0].segment
+        target = "mb1" if moved.memory_brick_id == "mb0" else "mb0"
+        controller.relocate_segment(moved.segment_id, target)
+        self._assert_index_matches(controller)
+        assert moved.segment_id in {
+            s.segment_id for s in controller.segments_on(target)}
+
+        controller.release(tickets[1].segment.segment_id)
+        self._assert_index_matches(controller)
+
+        for ticket in (tickets[0], tickets[2]):
+            controller.release(ticket.segment.segment_id)
+        assert controller.segments_on("mb0") == []
+        assert controller.segments_on("mb1") == []
+
+    def test_impacted_by_memory_brick_uses_index(self):
+        controller = build_controller(memory_count=2)
+        tickets = [controller.allocate("cb0", f"vm-{i}", gib(1))
+                   for i in range(2)]
+        brick = tickets[0].segment.memory_brick_id
+        impacted = controller.impacted_by_memory_brick(brick)
+        assert {s.segment_id for s in impacted} == {
+            t.segment.segment_id for t in tickets
+            if t.segment.memory_brick_id == brick}
+
+
 class TestCriticalSectionSerialization:
     """Regression for the old docstring/behaviour mismatch: concurrent
     DES requests really do serialize on the reservation critical
