@@ -1,0 +1,55 @@
+"""Bench: multi-pod federation under pods × rate × spill policy.
+
+Shape assertions: the hot pod's capacity wall is real — the
+pinned-to-home baseline's admitted fraction falls as the aggregate
+arrival rate climbs — and spill-enabled placement admits at least as
+much offered load as pinned at every cell, strictly more at the top
+rate, sustaining a higher aggregate arrival rate at equal pod count
+(the federation acceptance criterion).  Adding pods widens the spill
+headroom further.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.federation import run_federation
+
+
+def test_bench_federation(benchmark, artifact_writer):
+    result = benchmark.pedantic(run_federation, rounds=1, iterations=1)
+    artifact_writer("federation", result.render())
+    print(result.render())
+
+    rates = result.rates
+    assert len(rates) >= 3
+    top = rates[-1]
+
+    for pods in result.pod_counts:
+        pinned = [result.cell(pods, rate, "never") for rate in rates]
+        spilled = [result.cell(pods, rate, "least-loaded")
+                   for rate in rates]
+
+        # The pinned baseline degrades with load: its admitted
+        # fraction is (weakly) monotone falling and clearly degraded
+        # at the top rate.
+        fractions = [cell.admitted_fraction for cell in pinned]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[-1] < 0.8
+
+        # Spill admits at least as much everywhere, strictly more at
+        # the top rate, and actually used the spill path.
+        for pinned_cell, spill_cell in zip(pinned, spilled):
+            assert spill_cell.admitted >= pinned_cell.admitted
+        assert spilled[-1].admitted > pinned[-1].admitted
+        assert any(cell.spills > 0 for cell in spilled)
+
+        # The acceptance criterion: spill-enabled federation sustains
+        # a strictly higher aggregate arrival rate than pinned
+        # placement at equal pod count.
+        assert (result.sustained_rate(pods, "least-loaded")
+                > result.sustained_rate(pods, "never"))
+
+    # More pods -> more spill headroom at the top rate.
+    if len(result.pod_counts) > 1:
+        small = result.cell(result.pod_counts[0], top, "least-loaded")
+        large = result.cell(result.pod_counts[-1], top, "least-loaded")
+        assert large.admitted >= small.admitted

@@ -13,6 +13,27 @@ import argparse
 import sys
 
 from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.federation.placer import SPILL_POLICIES
+
+
+def _add_axis_flags(parser: argparse.ArgumentParser) -> None:
+    """Seed + sweep-axis overrides shared by ``run`` and ``run-all``."""
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base RNG seed threaded through the "
+                             "experiment (default: each driver's own)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="controller shard count for shard-aware "
+                             "experiments (cluster_scale; default: "
+                             "sweep 1, half-rack and one-per-rack)")
+    parser.add_argument("--pods", type=int, default=None,
+                        help="pod count for federation-aware "
+                             "experiments (federation; default: sweep "
+                             "the driver's pod axis)")
+    parser.add_argument("--spill-policy", choices=SPILL_POLICIES,
+                        default=None, dest="spill_policy",
+                        help="global-placer spill policy for "
+                             "federation-aware experiments (default: "
+                             "compare pinned vs least-loaded)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -27,21 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS),
                      help="experiment id (paper table/figure)")
-    run.add_argument("--seed", type=int, default=None,
-                     help="base RNG seed threaded through the "
-                          "experiment (default: each driver's own)")
-    run.add_argument("--shards", type=int, default=None,
-                     help="controller shard count for shard-aware "
-                          "experiments (cluster_scale; default: sweep "
-                          "1 and one-per-rack)")
+    _add_axis_flags(run)
 
     run_all_cmd = sub.add_parser("run-all", help="run every experiment")
-    run_all_cmd.add_argument("--seed", type=int, default=None,
-                             help="base RNG seed threaded through "
-                                  "every experiment")
-    run_all_cmd.add_argument("--shards", type=int, default=None,
-                             help="controller shard count for "
-                                  "shard-aware experiments")
+    _add_axis_flags(run_all_cmd)
     return parser
 
 
@@ -54,11 +64,14 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "run":
         report = run_all([args.experiment], seed=args.seed,
-                         shards=args.shards)
+                         shards=args.shards, pods=args.pods,
+                         spill_policy=args.spill_policy)
         print(report.runs[0].rendered)
         return 0
     if args.command == "run-all":
-        print(run_all(seed=args.seed, shards=args.shards).rendered())
+        print(run_all(seed=args.seed, shards=args.shards,
+                      pods=args.pods,
+                      spill_policy=args.spill_policy).rendered())
         return 0
     return 2  # pragma: no cover - argparse enforces the choices
 

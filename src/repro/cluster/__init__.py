@@ -21,13 +21,14 @@ from repro.cluster.control_plane import (
     ControlPlane,
     REQUEST_KINDS,
 )
-from repro.cluster.defrag import DefragmentationTask, DefragReport
+from repro.cluster.defrag import PLANNERS, DefragmentationTask, DefragReport
 from repro.cluster.metrics import (
     ControlPlaneStats,
     RequestRecord,
     TimedSample,
 )
 from repro.cluster.trace import (
+    ReplayTrace,
     ScaleEvent,
     TenantSpec,
     TenantTrace,
@@ -43,7 +44,9 @@ __all__ = [
     "ControlPlaneStats",
     "DefragReport",
     "DefragmentationTask",
+    "PLANNERS",
     "REQUEST_KINDS",
+    "ReplayTrace",
     "RequestRecord",
     "ScaleEvent",
     "TenantSpec",

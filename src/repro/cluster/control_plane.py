@@ -103,7 +103,8 @@ class ControlPlane:
                  workers: int = 1,
                  offload: bool = False,
                  rebalance_interval_s: Optional[float] = None,
-                 defrag: Optional["DefragmentationTask"] = None) -> None:
+                 defrag: Optional["DefragmentationTask"] = None,
+                 ctx: Optional[ControlContext] = None) -> None:
         if max_batch < 1:
             raise OrchestrationError("max_batch must be >= 1")
         if batch_window_s < 0:
@@ -122,7 +123,11 @@ class ControlPlane:
         #: (config generated under the critical section, per request);
         #: only a real batch amortizes one push over its members.
         self._amortize = max_batch > 1
-        self.ctx = ControlContext()
+        # An external context puts this plane on a shared simulator (a
+        # federation runs one clock across every pod's plane); each
+        # plane still needs its own context so two pods' SDM-C shard
+        # domains never alias onto one critical section.
+        self.ctx = ctx if ctx is not None else ControlContext()
         self.sim = self.ctx.sim
         self.admission: Store = Store(self.sim)
         self.stats = ControlPlaneStats(worker_count=workers)
@@ -156,6 +161,15 @@ class ControlPlane:
         """True when no request is queued, being served, or detached."""
         return (self.admission.size == 0 and self._in_service == 0
                 and self._detached == 0)
+
+    def tenant_tail(self, tenant_id: str) -> Optional[Event]:
+        """The ``executed`` event of *tenant_id*'s most recently
+        submitted request, or ``None`` when the tenant never submitted.
+
+        Inter-pod migration waits on this before copying a tenant out,
+        so in-flight same-tenant work always lands before the move.
+        """
+        return self._tenant_tail.get(tenant_id)
 
     def submit(self, kind: str, tenant_id: str,
                **payload: Any) -> ClusterRequest:
@@ -316,9 +330,11 @@ class ControlPlane:
                 charge_config=charge_config, on_commit=on_commit)
             return result
         if request.kind == "scale_down":
+            segment_id = request.payload.get("segment_id")
+            if segment_id is None:
+                segment_id = self._resolve_scale_down_segment(request)
             steps = yield from self.system.scale_down_process(
-                self.ctx, request.tenant_id,
-                request.payload["segment_id"])
+                self.ctx, request.tenant_id, segment_id)
             return steps
         if request.kind == "migrate":
             target = self._resolve_migration_target(request)
@@ -333,6 +349,28 @@ class ControlPlane:
         latency = yield from self.system.terminate_vm_process(
             self.ctx, request.tenant_id)
         return latency
+
+    def _resolve_scale_down_segment(self, request: ClusterRequest) -> str:
+        """Pick the segment to return at serve time (LIFO).
+
+        A ``scale_down`` submitted without ``segment_id`` returns the
+        tenant's most recently attached runtime segment *as of
+        execution*.  Submit-time ids go stale when a federation moves
+        the tenant to another pod between submission and service (the
+        move folds runtime growth into the re-homed boot footprint and
+        later scale-ups mint fresh ids), so callers that may be
+        re-homed resolve late instead — and a tenant with no runtime
+        segment left gets a clean rejection rather than a stale-id
+        error against the wrong pod.
+        """
+        hosted = self.system.hosting(request.tenant_id)
+        stack = self.system.stack(hosted.brick_id)
+        attached = [s for s in stack.scaleup.attached_segments()
+                    if s.vm_id == request.tenant_id]
+        if not attached:
+            raise OrchestrationError(
+                f"{request.tenant_id} has no runtime segment to return")
+        return attached[-1].segment_id
 
     def _resolve_migration_target(self,
                                   request: ClusterRequest) -> Optional[str]:

@@ -30,6 +30,15 @@ from repro.sim.engine import ProcessGenerator
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from repro.core.system import DisaggregatedSystem
 
+#: Consolidation planners (the ``planner`` constructor argument):
+#: ``greedy`` relocates the source's smallest segments onto the fullest
+#: brick that fits them; ``best-fit-decreasing`` is classic BFD bin
+#: packing — largest segment first, into the *tightest* sufficient free
+#: span — which avoids burning the one span a big segment needs on a
+#: small one, so it empties (and powers off) more bricks on fragmented
+#: pools.
+PLANNERS = ("greedy", "best-fit-decreasing")
+
 
 @dataclass
 class DefragReport:
@@ -49,16 +58,22 @@ class DefragmentationTask:
                  interval_s: float = 0.25,
                  max_relocations_per_pass: int = 4,
                  copy_rate_bps: float = SEGMENT_COPY_RATE_BPS,
-                 power_off_emptied: bool = True) -> None:
+                 power_off_emptied: bool = True,
+                 planner: str = "greedy") -> None:
         if interval_s <= 0:
             raise ReproError("defrag interval must be positive")
         if max_relocations_per_pass < 1:
             raise ReproError("need >= 1 relocation per pass")
+        if planner not in PLANNERS:
+            raise ReproError(
+                f"unknown defrag planner {planner!r}; known: "
+                f"{', '.join(PLANNERS)}")
         self.system = system
         self.interval_s = interval_s
         self.max_relocations_per_pass = max_relocations_per_pass
         self.copy_rate_bps = copy_rate_bps
         self.power_off_emptied = power_off_emptied
+        self.planner = planner
         self.report = DefragReport()
 
     # -- scheduling ---------------------------------------------------------
@@ -128,10 +143,16 @@ relocate_segment_process`): the single critical section on a plain
     def _next_move(self) -> Optional[tuple[str, int, str, str]]:
         """Plan one relocation: ``(segment_id, size, source, target)``.
 
-        Source is the least-utilized occupied brick (the one cheapest to
-        empty); target is the fullest other brick whose largest free
-        span fits the segment — never a less-utilized one, so planning
-        cannot ping-pong segments between passes.
+        Source is always the least-utilized occupied brick (the one
+        cheapest to empty); targets are never less utilized than the
+        source, so planning cannot ping-pong segments between passes.
+        The ``planner`` argument picks the packing discipline:
+
+        * ``greedy`` — smallest segment first, onto the *fullest* brick
+          whose largest free span fits it;
+        * ``best-fit-decreasing`` — largest segment first, onto the
+          brick with the *tightest* sufficient span, so large free
+          spans are preserved for the segments that need them.
         """
         registry = self.system.sdm.registry
         occupied = [a for a in registry.memory_availability()
@@ -140,15 +161,20 @@ relocate_segment_process`): the single critical section on a plain
             return None
         occupied.sort(key=lambda a: (a.utilization, a.brick_id))
         source = occupied[0]
+        best_fit = self.planner == "best-fit-decreasing"
         segments = sorted(
             (s for s in self.system.sdm.segments_on(source.brick_id)
              if s.is_active),
-            key=lambda s: s.size)
+            key=lambda s: -s.size if best_fit else s.size)
         for segment in segments:
             targets = [a for a in occupied[1:]
                        if a.largest_span_bytes >= segment.size
                        and a.utilization >= source.utilization]
-            targets.sort(key=lambda a: (-a.utilization, a.brick_id))
+            if best_fit:
+                targets.sort(key=lambda a: (a.largest_span_bytes,
+                                            a.brick_id))
+            else:
+                targets.sort(key=lambda a: (-a.utilization, a.brick_id))
             for target in targets:
                 if self.system.sdm.can_reach(segment.compute_brick_id,
                                              target.brick_id):

@@ -100,6 +100,10 @@ class PlacementError(OrchestrationError):
     """No placement satisfies the request under the active policy."""
 
 
+class FederationError(OrchestrationError):
+    """Multi-pod federation failure (unknown pod/tenant, bad policy)."""
+
+
 class SchedulingError(ReproError):
     """TCO-study scheduler failure (workload cannot be admitted)."""
 

@@ -22,6 +22,11 @@ Beyond the paper's artifacts:
 
 * ``pod_scale`` — VM density and remote-memory latency vs. pod size
   (1..8 racks behind the inter-rack switch tier).
+* ``datamover`` — remote-memory data-mover cache/scheduler sweep.
+* ``cluster_scale`` — control-plane latency under arrival rate × pod
+  size × controller shard count (``--shards``).
+* ``federation`` — multi-pod global placement under pods × aggregate
+  arrival rate × spill policy (``--pods``, ``--spill-policy``).
 """
 
 from repro.experiments.fig7_ber import Fig7Result, run_fig7

@@ -17,10 +17,13 @@ driven through the event-driven
 The third axis is **controller shards**
 (:class:`~repro.orchestration.sharding.ShardedSdmController`): each
 pod size runs with a single reservation domain (``shards=1``, the
-centralized baseline) and with one shard per rack.  The control plane
-runs with brick-side completion offload, so dispatcher workers free
-their slots at reservation commit and the shard critical sections are
-the only serialization left.
+centralized baseline), with one shard per rack, and — on pods of four
+racks and up — with an intermediate **half-rack shard count** (racks
+grouped two per shard), locating where cross-shard two-phase traffic
+starts eating the sharding win.  The control plane runs with
+brick-side completion offload, so dispatcher workers free their slots
+at reservation commit and the shard critical sections are the only
+serialization left.
 
 Reported per cell: p50/p99 allocation latency, admission-queue depth,
 dispatcher utilization, pool fragmentation and rejections.  Three
@@ -296,7 +299,7 @@ def _run_cell(rack_count: int, shard_count: int, rate_hz: float,
     )
 
 
-def run_cluster_scale(rack_counts: tuple[int, ...] = (1, 2),
+def run_cluster_scale(rack_counts: tuple[int, ...] = (1, 2, 4, 8),
                       arrival_rates_hz: tuple[float, ...] = (30, 50, 70),
                       allocation_count: int = 400,
                       seed: int = 2018,
@@ -304,14 +307,18 @@ def run_cluster_scale(rack_counts: tuple[int, ...] = (1, 2),
     """Sweep arrival rate × pod size × shard count in both modes.
 
     By default every pod size runs with one reservation domain
-    (``shards=1``, the centralized baseline) and with one shard per
-    rack; an explicit *shards* (the CLI ``--shards`` flag) pins the
-    axis to that single count instead.
+    (``shards=1``, the centralized baseline), with one shard per rack,
+    and — on pods of 4+ racks — with a half-rack intermediate count
+    (e.g. an 8-rack pod sweeps 1, 4 and 8 shards), so the sweep shows
+    where between centralized and fully sharded the two-phase
+    cross-shard traffic starts to matter.  An explicit *shards* (the
+    CLI ``--shards`` flag) pins the axis to that single count instead.
     """
     result = ClusterScaleResult(allocation_count=allocation_count)
     for rack_count in rack_counts:
         shard_axis = ((shards,) if shards is not None
-                      else tuple(sorted({1, rack_count})))
+                      else tuple(sorted({1, max(1, rack_count // 2),
+                                         rack_count})))
         for shard_count in shard_axis:
             for rate_hz in arrival_rates_hz:
                 for mode in ("per-request", "batched"):

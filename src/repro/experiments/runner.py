@@ -9,10 +9,10 @@ seed through the whole sweep, so a full reproduction is a single
 streams from it via :class:`~repro.sim.rng.RngRegistry`; deterministic
 drivers accept and ignore it.
 
-Axis overrides (currently ``shards``, the controller shard count of
-the ``cluster_scale`` sweep) are forwarded only to drivers whose
-signature declares the keyword, so sweep-specific flags never break
-the other experiments.
+Axis overrides (``shards`` for the ``cluster_scale`` sweep; ``pods``
+and ``spill_policy`` for the ``federation`` sweep) are forwarded only
+to drivers whose signature declares the keyword, so sweep-specific
+flags never break the other experiments.
 """
 
 from __future__ import annotations
@@ -23,6 +23,7 @@ from typing import Callable, Optional
 
 from repro.experiments.cluster_scale import run_cluster_scale
 from repro.experiments.datamover import run_datamover
+from repro.experiments.federation import run_federation
 from repro.experiments.fig7_ber import run_fig7
 from repro.experiments.fig8_latency import run_fig8
 from repro.experiments.fig10_agility import run_fig10
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "pod_scale": run_pod_scale,
     "datamover": run_datamover,
     "cluster_scale": run_cluster_scale,
+    "federation": run_federation,
 }
 
 
@@ -73,16 +75,21 @@ class RunAllReport:
 
 def run_all(names: list[str] | None = None,
             seed: Optional[int] = None,
-            shards: Optional[int] = None) -> RunAllReport:
+            shards: Optional[int] = None,
+            pods: Optional[int] = None,
+            spill_policy: Optional[str] = None) -> RunAllReport:
     """Execute the named experiments (all of them by default).
 
     When *seed* is given it is passed to every driver, overriding each
     one's default, so the whole sweep reproduces from one number.
-    *shards* pins the controller shard count of shard-aware drivers
-    (``cluster_scale``); drivers without the keyword ignore it.
+    Axis overrides — *shards* (controller shard count, ``cluster_scale``),
+    *pods* (pod count) and *spill_policy* (``federation``) — are
+    forwarded only to drivers whose signature declares the keyword.
     """
     if names is None:
         names = list(EXPERIMENTS)
+    overrides = {"shards": shards, "pods": pods,
+                 "spill_policy": spill_policy}
     report = RunAllReport()
     for name in names:
         if name not in EXPERIMENTS:
@@ -90,9 +97,10 @@ def run_all(names: list[str] | None = None,
             raise KeyError(f"unknown experiment {name!r}; known: {known}")
         driver = EXPERIMENTS[name]
         kwargs = {} if seed is None else {"seed": seed}
-        if (shards is not None
-                and "shards" in inspect.signature(driver).parameters):
-            kwargs["shards"] = shards
+        parameters = inspect.signature(driver).parameters
+        for axis, value in overrides.items():
+            if value is not None and axis in parameters:
+                kwargs[axis] = value
         result = driver(**kwargs)
         report.runs.append(ExperimentRun(
             name=name,

@@ -1,0 +1,54 @@
+"""Multi-pod federation: the control tier above the pod.
+
+Where :mod:`repro.cluster` serves traffic against *one* pod,
+this package federates many — each pod an independent
+:class:`~repro.core.system.DisaggregatedSystem` with its own control
+plane and sharded SDM controller — under a global placement tier:
+
+* :mod:`repro.federation.placer` — locality-first tenant-to-pod
+  placement with capacity spill (pluggable scoring);
+* :mod:`repro.federation.controller` — the federation controller: N
+  pods on one shared DES clock, request routing, tenant lifecycles;
+* :mod:`repro.federation.migration` — two-phase inter-pod tenant
+  migration (reserve in target, copy, commit/rollback);
+* :mod:`repro.federation.rebalancer` — idle-window draining of
+  overloaded pods.
+"""
+
+from repro.federation.controller import (
+    DEFAULT_INTERPOD_LINK_BPS,
+    FederatedPod,
+    FederationController,
+    FederationStats,
+    build_federation,
+)
+from repro.federation.migration import InterPodMigrator, MigrationOutcome
+from repro.federation.placer import (
+    SPILL_POLICIES,
+    GlobalPlacer,
+    PodClaim,
+    PodSnapshot,
+    free_capacity_score,
+    fragmentation_score,
+    queue_depth_score,
+)
+from repro.federation.rebalancer import FederationRebalancer, RebalanceReport
+
+__all__ = [
+    "DEFAULT_INTERPOD_LINK_BPS",
+    "FederatedPod",
+    "FederationController",
+    "FederationRebalancer",
+    "FederationStats",
+    "GlobalPlacer",
+    "InterPodMigrator",
+    "MigrationOutcome",
+    "PodClaim",
+    "PodSnapshot",
+    "RebalanceReport",
+    "SPILL_POLICIES",
+    "build_federation",
+    "free_capacity_score",
+    "fragmentation_score",
+    "queue_depth_score",
+]

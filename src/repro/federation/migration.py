@@ -1,0 +1,163 @@
+"""Inter-pod tenant migration: two-phase reserve, copy, commit.
+
+Within a pod, migration is dReDBox's headline win — segments are
+re-pointed (:meth:`~repro.orchestration.sdm_controller.SdmController.
+repoint_segment`) instead of copied.  *Between* pods no light path
+exists, so a federation migration is built from the same primitives the
+pod tier already has, arranged as a two-phase protocol that mirrors the
+cross-shard reserve of PR 4:
+
+1. **drain** — wait for the tenant's in-flight requests on the source
+   pod (``plane.tenant_tail``), so the footprint being copied is
+   stable; a federation-level gate defers new same-tenant submissions
+   until the move resolves (per-tenant FIFO survives the re-homing);
+2. **reserve in the target pod** — a tentative
+   :class:`~repro.federation.placer.PodClaim` on the federation ledger
+   plus a full boot through the target pod's admission pipeline (its
+   SDM-C places, reserves and attaches the tenant's entire footprint —
+   boot RAM and runtime segments — exactly like
+   :meth:`~repro.orchestration.sdm_controller.SdmController.
+   relocate_segment` carves the target capacity before any bytes move);
+3. **copy** — the footprint crosses the inter-pod link at the
+   federation's provisioned rate (the one cost intra-pod migration
+   never pays);
+4. **commit** — the source pod departs the tenant, returning its claim
+   there (segments released, circuits torn down), and the federation
+   re-homes the tenant; **rollback** at any earlier step releases the
+   target-side claim and leaves the tenant untouched at home.
+
+A failed target boot (capacity evaporated between decision and
+reservation) therefore never strands capacity on either pod — the
+conservation property the federation test suite checks with hypothesis,
+mirroring the cross-shard suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import FederationError, OrchestrationError
+from repro.orchestration.requests import VmAllocationRequest
+from repro.sim.engine import ProcessGenerator
+from repro.units import transfer_time
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.federation.controller import FederationController
+
+
+@dataclass
+class MigrationOutcome:
+    """What one inter-pod migration attempt did."""
+
+    tenant_id: str
+    source_pod: str
+    target_pod: str
+    bytes_copied: int = 0
+    latency_s: float = 0.0
+    committed: bool = False
+    note: str = ""
+
+
+class InterPodMigrator:
+    """Runs inter-pod migrations as DES processes on the federation."""
+
+    def __init__(self, federation: "FederationController") -> None:
+        self.federation = federation
+
+    def migrate_process(self, tenant_id: str,
+                        target_pod_id: str) -> ProcessGenerator:
+        """DES process: move *tenant_id* to *target_pod_id*.
+
+        Returns a :class:`MigrationOutcome`; a non-committed outcome
+        means the tenant still runs, untouched, in its source pod.
+        """
+        fed = self.federation
+        source_id = fed.pod_of(tenant_id)
+        if target_pod_id not in fed.pods:
+            raise FederationError(f"unknown pod {target_pod_id!r}")
+        if target_pod_id == source_id:
+            raise FederationError(
+                f"{tenant_id} already lives in {target_pod_id}")
+        if tenant_id in fed._moving:
+            raise FederationError(f"{tenant_id} is already migrating")
+        source = fed.pods[source_id]
+        target = fed.pods[target_pod_id]
+        outcome = MigrationOutcome(tenant_id=tenant_id,
+                                   source_pod=source_id,
+                                   target_pod=target_pod_id)
+        started = fed.sim.now
+        gate = fed.sim.event()
+        fed._moving[tenant_id] = gate
+        try:
+            # Phase 0 — drain: let in-flight same-tenant work land.
+            tail = source.plane.tenant_tail(tenant_id)
+            if tail is not None and not tail.triggered:
+                yield tail
+            try:
+                hosted = source.system.hosting(tenant_id)
+            except OrchestrationError:
+                # The registration is stale (the tenant departed while
+                # the move waited); drop it so planners stop seeing it.
+                if fed._tenant_pod.get(tenant_id) == source_id:
+                    del fed._tenant_pod[tenant_id]
+                outcome.note = "tenant departed before the move started"
+                return outcome
+            vm = hosted.vm
+            # The whole guest footprint: boot RAM plus every runtime
+            # DIMM (each backed by a remote segment on this side) —
+            # exactly what the target pod must re-provision and the
+            # inter-pod link must carry.
+            total_bytes = vm.configured_ram_bytes
+
+            # Phase 1 — reserve in the target pod: ledger claim plus a
+            # real boot of the whole footprint through its admission
+            # pipeline.
+            claim = fed.placer.reserve(target_pod_id, total_bytes,
+                                       vm.vcpus)
+            boot = target.plane.submit(
+                "boot", tenant_id,
+                request=VmAllocationRequest(
+                    vm_id=tenant_id, vcpus=vm.vcpus,
+                    ram_bytes=total_bytes))
+            yield boot.done
+            if not boot.record.ok:
+                fed.placer.release(claim)  # rollback: tenant stays home
+                fed.stats.migration_rollbacks += 1
+                outcome.note = (f"target reservation rejected: "
+                                f"{boot.record.note}")
+                return outcome
+            # The target pod's registry now shows the footprint, so the
+            # ledger claim is redundant — holding it through the copy
+            # would double-count the bytes against the target and make
+            # concurrent placements spill spuriously.
+            fed.placer.commit(claim)
+
+            # Copy — the footprint crosses the inter-pod link.
+            yield fed.sim.timeout(
+                transfer_time(total_bytes, fed.interpod_link_bps))
+
+            # Phase 2 — commit: release the home-pod claim.
+            depart = source.plane.submit("depart", tenant_id)
+            yield depart.done
+            if not depart.record.ok:
+                # The source would not let go (teardown failure): keep
+                # exactly one live copy by tearing the target side down
+                # (its registry allocation is freed by this depart; the
+                # ledger claim was already committed away above).
+                rollback = target.plane.submit("depart", tenant_id)
+                yield rollback.done
+                fed.stats.migration_rollbacks += 1
+                outcome.note = (f"source release failed: "
+                                f"{depart.record.note}")
+                return outcome
+            fed._tenant_pod[tenant_id] = target_pod_id
+            fed.stats.migrations += 1
+            fed.stats.bytes_migrated += total_bytes
+            outcome.bytes_copied = total_bytes
+            outcome.committed = True
+            return outcome
+        finally:
+            outcome.latency_s = fed.sim.now - started
+            del fed._moving[tenant_id]
+            gate.succeed()

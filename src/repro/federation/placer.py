@@ -1,0 +1,251 @@
+"""Global placement across federated pods.
+
+The federation's placement brain: given the federation's live pods, the
+:class:`GlobalPlacer` decides which pod admits each tenant.  Placement
+is **locality-first** — a tenant's *home pod* (a stable hash of its id,
+or an explicit affinity) is always preferred — and only when the home
+pod cannot fit the request does the configured **spill policy** route
+the tenant elsewhere:
+
+* ``never`` — pinned-to-home-pod: the tenant is always sent home and
+  the home pod's own admission pipeline rejects it when full (the
+  federation baseline);
+* ``first-fit`` — the first other pod (in canonical pod-id order) whose
+  free capacity fits the request;
+* ``least-loaded`` — the best-scoring other pod that fits, under a
+  pluggable scoring function (:func:`free_capacity_score`,
+  :func:`fragmentation_score`, :func:`queue_depth_score`, or any
+  ``PodSnapshot -> float`` callable; higher wins).
+
+Admission is **two-phase** across the federation: :meth:`~GlobalPlacer.
+reserve` records a tentative :class:`PodClaim` against the chosen pod's
+ledger the moment the placement decision is made, so concurrent
+placements see capacity that is spoken for before the pod's own
+allocators do; the claim is :meth:`~GlobalPlacer.commit`-ed once the
+pod-level reservation lands (the capacity is then visible in the pod's
+registry) or :meth:`~GlobalPlacer.release`-d when the pod rejects —
+mirroring the shard-level hold/commit/abort of
+:class:`~repro.orchestration.sharding.ShardedSdmController`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from repro.errors import FederationError
+
+#: Spill policies of the global placer (the CLI ``--spill-policy`` axis).
+SPILL_POLICIES = ("never", "first-fit", "least-loaded")
+
+
+@dataclass(frozen=True)
+class PodSnapshot:
+    """One pod's load, as the global placer sees it."""
+
+    pod_id: str
+    #: Free bytes across the pod's healthy memory bricks (registry view).
+    free_memory_bytes: int
+    #: Free cores across the pod's compute bricks.
+    free_cores: int
+    #: Admission backlog plus waiters on every SDM-C reservation domain.
+    queue_depth: int
+    #: Mean free-space fragmentation across the pod's memory bricks.
+    fragmentation: float
+    #: Bytes tentatively claimed by in-flight federation placements.
+    claimed_bytes: int
+    #: Cores tentatively claimed by in-flight federation placements.
+    claimed_cores: int
+
+    @property
+    def available_bytes(self) -> int:
+        """Free bytes net of outstanding claims."""
+        return self.free_memory_bytes - self.claimed_bytes
+
+    @property
+    def available_cores(self) -> int:
+        """Free cores net of outstanding claims."""
+        return self.free_cores - self.claimed_cores
+
+
+# -- scoring functions (higher is better) -----------------------------------
+
+def free_capacity_score(snapshot: PodSnapshot) -> float:
+    """Prefer the pod with the most unclaimed free memory."""
+    return float(snapshot.available_bytes)
+
+
+def fragmentation_score(snapshot: PodSnapshot) -> float:
+    """Prefer the least-fragmented pool (large requests keep fitting)."""
+    return -snapshot.fragmentation
+
+
+def queue_depth_score(snapshot: PodSnapshot) -> float:
+    """Prefer the pod whose control plane has the least backlog."""
+    return -float(snapshot.queue_depth)
+
+
+@dataclass(frozen=True)
+class PodClaim:
+    """A tentative (phase-1) federation reservation against one pod."""
+
+    claim_id: int
+    pod_id: str
+    ram_bytes: int
+    vcpus: int
+
+
+class GlobalPlacer:
+    """Locality-first tenant-to-pod placement with capacity spill."""
+
+    def __init__(self, spill_policy: str = "least-loaded",
+                 scoring: Callable[[PodSnapshot],
+                                   float] = free_capacity_score) -> None:
+        if spill_policy not in SPILL_POLICIES:
+            raise FederationError(
+                f"unknown spill policy {spill_policy!r}; known: "
+                f"{', '.join(SPILL_POLICIES)}")
+        self.spill_policy = spill_policy
+        self.scoring = scoring
+        self._pods: Mapping[str, object] = {}
+        self._claims: dict[int, PodClaim] = {}
+        self._claim_ids = itertools.count()
+        self._claimed_bytes: dict[str, int] = {}
+        self._claimed_cores: dict[str, int] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def bind(self, pods: Mapping[str, object]) -> None:
+        """Attach the placer to the federation's live pods.
+
+        *pods* maps pod id to an object exposing ``system`` (a
+        :class:`~repro.core.system.DisaggregatedSystem`) and ``plane``
+        (its :class:`~repro.cluster.control_plane.ControlPlane`) — the
+        federation's :class:`~repro.federation.controller.FederatedPod`
+        records.
+        """
+        if not pods:
+            raise FederationError("placer needs at least one pod")
+        self._pods = pods
+
+    @property
+    def pod_ids(self) -> list[str]:
+        """Every bound pod id, sorted (the canonical order)."""
+        return sorted(self._pods)
+
+    def home_pod(self, tenant_id: str) -> str:
+        """The tenant's home pod: a stable hash over the pod set.
+
+        CRC32-based so the mapping is deterministic across processes
+        (unlike builtin ``hash``) and uniform enough to spread tenants.
+        """
+        pod_ids = self.pod_ids
+        if not pod_ids:
+            raise FederationError("placer is not bound to any pod")
+        index = zlib.crc32(tenant_id.encode("utf-8")) % len(pod_ids)
+        return pod_ids[index]
+
+    # -- load snapshots ------------------------------------------------------
+
+    def snapshot(self, pod_id: str) -> PodSnapshot:
+        """Current load of *pod_id* (registry + control-plane view)."""
+        pod = self._pods.get(pod_id)
+        if pod is None:
+            raise FederationError(f"unknown pod {pod_id!r}")
+        registry = pod.system.sdm.registry
+        memory = registry.memory_availability()
+        entries = [e for e in registry.memory_entries if not e.failed]
+        fragmentation = (
+            sum(e.allocator.fragmentation for e in entries) / len(entries)
+            if entries else 0.0)
+        plane = pod.plane
+        return PodSnapshot(
+            pod_id=pod_id,
+            free_memory_bytes=sum(a.free_bytes for a in memory),
+            free_cores=sum(c.free_cores
+                           for c in registry.compute_availability()),
+            queue_depth=(plane.admission.size
+                         + plane.ctx.total_reservation_queue_depth),
+            fragmentation=fragmentation,
+            claimed_bytes=self._claimed_bytes.get(pod_id, 0),
+            claimed_cores=self._claimed_cores.get(pod_id, 0),
+        )
+
+    def snapshots(self) -> list[PodSnapshot]:
+        return [self.snapshot(pod_id) for pod_id in self.pod_ids]
+
+    @staticmethod
+    def fits(snapshot: PodSnapshot, ram_bytes: int, vcpus: int) -> bool:
+        """Can the pod take the request, net of outstanding claims?"""
+        return (snapshot.available_bytes >= ram_bytes
+                and snapshot.available_cores >= vcpus)
+
+    # -- placement -----------------------------------------------------------
+
+    def place(self, tenant_id: str, ram_bytes: int, vcpus: int,
+              home: Optional[str] = None) -> str:
+        """Choose the pod that admits *tenant_id*.
+
+        Locality first: the home pod wins whenever it fits (and always,
+        under the ``never`` policy).  Otherwise the spill policy picks
+        among the other pods that fit; when *no* pod fits, the home pod
+        is returned anyway — its admission pipeline records the
+        rejection, keeping accounting in one place.
+        """
+        home = home if home is not None else self.home_pod(tenant_id)
+        if home not in self._pods:
+            raise FederationError(f"unknown home pod {home!r}")
+        if self.spill_policy == "never":
+            return home
+        if self.fits(self.snapshot(home), ram_bytes, vcpus):
+            return home
+        fitting = [s for s in self.snapshots()
+                   if s.pod_id != home and self.fits(s, ram_bytes, vcpus)]
+        if not fitting:
+            return home
+        if self.spill_policy == "first-fit":
+            return fitting[0].pod_id  # snapshots() is in canonical order
+        fitting.sort(key=lambda s: (-self.scoring(s), s.pod_id))
+        return fitting[0].pod_id
+
+    # -- two-phase claims ----------------------------------------------------
+
+    @property
+    def pending_claims(self) -> list[PodClaim]:
+        """Claims reserved but not yet committed or released (normally
+        empty outside an in-flight admission/migration)."""
+        return list(self._claims.values())
+
+    def reserve(self, pod_id: str, ram_bytes: int,
+                vcpus: int) -> PodClaim:
+        """Phase 1: record a tentative claim against *pod_id*'s ledger."""
+        if pod_id not in self._pods:
+            raise FederationError(f"unknown pod {pod_id!r}")
+        claim = PodClaim(claim_id=next(self._claim_ids), pod_id=pod_id,
+                         ram_bytes=ram_bytes, vcpus=vcpus)
+        self._claims[claim.claim_id] = claim
+        self._claimed_bytes[pod_id] = (
+            self._claimed_bytes.get(pod_id, 0) + ram_bytes)
+        self._claimed_cores[pod_id] = (
+            self._claimed_cores.get(pod_id, 0) + vcpus)
+        return claim
+
+    def commit(self, claim: PodClaim) -> None:
+        """Phase 2 success: the pod-level reservation landed, so the
+        capacity now shows in the pod's registry and the ledger entry
+        is redundant."""
+        self._drop(claim)
+
+    def release(self, claim: PodClaim) -> None:
+        """Phase 2 rejection: return the claimed capacity to the ledger."""
+        self._drop(claim)
+
+    def _drop(self, claim: PodClaim) -> None:
+        if claim.claim_id not in self._claims:
+            raise FederationError(
+                f"claim {claim.claim_id} already committed or released")
+        del self._claims[claim.claim_id]
+        self._claimed_bytes[claim.pod_id] -= claim.ram_bytes
+        self._claimed_cores[claim.pod_id] -= claim.vcpus

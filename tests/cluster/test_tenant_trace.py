@@ -1,10 +1,13 @@
-"""Unit tests for the tenant trace generators."""
+"""Unit tests for the tenant trace generators and the replay loader."""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import pytest
 
 from repro.cluster.trace import (
+    ReplayTrace,
     ScaleEvent,
     TenantTrace,
     TenantSpec,
@@ -14,6 +17,8 @@ from repro.cluster.trace import (
 )
 from repro.errors import ConfigurationError
 from repro.units import gib
+
+AZURE_FIXTURE = Path(__file__).parent / "fixtures" / "azure_sample.csv"
 
 
 class TestTraceBasics:
@@ -108,3 +113,89 @@ class TestShapes:
         migrating = sum(1 for t in trace.tenants
                         if t.migrate_at_s is not None)
         assert 300 < migrating < 700
+
+
+class TestReplayTrace:
+    def test_loads_azure_column_shape(self):
+        trace = ReplayTrace.from_csv(AZURE_FIXTURE)
+        assert len(trace) == 8
+        assert trace.source == str(AZURE_FIXTURE)
+        by_id = {t.tenant_id: t for t in trace.tenants}
+        first = by_id["az-0001"]
+        # Arrivals are re-based to t=0 at the earliest row.
+        assert first.arrival_s == 0.0
+        assert by_id["az-0002"].arrival_s == 30.0
+        # Lifetime derived from the created/deleted pair.
+        assert first.lifetime_s == 3600.0
+        # Azure's vmmemory column is GiB; vmcorecount is honoured.
+        assert first.ram_bytes == gib(4)
+        assert first.vcpus == 2
+
+    def test_is_a_tenant_trace(self):
+        trace = ReplayTrace.from_csv(AZURE_FIXTURE)
+        assert isinstance(trace, TenantTrace)
+        arrivals = [t.arrival_s for t in trace.tenants]
+        assert arrivals == sorted(arrivals)
+        # Same per-tenant event stream as the generators: boot + depart.
+        assert trace.request_count() == 2 * len(trace)
+
+    def test_google_style_columns_and_bytes(self, tmp_path):
+        path = tmp_path / "google.csv"
+        path.write_text(
+            "machine_id,submit_time,duration_s,mem_bytes\n"
+            "g-1,5,100,1073741824\n"
+            "g-2,9,50,2147483648\n",
+            encoding="utf-8")
+        trace = ReplayTrace.from_csv(path, default_vcpus=4)
+        assert [t.tenant_id for t in trace.tenants] == ["g-1", "g-2"]
+        assert trace.tenants[0].ram_bytes == gib(1)
+        assert trace.tenants[1].arrival_s == 4.0  # re-based to first row
+        assert all(t.vcpus == 4 for t in trace.tenants)
+
+    def test_max_tenants_truncates(self):
+        trace = ReplayTrace.from_csv(AZURE_FIXTURE, max_tenants=3)
+        assert len(trace) == 3
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("vmid,vmcreated\nx,1\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="missing required"):
+            ReplayTrace.from_csv(path)
+
+    def test_non_positive_lifetime_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "vmid,vmcreated,vmdeleted,vmmemory\nx,100,100,2\n",
+            encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="lifetime"):
+            ReplayTrace.from_csv(path)
+
+    def test_malformed_numeric_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "vmid,vmcreated,vmdeleted,vmmemory\nx,soon,100,2\n",
+            encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="malformed"):
+            ReplayTrace.from_csv(path)
+
+    def test_replay_drives_the_control_plane(self):
+        from repro.cluster.control_plane import ControlPlane
+        from repro.core.builder import RackBuilder
+
+        system = (RackBuilder("replay")
+                  .with_compute_bricks(2, cores=16, local_memory=gib(4))
+                  .with_memory_bricks(2, modules=2, module_size=gib(16))
+                  .build())
+        plane = ControlPlane(system, workers=4)
+        # Compress the measured timeline so the test stays fast.
+        raw = ReplayTrace.from_csv(AZURE_FIXTURE)
+        trace = TenantTrace(name="replay", tenants=[
+            TenantSpec(tenant_id=t.tenant_id,
+                       arrival_s=t.arrival_s / 1000.0,
+                       vcpus=t.vcpus, ram_bytes=t.ram_bytes,
+                       lifetime_s=t.lifetime_s / 1000.0)
+            for t in raw.tenants])
+        stats = plane.serve_trace(trace)
+        assert len(stats.completed("boot")) == len(trace)
+        assert len(stats.completed("depart")) == len(trace)
+        assert system.vms == []

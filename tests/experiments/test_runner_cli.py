@@ -12,7 +12,7 @@ class TestRunner:
     def test_registry_covers_every_artifact(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig7", "fig8", "fig10", "fig12", "fig13",
-            "pod_scale", "datamover", "cluster_scale"}
+            "pod_scale", "datamover", "cluster_scale", "federation"}
 
     def test_every_driver_accepts_a_seed(self):
         import inspect
@@ -70,6 +70,38 @@ class TestRunner:
         assert result.cells
         assert all(cell.shards == 2 for cell in result.cells)
 
+    def test_intermediate_shard_axis_on_large_pods(self):
+        from repro.experiments.cluster_scale import run_cluster_scale
+        result = run_cluster_scale(rack_counts=(4,),
+                                   arrival_rates_hz=(30,),
+                                   allocation_count=40)
+        # 4-rack pods sweep centralized, half-rack and per-rack shards.
+        assert result.shard_counts(4) == [1, 2, 4]
+
+    def test_federation_axes_forwarded(self, monkeypatch):
+        captured = {}
+
+        def fake_driver(seed=None, pods=None, spill_policy=None):
+            captured.update(pods=pods, spill_policy=spill_policy)
+
+            class Result:
+                def render(self):
+                    return "ok"
+            return Result()
+
+        monkeypatch.setitem(EXPERIMENTS, "federation", fake_driver)
+        run_all(["federation"], pods=2, spill_policy="never")
+        assert captured == {"pods": 2, "spill_policy": "never"}
+
+    def test_pods_pins_federation_axis(self):
+        from repro.experiments.federation import run_federation
+        result = run_federation(arrival_rates_hz=(10,), tenant_count=20,
+                                pods=2, spill_policy="least-loaded")
+        assert result.cells
+        assert all(cell.pod_count == 2 for cell in result.cells)
+        assert all(cell.spill_policy == "least-loaded"
+                   for cell in result.cells)
+
 
 class TestCli:
     def test_list(self, capsys):
@@ -106,6 +138,23 @@ class TestCli:
         assert args.shards == 4
         args = build_parser().parse_args(["run", "cluster_scale"])
         assert args.shards is None
+
+    def test_federation_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "federation", "--pods", "3",
+             "--spill-policy", "least-loaded"])
+        assert args.pods == 3
+        assert args.spill_policy == "least-loaded"
+        args = build_parser().parse_args(["run-all", "--pods", "2"])
+        assert args.pods == 2
+        args = build_parser().parse_args(["run", "federation"])
+        assert args.pods is None
+        assert args.spill_policy is None
+
+    def test_bad_spill_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "federation", "--spill-policy", "random"])
 
     def test_run_single_with_seed(self, capsys):
         assert main(["run", "table1", "--seed", "7"]) == 0

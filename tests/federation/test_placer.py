@@ -1,0 +1,143 @@
+"""Unit tests for the global placer (scoring, spill, claims ledger)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import (
+    GlobalPlacer,
+    build_federation,
+    free_capacity_score,
+    fragmentation_score,
+    queue_depth_score,
+)
+from repro.units import gib
+
+
+def build_fed(pods=2, **kwargs):
+    """A small federation: 1-rack pods of 16 GiB remote memory each."""
+    kwargs.setdefault("racks_per_pod", 1)
+    return build_federation(pods, **kwargs)
+
+
+class TestHomePod:
+    def test_home_is_stable_and_deterministic(self):
+        fed = build_fed(3)
+        homes = {f"tenant-{i}": fed.placer.home_pod(f"tenant-{i}")
+                 for i in range(50)}
+        again = build_fed(3)
+        assert homes == {tenant: again.placer.home_pod(tenant)
+                         for tenant in homes}
+
+    def test_home_spreads_over_the_pod_set(self):
+        fed = build_fed(3)
+        homes = {fed.placer.home_pod(f"tenant-{i}") for i in range(100)}
+        assert homes == set(fed.pods)
+
+    def test_unbound_placer_rejects(self):
+        placer = GlobalPlacer()
+        with pytest.raises(FederationError):
+            placer.home_pod("t0")
+
+
+class TestSnapshots:
+    def test_snapshot_reads_registry_and_plane(self):
+        fed = build_fed(2)
+        snapshot = fed.placer.snapshot("pod0")
+        assert snapshot.pod_id == "pod0"
+        assert snapshot.free_memory_bytes == gib(16)
+        assert snapshot.free_cores == 2 * 16
+        assert snapshot.queue_depth == 0
+        assert snapshot.claimed_bytes == 0
+
+    def test_claims_reduce_availability(self):
+        fed = build_fed(2)
+        claim = fed.placer.reserve("pod0", gib(4), 2)
+        snapshot = fed.placer.snapshot("pod0")
+        assert snapshot.claimed_bytes == gib(4)
+        assert snapshot.available_bytes == gib(12)
+        assert snapshot.available_cores == 30
+        fed.placer.release(claim)
+        assert fed.placer.snapshot("pod0").available_bytes == gib(16)
+
+    def test_unknown_pod_rejected(self):
+        fed = build_fed(2)
+        with pytest.raises(FederationError):
+            fed.placer.snapshot("pod9")
+
+
+class TestPlacement:
+    def test_home_wins_when_it_fits(self):
+        fed = build_fed(2)
+        assert fed.placer.place("t", gib(2), 1, home="pod1") == "pod1"
+
+    def test_pinned_policy_never_spills(self):
+        fed = build_fed(2, spill_policy="never")
+        # Claim the whole home pod: pinned placement still returns it.
+        fed.placer.reserve("pod0", gib(16), 1)
+        assert fed.placer.place("t", gib(2), 1, home="pod0") == "pod0"
+
+    def test_spill_on_capacity_exhaustion(self):
+        fed = build_fed(3)
+        fed.placer.reserve("pod0", gib(16), 1)
+        assert fed.placer.place("t", gib(2), 1, home="pod0") != "pod0"
+
+    def test_least_loaded_picks_best_score(self):
+        fed = build_fed(3)
+        fed.placer.reserve("pod0", gib(16), 1)   # home full
+        fed.placer.reserve("pod1", gib(8), 1)    # half full
+        assert fed.placer.place("t", gib(2), 1, home="pod0") == "pod2"
+
+    def test_first_fit_picks_canonical_order(self):
+        fed = build_fed(3, spill_policy="first-fit")
+        fed.placer.reserve("pod0", gib(16), 1)
+        fed.placer.reserve("pod1", gib(8), 1)    # still fits 2 GiB
+        assert fed.placer.place("t", gib(2), 1, home="pod0") == "pod1"
+
+    def test_nowhere_fits_falls_back_to_home(self):
+        fed = build_fed(2)
+        fed.placer.reserve("pod0", gib(16), 1)
+        fed.placer.reserve("pod1", gib(16), 1)
+        # The home pod's own admission pipeline records the rejection.
+        assert fed.placer.place("t", gib(2), 1, home="pod0") == "pod0"
+
+    def test_custom_scoring_is_honoured(self):
+        # Score pods by id suffix, inverted: pod1 beats pod2.
+        def backwards(snapshot):
+            return -int(snapshot.pod_id[-1])
+        fed = build_fed(3, scoring=backwards)
+        fed.placer.reserve("pod0", gib(16), 1)
+        assert fed.placer.place("t", gib(2), 1, home="pod0") == "pod1"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(FederationError):
+            GlobalPlacer(spill_policy="random")
+
+
+class TestScoringFunctions:
+    def test_builtin_scores_orient_correctly(self):
+        fed = build_fed(2)
+        fed.placer.reserve("pod0", gib(8), 1)
+        empty = fed.placer.snapshot("pod1")
+        claimed = fed.placer.snapshot("pod0")
+        assert free_capacity_score(empty) > free_capacity_score(claimed)
+        assert fragmentation_score(empty) == 0.0
+        assert queue_depth_score(empty) == 0.0
+
+
+class TestClaimsLedger:
+    def test_double_release_rejected(self):
+        fed = build_fed(2)
+        claim = fed.placer.reserve("pod0", gib(1), 1)
+        fed.placer.commit(claim)
+        with pytest.raises(FederationError):
+            fed.placer.release(claim)
+
+    def test_pending_claims_tracked(self):
+        fed = build_fed(2)
+        assert fed.placer.pending_claims == []
+        claim = fed.placer.reserve("pod1", gib(1), 1)
+        assert fed.placer.pending_claims == [claim]
+        fed.placer.commit(claim)
+        assert fed.placer.pending_claims == []
