@@ -1,0 +1,56 @@
+"""Bench: kernel events/sec per queue backend across workload shapes.
+
+Runs the full ``kernel_bench`` trajectory (the same code path that
+emits ``BENCH_kernel.json``) and asserts its shape: every (shape,
+backend) cell measured, backends bit-identical on final state, and
+the calendar queue clearly ahead of the binary heap on the raw
+timeout-swarm shape.  The perf assertion uses a deliberately
+conservative floor — the checked-in trajectory documents ~3x on a
+quiet machine; a shared runner only ever subtracts from both sides,
+but not evenly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.kernel_bench import BACKENDS, SHAPES, run_kernel_bench
+
+#: Interleaved rounds per backend; 2 keeps the wall-clock of the
+#: million-entry swarm inside a few minutes while still absorbing a
+#: one-off stall on either side.
+BENCH_REPS = 2
+
+#: Conservative floor for the calendar-vs-heap ratio on the raw swarm
+#: (quiet-machine trajectory: ~3x).
+SWARM_SPEEDUP_FLOOR = 1.5
+
+
+def test_bench_kernel(benchmark, artifact_writer):
+    result = benchmark.pedantic(run_kernel_bench, rounds=1, iterations=1,
+                                kwargs={"reps": BENCH_REPS})
+    artifact_writer("kernel", result.render())
+    print(result.render())
+
+    # Every shape measured on every backend, nothing degenerate.
+    assert result.shapes() == list(SHAPES)
+    for shape in result.shapes():
+        cells = [result.cell(shape, backend) for backend in BACKENDS]
+        for cell in cells:
+            assert cell.events > 0
+            assert cell.best_s > 0
+            assert cell.events_per_s > 0
+        # run_kernel_bench already raised if fingerprints diverged;
+        # the peak pending population must line up too.
+        assert len({cell.peak_queue for cell in cells}) == 1
+        assert len({cell.fingerprint for cell in cells}) == 1
+        assert len({cell.events for cell in cells}) == 1
+
+    # The tentpole: the calendar queue beats the heap outright on the
+    # raw timeout swarm (pop/push/cancel against a million pending
+    # grants plus a cancelled-guard backlog).
+    assert result.speedup("timeout_swarm") > SWARM_SPEEDUP_FLOOR
+
+    # End-to-end shapes execute real callbacks, so Amdahl's law caps
+    # the ratio — but the calendar must never be a regression outside
+    # noise on the repo's own traffic.
+    for shape in ("engine_swarm", "admission_70rps", "federation_3pod"):
+        assert result.speedup(shape) > 0.7

@@ -34,6 +34,10 @@ def _add_axis_flags(parser: argparse.ArgumentParser) -> None:
                         help="global-placer spill policy for "
                              "federation-aware experiments (default: "
                              "compare pinned vs least-loaded)")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap each experiment in cProfile and "
+                             "append the hottest functions (sorted by "
+                             "cumulative time) to its report")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,13 +69,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         report = run_all([args.experiment], seed=args.seed,
                          shards=args.shards, pods=args.pods,
-                         spill_policy=args.spill_policy)
+                         spill_policy=args.spill_policy,
+                         profile=args.profile)
         print(report.runs[0].rendered)
+        if report.runs[0].profile is not None:
+            print(report.runs[0].profile)
         return 0
     if args.command == "run-all":
         print(run_all(seed=args.seed, shards=args.shards,
                       pods=args.pods,
-                      spill_policy=args.spill_policy).rendered())
+                      spill_policy=args.spill_policy,
+                      profile=args.profile).rendered())
         return 0
     return 2  # pragma: no cover - argparse enforces the choices
 

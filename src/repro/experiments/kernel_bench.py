@@ -1,0 +1,516 @@
+"""Kernel throughput trajectory: events/sec across workload shapes.
+
+Every other experiment in this package measures the *simulated* system
+(latencies on the DES clock).  This one measures the simulator itself:
+how many events per wall-clock second the kernel retires, per pending-
+event backend, across workload shapes drawn from the repo's own
+traffic — so a scheduler regression shows up as a number, not as "the
+sweeps feel slow".
+
+Shapes
+------
+
+``timeout_swarm``
+    Brown's hold model (pop one, push one, constant population)
+    seasoned with the repo's own cancellation traffic.  The pending
+    set holds a large steady state of datamover grant completions
+    (delays uniform in a bounded band — grant serialization is message
+    size over link bandwidth) plus a backlog of far-future reservation
+    guard timers that were armed and then *cancelled* before timing
+    starts.  Each timed round then re-arms a grant and races it
+    against a triple of short watchdog timers, cancelling the losing
+    triple a fixed lag later — the ``AnyOf`` grant-vs-guard pattern
+    from the admission pipeline.  Both backends execute the identical
+    operation sequence; they differ only in what cancellation *costs*.
+    The heap keeps every tombstone until its time comes up (SimPy's
+    lazy discipline — the seed baseline), so each operation sifts
+    through millions of entries of cold debris; the calendar sheds
+    cancelled entries in O(1) at the slot and compacts wholesale once
+    tombstones outnumber live entries.  This shape drives the
+    :class:`EventQueue` backends *directly* (the structure the rebuild
+    replaced), so the measured ratio is the scheduler's own, undiluted
+    by callback execution.
+
+``engine_swarm``
+    The same swarm end-to-end through :class:`Simulator` — coroutine
+    resume, timeout pooling and the run loop included.  Reported
+    transparently alongside the raw shape: callback execution costs
+    the same on every backend, so Amdahl's law compresses the
+    end-to-end ratio well below the scheduler-level one.
+
+``admission_70rps``
+    The cluster control plane (2 racks, per-rack shards, batched
+    admission, completion offload) under open-loop Poisson allocation
+    traffic at 70 req/s — the highest rate in the ``cluster_scale``
+    sweep.  Mixed event population: batch windows, SDM latencies,
+    holds, worker wakeups.
+
+``federation_3pod``
+    The 3-pod federation tier serving a skewed multi-tenant Poisson
+    trace with spill and the idle-window rebalancer — the deepest
+    stack in the repo (placement scoring, two-phase claims,
+    migration) on one clock.
+
+Protocol: per shape, the backends run interleaved for ``reps``
+rounds; the reported throughput is each backend's best round (noise
+on a shared machine only ever subtracts).  The raw-queue shape warms
+up to steady state before its timed span.  GC is paused during timed
+sections — collections traverse the multi-million-entry pending set
+and would charge either backend an arbitrary toll.  Determinism is
+asserted, not assumed: each shape fingerprints its final state and
+the run fails if the backends diverge.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.analysis.tables import render_table
+from repro.cluster.trace import poisson_trace
+from repro.errors import ConfigurationError
+from repro.experiments.cluster_scale import (
+    BATCH_SIZE,
+    BATCH_WINDOW_S,
+    HOLD_S,
+    SEGMENT_SIZES,
+    WORKER_COUNT,
+    _boot_population,
+    _build_system,
+)
+from repro.experiments.federation import (
+    HOT_POD_SHARE,
+    MEAN_LIFETIME_S,
+    TENANT_RAM_BYTES,
+    TENANT_VCPUS,
+    _home_of,
+)
+from repro.federation.controller import build_federation
+from repro.federation.rebalancer import FederationRebalancer
+from repro.cluster.control_plane import ControlPlane
+from repro.sim.engine import NORMAL_PRIORITY, Simulator, default_queue_backend
+from repro.sim.queues import QUEUE_BACKENDS
+from repro.sim.rng import RngRegistry
+
+#: Backends every shape compares (insertion order = report order).
+BACKENDS = tuple(QUEUE_BACKENDS)
+
+#: Hold-model steady-state population (pending grant completions).
+SWARM_POPULATION = 1_000_000
+
+#: Grant-serialization band: a 64 KiB..192 KiB message on a 25 Gb/s
+#: link takes ~20..60 us; the absolute scale is irrelevant to the
+#: scheduler (only the spread matters), the bounded shape is the point.
+SWARM_DELAY_BAND_S = (0.0005, 0.0015)
+
+#: Reservation guard timers armed and then cancelled before timing
+#: starts.  The lazy heap carries the tombstones for the whole run;
+#: the calendar's debris-triggered compaction drops them.
+SWARM_GUARD_BACKLOG = 4_000_000
+
+#: Guard deadlines land far beyond the measured horizon (reservation
+#: watchdogs are seconds; grant holds are milliseconds).
+SWARM_GUARD_BAND_S = (5.0, 15.0)
+
+#: Per-round grant-vs-guard race: arm this many short watchdogs with
+#: each grant, cancel the losing set SWARM_CANCEL_LAG rounds later.
+SWARM_WATCHDOGS = 3
+SWARM_WATCHDOG_DELAY_S = 32e-6
+SWARM_CANCEL_LAG = 4_096
+
+#: Timed rounds, after a warmup span that reaches steady state.
+SWARM_ROUNDS = 150_000
+SWARM_WARMUP_ROUNDS = 40_000
+
+#: End-to-end swarm is smaller: each event also runs a coroutine.
+ENGINE_SWARM_POPULATION = 200_000
+ENGINE_SWARM_EVENTS = 400_000
+
+#: The admission shape reuses the cluster_scale cell at its highest
+#: swept rate.
+ADMISSION_RATE_HZ = 70.0
+ADMISSION_RACKS = 2
+ADMISSION_ALLOCATIONS = 400
+
+#: Federation shape: the 3-pod sweep column at its highest rate.
+FEDERATION_PODS = 3
+FEDERATION_RATE_HZ = 20.0
+FEDERATION_TENANTS = 120
+
+
+@dataclass
+class KernelBenchCell:
+    """One (shape, backend) measurement."""
+
+    shape: str
+    backend: str
+    events: int
+    best_s: float
+    events_per_s: float
+    peak_queue: int
+    fingerprint: str
+
+    @property
+    def mevents_per_s(self) -> float:
+        return self.events_per_s / 1e6
+
+
+@dataclass
+class KernelBenchResult:
+    """All cells of one benchmark run."""
+
+    reps: int
+    seed: int
+    cells: list[KernelBenchCell] = field(default_factory=list)
+
+    def cell(self, shape: str, backend: str) -> KernelBenchCell:
+        for cell in self.cells:
+            if cell.shape == shape and cell.backend == backend:
+                return cell
+        raise KeyError(f"no cell for ({shape!r}, {backend!r})")
+
+    def shapes(self) -> list[str]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.shape not in seen:
+                seen.append(cell.shape)
+        return seen
+
+    def speedup(self, shape: str,
+                over: str = "heap", backend: str = "calendar") -> float:
+        """Throughput ratio of *backend* over *over* on *shape*."""
+        return (self.cell(shape, backend).events_per_s
+                / self.cell(shape, over).events_per_s)
+
+    def rows(self) -> list[tuple]:
+        rows: list[tuple] = []
+        for shape in self.shapes():
+            for backend in BACKENDS:
+                cell = self.cell(shape, backend)
+                rows.append((shape, backend, cell.events,
+                             f"{cell.mevents_per_s:.3f}",
+                             cell.peak_queue,
+                             f"{self.speedup(shape, backend=backend):.2f}x"))
+        return rows
+
+    def render(self) -> str:
+        lines = [render_table(
+            ("shape", "backend", "events", "Mev/s", "peak queue",
+             "vs heap"),
+            self.rows(),
+            title=f"Kernel throughput (best of {self.reps}, "
+                  f"seed {self.seed})")]
+        lines.append("")
+        lines.append(
+            "timeout_swarm drives the queue backends directly (hold "
+            "model); the other shapes run end-to-end, where callback "
+            "execution dilutes the scheduler ratio.")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "benchmark": "kernel",
+            "reps": self.reps,
+            "seed": self.seed,
+            "shapes": [
+                {
+                    "shape": shape,
+                    "backends": {
+                        backend: {
+                            "events": self.cell(shape, backend).events,
+                            "events_per_s": round(
+                                self.cell(shape, backend).events_per_s),
+                            "peak_queue": self.cell(
+                                shape, backend).peak_queue,
+                            "fingerprint": self.cell(
+                                shape, backend).fingerprint,
+                        }
+                        for backend in BACKENDS
+                    },
+                    "calendar_speedup_vs_heap": round(
+                        self.speedup(shape), 3),
+                }
+                for shape in self.shapes()
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# shape drivers
+# ---------------------------------------------------------------------------
+#
+# Each driver takes a backend name and returns
+# ``(events, elapsed_s, peak_queue, fingerprint)`` for one round.
+
+class _Token:
+    """Inert payload standing in for an Event in raw-queue entries."""
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+
+def _timed(run: Callable[[], object]) -> tuple[float, object]:
+    """Run *run* with GC paused, returning (elapsed_s, its result)."""
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return elapsed, result
+
+
+def _run_timeout_swarm(backend: str, seed: int,
+                       population: int = SWARM_POPULATION,
+                       rounds: int = SWARM_ROUNDS,
+                       warmup_rounds: int = SWARM_WARMUP_ROUNDS,
+                       guard_backlog: int = SWARM_GUARD_BACKLOG,
+                       cancel_lag: int = SWARM_CANCEL_LAG
+                       ) -> tuple[int, float, int, str]:
+    rng = random.Random(seed)
+    low, high = SWARM_DELAY_BAND_S
+    mask = (1 << 16) - 1
+    hold = [rng.uniform(low, high) for _ in range(mask + 1)]
+    guard_low, guard_high = SWARM_GUARD_BAND_S
+    guard_at = [rng.uniform(guard_low, guard_high)
+                for _ in range(mask + 1)]
+    queue = QUEUE_BACKENDS[backend]()
+    push, pop, cancel = queue.push, queue.pop, queue.note_cancel
+    grant = _Token()
+    sequence = 0
+    for index in range(population):
+        push(hold[index & mask], NORMAL_PRIORITY, sequence, grant)
+        sequence += 1
+    # Guard backlog: armed, then cancelled wholesale.  Identical ops on
+    # both backends; only the cost of carrying the tombstones differs.
+    guards = [_Token() for _ in range(guard_backlog)]
+    for index, token in enumerate(guards):
+        push(guard_at[index & mask], NORMAL_PRIORITY, sequence, token)
+        sequence += 1
+    for token in guards:
+        token._cancelled = True
+        cancel(token)
+    del guards
+
+    # Watchdog triples live in a reuse ring so the timed span allocates
+    # nothing (allocation cost is backend-independent and would only
+    # dilute the ratio).  A slot is re-armed ring_size - cancel_lag
+    # rounds after its cancellation — far longer in simulated time than
+    # the watchdog delay, so the old entries are off the queue by then
+    # and clearing ``_cancelled`` cannot resurrect stale debris.
+    ring_size = max(1024, 1 << (cancel_lag * 16 - 1).bit_length())
+    ring = [(_Token(), _Token(), _Token()) for _ in range(ring_size)]
+    ring_mask = ring_size - 1
+    watchdog = SWARM_WATCHDOG_DELAY_S
+    state = {"now": 0.0, "seq": sequence}
+
+    def span(start: int, stop: int) -> None:
+        seq = state["seq"]
+        now = state["now"]
+        for round_index in range(start, stop):
+            entry = pop()
+            now = entry[0]
+            push(now + hold[round_index & mask], NORMAL_PRIORITY, seq,
+                 grant)
+            first, second, third = ring[round_index & ring_mask]
+            first._cancelled = False
+            second._cancelled = False
+            third._cancelled = False
+            deadline = now + watchdog
+            push(deadline, NORMAL_PRIORITY, seq + 1, first)
+            push(deadline, NORMAL_PRIORITY, seq + 2, second)
+            push(deadline, NORMAL_PRIORITY, seq + 3, third)
+            seq += 4
+            if round_index >= cancel_lag:
+                losers = ring[(round_index - cancel_lag) & ring_mask]
+                for token in losers:
+                    token._cancelled = True
+                    cancel(token)
+        state["seq"] = seq
+        state["now"] = now
+
+    span(0, warmup_rounds)
+    elapsed, _ = _timed(
+        lambda: span(warmup_rounds, warmup_rounds + rounds))
+    # Ops per timed round: 1 serve + 1 grant re-arm + W watchdog arms
+    # + W cancels (the cancels start once cancel_lag rounds have run).
+    cancelling = rounds - min(rounds, max(0, cancel_lag - warmup_rounds))
+    operations = (rounds * (2 + SWARM_WATCHDOGS)
+                  + SWARM_WATCHDOGS * cancelling)
+    fingerprint = f"t={state['now']:.9f} pending={len(queue)}"
+    return operations, elapsed, queue.peak_size, fingerprint
+
+
+def _run_engine_swarm(backend: str, seed: int,
+                      population: int = ENGINE_SWARM_POPULATION,
+                      events: int = ENGINE_SWARM_EVENTS
+                      ) -> tuple[int, float, int, str]:
+    rng = random.Random(seed)
+    low, high = SWARM_DELAY_BAND_S
+    mask = (1 << 16) - 1
+    delays = [rng.uniform(low, high) for _ in range(mask + 1)]
+    resumes_each = max(1, events // population)
+
+    with default_queue_backend(backend):
+        sim = Simulator()
+
+    def waiter(offset: int):
+        for round_index in range(resumes_each):
+            yield sim.timeout(
+                delays[(offset + round_index) & mask])
+
+    for offset in range(population):
+        sim.process(waiter(offset))
+
+    def run() -> float:
+        sim.run()
+        return sim.now
+
+    elapsed, now = _timed(run)
+    processed = sim.events_processed
+    fingerprint = f"t={now:.9f} processed={processed}"
+    return processed, elapsed, sim.queue_peak_size, fingerprint
+
+
+def _run_admission(backend: str, seed: int,
+                   allocation_count: int = ADMISSION_ALLOCATIONS
+                   ) -> tuple[int, float, int, str]:
+    # Mirrors cluster_scale._run_cell at the sweep's top rate, with the
+    # backend pinned; same build, same trace, same client shape.
+    with default_queue_backend(backend):
+        system = _build_system(ADMISSION_RACKS, ADMISSION_RACKS)
+        vm_ids = _boot_population(system, vm_count=64 * ADMISSION_RACKS)
+        plane = ControlPlane(
+            system, max_batch=BATCH_SIZE, batch_window_s=BATCH_WINDOW_S,
+            workers=WORKER_COUNT, offload=True)
+
+    rng = RngRegistry(seed).stream(
+        f"kernel_bench.admission.a{ADMISSION_RATE_HZ:g}")
+    gaps = rng.exponential(1.0 / ADMISSION_RATE_HZ,
+                           size=allocation_count)
+    sizes = rng.choice(SEGMENT_SIZES, size=allocation_count)
+    sim = plane.sim
+    clients = []
+
+    def client(index: int):
+        vm_id = vm_ids[index % len(vm_ids)]
+        up = plane.submit("scale_up", vm_id, size_bytes=int(sizes[index]))
+        yield up.done
+        if up.record.ok:
+            yield sim.timeout(HOLD_S)
+            down = plane.submit("scale_down", vm_id,
+                                segment_id=up.result.segment.segment_id)
+            yield down.done
+
+    def supervisor():
+        for index in range(allocation_count):
+            yield sim.timeout(float(gaps[index]))
+            clients.append(sim.process(client(index)))
+        yield sim.all_of(clients)
+
+    def run() -> float:
+        sim.run(until=sim.process(supervisor()))
+        return sim.now
+
+    elapsed, now = _timed(run)
+    stats = plane.stats
+    fingerprint = (f"t={now:.9f} processed={sim.events_processed} "
+                   f"completed={len(stats.completed('scale_up'))} "
+                   f"rejected={len(stats.rejected())}")
+    return sim.events_processed, elapsed, sim.queue_peak_size, fingerprint
+
+
+def _run_federation(backend: str, seed: int,
+                    tenant_count: int = FEDERATION_TENANTS
+                    ) -> tuple[int, float, int, str]:
+    # Mirrors federation._run_cell (least-loaded spill + rebalancer)
+    # at the sweep's 3-pod column and top rate.
+    with default_queue_backend(backend):
+        federation = build_federation(
+            FEDERATION_PODS, spill_policy="least-loaded",
+            rebalancer=FederationRebalancer(interval_s=0.25,
+                                            imbalance_threshold=0.2))
+    trace = poisson_trace(
+        tenant_count, FEDERATION_RATE_HZ, vcpus=TENANT_VCPUS,
+        ram_bytes=TENANT_RAM_BYTES, mean_lifetime_s=MEAN_LIFETIME_S,
+        scale_fraction=0.0, seed=seed,
+        name=f"kernel-fed-a{FEDERATION_RATE_HZ:g}")
+    home_of = _home_of(sorted(federation.pods), HOT_POD_SHARE)
+
+    elapsed, stats = _timed(
+        lambda: federation.serve_trace(trace, home_of=home_of))
+    sim = federation.sim
+    fingerprint = (f"t={sim.now:.9f} processed={sim.events_processed} "
+                   f"admitted={stats.boots_admitted} "
+                   f"rejected={stats.boots_rejected} "
+                   f"spills={stats.spills}")
+    return sim.events_processed, elapsed, sim.queue_peak_size, fingerprint
+
+
+#: shape name -> driver(backend, seed) -> (events, s, peak, fingerprint).
+SHAPES: dict[str, Callable[[str, int], tuple[int, float, int, str]]] = {
+    "timeout_swarm": _run_timeout_swarm,
+    "engine_swarm": _run_engine_swarm,
+    "admission_70rps": _run_admission,
+    "federation_3pod": _run_federation,
+}
+
+
+def run_kernel_bench(shapes: tuple[str, ...] = tuple(SHAPES),
+                     reps: int = 3,
+                     seed: int = 2018,
+                     profile: bool = False) -> KernelBenchResult:
+    """Measure events/sec per (shape, backend); best of *reps* rounds.
+
+    Rounds interleave the backends so drift on a shared machine hits
+    both sides alike.  Each backend's fingerprint must be identical
+    across its own rounds *and* across backends (same final time and
+    final counters) — the determinism contract, enforced here.
+
+    *profile* is accepted for CLI symmetry (``--profile`` wraps the
+    whole experiment in cProfile at the runner layer; the flag needs
+    no per-shape behavior).
+    """
+    del profile  # handled by the runner; accepted for signature parity
+    for shape in shapes:
+        if shape not in SHAPES:
+            known = ", ".join(SHAPES)
+            raise ConfigurationError(
+                f"unknown shape {shape!r}; known: {known}")
+    if reps < 1:
+        raise ConfigurationError(f"need >= 1 rep, got {reps}")
+
+    result = KernelBenchResult(reps=reps, seed=seed)
+    for shape in shapes:
+        driver = SHAPES[shape]
+        best: dict[str, tuple[int, float, int, str]] = {}
+        for _ in range(reps):
+            for backend in BACKENDS:
+                events, elapsed, peak, fingerprint = driver(backend, seed)
+                previous = best.get(backend)
+                if previous is not None and previous[3] != fingerprint:
+                    raise AssertionError(
+                        f"{shape}/{backend} diverged between rounds: "
+                        f"{previous[3]} != {fingerprint}")
+                if previous is None or elapsed < previous[1]:
+                    best[backend] = (events, elapsed, peak, fingerprint)
+        prints = {best[backend][3] for backend in BACKENDS}
+        if len(prints) != 1:
+            raise AssertionError(
+                f"{shape}: backends diverged: {sorted(prints)}")
+        for backend in BACKENDS:
+            events, elapsed, peak, fingerprint = best[backend]
+            result.cells.append(KernelBenchCell(
+                shape=shape, backend=backend, events=events,
+                best_s=elapsed, events_per_s=events / elapsed,
+                peak_queue=peak, fingerprint=fingerprint))
+    return result

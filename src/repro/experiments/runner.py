@@ -17,7 +17,10 @@ flags never break the other experiments.
 
 from __future__ import annotations
 
+import cProfile
 import inspect
+import io
+import pstats
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -29,6 +32,7 @@ from repro.experiments.fig8_latency import run_fig8
 from repro.experiments.fig10_agility import run_fig10
 from repro.experiments.fig12_poweroff import run_fig12
 from repro.experiments.fig13_energy import run_fig13
+from repro.experiments.kernel_bench import run_kernel_bench
 from repro.experiments.pod_scale import run_pod_scale
 from repro.experiments.table1_workloads import run_table1
 
@@ -44,7 +48,11 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "datamover": run_datamover,
     "cluster_scale": run_cluster_scale,
     "federation": run_federation,
+    "kernel_bench": run_kernel_bench,
 }
+
+#: Functions shown when an experiment runs under ``--profile``.
+PROFILE_TOP_N = 25
 
 
 @dataclass
@@ -54,6 +62,7 @@ class ExperimentRun:
     name: str
     result: object
     rendered: str
+    profile: Optional[str] = None
 
 
 @dataclass
@@ -70,14 +79,30 @@ class RunAllReport:
             parts.append(f"Experiment: {run.name}")
             parts.append("=" * 72)
             parts.append(run.rendered)
+            if run.profile is not None:
+                parts.append("-" * 72)
+                parts.append(f"Profile: {run.name}")
+                parts.append(run.profile)
         return "\n".join(parts)
+
+
+def _profiled(driver: Callable[..., object],
+              kwargs: dict) -> tuple[object, str]:
+    """Run *driver* under cProfile; returns (result, stats text)."""
+    profiler = cProfile.Profile()
+    result = profiler.runcall(driver, **kwargs)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+    return result, buffer.getvalue().rstrip()
 
 
 def run_all(names: list[str] | None = None,
             seed: Optional[int] = None,
             shards: Optional[int] = None,
             pods: Optional[int] = None,
-            spill_policy: Optional[str] = None) -> RunAllReport:
+            spill_policy: Optional[str] = None,
+            profile: bool = False) -> RunAllReport:
     """Execute the named experiments (all of them by default).
 
     When *seed* is given it is passed to every driver, overriding each
@@ -85,6 +110,9 @@ def run_all(names: list[str] | None = None,
     Axis overrides — *shards* (controller shard count, ``cluster_scale``),
     *pods* (pod count) and *spill_policy* (``federation``) — are
     forwarded only to drivers whose signature declares the keyword.
+    With *profile* each driver runs under :mod:`cProfile` and the
+    report carries the top functions by cumulative time — the hot-path
+    view the kernel optimizations are steered by.
     """
     if names is None:
         names = list(EXPERIMENTS)
@@ -101,10 +129,14 @@ def run_all(names: list[str] | None = None,
         for axis, value in overrides.items():
             if value is not None and axis in parameters:
                 kwargs[axis] = value
-        result = driver(**kwargs)
+        if profile:
+            result, stats_text = _profiled(driver, kwargs)
+        else:
+            result, stats_text = driver(**kwargs), None
         report.runs.append(ExperimentRun(
             name=name,
             result=result,
             rendered=result.render(),  # type: ignore[attr-defined]
+            profile=stats_text,
         ))
     return report

@@ -4,8 +4,11 @@ The dReDBox paper evaluated its prototype on real hardware with wall-clock
 instrumentation.  This package is the substitute substrate: a small,
 deterministic discrete-event simulation (DES) kernel in the style of SimPy.
 
-* :mod:`repro.sim.engine` — event heap, :class:`Simulator`, generator-based
-  :class:`Process` coroutines, timeouts and condition events.
+* :mod:`repro.sim.engine` — the event loop: :class:`Simulator`,
+  generator-based :class:`Process` coroutines, timeouts, condition
+  events, cancellation and event-object recycling.
+* :mod:`repro.sim.queues` — pluggable pending-event backends: the
+  calendar-queue/timer-wheel (default) and the classic binary heap.
 * :mod:`repro.sim.resources` — contention primitives (:class:`Resource`,
   :class:`Store`) used to model serialized controllers and queues.
 * :mod:`repro.sim.rng` — named, reproducible random-number streams.
@@ -24,6 +27,13 @@ from repro.sim.engine import (
     Process,
     Simulator,
     Timeout,
+    default_queue_backend,
+)
+from repro.sim.queues import (
+    CalendarEventQueue,
+    EventQueue,
+    HeapEventQueue,
+    QUEUE_BACKENDS,
 )
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import RngRegistry, stable_stream_seed
@@ -32,10 +42,14 @@ from repro.sim.trace import TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarEventQueue",
     "ControlContext",
     "Event",
+    "EventQueue",
+    "HeapEventQueue",
     "Interrupt",
     "Process",
+    "QUEUE_BACKENDS",
     "Resource",
     "RngRegistry",
     "Simulator",
@@ -43,6 +57,7 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "default_queue_backend",
     "run_sync",
     "stable_stream_seed",
 ]

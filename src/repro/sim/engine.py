@@ -1,27 +1,83 @@
 """Core discrete-event simulation engine.
 
-The engine follows the classic event-heap design: a priority queue of
-``(time, priority, sequence, event)`` entries, popped in order, with each
-popped event running its callbacks.  Model code is written as generator
-functions ("processes") that ``yield`` events; the :class:`Process` wrapper
-resumes the generator whenever the yielded event triggers.
+The engine follows the classic event-queue design: pending
+``(time, priority, sequence, event)`` entries are popped in order and
+each popped event runs its callbacks.  Model code is written as
+generator functions ("processes") that ``yield`` events; the
+:class:`Process` wrapper resumes the generator whenever the yielded
+event triggers.
 
-The kernel is deliberately small but complete enough for the whole library:
-timeouts, process joining, failure propagation, interrupts, and ``AnyOf`` /
-``AllOf`` condition events.
+The kernel is deliberately small but complete enough for the whole
+library: timeouts, process joining, failure propagation, interrupts,
+``AnyOf`` / ``AllOf`` condition events, and event cancellation.
+
+Throughput machinery (the kernel is a product metric — see
+``experiments/kernel_bench.py``):
+
+* the pending-event structure is pluggable
+  (:mod:`repro.sim.queues`): ``Simulator(queue="calendar")`` selects
+  the calendar-queue/timer-wheel backend (the default — O(1) for the
+  short-delay timeout swarms of the data mover and control plane),
+  ``queue="heap"`` the classic binary heap;
+* ``run()`` drives a tight inlined loop instead of calling
+  :meth:`Simulator.step` per event;
+* processed :class:`Timeout`, :class:`Event`, :class:`AllOf` and
+  :class:`AnyOf` objects are recycled through per-simulator free-list
+  pools when nothing else references them (checked via
+  ``sys.getrefcount``), so steady-state workloads allocate almost no
+  event objects;
+* :meth:`Event.cancel` drops an abandoned scheduled event from the
+  queue without processing it, so e.g. losing timeout branches no
+  longer ride the queue to end-of-run as tombstones.
+
+Every behaviour above preserves determinism: the
+``(time, priority, sequence)`` total order is unique, so any backend
+and any pooling decision produces bit-identical simulations.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from contextlib import contextmanager
+from sys import getrefcount
+from typing import Any, Callable, Generator, Iterable, Iterator, Optional
 
 from repro.errors import SimulationError
+from repro.sim.queues import EventQueue, QueueLike, make_queue
 
 #: Default scheduling priority; lower numbers run first at equal times.
 NORMAL_PRIORITY = 1
 #: Priority used for immediate resumption of processes (runs before normal).
 URGENT_PRIORITY = 0
+
+#: Queue backend used by ``Simulator()`` when none is requested.
+DEFAULT_QUEUE_BACKEND = "calendar"
+
+#: Per-pool cap on recycled event objects (bounds idle pool memory).
+POOL_LIMIT = 1024
+
+_INF = float("inf")
+
+
+@contextmanager
+def default_queue_backend(name: str) -> Iterator[None]:
+    """Temporarily change the backend new :class:`Simulator`\\ s use.
+
+    Lets benchmarks and tests run unmodified multi-simulator code
+    (control plane, federation) on a chosen backend without threading a
+    parameter through every constructor::
+
+        with default_queue_backend("heap"):
+            run_federation(...)
+    """
+    global DEFAULT_QUEUE_BACKEND
+    previous = DEFAULT_QUEUE_BACKEND
+    # Fail fast on unknown names before any simulator is built.
+    make_queue(name)
+    DEFAULT_QUEUE_BACKEND = name
+    try:
+        yield
+    finally:
+        DEFAULT_QUEUE_BACKEND = previous
 
 
 class Event:
@@ -29,21 +85,42 @@ class Event:
 
     An event starts *pending*, becomes *triggered* once a value (or an
     exception) has been scheduled for it, and *processed* after its
-    callbacks have run.  Callbacks receive the event itself.
+    callbacks have run.  Callbacks receive the event itself.  A pending
+    or triggered event can be *cancelled*, after which it never
+    processes.
+
+    Once processed (or cancelled), ``callbacks`` is ``None`` — late
+    registration is a bug and fails loudly.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "_cancelled")
 
     #: Sentinel distinguishing "no value yet" from an explicit ``None``.
     PENDING = object()
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: list[Callable[["Event"], None]] = []
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = Event.PENDING
         self._ok = True
         self._triggered = False
         self._processed = False
+        self._cancelled = False
+
+    def _reset(self) -> None:
+        """Return to the freshly constructed state (pool reuse).
+
+        Recycled events arrive with their (cleared) callbacks list
+        still attached — reuse it rather than allocating a fresh one.
+        """
+        if self.callbacks is None:
+            self.callbacks = []
+        self._value = Event.PENDING
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._cancelled = False
 
     # -- state inspection ---------------------------------------------------
 
@@ -56,6 +133,11 @@ class Event:
     def processed(self) -> bool:
         """True once callbacks have been executed."""
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been withdrawn via :meth:`cancel`."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -75,6 +157,8 @@ class Event:
         """Schedule this event to succeed with *value* after *delay*."""
         if self._triggered:
             raise SimulationError(f"{self!r} has already been triggered")
+        if self._cancelled:
+            raise SimulationError(f"{self!r} has been cancelled")
         self._triggered = True
         self._ok = True
         self._value = value
@@ -85,6 +169,8 @@ class Event:
         """Schedule this event to fail with *exception* after *delay*."""
         if self._triggered:
             raise SimulationError(f"{self!r} has already been triggered")
+        if self._cancelled:
+            raise SimulationError(f"{self!r} has been cancelled")
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
         self._triggered = True
@@ -93,9 +179,33 @@ class Event:
         self.sim.schedule(self, delay=delay)
         return self
 
+    def cancel(self) -> "Event":
+        """Withdraw this event: it will never trigger nor process.
+
+        A pending event becomes un-triggerable; a triggered (scheduled)
+        event is dropped from the queue without running its callbacks,
+        and its waiter references are released immediately instead of
+        riding the queue to end-of-run as a tombstone.  Only cancel
+        events nothing else is waiting on (e.g. the losing timeout of a
+        race this code owns) — a stranded waiter never resumes.
+
+        Cancelling a processed or already cancelled event is an error.
+        """
+        if self._processed:
+            raise SimulationError(
+                f"cannot cancel {self!r}: already processed")
+        if self._cancelled:
+            raise SimulationError(f"{self!r} is already cancelled")
+        self._cancelled = True
+        if self._triggered:
+            self.sim._queue.note_cancel(self)
+        self.callbacks = None
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "processed" if self._processed else (
-            "triggered" if self._triggered else "pending")
+        state = ("cancelled" if self._cancelled else
+                 "processed" if self._processed else
+                 "triggered" if self._triggered else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
@@ -105,8 +215,11 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        # ``not (delay >= 0)`` also catches NaN, which compares false
+        # against everything and would corrupt the queue order.
+        if not (delay >= 0) or delay == _INF:
+            raise SimulationError(
+                f"timeout delay must be finite and >= 0, got {delay}")
         super().__init__(sim)
         self.delay = delay
         self._triggered = True
@@ -143,8 +256,9 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Bootstrap: resume the generator at the current simulation time.
-        bootstrap = Event(sim)
+        # Bootstrap: resume the generator at the current simulation time
+        # (sim.event() draws the carrier from the recycling pool).
+        bootstrap = sim.event()
         bootstrap.callbacks.append(self._resume)
         bootstrap.succeed()
 
@@ -162,10 +276,11 @@ class Process(Event):
         if not self.is_alive:
             raise SimulationError("cannot interrupt a finished process")
         target = self._waiting_on
-        if target is not None and self._resume in target.callbacks:
+        if (target is not None and target.callbacks
+                and self._resume in target.callbacks):
             target.callbacks.remove(self._resume)
         self._waiting_on = None
-        carrier = Event(self.sim)
+        carrier = self.sim.event()
         carrier.callbacks.append(self._resume)
         carrier.fail(Interrupt(cause))
 
@@ -210,6 +325,12 @@ class Process(Event):
                 # within this same callback, preserving causal time.
                 trigger = yielded
                 continue
+            if yielded._cancelled:
+                error = SimulationError(
+                    "process yielded a cancelled event, which can never fire")
+                self._generator.close()
+                self.fail(error)
+                return
             self._waiting_on = yielded
             yielded.callbacks.append(self._resume)
             return
@@ -222,23 +343,58 @@ class _Condition(Event):
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
+        self._setup(events)
+
+    def _setup(self, events: Iterable[Event]) -> None:
+        """Bind to the constituent *events* (construction and pool reuse)."""
         self._events = list(events)
+        sim = self.sim
         for event in self._events:
             if event.sim is not sim:
                 raise SimulationError(
                     "condition mixes events from different simulators")
+            if event._cancelled:
+                raise SimulationError(
+                    "condition includes a cancelled event, "
+                    "which can never fire")
         self._outstanding = len(self._events)
         if not self._events:
             self.succeed({})
             return
+        observe = self._observe
         for event in self._events:
+            if self._triggered:
+                # Already decided (an early constituent had fired):
+                # never register on the rest — registrations past this
+                # point would be the exact leak _detach exists to plug.
+                break
             if event._processed:
-                self._observe(event)
+                observe(event)
             else:
-                event.callbacks.append(self._observe)
+                event.callbacks.append(observe)
 
     def _observe(self, event: Event) -> None:
         raise NotImplementedError
+
+    def _detach(self) -> None:
+        """Unhook from constituents that have not fired.
+
+        Called as soon as the condition's outcome is decided.  Without
+        it, every still-pending constituent would keep a reference to
+        this condition (and its collected values) until processed —
+        losing events of an ``AnyOf`` race would drag the condition to
+        end-of-run.
+        """
+        observe = self._observe
+        for event in self._events:
+            if not event._processed:
+                callbacks = event.callbacks
+                if callbacks is not None:
+                    try:
+                        callbacks.remove(observe)
+                    except ValueError:
+                        pass
+        self._events = []
 
     def _collect(self) -> dict[Event, Any]:
         """Values of all constituents that have already *occurred*.
@@ -267,10 +423,12 @@ class AllOf(_Condition):
             return
         if not event._ok:
             self.fail(event._value)
+            self._detach()
             return
         self._outstanding -= 1
         if self._outstanding == 0:
             self.succeed(self._collect())
+            self._detach()
 
 
 class AnyOf(_Condition):
@@ -287,42 +445,104 @@ class AnyOf(_Condition):
             return
         if not event._ok:
             self.fail(event._value)
+            self._detach()
             return
         self.succeed(self._collect())
+        self._detach()
 
 
 class Simulator:
-    """The event loop: owns the clock and the pending-event heap."""
+    """The event loop: owns the clock and the pending-event queue."""
 
-    def __init__(self) -> None:
+    def __init__(self, queue: QueueLike = None) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._queue: EventQueue = make_queue(
+            queue, default=DEFAULT_QUEUE_BACKEND)
         self._sequence = 0
+        self._events_processed = 0
+        # Free lists of processed event objects, keyed by exact type
+        # (subclasses like resources.Request are deliberately absent:
+        # only types whose lifecycle the kernel fully owns recycle).
+        self._pools: dict[type, list] = {
+            Timeout: [], Event: [], AllOf: [], AnyOf: []}
+        self._timeout_pool = self._pools[Timeout]
+        self._event_pool = self._pools[Event]
 
     @property
     def now(self) -> float:
         """Current simulated time, in seconds."""
         return self._now
 
+    @property
+    def events_processed(self) -> int:
+        """Total events processed so far (the bench's events/sec base)."""
+        return self._events_processed
+
+    @property
+    def queue_backend(self) -> str:
+        """Name of the active event-queue backend."""
+        return self._queue.name
+
+    @property
+    def queue_peak_size(self) -> int:
+        """High-water mark of pending events (the bench's peak queue)."""
+        return self._queue.peak_size
+
+    @property
+    def queue_size(self) -> int:
+        """Pending (live) events right now."""
+        return len(self._queue)
+
     # -- scheduling -----------------------------------------------------------
 
     def schedule(self, event: Event, delay: float = 0.0,
                  priority: int = NORMAL_PRIORITY) -> None:
         """Enqueue a triggered *event* to be processed after *delay*."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+        # ``not (delay >= 0)`` also catches NaN: NaN compares false
+        # against everything, so the historical ``delay < 0`` check let
+        # it through to silently corrupt the queue's total order.
+        if not (delay >= 0):
+            if delay != delay:
+                raise SimulationError(
+                    "cannot schedule at a NaN delay")
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay})")
+        if delay == _INF:
+            raise SimulationError("cannot schedule at an infinite delay")
+        self._sequence = sequence = self._sequence + 1
+        self._queue.push(self._now + delay, priority, sequence, event)
 
     # -- event factories --------------------------------------------------------
 
     def event(self) -> Event:
         """Create a pending event bound to this simulator."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._reset()
+            return event
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires after *delay* seconds."""
-        return Timeout(self, delay, value)
+        pool = self._timeout_pool
+        if not pool:
+            return Timeout(self, delay, value)
+        if not (delay >= 0) or delay == _INF:
+            raise SimulationError(
+                f"timeout delay must be finite and >= 0, got {delay}")
+        timeout = pool.pop()
+        # A pooled Timeout needs no full _reset: it was recycled with a
+        # cleared callbacks list attached, ``_triggered``/``_ok`` are
+        # still True (a Timeout can neither fail nor recycle cancelled),
+        # so only the per-use fields change.
+        timeout._processed = False
+        timeout._value = value
+        timeout.delay = delay
+        self._sequence = sequence = self._sequence + 1
+        self._queue.push(self._now + delay, NORMAL_PRIORITY, sequence,
+                         timeout)
+        return timeout
 
     def process(self, generator: ProcessGenerator) -> Process:
         """Start a process from *generator*; returns its completion event."""
@@ -330,64 +550,166 @@ class Simulator:
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires when all of *events* have succeeded."""
+        pool = self._pools[AllOf]
+        if pool:
+            condition = pool.pop()
+            condition._reset()
+            condition._setup(events)
+            return condition
         return AllOf(self, events)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that fires when the first of *events* succeeds."""
+        pool = self._pools[AnyOf]
+        if pool:
+            condition = pool.pop()
+            condition._reset()
+            condition._setup(events)
+            return condition
         return AnyOf(self, events)
 
     # -- running ----------------------------------------------------------------
 
+    # The event-processing body is deliberately inlined into step() and
+    # each run() loop: one method call per event costs ~15% throughput
+    # at kernel_bench scale.  Keep the four copies in sync.
+
     def step(self) -> None:
-        """Process exactly one event from the heap."""
-        if not self._heap:
-            raise SimulationError("simulation heap is empty")
-        when, _priority, _seq, event = heapq.heappop(self._heap)
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, []
+        """Process exactly one event from the queue."""
+        entry = self._queue.pop()
+        if entry is None:
+            raise SimulationError("simulation queue is empty")
+        self._now = entry[0]
+        event = entry[3]
+        entry = None  # release the entry tuple so recycling can trigger
+        callbacks = event.callbacks
+        event.callbacks = None
         event._processed = True
         for callback in callbacks:
             callback(event)
+        self._events_processed += 1
         if not event._ok and not callbacks:
             # A failed event nobody waited on would silently swallow the
             # error; surface it instead (mirrors SimPy's behaviour).
             raise event._value
+        if getrefcount(event) == 2:
+            pool = self._pools.get(type(event))
+            if pool is not None and len(pool) < POOL_LIMIT:
+                # Hand the cleared callbacks list back to the event so
+                # its next _reset (or the pooled-timeout fast path)
+                # skips a list allocation.
+                callbacks.clear()
+                event.callbacks = callbacks
+                pool.append(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._queue.peek()
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.
 
         * ``until=None`` — run until no events remain.
-        * ``until=<float>`` — run until the clock reaches that time.
+        * ``until=<float>`` — run until the clock reaches that time
+          (events scheduled exactly at that time are processed).
         * ``until=<Event>`` — run until that event is processed and return
           its value (re-raising its exception if it failed).
         """
+        pools = self._pools
+        refcount = getrefcount
+        count = 0
+
         if until is None:
-            while self._heap:
-                self.step()
-            return None
+            pop = self._queue.pop
+            try:
+                while True:
+                    entry = pop()
+                    if entry is None:
+                        return None
+                    self._now = entry[0]
+                    event = entry[3]
+                    entry = None
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
+                    count += 1
+                    if not event._ok and not callbacks:
+                        raise event._value
+                    if refcount(event) == 2:
+                        pool = pools.get(type(event))
+                        if pool is not None and len(pool) < POOL_LIMIT:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            pool.append(event)
+            finally:
+                self._events_processed += count
 
         if isinstance(until, Event):
             sentinel = until
             if sentinel.sim is not self:
                 raise SimulationError("cannot run until a foreign event")
-            while not sentinel._processed:
-                if not self._heap:
-                    raise SimulationError(
-                        "simulation ran out of events before the target event fired")
-                self.step()
+            pop = self._queue.pop
+            try:
+                while not sentinel._processed:
+                    entry = pop()
+                    if entry is None:
+                        raise SimulationError(
+                            "simulation ran out of events before the "
+                            "target event fired")
+                    self._now = entry[0]
+                    event = entry[3]
+                    entry = None
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
+                    count += 1
+                    if not event._ok and not callbacks:
+                        raise event._value
+                    if refcount(event) == 2:
+                        pool = pools.get(type(event))
+                        if pool is not None and len(pool) < POOL_LIMIT:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            pool.append(event)
+            finally:
+                self._events_processed += count
             if not sentinel._ok:
                 raise sentinel._value
             return sentinel._value
 
         horizon = float(until)
-        if horizon < self._now:
+        if not (horizon >= self._now):
             raise SimulationError(
-                f"cannot run until {horizon}; clock is already at {self._now}")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+                f"cannot run until {horizon}; clock is already at "
+                f"{self._now}")
+        pop_until = self._queue.pop_until
+        try:
+            while True:
+                entry = pop_until(horizon)
+                if entry is None:
+                    break
+                self._now = entry[0]
+                event = entry[3]
+                entry = None
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+                count += 1
+                if not event._ok and not callbacks:
+                    raise event._value
+                if refcount(event) == 2:
+                    pool = pools.get(type(event))
+                    if pool is not None and len(pool) < POOL_LIMIT:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+        finally:
+            self._events_processed += count
         self._now = horizon
         return None

@@ -119,7 +119,9 @@ class Store:
 
     def get(self) -> Event:
         """Event that fires with the next available item (FIFO order)."""
-        event = Event(self.sim)
+        # Drawn via the simulator so processed get-events recycle
+        # through its free-list pool (admission queues churn these).
+        event = self.sim.event()
         if self._items:
             event.succeed(self._items.popleft())
         else:

@@ -12,7 +12,8 @@ class TestRunner:
     def test_registry_covers_every_artifact(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig7", "fig8", "fig10", "fig12", "fig13",
-            "pod_scale", "datamover", "cluster_scale", "federation"}
+            "pod_scale", "datamover", "cluster_scale", "federation",
+            "kernel_bench"}
 
     def test_every_driver_accepts_a_seed(self):
         import inspect
@@ -93,6 +94,20 @@ class TestRunner:
         run_all(["federation"], pods=2, spill_policy="never")
         assert captured == {"pods": 2, "spill_policy": "never"}
 
+    def test_profile_attaches_stats_to_the_run(self):
+        report = run_all(["table1"], profile=True)
+        run = report.runs[0]
+        assert run.profile is not None
+        assert "cumulative" in run.profile
+        assert "run_table1" in run.profile
+        # The profile section rides along in the concatenated report.
+        assert "Profile: table1" in report.rendered()
+
+    def test_no_profile_by_default(self):
+        report = run_all(["table1"])
+        assert report.runs[0].profile is None
+        assert "Profile:" not in report.rendered()
+
     def test_pods_pins_federation_axis(self):
         from repro.experiments.federation import run_federation
         result = run_federation(arrival_rates_hz=(10,), tenant_count=20,
@@ -159,3 +174,17 @@ class TestCli:
     def test_run_single_with_seed(self, capsys):
         assert main(["run", "table1", "--seed", "7"]) == 0
         assert "TABLE I" in capsys.readouterr().out
+
+    def test_profile_flag_parsed(self):
+        args = build_parser().parse_args(["run", "table1", "--profile"])
+        assert args.profile is True
+        args = build_parser().parse_args(["run-all", "--profile"])
+        assert args.profile is True
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.profile is False
+
+    def test_run_single_with_profile_prints_stats(self, capsys):
+        assert main(["run", "table1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "cumulative" in out

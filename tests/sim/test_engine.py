@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import AllOf, AnyOf, Interrupt, Simulator
+from repro.sim.engine import AllOf, AnyOf, Interrupt, Simulator, Timeout
 
 
 class TestEvent:
@@ -355,3 +355,121 @@ class TestSimulatorRun:
 
     def test_clock_starts_at_zero(self, sim):
         assert sim.now == 0.0
+
+
+class TestDelayValidation:
+    def test_nan_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError, match="finite"):
+            sim.timeout(float("nan"))
+
+    def test_infinite_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError, match="finite"):
+            sim.timeout(float("inf"))
+
+    def test_nan_schedule_rejected(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            sim.schedule(event, delay=float("nan"))
+
+    def test_infinite_schedule_rejected(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            sim.schedule(event, delay=float("inf"))
+
+
+class TestCancel:
+    def test_cancelled_timeout_never_runs(self, sim):
+        fired = []
+        keep = sim.timeout(2)
+        keep.callbacks.append(lambda e: fired.append("keep"))
+        doomed = sim.timeout(1)
+        doomed.callbacks.append(lambda e: fired.append("doomed"))
+        doomed.cancel()
+        sim.run()
+        assert fired == ["keep"]
+        assert sim.now == 2.0
+        assert doomed.cancelled
+
+    def test_cancel_updates_queue_accounting(self, sim):
+        doomed = sim.timeout(1)
+        sim.timeout(2)
+        assert sim.queue_size == 2
+        doomed.cancel()
+        assert sim.queue_size == 1
+        assert sim.peek() == 2.0
+
+    def test_cancel_pending_event_blocks_trigger(self, sim):
+        event = sim.event()
+        event.cancel()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_cancel_twice_rejected(self, sim):
+        doomed = sim.timeout(1)
+        doomed.cancel()
+        with pytest.raises(SimulationError, match="already cancelled"):
+            doomed.cancel()
+
+    def test_cancel_processed_rejected(self, sim):
+        done = sim.timeout(1)
+        sim.run()
+        with pytest.raises(SimulationError, match="already processed"):
+            done.cancel()
+
+
+class TestConditionDetach:
+    def test_any_of_detaches_losers(self, sim):
+        slow = sim.timeout(10, value="slow")
+        fast = sim.timeout(1, value="fast")
+        condition = sim.any_of([slow, fast])
+        sim.run(until=condition)
+        # The race is decided: the loser no longer carries a callback
+        # back into the condition, so its later firing adds nothing.
+        assert not slow.callbacks
+        sim.run()
+        assert list(condition.value.values()) == ["fast"]
+
+    def test_all_of_failure_detaches_survivors(self, sim):
+        good = sim.timeout(5)
+        bad = sim.event()
+        bad.fail(RuntimeError("dead"), delay=1)
+        condition = sim.all_of([good, bad])
+        with pytest.raises(RuntimeError, match="dead"):
+            sim.run(until=condition)
+        assert not good.callbacks
+
+
+class TestEventPooling:
+    def test_processed_timeout_is_recycled(self, sim):
+        sim.timeout(1)  # no reference retained -> poolable
+        sim.run()
+        pool = sim._pools[Timeout]
+        assert pool
+        recycled = pool[-1]
+        fresh = sim.timeout(3, value="again")
+        assert fresh is recycled
+        assert fresh.delay == 3
+        assert not fresh.processed
+        sim.run()
+        assert fresh.value == "again"
+        assert sim.now == 4.0
+
+    def test_referenced_timeout_is_not_recycled(self, sim):
+        held = sim.timeout(1)
+        sim.run()
+        assert held not in sim._pools[Timeout]
+        assert held.processed
+
+    def test_recycled_timeouts_stay_deterministic(self, sim):
+        log = []
+
+        def worker(name):
+            for _ in range(50):
+                yield sim.timeout(0.5)
+            log.append((name, sim.now))
+
+        for name in range(4):
+            sim.process(worker(name))
+        sim.run()
+        assert log == [(0, 25.0), (1, 25.0), (2, 25.0), (3, 25.0)]
+        assert len(sim._pools[Timeout]) <= 1024

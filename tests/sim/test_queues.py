@@ -1,0 +1,302 @@
+"""Unit and property tests for the pluggable pending-event backends.
+
+The determinism contract: every backend serves the same total order
+``(time, priority, sequence)``, so a heap-backed and a calendar-backed
+run of the same workload are bit-identical.  The property tests here
+enforce that by replaying randomized workloads (pushes, pops, horizon
+pops, cancellations) against both backends in lockstep.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    NORMAL_PRIORITY,
+    URGENT_PRIORITY,
+    Simulator,
+    default_queue_backend,
+)
+from repro.sim.queues import (
+    QUEUE_BACKENDS,
+    CalendarEventQueue,
+    HeapEventQueue,
+    make_queue,
+)
+
+
+class _Token:
+    """Stand-in event: just the cancellation flag the queues inspect."""
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+
+def _drain(queue):
+    entries = []
+    while True:
+        entry = queue.pop()
+        if entry is None:
+            break
+        entries.append(entry[:3])
+    return entries
+
+
+@pytest.fixture(params=sorted(QUEUE_BACKENDS))
+def queue(request):
+    """Each registered backend, same test body."""
+    return QUEUE_BACKENDS[request.param]()
+
+
+class TestBackendContract:
+    def test_registry_names_match_classes(self):
+        for name, cls in QUEUE_BACKENDS.items():
+            assert cls.name == name
+
+    def test_pop_empty_returns_none(self, queue):
+        assert queue.pop() is None
+        assert queue.pop_until(1e9) is None
+
+    def test_peek_empty_is_infinite(self, queue):
+        assert queue.peek() == math.inf
+
+    def test_orders_by_time_priority_sequence(self, queue):
+        token = _Token()
+        queue.push(2.0, NORMAL_PRIORITY, 0, token)
+        queue.push(1.0, NORMAL_PRIORITY, 1, token)
+        queue.push(1.0, URGENT_PRIORITY, 2, token)
+        queue.push(1.0, NORMAL_PRIORITY, 3, token)
+        assert _drain(queue) == [
+            (1.0, URGENT_PRIORITY, 2),
+            (1.0, NORMAL_PRIORITY, 1),
+            (1.0, NORMAL_PRIORITY, 3),
+            (2.0, NORMAL_PRIORITY, 0),
+        ]
+
+    def test_pop_until_respects_horizon(self, queue):
+        token = _Token()
+        queue.push(1.0, NORMAL_PRIORITY, 0, token)
+        queue.push(5.0, NORMAL_PRIORITY, 1, token)
+        assert queue.pop_until(2.0)[0] == 1.0
+        assert queue.pop_until(2.0) is None
+        assert len(queue) == 1  # the 5.0 entry is still queued
+        assert queue.pop_until(5.0)[0] == 5.0
+
+    def test_pop_until_horizon_is_inclusive(self, queue):
+        queue.push(3.0, NORMAL_PRIORITY, 0, _Token())
+        assert queue.pop_until(3.0) is not None
+
+    def test_peek_skips_cancelled_head(self, queue):
+        doomed, kept = _Token(), _Token()
+        queue.push(1.0, NORMAL_PRIORITY, 0, doomed)
+        queue.push(2.0, NORMAL_PRIORITY, 1, kept)
+        doomed._cancelled = True
+        queue.note_cancel(doomed)
+        assert queue.peek() == 2.0
+        assert len(queue) == 1
+
+    def test_cancelled_entries_never_surface(self, queue):
+        tokens = [_Token() for _ in range(10)]
+        for index, token in enumerate(tokens):
+            queue.push(float(index), NORMAL_PRIORITY, index, token)
+        for token in tokens[::2]:
+            token._cancelled = True
+            queue.note_cancel(token)
+        assert [entry[0] for entry in _drain(queue)] == [
+            1.0, 3.0, 5.0, 7.0, 9.0]
+
+    def test_len_and_peak_track_live_entries(self, queue):
+        token = _Token()
+        for index in range(5):
+            queue.push(float(index), NORMAL_PRIORITY, index, token)
+        assert len(queue) == 5
+        assert queue.peak_size == 5
+        queue.pop()
+        queue.pop()
+        assert len(queue) == 3
+        assert queue.peak_size == 5
+
+
+class TestCalendarMechanics:
+    def test_slot_count_must_be_power_of_two(self):
+        with pytest.raises(SimulationError):
+            CalendarEventQueue(slot_count=24)
+
+    def test_grows_and_shrinks_through_a_population_wave(self):
+        queue = CalendarEventQueue()
+        token = _Token()
+        count = 4 * queue._grow_at
+        for index in range(count):
+            queue.push(index * 1e-3, NORMAL_PRIORITY, index, token)
+        assert queue._count > CalendarEventQueue.MIN_SLOTS
+        grown = queue._count
+        popped = _drain(queue)
+        assert len(popped) == count
+        assert popped == sorted(popped)
+        assert queue._count < grown  # shrank back down while draining
+
+    def test_far_future_gap_served_via_jump(self):
+        queue = CalendarEventQueue()
+        token = _Token()
+        queue.push(0.001, NORMAL_PRIORITY, 0, token)
+        queue.push(1_000.0, NORMAL_PRIORITY, 1, token)
+        assert queue.pop()[0] == 0.001
+        assert queue.pop()[0] == 1_000.0
+
+    def test_pathological_same_slot_flood_falls_back_to_heap(self):
+        # Thousands of entries at one instant after a wide-span install:
+        # every entry lands in one slot, the cursor sweeps fruitlessly,
+        # and the backstop collapses the structure into a plain heap --
+        # order must survive the transition.
+        queue = CalendarEventQueue()
+        token = _Token()
+        queue.push(0.0, NORMAL_PRIORITY, 0, token)
+        queue.push(10_000.0, NORMAL_PRIORITY, 1, token)
+        for index in range(2, 500):
+            queue.push(5_000.0, NORMAL_PRIORITY, index, token)
+        entries = _drain(queue)
+        assert entries == sorted(entries)
+        assert len(entries) == 500
+
+    def test_push_before_cursor_window_still_serves_in_order(self):
+        queue = CalendarEventQueue()
+        token = _Token()
+        for index in range(64):
+            queue.push(1.0 + index * 0.25, NORMAL_PRIORITY, index, token)
+        assert queue.pop()[0] == 1.0
+        # Earlier than the served head: must not be lost behind the
+        # cursor even though its natural slot has already been passed.
+        queue.push(1.01, NORMAL_PRIORITY, 999, token)
+        assert queue.pop()[2] == 999
+
+
+def _random_workload(rng, operations):
+    """A reproducible op tape: (kind, args) tuples."""
+    tape = []
+    for index in range(operations):
+        roll = rng.random()
+        if roll < 0.55:
+            kind = rng.choice(("near", "far", "burst"))
+            if kind == "near":
+                delay = rng.uniform(0.0, 0.01)
+            elif kind == "far":
+                delay = rng.uniform(10.0, 1000.0)
+            else:
+                delay = rng.choice((0.0, 0.5, 0.5, 2.0))
+            priority = (URGENT_PRIORITY if rng.random() < 0.1
+                        else NORMAL_PRIORITY)
+            tape.append(("push", delay, priority))
+        elif roll < 0.8:
+            tape.append(("pop",))
+        elif roll < 0.9:
+            tape.append(("pop_until", rng.uniform(0.0, 50.0)))
+        else:
+            tape.append(("cancel", rng.randrange(1, 8)))
+    return tape
+
+
+def _replay(backend_cls, tape):
+    """Run the op tape; returns the observable history."""
+    queue = backend_cls()
+    history = []
+    pending = {}
+    sequence = 0
+    now = 0.0
+    for op in tape:
+        if op[0] == "push":
+            _, delay, priority = op
+            token = _Token()
+            queue.push(now + delay, priority, sequence, token)
+            pending[sequence] = token
+            sequence += 1
+        elif op[0] == "pop":
+            entry = queue.pop()
+            if entry is not None:
+                now = entry[0]
+                pending.pop(entry[2], None)
+            history.append(entry[:3] if entry else None)
+        elif op[0] == "pop_until":
+            entry = queue.pop_until(now + op[1])
+            if entry is not None:
+                now = entry[0]
+                pending.pop(entry[2], None)
+            history.append(entry[:3] if entry else None)
+        else:  # cancel the n-th oldest pending entry, if any
+            live = sorted(pending)
+            if live:
+                victim = live[min(op[1], len(live)) - 1]
+                token = pending.pop(victim)
+                token._cancelled = True
+                queue.note_cancel(token)
+        history.append(len(queue))
+    while True:
+        entry = queue.pop()
+        if entry is None:
+            break
+        history.append(entry[:3])
+    return history
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_workloads_identical_across_backends(self, seed):
+        tape = _random_workload(random.Random(seed), operations=400)
+        histories = [_replay(QUEUE_BACKENDS[name], tape)
+                     for name in sorted(QUEUE_BACKENDS)]
+        assert histories[0] == histories[1]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_simulations_bit_identical_across_backends(self, seed):
+        def run(backend):
+            rng = random.Random(seed)
+            sim = Simulator(queue=backend)
+            log = []
+
+            def worker(name):
+                for _ in range(20):
+                    yield sim.timeout(rng.uniform(0.0, 2.0))
+                    log.append((name, sim.now))
+
+            for name in range(10):
+                sim.process(worker(name))
+            sim.run()
+            return log, sim.now, sim.events_processed
+
+        assert run("heap") == run("calendar")
+
+
+class TestBackendSelection:
+    def test_make_queue_accepts_names_and_instances(self):
+        assert isinstance(make_queue("heap"), HeapEventQueue)
+        assert isinstance(make_queue("calendar"), CalendarEventQueue)
+        custom = HeapEventQueue()
+        assert make_queue(custom) is custom
+
+    def test_make_queue_rejects_unknown_backend(self):
+        with pytest.raises(SimulationError,
+                           match="unknown event-queue backend"):
+            make_queue("fibonacci")
+
+    def test_simulator_reports_backend(self):
+        assert Simulator(queue="heap").queue_backend == "heap"
+        assert Simulator(queue="calendar").queue_backend == "calendar"
+
+    def test_default_backend_contextmanager(self):
+        with default_queue_backend("heap"):
+            assert Simulator().queue_backend == "heap"
+        with default_queue_backend("calendar"):
+            assert Simulator().queue_backend == "calendar"
+
+    def test_queue_peak_size_visible_on_simulator(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.timeout(1.0)
+        assert sim.queue_peak_size == 7
+        sim.run()
+        assert sim.queue_size == 0
