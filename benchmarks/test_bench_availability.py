@@ -1,0 +1,56 @@
+"""Bench: availability under fault injection, self-heal on vs off.
+
+Shape assertions: at every swept failure rate (MTBF row) self-healing
+cuts tenant-seconds of unavailability by at least the experiment's
+:data:`~repro.experiments.availability.HEADLINE_SPEEDUP` target (the
+ISSUE's >= 5x acceptance criterion), the deterministic scripted-outage
+pair clears the same bar free of MTBF sampling variance, the zero-fault
+row shows the injector's hooks are inert, and re-admission lands every
+tenant it attempts at this load (the sweep runs with capacity
+headroom — self-healing cannot conjure capacity at a pool's wall).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.availability import (
+    HEADLINE_SPEEDUP,
+    run_availability,
+)
+
+
+def test_bench_availability(benchmark, artifact_writer):
+    result = benchmark.pedantic(run_availability, rounds=1, iterations=1)
+    artifact_writer("availability", result.render())
+    print(result.render())
+
+    labels = result.labels
+    assert "scripted" in labels and "none" in labels
+    mtbf_labels = [label for label in labels
+                   if label.startswith("mtbf=")]
+    assert len(mtbf_labels) >= 3
+
+    # The acceptance criterion, at every failure rate and for the
+    # deterministic scripted pair.
+    for label in mtbf_labels + ["scripted"]:
+        assert result.downtime_reduction(label) >= HEADLINE_SPEEDUP, label
+
+    # Faults actually fired, and harder rates fire more of them.
+    for label in mtbf_labels + ["scripted"]:
+        for heal in (True, False):
+            assert result.cell(label, heal).faults > 0, (label, heal)
+    by_rate = [result.cell(label, True).faults for label in mtbf_labels]
+    assert by_rate == sorted(by_rate)  # axis sweeps MTBF downwards
+
+    # Self-healing actually re-admitted pod-loss tenants somewhere,
+    # and everything it attempted landed (headroom regime).
+    healed_cells = [result.cell(label, True)
+                    for label in mtbf_labels + ["scripted"]]
+    assert any(cell.readmissions > 0 for cell in healed_cells)
+    for cell in healed_cells:
+        assert cell.readmission_success_rate == 1.0, cell.label
+
+    # The zero-fault row: inert hooks, zero downtime, full admission.
+    none = result.cell("none", True)
+    assert none.faults == 0
+    assert none.downtime_ts == 0.0
+    assert none.admitted == result.tenant_count

@@ -34,6 +34,20 @@ def _add_axis_flags(parser: argparse.ArgumentParser) -> None:
                         help="global-placer spill policy for "
                              "federation-aware experiments (default: "
                              "compare pinned vs least-loaded)")
+    parser.add_argument("--mtbf", type=float, default=None,
+                        help="mean time between failures (s) applied "
+                             "to every fault class in fault-aware "
+                             "experiments (availability; default: "
+                             "sweep the driver's MTBF axis)")
+    parser.add_argument("--fault-classes", default=None,
+                        dest="fault_classes",
+                        help="comma-separated fault classes to inject "
+                             "(memory_brick, rack_uplink, switch, "
+                             "shard, pod; default: all)")
+    parser.add_argument("--self-heal", choices=("on", "off"),
+                        default=None, dest="self_heal",
+                        help="pin the availability sweep's reaction "
+                             "axis (default: compare on vs off)")
     parser.add_argument("--profile", action="store_true",
                         help="wrap each experiment in cProfile and "
                              "append the hottest functions (sorted by "
@@ -70,6 +84,9 @@ def main(argv: list[str] | None = None) -> int:
         report = run_all([args.experiment], seed=args.seed,
                          shards=args.shards, pods=args.pods,
                          spill_policy=args.spill_policy,
+                         mtbf=args.mtbf,
+                         fault_classes=args.fault_classes,
+                         self_heal=args.self_heal,
                          profile=args.profile)
         print(report.runs[0].rendered)
         if report.runs[0].profile is not None:
@@ -79,6 +96,9 @@ def main(argv: list[str] | None = None) -> int:
         print(run_all(seed=args.seed, shards=args.shards,
                       pods=args.pods,
                       spill_policy=args.spill_policy,
+                      mtbf=args.mtbf,
+                      fault_classes=args.fault_classes,
+                      self_heal=args.self_heal,
                       profile=args.profile).rendered())
         return 0
     return 2  # pragma: no cover - argparse enforces the choices

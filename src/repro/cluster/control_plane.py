@@ -133,6 +133,15 @@ class ControlPlane:
         self.stats = ControlPlaneStats(worker_count=workers)
         self._tenant_tail: dict[str, Event] = {}
         self._in_service = 0
+        #: Tenants whose backing resources are impacted by an active
+        #: fault (memory brick death, pod outage) — populated by the
+        #: fault-reaction paths, cleared on re-placement or repair.
+        self.degraded: set[str] = set()
+        #: Pause gate: ``None`` while the plane serves; an untriggered
+        #: event while the plane (its pod) is down.  Workers that have
+        #: already claimed work park on it, so a dead pod never reads
+        #: as idle to the rebalancer/defragmenter.
+        self._gate: Optional[Event] = None
         #: Offloaded batches whose brick-side tail is still in flight.
         self._detached = 0
         #: brick_id -> (allocator version, fragmentation) — the
@@ -161,6 +170,27 @@ class ControlPlane:
         """True when no request is queued, being served, or detached."""
         return (self.admission.size == 0 and self._in_service == 0
                 and self._detached == 0)
+
+    @property
+    def paused(self) -> bool:
+        """True while the plane is down (see :meth:`pause`)."""
+        return self._gate is not None
+
+    def pause(self) -> None:
+        """Stop dispatching: the pod (or its controller) is down.
+
+        Requests keep queueing in admission; workers park before
+        serving until :meth:`resume`.  In-flight batches complete —
+        failures here are non-preemptive, like the link scheduler's.
+        """
+        if self._gate is None:
+            self._gate = self.sim.event()
+
+    def resume(self) -> None:
+        """Resume dispatching after :meth:`pause` (repair)."""
+        if self._gate is not None:
+            gate, self._gate = self._gate, None
+            gate.succeed()
 
     def tenant_tail(self, tenant_id: str) -> Optional[Event]:
         """The ``executed`` event of *tenant_id*'s most recently
@@ -217,6 +247,8 @@ class ControlPlane:
             # batch window must not read as an idle window (background
             # defragmentation would start ahead of a pending batch).
             self._in_service += 1
+            while self._gate is not None:  # pod down: park, stay busy
+                yield self._gate
             batch = [first]
             if (self.batch_window_s > 0
                     and 1 + self.admission.size < self.max_batch):
@@ -414,6 +446,82 @@ class ControlPlane:
                 self._frag_cache[brick_id] = cached
             total += cached[1]
         return total / len(entries)
+
+    # -- failure reactions --------------------------------------------------
+
+    def impacted_by_memory_brick(self, brick_id: str) -> list[str]:
+        """Tenants holding at least one segment on *brick_id*, sorted."""
+        return sorted({s.vm_id
+                       for s in self.system.sdm.impacted_by_memory_brick(
+                           brick_id)
+                       if s.vm_id})
+
+    def handle_memory_brick_failure(self, brick_id: str) -> list[str]:
+        """Synchronous part of a memory-brick death.
+
+        The brick leaves the placement pool and every tenant backed by
+        it is marked degraded; returns those tenants.  The self-healing
+        tail — re-placing the stranded segments — is
+        :meth:`evacuate_memory_brick_process`; without it the tenants
+        stay degraded until the brick repairs
+        (:meth:`handle_memory_brick_repair`).
+        """
+        impacted = self.impacted_by_memory_brick(brick_id)
+        self.system.sdm.registry.mark_memory_failed(brick_id)
+        self.degraded.update(impacted)
+        return impacted
+
+    def handle_memory_brick_repair(self, brick_id: str) -> list[str]:
+        """Return a repaired brick to service; un-degrades its tenants
+        (those not already re-placed elsewhere).  Returns the tenants
+        cleared."""
+        self.system.sdm.registry.restore_memory(brick_id)
+        cleared = [t for t in self.impacted_by_memory_brick(brick_id)
+                   if t in self.degraded]
+        self.degraded.difference_update(cleared)
+        return cleared
+
+    def evacuate_memory_brick_process(self, brick_id: str
+                                      ) -> ProcessGenerator:
+        """DES process: re-place every segment off a failed brick.
+
+        The self-healing reaction to :meth:`handle_memory_brick_failure`
+        — each stranded segment is relocated onto a healthy brick the
+        placement policy picks (two-phase across shards on a sharded
+        controller), and a tenant leaves ``degraded`` the moment its
+        last stranded segment lands.  Returns ``(moved, stranded)``
+        segment-id lists; stranded segments (no healthy brick fits)
+        leave their tenants degraded.
+        """
+        sdm = self.system.sdm
+        impacted_before = self.impacted_by_memory_brick(brick_id)
+        moved: list[str] = []
+        stranded: list[str] = []
+        for segment in list(sdm.impacted_by_memory_brick(brick_id)):
+            size = segment.size
+            candidates = [c for c in sdm.registry.memory_availability()
+                          if c.brick_id != brick_id]
+            target = sdm.policy.select_memory_brick(
+                candidates, size,
+                origin_rack_id=sdm.registry.rack_of(
+                    segment.compute_brick_id) or None)
+            if target is None:
+                stranded.append(segment.segment_id)
+                continue
+            try:
+                yield from sdm.relocate_segment_process(
+                    self.ctx, segment.segment_id, target)
+            except ReproError:
+                stranded.append(segment.segment_id)
+                continue
+            moved.append(segment.segment_id)
+        # A tenant this brick degraded recovers once none of its
+        # segments remain stranded on it; tenants degraded by other
+        # active faults are left alone.
+        still_impacted = set(self.impacted_by_memory_brick(brick_id))
+        self.degraded.difference_update(
+            t for t in impacted_before if t not in still_impacted)
+        return moved, stranded
 
     # -- tenant lifecycles --------------------------------------------------
 

@@ -82,6 +82,10 @@ class LinkSchedulerStats:
     total_wait_s: dict[TransferClass, float] = field(
         default_factory=lambda: {klass: 0.0 for klass in TransferClass})
     busy_s: float = 0.0
+    #: Pending transfers parked by a link failure (fault injection).
+    failed_transfers: int = 0
+    #: Parked transfers re-queued after the link repaired.
+    requeued_transfers: int = 0
 
     def mean_wait_s(self, klass: TransferClass) -> float:
         count = self.served[klass]
@@ -115,6 +119,11 @@ class LinkScheduler:
             klass: [] for klass in TransferClass}
         self._ids = itertools.count()
         self._wakeup: Optional[Event] = None
+        #: False while the link is failed: queued work parks and the
+        #: server idles until :meth:`repair_link`.
+        self.link_up = True
+        #: Transfers stranded by a link failure, awaiting re-queue.
+        self._parked: list[LinkTransfer] = []
         self.stats = LinkSchedulerStats()
         #: Transfers in the order their serialization started.
         self.service_log: list[LinkTransfer] = []
@@ -135,6 +144,11 @@ class LinkScheduler:
             enqueued_s=self.sim.now,
             done=self.sim.event(),
         )
+        if not self.link_up:
+            # Down link: the transfer parks and rides the repair
+            # re-queue; its ``done`` simply fires late.
+            self._parked.append(transfer)
+            return transfer
         self._queues[klass].append(transfer)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
@@ -142,6 +156,51 @@ class LinkScheduler:
 
     def queue_depth(self, klass: TransferClass) -> int:
         return len(self._queues[klass])
+
+    # -- link failure -------------------------------------------------------
+
+    @property
+    def parked_count(self) -> int:
+        """Transfers stranded by the current link failure."""
+        return len(self._parked)
+
+    def fail_link(self) -> list[LinkTransfer]:
+        """Take the link down (fault injection); returns the transfers
+        parked.
+
+        Every queued transfer parks until :meth:`repair_link`; a frame
+        already mid-serialization finishes (the wire is non-preemptive)
+        and its completion delivers normally.  Parked transfers are
+        never dropped — their ``done`` events fire after the repair
+        re-queue, so waiting processes observe a stall, not an error.
+        """
+        if not self.link_up:
+            raise DataMoverError("link is already failed")
+        self.link_up = False
+        stranded: list[LinkTransfer] = []
+        for klass in PRIORITY_ORDER:
+            stranded.extend(self._queues[klass])
+            self._queues[klass].clear()
+        stranded.sort(key=lambda t: t.transfer_id)
+        self._parked.extend(stranded)
+        self.stats.failed_transfers += len(stranded)
+        return stranded
+
+    def repair_link(self) -> int:
+        """Bring the link back; re-queues parked transfers in original
+        submission order and wakes the server.  Returns the count."""
+        if self.link_up:
+            raise DataMoverError("link is not failed")
+        self.link_up = True
+        requeued = sorted(self._parked, key=lambda t: t.transfer_id)
+        self._parked.clear()
+        for transfer in requeued:
+            self._queues[transfer.klass].append(transfer)
+        self.stats.requeued_transfers += len(requeued)
+        if (requeued and self._wakeup is not None
+                and not self._wakeup.triggered):
+            self._wakeup.succeed()
+        return len(requeued)
 
     # -- arbitration --------------------------------------------------------
 
@@ -162,6 +221,9 @@ class LinkScheduler:
 
     def _server(self):
         while True:
+            # A failed link looks like an empty queue: _pick finds
+            # nothing (fail_link parked it all) and the server sleeps
+            # on _wakeup until the repair re-queue fires it.
             transfer = self._pick()
             if transfer is None:
                 self._wakeup = self.sim.event()

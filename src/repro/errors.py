@@ -114,3 +114,8 @@ class ConfigurationError(ReproError):
 
 class DataMoverError(ReproError):
     """Error in the remote-memory data-movement subsystem."""
+
+
+class FaultError(ReproError):
+    """Fault-injection misuse (unknown class/target, bad MTBF/MTTR,
+    conflicting scripted outages)."""

@@ -10,9 +10,10 @@ streams from it via :class:`~repro.sim.rng.RngRegistry`; deterministic
 drivers accept and ignore it.
 
 Axis overrides (``shards`` for the ``cluster_scale`` sweep; ``pods``
-and ``spill_policy`` for the ``federation`` sweep) are forwarded only
-to drivers whose signature declares the keyword, so sweep-specific
-flags never break the other experiments.
+and ``spill_policy`` for the ``federation`` sweep; ``mtbf``,
+``fault_classes`` and ``self_heal`` for the ``availability`` sweep)
+are forwarded only to drivers whose signature declares the keyword, so
+sweep-specific flags never break the other experiments.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ import pstats
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.experiments.availability import run_availability
 from repro.experiments.cluster_scale import run_cluster_scale
 from repro.experiments.datamover import run_datamover
 from repro.experiments.federation import run_federation
@@ -48,6 +50,7 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "datamover": run_datamover,
     "cluster_scale": run_cluster_scale,
     "federation": run_federation,
+    "availability": run_availability,
     "kernel_bench": run_kernel_bench,
 }
 
@@ -102,14 +105,18 @@ def run_all(names: list[str] | None = None,
             shards: Optional[int] = None,
             pods: Optional[int] = None,
             spill_policy: Optional[str] = None,
+            mtbf: Optional[float] = None,
+            fault_classes: Optional[str] = None,
+            self_heal: Optional[str] = None,
             profile: bool = False) -> RunAllReport:
     """Execute the named experiments (all of them by default).
 
     When *seed* is given it is passed to every driver, overriding each
     one's default, so the whole sweep reproduces from one number.
     Axis overrides — *shards* (controller shard count, ``cluster_scale``),
-    *pods* (pod count) and *spill_policy* (``federation``) — are
-    forwarded only to drivers whose signature declares the keyword.
+    *pods* (pod count), *spill_policy* (``federation``), and *mtbf* /
+    *fault_classes* / *self_heal* (``availability``) — are forwarded
+    only to drivers whose signature declares the keyword.
     With *profile* each driver runs under :mod:`cProfile` and the
     report carries the top functions by cumulative time — the hot-path
     view the kernel optimizations are steered by.
@@ -117,7 +124,8 @@ def run_all(names: list[str] | None = None,
     if names is None:
         names = list(EXPERIMENTS)
     overrides = {"shards": shards, "pods": pods,
-                 "spill_policy": spill_policy}
+                 "spill_policy": spill_policy, "mtbf": mtbf,
+                 "fault_classes": fault_classes, "self_heal": self_heal}
     report = RunAllReport()
     for name in names:
         if name not in EXPERIMENTS:

@@ -1,0 +1,45 @@
+"""MTBF-driven fault injection and self-healing (the failure tier).
+
+Nothing in the reproduction died until this package: every tier —
+fabric, data-mover, control plane, sharded controller, federation —
+assumed a world without failures, while the ROADMAP names failures as
+a first-class input.  :mod:`repro.faults` closes that gap:
+
+* :class:`~repro.faults.injector.FaultInjector` schedules MTBF-driven
+  failure/repair events (exponential inter-arrival, per-class
+  MTBF/MTTR) on the shared DES clock for five fault classes — memory
+  brick, rack uplink, inter-rack switch, shard controller, whole pod —
+  drawing every sample from seeded named RNG streams so a given seed
+  always produces the identical fault schedule;
+* :class:`~repro.faults.injector.FaultPlan` scripts reproducible
+  outages declaratively (fail *this* pod at t=3s for 2s);
+* :class:`~repro.faults.metrics.AvailabilityMetrics` accounts
+  tenant-seconds of unavailability, per-class MTTR, and re-admission
+  success — the headline axes of ``experiments/availability.py``.
+
+Every tier reacts through its own primitives (shard takeover over a
+consistent hash ring, link park/re-queue, brick evacuation, pod
+re-admission from the placer's committed-claim ledger); the injector
+only decides *what* dies *when*.
+"""
+
+from repro.faults.injector import (
+    DEFAULT_SPECS,
+    FaultClass,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    ScriptedFault,
+)
+from repro.faults.metrics import AvailabilityMetrics, FaultEvent
+
+__all__ = [
+    "AvailabilityMetrics",
+    "DEFAULT_SPECS",
+    "FaultClass",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "ScriptedFault",
+]

@@ -1,0 +1,149 @@
+"""Availability accounting for fault injection.
+
+:class:`AvailabilityMetrics` measures what the ROADMAP names as the
+headline of the failure arc: **tenant-seconds of unavailability** vs
+injected failure rate, with and without self-healing.  A tenant is
+*unavailable* while any active fault cuts it off from its resources —
+its pod down, its memory brick dead, its rack's uplink severed — and
+recovers either when self-healing re-places it (re-admission,
+evacuation, takeover) or when the component repairs, whichever comes
+first.  Overlapping faults on one tenant are reference-counted so two
+simultaneous outages never double-close one downtime interval.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.engine import Simulator
+
+
+class FaultClass(enum.Enum):
+    """The five injectable fault classes, smallest blast radius first."""
+
+    MEMORY_BRICK = "memory_brick"
+    RACK_UPLINK = "rack_uplink"
+    SWITCH = "switch"
+    SHARD = "shard"
+    POD = "pod"
+
+
+@dataclass
+class FaultEvent:
+    """One injected failure, from injection to repair."""
+
+    klass: FaultClass
+    #: ``pod:component`` for pod-internal targets (brick, rack, shard),
+    #: the bare pod id for pod and switch faults.
+    target: str
+    failed_s: float
+    repaired_s: Optional[float] = None
+    #: Tenants this fault cut off, at injection time.
+    impacted_tenants: tuple[str, ...] = ()
+    #: Tenants a self-healing reaction recovered before repair.
+    healed_tenants: tuple[str, ...] = ()
+    #: True when the event came from a :class:`FaultPlan`, not MTBF.
+    scripted: bool = False
+
+    @property
+    def repair_duration_s(self) -> Optional[float]:
+        if self.repaired_s is None:
+            return None
+        return self.repaired_s - self.failed_s
+
+
+class AvailabilityMetrics:
+    """Tenant downtime, per-class MTTR and re-admission accounting."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        #: Every injected fault, in injection order.
+        self.events: list[FaultEvent] = []
+        #: Total tenant-seconds of unavailability (closed intervals).
+        self.tenant_seconds_unavailable = 0.0
+        #: Tenants successfully re-admitted on another pod.
+        self.readmissions = 0
+        #: Re-admission attempts no surviving pod could take.
+        self.readmission_failures = 0
+        #: tenant id -> number of active faults currently cutting it off.
+        self._down_count: dict[str, int] = {}
+        #: tenant id -> when its current downtime interval opened.
+        self._down_since: dict[str, float] = {}
+
+    # -- fault lifecycle ----------------------------------------------------
+
+    def record_fault(self, event: FaultEvent) -> FaultEvent:
+        self.events.append(event)
+        return event
+
+    def record_repair(self, event: FaultEvent) -> None:
+        event.repaired_s = self.sim.now
+
+    # -- tenant downtime ----------------------------------------------------
+
+    @property
+    def tenants_down(self) -> list[str]:
+        """Tenants currently inside a downtime interval, sorted."""
+        return sorted(self._down_since)
+
+    def mark_unavailable(self, tenant_id: str) -> None:
+        """A fault cut *tenant_id* off (reference-counted: overlapping
+        faults extend the same interval)."""
+        self._down_count[tenant_id] = (
+            self._down_count.get(tenant_id, 0) + 1)
+        self._down_since.setdefault(tenant_id, self.sim.now)
+
+    def mark_available(self, tenant_id: str) -> None:
+        """One fault holding *tenant_id* down cleared; the downtime
+        interval closes when the last one does."""
+        count = self._down_count.get(tenant_id, 0)
+        if count <= 0:
+            return  # never marked down (or already recovered)
+        if count > 1:
+            self._down_count[tenant_id] = count - 1
+            return
+        del self._down_count[tenant_id]
+        started = self._down_since.pop(tenant_id)
+        self.tenant_seconds_unavailable += self.sim.now - started
+
+    def mark_departed(self, tenant_id: str, pod_id: str = "") -> None:
+        """The tenant left the federation: close its interval outright
+        (a departed tenant accrues no downtime).  Signature matches the
+        federation's depart hook."""
+        if tenant_id in self._down_since:
+            started = self._down_since.pop(tenant_id)
+            self.tenant_seconds_unavailable += self.sim.now - started
+        self._down_count.pop(tenant_id, None)
+
+    def finalize(self) -> float:
+        """Close every open downtime interval at the current clock;
+        returns the total tenant-seconds of unavailability."""
+        for tenant_id in list(self._down_since):
+            self._down_count[tenant_id] = 1
+            self.mark_available(tenant_id)
+        return self.tenant_seconds_unavailable
+
+    # -- derived reports ----------------------------------------------------
+
+    def fault_count(self, klass: Optional[FaultClass] = None) -> int:
+        if klass is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.klass is klass)
+
+    def mttr_s(self, klass: Optional[FaultClass] = None) -> float:
+        """Mean observed repair time of (one class of) repaired faults."""
+        durations = [e.repair_duration_s for e in self.events
+                     if e.repair_duration_s is not None
+                     and (klass is None or e.klass is klass)]
+        if not durations:
+            return 0.0
+        return sum(durations) / len(durations)
+
+    @property
+    def readmission_success_rate(self) -> float:
+        """Fraction of re-admission attempts that landed (1.0 when the
+        run never needed one)."""
+        total = self.readmissions + self.readmission_failures
+        return self.readmissions / total if total else 1.0

@@ -46,7 +46,7 @@ from repro.cluster.metrics import ControlPlaneStats, RequestRecord
 from repro.cluster.trace import TenantSpec, TenantTrace
 from repro.core.builder import PodBuilder
 from repro.core.system import DisaggregatedSystem
-from repro.errors import FederationError
+from repro.errors import FederationError, ReproError
 from repro.federation.migration import InterPodMigrator, MigrationOutcome
 from repro.federation.placer import GlobalPlacer
 from repro.federation.rebalancer import FederationRebalancer
@@ -68,6 +68,9 @@ class FederatedPod:
     pod_id: str
     system: DisaggregatedSystem
     plane: ControlPlane
+    #: False while the whole pod is failed (fault injection): its plane
+    #: is paused and the placer stops routing new tenants to it.
+    alive: bool = True
 
 
 @dataclass
@@ -82,6 +85,10 @@ class FederationStats:
     migrations: int = 0
     migration_rollbacks: int = 0
     bytes_migrated: int = 0
+    #: Tenants re-admitted on another pod after losing theirs.
+    readmissions: int = 0
+    #: Re-admission attempts no surviving pod could take.
+    readmission_failures: int = 0
     duration_s: float = 0.0
     #: The boot request record of every trace-admitted tenant (excludes
     #: migration-internal boots, which live in the pod stats only).
@@ -148,6 +155,10 @@ class FederationController:
         self._tenant_pod: dict[str, str] = {}
         #: tenant id -> gate event while an inter-pod move is in flight.
         self._moving: dict[str, Event] = {}
+        #: Called ``(tenant_id, pod_id)`` after a served depart has
+        #: deregistered the tenant — availability accounting hooks in
+        #: here so a departed tenant stops accruing downtime.
+        self.depart_hooks: list[Callable[[str, str], None]] = []
         self.rebalancer = rebalancer
         if rebalancer is not None:
             rebalancer.install(self)
@@ -207,6 +218,14 @@ class FederationController:
                 if (request.record.ok
                         and self._tenant_pod.get(tenant_id) == pod_id):
                     del self._tenant_pod[tenant_id]
+                    # Same guard for the committed-claim ledger: a
+                    # migration/re-admission that re-homed the tenant
+                    # owns the newer entry.
+                    ledger = self.placer.ledger_claim(tenant_id)
+                    if ledger is not None and ledger.pod_id == pod_id:
+                        self.placer.forget(tenant_id)
+                    for hook in self.depart_hooks:
+                        hook(tenant_id, pod_id)
             request.done.callbacks.append(deregister)
         return request
 
@@ -235,6 +254,110 @@ class FederationController:
         outcome: MigrationOutcome = yield from self.migrator.migrate_process(
             tenant_id, target_pod_id)
         return outcome
+
+    # -- pod failure and re-admission ---------------------------------------
+
+    def fail_pod(self, pod_id: str) -> list[str]:
+        """Take a whole pod down (fault injection).
+
+        The pod's control plane pauses (queued and future requests park
+        until repair), the placer stops routing new tenants to it, and
+        the tenants currently living there — returned, sorted — are cut
+        off.  Without self-healing they stay down until
+        :meth:`restore_pod`; with it,
+        :meth:`readmit_pod_tenants_process` boots them elsewhere from
+        the committed-claim ledger.
+        """
+        pod = self.pods.get(pod_id)
+        if pod is None:
+            raise FederationError(f"unknown pod {pod_id!r}")
+        if not pod.alive:
+            raise FederationError(f"pod {pod_id!r} is already failed")
+        pod.alive = False
+        pod.plane.pause()
+        return self.tenants_on(pod_id)
+
+    def restore_pod(self, pod_id: str) -> None:
+        """Bring a failed pod back; its plane resumes serving."""
+        pod = self.pods.get(pod_id)
+        if pod is None:
+            raise FederationError(f"unknown pod {pod_id!r}")
+        if pod.alive:
+            raise FederationError(f"pod {pod_id!r} is not failed")
+        pod.alive = True
+        pod.plane.resume()
+
+    def readmit_pod_tenants_process(self, pod_id: str) -> ProcessGenerator:
+        """DES process: re-admit a lost pod's tenants elsewhere.
+
+        Replays the placer's committed-claim ledger for *pod_id* in
+        tenant-id order (deterministic), booting each tenant on the
+        best surviving pod.  Returns ``(readmitted, failed)`` tenant-id
+        lists; failures (no surviving capacity) leave the tenant parked
+        on the dead pod until repair.
+        """
+        readmitted: list[str] = []
+        failed: list[str] = []
+        for claim in self.placer.ledger_for_pod(pod_id):
+            new_pod = yield from self.readmit_tenant_process(
+                claim.tenant_id)
+            if new_pod is None:
+                failed.append(claim.tenant_id)
+            else:
+                readmitted.append(claim.tenant_id)
+        return readmitted, failed
+
+    def readmit_tenant_process(self, tenant_id: str) -> ProcessGenerator:
+        """DES process: boot a lost tenant's replacement elsewhere.
+
+        The footprint comes from the tenant's committed
+        :class:`~repro.federation.placer.PodClaim`; the dead replica is
+        fenced (its VM state released, so the repaired pod never
+        double-books that capacity) and a fresh boot runs on the
+        surviving pod the placer picks — emergency placement, ignoring
+        the spill policy but honouring anti-affinity.  The tenant's
+        migration gate is held for the duration, so racing lifecycle
+        requests route to the final pod.  Returns the new pod id, or
+        ``None`` when no surviving pod can take the tenant.
+        """
+        claim = self.placer.ledger_claim(tenant_id)
+        if claim is None or tenant_id in self._moving:
+            return None
+        source = self.pods.get(claim.pod_id)
+        target = self.placer.place_for_readmission(
+            tenant_id, claim.ram_bytes, claim.vcpus)
+        if target is None:
+            self.stats.readmission_failures += 1
+            return None
+        gate = self.sim.event()
+        self._moving[tenant_id] = gate
+        try:
+            if source is not None and not source.alive:
+                try:  # fence the lost replica's bookkeeping
+                    source.system.terminate_vm(tenant_id)
+                except ReproError:
+                    pass  # never fully booted there
+            new_claim = self.placer.reserve(
+                target, claim.ram_bytes, claim.vcpus,
+                tenant_id=tenant_id)
+            self._tenant_pod[tenant_id] = target
+            boot = self.pods[target].plane.submit(
+                "boot", tenant_id,
+                request=VmAllocationRequest(
+                    vm_id=tenant_id, vcpus=claim.vcpus,
+                    ram_bytes=claim.ram_bytes))
+            yield boot.done
+            if not boot.record.ok:
+                self.placer.release(new_claim)
+                self._tenant_pod[tenant_id] = claim.pod_id
+                self.stats.readmission_failures += 1
+                return None
+            self.placer.commit(new_claim)  # supersedes the dead entry
+            self.stats.readmissions += 1
+            return target
+        finally:
+            del self._moving[tenant_id]
+            gate.succeed()
 
     # -- tenant lifecycles --------------------------------------------------
 
@@ -281,7 +404,8 @@ class FederationController:
                                    spec.vcpus, home=home)
         # Two-phase admission: the claim covers the decision-to-
         # reservation window, then the pod's own allocators take over.
-        claim = self.placer.reserve(pod_id, spec.ram_bytes, spec.vcpus)
+        claim = self.placer.reserve(pod_id, spec.ram_bytes, spec.vcpus,
+                                    tenant_id=spec.tenant_id)
         self._tenant_pod[spec.tenant_id] = pod_id
         boot = self.pods[pod_id].plane.submit(
             "boot", spec.tenant_id,
@@ -339,6 +463,7 @@ def build_federation(pod_count: int, *,
                      section_bytes: int = mib(256),
                      spill_policy: str = "least-loaded",
                      scoring=None,
+                     anti_affinity=None,
                      rebalancer: Optional[FederationRebalancer] = None,
                      **federation_kwargs) -> FederationController:
     """Assemble N identically-built pods under one federation.
@@ -365,6 +490,8 @@ def build_federation(pod_count: int, *,
     placer_kwargs = {"spill_policy": spill_policy}
     if scoring is not None:
         placer_kwargs["scoring"] = scoring
+    if anti_affinity is not None:
+        placer_kwargs["anti_affinity"] = anti_affinity
     return FederationController(
         systems, placer=GlobalPlacer(**placer_kwargs),
         rebalancer=rebalancer, **federation_kwargs)

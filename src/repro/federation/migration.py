@@ -114,7 +114,7 @@ class InterPodMigrator:
             # real boot of the whole footprint through its admission
             # pipeline.
             claim = fed.placer.reserve(target_pod_id, total_bytes,
-                                       vm.vcpus)
+                                       vm.vcpus, tenant_id=tenant_id)
             boot = target.plane.submit(
                 "boot", tenant_id,
                 request=VmAllocationRequest(

@@ -95,6 +95,11 @@ class PodClaim:
     pod_id: str
     ram_bytes: int
     vcpus: int
+    #: The tenant the claim admits.  Claims carrying a tenant id are
+    #: remembered in the placer's committed-claim ledger after
+    #: :meth:`GlobalPlacer.commit` — the durable record a lost pod's
+    #: tenants are re-admitted from.
+    tenant_id: str = ""
 
 
 class GlobalPlacer:
@@ -102,18 +107,31 @@ class GlobalPlacer:
 
     def __init__(self, spill_policy: str = "least-loaded",
                  scoring: Callable[[PodSnapshot],
-                                   float] = free_capacity_score) -> None:
+                                   float] = free_capacity_score,
+                 anti_affinity: Optional[Callable[[str], str]] = None
+                 ) -> None:
         if spill_policy not in SPILL_POLICIES:
             raise FederationError(
                 f"unknown spill policy {spill_policy!r}; known: "
                 f"{', '.join(SPILL_POLICIES)}")
         self.spill_policy = spill_policy
         self.scoring = scoring
+        #: tenant id -> replica/tenant-group key ("" = ungrouped).
+        #: When set, placement avoids pods already hosting another
+        #: member of the tenant's group (soft constraint: a group fits
+        #: on one pod only when no conflict-free pod can take it), so
+        #: replicas land in distinct pods and one pod loss cannot take
+        #: a whole group down.
+        self.anti_affinity = anti_affinity
         self._pods: Mapping[str, object] = {}
         self._claims: dict[int, PodClaim] = {}
         self._claim_ids = itertools.count()
         self._claimed_bytes: dict[str, int] = {}
         self._claimed_cores: dict[str, int] = {}
+        #: Committed-claim ledger: tenant id -> the claim its admission
+        #: committed.  This is the federation's durable record of who
+        #: lives where — re-admission after a pod loss replays it.
+        self._ledger: dict[str, PodClaim] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -132,8 +150,25 @@ class GlobalPlacer:
 
     @property
     def pod_ids(self) -> list[str]:
-        """Every bound pod id, sorted (the canonical order)."""
+        """Every bound pod id, sorted (the canonical order).
+
+        Deliberately includes failed pods: :meth:`home_pod` hashes over
+        this list, and the home mapping of every *other* tenant must
+        not shift when one pod dies.
+        """
         return sorted(self._pods)
+
+    @property
+    def live_pod_ids(self) -> list[str]:
+        """Bound pods currently alive (pods without an ``alive`` flag —
+        plain test doubles — count as alive), sorted."""
+        return [pod_id for pod_id in self.pod_ids
+                if getattr(self._pods[pod_id], "alive", True)]
+
+    def pod_alive(self, pod_id: str) -> bool:
+        """True when *pod_id* is bound and currently alive."""
+        pod = self._pods.get(pod_id)
+        return pod is not None and getattr(pod, "alive", True)
 
     def home_pod(self, tenant_id: str) -> str:
         """The tenant's home pod: a stable hash over the pod set.
@@ -198,17 +233,58 @@ class GlobalPlacer:
         if home not in self._pods:
             raise FederationError(f"unknown home pod {home!r}")
         if self.spill_policy == "never":
-            return home
-        if self.fits(self.snapshot(home), ram_bytes, vcpus):
+            return home  # pinned, even to a dead pod: the baseline
+        conflicted = self._conflicted_pods(tenant_id)
+        if (self.pod_alive(home) and home not in conflicted
+                and self.fits(self.snapshot(home), ram_bytes, vcpus)):
             return home
         fitting = [s for s in self.snapshots()
-                   if s.pod_id != home and self.fits(s, ram_bytes, vcpus)]
-        if not fitting:
+                   if s.pod_id != home and self.pod_alive(s.pod_id)
+                   and self.fits(s, ram_bytes, vcpus)]
+        # Anti-affinity is soft: conflict-free pods win, but when every
+        # fitting pod already hosts a group-mate, co-location beats
+        # rejection.
+        preferred = [s for s in fitting
+                     if s.pod_id not in conflicted] or fitting
+        if not preferred:
             return home
         if self.spill_policy == "first-fit":
-            return fitting[0].pod_id  # snapshots() is in canonical order
-        fitting.sort(key=lambda s: (-self.scoring(s), s.pod_id))
-        return fitting[0].pod_id
+            return preferred[0].pod_id  # snapshots() is in canonical order
+        preferred.sort(key=lambda s: (-self.scoring(s), s.pod_id))
+        return preferred[0].pod_id
+
+    def place_for_readmission(self, tenant_id: str, ram_bytes: int,
+                              vcpus: int) -> Optional[str]:
+        """Emergency placement for a tenant whose pod died.
+
+        Ignores the spill policy and home-pod preference (the home is
+        gone); picks the best-scoring *live* pod that fits, preferring
+        anti-affinity-clean pods.  Returns ``None`` when no surviving
+        pod can take the tenant — the caller counts a re-admission
+        failure and leaves the tenant parked until repair.
+        """
+        conflicted = self._conflicted_pods(tenant_id)
+        fitting = [s for s in self.snapshots()
+                   if self.pod_alive(s.pod_id)
+                   and self.fits(s, ram_bytes, vcpus)]
+        preferred = [s for s in fitting
+                     if s.pod_id not in conflicted] or fitting
+        if not preferred:
+            return None
+        preferred.sort(key=lambda s: (-self.scoring(s), s.pod_id))
+        return preferred[0].pod_id
+
+    def _conflicted_pods(self, tenant_id: str) -> frozenset:
+        """Pods whose committed ledger already hosts a member of
+        *tenant_id*'s anti-affinity group (empty without grouping)."""
+        if self.anti_affinity is None:
+            return frozenset()
+        group = self.anti_affinity(tenant_id)
+        if not group:
+            return frozenset()
+        return frozenset(
+            claim.pod_id for other, claim in self._ledger.items()
+            if other != tenant_id and self.anti_affinity(other) == group)
 
     # -- two-phase claims ----------------------------------------------------
 
@@ -219,12 +295,13 @@ class GlobalPlacer:
         return list(self._claims.values())
 
     def reserve(self, pod_id: str, ram_bytes: int,
-                vcpus: int) -> PodClaim:
+                vcpus: int, tenant_id: str = "") -> PodClaim:
         """Phase 1: record a tentative claim against *pod_id*'s ledger."""
         if pod_id not in self._pods:
             raise FederationError(f"unknown pod {pod_id!r}")
         claim = PodClaim(claim_id=next(self._claim_ids), pod_id=pod_id,
-                         ram_bytes=ram_bytes, vcpus=vcpus)
+                         ram_bytes=ram_bytes, vcpus=vcpus,
+                         tenant_id=tenant_id)
         self._claims[claim.claim_id] = claim
         self._claimed_bytes[pod_id] = (
             self._claimed_bytes.get(pod_id, 0) + ram_bytes)
@@ -234,9 +311,13 @@ class GlobalPlacer:
 
     def commit(self, claim: PodClaim) -> None:
         """Phase 2 success: the pod-level reservation landed, so the
-        capacity now shows in the pod's registry and the ledger entry
-        is redundant."""
+        capacity now shows in the pod's registry and the in-flight
+        entry is redundant.  A claim carrying a tenant id is remembered
+        in the committed ledger (re-admission source after pod loss)
+        until :meth:`forget` or a later commit supersedes it."""
         self._drop(claim)
+        if claim.tenant_id:
+            self._ledger[claim.tenant_id] = claim
 
     def release(self, claim: PodClaim) -> None:
         """Phase 2 rejection: return the claimed capacity to the ledger."""
@@ -249,3 +330,21 @@ class GlobalPlacer:
         del self._claims[claim.claim_id]
         self._claimed_bytes[claim.pod_id] -= claim.ram_bytes
         self._claimed_cores[claim.pod_id] -= claim.vcpus
+
+    # -- committed ledger ----------------------------------------------------
+
+    def ledger_claim(self, tenant_id: str) -> Optional[PodClaim]:
+        """The committed claim backing *tenant_id*, if any."""
+        return self._ledger.get(tenant_id)
+
+    def ledger_for_pod(self, pod_id: str) -> list[PodClaim]:
+        """Committed claims homed on *pod_id*, in tenant-id order —
+        the replay set a lost pod's re-admission works through."""
+        return [self._ledger[tenant_id]
+                for tenant_id in sorted(self._ledger)
+                if self._ledger[tenant_id].pod_id == pod_id]
+
+    def forget(self, tenant_id: str) -> Optional[PodClaim]:
+        """Drop *tenant_id*'s committed ledger entry (tenant departed);
+        returns the entry, or ``None`` when there was none."""
+        return self._ledger.pop(tenant_id, None)

@@ -113,8 +113,10 @@ class FederationRebalancer:
         and the move cannot overshoot into reverse imbalance).
         """
         fed = self.federation
+        # Failed pods neither donate nor receive: their planes are
+        # paused, so a drain involving one would park until repair.
         loads = {pod_id: self.pod_utilization(pod)
-                 for pod_id, pod in fed.pods.items()}
+                 for pod_id, pod in fed.pods.items() if pod.alive}
         if len(loads) < 2:
             return None
         hot = max(sorted(loads), key=lambda p: loads[p])

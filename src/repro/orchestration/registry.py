@@ -31,6 +31,9 @@ class ComputeEntry:
     #: Rack holding the brick ("" in single-rack deployments that never
     #: told the registry about topology).
     rack_id: str = ""
+    #: Set when the brick (or its rack's uplink) has failed; failed
+    #: bricks are excluded from placement until repaired.
+    failed: bool = False
 
 
 @dataclass
@@ -138,9 +141,11 @@ class ResourceRegistry:
     # -- availability snapshots ---------------------------------------------------------
 
     def compute_availability(self) -> list[ComputeAvailability]:
-        """Free capacity of every compute brick."""
+        """Free capacity of every healthy compute brick."""
         snapshots = []
         for entry in self._compute.values():
+            if entry.failed:
+                continue
             hypervisor = entry.hypervisor
             snapshots.append(ComputeAvailability(
                 brick_id=entry.brick.brick_id,
@@ -173,6 +178,30 @@ class ResourceRegistry:
         entry = self.memory(brick_id)
         entry.failed = True
         entry.brick.power_off()
+        return entry
+
+    def restore_memory(self, brick_id: str) -> MemoryEntry:
+        """Return a repaired memory brick to the placement pool."""
+        entry = self.memory(brick_id)
+        entry.failed = False
+        entry.brick.power_on()
+        return entry
+
+    def mark_compute_failed(self, brick_id: str) -> ComputeEntry:
+        """Exclude a failed compute brick from all future placement.
+
+        The brick keeps its registered state (hypervisor, VMs) — a
+        repaired brick resumes serving its tenants where it stopped —
+        but no new placement lands on it while failed.
+        """
+        entry = self.compute(brick_id)
+        entry.failed = True
+        return entry
+
+    def restore_compute(self, brick_id: str) -> ComputeEntry:
+        """Return a repaired compute brick to the placement pool."""
+        entry = self.compute(brick_id)
+        entry.failed = False
         return entry
 
     # -- power management ------------------------------------------------------------------

@@ -37,7 +37,9 @@ concurrent cross-shard traffic; explicit abort rollback).
 
 from __future__ import annotations
 
+import bisect
 import itertools
+import zlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -64,6 +66,11 @@ from repro.software.scaleup import AttachTicket
 
 #: Prefix of the named reservation domains the shards live on.
 SHARD_DOMAIN_PREFIX = "sdm."
+
+#: Virtual nodes per shard on the takeover hash ring.  Enough replicas
+#: that a dead shard's racks spread across the survivors instead of all
+#: landing on one neighbour (the Ironic conductor hash-ring rationale).
+RING_REPLICAS = 32
 
 
 @dataclass(frozen=True)
@@ -108,6 +115,10 @@ class ShardedSdmController(SdmController):
         self._mapped_brick_count = -1
         self._holds: dict[int, ShardHold] = {}
         self._hold_ids = itertools.count()
+        #: Failed shard -> whether the survivors take its racks over.
+        self._failed_shards: dict[str, bool] = {}
+        #: Hash rings keyed by the frozen live-shard set they cover.
+        self._rings: dict[frozenset, list[tuple[int, str]]] = {}
 
     # -- shard topology -----------------------------------------------------
 
@@ -133,8 +144,20 @@ class ShardedSdmController(SdmController):
         return self._rack_to_shard
 
     def shard_of_rack(self, rack_id: str) -> str:
-        """The shard (reservation domain) responsible for *rack_id*."""
-        return self._shard_map().get(rack_id, "shard0")
+        """The shard (reservation domain) responsible for *rack_id*.
+
+        Normally the canonical round-robin assignment; while the home
+        shard is failed *with takeover*, the rack is served by the
+        surviving shard the consistent hash ring maps it to (Ironic
+        conductor style), and moves back the moment the home shard is
+        restored.  A shard failed *without* takeover keeps nominal
+        responsibility — its racks are simply unmanaged until repair
+        (see :meth:`rack_is_served`).
+        """
+        shard = self._shard_map().get(rack_id, "shard0")
+        if self._failed_shards.get(shard, False):
+            return self._takeover_shard(rack_id)
+        return shard
 
     def shard_of_brick(self, brick_id: str) -> str:
         """The shard (reservation domain) responsible for *brick_id*."""
@@ -155,6 +178,93 @@ class ShardedSdmController(SdmController):
         for rack_id, shard in sorted(self._shard_map().items()):
             members.setdefault(shard, []).append(rack_id)
         return members
+
+    # -- shard failure and takeover -----------------------------------------
+
+    @property
+    def failed_shards(self) -> list[str]:
+        """Currently failed shards, sorted."""
+        return sorted(self._failed_shards)
+
+    def live_shards(self) -> list[str]:
+        """Shards currently serving, sorted (canonical order)."""
+        return [name for name in self.shard_names()
+                if name not in self._failed_shards]
+
+    def rack_is_served(self, rack_id: str) -> bool:
+        """True when some live shard manages *rack_id*'s reservations.
+
+        False only for racks whose home shard failed *without*
+        takeover: their capacity is unreachable until the shard
+        repairs — the baseline the Ironic-style takeover is measured
+        against.
+        """
+        return self.shard_of_rack(rack_id) not in self._failed_shards
+
+    def _ring(self, live: frozenset) -> list[tuple[int, str]]:
+        """The consistent hash ring over *live* shards (cached).
+
+        Each shard contributes :data:`RING_REPLICAS` CRC32-hashed
+        virtual nodes, so rack reassignment on membership change is
+        both deterministic across processes and spread across the
+        survivors.
+        """
+        ring = self._rings.get(live)
+        if ring is None:
+            ring = sorted(
+                (zlib.crc32(f"{shard}#{replica}".encode("utf-8")), shard)
+                for shard in live for replica in range(RING_REPLICAS))
+            self._rings[live] = ring
+        return ring
+
+    def _takeover_shard(self, rack_id: str) -> str:
+        """The live shard taking *rack_id* over (clockwise ring walk)."""
+        live = frozenset(self.live_shards())
+        if not live:
+            raise OrchestrationError(
+                "every controller shard is down; no takeover possible")
+        ring = self._ring(live)
+        point = zlib.crc32(rack_id.encode("utf-8"))
+        index = bisect.bisect_left(ring, (point, "")) % len(ring)
+        return ring[index][1]
+
+    def takeover_map(self) -> dict[str, str]:
+        """rack id -> shard currently serving it (introspection)."""
+        return {rack_id: self.shard_of_rack(rack_id)
+                for rack_id in sorted(self._shard_map())}
+
+    def fail_shard(self, name: str, *,
+                   takeover: bool = True) -> list[ShardHold]:
+        """Kill one reservation shard; returns the holds rolled back.
+
+        Every in-flight phase-1 :class:`ShardHold` on the dead shard is
+        aborted — its tentatively carved bytes return to the pool, so a
+        reserve the dead controller could no longer commit never
+        strands capacity.  With *takeover* (the self-healing path) the
+        surviving shards immediately adopt the dead shard's racks over
+        the consistent hash ring; without it the racks go unmanaged
+        (:meth:`rack_is_served` turns False) until
+        :meth:`restore_shard`.
+        """
+        if name not in self.shard_names():
+            raise OrchestrationError(f"unknown shard {name!r}")
+        if name in self._failed_shards:
+            raise OrchestrationError(f"shard {name!r} is already failed")
+        if takeover and len(self.live_shards()) < 2:
+            raise OrchestrationError(
+                f"cannot take over {name!r}: no surviving shard")
+        aborted = [hold for hold in self._holds.values()
+                   if hold.shard == name]
+        for hold in aborted:
+            self._abort_hold(hold)
+        self._failed_shards[name] = takeover
+        return aborted
+
+    def restore_shard(self, name: str) -> None:
+        """Bring a repaired shard back; its racks return to it."""
+        if name not in self._failed_shards:
+            raise OrchestrationError(f"shard {name!r} is not failed")
+        del self._failed_shards[name]
 
     # -- locking ------------------------------------------------------------
 
@@ -299,6 +409,8 @@ class ShardedSdmController(SdmController):
         Returns ``None`` when the shard has no suitable brick (the
         caller falls through to the cross-shard path).
         """
+        if shard in self._failed_shards:
+            return None  # home shard down without takeover
         candidates = [c for c in self.registry.memory_availability()
                       if self.shard_of_rack(c.rack_id) == shard]
         if not candidates:
@@ -314,6 +426,7 @@ class ShardedSdmController(SdmController):
         """Policy pick among non-home-shard bricks (optimistic, no lock)."""
         candidates = [c for c in self.registry.memory_availability()
                       if self.shard_of_rack(c.rack_id) != home
+                      and self.rack_is_served(c.rack_id)
                       and c.brick_id not in rejected]
         if not candidates:
             return None
@@ -373,7 +486,8 @@ class ShardedSdmController(SdmController):
         excluded: set[str] = set()
         while True:
             candidates = [c for c in self.registry.compute_availability()
-                          if c.brick_id not in excluded]
+                          if self.rack_is_served(c.rack_id)
+                          and c.brick_id not in excluded]
             pick = self.policy.select_compute_brick(
                 candidates, request.vcpus, ram_bytes=0,
                 origin_rack_id=request.affinity_rack_id or None)
@@ -387,6 +501,7 @@ class ShardedSdmController(SdmController):
                 shard_candidates = [
                     c for c in self.registry.compute_availability()
                     if self.shard_of_rack(c.rack_id) == shard
+                    and self.rack_is_served(c.rack_id)
                     and c.brick_id not in excluded]
                 brick_id = self.policy.select_compute_brick(
                     shard_candidates, request.vcpus, ram_bytes=0,

@@ -1,0 +1,267 @@
+"""Fault injector mechanics: determinism, plans, guards, accounting.
+
+The reaction paths (what each tier does when its component dies) live
+in ``test_reactions.py``; this module pins the injector's *scheduling*
+contract — the same seed replays the identical fault schedule, streams
+are isolated per class, scripted plans fire on their declared clock —
+and the validation/guard surface of :meth:`FaultInjector.inject`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    DEFAULT_SPECS,
+    AvailabilityMetrics,
+    FaultClass,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    ScriptedFault,
+)
+from repro.federation import build_federation
+from repro.sim.engine import Simulator
+
+
+def build_fed(pods=2, **kwargs):
+    kwargs.setdefault("racks_per_pod", 2)
+    return build_federation(pods, **kwargs)
+
+
+def schedule(seed, classes=None, horizon=120.0, self_heal=True):
+    """Install an injector on an idle federation and record the
+    ``(class, target, time)`` schedule up to *horizon*."""
+    fed = build_fed(3)
+    injector = FaultInjector(fed, seed=seed, classes=classes,
+                             self_heal=self_heal).install()
+    fed.sim.run(until=horizon)
+    return [(e.klass.value, e.target, e.failed_s)
+            for e in injector.metrics.events]
+
+
+class TestDeterminism:
+    def test_same_seed_replays_the_identical_schedule(self):
+        first = schedule(2018)
+        again = schedule(2018)
+        assert first  # the horizon is long enough to see faults
+        assert first == again
+
+    def test_different_seeds_draw_different_schedules(self):
+        assert schedule(1) != schedule(2)
+
+    def test_streams_are_isolated_per_class(self):
+        # Enabling another class must not perturb a class's own
+        # schedule: every class draws from its own named RNG stream.
+        # (Switch faults never change the brick target population, so
+        # the brick events match target-for-target, not just in time.)
+        brick_only = schedule(7, classes=("memory_brick",))
+        mixed = schedule(7, classes=("memory_brick", "switch"))
+        assert [e for e in mixed if e[0] == "memory_brick"] == brick_only
+        assert any(e[0] == "switch" for e in mixed)
+
+    def test_no_classes_schedules_nothing(self):
+        assert schedule(2018, classes=()) == []
+
+    def test_plan_replays_on_its_declared_clock(self):
+        fed = build_fed(2)
+        plan = FaultPlan()
+        plan.add(5.0, "switch", "pod1", 2.0)
+        plan.add(1.0, "switch", "pod0", 2.0)
+        injector = FaultInjector(fed, classes=(), plan=plan).install()
+        fed.sim.run(until=20.0)
+        assert [(e.target, e.failed_s, e.scripted)
+                for e in injector.metrics.events] == [
+            ("pod0", 1.0, True), ("pod1", 5.0, True)]
+
+
+class TestFaultPlan:
+    def test_ordered_is_total_and_deterministic(self):
+        plan = FaultPlan()
+        plan.add(3.0, "pod", "pod1", 1.0)
+        plan.add(3.0, "memory_brick", "pod0:mb0", 1.0)
+        plan.add(1.0, "pod", "pod0", 1.0)
+        assert [(f.at_s, f.klass.value) for f in plan.ordered()] == [
+            (1.0, "pod"), (3.0, "memory_brick"), (3.0, "pod")]
+        assert len(plan) == 3
+        assert list(plan) == plan.ordered()
+
+    def test_add_coerces_class_names(self):
+        fault = FaultPlan().add(0.0, "rack_uplink", "pod0:rack0", 1.0)
+        assert fault.klass is FaultClass.RACK_UPLINK
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault class"):
+            FaultPlan().add(0.0, "gamma_ray", "pod0", 1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultError, match=">= 0"):
+            ScriptedFault(-1.0, FaultClass.POD, "pod0", 1.0)
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(FaultError, match="duration"):
+            ScriptedFault(0.0, FaultClass.POD, "pod0", 0.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(FaultError, match="MTBF"):
+            FaultSpec(FaultClass.POD, mtbf_s=0.0, mttr_s=1.0)
+        with pytest.raises(FaultError, match="MTTR"):
+            FaultSpec(FaultClass.POD, mtbf_s=1.0, mttr_s=-1.0)
+
+    def test_default_specs_cover_every_class(self):
+        assert set(DEFAULT_SPECS) == set(FaultClass)
+
+
+class TestInjectGuards:
+    def make(self, pods=2, **kwargs):
+        fed = build_fed(pods)
+        return fed, FaultInjector(fed, classes=(), **kwargs)
+
+    def test_unknown_pod_rejected(self):
+        _, injector = self.make()
+        with pytest.raises(FaultError, match="unknown pod"):
+            injector.inject("pod", "pod9", repair_after_s=1.0)
+
+    def test_component_target_requires_pod_prefix(self):
+        _, injector = self.make()
+        with pytest.raises(FaultError, match="pod:component"):
+            injector.inject("memory_brick", "mb0", repair_after_s=1.0)
+
+    def test_unknown_brick_rack_and_shard_rejected(self):
+        _, injector = self.make()
+        with pytest.raises(FaultError, match="unknown memory brick"):
+            injector.inject("memory_brick", "pod0:nope",
+                            repair_after_s=1.0)
+        with pytest.raises(FaultError, match="unknown rack"):
+            injector.inject("rack_uplink", "pod0:nope",
+                            repair_after_s=1.0)
+        with pytest.raises(FaultError, match="unknown shard"):
+            injector.inject("shard", "pod0:shard9", repair_after_s=1.0)
+
+    def test_non_positive_repair_delay_rejected(self):
+        _, injector = self.make()
+        with pytest.raises(FaultError, match="repair delay"):
+            injector.inject("switch", "pod0", repair_after_s=0.0)
+
+    def test_double_failure_declined(self):
+        _, injector = self.make()
+        assert injector.inject("switch", "pod0",
+                               repair_after_s=5.0) is not None
+        assert injector.inject("switch", "pod0",
+                               repair_after_s=5.0) is None
+
+    def test_last_live_pod_is_never_severed(self):
+        fed, injector = self.make()
+        assert injector.inject("pod", "pod0",
+                               repair_after_s=5.0) is not None
+        assert injector.inject("pod", "pod1",
+                               repair_after_s=5.0) is None
+        assert injector._targets(FaultClass.POD) == []
+        fed.sim.run()  # repairs drain
+
+    def test_dead_pod_components_decline_injection(self):
+        fed, injector = self.make()
+        brick = fed.pods["pod0"].system.sdm.registry.memory_entries[0]
+        injector.inject("pod", "pod0", repair_after_s=5.0)
+        assert injector.inject(
+            "memory_brick", f"pod0:{brick.brick.brick_id}",
+            repair_after_s=1.0) is None
+        fed.sim.run()
+
+    def test_install_twice_is_an_error(self):
+        fed = build_fed(2)
+        injector = FaultInjector(fed, seed=3).install()
+        with pytest.raises(FaultError, match="already installed"):
+            injector.install()
+
+    def test_stop_halts_new_faults(self):
+        fed = build_fed(2)
+        injector = FaultInjector(fed, seed=3).install()
+        fed.sim.run(until=80.0)
+        count = injector.metrics.fault_count()
+        assert count > 0
+        injector.stop()
+        fed.sim.run(until=500.0)
+        # Repairs of already-active faults complete; nothing new fires.
+        assert injector.metrics.fault_count() == count
+        assert injector.quiescent
+
+    def test_active_faults_and_quiescence(self):
+        fed, injector = self.make()
+        assert injector.quiescent
+        event = injector.inject("switch", "pod0", repair_after_s=5.0)
+        assert injector.active_faults == [event]
+        assert not injector.quiescent
+        fed.sim.run()
+        assert injector.quiescent
+        assert event.repaired_s == 5.0
+        assert event.repair_duration_s == 5.0
+
+
+class TestAvailabilityMetrics:
+    def test_overlapping_faults_are_reference_counted(self):
+        sim = Simulator()
+        metrics = AvailabilityMetrics(sim)
+
+        def drive():
+            metrics.mark_unavailable("t0")
+            metrics.mark_unavailable("t0")  # second overlapping fault
+            yield sim.timeout(5.0)
+            metrics.mark_available("t0")    # one fault clears: still down
+            assert metrics.tenants_down == ["t0"]
+            yield sim.timeout(5.0)
+            metrics.mark_available("t0")    # last one clears
+
+        sim.process(drive())
+        sim.run()
+        assert metrics.tenant_seconds_unavailable == 10.0
+        assert metrics.tenants_down == []
+
+    def test_mark_available_without_fault_is_a_no_op(self):
+        metrics = AvailabilityMetrics(Simulator())
+        metrics.mark_available("t0")
+        assert metrics.tenant_seconds_unavailable == 0.0
+
+    def test_departed_tenant_stops_accruing(self):
+        sim = Simulator()
+        metrics = AvailabilityMetrics(sim)
+
+        def drive():
+            metrics.mark_unavailable("t0")
+            yield sim.timeout(3.0)
+            metrics.mark_departed("t0", "pod0")
+            yield sim.timeout(7.0)
+            metrics.mark_available("t0")  # late repair: no double count
+
+        sim.process(drive())
+        sim.run()
+        assert metrics.tenant_seconds_unavailable == 3.0
+
+    def test_finalize_closes_open_intervals(self):
+        sim = Simulator()
+        metrics = AvailabilityMetrics(sim)
+
+        def drive():
+            metrics.mark_unavailable("t0")
+            yield sim.timeout(4.0)
+
+        sim.process(drive())
+        sim.run()
+        assert metrics.finalize() == 4.0
+        assert metrics.tenants_down == []
+
+    def test_mttr_and_readmission_rate(self):
+        fed = build_fed(2)
+        injector = FaultInjector(fed, classes=())
+        injector.inject("switch", "pod0", repair_after_s=4.0)
+        injector.inject("switch", "pod1", repair_after_s=8.0)
+        fed.sim.run()
+        metrics = injector.metrics
+        assert metrics.fault_count() == 2
+        assert metrics.fault_count(FaultClass.SWITCH) == 2
+        assert metrics.fault_count(FaultClass.POD) == 0
+        assert metrics.mttr_s() == 6.0
+        assert metrics.mttr_s(FaultClass.SWITCH) == 6.0
+        assert metrics.mttr_s(FaultClass.POD) == 0.0
+        assert metrics.readmission_success_rate == 1.0

@@ -126,6 +126,80 @@ class TestScoringFunctions:
         assert queue_depth_score(empty) == 0.0
 
 
+class TestLivenessAndReadmission:
+    def commit_tenant(self, fed, tenant_id, pod_id, ram=gib(2)):
+        claim = fed.placer.reserve(pod_id, ram, 1, tenant_id=tenant_id)
+        fed.placer.commit(claim)
+        return claim
+
+    def test_dead_pods_leave_the_spill_pool_but_not_the_hash(self):
+        fed = build_fed(3)
+        homes = {f"t{i}": fed.placer.home_pod(f"t{i}")
+                 for i in range(30)}
+        fed.fail_pod("pod1")
+        assert fed.placer.live_pod_ids == ["pod0", "pod2"]
+        assert fed.placer.place("t", gib(2), 1, home="pod1") != "pod1"
+        # Other tenants' home mapping never shifts on a pod loss.
+        assert homes == {t: fed.placer.home_pod(t) for t in homes}
+        fed.restore_pod("pod1")
+        assert fed.placer.pod_alive("pod1")
+
+    def test_readmission_picks_the_best_surviving_pod(self):
+        fed = build_fed(3)
+        fed.fail_pod("pod0")
+        fed.placer.reserve("pod1", gib(8), 1)
+        assert fed.placer.place_for_readmission(
+            "t0", gib(2), 1) == "pod2"
+
+    def test_readmission_fails_when_no_survivor_fits(self):
+        fed = build_fed(2)
+        fed.fail_pod("pod0")
+        fed.placer.reserve("pod1", gib(16), 1)
+        assert fed.placer.place_for_readmission("t0", gib(2), 1) is None
+
+    def test_anti_affinity_spreads_a_group_across_pods(self):
+        groups = {"t0": "db", "t1": "db", "t2": "db"}
+        fed = build_fed(3, anti_affinity=lambda t: groups.get(t, ""))
+        self.commit_tenant(fed, "t0", "pod0")
+        placed = fed.placer.place("t1", gib(2), 1, home="pod0")
+        assert placed != "pod0"
+        self.commit_tenant(fed, "t1", placed)
+        third = fed.placer.place("t2", gib(2), 1, home="pod0")
+        assert third not in {"pod0", placed}
+
+    def test_anti_affinity_is_soft_under_exhaustion(self):
+        groups = {"t0": "db", "t1": "db"}
+        fed = build_fed(2, anti_affinity=lambda t: groups.get(t, ""))
+        self.commit_tenant(fed, "t0", "pod0")
+        fed.placer.reserve("pod1", gib(16), 1)  # conflict-free pod full
+        # Co-location beats rejection when nothing clean fits.
+        assert fed.placer.place("t1", gib(2), 1, home="pod0") == "pod0"
+
+    def test_readmission_prefers_anti_affinity_clean_pods(self):
+        groups = {"t0": "db", "t1": "db"}
+        fed = build_fed(3, anti_affinity=lambda t: groups.get(t, ""))
+        self.commit_tenant(fed, "t0", "pod1")
+        self.commit_tenant(fed, "t1", "pod0")
+        fed.fail_pod("pod0")
+        # pod1 hosts the group-mate: the clean survivor wins even
+        # though both fit.
+        assert fed.placer.place_for_readmission(
+            "t1", gib(2), 1) == "pod2"
+
+    def test_ledger_tracks_committed_tenants(self):
+        fed = build_fed(2)
+        claim = self.commit_tenant(fed, "t0", "pod0")
+        assert fed.placer.ledger_claim("t0") is claim
+        assert fed.placer.ledger_for_pod("pod0") == [claim]
+        assert fed.placer.ledger_for_pod("pod1") == []
+        # A later commit supersedes; forget drops.
+        moved = self.commit_tenant(fed, "t0", "pod1")
+        assert fed.placer.ledger_claim("t0") is moved
+        assert fed.placer.forget("t0") is moved
+        assert fed.placer.ledger_claim("t0") is None
+        assert fed.placer.forget("t0") is None
+
+
 class TestClaimsLedger:
     def test_double_release_rejected(self):
         fed = build_fed(2)
