@@ -1,0 +1,32 @@
+"""Non-gating CI smoke for the parallel federation backend.
+
+A reduced ``parallel_scaling`` run — the fixed 4-pod shape, a shorter
+trace, workers 0 vs 2 only — asserting the *determinism* contract:
+the process backend must fingerprint identically to the in-process
+reference.  Throughput and the critical-path ratio are deliberately
+not asserted here — shared CI runners are too noisy and too
+core-starved for either; the perf claims live in
+``BENCH_parallel.json`` and ``test_bench_parallel.py``.  Wired as its
+own non-gating CI job alongside the other smokes; see
+`.github/workflows/ci.yml`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.parallel_scaling import run_parallel_scaling
+
+SMOKE_TENANTS = 120
+
+
+def test_parallel_backend_matches_reference():
+    # run_parallel_scaling raises AssertionError itself on any
+    # fingerprint divergence; the asserts below make the smoke's
+    # pass criteria explicit in the report.
+    result = run_parallel_scaling(worker_axis=(0, 2),
+                                  tenant_count=SMOKE_TENANTS)
+    reference = result.cell(0)
+    processed = result.cell(2)
+    assert reference.admitted > 0
+    assert processed.fingerprint == reference.fingerprint
+    assert processed.events == reference.events
+    assert processed.rounds == reference.rounds

@@ -48,6 +48,18 @@ def _add_axis_flags(parser: argparse.ArgumentParser) -> None:
                         default=None, dest="self_heal",
                         help="pin the availability sweep's reaction "
                              "axis (default: compare on vs off)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="run federation-aware experiments on the "
+                             "message-passing parallel backend with "
+                             "this many OS worker processes (0 = its "
+                             "in-process serial reference; default: "
+                             "the direct-call serial controller)")
+    parser.add_argument("--sync-window", type=float, default=None,
+                        dest="sync_window",
+                        help="conservative synchronization window "
+                             "(lookahead) in seconds for the parallel "
+                             "backend; needs --workers (default: the "
+                             "inter-pod link latency)")
     parser.add_argument("--profile", action="store_true",
                         help="wrap each experiment in cProfile and "
                              "append the hottest functions (sorted by "
@@ -87,6 +99,8 @@ def main(argv: list[str] | None = None) -> int:
                          mtbf=args.mtbf,
                          fault_classes=args.fault_classes,
                          self_heal=args.self_heal,
+                         workers=args.workers,
+                         sync_window=args.sync_window,
                          profile=args.profile)
         print(report.runs[0].rendered)
         if report.runs[0].profile is not None:
@@ -99,6 +113,8 @@ def main(argv: list[str] | None = None) -> int:
                       mtbf=args.mtbf,
                       fault_classes=args.fault_classes,
                       self_heal=args.self_heal,
+                      workers=args.workers,
+                      sync_window=args.sync_window,
                       profile=args.profile).rendered())
         return 0
     return 2  # pragma: no cover - argparse enforces the choices

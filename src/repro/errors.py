@@ -119,3 +119,8 @@ class DataMoverError(ReproError):
 class FaultError(ReproError):
     """Fault-injection misuse (unknown class/target, bad MTBF/MTTR,
     conflicting scripted outages)."""
+
+
+class ParallelSimError(SimulationError):
+    """Conservative parallel-simulation failure (zero lookahead,
+    stalled barrier, or a crashed worker process)."""

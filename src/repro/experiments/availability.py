@@ -283,7 +283,9 @@ def run_availability(mtbf_axis: tuple[float, ...] = DEFAULT_MTBF_AXIS,
                      seed: int = 2018,
                      mtbf: Optional[float] = None,
                      fault_classes: Optional[str] = None,
-                     self_heal: Optional[str] = None
+                     self_heal: Optional[str] = None,
+                     workers: Optional[int] = None,
+                     sync_window: Optional[float] = None
                      ) -> AvailabilityResult:
     """Sweep failure rate × self-healing on/off.
 
@@ -294,7 +296,24 @@ def run_availability(mtbf_axis: tuple[float, ...] = DEFAULT_MTBF_AXIS,
     and the summary reports the downtime reduction.  Every sweep also
     runs the deterministic scripted-outage pair and a zero-fault
     baseline row.
+
+    The parallel federation backend (*workers* / *sync_window*, the
+    CLI ``--workers`` / ``--sync-window`` flags) is rejected here: the
+    injector's sub-pod fault classes (memory bricks, rack uplinks,
+    switches, shards) reach directly into pod internals, which live in
+    other OS processes under that backend — only whole-pod faults
+    cross the wire (see :meth:`~repro.federation.parallel.
+    ParallelFederationController.schedule_pod_fault`).
     """
+    if workers is not None or sync_window is not None:
+        raise ConfigurationError(
+            "the availability sweep only runs on the serial federation "
+            "backend: its sub-pod fault classes (memory_brick, "
+            "rack_uplink, switch, shard) manipulate pod internals that "
+            "are process-local under --workers; drop --workers/"
+            "--sync-window here, or use the federation sweep (or "
+            "schedule_pod_fault on the parallel controller) for "
+            "pod-class faults")
     if mtbf is not None and mtbf <= 0:
         raise ConfigurationError(f"--mtbf must be positive, got {mtbf}")
     if self_heal is not None and self_heal not in ("on", "off"):

@@ -33,6 +33,10 @@ from repro.analysis.tables import render_table
 from repro.cluster.trace import TenantSpec, poisson_trace
 from repro.errors import ConfigurationError
 from repro.federation.controller import build_federation
+from repro.federation.parallel import (
+    DEFAULT_SYNC_WINDOW_S,
+    build_parallel_federation,
+)
 from repro.federation.placer import SPILL_POLICIES
 from repro.federation.rebalancer import FederationRebalancer
 from repro.units import gib, to_milliseconds
@@ -197,20 +201,36 @@ def _home_of(pod_ids: list[str], hot_share: float):
 
 
 def _run_cell(pod_count: int, rate_hz: float, policy: str,
-              tenant_count: int, seed: int) -> FederationCell:
+              tenant_count: int, seed: int,
+              workers: Optional[int] = None,
+              sync_window: Optional[float] = None) -> FederationCell:
     rebalancer = (FederationRebalancer(interval_s=0.25,
                                        imbalance_threshold=0.2)
                   if policy != "never" else None)
-    federation = build_federation(
-        pod_count, spill_policy=policy, rebalancer=rebalancer)
+    if workers is None:
+        federation = build_federation(
+            pod_count, spill_policy=policy, rebalancer=rebalancer)
+        pod_ids = sorted(federation.pods)
+        close = lambda: None  # noqa: E731 - serial path has no fleet
+    else:
+        federation = build_parallel_federation(
+            pod_count, workers=workers,
+            sync_window_s=(sync_window if sync_window is not None
+                           else DEFAULT_SYNC_WINDOW_S),
+            spill_policy=policy, rebalancer=rebalancer)
+        pod_ids = sorted(federation.handles)
+        close = federation.close
     # One trace per (rate, seed): every policy/pod-count cell at a rate
     # faces literally the same offered load.
     trace = poisson_trace(
         tenant_count, rate_hz, vcpus=TENANT_VCPUS,
         ram_bytes=TENANT_RAM_BYTES, mean_lifetime_s=MEAN_LIFETIME_S,
         scale_fraction=0.0, seed=seed, name=f"fed-a{rate_hz:g}")
-    stats = federation.serve_trace(
-        trace, home_of=_home_of(sorted(federation.pods), HOT_POD_SHARE))
+    try:
+        stats = federation.serve_trace(
+            trace, home_of=_home_of(pod_ids, HOT_POD_SHARE))
+    finally:
+        close()
     return FederationCell(
         pod_count=pod_count,
         arrival_rate_hz=rate_hz,
@@ -233,14 +253,23 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
                    tenant_count: int = 120,
                    seed: int = 2018,
                    pods: Optional[int] = None,
-                   spill_policy: Optional[str] = None
+                   spill_policy: Optional[str] = None,
+                   workers: Optional[int] = None,
+                   sync_window: Optional[float] = None
                    ) -> FederationResult:
     """Sweep pod count × aggregate arrival rate × spill policy.
 
     *pods* (the CLI ``--pods`` flag) pins the pod-count axis to one
     value; *spill_policy* (``--spill-policy``) pins the policy axis —
     by default ``never`` (pinned-to-home baseline) and ``least-loaded``
-    are compared.
+    are compared.  *workers* (``--workers``) switches every cell to the
+    message-passing parallel federation backend — ``0`` runs its
+    in-process serial reference, ``N >= 1`` spreads the pods over *N*
+    OS processes; *sync_window* (``--sync-window``, seconds) overrides
+    its conservative lookahead.  The parallel backend is deterministic
+    across worker counts but models explicit coordinator↔pod link
+    latency, so its cells differ (physically, not numerically) from
+    the direct-call serial sweep's.
     """
     if pods is not None and pods < 1:
         raise ConfigurationError(f"need >= 1 pod, got {pods}")
@@ -248,6 +277,19 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
         raise ConfigurationError(
             f"unknown spill policy {spill_policy!r}; known: "
             f"{', '.join(SPILL_POLICIES)}")
+    if workers is not None and workers < 0:
+        raise ConfigurationError(
+            f"--workers must be >= 0 (0 = in-process parallel "
+            f"backend), got {workers}")
+    if sync_window is not None:
+        if workers is None:
+            raise ConfigurationError(
+                "--sync-window only applies to the parallel backend; "
+                "pass --workers as well (0 for its in-process mode)")
+        if not sync_window > 0:
+            raise ConfigurationError(
+                f"--sync-window must be positive seconds, got "
+                f"{sync_window}")
     pod_axis = (pods,) if pods is not None else pod_counts
     policy_axis = ((spill_policy,) if spill_policy is not None
                    else DEFAULT_POLICIES)
@@ -257,5 +299,5 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
             for policy in policy_axis:
                 result.cells.append(_run_cell(
                     pod_count, float(rate_hz), policy, tenant_count,
-                    seed))
+                    seed, workers=workers, sync_window=sync_window))
     return result

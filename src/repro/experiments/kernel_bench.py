@@ -65,6 +65,8 @@ from __future__ import annotations
 
 import gc
 import json
+import os
+import platform
 import random
 import time
 from dataclasses import dataclass, field
@@ -159,12 +161,27 @@ class KernelBenchCell:
         return self.events_per_s / 1e6
 
 
+def host_facts() -> dict:
+    """Host metadata stamped into benchmark JSON artifacts: wall-clock
+    numbers are meaningless without the interpreter and core count
+    that produced them."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 @dataclass
 class KernelBenchResult:
     """All cells of one benchmark run."""
 
     reps: int
     seed: int
+    #: Wall-clock seconds the whole benchmark took (all reps, both
+    #: backends, warmups included — the cost of regenerating the
+    #: artifact, not a throughput number).
+    wall_s: float = 0.0
     cells: list[KernelBenchCell] = field(default_factory=list)
 
     def cell(self, shape: str, backend: str) -> KernelBenchCell:
@@ -216,6 +233,8 @@ class KernelBenchResult:
             "benchmark": "kernel",
             "reps": self.reps,
             "seed": self.seed,
+            "wall_s": round(self.wall_s, 3),
+            "host": host_facts(),
             "shapes": [
                 {
                     "shape": shape,
@@ -489,6 +508,7 @@ def run_kernel_bench(shapes: tuple[str, ...] = tuple(SHAPES),
     if reps < 1:
         raise ConfigurationError(f"need >= 1 rep, got {reps}")
 
+    wall_start = time.perf_counter()
     result = KernelBenchResult(reps=reps, seed=seed)
     for shape in shapes:
         driver = SHAPES[shape]
@@ -513,4 +533,5 @@ def run_kernel_bench(shapes: tuple[str, ...] = tuple(SHAPES),
                 shape=shape, backend=backend, events=events,
                 best_s=elapsed, events_per_s=events / elapsed,
                 peak_queue=peak, fingerprint=fingerprint))
+    result.wall_s = time.perf_counter() - wall_start
     return result

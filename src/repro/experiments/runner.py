@@ -9,11 +9,12 @@ seed through the whole sweep, so a full reproduction is a single
 streams from it via :class:`~repro.sim.rng.RngRegistry`; deterministic
 drivers accept and ignore it.
 
-Axis overrides (``shards`` for the ``cluster_scale`` sweep; ``pods``
-and ``spill_policy`` for the ``federation`` sweep; ``mtbf``,
-``fault_classes`` and ``self_heal`` for the ``availability`` sweep)
-are forwarded only to drivers whose signature declares the keyword, so
-sweep-specific flags never break the other experiments.
+Axis overrides (``shards`` for the ``cluster_scale`` sweep; ``pods``,
+``spill_policy``, ``workers`` and ``sync_window`` for the
+``federation`` sweep; ``mtbf``, ``fault_classes`` and ``self_heal``
+for the ``availability`` sweep) are forwarded only to drivers whose
+signature declares the keyword, so sweep-specific flags never break
+the other experiments.
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ from repro.experiments.fig10_agility import run_fig10
 from repro.experiments.fig12_poweroff import run_fig12
 from repro.experiments.fig13_energy import run_fig13
 from repro.experiments.kernel_bench import run_kernel_bench
+from repro.experiments.parallel_scaling import run_parallel_scaling
 from repro.experiments.pod_scale import run_pod_scale
 from repro.experiments.table1_workloads import run_table1
 
@@ -52,6 +54,7 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "federation": run_federation,
     "availability": run_availability,
     "kernel_bench": run_kernel_bench,
+    "parallel_scaling": run_parallel_scaling,
 }
 
 #: Functions shown when an experiment runs under ``--profile``.
@@ -108,15 +111,18 @@ def run_all(names: list[str] | None = None,
             mtbf: Optional[float] = None,
             fault_classes: Optional[str] = None,
             self_heal: Optional[str] = None,
+            workers: Optional[int] = None,
+            sync_window: Optional[float] = None,
             profile: bool = False) -> RunAllReport:
     """Execute the named experiments (all of them by default).
 
     When *seed* is given it is passed to every driver, overriding each
     one's default, so the whole sweep reproduces from one number.
     Axis overrides — *shards* (controller shard count, ``cluster_scale``),
-    *pods* (pod count), *spill_policy* (``federation``), and *mtbf* /
-    *fault_classes* / *self_heal* (``availability``) — are forwarded
-    only to drivers whose signature declares the keyword.
+    *pods* (pod count), *spill_policy* / *workers* / *sync_window*
+    (``federation``), and *mtbf* / *fault_classes* / *self_heal*
+    (``availability``) — are forwarded only to drivers whose signature
+    declares the keyword.
     With *profile* each driver runs under :mod:`cProfile` and the
     report carries the top functions by cumulative time — the hot-path
     view the kernel optimizations are steered by.
@@ -125,7 +131,8 @@ def run_all(names: list[str] | None = None,
         names = list(EXPERIMENTS)
     overrides = {"shards": shards, "pods": pods,
                  "spill_policy": spill_policy, "mtbf": mtbf,
-                 "fault_classes": fault_classes, "self_heal": self_heal}
+                 "fault_classes": fault_classes, "self_heal": self_heal,
+                 "workers": workers, "sync_window": sync_window}
     report = RunAllReport()
     for name in names:
         if name not in EXPERIMENTS:

@@ -47,9 +47,11 @@ from repro.cluster.trace import TenantSpec, TenantTrace
 from repro.core.builder import PodBuilder
 from repro.core.system import DisaggregatedSystem
 from repro.errors import FederationError, ReproError
+from repro.federation.messages import PodStatus, measure_pod
 from repro.federation.migration import InterPodMigrator, MigrationOutcome
 from repro.federation.placer import GlobalPlacer
 from repro.federation.rebalancer import FederationRebalancer
+from repro.orchestration.placement import make_placement_policy
 from repro.orchestration.requests import VmAllocationRequest
 from repro.sim.control import ControlContext
 from repro.sim.engine import Event, ProcessGenerator, Simulator
@@ -71,6 +73,17 @@ class FederatedPod:
     #: False while the whole pod is failed (fault injection): its plane
     #: is paused and the placer stops routing new tenants to it.
     alive: bool = True
+
+    def load_snapshot(self) -> PodStatus:
+        """The pod's current load, in the wire-protocol form.
+
+        The placer and rebalancer consume pods exclusively through
+        this measurement, so the parallel federation can substitute a
+        coordinator-side handle serving the same numbers from its last
+        window barrier (:mod:`repro.federation.parallel`) without any
+        policy code noticing.
+        """
+        return measure_pod(self.system, self.plane, self.alive)
 
 
 @dataclass
@@ -462,6 +475,7 @@ def build_federation(pod_count: int, *,
                      module_size: int = gib(4),
                      section_bytes: int = mib(256),
                      spill_policy: str = "least-loaded",
+                     placement: str = "pack",
                      scoring=None,
                      anti_affinity=None,
                      rebalancer: Optional[FederationRebalancer] = None,
@@ -472,6 +486,9 @@ def build_federation(pod_count: int, *,
     a per-rack :class:`~repro.orchestration.sharding.
     ShardedSdmController` — the PR-4 configuration — so the federation
     stacks on top of, not instead of, controller sharding.
+    *placement* names each pod's intra-pod brick-selection policy
+    (see :func:`~repro.orchestration.placement.make_placement_policy`);
+    the default keeps the paper's power-aware packing.
     """
     if pod_count < 1:
         raise FederationError("a federation needs at least one pod")
@@ -485,6 +502,7 @@ def build_federation(pod_count: int, *,
              .with_memory_bricks(memory_bricks, modules=memory_modules,
                                  module_size=module_size)
              .with_section_size(section_bytes)
+             .with_policy(make_placement_policy(placement))
              .with_controller_shards(None)
              .build()))
     placer_kwargs = {"spill_policy": spill_policy}

@@ -185,10 +185,29 @@ class GlobalPlacer:
     # -- load snapshots ------------------------------------------------------
 
     def snapshot(self, pod_id: str) -> PodSnapshot:
-        """Current load of *pod_id* (registry + control-plane view)."""
+        """Current load of *pod_id*.
+
+        Pods exposing ``load_snapshot()`` (the federation's
+        :class:`~repro.federation.controller.FederatedPod`, or the
+        parallel federation's coordinator-side handles serving their
+        last barrier status) are measured through it; plain test
+        doubles fall back to direct registry/control-plane reads.
+        """
         pod = self._pods.get(pod_id)
         if pod is None:
             raise FederationError(f"unknown pod {pod_id!r}")
+        loader = getattr(pod, "load_snapshot", None)
+        if loader is not None:
+            status = loader()
+            return PodSnapshot(
+                pod_id=pod_id,
+                free_memory_bytes=status.free_memory_bytes,
+                free_cores=status.free_cores,
+                queue_depth=status.queue_depth,
+                fragmentation=status.fragmentation,
+                claimed_bytes=self._claimed_bytes.get(pod_id, 0),
+                claimed_cores=self._claimed_cores.get(pod_id, 0),
+            )
         registry = pod.system.sdm.registry
         memory = registry.memory_availability()
         entries = [e for e in registry.memory_entries if not e.failed]

@@ -74,7 +74,15 @@ class FederationRebalancer:
 
     @staticmethod
     def pod_utilization(pod) -> float:
-        """Fraction of the pod's memory pool currently allocated."""
+        """Fraction of the pod's memory pool currently allocated.
+
+        Measured through the pod's ``load_snapshot()`` when it has one
+        (the shared wire-protocol measurement); direct registry reads
+        otherwise (plain test doubles).
+        """
+        loader = getattr(pod, "load_snapshot", None)
+        if loader is not None:
+            return loader().utilization
         entries = [e for e in pod.system.sdm.registry.memory_entries
                    if not e.failed]
         allocated = sum(e.allocator.allocated_bytes for e in entries)

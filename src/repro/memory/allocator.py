@@ -31,6 +31,10 @@ class SegmentAllocator:
         #: Sorted, disjoint, coalesced free spans.
         self._free: list[AddressRange] = [AddressRange(0, capacity_bytes)]
         self._allocated: dict[int, AddressRange] = {}
+        #: Running total of allocated span sizes, so the occupancy
+        #: statistics the placement policies poll per decision are O(1)
+        #: instead of rescanning every live allocation.
+        self._allocated_bytes = 0
         #: Mutation counter, bumped by every allocate/free.  Consumers
         #: caching derived statistics (e.g. the control plane's
         #: incremental fragmentation gauge) key their cache on it.
@@ -57,6 +61,7 @@ class SegmentAllocator:
                 else:
                     del self._free[index]
                 self._allocated[offset] = AddressRange(offset, padded)
+                self._allocated_bytes += padded
                 self.version += 1
                 return offset
         if self.free_bytes >= padded:
@@ -72,6 +77,7 @@ class SegmentAllocator:
             raise AllocationError(f"offset {offset:#x} is not allocated")
         span = self._allocated.pop(offset)
         self._insert_coalesced(span)
+        self._allocated_bytes -= span.size
         self.version += 1
         return span.size
 
@@ -108,11 +114,11 @@ class SegmentAllocator:
 
     @property
     def allocated_bytes(self) -> int:
-        return sum(span.size for span in self._allocated.values())
+        return self._allocated_bytes
 
     @property
     def free_bytes(self) -> int:
-        return sum(span.size for span in self._free)
+        return self.capacity_bytes - self._allocated_bytes
 
     @property
     def allocation_count(self) -> int:

@@ -22,10 +22,33 @@ from __future__ import annotations
 
 from typing import Optional, Protocol, Sequence
 
+from repro.errors import ConfigurationError
 from repro.orchestration.registry import (
     ComputeAvailability,
     MemoryAvailability,
 )
+
+#: Placement-policy names accepted by :func:`make_placement_policy`.
+PLACEMENT_POLICIES = ("pack", "first-fit", "spread")
+
+
+def make_placement_policy(name: str) -> "PlacementPolicy":
+    """Instantiate a placement policy from its builder-facing name.
+
+    The federation builders take the *name*, not an instance: a string
+    survives pickling into the parallel federation's worker processes,
+    and each worker then constructs its own (stateful) policy object
+    alongside the pod it builds.
+    """
+    if name == "pack":
+        return PowerAwarePackingPolicy()
+    if name == "first-fit":
+        return FirstFitPolicy()
+    if name == "spread":
+        return SpreadPolicy()
+    known = ", ".join(PLACEMENT_POLICIES)
+    raise ConfigurationError(
+        f"unknown placement policy {name!r}; known: {known}")
 
 
 class PlacementPolicy(Protocol):

@@ -47,7 +47,7 @@ class MemoryEntry:
     rack_id: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ComputeAvailability:
     """Snapshot of a compute brick's free capacity."""
 
@@ -59,7 +59,7 @@ class ComputeAvailability:
     rack_id: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryAvailability:
     """Snapshot of a memory brick's free capacity."""
 

@@ -495,17 +495,28 @@ class ShardedSdmController(SdmController):
                 raise PlacementError(
                     f"no dCOMPUBRICK has {request.vcpus} free cores")
             shard = self.shard_of_brick(pick)
+            mark = ctx.sim.events_processed
             token = yield from self._enter_shards(ctx, request.vm_id,
                                                   [shard])
             try:
-                shard_candidates = [
-                    c for c in self.registry.compute_availability()
-                    if self.shard_of_rack(c.rack_id) == shard
-                    and self.rack_is_served(c.rack_id)
-                    and c.brick_id not in excluded]
-                brick_id = self.policy.select_compute_brick(
-                    shard_candidates, request.vcpus, ram_bytes=0,
-                    origin_rack_id=request.affinity_rack_id or None)
+                if ctx.sim.events_processed - mark <= 1:
+                    # Uncontended fast path: acquiring the free shard
+                    # lock processed at most our own grant event, so no
+                    # other process ran between the optimistic snapshot
+                    # and here — the pick is still the policy's argmin
+                    # (it is the best of all candidates, hence the best
+                    # of its own shard's subset) and the re-snapshot
+                    # below would reproduce it verbatim.
+                    brick_id = pick
+                else:
+                    shard_candidates = [
+                        c for c in self.registry.compute_availability()
+                        if self.shard_of_rack(c.rack_id) == shard
+                        and self.rack_is_served(c.rack_id)
+                        and c.brick_id not in excluded]
+                    brick_id = self.policy.select_compute_brick(
+                        shard_candidates, request.vcpus, ram_bytes=0,
+                        origin_rack_id=request.affinity_rack_id or None)
                 if brick_id is not None:
                     latency = self.timings.reservation_s
                     if self.registry.ensure_powered(brick_id):

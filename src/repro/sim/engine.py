@@ -208,6 +208,20 @@ class Event:
                  "triggered" if self._triggered else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
+    def __reduce__(self):
+        # Events are process-local by construction: they reference their
+        # simulator (whose queue references every other pending event)
+        # and recycle through per-simulator free-list pools, so a
+        # pickled event could neither be detached from its engine nor
+        # safely resurrected in another process.  The parallel
+        # federation's message protocol (repro.federation.messages)
+        # carries plain dataclasses instead; anything trying to ship an
+        # event across a process boundary is a bug — fail loudly.
+        raise TypeError(
+            f"{type(self).__name__} objects are process-local and "
+            "cannot be pickled; cross-process protocols must carry "
+            "plain messages (see repro.sim.parallel)")
+
 
 class Timeout(Event):
     """An event that fires a fixed delay after its creation."""
@@ -605,6 +619,40 @@ class Simulator:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
         return self._queue.peek()
+
+    def run_window(self, horizon: float) -> int:
+        """Process every event **strictly before** *horizon*.
+
+        The conservative-synchronization primitive
+        (:mod:`repro.sim.parallel`): a logical process granted a time
+        window ``[now, horizon)`` executes exactly the events inside
+        it — an event scheduled *at* the horizon stays pending, because
+        a message from another process may still arrive there.  On
+        return the clock rests at *horizon* (when finite; an infinite
+        grant leaves it at the last processed event), so later
+        cross-process deliveries — guaranteed to arrive at or after
+        the horizon — can never be scheduled into this window's past.
+
+        Returns the number of events processed.
+        """
+        if not (horizon >= self._now):
+            raise SimulationError(
+                f"cannot run a window to {horizon}; clock is already "
+                f"at {self._now}")
+        peek = self._queue.peek
+        step = self.step
+        count = self._events_processed
+        while peek() < horizon:
+            step()
+        if horizon != _INF:
+            self._now = horizon
+        return self._events_processed - count
+
+    def __reduce__(self):
+        raise TypeError(
+            "Simulator objects are process-local and cannot be "
+            "pickled; build one per process instead (see "
+            "repro.sim.parallel)")
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.

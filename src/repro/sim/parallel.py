@@ -1,0 +1,688 @@
+"""Conservative time-window parallel simulation over OS processes.
+
+The repo's simulations are deterministic discrete-event programs; this
+module lets a model that decomposes into **loosely coupled logical
+processes** (LPs) run each LP on its own :class:`~repro.sim.engine.
+Simulator` — optionally in its own OS process — while preserving the
+exact event order a single-process run would produce.
+
+The synchronization scheme is classic conservative (Chandy–Misra
+null-message-free, star topology): one **hub** LP exchanges messages
+with N **satellite** LPs, satellites never talk to each other directly,
+and every message is delivered a fixed **lookahead** ``L`` after it was
+sent.  That latency is the physics that makes parallelism safe: an LP
+positioned at time ``t`` cannot be affected by anything a peer does
+after ``t - L``, so the runner alternates bounded grants —
+
+1. the satellites are granted the window up to
+   ``min(c + L, (a + L) + L)`` (exclusive), where ``c`` is the hub's
+   next event time (the hub sends nothing arriving before ``c + L``)
+   and ``a`` is the earliest *possible* satellite send — the minimum
+   over every satellite's **influence time** and every in-flight
+   command arrival.  The ``(a + L) + L`` term covers hub-mediated
+   influence: a satellite sending at ``a`` can wake the hub (arrival
+   ``a + L``) into commanding a *different* satellite (arriving no
+   earlier than ``(a + L) + L``).  All satellites execute the window
+   **concurrently** on the process backend;
+2. the satellites report their next event and influence times; with
+   ``a'`` the new influence minimum, every message they will ever
+   send arrives at or after ``a' + L``, so the hub advances to
+   ``a' + L`` (exclusive) — capped, symmetrically, at its own
+   ``(first_send + L) + L`` once it emits a command mid-window (the
+   earliest a reply can return) — consuming the messages collected at
+   the barrier and producing the next round's commands.
+
+An LP's **influence time** is the earliest simulated time at which it
+could emit a message — its lookahead contribution beyond the link
+latency.  A reactive LP that only ever *replies* (the pod control
+planes) reports ``inf`` whenever no request is outstanding: its local
+pipeline events then gate nobody, quiet pods cost nothing, and busy
+pods advance concurrently instead of lock-stepping on each other's
+internal timers.  LPs that cannot bound their sends report their next
+event time (every pending event might send — always safe, never
+fast).  Both horizon caps are computed as two *separate* rounded
+additions, matching the two ``fl(t + L)`` round-offs the physical
+chain accumulates — the algebraic ``a + 2L`` can land one ulp above
+the representable arrival it must not outrun.
+
+Both grants are provably monotonic and every delivery lands at or
+after its receiver's clock; each round either processes an event or
+ends the run, so the protocol can neither deadlock nor livelock
+(a genuinely stuck model — nothing pending anywhere, hub unfinished —
+raises :class:`~repro.errors.ParallelSimError` instead of spinning).
+
+Windows therefore adapt to event density — quiet stretches are crossed
+in one grant (an idle side reports ``inf`` and the other side runs to
+exhaustion), busy stretches advance at least one event cluster per
+round — and the result is **event-order deterministic**: the grant
+horizons are pure functions of simulator state, messages are applied in
+``(arrival, lp, seq)`` order, and no LP ever observes wall-clock, so
+the inline backend and a process backend with any worker count produce
+bit-identical simulations.
+
+Spawn safety: worker processes are started from the ``spawn`` context
+(no inherited interpreter state — the fork-safety minefield of an
+event engine full of generators does not arise), LPs are built *inside*
+the worker from a picklable ``(factory, kwargs)`` spec, and messages
+must be plain data — :class:`~repro.sim.engine.Event` and
+:class:`~repro.sim.engine.Simulator` refuse pickling loudly.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Mapping, Optional, Protocol, Sequence
+
+from repro.errors import ParallelSimError
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """One cross-LP message: plain data riding the barrier exchange.
+
+    ``arrival_s`` must be ``sent_s`` plus the configured lookahead —
+    the runner checks the invariant, because a message arriving sooner
+    than the lookahead promises would break every grant already issued.
+    """
+
+    #: The LP this message is addressed to (or originated from).
+    lp_id: str
+    #: Simulated send time.
+    sent_s: float
+    #: Simulated delivery time (``sent_s + lookahead``).
+    arrival_s: float
+    #: Per-sender sequence number: ties at one arrival time are applied
+    #: in ``(arrival_s, lp_id, seq)`` order, deterministically.
+    seq: int
+    #: The payload — a plain (picklable) dataclass or mapping.
+    body: Any
+
+
+@dataclass
+class LpReply:
+    """What one satellite LP returns from an :meth:`SatelliteLP.advance`."""
+
+    #: Messages emitted during the window, addressed to the hub.
+    messages: list[WireMessage] = field(default_factory=list)
+    #: The LP's next local event time after the window (``inf`` = idle).
+    next_time_s: float = _INF
+    #: Optional load/status snapshot (plain data) taken at the window
+    #: edge; ``None`` when nothing changed since the previous window.
+    status: Any = None
+    #: Events the LP processed inside the window (throughput metric).
+    events_processed: int = 0
+    #: Wall-clock seconds the LP spent executing the window.
+    busy_s: float = 0.0
+    #: Earliest simulated time the LP could emit a message after the
+    #: window: ``inf`` = cannot send until commanded (a purely reactive
+    #: LP with nothing outstanding), ``None`` = unknown — the runner
+    #: falls back to ``next_time_s`` (always safe: every pending event
+    #: might send).
+    influence_s: Optional[float] = None
+
+
+class SatelliteLP(Protocol):
+    """One satellite logical process (its own simulator inside)."""
+
+    lp_id: str
+
+    def deliver(self, messages: Sequence[WireMessage]) -> None:
+        """Schedule inbound *messages* at their arrival times.
+
+        Arrivals are guaranteed to lie at or beyond the LP's last
+        granted horizon, so scheduling them can never rewrite the past.
+        """
+        ...  # pragma: no cover - protocol
+
+    def advance(self, horizon_s: float) -> LpReply:
+        """Execute every local event strictly before *horizon_s*."""
+        ...  # pragma: no cover - protocol
+
+    def next_time(self) -> float:
+        """The LP's next local event time (``inf`` when idle) — polled
+        once at startup to seed the first round's influence bound
+        (conservatively: until the LP's first reply the runner assumes
+        any pending event might send)."""
+        ...  # pragma: no cover - protocol
+
+
+class Hub(Protocol):
+    """The coordinating LP the satellites exchange messages with."""
+
+    @property
+    def finished(self) -> bool:
+        """True once the simulation's goal event has been processed."""
+        ...  # pragma: no cover - protocol
+
+    def next_time(self) -> float:
+        """The hub's next local event time (``inf`` when idle)."""
+        ...  # pragma: no cover - protocol
+
+    def take_outboxes(self) -> dict[str, list[WireMessage]]:
+        """Drain the commands generated since the last barrier, keyed
+        by destination LP."""
+        ...  # pragma: no cover - protocol
+
+    def deliver(self, messages: Sequence[WireMessage]) -> None:
+        """Accept satellite messages (sorted by arrival) for delivery."""
+        ...  # pragma: no cover - protocol
+
+    def note_status(self, lp_id: str, status: Any) -> None:
+        """Record a satellite's barrier status snapshot."""
+        ...  # pragma: no cover - protocol
+
+    def advance(self, horizon_s: float) -> None:
+        """Execute hub events strictly before *horizon_s* (the hub may
+        stop early once :attr:`finished` turns true).
+
+        A hub that emits commands *during* its window must additionally
+        stop before ``(first_send_time + lookahead) + lookahead`` (two
+        separate additions — the reply chain's exact float arithmetic):
+        the earliest possible reply to a command sent at ``t`` arrives
+        ``L`` after the satellite received it at ``t + L``, and a hub
+        that advanced past that point would receive the reply in its
+        own past.  The satellites' reported influence times cannot
+        protect it — they were reported *before* the command was
+        delivered.
+        """
+        ...  # pragma: no cover - protocol
+
+
+# ---------------------------------------------------------------------------
+# fleet backends
+# ---------------------------------------------------------------------------
+
+#: A picklable LP constructor: ``factory(**kwargs)`` -> list of LPs.
+LpFactory = Callable[..., Sequence[SatelliteLP]]
+
+
+@dataclass
+class RoundTiming:
+    """Wall-clock accounting of one barrier round (bench support)."""
+
+    #: Per-LP busy seconds inside the round.
+    lp_busy_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.lp_busy_s.values())
+
+    @property
+    def critical_s(self) -> float:
+        return max(self.lp_busy_s.values()) if self.lp_busy_s else 0.0
+
+
+class Fleet:
+    """Common bookkeeping of the satellite-execution backends."""
+
+    def __init__(self) -> None:
+        self.lp_ids: list[str] = []
+        #: Cumulative events processed per LP across all rounds.
+        self.events_processed: dict[str, int] = {}
+        #: Per-round wall-clock accounting (populated every round).
+        self.round_timings: list[RoundTiming] = []
+
+    def build(self, factory: LpFactory, **kwargs: Any) -> list[str]:
+        raise NotImplementedError
+
+    def begin_advance(self, horizon_s: float,
+                      outboxes: Mapping[str, list[WireMessage]]) -> None:
+        """Dispatch one granted window to every satellite.
+
+        On the process backend this returns as soon as the grant is on
+        the wire, so the caller can execute hub work *while* the
+        satellites run; :meth:`finish_advance` then blocks for the
+        replies.  The inline backend runs the window synchronously in
+        :meth:`finish_advance` — same observable semantics, no overlap.
+        """
+        raise NotImplementedError
+
+    def finish_advance(self) -> dict[str, LpReply]:
+        """Collect the replies of the window started by
+        :meth:`begin_advance`."""
+        raise NotImplementedError
+
+    def advance_all(self, horizon_s: float,
+                    outboxes: Mapping[str, list[WireMessage]]
+                    ) -> dict[str, LpReply]:
+        """One synchronous barrier round (dispatch + collect)."""
+        self.begin_advance(horizon_s, outboxes)
+        return self.finish_advance()
+
+    def call(self, lp_id: str, method: str, *args: Any) -> Any:
+        """Invoke ``lp.<method>(*args)`` on one LP and return the
+        (picklable) result — the stats-collection escape hatch."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release every resource (idempotent)."""
+
+    def _note(self, replies: Mapping[str, LpReply]) -> None:
+        timing = RoundTiming()
+        for lp_id, reply in replies.items():
+            self.events_processed[lp_id] = (
+                self.events_processed.get(lp_id, 0)
+                + reply.events_processed)
+            timing.lp_busy_s[lp_id] = reply.busy_s
+        self.round_timings.append(timing)
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class InlineFleet(Fleet):
+    """Every satellite runs in the calling process — the serial
+    backend.  Bit-identical to any process backend by construction:
+    the grants, deliveries and per-LP execution are the same code."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lps: dict[str, SatelliteLP] = {}
+        self._pending: Optional[tuple[float,
+                                      Mapping[str, list[WireMessage]]]] = None
+
+    def build(self, factory: LpFactory, **kwargs: Any) -> list[str]:
+        lps = factory(**kwargs)
+        self._lps = {lp.lp_id: lp for lp in lps}
+        self.lp_ids = sorted(self._lps)
+        return self.lp_ids
+
+    def begin_advance(self, horizon_s: float,
+                      outboxes: Mapping[str, list[WireMessage]]) -> None:
+        if self._pending is not None:
+            raise ParallelSimError(
+                "begin_advance called with a window already in flight")
+        self._pending = (horizon_s, outboxes)
+
+    def finish_advance(self) -> dict[str, LpReply]:
+        if self._pending is None:
+            raise ParallelSimError(
+                "finish_advance called without a window in flight")
+        horizon_s, outboxes = self._pending
+        self._pending = None
+        replies: dict[str, LpReply] = {}
+        for lp_id in self.lp_ids:
+            lp = self._lps[lp_id]
+            inbound = outboxes.get(lp_id)
+            started = perf_counter()
+            if inbound:
+                lp.deliver(inbound)
+            reply = lp.advance(horizon_s)
+            reply.busy_s = perf_counter() - started
+            replies[lp_id] = reply
+        self._note(replies)
+        return replies
+
+    def call(self, lp_id: str, method: str, *args: Any) -> Any:
+        return getattr(self._lps[lp_id], method)(*args)
+
+    def close(self) -> None:
+        self._lps = {}
+
+
+def _worker_main(conn: Any) -> None:  # pragma: no cover - child process
+    """Entry point of one worker process (spawn context).
+
+    Serves a tiny command protocol on its pipe: ``build`` constructs
+    this worker's share of the LPs from the picklable factory spec,
+    ``advance`` runs one granted window over each hosted LP (in lp-id
+    order — determinism does not depend on which worker hosts which
+    LP), ``call`` proxies a method invocation, ``stop`` exits.  Any
+    exception is reported back as an ``("error", ...)`` reply rather
+    than killing the worker silently.
+    """
+    lps: dict[str, SatelliteLP] = {}
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:
+            break
+        command = request[0]
+        try:
+            if command == "build":
+                _, factory, kwargs = request
+                built = factory(**kwargs)
+                lps = {lp.lp_id: lp for lp in built}
+                conn.send(("built", sorted(lps)))
+            elif command == "advance":
+                _, horizon_s, outboxes = request
+                replies: dict[str, LpReply] = {}
+                for lp_id in sorted(lps):
+                    lp = lps[lp_id]
+                    inbound = outboxes.get(lp_id)
+                    started = perf_counter()
+                    if inbound:
+                        lp.deliver(inbound)
+                    reply = lp.advance(horizon_s)
+                    reply.busy_s = perf_counter() - started
+                    replies[lp_id] = reply
+                conn.send(("replies", replies))
+            elif command == "call":
+                _, lp_id, method, args = request
+                conn.send(("result",
+                           getattr(lps[lp_id], method)(*args)))
+            elif command == "stop":
+                conn.send(("stopped",))
+                break
+            else:
+                conn.send(("error", f"unknown command {command!r}"))
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            conn.send(("error",
+                       f"{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}"))
+    conn.close()
+
+
+class ProcessFleet(Fleet):
+    """Satellites spread round-robin over ``worker_count`` OS processes.
+
+    Workers are started from the multiprocessing **spawn** context and
+    build their LPs locally from the factory spec, so nothing but plain
+    data ever crosses a pipe.  A worker that dies mid-round surfaces as
+    a :class:`~repro.errors.ParallelSimError` naming the worker — never
+    a hang — and a worker-side exception carries its traceback home.
+    """
+
+    def __init__(self, worker_count: int, *, start_method: str = "spawn"
+                 ) -> None:
+        super().__init__()
+        if worker_count < 1:
+            raise ParallelSimError(
+                f"need >= 1 worker process, got {worker_count}")
+        import multiprocessing
+
+        self.worker_count = worker_count
+        self._ctx = multiprocessing.get_context(start_method)
+        self._pipes: list[Any] = []
+        self._workers: list[Any] = []
+        #: lp id -> worker index hosting it.
+        self._home: dict[str, int] = {}
+        #: True between begin_advance and finish_advance.
+        self._in_flight = False
+
+    def _start(self) -> None:
+        for index in range(self.worker_count):
+            parent_conn, child_conn = self._ctx.Pipe()
+            worker = self._ctx.Process(
+                target=_worker_main, args=(child_conn,),
+                name=f"repro-sim-worker-{index}", daemon=True)
+            worker.start()
+            child_conn.close()
+            self._pipes.append(parent_conn)
+            self._workers.append(worker)
+
+    def _send(self, index: int, request: tuple) -> None:
+        try:
+            self._pipes[index].send(request)
+        except (OSError, ValueError) as exc:
+            code = self._workers[index].exitcode
+            raise ParallelSimError(
+                f"worker {index} is gone (exit code {code}); cannot "
+                f"dispatch {request[0]!r} — the simulation cannot "
+                f"continue") from exc
+
+    def _recv(self, index: int) -> Any:
+        try:
+            reply = self._pipes[index].recv()
+        except (EOFError, OSError) as exc:
+            code = self._workers[index].exitcode
+            raise ParallelSimError(
+                f"worker {index} died mid-barrier "
+                f"(exit code {code}); the simulation cannot continue"
+            ) from exc
+        if reply[0] == "error":
+            raise ParallelSimError(
+                f"worker {index} failed: {reply[1]}")
+        return reply
+
+    def build(self, factory: LpFactory, **kwargs: Any) -> list[str]:
+        if not self._workers:
+            self._start()
+        # Partitioning is round-robin over the *factory's* LP order;
+        # results cannot depend on it (each LP is self-contained), but
+        # a stable split keeps worker load repeatable.
+        probe = factory(**kwargs)
+        lp_ids = [lp.lp_id for lp in probe]
+        del probe
+        shares: list[list[str]] = [[] for _ in range(self.worker_count)]
+        for position, lp_id in enumerate(lp_ids):
+            index = position % self.worker_count
+            shares[index].append(lp_id)
+            self._home[lp_id] = index
+        for index, share in enumerate(shares):
+            self._send(index,
+                       ("build", _PartitionFactory(factory, share), kwargs))
+        hosted: list[str] = []
+        for index in range(self.worker_count):
+            hosted.extend(self._recv(index)[1])
+        self.lp_ids = sorted(hosted)
+        return self.lp_ids
+
+    def begin_advance(self, horizon_s: float,
+                      outboxes: Mapping[str, list[WireMessage]]) -> None:
+        if self._in_flight:
+            raise ParallelSimError(
+                "begin_advance called with a window already in flight")
+        per_worker: list[dict[str, list[WireMessage]]] = [
+            {} for _ in range(self.worker_count)]
+        for lp_id, messages in outboxes.items():
+            try:
+                home = self._home[lp_id]
+            except KeyError:
+                raise ParallelSimError(
+                    f"no worker hosts LP {lp_id!r}") from None
+            per_worker[home][lp_id] = messages
+        for index in range(self.worker_count):
+            self._send(index, ("advance", horizon_s, per_worker[index]))
+        self._in_flight = True
+
+    def finish_advance(self) -> dict[str, LpReply]:
+        if not self._in_flight:
+            raise ParallelSimError(
+                "finish_advance called without a window in flight")
+        self._in_flight = False
+        replies: dict[str, LpReply] = {}
+        for index in range(self.worker_count):
+            replies.update(self._recv(index)[1])
+        self._note(replies)
+        return replies
+
+    def call(self, lp_id: str, method: str, *args: Any) -> Any:
+        index = self._home[lp_id]
+        self._send(index, ("call", lp_id, method, args))
+        return self._recv(index)[1]
+
+    def close(self) -> None:
+        for index, worker in enumerate(self._workers):
+            if worker.is_alive():
+                try:
+                    self._pipes[index].send(("stop",))
+                    self._pipes[index].recv()
+                except (EOFError, OSError, BrokenPipeError):
+                    pass
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+            self._pipes[index].close()
+        self._workers = []
+        self._pipes = []
+        self._home = {}
+
+
+class _PartitionFactory:
+    """Picklable wrapper: builds only one worker's share of the LPs."""
+
+    def __init__(self, factory: LpFactory, keep: Sequence[str]) -> None:
+        self.factory = factory
+        self.keep = frozenset(keep)
+
+    def __call__(self, **kwargs: Any) -> list[SatelliteLP]:
+        return [lp for lp in self.factory(**kwargs)
+                if lp.lp_id in self.keep]
+
+
+def make_fleet(workers: int, *, start_method: str = "spawn") -> Fleet:
+    """``workers == 0`` -> :class:`InlineFleet` (the serial backend);
+    ``workers >= 1`` -> :class:`ProcessFleet` with that many OS
+    processes."""
+    if workers < 0:
+        raise ParallelSimError(f"worker count must be >= 0, got {workers}")
+    if workers == 0:
+        return InlineFleet()
+    return ProcessFleet(workers, start_method=start_method)
+
+
+# ---------------------------------------------------------------------------
+# the window runner
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WindowRunReport:
+    """What one conservative run did (bench + diagnostics)."""
+
+    rounds: int = 0
+    #: Events processed per satellite LP.
+    lp_events: dict[str, int] = field(default_factory=dict)
+    #: Wall-clock spent inside satellite windows, summed over LPs.
+    lp_busy_s: float = 0.0
+    #: Wall-clock of the per-round slowest LP, summed over rounds —
+    #: the satellite-side critical path an ideal one-core-per-LP
+    #: machine would pay.
+    lp_critical_s: float = 0.0
+    #: Hub wall-clock inside granted windows — executed *while* the
+    #: satellites run their window on the process backend (the
+    #: pipelined grant), so it only costs wall-clock where it exceeds
+    #: the round's slowest satellite.
+    hub_overlapped_s: float = 0.0
+    #: Per-round ``max(slowest satellite, overlapped hub)`` summed
+    #: over rounds: the combined critical path of an ideal
+    #: one-core-per-LP machine, accounting for the hub/satellite
+    #: overlap.  Add the off-round runner overhead (total wall minus
+    #: busy minus overlapped hub) for the full lower bound on
+    #: parallel wall-clock.
+    critical_path_s: float = 0.0
+
+
+def run_windows(hub: Hub, fleet: Fleet, lookahead_s: float,
+                max_rounds: Optional[int] = None) -> WindowRunReport:
+    """Drive *hub* and *fleet* to completion in conservative windows.
+
+    The invariants (see the module docstring): satellites execute
+    strictly below ``hub.next_time() + lookahead``, the hub strictly
+    below ``min(satellite next times) + lookahead``, and messages cross
+    only at barriers.  Lookahead must be positive — with zero lookahead
+    no side can ever promise the other a non-empty window and the
+    protocol degenerates to a deadlock, so it is rejected up front.
+
+    A stalled barrier (hub not finished, yet neither side has an event
+    and no message is in flight) raises :class:`~repro.errors.
+    ParallelSimError` instead of spinning forever; so does exceeding
+    *max_rounds* when given.
+    """
+    if not (lookahead_s > 0.0):
+        raise ParallelSimError(
+            f"conservative synchronization needs a positive lookahead "
+            f"(got {lookahead_s}); with zero lookahead no process can "
+            f"grant any other a window")
+    if lookahead_s == _INF or lookahead_s != lookahead_s:
+        raise ParallelSimError(
+            f"lookahead must be finite, got {lookahead_s}")
+    report = WindowRunReport()
+    #: Per-LP influence times as of the last barrier — the earliest
+    #: each LP could send.  Seeded by a startup next-event poll (until
+    #: an LP's first reply, any pending event might send).
+    influences: dict[str, float] = {
+        lp_id: fleet.call(lp_id, "next_time")
+        for lp_id in fleet.lp_ids}
+    satellites_next = min(influences.values(), default=_INF)
+    while not hub.finished:
+        if max_rounds is not None and report.rounds >= max_rounds:
+            raise ParallelSimError(
+                f"window runner exceeded {max_rounds} rounds without "
+                f"finishing")
+        hub_next = hub.next_time()
+        outboxes = hub.take_outboxes()
+        # The stall check runs *here*, after the outbox drain: a
+        # command the hub emitted late in its last overlapped window
+        # is in flight but only becomes visible at this drain — an
+        # end-of-round check would misread that round (hub idle,
+        # satellites idle, command still boxed) as a dead simulation.
+        if (hub_next == _INF and satellites_next == _INF
+                and not any(outboxes.values())):
+            raise ParallelSimError(
+                "stalled barrier: the hub is not finished but no LP "
+                "has a pending event and no message is in flight — "
+                "the model is waiting on something that will never "
+                "happen")
+        # Earliest possible satellite send this round: a reported
+        # influence time or an in-flight command about to be delivered
+        # (which may trigger an immediate reply).
+        influence = min(influences.values(), default=_INF)
+        for messages in outboxes.values():
+            for message in messages:
+                if message.arrival_s < influence:
+                    influence = message.arrival_s
+        # The influence cap is two *separate* rounded additions, not
+        # ``influence + 2 * lookahead_s``: the causal chain it guards
+        # against (satellite send -> hub reaction -> counter-command)
+        # accumulates two ``fl(t + L)`` round-offs, and the chained
+        # form can land one ulp below the algebraic ``t + 2L``.
+        satellite_horizon = min(hub_next + lookahead_s,
+                                (influence + lookahead_s) + lookahead_s)
+        fleet.begin_advance(satellite_horizon, outboxes)
+        # Pipelined hub grant: while the satellites execute their
+        # window, the hub runs to ``influence + L`` — every message a
+        # satellite can emit this window is sent at or after its last
+        # reported influence time (or the arrival of a command just
+        # dispatched), so nothing can reach the hub below that bound.
+        # Work this round's replies unlock is *deferred to the next
+        # round's* grant, where the refreshed influence times admit
+        # it — one round of extra latency in wall-clock only (event
+        # order is bound-independent), in exchange for the hub never
+        # executing serially between windows.  With no possible sender
+        # (``influence == inf``) the hub runs freely; its own send cap
+        # still stops it at ``(first_send + L) + L``.
+        overlap_started = perf_counter()
+        hub.advance(influence + lookahead_s if influence != _INF
+                    else _INF)
+        overlapped_s = perf_counter() - overlap_started
+        report.hub_overlapped_s += overlapped_s
+        replies = fleet.finish_advance()
+        round_timing = fleet.round_timings[-1]
+        report.critical_path_s += max(round_timing.critical_s,
+                                      overlapped_s)
+        inbound: list[WireMessage] = []
+        satellites_next = _INF
+        for lp_id in sorted(replies):
+            reply = replies[lp_id]
+            for message in reply.messages:
+                if message.arrival_s != message.sent_s + lookahead_s:
+                    raise ParallelSimError(
+                        f"LP {lp_id!r} emitted a message sent at "
+                        f"{message.sent_s} arriving at "
+                        f"{message.arrival_s}; arrival must be exactly "
+                        f"send time + lookahead ({lookahead_s})")
+            inbound.extend(reply.messages)
+            influences[lp_id] = (reply.influence_s
+                                 if reply.influence_s is not None
+                                 else reply.next_time_s)
+            satellites_next = min(satellites_next, reply.next_time_s)
+            if reply.status is not None:
+                hub.note_status(lp_id, reply.status)
+        if inbound:
+            inbound.sort(key=lambda m: (m.arrival_s, m.lp_id, m.seq))
+            hub.deliver(inbound)
+        report.rounds += 1
+    report.lp_events = dict(fleet.events_processed)
+    report.lp_busy_s = sum(t.total_s for t in fleet.round_timings)
+    report.lp_critical_s = sum(t.critical_s for t in fleet.round_timings)
+    return report

@@ -56,6 +56,12 @@ class MemoryHotplug:
         self.timings = timings
         self._sections: dict[int, MemorySection] = {}
         self.operations = 0
+        # Running state counters: sections only change state through the
+        # four operations below, so ``online_bytes``/``present_bytes``
+        # stay O(1) instead of rescanning every section per query (the
+        # queries sit on the control plane's availability hot path).
+        self._online_sections = 0
+        self._present_sections = 0
 
     # -- geometry ----------------------------------------------------------------
 
@@ -96,6 +102,7 @@ class MemoryHotplug:
                     f"section {sec.index} is already {sec.state.value}")
         for sec in sections:
             sec.transition(SectionState.PRESENT)
+        self._present_sections += len(sections)
         self.operations += 1
         return (self.timings.operation_overhead_s
                 + len(sections) * self.timings.add_per_section_s)
@@ -110,6 +117,7 @@ class MemoryHotplug:
                     f"cannot online section {sec.index}: {sec.state.value}")
         for sec in sections:
             sec.transition(SectionState.ONLINE)
+        self._online_sections += len(sections)
         self.operations += 1
         return (self.timings.operation_overhead_s
                 + len(sections) * self.timings.online_per_section_s)
@@ -124,6 +132,7 @@ class MemoryHotplug:
                     f"cannot offline section {sec.index}: {sec.state.value}")
         for sec in sections:
             sec.transition(SectionState.PRESENT)
+        self._online_sections -= len(sections)
         self.operations += 1
         return (self.timings.operation_overhead_s
                 + len(sections) * self.timings.offline_per_section_s)
@@ -139,6 +148,7 @@ class MemoryHotplug:
                     f"(offline it first)")
         for sec in sections:
             sec.transition(SectionState.ABSENT)
+        self._present_sections -= len(sections)
         self.operations += 1
         return (self.timings.operation_overhead_s
                 + len(sections) * self.timings.remove_per_section_s)
@@ -147,13 +157,11 @@ class MemoryHotplug:
 
     def online_bytes(self) -> int:
         """Bytes currently usable by the buddy allocator."""
-        return sum(s.section_bytes for s in self._sections.values()
-                   if s.state is SectionState.ONLINE)
+        return self._online_sections * self.section_bytes
 
     def present_bytes(self) -> int:
         """Bytes registered (PRESENT or ONLINE)."""
-        return sum(s.section_bytes for s in self._sections.values()
-                   if s.state is not SectionState.ABSENT)
+        return self._present_sections * self.section_bytes
 
     def sections_in_state(self, state: SectionState) -> list[MemorySection]:
         return [s for s in self._sections.values() if s.state is state]

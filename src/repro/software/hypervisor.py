@@ -67,6 +67,11 @@ class Hypervisor:
         self._vms: dict[str, VirtualMachine] = {}
         self._dimms: dict[str, list[VirtualDimm]] = {}
         self._dimm_ids = itertools.count()
+        # Hosted-core count, maintained at the four membership changes
+        # (spawn/terminate/evict/adopt) — vCPU counts never change after
+        # spawn, so the admission checks and availability snapshots stay
+        # O(1) per query.
+        self._cores_in_use = 0
 
     @property
     def brick_id(self) -> str:
@@ -94,8 +99,7 @@ class Hypervisor:
         """
         if vm_id in self._vms:
             raise HypervisorError(f"VM id {vm_id!r} already in use")
-        cores_in_use = sum(v.vcpus for v in self._vms.values()
-                           if v.state is not VmState.TERMINATED)
+        cores_in_use = self._cores_in_use
         if cores_in_use + vcpus > self.kernel.brick.core_count:
             raise HypervisorError(
                 f"brick {self.brick_id} has {self.kernel.brick.core_count} "
@@ -104,6 +108,7 @@ class Hypervisor:
         vm = VirtualMachine(vm_id, vcpus, ram_bytes)
         self._vms[vm_id] = vm
         self._dimms[vm_id] = []
+        self._cores_in_use += vcpus
         vm.start()
         return vm, self.timings.vm_spawn_s
 
@@ -115,6 +120,7 @@ class Hypervisor:
         self.kernel.release_ram(vm.configured_ram_bytes)
         del self._vms[vm_id]
         del self._dimms[vm_id]
+        self._cores_in_use -= vm.vcpus
 
     # -- DIMM hotplug --------------------------------------------------------------
 
@@ -210,6 +216,7 @@ class Hypervisor:
         self.kernel.release_ram(vm.configured_ram_bytes)
         del self._vms[vm_id]
         del self._dimms[vm_id]
+        self._cores_in_use -= vm.vcpus
         return vm, dimms
 
     def adopt_vm(self, vm: VirtualMachine,
@@ -223,8 +230,7 @@ class Hypervisor:
         if vm.state is not VmState.PAUSED:
             raise HypervisorError(
                 f"only paused VMs can be adopted (state: {vm.state.value})")
-        cores_in_use = sum(v.vcpus for v in self._vms.values()
-                           if v.state is not VmState.TERMINATED)
+        cores_in_use = self._cores_in_use
         if cores_in_use + vm.vcpus > self.kernel.brick.core_count:
             raise HypervisorError(
                 f"brick {self.brick_id} lacks {vm.vcpus} free cores for "
@@ -232,12 +238,12 @@ class Hypervisor:
         self.kernel.reserve_ram(vm.configured_ram_bytes)
         self._vms[vm.vm_id] = vm
         self._dimms[vm.vm_id] = list(dimms or [])
+        self._cores_in_use += vm.vcpus
 
     # -- accounting ---------------------------------------------------------------------
 
     def cores_in_use(self) -> int:
-        return sum(v.vcpus for v in self._vms.values()
-                   if v.state is not VmState.TERMINATED)
+        return self._cores_in_use
 
     def guest_ram_bytes(self) -> int:
         """Total RAM configured into live guests."""

@@ -1,0 +1,309 @@
+"""Tests for the conservative parallel-simulation runner and fleets.
+
+The toy model is the protocol in miniature: a ping hub that commands
+echo satellites over the lookahead-delayed wire.  The LPs live at
+module level so the spawn-started workers can import them — a worker
+rebuilds its share of the fleet from the pickled ``(factory, kwargs)``
+spec, exactly like the production pod LPs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import time
+
+import pytest
+
+from repro.errors import ParallelSimError
+from repro.sim.engine import Simulator
+from repro.sim.parallel import (
+    InlineFleet,
+    LpReply,
+    ProcessFleet,
+    WireMessage,
+    make_fleet,
+    run_windows,
+)
+
+_INF = float("inf")
+LOOKAHEAD = 0.25
+
+
+class EchoLp:
+    """Reactive satellite: echoes each command after a local delay."""
+
+    def __init__(self, lp_id: str, delay_s: float = 0.0,
+                 sleep_s: float = 0.0) -> None:
+        self.lp_id = lp_id
+        self.delay_s = delay_s
+        #: Wall-clock stall per window (the straggler knob) — purely
+        #: physical, must never change the simulation.
+        self.sleep_s = sleep_s
+        self.clock = 0.0
+        self._pending: list[tuple[float, int, object]] = []
+        self._seq = 0
+
+    def deliver(self, messages):
+        for message in messages:
+            assert message.arrival_s >= self.clock
+            heapq.heappush(
+                self._pending,
+                (message.arrival_s + self.delay_s, message.seq,
+                 message.body))
+
+    def advance(self, horizon_s: float) -> LpReply:
+        if self.sleep_s:
+            time.sleep(self.sleep_s)
+        out: list[WireMessage] = []
+        events = 0
+        while self._pending and self._pending[0][0] < horizon_s:
+            when, _, body = heapq.heappop(self._pending)
+            self.clock = when
+            events += 1
+            self._seq += 1
+            out.append(WireMessage(
+                lp_id=self.lp_id, sent_s=when,
+                arrival_s=when + LOOKAHEAD, seq=self._seq,
+                body=("echo", self.lp_id, body)))
+        if horizon_s != _INF:
+            self.clock = max(self.clock, horizon_s)
+        next_t = self._pending[0][0] if self._pending else _INF
+        return LpReply(messages=out, next_time_s=next_t,
+                       events_processed=events, influence_s=next_t)
+
+    def next_time(self) -> float:
+        return self._pending[0][0] if self._pending else _INF
+
+
+class FaultyLp(EchoLp):
+    """Raises inside a window — the worker must report, not die."""
+
+    def advance(self, horizon_s: float) -> LpReply:
+        raise RuntimeError("injected LP failure")
+
+
+class BadWireLp(EchoLp):
+    """Emits a message whose arrival breaks the lookahead contract."""
+
+    def advance(self, horizon_s: float) -> LpReply:
+        reply = super().advance(horizon_s)
+        for message in reply.messages:
+            object.__setattr__(message, "arrival_s",
+                               message.sent_s + LOOKAHEAD / 2)
+        return reply
+
+
+def make_echo_lps(count: int = 3, delay_s: float = 0.0,
+                  sleep_s: float = 0.0, straggler: str = "",
+                  kind: str = "echo"):
+    cls = {"echo": EchoLp, "faulty": FaultyLp, "bad": BadWireLp}[kind]
+    return [cls(f"lp{i}", delay_s=delay_s,
+                sleep_s=sleep_s if f"lp{i}" == straggler else 0.0)
+            for i in range(count)]
+
+
+class PingHub:
+    """Sends scheduled pings round-robin; finishes on the last echo."""
+
+    def __init__(self, lp_ids, ping_count: int, spacing_s: float = 1.0):
+        self.lp_ids = list(lp_ids)
+        self.expected = ping_count
+        self._sends = [(i * spacing_s, self.lp_ids[i % len(self.lp_ids)])
+                       for i in range(ping_count)]
+        self._outbox: dict[str, list[WireMessage]] = {}
+        self._window_cap = _INF
+        self.clock = 0.0
+        self._seq = 0
+        self.received: list[tuple] = []
+        self.statuses: list[tuple] = []
+
+    @property
+    def finished(self) -> bool:
+        return len(self.received) >= self.expected
+
+    def next_time(self) -> float:
+        return self._sends[0][0] if self._sends else _INF
+
+    def take_outboxes(self):
+        self._window_cap = _INF
+        drained, self._outbox = self._outbox, {}
+        return drained
+
+    def deliver(self, messages):
+        for message in messages:
+            assert message.arrival_s >= self.clock
+            self.clock = message.arrival_s
+            self.received.append(
+                (message.arrival_s, message.lp_id, message.seq,
+                 message.body))
+
+    def note_status(self, lp_id, status):
+        self.statuses.append((lp_id, status))
+
+    def advance(self, horizon_s: float) -> None:
+        while (self._sends
+               and self._sends[0][0] < min(horizon_s, self._window_cap)
+               and not self.finished):
+            when, lp_id = self._sends.pop(0)
+            self.clock = max(self.clock, when)
+            self._seq += 1
+            self._outbox.setdefault(lp_id, []).append(WireMessage(
+                lp_id=lp_id, sent_s=when, arrival_s=when + LOOKAHEAD,
+                seq=self._seq, body=("ping", self._seq)))
+            if self._window_cap == _INF:
+                self._window_cap = (when + LOOKAHEAD) + LOOKAHEAD
+        if horizon_s != _INF:
+            self.clock = max(self.clock,
+                             min(horizon_s, self._window_cap))
+
+
+class SilentHub(PingHub):
+    """Expects echoes but never pings: a genuinely stalled model."""
+
+    def __init__(self, lp_ids):
+        super().__init__(lp_ids, ping_count=0)
+        self.expected = 1  # never satisfied
+
+
+def _run(fleet, ping_count: int = 8, **lp_kwargs):
+    with fleet:
+        fleet.build(make_echo_lps, **lp_kwargs)
+        hub = PingHub(fleet.lp_ids, ping_count)
+        report = run_windows(hub, fleet, LOOKAHEAD, max_rounds=500)
+    return hub, report
+
+
+class TestEquivalence:
+    def test_inline_run_completes_in_order(self):
+        hub, report = _run(InlineFleet(), ping_count=8, delay_s=0.1)
+        assert len(hub.received) == 8
+        assert hub.received == sorted(hub.received)
+        assert report.rounds > 1
+        assert sum(report.lp_events.values()) == 8
+
+    def test_process_backends_match_inline(self):
+        reference, ref_report = _run(InlineFleet(), ping_count=8,
+                                     delay_s=0.1)
+        for workers in (1, 2):
+            hub, report = _run(ProcessFleet(workers), ping_count=8,
+                               delay_s=0.1)
+            assert hub.received == reference.received, workers
+            assert report.rounds == ref_report.rounds, workers
+            assert report.lp_events == ref_report.lp_events, workers
+
+    def test_straggler_changes_nothing_but_wall_clock(self):
+        reference, _ = _run(InlineFleet(), ping_count=6)
+        hub, report = _run(InlineFleet(), ping_count=6,
+                           straggler="lp1", sleep_s=0.01)
+        assert hub.received == reference.received
+        # The straggler dominates every round it works in: the
+        # critical path reflects it, the event order does not.
+        assert report.lp_busy_s >= 0.01
+
+    def test_more_workers_than_lps(self):
+        reference, _ = _run(InlineFleet(), ping_count=4)
+        hub, _ = _run(ProcessFleet(4), ping_count=4, count=2)
+        reference2, _ = _run(InlineFleet(), ping_count=4, count=2)
+        assert hub.received == reference2.received
+        assert reference.received != reference2.received
+
+
+class TestGuards:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, _INF, float("nan")])
+    def test_bad_lookahead_rejected(self, bad):
+        fleet = InlineFleet()
+        fleet.build(make_echo_lps)
+        hub = PingHub(fleet.lp_ids, 1)
+        with pytest.raises(ParallelSimError,
+                           match="lookahead|finite"):
+            run_windows(hub, fleet, bad)
+
+    def test_stalled_barrier_detected(self):
+        fleet = InlineFleet()
+        fleet.build(make_echo_lps)
+        hub = SilentHub(fleet.lp_ids)
+        with pytest.raises(ParallelSimError, match="stalled barrier"):
+            run_windows(hub, fleet, LOOKAHEAD)
+
+    def test_max_rounds_guard(self):
+        fleet = InlineFleet()
+        fleet.build(make_echo_lps)
+        hub = PingHub(fleet.lp_ids, ping_count=50, spacing_s=10.0)
+        with pytest.raises(ParallelSimError, match="rounds"):
+            run_windows(hub, fleet, LOOKAHEAD, max_rounds=3)
+
+    def test_wire_contract_enforced(self):
+        fleet = InlineFleet()
+        fleet.build(make_echo_lps, kind="bad")
+        hub = PingHub(fleet.lp_ids, 2)
+        with pytest.raises(ParallelSimError, match="lookahead"):
+            run_windows(hub, fleet, LOOKAHEAD, max_rounds=50)
+
+    def test_begin_advance_twice_rejected(self):
+        fleet = InlineFleet()
+        fleet.build(make_echo_lps)
+        fleet.begin_advance(1.0, {})
+        with pytest.raises(ParallelSimError, match="in flight"):
+            fleet.begin_advance(2.0, {})
+
+    def test_finish_without_begin_rejected(self):
+        fleet = InlineFleet()
+        fleet.build(make_echo_lps)
+        with pytest.raises(ParallelSimError, match="without a window"):
+            fleet.finish_advance()
+
+    def test_negative_worker_count_rejected(self):
+        with pytest.raises(ParallelSimError, match=">= 0"):
+            make_fleet(-1)
+
+    def test_make_fleet_picks_backend(self):
+        assert isinstance(make_fleet(0), InlineFleet)
+        fleet = make_fleet(2)
+        try:
+            assert isinstance(fleet, ProcessFleet)
+            assert fleet.worker_count == 2
+        finally:
+            fleet.close()
+
+
+class TestProcessFailures:
+    def test_lp_exception_carries_traceback_home(self):
+        with ProcessFleet(1) as fleet:
+            fleet.build(make_echo_lps, kind="faulty")
+            with pytest.raises(ParallelSimError,
+                               match="injected LP failure"):
+                fleet.advance_all(1.0, {})
+
+    def test_dead_worker_surfaces_not_hangs(self):
+        fleet = ProcessFleet(2)
+        try:
+            fleet.build(make_echo_lps)
+            fleet._workers[0].terminate()
+            fleet._workers[0].join(timeout=5.0)
+            with pytest.raises(ParallelSimError,
+                               match="died mid-barrier|is gone"):
+                fleet.advance_all(1.0, {})
+        finally:
+            fleet.close()
+
+    def test_unknown_lp_destination_rejected(self):
+        with ProcessFleet(1) as fleet:
+            fleet.build(make_echo_lps)
+            message = WireMessage("ghost", 0.0, LOOKAHEAD, 1, "x")
+            with pytest.raises(ParallelSimError, match="no worker"):
+                fleet.begin_advance(1.0, {"ghost": [message]})
+
+
+class TestSpawnSafety:
+    def test_simulator_refuses_pickle(self):
+        with pytest.raises(TypeError, match="pickled"):
+            pickle.dumps(Simulator())
+
+    def test_event_refuses_pickle(self):
+        with pytest.raises(TypeError, match="pickled"):
+            pickle.dumps(Simulator().event())
+
+    def test_wire_message_is_plain_data(self):
+        message = WireMessage("lp0", 1.0, 1.25, 3, ("ping", 7))
+        assert pickle.loads(pickle.dumps(message)) == message
