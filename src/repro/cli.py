@@ -60,6 +60,29 @@ def _add_axis_flags(parser: argparse.ArgumentParser) -> None:
                              "(lookahead) in seconds for the parallel "
                              "backend; needs --workers (default: the "
                              "inter-pod link latency)")
+    parser.add_argument("--replica-groups", type=int, default=None,
+                        dest="replica_groups",
+                        help="group every N consecutive tenants into a "
+                             "replica set and place group members on "
+                             "distinct pods via the placer's "
+                             "anti-affinity (federation; N >= 2; "
+                             "default: ungrouped tenants)")
+    parser.add_argument("--drain", default=None,
+                        help="pod the maintenance study rolls out of "
+                             "service mid-trace, e.g. pod0 "
+                             "(maintenance; default: the hot pod)")
+    parser.add_argument("--hazard", default=None,
+                        help="failure-domain inter-arrival hazard for "
+                             "the maintenance study's drain+faults "
+                             "cell: exponential:<mean_s> or "
+                             "weibull:<scale_s>:<shape> (shape < 1 = "
+                             "infant mortality, > 1 = wear-out; "
+                             "default: exponential at the domain MTBF)")
+    parser.add_argument("--domains", default=None,
+                        choices=("rack-power", "pod-network", "both"),
+                        help="which correlated failure-domain set the "
+                             "maintenance study injects (default: "
+                             "rack-power)")
     parser.add_argument("--profile", action="store_true",
                         help="wrap each experiment in cProfile and "
                              "append the hottest functions (sorted by "
@@ -101,6 +124,9 @@ def main(argv: list[str] | None = None) -> int:
                          self_heal=args.self_heal,
                          workers=args.workers,
                          sync_window=args.sync_window,
+                         replica_groups=args.replica_groups,
+                         drain=args.drain, hazard=args.hazard,
+                         domains=args.domains,
                          profile=args.profile)
         print(report.runs[0].rendered)
         if report.runs[0].profile is not None:
@@ -115,6 +141,9 @@ def main(argv: list[str] | None = None) -> int:
                       self_heal=args.self_heal,
                       workers=args.workers,
                       sync_window=args.sync_window,
+                      replica_groups=args.replica_groups,
+                      drain=args.drain, hazard=args.hazard,
+                      domains=args.domains,
                       profile=args.profile).rendered())
         return 0
     return 2  # pragma: no cover - argparse enforces the choices

@@ -121,6 +121,16 @@ class FaultError(ReproError):
     conflicting scripted outages)."""
 
 
+class LifecycleError(OrchestrationError):
+    """Illegal brick-lifecycle transition (e.g. active -> enrolled) or an
+    operation attempted in the wrong lifecycle state."""
+
+
+class MaintenanceError(OrchestrationError):
+    """Rolling-maintenance failure (drain aborted, verify mismatch,
+    overlapping drains on the same scope)."""
+
+
 class ParallelSimError(SimulationError):
     """Conservative parallel-simulation failure (zero lookahead,
     stalled barrier, or a crashed worker process)."""

@@ -30,7 +30,12 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.tables import render_table
-from repro.cluster.trace import TenantSpec, poisson_trace
+from repro.cluster.trace import (
+    TenantSpec,
+    poisson_trace,
+    replica_group_of,
+    with_replica_groups,
+)
 from repro.errors import ConfigurationError
 from repro.federation.controller import build_federation
 from repro.federation.parallel import (
@@ -203,13 +208,17 @@ def _home_of(pod_ids: list[str], hot_share: float):
 def _run_cell(pod_count: int, rate_hz: float, policy: str,
               tenant_count: int, seed: int,
               workers: Optional[int] = None,
-              sync_window: Optional[float] = None) -> FederationCell:
+              sync_window: Optional[float] = None,
+              replica_groups: Optional[int] = None) -> FederationCell:
     rebalancer = (FederationRebalancer(interval_s=0.25,
                                        imbalance_threshold=0.2)
                   if policy != "never" else None)
+    anti_affinity = (replica_group_of if replica_groups is not None
+                     else None)
     if workers is None:
         federation = build_federation(
-            pod_count, spill_policy=policy, rebalancer=rebalancer)
+            pod_count, spill_policy=policy, rebalancer=rebalancer,
+            anti_affinity=anti_affinity)
         pod_ids = sorted(federation.pods)
         close = lambda: None  # noqa: E731 - serial path has no fleet
     else:
@@ -226,6 +235,10 @@ def _run_cell(pod_count: int, rate_hz: float, policy: str,
         tenant_count, rate_hz, vcpus=TENANT_VCPUS,
         ram_bytes=TENANT_RAM_BYTES, mean_lifetime_s=MEAN_LIFETIME_S,
         scale_fraction=0.0, seed=seed, name=f"fed-a{rate_hz:g}")
+    if replica_groups is not None:
+        # Same arrivals and shapes; ids gain a ~gNNNN suffix so the
+        # placer's anti-affinity spreads each group over distinct pods.
+        trace = with_replica_groups(trace, replica_groups)
     try:
         stats = federation.serve_trace(
             trace, home_of=_home_of(pod_ids, HOT_POD_SHARE))
@@ -255,7 +268,8 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
                    pods: Optional[int] = None,
                    spill_policy: Optional[str] = None,
                    workers: Optional[int] = None,
-                   sync_window: Optional[float] = None
+                   sync_window: Optional[float] = None,
+                   replica_groups: Optional[int] = None
                    ) -> FederationResult:
     """Sweep pod count × aggregate arrival rate × spill policy.
 
@@ -270,6 +284,12 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
     across worker counts but models explicit coordinator↔pod link
     latency, so its cells differ (physically, not numerically) from
     the direct-call serial sweep's.
+
+    *replica_groups* (``--replica-groups``, an int >= 2) groups every
+    *N* consecutive tenants into a replica set and turns on the
+    placer's anti-affinity so group members land on distinct pods —
+    one pod (or failure-domain) loss then never takes a whole group
+    down.  Serial backend only.
     """
     if pods is not None and pods < 1:
         raise ConfigurationError(f"need >= 1 pod, got {pods}")
@@ -290,6 +310,16 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
             raise ConfigurationError(
                 f"--sync-window must be positive seconds, got "
                 f"{sync_window}")
+    if replica_groups is not None:
+        if replica_groups < 2:
+            raise ConfigurationError(
+                f"--replica-groups needs groups of >= 2 replicas for "
+                f"anti-affinity to mean anything, got {replica_groups}")
+        if workers is not None:
+            raise ConfigurationError(
+                "--replica-groups only runs on the serial federation "
+                "backend: the anti-affinity ledger is coordinator-"
+                "local; drop --workers")
     pod_axis = (pods,) if pods is not None else pod_counts
     policy_axis = ((spill_policy,) if spill_policy is not None
                    else DEFAULT_POLICIES)
@@ -299,5 +329,6 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
             for policy in policy_axis:
                 result.cells.append(_run_cell(
                     pod_count, float(rate_hz), policy, tenant_count,
-                    seed, workers=workers, sync_window=sync_window))
+                    seed, workers=workers, sync_window=sync_window,
+                    replica_groups=replica_groups))
     return result

@@ -1,0 +1,377 @@
+"""Admission availability and p99 during a full-pod rolling drain.
+
+The availability sweep measures unplanned failures; this driver
+measures the dominant *planned* availability consumer — rolling
+maintenance — and its interaction with correlated failures.  The same
+multi-tenant Poisson traffic as the availability sweep (identical
+trace, identical skewed home-pod distribution) runs three times:
+
+* **baseline** — no drain, no faults: the availability reference;
+* **drain** — a :class:`~repro.maintenance.supervisor.
+  MaintenanceSupervisor` rolls the hot pod out of service mid-trace
+  (rack by rack, verified delta migration); the placer spills new
+  arrivals to the surviving pods, so the headline is **zero admission
+  unavailability**: the admitted fraction holds >= 99.9 % of the
+  baseline cell's, with bounded p99 inflation;
+* **drain+faults** — the same drain while correlated rack power
+  domains (:func:`~repro.faults.domains.rack_power_domains`) fail on
+  their own MTBF clock *and* a scripted domain outage lands inside
+  the drain scope mid-drain: the fence aborts the drain, in-flight
+  moves roll back, and the conservation check (allocated bytes ==
+  live segments, no leaked holds or claims) still passes.
+
+Every cell is deterministic per seed: the drain schedule is fixed,
+domain draws come from dedicated ``faults.domain.*`` RNG streams, and
+the conservation audit runs after the clock drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.tables import render_table
+from repro.cluster.trace import poisson_trace
+from repro.errors import ConfigurationError
+from repro.experiments.availability import (
+    ARRIVAL_RATE_HZ,
+    POD_COUNT,
+    SPILL_POLICY,
+    TENANT_COUNT,
+)
+from repro.experiments.federation import (
+    HOT_POD_SHARE,
+    MEAN_LIFETIME_S,
+    TENANT_RAM_BYTES,
+    TENANT_VCPUS,
+    _home_of,
+)
+from repro.faults import FaultInjector
+from repro.faults.domains import (
+    Hazard,
+    coerce_hazard,
+    pod_network_domains,
+    rack_power_domains,
+)
+from repro.federation.controller import build_federation
+from repro.maintenance import DrainReport, MaintenanceSupervisor
+from repro.units import to_milliseconds
+
+#: The pod the rolling drain retires: the hot pod (HOT_POD_SHARE of
+#: tenants call it home), the hardest case for zero-downtime claims.
+DRAIN_POD = "pod0"
+
+#: When the drain starts — mid-ramp, with the hot pod well populated.
+DRAIN_AT_S = 4.0
+
+#: The scripted correlated outage of the drain+faults cell: the drain
+#: pod's first rack's power domain trips this long after the drain
+#: starts (mid-evacuation), and stays down this long.
+OUTAGE_AFTER_S = 0.2
+OUTAGE_DURATION_S = 5.0
+
+#: Background correlated-failure schedule of the drain+faults cell.
+DOMAIN_MTBF_S = 60.0
+DOMAIN_MTTR_S = 4.0
+
+#: The headline floor: the drain cell's admitted fraction must hold at
+#: least this share of the baseline cell's.
+AVAILABILITY_FLOOR = 0.999
+
+
+@dataclass
+class MaintenanceCell:
+    """Measurements of one (drain schedule, fault schedule) run."""
+
+    label: str
+    drained: bool
+    faults_enabled: bool
+    admitted: int
+    rejected: int
+    spills: int
+    p50_boot_ms: float
+    p99_boot_ms: float
+    duration_s: float
+    drain_committed: bool = False
+    drain_aborted: bool = False
+    abort_reason: str = ""
+    segments_moved: int = 0
+    bytes_moved: int = 0
+    tenants_migrated: int = 0
+    rollback_moves: int = 0
+    verify_failures: int = 0
+    racks_retired: int = 0
+    drain_duration_s: float = 0.0
+    fault_count: int = 0
+    domain_outages: int = 0
+    conserved: bool = True
+
+    @property
+    def admitted_fraction(self) -> float:
+        total = self.admitted + self.rejected
+        return self.admitted / total if total else 0.0
+
+
+@dataclass
+class MaintenanceResult:
+    """The three-cell drain study."""
+
+    tenant_count: int
+    arrival_rate_hz: float
+    drain_pod: str
+    cells: list[MaintenanceCell] = field(default_factory=list)
+
+    def cell(self, label: str) -> MaintenanceCell:
+        for candidate in self.cells:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no cell {label!r}")
+
+    def availability_ratio(self, label: str) -> float:
+        """*label*'s admitted fraction over the baseline's."""
+        base = self.cell("baseline").admitted_fraction
+        if base == 0.0:
+            return 1.0
+        return self.cell(label).admitted_fraction / base
+
+    def p99_inflation(self, label: str) -> float:
+        """*label*'s p99 admission latency over the baseline's."""
+        base = self.cell("baseline").p99_boot_ms
+        if base == 0.0:
+            return 1.0
+        return self.cell(label).p99_boot_ms / base
+
+    def rows(self) -> list[tuple]:
+        rows = []
+        for cell in self.cells:
+            if not cell.drained:
+                drain = "-"
+            elif cell.drain_committed:
+                drain = f"committed/{cell.racks_retired}r"
+            elif cell.drain_aborted:
+                drain = "rolled back"
+            else:
+                drain = "incomplete"
+            rows.append((
+                cell.label,
+                cell.admitted,
+                cell.rejected,
+                f"{cell.admitted_fraction:.1%}",
+                f"{cell.p99_boot_ms:.1f}",
+                drain,
+                cell.tenants_migrated,
+                cell.segments_moved,
+                cell.rollback_moves,
+                cell.fault_count,
+                "yes" if cell.conserved else "NO",
+            ))
+        return rows
+
+    def render(self) -> str:
+        table = render_table(
+            ["cell", "ok", "rej", "admit", "p99 (ms)", "drain",
+             "migr", "segs", "rolled", "faults", "conserved"],
+            self.rows(),
+            title=f"Rolling maintenance: full drain of {self.drain_pod} "
+                  f"({self.tenant_count} tenants at "
+                  f"{self.arrival_rate_hz:g}/s over {POD_COUNT} pods, "
+                  f"drain at t={DRAIN_AT_S:g}s)")
+        lines = [table]
+        try:
+            drain = self.cell("drain")
+        except KeyError:
+            drain = None
+        if drain is not None and drain.drained:
+            ratio = self.availability_ratio("drain")
+            lines.append(
+                f"drain vs baseline: admission availability "
+                f"{ratio:.2%} of no-drain"
+                + (f" (>= {AVAILABILITY_FLOOR:.1%} floor)"
+                   if ratio >= AVAILABILITY_FLOOR else
+                   f" (BELOW the {AVAILABILITY_FLOOR:.1%} floor)")
+                + f", p99 {self.p99_inflation('drain'):.2f}x, "
+                f"{drain.tenants_migrated} tenants and "
+                f"{drain.segments_moved} segments moved in "
+                f"{drain.drain_duration_s:.1f}s")
+        try:
+            faulted = self.cell("drain+faults")
+        except KeyError:
+            faulted = None
+        if faulted is not None:
+            verdict = ("rolled back cleanly" if faulted.drain_aborted
+                       else "committed despite faults"
+                       if faulted.drain_committed else "incomplete")
+            lines.append(
+                f"drain+faults: {faulted.fault_count} fault(s) across "
+                f"{faulted.domain_outages} correlated domain outage(s); "
+                f"drain {verdict} ({faulted.rollback_moves} moves "
+                f"unwound); conservation "
+                f"{'holds' if faulted.conserved else 'VIOLATED'}")
+        lines.append(
+            "(a draining pod leaves the admission pool but keeps "
+            "serving; the placer spills newcomers to its peers, so "
+            "planned maintenance consumes zero admission availability)")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# one cell
+# ---------------------------------------------------------------------------
+
+def _conserved(federation) -> bool:
+    """Post-run conservation audit: allocator state matches the live
+    segment set everywhere, and no hold or claim leaked."""
+    try:
+        for pod in federation.pods.values():
+            entries = pod.system.sdm.registry.memory_entries
+            allocated = sum(e.allocator.allocated_bytes for e in entries)
+            live = sum(s.size for s in pod.system.sdm.live_segments)
+            if allocated != live:
+                return False
+            for entry in entries:
+                entry.allocator.check_invariants()
+            if getattr(pod.system.sdm, "pending_holds", []) != []:
+                return False
+        return federation.placer.pending_claims == []
+    except Exception:
+        return False
+
+
+def _build_domains(federation, domains: str, hazard: Optional[Hazard]):
+    if domains == "rack-power":
+        return rack_power_domains(federation, mtbf_s=DOMAIN_MTBF_S,
+                                  mttr_s=DOMAIN_MTTR_S, hazard=hazard)
+    if domains == "pod-network":
+        return pod_network_domains(federation, mtbf_s=DOMAIN_MTBF_S,
+                                   mttr_s=DOMAIN_MTTR_S, hazard=hazard)
+    if domains == "both":
+        return (rack_power_domains(federation, mtbf_s=DOMAIN_MTBF_S,
+                                   mttr_s=DOMAIN_MTTR_S, hazard=hazard)
+                + pod_network_domains(federation, mtbf_s=DOMAIN_MTBF_S,
+                                      mttr_s=DOMAIN_MTTR_S,
+                                      hazard=hazard))
+    raise ConfigurationError(
+        f"unknown domain set {domains!r}; known: rack-power, "
+        f"pod-network, both")
+
+
+def _run_cell(label: str, seed: int, *,
+              drain_pod: Optional[str] = None,
+              faults: bool = False,
+              domains: str = "rack-power",
+              hazard: Optional[Hazard] = None) -> MaintenanceCell:
+    federation = build_federation(POD_COUNT, spill_policy=SPILL_POLICY)
+    supervisor = MaintenanceSupervisor(federation)
+    injector: Optional[FaultInjector] = None
+    if faults:
+        injector = FaultInjector(
+            federation, classes=(), seed=seed, self_heal=True,
+            domains=_build_domains(federation, domains, hazard),
+        ).install()
+        supervisor.install_fence(injector)
+
+    report_box: dict[str, DrainReport] = {}
+    if drain_pod is not None:
+        def drain_proc():
+            yield federation.sim.timeout(DRAIN_AT_S)
+            report_box["report"] = yield from (
+                supervisor.drain_pod_process(drain_pod))
+        federation.sim.process(drain_proc())
+        if injector is not None:
+            # The guaranteed in-scope outage: the drain pod's first
+            # rack's power domain trips while that rack evacuates.
+            registry = federation.pods[drain_pod].system.sdm.registry
+            first_rack = min(e.rack_id
+                             for e in registry.memory_entries)
+
+            def outage_proc():
+                yield federation.sim.timeout(DRAIN_AT_S + OUTAGE_AFTER_S)
+                injector.fire_domain(
+                    f"power.{drain_pod}.{first_rack}",
+                    repair_after_s=OUTAGE_DURATION_S, scripted=True)
+            federation.sim.process(outage_proc())
+
+    trace = poisson_trace(
+        TENANT_COUNT, ARRIVAL_RATE_HZ, vcpus=TENANT_VCPUS,
+        ram_bytes=TENANT_RAM_BYTES, mean_lifetime_s=MEAN_LIFETIME_S,
+        scale_fraction=0.0, seed=seed, name=f"fed-a{ARRIVAL_RATE_HZ:g}")
+    stats = federation.serve_trace(
+        trace, home_of=_home_of(sorted(federation.pods), HOT_POD_SHARE))
+    # Let the drain, repairs and domain clears finish on the same
+    # clock (the MTBF loops exit at their next wake-up once stopped).
+    if injector is not None:
+        injector.stop()
+    federation.sim.run()
+
+    report = report_box.get("report")
+    cell = MaintenanceCell(
+        label=label,
+        drained=drain_pod is not None,
+        faults_enabled=faults,
+        admitted=stats.boots_admitted,
+        rejected=stats.boots_rejected,
+        spills=stats.spills,
+        p50_boot_ms=to_milliseconds(
+            stats.admission_latency_percentile(50)),
+        p99_boot_ms=to_milliseconds(
+            stats.admission_latency_percentile(99)),
+        duration_s=stats.duration_s,
+        conserved=_conserved(federation),
+    )
+    if report is not None:
+        cell.drain_committed = report.committed
+        cell.drain_aborted = report.aborted
+        cell.abort_reason = report.abort_reason
+        cell.segments_moved = report.segments_moved
+        cell.bytes_moved = report.bytes_moved
+        cell.tenants_migrated = report.tenants_migrated
+        cell.rollback_moves = report.rollback_moves
+        cell.verify_failures = report.verify_failures
+        cell.racks_retired = len(report.racks_retired)
+        cell.drain_duration_s = report.duration_s
+    if injector is not None:
+        cell.fault_count = injector.metrics.fault_count()
+        cell.domain_outages = injector.domain_outages_fired
+    return cell
+
+
+def run_maintenance(seed: int = 2018,
+                    drain: Optional[str] = None,
+                    hazard: Optional[str] = None,
+                    domains: Optional[str] = None,
+                    workers: Optional[int] = None,
+                    sync_window: Optional[float] = None
+                    ) -> MaintenanceResult:
+    """Baseline vs drain vs drain-under-correlated-faults.
+
+    *drain* (the CLI ``--drain`` flag) names the pod to drain (default
+    ``pod0``, the hot pod); *hazard* (``--hazard``,
+    ``weibull:<scale>:<shape>`` or ``exponential:<mean>``) overrides
+    the background domains' inter-arrival distribution; *domains*
+    (``--domains``: ``rack-power``, ``pod-network`` or ``both``) picks
+    which correlated domain set fails in the drain+faults cell.
+    """
+    if workers is not None or sync_window is not None:
+        raise ConfigurationError(
+            "the maintenance study only runs on the serial federation "
+            "backend: the drain supervisor and domain faults reach "
+            "into pod internals that are process-local under "
+            "--workers; drop --workers/--sync-window here")
+    drain_pod = drain if drain is not None else DRAIN_POD
+    if not drain_pod.startswith("pod"):
+        raise ConfigurationError(
+            f"--drain must name a pod (pod0..pod{POD_COUNT - 1}), "
+            f"got {drain_pod!r}")
+    domain_set = domains if domains is not None else "rack-power"
+    hazard_fn = coerce_hazard(hazard) if hazard is not None else None
+    result = MaintenanceResult(
+        tenant_count=TENANT_COUNT,
+        arrival_rate_hz=ARRIVAL_RATE_HZ,
+        drain_pod=drain_pod,
+    )
+    result.cells.append(_run_cell("baseline", seed))
+    result.cells.append(_run_cell("drain", seed, drain_pod=drain_pod))
+    result.cells.append(_run_cell(
+        "drain+faults", seed, drain_pod=drain_pod, faults=True,
+        domains=domain_set, hazard=hazard_fn))
+    return result

@@ -10,11 +10,12 @@ streams from it via :class:`~repro.sim.rng.RngRegistry`; deterministic
 drivers accept and ignore it.
 
 Axis overrides (``shards`` for the ``cluster_scale`` sweep; ``pods``,
-``spill_policy``, ``workers`` and ``sync_window`` for the
-``federation`` sweep; ``mtbf``, ``fault_classes`` and ``self_heal``
-for the ``availability`` sweep) are forwarded only to drivers whose
-signature declares the keyword, so sweep-specific flags never break
-the other experiments.
+``spill_policy``, ``workers``, ``sync_window`` and ``replica_groups``
+for the ``federation`` sweep; ``mtbf``, ``fault_classes`` and
+``self_heal`` for the ``availability`` sweep; ``drain``, ``hazard``
+and ``domains`` for the ``maintenance`` study) are forwarded only to
+drivers whose signature declares the keyword, so sweep-specific flags
+never break the other experiments.
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ from repro.experiments.fig10_agility import run_fig10
 from repro.experiments.fig12_poweroff import run_fig12
 from repro.experiments.fig13_energy import run_fig13
 from repro.experiments.kernel_bench import run_kernel_bench
+from repro.experiments.maintenance import run_maintenance
 from repro.experiments.parallel_scaling import run_parallel_scaling
 from repro.experiments.pod_scale import run_pod_scale
 from repro.experiments.table1_workloads import run_table1
@@ -53,6 +55,7 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "cluster_scale": run_cluster_scale,
     "federation": run_federation,
     "availability": run_availability,
+    "maintenance": run_maintenance,
     "kernel_bench": run_kernel_bench,
     "parallel_scaling": run_parallel_scaling,
 }
@@ -113,15 +116,20 @@ def run_all(names: list[str] | None = None,
             self_heal: Optional[str] = None,
             workers: Optional[int] = None,
             sync_window: Optional[float] = None,
+            replica_groups: Optional[int] = None,
+            drain: Optional[str] = None,
+            hazard: Optional[str] = None,
+            domains: Optional[str] = None,
             profile: bool = False) -> RunAllReport:
     """Execute the named experiments (all of them by default).
 
     When *seed* is given it is passed to every driver, overriding each
     one's default, so the whole sweep reproduces from one number.
     Axis overrides — *shards* (controller shard count, ``cluster_scale``),
-    *pods* (pod count), *spill_policy* / *workers* / *sync_window*
-    (``federation``), and *mtbf* / *fault_classes* / *self_heal*
-    (``availability``) — are forwarded only to drivers whose signature
+    *pods* (pod count), *spill_policy* / *workers* / *sync_window* /
+    *replica_groups* (``federation``), *mtbf* / *fault_classes* /
+    *self_heal* (``availability``), and *drain* / *hazard* / *domains*
+    (``maintenance``) — are forwarded only to drivers whose signature
     declares the keyword.
     With *profile* each driver runs under :mod:`cProfile` and the
     report carries the top functions by cumulative time — the hot-path
@@ -132,7 +140,9 @@ def run_all(names: list[str] | None = None,
     overrides = {"shards": shards, "pods": pods,
                  "spill_policy": spill_policy, "mtbf": mtbf,
                  "fault_classes": fault_classes, "self_heal": self_heal,
-                 "workers": workers, "sync_window": sync_window}
+                 "workers": workers, "sync_window": sync_window,
+                 "replica_groups": replica_groups, "drain": drain,
+                 "hazard": hazard, "domains": domains}
     report = RunAllReport()
     for name in names:
         if name not in EXPERIMENTS:

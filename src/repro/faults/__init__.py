@@ -13,6 +13,12 @@ a first-class input.  :mod:`repro.faults` closes that gap:
   always produces the identical fault schedule;
 * :class:`~repro.faults.injector.FaultPlan` scripts reproducible
   outages declaratively (fail *this* pod at t=3s for 2s);
+* :class:`~repro.faults.domains.FailureDomain` groups components into
+  correlated power/network domains that fail *together* (one PDU trip
+  takes a rack's bricks, uplink and shard controller down in one
+  event), with pluggable exponential or Weibull/bathtub hazards
+  (:class:`~repro.faults.domains.WeibullHazard`) on dedicated RNG
+  streams so per-class schedules from earlier seeds still replay;
 * :class:`~repro.faults.metrics.AvailabilityMetrics` accounts
   tenant-seconds of unavailability, per-class MTTR, and re-admission
   success — the headline axes of ``experiments/availability.py``.
@@ -23,6 +29,14 @@ re-admission from the placer's committed-claim ledger); the injector
 only decides *what* dies *when*.
 """
 
+from repro.faults.domains import (
+    DomainOutage,
+    ExponentialHazard,
+    FailureDomain,
+    WeibullHazard,
+    pod_network_domains,
+    rack_power_domains,
+)
 from repro.faults.injector import (
     DEFAULT_SPECS,
     FaultClass,
@@ -36,10 +50,16 @@ from repro.faults.metrics import AvailabilityMetrics, FaultEvent
 __all__ = [
     "AvailabilityMetrics",
     "DEFAULT_SPECS",
+    "DomainOutage",
+    "ExponentialHazard",
+    "FailureDomain",
     "FaultClass",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "ScriptedFault",
+    "WeibullHazard",
+    "pod_network_domains",
+    "rack_power_domains",
 ]

@@ -46,9 +46,11 @@ no-op and runs are bit-identical to a fault-free build.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Sequence, Union
+from typing import (Callable, Iterable, Mapping, Optional, Sequence,
+                    Union)
 
 from repro.errors import FaultError, ReproError
+from repro.faults.domains import DomainOutage, FailureDomain, Hazard
 from repro.faults.metrics import AvailabilityMetrics, FaultClass, FaultEvent
 from repro.sim.engine import ProcessGenerator
 from repro.sim.rng import RngRegistry
@@ -64,13 +66,18 @@ POD_HEAL_POLL_S = 0.05
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """MTBF/MTTR of one fault class (exponential inter-arrival)."""
+    """MTBF/MTTR of one fault class (exponential inter-arrival unless a
+    :class:`~repro.faults.domains.Hazard` overrides it)."""
 
     klass: FaultClass
     #: Mean time between failures across the whole target population.
     mtbf_s: float
     #: Mean time to repair one failure.
     mttr_s: float
+    #: Optional inter-arrival distribution (e.g. Weibull/bathtub); the
+    #: default ``None`` keeps the exact exponential draw sequence of
+    #: PR 7, so existing seeds replay bit-identically.
+    hazard: Optional[Hazard] = None
 
     def __post_init__(self) -> None:
         if self.mtbf_s <= 0:
@@ -171,7 +178,8 @@ class FaultInjector:
                  rng: Optional[RngRegistry] = None,
                  self_heal: bool = True,
                  plan: Optional[FaultPlan] = None,
-                 metrics: Optional[AvailabilityMetrics] = None) -> None:
+                 metrics: Optional[AvailabilityMetrics] = None,
+                 domains: Sequence[FailureDomain] = ()) -> None:
         self.federation = federation
         self.sim = federation.sim
         self.specs = dict(DEFAULT_SPECS)
@@ -193,6 +201,21 @@ class FaultInjector:
         self._active: dict[tuple[FaultClass, str], FaultEvent] = {}
         #: uplink/switch target -> LinkScheduler to park on failure.
         self._links: dict[str, object] = {}
+        #: Correlated failure domains, keyed by name (sorted order is
+        #: the install order, keeping schedules deterministic).
+        self.domains: dict[str, FailureDomain] = {}
+        for domain in domains:
+            if domain.name in self.domains:
+                raise FaultError(f"duplicate domain {domain.name!r}")
+            self.domains[domain.name] = domain
+        #: name -> the active outage holding the whole domain down.
+        self._active_domains: dict[str, DomainOutage] = {}
+        #: Lifetime count of correlated outages actually fired.
+        self.domain_outages_fired = 0
+        #: Observers called with every recorded FaultEvent — the
+        #: maintenance supervisor registers here to fence drains
+        #: against faults landing inside the drain scope.
+        self.fault_hooks: list[Callable[[FaultEvent], None]] = []
         self._installed = False
         self._stopped = False
 
@@ -213,6 +236,8 @@ class FaultInjector:
         self.federation.depart_hooks.append(self.metrics.mark_departed)
         for klass in self.classes:
             self.sim.process(self._mtbf_process(klass))
+        for name in sorted(self.domains):
+            self.sim.process(self._domain_process(self.domains[name]))
         if self.plan is not None and len(self.plan):
             self.sim.process(self._plan_process())
         return self
@@ -241,7 +266,10 @@ class FaultInjector:
             # All three draws happen before the sleep, in fixed order:
             # the schedule depends only on the seed, never on how the
             # system reacted to earlier faults.
-            delay = float(stream.exponential(spec.mtbf_s))
+            if spec.hazard is not None:
+                delay = float(spec.hazard.draw(stream))
+            else:
+                delay = float(stream.exponential(spec.mtbf_s))
             repair_after = float(stream.exponential(spec.mttr_s))
             pick = float(stream.random())
             yield self.sim.timeout(delay)
@@ -262,6 +290,24 @@ class FaultInjector:
                 return
             self.inject(fault.klass, fault.target,
                         repair_after_s=fault.duration_s, scripted=True)
+
+    def _domain_process(self, domain: FailureDomain) -> ProcessGenerator:
+        """MTBF loop for one correlated domain.
+
+        Draws come from the domain's own ``faults.domain.<name>``
+        stream, so layering domains onto a run never perturbs the
+        per-class schedules — old seeds still replay.
+        """
+        stream = self.rng.stream(
+            f"{STREAM_PREFIX}.domain.{domain.name}")
+        hazard = domain.effective_hazard
+        while True:
+            delay = float(hazard.draw(stream))
+            repair_after = float(stream.exponential(domain.mttr_s))
+            yield self.sim.timeout(delay)
+            if self._stopped:
+                return
+            self.fire_domain(domain, repair_after_s=repair_after)
 
     # -- target enumeration --------------------------------------------------
 
@@ -289,9 +335,13 @@ class FaultInjector:
         for pod in pods:
             registry = pod.system.sdm.registry
             if klass is FaultClass.MEMORY_BRICK:
+                # Bricks in cleaning/maintenance are powered-down and
+                # serviced — not valid MTBF targets.  Draining bricks
+                # still hold live segments, so they stay in scope.
                 targets.extend(
                     f"{pod.pod_id}:{e.brick.brick_id}"
-                    for e in registry.memory_entries if not e.failed)
+                    for e in registry.memory_entries
+                    if not e.failed and e.lifecycle.accepting)
             elif klass is FaultClass.RACK_UPLINK:
                 targets.extend(
                     f"{pod.pod_id}:{rack}"
@@ -336,15 +386,86 @@ class FaultInjector:
         self._active[key] = event
         for tenant_id in impacted:
             self.metrics.mark_unavailable(tenant_id)
+        for hook in list(self.fault_hooks):
+            hook(event)
         heal = self._HEAL.get(klass)
         if self.self_heal and heal is not None:
             self.sim.process(heal(self, event))
         self.sim.process(self._repair_later(event, repair_after_s))
         return event
 
+    # -- correlated domains ---------------------------------------------------
+
+    @property
+    def active_domains(self) -> list[DomainOutage]:
+        """Currently unrepaired domain outages, in injection order."""
+        return sorted(self._active_domains.values(),
+                      key=lambda o: (o.failed_s, o.domain.name))
+
+    def fire_domain(self, domain: Union[FailureDomain, str], *,
+                    repair_after_s: float,
+                    scripted: bool = False) -> Optional[DomainOutage]:
+        """Fail every member of *domain* now; all repair together.
+
+        Members already down independently are left to their own
+        repair schedule — but their repair stays *invisible* until the
+        domain clears (see :meth:`_repair_later`): a brick inside a
+        dead power domain cannot come back before its power does.
+        Returns ``None`` when the domain is already down.
+        """
+        if isinstance(domain, str):
+            try:
+                domain = self.domains[domain]
+            except KeyError:
+                raise FaultError(
+                    f"unknown domain {domain!r}; known: "
+                    f"{sorted(self.domains)}") from None
+        if repair_after_s <= 0:
+            raise FaultError(
+                f"repair delay must be positive, got {repair_after_s}")
+        if domain.name in self._active_domains:
+            return None
+        outage = DomainOutage(
+            domain=domain, failed_s=self.sim.now,
+            until_s=self.sim.now + repair_after_s)
+        # Record the outage *before* injecting members so fault hooks
+        # observing a member event already see the domain as active.
+        self._active_domains[domain.name] = outage
+        self.domain_outages_fired += 1
+        injected = []
+        for klass, target in domain.members:
+            if self.inject(klass, target, repair_after_s=repair_after_s,
+                           scripted=scripted) is not None:
+                injected.append((klass, target))
+        outage.injected = tuple(injected)
+        self.sim.process(self._clear_domain_later(outage, repair_after_s))
+        return outage
+
+    def _clear_domain_later(self, outage: DomainOutage,
+                            after_s: float) -> ProcessGenerator:
+        yield self.sim.timeout(after_s)
+        if self._active_domains.get(outage.domain.name) is outage:
+            del self._active_domains[outage.domain.name]
+
+    def _holding_domains(self, klass: FaultClass,
+                         target: str) -> list[DomainOutage]:
+        """Active domain outages still pinning ``(klass, target)``."""
+        return [outage for outage in self._active_domains.values()
+                if outage.holds(klass, target, self.sim.now)]
+
     def _repair_later(self, event: FaultEvent,
                       after_s: float) -> ProcessGenerator:
         yield self.sim.timeout(after_s)
+        # A repaired component inside a still-failed domain stays down:
+        # the brick may be healthy, but its power/network domain is
+        # not.  Wait for every enclosing outage to clear (re-checking,
+        # because a domain can re-fire while we wait).
+        while True:
+            holding = self._holding_domains(event.klass, event.target)
+            if not holding:
+                break
+            yield self.sim.timeout(
+                max(o.until_s for o in holding) - self.sim.now)
         self._REPAIR[event.klass](self, event)
         # Whatever self-healing did not recover comes back with the
         # component; mark_available is a no-op for tenants already up.

@@ -73,6 +73,11 @@ class FederatedPod:
     #: False while the whole pod is failed (fault injection): its plane
     #: is paused and the placer stops routing new tenants to it.
     alive: bool = True
+    #: True while rolling maintenance drains the pod: the placer stops
+    #: routing *new* tenants here (spill keeps admissions flowing), but
+    #: the plane stays up and serves the tenants still hosted — the
+    #: zero-downtime half of a drain.
+    draining: bool = False
 
     def load_snapshot(self) -> PodStatus:
         """The pod's current load, in the wire-protocol form.

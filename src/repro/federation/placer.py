@@ -170,6 +170,15 @@ class GlobalPlacer:
         pod = self._pods.get(pod_id)
         return pod is not None and getattr(pod, "alive", True)
 
+    def pod_accepting(self, pod_id: str) -> bool:
+        """True when *pod_id* may receive *new* tenants: alive and not
+        under a rolling-maintenance drain.  A draining pod keeps
+        serving its current tenants; it only leaves the admission
+        pool."""
+        pod = self._pods.get(pod_id)
+        return (pod is not None and getattr(pod, "alive", True)
+                and not getattr(pod, "draining", False))
+
     def home_pod(self, tenant_id: str) -> str:
         """The tenant's home pod: a stable hash over the pod set.
 
@@ -254,11 +263,11 @@ class GlobalPlacer:
         if self.spill_policy == "never":
             return home  # pinned, even to a dead pod: the baseline
         conflicted = self._conflicted_pods(tenant_id)
-        if (self.pod_alive(home) and home not in conflicted
+        if (self.pod_accepting(home) and home not in conflicted
                 and self.fits(self.snapshot(home), ram_bytes, vcpus)):
             return home
         fitting = [s for s in self.snapshots()
-                   if s.pod_id != home and self.pod_alive(s.pod_id)
+                   if s.pod_id != home and self.pod_accepting(s.pod_id)
                    and self.fits(s, ram_bytes, vcpus)]
         # Anti-affinity is soft: conflict-free pods win, but when every
         # fitting pod already hosts a group-mate, co-location beats
@@ -284,7 +293,7 @@ class GlobalPlacer:
         """
         conflicted = self._conflicted_pods(tenant_id)
         fitting = [s for s in self.snapshots()
-                   if self.pod_alive(s.pod_id)
+                   if self.pod_accepting(s.pod_id)
                    and self.fits(s, ram_bytes, vcpus)]
         preferred = [s for s in fitting
                      if s.pod_id not in conflicted] or fitting

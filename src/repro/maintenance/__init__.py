@@ -1,0 +1,37 @@
+"""Planned downtime as a first-class operation.
+
+:mod:`repro.faults` made *unplanned* failures an input; this package
+covers the dominant real-world availability consumer — **planned**
+maintenance — without ever taking admission down:
+
+* every brick carries an Ironic-style lifecycle
+  (:class:`~repro.orchestration.lifecycle.BrickLifecycle`:
+  ``enrolled → available → active → draining → cleaning →
+  maintenance``), legal-checked and enforced by both the registry's
+  availability snapshots and the
+  :class:`~repro.memory.allocator.SegmentAllocator`'s accepting gate;
+* :class:`~repro.maintenance.supervisor.MaintenanceSupervisor` drains
+  racks and whole pods by delta-planned, *verified* live migration
+  (hotweights' verified-swap discipline), commit-or-rollback, fenced
+  against concurrent fault injection.
+"""
+
+from repro.maintenance.supervisor import (
+    CLEANING_S,
+    DrainReport,
+    MaintenanceSupervisor,
+)
+from repro.orchestration.lifecycle import (
+    BrickLifecycle,
+    BrickState,
+    LEGAL_TRANSITIONS,
+)
+
+__all__ = [
+    "BrickLifecycle",
+    "BrickState",
+    "CLEANING_S",
+    "DrainReport",
+    "LEGAL_TRANSITIONS",
+    "MaintenanceSupervisor",
+]

@@ -28,6 +28,11 @@ class SegmentAllocator:
             raise AllocationError(f"alignment must be positive, got {alignment}")
         self.capacity_bytes = capacity_bytes
         self.alignment = alignment
+        #: Lifecycle gate: a brick in ``cleaning``/``maintenance`` sets
+        #: this False and every grant raises, regardless of free space.
+        #: Draining bricks stay accepting so rollbacks can restore
+        #: evacuated segments to their original offsets.
+        self.accepting = True
         #: Sorted, disjoint, coalesced free spans.
         self._free: list[AddressRange] = [AddressRange(0, capacity_bytes)]
         self._allocated: dict[int, AddressRange] = {}
@@ -51,6 +56,10 @@ class SegmentAllocator:
         """
         if size <= 0:
             raise AllocationError(f"allocation size must be positive: {size}")
+        if not self.accepting:
+            raise AllocationError(
+                "allocator is not accepting grants (brick lifecycle is "
+                "cleaning/maintenance)")
         padded = align_up(size, self.alignment)
         for index, span in enumerate(self._free):
             if span.size >= padded:

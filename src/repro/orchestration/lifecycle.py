@@ -1,0 +1,114 @@
+"""Ironic-style brick lifecycle state machine.
+
+Every registered brick carries a :class:`BrickLifecycle` that tracks
+where it is on the provisioning path::
+
+    enrolled -> available -> active -> draining -> cleaning -> maintenance
+
+``active`` is the only state in which placement may put new segments or
+VMs on the brick — the registry's availability snapshots filter on
+:attr:`BrickLifecycle.placeable` and the :class:`SegmentAllocator`'s
+``accepting`` gate enforces it at the allocation layer too.  ``draining``
+is deliberately still *addressable* (its allocator keeps accepting) so a
+rolled-back relocation can land segments back where they came from; it
+is merely removed from the placement pool.  ``cleaning`` and
+``maintenance`` refuse allocations outright.
+
+Transitions are legal-checked: the graph below is the complete set, and
+anything else raises :class:`~repro.errors.LifecycleError`.  The reverse
+edge ``draining -> active`` is the drain-abort path; ``maintenance ->
+available`` is the return-to-service path (a brick re-enters service
+through ``available -> active`` so operators get a hook between the
+two).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import LifecycleError
+
+
+class BrickState(str, Enum):
+    """Provisioning state of a brick (Ironic-style)."""
+
+    ENROLLED = "enrolled"
+    AVAILABLE = "available"
+    ACTIVE = "active"
+    DRAINING = "draining"
+    CLEANING = "cleaning"
+    MAINTENANCE = "maintenance"
+
+
+#: Legal transition graph.  Keys are source states, values the set of
+#: permitted destinations.
+LEGAL_TRANSITIONS: dict[BrickState, frozenset[BrickState]] = {
+    BrickState.ENROLLED: frozenset({BrickState.AVAILABLE}),
+    BrickState.AVAILABLE: frozenset({BrickState.ACTIVE,
+                                     BrickState.MAINTENANCE}),
+    BrickState.ACTIVE: frozenset({BrickState.DRAINING}),
+    # draining -> active is the drain-abort/rollback edge.
+    BrickState.DRAINING: frozenset({BrickState.CLEANING,
+                                    BrickState.ACTIVE}),
+    BrickState.CLEANING: frozenset({BrickState.MAINTENANCE}),
+    BrickState.MAINTENANCE: frozenset({BrickState.AVAILABLE}),
+}
+
+#: States in which the brick may receive *new* placements.
+PLACEABLE_STATES = frozenset({BrickState.ACTIVE})
+
+#: States in which the brick's allocator still accepts grants (draining
+#: bricks accept so rollbacks can restore evacuated segments).
+ACCEPTING_STATES = frozenset({BrickState.ENROLLED, BrickState.AVAILABLE,
+                              BrickState.ACTIVE, BrickState.DRAINING})
+
+
+class BrickLifecycle:
+    """Mutable lifecycle record for one brick.
+
+    Records the state and the (simulated) history of transitions so
+    tests and reports can audit the path a brick took through a
+    maintenance window.
+    """
+
+    __slots__ = ("brick_id", "state", "history")
+
+    def __init__(self, brick_id: str,
+                 state: BrickState = BrickState.ENROLLED) -> None:
+        self.brick_id = brick_id
+        self.state = state
+        self.history: list[BrickState] = [state]
+
+    def can_transition(self, target: BrickState) -> bool:
+        return target in LEGAL_TRANSITIONS[self.state]
+
+    def transition(self, target: BrickState) -> BrickState:
+        """Move to *target*, raising :class:`LifecycleError` if illegal."""
+        if not self.can_transition(target):
+            raise LifecycleError(
+                f"brick {self.brick_id}: illegal lifecycle transition "
+                f"{self.state.value} -> {target.value} (legal: "
+                f"{sorted(s.value for s in LEGAL_TRANSITIONS[self.state])})")
+        self.state = target
+        self.history.append(target)
+        return target
+
+    @property
+    def placeable(self) -> bool:
+        """True when new segments/VMs may be placed on this brick."""
+        return self.state in PLACEABLE_STATES
+
+    @property
+    def accepting(self) -> bool:
+        """True when the brick's allocator should honour grants."""
+        return self.state in ACCEPTING_STATES
+
+    def activate(self) -> None:
+        """Walk enrolled -> available -> active (idempotent)."""
+        if self.state is BrickState.ENROLLED:
+            self.transition(BrickState.AVAILABLE)
+        if self.state is BrickState.AVAILABLE:
+            self.transition(BrickState.ACTIVE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BrickLifecycle({self.brick_id!r}, {self.state.value})"

@@ -10,12 +10,13 @@ scale; single-rack deployments may leave ``rack_id`` empty.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import OrchestrationError
 from repro.hardware.bricks import ComputeBrick, MemoryBrick
 from repro.hardware.power import PowerState
 from repro.memory.allocator import SegmentAllocator
+from repro.orchestration.lifecycle import BrickLifecycle, BrickState
 from repro.software.agent import SdmAgent
 from repro.software.hypervisor import Hypervisor
 from repro.software.pages import DEFAULT_SECTION_BYTES
@@ -34,6 +35,10 @@ class ComputeEntry:
     #: Set when the brick (or its rack's uplink) has failed; failed
     #: bricks are excluded from placement until repaired.
     failed: bool = False
+    #: Ironic-style provisioning state; only ``active`` bricks receive
+    #: new placements.  Registration walks it straight to active so the
+    #: default flow is unchanged.
+    lifecycle: BrickLifecycle = field(default=None)  # type: ignore[assignment]
 
 
 @dataclass
@@ -45,6 +50,9 @@ class MemoryEntry:
     #: Set when the brick has failed; failed bricks never host segments.
     failed: bool = False
     rack_id: str = ""
+    #: Ironic-style provisioning state (see :mod:`repro.orchestration.
+    #: lifecycle`); the allocator's ``accepting`` gate shadows it.
+    lifecycle: BrickLifecycle = field(default=None)  # type: ignore[assignment]
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,6 +95,8 @@ class ResourceRegistry:
             raise OrchestrationError(
                 f"compute brick {brick.brick_id} already registered")
         entry = ComputeEntry(brick, hypervisor, agent, rack_id=rack_id)
+        entry.lifecycle = BrickLifecycle(brick.brick_id)
+        entry.lifecycle.activate()
         self._compute[brick.brick_id] = entry
         return entry
 
@@ -98,6 +108,8 @@ class ResourceRegistry:
         allocator = SegmentAllocator(
             brick.capacity_bytes, alignment=self.segment_alignment)
         entry = MemoryEntry(brick, allocator, rack_id=rack_id)
+        entry.lifecycle = BrickLifecycle(brick.brick_id)
+        entry.lifecycle.activate()
         self._memory[brick.brick_id] = entry
         return entry
 
@@ -144,7 +156,7 @@ class ResourceRegistry:
         """Free capacity of every healthy compute brick."""
         snapshots = []
         for entry in self._compute.values():
-            if entry.failed:
+            if entry.failed or not entry.lifecycle.placeable:
                 continue
             hypervisor = entry.hypervisor
             snapshots.append(ComputeAvailability(
@@ -170,8 +182,42 @@ class ResourceRegistry:
                 rack_id=entry.rack_id,
             )
             for entry in self._memory.values()
-            if not entry.failed
+            if not entry.failed and entry.lifecycle.placeable
         ]
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def transition_memory(self, brick_id: str,
+                          state: BrickState) -> MemoryEntry:
+        """Legal-checked lifecycle transition for a memory brick.
+
+        Syncs the allocator's ``accepting`` gate with the new state and
+        powers the brick down when it enters maintenance (the TCO lever:
+        a serviced brick draws no power) and back up when it returns to
+        the available pool.
+        """
+        entry = self.memory(brick_id)
+        entry.lifecycle.transition(state)
+        entry.allocator.accepting = entry.lifecycle.accepting
+        if state is BrickState.MAINTENANCE:
+            entry.brick.power_off()
+        elif state is BrickState.AVAILABLE:
+            entry.brick.power_on()
+        return entry
+
+    def transition_compute(self, brick_id: str,
+                           state: BrickState) -> ComputeEntry:
+        """Legal-checked lifecycle transition for a compute brick."""
+        entry = self.compute(brick_id)
+        entry.lifecycle.transition(state)
+        return entry
+
+    def lifecycle_of(self, brick_id: str) -> BrickLifecycle:
+        """Lifecycle record for any registered brick."""
+        entry = self._compute.get(brick_id) or self._memory.get(brick_id)
+        if entry is None:
+            raise OrchestrationError(f"unknown brick {brick_id!r}")
+        return entry.lifecycle
 
     def mark_memory_failed(self, brick_id: str) -> MemoryEntry:
         """Exclude a failed memory brick from all future placement."""

@@ -13,7 +13,8 @@ class TestRunner:
         assert set(EXPERIMENTS) == {
             "table1", "fig7", "fig8", "fig10", "fig12", "fig13",
             "pod_scale", "datamover", "cluster_scale", "federation",
-            "availability", "kernel_bench", "parallel_scaling"}
+            "availability", "maintenance", "kernel_bench",
+            "parallel_scaling"}
 
     def test_every_driver_accepts_a_seed(self):
         import inspect

@@ -1,0 +1,219 @@
+"""Correlated failure domains: hazards, blast radius, seed replay.
+
+Pins the domain layer's contracts: a domain event takes every member
+down in one instant and repairs them together; a member repaired
+independently stays invisible until every enclosing domain clears (the
+early-resurrection regression); domain streams never perturb the
+per-class schedules, so PR 7 seeds replay bit-identically with domains
+layered on; and the hazard plumbing (exponential/Weibull, CLI specs)
+validates its inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    ExponentialHazard,
+    FailureDomain,
+    FaultClass,
+    FaultInjector,
+    FaultSpec,
+    WeibullHazard,
+    pod_network_domains,
+    rack_power_domains,
+)
+from repro.faults.domains import coerce_hazard
+from repro.federation import build_federation
+
+
+def build_fed(pods=2, **kwargs):
+    kwargs.setdefault("racks_per_pod", 2)
+    return build_federation(pods, **kwargs)
+
+
+def tiny_domain(name="dom", members=None, mtbf_s=50.0, mttr_s=5.0,
+                hazard=None):
+    if members is None:
+        members = ((FaultClass.MEMORY_BRICK, "pod0:pod0.rack0.mb0"),)
+    return FailureDomain(name=name, kind="power", members=members,
+                         mtbf_s=mtbf_s, mttr_s=mttr_s, hazard=hazard)
+
+
+class TestHazards:
+    def test_exponential_draw_uses_the_stream(self):
+        draws = ExponentialHazard(10.0).draw(np.random.default_rng(1))
+        assert draws > 0
+
+    def test_weibull_shape_one_matches_exponential_scale(self):
+        # Weibull(shape=1) is the exponential: same stream, same draws.
+        weibull = WeibullHazard(scale_s=10.0, shape=1.0)
+        expo = ExponentialHazard(mean_s=10.0)
+        assert weibull.draw(np.random.default_rng(3)) == pytest.approx(
+            expo.draw(np.random.default_rng(3)))
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_hazard_parameters_must_be_positive(self, bad):
+        with pytest.raises(FaultError):
+            ExponentialHazard(bad)
+        with pytest.raises(FaultError):
+            WeibullHazard(scale_s=bad, shape=1.0)
+        with pytest.raises(FaultError):
+            WeibullHazard(scale_s=1.0, shape=bad)
+
+    def test_coerce_hazard_parses_both_kinds(self):
+        weibull = coerce_hazard("weibull:30:0.7")
+        assert isinstance(weibull, WeibullHazard)
+        assert (weibull.scale_s, weibull.shape) == (30.0, 0.7)
+        expo = coerce_hazard("exponential:40")
+        assert isinstance(expo, ExponentialHazard)
+        assert expo.mean_s == 40.0
+
+    @pytest.mark.parametrize("spec", [
+        "weibull:30", "weibull:a:b", "exponential:", "bathtub:1:2"])
+    def test_coerce_hazard_rejects_malformed_specs(self, spec):
+        with pytest.raises(FaultError):
+            coerce_hazard(spec)
+
+
+class TestFailureDomain:
+    def test_requires_members_and_positive_clocks(self):
+        with pytest.raises(FaultError):
+            tiny_domain(members=())
+        with pytest.raises(FaultError):
+            tiny_domain(mtbf_s=0.0)
+        with pytest.raises(FaultError):
+            tiny_domain(mttr_s=-1.0)
+
+    def test_effective_hazard_defaults_to_exponential_mtbf(self):
+        assert tiny_domain(mtbf_s=77.0).effective_hazard == \
+            ExponentialHazard(77.0)
+        bathtub = WeibullHazard(scale_s=30.0, shape=0.7)
+        assert tiny_domain(hazard=bathtub).effective_hazard is bathtub
+
+    def test_duplicate_domain_names_are_rejected(self):
+        fed = build_fed()
+        with pytest.raises(FaultError, match="duplicate"):
+            FaultInjector(fed, classes=(),
+                          domains=(tiny_domain(), tiny_domain()))
+
+
+class TestBuilders:
+    def test_rack_power_domains_cover_every_rack(self):
+        fed = build_fed(2)
+        domains = {d.name: d for d in rack_power_domains(fed)}
+        assert set(domains) == {
+            "power.pod0.pod0.rack0", "power.pod0.pod0.rack1",
+            "power.pod1.pod1.rack0", "power.pod1.pod1.rack1"}
+        members = domains["power.pod0.pod0.rack0"].member_set
+        # The rack's bricks and its uplink trip together.
+        assert (FaultClass.RACK_UPLINK, "pod0:pod0.rack0") in members
+        assert any(klass is FaultClass.MEMORY_BRICK
+                   and target.startswith("pod0:pod0.rack0.")
+                   for klass, target in members)
+        assert not any(target.startswith("pod0:pod0.rack1")
+                       for _, target in members)
+
+    def test_pod_network_domains_group_switch_with_uplinks(self):
+        fed = build_fed(2)
+        domains = {d.name: d for d in pod_network_domains(fed)}
+        assert set(domains) == {"net.pod0", "net.pod1"}
+        assert domains["net.pod0"].member_set == {
+            (FaultClass.SWITCH, "pod0"),
+            (FaultClass.RACK_UPLINK, "pod0:pod0.rack0"),
+            (FaultClass.RACK_UPLINK, "pod0:pod0.rack1")}
+
+
+class TestDomainOutages:
+    def test_fire_takes_all_members_down_and_repairs_together(self):
+        fed = build_fed(1)
+        injector = FaultInjector(
+            fed, classes=(), domains=rack_power_domains(fed)).install()
+        outage = injector.fire_domain("power.pod0.pod0.rack0",
+                                      repair_after_s=5.0, scripted=True)
+        assert outage is not None
+        failed = {(e.klass, e.target) for e in injector.active_faults}
+        assert failed == set(outage.injected) != set()
+        assert injector.active_domains == [outage]
+        # Refiring an active domain is a no-op.
+        assert injector.fire_domain("power.pod0.pod0.rack0",
+                                    repair_after_s=5.0) is None
+        fed.sim.run(until=6.0)
+        assert injector.active_faults == []
+        assert injector.active_domains == []
+        assert injector.quiescent
+
+    def test_unknown_domain_name_is_rejected(self):
+        fed = build_fed(1)
+        injector = FaultInjector(fed, classes=()).install()
+        with pytest.raises(FaultError, match="unknown domain"):
+            injector.fire_domain("power.nowhere", repair_after_s=1.0)
+
+    def test_member_repair_defers_until_the_domain_clears(self):
+        # The early-resurrection regression: a brick whose own repair
+        # lands while its power domain is still dark must stay down
+        # until the domain clears — power off means off.
+        fed = build_fed(1)
+        injector = FaultInjector(
+            fed, classes=(), self_heal=False,
+            domains=rack_power_domains(fed)).install()
+        brick = "pod0:pod0.rack0.mb0"
+        injector.inject("memory_brick", brick, repair_after_s=2.0,
+                        scripted=True)
+        injector.fire_domain("power.pod0.pod0.rack0",
+                             repair_after_s=10.0, scripted=True)
+        fed.sim.run(until=5.0)  # past the brick's own repair horizon
+        assert any(e.target == brick
+                   for e in injector.active_faults)
+        fed.sim.run(until=11.0)  # past the domain's clear instant
+        assert injector.active_faults == []
+
+    def test_domain_events_fire_from_their_own_mtbf_clock(self):
+        fed = build_fed(1)
+        injector = FaultInjector(
+            fed, classes=(), seed=11,
+            domains=rack_power_domains(fed, mtbf_s=20.0,
+                                       mttr_s=2.0)).install()
+        fed.sim.run(until=200.0)
+        assert injector.domain_outages_fired > 0
+        assert injector.metrics.fault_count() > 0
+
+    def test_weibull_domains_change_the_schedule_deterministically(self):
+        def outage_times(hazard):
+            fed = build_fed(1)
+            injector = FaultInjector(
+                fed, classes=(), seed=11,
+                domains=rack_power_domains(
+                    fed, mtbf_s=20.0, mttr_s=2.0,
+                    hazard=hazard)).install()
+            fed.sim.run(until=200.0)
+            return [e.failed_s for e in injector.metrics.events]
+
+        bathtub = WeibullHazard(scale_s=20.0, shape=0.7)
+        assert outage_times(bathtub) == outage_times(bathtub)
+        assert outage_times(bathtub) != outage_times(None)
+
+    def test_domains_never_perturb_per_class_streams(self):
+        # A PR 7 seed must replay its independent-failure schedule
+        # bit-identically with domains layered on: domains draw from
+        # their own faults.domain.* streams.  (Domain MTBF far beyond
+        # the horizon isolates stream bookkeeping from blast-radius
+        # interactions on the shared target population.)
+        def brick_schedule(with_domains):
+            fed = build_fed(2)
+            domains = (rack_power_domains(fed, mtbf_s=1e9, mttr_s=2.0)
+                       if with_domains else ())
+            injector = FaultInjector(
+                fed, seed=7, classes=("memory_brick",),
+                specs={FaultClass.MEMORY_BRICK: FaultSpec(
+                    FaultClass.MEMORY_BRICK, mtbf_s=10.0, mttr_s=1.0)},
+                domains=domains).install()
+            fed.sim.run(until=150.0)
+            return [(e.target, e.failed_s)
+                    for e in injector.metrics.events]
+
+        plain = brick_schedule(False)
+        assert plain  # the horizon is long enough to see brick faults
+        assert brick_schedule(True) == plain

@@ -1,0 +1,144 @@
+"""Replica groups and anti-affinity placement.
+
+Satellite of the maintenance PR: ``with_replica_groups`` stamps every
+*N* consecutive tenants of a trace with a shared ``~gNNNN`` suffix,
+``replica_group_of`` recovers the group key, and the GlobalPlacer's
+anti-affinity keeps group members on distinct pods — so a correlated
+failure-domain outage (always scoped to one pod) can never take every
+replica of a group down at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.trace import (
+    poisson_trace,
+    replica_group_of,
+    with_replica_groups,
+)
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultInjector,
+    pod_network_domains,
+    rack_power_domains,
+)
+from repro.federation import build_federation
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+
+class TestTraceGrouping:
+    def test_ids_gain_the_group_suffix_in_arrival_order(self):
+        trace = poisson_trace(6, 5.0, seed=3, name="rg")
+        grouped = with_replica_groups(trace, 2)
+        suffixes = [spec.tenant_id.rpartition("~g")[2]
+                    for spec in grouped.tenants]
+        assert suffixes == ["0000", "0000", "0001", "0001",
+                            "0002", "0002"]
+        # Same arrivals and shapes — only the ids change.
+        assert [s.arrival_s for s in grouped.tenants] == \
+            [s.arrival_s for s in trace.tenants]
+        assert [s.ram_bytes for s in grouped.tenants] == \
+            [s.ram_bytes for s in trace.tenants]
+        assert grouped.name == f"{trace.name}-g2"
+
+    def test_replica_group_of_inverts_the_suffix(self):
+        trace = with_replica_groups(poisson_trace(4, 5.0, seed=3,
+                                                  name="rg"), 2)
+        groups = {replica_group_of(s.tenant_id)
+                  for s in trace.tenants}
+        assert groups == {"~g0000", "~g0001"}
+        assert replica_group_of("plain-tenant") == ""
+        assert replica_group_of("odd~gsuffix") == ""
+        assert replica_group_of("~g0001") == ""
+
+    def test_group_size_is_validated(self):
+        trace = poisson_trace(4, 5.0, seed=3, name="rg")
+        with pytest.raises(ConfigurationError):
+            with_replica_groups(trace, 0)
+
+
+def boot_grouped(fed, tenant_id, home="pod0", ram_bytes=gib(2)):
+    """Admit one tenant through the placer + plane, returning its pod."""
+    pod_id = fed.placer.place(tenant_id, ram_bytes, 1, home=home)
+    assert pod_id is not None
+    request = fed.pods[pod_id].plane.submit(
+        "boot", tenant_id,
+        request=VmAllocationRequest(vm_id=tenant_id, vcpus=1,
+                                    ram_bytes=ram_bytes))
+    fed._tenant_pod[tenant_id] = pod_id
+    fed.sim.run()
+    assert request.record.ok, request.record.note
+    claim = fed.placer.reserve(pod_id, ram_bytes, 1,
+                               tenant_id=tenant_id)
+    fed.placer.commit(claim)
+    return pod_id
+
+
+class TestAntiAffinityPlacement:
+    def test_group_members_land_on_distinct_pods(self):
+        fed = build_federation(3, racks_per_pod=2,
+                               anti_affinity=replica_group_of)
+        placements: dict[str, set] = {}
+        for group in range(3):
+            for replica in ("a", "b"):
+                tenant_id = f"{replica}~g{group:04d}"
+                pod_id = boot_grouped(fed, tenant_id)
+                placements.setdefault(f"~g{group:04d}",
+                                      set()).add(pod_id)
+        for group, pods in placements.items():
+            assert len(pods) == 2, (group, pods)
+
+    def test_no_single_domain_outage_takes_a_whole_group(self):
+        fed = build_federation(3, racks_per_pod=2,
+                               anti_affinity=replica_group_of)
+        tenants = {}
+        for group in range(3):
+            for replica in ("a", "b"):
+                tenant_id = f"{replica}~g{group:04d}"
+                tenants[tenant_id] = boot_grouped(fed, tenant_id)
+        domains = (rack_power_domains(fed) + pod_network_domains(fed))
+        # Every domain is scoped to one pod, and no pod hosts two
+        # members of a group — so no domain can cover a whole group.
+        for domain in domains:
+            pods_hit = {target.partition(":")[0]
+                        for _, target in domain.members}
+            assert len(pods_hit) == 1
+            hit = pods_hit.pop()
+            for group in range(3):
+                survivors = [t for t, pod in tenants.items()
+                             if replica_group_of(t) == f"~g{group:04d}"
+                             and pod != hit]
+                assert survivors, (domain.name, group)
+        # And firing one for real leaves every group with a live pod.
+        injector = FaultInjector(
+            fed, classes=(), self_heal=False,
+            domains=pod_network_domains(fed)).install()
+        hot_pod = max(set(tenants.values()),
+                      key=lambda p: sum(1 for v in tenants.values()
+                                        if v == p))
+        injector.fire_domain(f"net.{hot_pod}", repair_after_s=5.0,
+                             scripted=True)
+        for group in range(3):
+            members = [t for t in tenants
+                       if replica_group_of(t) == f"~g{group:04d}"]
+            assert any(tenants[t] != hot_pod for t in members)
+
+
+class TestExperimentAxis:
+    def test_replica_groups_sweep_places_groups_apart(self):
+        from repro.experiments.federation import run_federation
+        result = run_federation(pod_counts=(3,), arrival_rates_hz=(5,),
+                                tenant_count=30, seed=2018,
+                                spill_policy="least-loaded",
+                                replica_groups=2)
+        cell = result.cell(3, 5.0, "least-loaded")
+        assert cell.admitted + cell.rejected == 30
+
+    def test_replica_groups_validation(self):
+        from repro.experiments.federation import run_federation
+        with pytest.raises(ConfigurationError, match="replica"):
+            run_federation(replica_groups=1)
+        with pytest.raises(ConfigurationError, match="serial"):
+            run_federation(replica_groups=2, workers=2)

@@ -1,0 +1,137 @@
+"""Brick lifecycle legality and its enforcement surfaces.
+
+The Ironic-style state machine (``enrolled → available → active →
+draining → cleaning → maintenance``) is only worth having if every
+tier honours it: the registry's availability snapshots must hide
+non-placeable bricks, the segment allocator must refuse grants in
+cleaning/maintenance, and illegal transitions must fail loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AllocationError, LifecycleError, OrchestrationError
+from repro.federation import build_federation
+from repro.hardware.power import PowerState
+from repro.maintenance import BrickLifecycle, BrickState, LEGAL_TRANSITIONS
+from repro.units import mib
+
+
+def registry_of(fed, pod_id="pod0"):
+    return fed.pods[pod_id].system.sdm.registry
+
+
+class TestStateMachine:
+    def test_the_full_service_loop_is_legal(self):
+        lifecycle = BrickLifecycle("mb0")
+        for state in (BrickState.AVAILABLE, BrickState.ACTIVE,
+                      BrickState.DRAINING, BrickState.CLEANING,
+                      BrickState.MAINTENANCE, BrickState.AVAILABLE,
+                      BrickState.ACTIVE):
+            lifecycle.transition(state)
+        assert lifecycle.state is BrickState.ACTIVE
+        assert lifecycle.history[0] is BrickState.ENROLLED
+
+    def test_drain_can_be_cancelled_back_to_active(self):
+        lifecycle = BrickLifecycle("mb0")
+        lifecycle.activate()
+        lifecycle.transition(BrickState.DRAINING)
+        lifecycle.transition(BrickState.ACTIVE)
+        assert lifecycle.placeable
+
+    @pytest.mark.parametrize("start, illegal", [
+        (BrickState.ENROLLED, BrickState.ACTIVE),
+        (BrickState.ACTIVE, BrickState.MAINTENANCE),
+        (BrickState.DRAINING, BrickState.MAINTENANCE),
+        (BrickState.CLEANING, BrickState.ACTIVE),
+        (BrickState.MAINTENANCE, BrickState.DRAINING),
+    ])
+    def test_shortcuts_are_illegal(self, start, illegal):
+        lifecycle = BrickLifecycle("mb0", state=start)
+        assert not lifecycle.can_transition(illegal)
+        with pytest.raises(LifecycleError) as err:
+            lifecycle.transition(illegal)
+        # The error names the legal escapes so operators can recover.
+        for legal in LEGAL_TRANSITIONS[start]:
+            assert legal.value in str(err.value)
+
+    def test_activate_is_idempotent(self):
+        lifecycle = BrickLifecycle("mb0")
+        lifecycle.activate()
+        lifecycle.activate()
+        assert lifecycle.state is BrickState.ACTIVE
+
+    def test_placeable_and_accepting_split_by_state(self):
+        # Draining bricks accept writes (rollbacks must land) but get
+        # no new placements; cleaning/maintenance accept nothing.
+        by_state = {
+            BrickState.ACTIVE: (True, True),
+            BrickState.DRAINING: (False, True),
+            BrickState.CLEANING: (False, False),
+            BrickState.MAINTENANCE: (False, False),
+        }
+        for state, (placeable, accepting) in by_state.items():
+            lifecycle = BrickLifecycle("mb0", state=state)
+            assert lifecycle.placeable is placeable, state
+            assert lifecycle.accepting is accepting, state
+
+
+class TestRegistryEnforcement:
+    def test_registration_walks_bricks_to_active(self):
+        registry = registry_of(build_federation(1, racks_per_pod=1))
+        for entry in registry.memory_entries + registry.compute_entries:
+            assert entry.lifecycle.state is BrickState.ACTIVE
+
+    def test_draining_brick_leaves_the_placement_pool(self):
+        fed = build_federation(1, racks_per_pod=2)
+        registry = registry_of(fed)
+        brick_id = registry.memory_entries[0].brick.brick_id
+        before = {a.brick_id for a in registry.memory_availability()}
+        registry.transition_memory(brick_id, BrickState.DRAINING)
+        after = {a.brick_id for a in registry.memory_availability()}
+        assert before - after == {brick_id}
+        # ... but its allocator still accepts (rollback landing zone).
+        assert registry.memory(brick_id).allocator.accepting
+
+    def test_cleaning_gates_the_allocator(self):
+        fed = build_federation(1, racks_per_pod=1)
+        registry = registry_of(fed)
+        brick_id = registry.memory_entries[0].brick.brick_id
+        registry.transition_memory(brick_id, BrickState.DRAINING)
+        registry.transition_memory(brick_id, BrickState.CLEANING)
+        allocator = registry.memory(brick_id).allocator
+        assert not allocator.accepting
+        with pytest.raises(AllocationError, match="not accepting"):
+            allocator.allocate(mib(256))
+
+    def test_maintenance_powers_the_brick_off_and_back(self):
+        fed = build_federation(1, racks_per_pod=1)
+        registry = registry_of(fed)
+        entry = registry.memory_entries[0]
+        brick_id = entry.brick.brick_id
+        for state in (BrickState.DRAINING, BrickState.CLEANING,
+                      BrickState.MAINTENANCE):
+            registry.transition_memory(brick_id, state)
+        assert entry.brick.power_state is PowerState.OFF
+        registry.transition_memory(brick_id, BrickState.AVAILABLE)
+        assert entry.brick.power_state is not PowerState.OFF
+        registry.transition_memory(brick_id, BrickState.ACTIVE)
+        assert entry.allocator.accepting
+
+    def test_compute_transitions_are_legal_checked_too(self):
+        fed = build_federation(1, racks_per_pod=1)
+        registry = registry_of(fed)
+        brick_id = registry.compute_entries[0].brick.brick_id
+        with pytest.raises(LifecycleError):
+            registry.transition_compute(brick_id, BrickState.CLEANING)
+        registry.transition_compute(brick_id, BrickState.DRAINING)
+        assert brick_id not in {a.brick_id
+                                for a in registry.compute_availability()}
+
+    def test_unknown_bricks_are_rejected(self):
+        registry = registry_of(build_federation(1, racks_per_pod=1))
+        with pytest.raises(OrchestrationError):
+            registry.lifecycle_of("nope")
+        with pytest.raises(OrchestrationError):
+            registry.transition_memory("nope", BrickState.DRAINING)

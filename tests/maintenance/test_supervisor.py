@@ -1,0 +1,240 @@
+"""Rolling maintenance: verified drains, fencing, rollback, restore.
+
+Exercises the MaintenanceSupervisor end to end on real federations:
+rack drains relocate segments with read-back verification and retire
+the rack; pod drains live-migrate tenants to peer pods while the
+placer spills newcomers (zero admission downtime); a fault landing in
+the drain scope fences the drain, which unwinds its moves and returns
+the bricks to active; restore walks a maintained pod back to service.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MaintenanceError
+from repro.faults import FaultInjector
+from repro.federation import build_federation
+from repro.maintenance import BrickState, MaintenanceSupervisor
+from repro.orchestration.requests import VmAllocationRequest
+from repro.units import gib
+
+
+def boot_tenant(fed, tenant_id, pod_id, ram_bytes=gib(2)):
+    request = fed.pods[pod_id].plane.submit(
+        "boot", tenant_id,
+        request=VmAllocationRequest(vm_id=tenant_id, vcpus=1,
+                                    ram_bytes=ram_bytes))
+    fed._tenant_pod[tenant_id] = pod_id
+    fed.sim.run()
+    assert request.record.ok, request.record.note
+    claim = fed.placer.reserve(pod_id, ram_bytes, 1,
+                               tenant_id=tenant_id)
+    fed.placer.commit(claim)
+
+
+def pool_consistent(fed):
+    for pod in fed.pods.values():
+        entries = pod.system.sdm.registry.memory_entries
+        allocated = sum(e.allocator.allocated_bytes for e in entries)
+        live = sum(s.size for s in pod.system.sdm.live_segments)
+        assert allocated == live, pod.pod_id
+        for entry in entries:
+            entry.allocator.check_invariants()
+        assert getattr(pod.system.sdm, "pending_holds", []) == []
+    assert fed.placer.pending_claims == []
+
+
+def depart_all(fed, tenants):
+    for tenant_id in tenants:
+        fed.sim.process(fed.submit_process("depart", tenant_id))
+    fed.sim.run()
+
+
+def rack_states(fed, pod_id, rack):
+    registry = fed.pods[pod_id].system.sdm.registry
+    return {e.brick.brick_id: e.lifecycle.state
+            for e in registry.memory_entries + registry.compute_entries
+            if e.rack_id == rack}
+
+
+def drain_rack(fed, sup, pod_id, rack):
+    fed.sim.process(sup.drain_rack_process(pod_id, rack))
+    fed.sim.run()
+    return sup.reports[-1]
+
+
+def drain_pod(fed, sup, pod_id):
+    fed.sim.process(sup.drain_pod_process(pod_id))
+    fed.sim.run()
+    return sup.reports[-1]
+
+
+class TestRackDrain:
+    def test_idle_rack_retires_without_moving_anything(self):
+        fed = build_federation(1, racks_per_pod=2)
+        sup = MaintenanceSupervisor(fed)
+        report = drain_rack(fed, sup, "pod0", "pod0.rack0")
+        assert report.committed and not report.aborted
+        assert report.racks_retired == ["pod0.rack0"]
+        assert report.segments_moved == 0
+        assert set(rack_states(fed, "pod0", "pod0.rack0").values()) == \
+            {BrickState.MAINTENANCE}
+
+    def test_loaded_rack_evacuates_with_verification(self):
+        fed = build_federation(1, racks_per_pod=2)
+        tenants = ["t0", "t1"]
+        for tenant_id in tenants:
+            boot_tenant(fed, tenant_id, "pod0")
+        sup = MaintenanceSupervisor(fed)
+        pod = fed.pods["pod0"]
+        registry = pod.system.sdm.registry
+        # Drain whichever rack actually hosts load.
+        racks = sorted({e.rack_id for e in registry.memory_entries})
+        loaded = next(
+            rack for rack in racks
+            if any(e.allocator.allocated_bytes
+                   for e in registry.memory_entries
+                   if e.rack_id == rack)
+            or any(pod.system.hosting(t).brick_id
+                   for t in tenants
+                   if registry.rack_of(pod.system.hosting(t).brick_id)
+                   == rack))
+        report = drain_rack(fed, sup, "pod0", loaded)
+        assert report.committed, report.abort_reason
+        assert report.verify_failures == 0
+        assert report.segments_moved + report.tenants_migrated > 0
+        # Nothing lives on the retired rack any more.
+        assert all(e.allocator.allocated_bytes == 0
+                   for e in registry.memory_entries
+                   if e.rack_id == loaded)
+        for tenant_id in tenants:
+            brick = pod.system.hosting(tenant_id).brick_id
+            assert registry.rack_of(brick) != loaded
+        pool_consistent(fed)
+        depart_all(fed, tenants)
+        pool_consistent(fed)
+
+    def test_unknown_rack_and_overlap_are_rejected(self):
+        fed = build_federation(1, racks_per_pod=2)
+        sup = MaintenanceSupervisor(fed)
+        with pytest.raises(MaintenanceError, match="unknown rack"):
+            next(sup.drain_rack_process("pod0", "pod0.rack9"))
+        with pytest.raises(MaintenanceError, match="unknown pod"):
+            next(sup.drain_rack_process("pod9", "pod0.rack0"))
+        fed.sim.process(sup.drain_rack_process("pod0", "pod0.rack0"))
+        # Overlapping drain on the same pod is refused while in flight.
+        fed.sim.process(sup.drain_rack_process("pod0", "pod0.rack1"))
+        with pytest.raises(MaintenanceError, match="already running"):
+            fed.sim.run()
+
+
+class TestFencing:
+    def test_fault_in_scope_aborts_and_rolls_back(self):
+        fed = build_federation(1, racks_per_pod=2)
+        tenants = ["t0", "t1", "t2"]
+        for tenant_id in tenants:
+            boot_tenant(fed, tenant_id, "pod0")
+        injector = FaultInjector(fed, classes=(), self_heal=True)
+        sup = MaintenanceSupervisor(fed, injector=injector)
+        pod = fed.pods["pod0"]
+        registry = pod.system.sdm.registry
+        loaded = next(
+            rack for rack in sorted({e.rack_id
+                                     for e in registry.memory_entries})
+            if any(e.allocator.allocated_bytes
+                   for e in registry.memory_entries
+                   if e.rack_id == rack))
+        fed.sim.process(sup.drain_rack_process("pod0", loaded))
+
+        def mid_drain_fault():
+            yield fed.sim.timeout(0.01)
+            injector.inject("rack_uplink", f"pod0:{loaded}",
+                            repair_after_s=1.0, scripted=True)
+        fed.sim.process(mid_drain_fault())
+        fed.sim.run()
+        report = sup.reports[-1]
+        assert report.aborted and not report.committed
+        assert "fault rack_uplink" in report.abort_reason
+        # The rack is back in service, nothing left mid-flight.
+        states = set(rack_states(fed, "pod0", loaded).values())
+        assert states == {BrickState.ACTIVE}
+        assert injector.quiescent
+        pool_consistent(fed)
+        for tenant_id in tenants:
+            assert fed.pod_of(tenant_id) == "pod0"
+        depart_all(fed, tenants)
+        pool_consistent(fed)
+
+    def test_out_of_scope_faults_do_not_fence(self):
+        fed = build_federation(2, racks_per_pod=2)
+        injector = FaultInjector(fed, classes=(), self_heal=True)
+        sup = MaintenanceSupervisor(fed, injector=injector)
+        fed.sim.process(sup.drain_rack_process("pod0", "pod0.rack0"))
+
+        def other_pod_fault():
+            yield fed.sim.timeout(0.01)
+            injector.inject("switch", "pod1", repair_after_s=1.0,
+                            scripted=True)
+        fed.sim.process(other_pod_fault())
+        fed.sim.run()
+        assert sup.reports[-1].committed
+
+
+class TestPodDrain:
+    def test_full_pod_drain_migrates_tenants_and_retires_racks(self):
+        fed = build_federation(2, racks_per_pod=2)
+        tenants = [f"t{i}" for i in range(4)]
+        for tenant_id in tenants:
+            boot_tenant(fed, tenant_id, "pod0")
+        sup = MaintenanceSupervisor(fed)
+        report = drain_pod(fed, sup, "pod0")
+        assert report.committed, report.abort_reason
+        assert sorted(report.racks_retired) == ["pod0.rack0",
+                                                "pod0.rack1"]
+        assert report.tenants_migrated == len(tenants)
+        for tenant_id in tenants:
+            assert fed.pod_of(tenant_id) == "pod1"
+            assert fed.placer.ledger_claim(tenant_id).pod_id == "pod1"
+        registry = fed.pods["pod0"].system.sdm.registry
+        assert all(e.lifecycle.state is BrickState.MAINTENANCE
+                   for e in registry.memory_entries
+                   + registry.compute_entries)
+        assert all(e.allocator.allocated_bytes == 0
+                   for e in registry.memory_entries)
+        # Out of the admission pool, but not failed.
+        assert not fed.placer.pod_accepting("pod0")
+        assert fed.pods["pod0"].alive
+        pool_consistent(fed)
+        depart_all(fed, tenants)
+        pool_consistent(fed)
+
+    def test_draining_pod_spills_new_admissions_to_peers(self):
+        fed = build_federation(2, racks_per_pod=2)
+        fed.pods["pod0"].draining = True
+        assert fed.placer.place("t0", gib(2), 1, home="pod0") == "pod1"
+
+    def test_last_accepting_pod_refuses_to_drain(self):
+        fed = build_federation(1, racks_per_pod=2)
+        sup = MaintenanceSupervisor(fed)
+        with pytest.raises(MaintenanceError, match="no other pod"):
+            next(sup.drain_pod_process("pod0"))
+
+    def test_restore_returns_the_pod_to_service(self):
+        fed = build_federation(2, racks_per_pod=2)
+        boot_tenant(fed, "t0", "pod0")
+        sup = MaintenanceSupervisor(fed)
+        assert drain_pod(fed, sup, "pod0").committed
+        fed.sim.process(sup.restore_pod_process("pod0"))
+        fed.sim.run()
+        registry = fed.pods["pod0"].system.sdm.registry
+        assert all(e.lifecycle.state is BrickState.ACTIVE
+                   for e in registry.memory_entries
+                   + registry.compute_entries)
+        assert fed.placer.pod_accepting("pod0")
+        # And it can admit again.
+        request = fed.pods["pod0"].plane.submit(
+            "boot", "t1", request=VmAllocationRequest(
+                vm_id="t1", vcpus=1, ram_bytes=gib(2)))
+        fed.sim.run()
+        assert request.record.ok, request.record.note
