@@ -16,12 +16,13 @@ from repro.experiments.availability import (
     _run_cell,
     _scripted_plan,
 )
+from repro.topology import template
 
 
 def test_availability_scripted_smoke():
-    healed = _run_cell("scripted", True, 2018,
+    healed = _run_cell(template("M"), "scripted", True, 2018,
                        plan=_scripted_plan(), classes=())
-    unhealed = _run_cell("scripted", False, 2018,
+    unhealed = _run_cell(template("M"), "scripted", False, 2018,
                          plan=_scripted_plan(), classes=())
 
     # Every scripted outage fired, in both modes.

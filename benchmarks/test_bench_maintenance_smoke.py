@@ -11,13 +11,14 @@ the availability and federation smokes; see
 
 from __future__ import annotations
 
-from repro.experiments.maintenance import DRAIN_POD, _run_cell
+from repro.experiments.maintenance import _run_cell
+from repro.topology import template
 
 
 def test_maintenance_drain_smoke():
-    drain = _run_cell("drain", 2018, drain_pod=DRAIN_POD)
-    faulted = _run_cell("drain+faults", 2018, drain_pod=DRAIN_POD,
-                        faults=True)
+    drain = _run_cell(template("M"), "drain", 2018, drain=True)
+    faulted = _run_cell(template("M"), "drain+faults", 2018,
+                        drain=True, faults=True)
 
     # The rolling drain committed both racks with zero rejections.
     assert drain.drain_committed, drain.abort_reason

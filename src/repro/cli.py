@@ -5,11 +5,14 @@ Usage::
     dredbox-repro list
     dredbox-repro run fig12
     dredbox-repro run-all
+    dredbox-repro topology validate examples/topologies/*.json
+    dredbox-repro topology describe M
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments.runner import EXPERIMENTS, run_all
@@ -83,6 +86,13 @@ def _add_axis_flags(parser: argparse.ArgumentParser) -> None:
                         help="which correlated failure-domain set the "
                              "maintenance study injects (default: "
                              "rack-power)")
+    parser.add_argument("--topology", default=None,
+                        help="compiled topology for the federation-"
+                             "tier experiments (federation, "
+                             "availability, maintenance, "
+                             "parallel_scaling): a template name "
+                             "(S, M, L, XL) or a spec file path "
+                             "(default: each driver's own template)")
     parser.add_argument("--profile", action="store_true",
                         help="wrap each experiment in cProfile and "
                              "append the hottest functions (sorted by "
@@ -105,7 +115,62 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_all_cmd = sub.add_parser("run-all", help="run every experiment")
     _add_axis_flags(run_all_cmd)
+
+    topology = sub.add_parser(
+        "topology", help="validate or describe topology specs")
+    topology_sub = topology.add_subparsers(dest="topology_command",
+                                           required=True)
+    validate = topology_sub.add_parser(
+        "validate",
+        help="validate specs (template names or spec files) and print "
+             "a one-line summary per spec; exit 1 on the first "
+             "invalid one")
+    validate.add_argument("specs", nargs="+",
+                          help="template name (S, M, L, XL) or path "
+                               "to a .json/.yaml spec file")
+    describe = topology_sub.add_parser(
+        "describe",
+        help="print a spec's canonical normalized form as JSON "
+             "(compile -> describe -> re-compile is a fixed point)")
+    describe.add_argument("spec",
+                          help="template name (S, M, L, XL) or path "
+                               "to a .json/.yaml spec file")
     return parser
+
+
+def _spec_summary(spec) -> str:
+    """One human-readable line for ``topology validate`` output."""
+    from repro.units import gib
+    surface = []
+    if spec.domains:
+        surface.append(
+            "domains: " + ", ".join(d.kind for d in spec.domains))
+    if spec.maintenance:
+        surface.append(f"{len(spec.maintenance)} drain window(s)")
+    if spec.replica_groups:
+        surface.append(f"replica groups of {spec.replica_groups}")
+    return (f"{spec.name}: {spec.pods} pod(s) x {spec.racks_per_pod} "
+            f"rack(s) x {spec.bricks_per_rack} brick(s), pool "
+            f"{spec.pool_bytes / gib(1):g} GiB, "
+            f"placement {spec.placement}/{spec.spill_policy}"
+            + (" — " + "; ".join(surface) if surface else ""))
+
+
+def _run_topology(args: argparse.Namespace) -> int:
+    from repro.errors import TopologyError
+    from repro.topology import load_spec
+    if args.topology_command == "validate":
+        for source in args.specs:
+            try:
+                spec = load_spec(source)
+            except TopologyError as error:
+                print(f"INVALID {source}: {error}", file=sys.stderr)
+                return 1
+            print(f"ok {source} — {_spec_summary(spec)}")
+        return 0
+    spec = load_spec(args.spec)  # describe: let errors propagate
+    print(json.dumps(spec.to_dict(), indent=2))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,6 +180,8 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.command == "topology":
+        return _run_topology(args)
     if args.command == "run":
         report = run_all([args.experiment], seed=args.seed,
                          shards=args.shards, pods=args.pods,
@@ -127,6 +194,7 @@ def main(argv: list[str] | None = None) -> int:
                          replica_groups=args.replica_groups,
                          drain=args.drain, hazard=args.hazard,
                          domains=args.domains,
+                         topology=args.topology,
                          profile=args.profile)
         print(report.runs[0].rendered)
         if report.runs[0].profile is not None:
@@ -144,6 +212,7 @@ def main(argv: list[str] | None = None) -> int:
                       replica_groups=args.replica_groups,
                       drain=args.drain, hazard=args.hazard,
                       domains=args.domains,
+                      topology=args.topology,
                       profile=args.profile).rendered())
         return 0
     return 2  # pragma: no cover - argparse enforces the choices

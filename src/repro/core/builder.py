@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TopologyError
 from repro.fabric.fabric import PodFabric
 from repro.fabric.pod import DEFAULT_UPLINKS_PER_RACK, InterRackSwitch, Pod
 from repro.hardware.bricks import (
@@ -78,7 +78,7 @@ class _SystemBuilder:
                             local_memory: int = gib(4)):
         """Set dCOMPUBRICK population per rack (count, APU cores, DDR)."""
         if count < 1:
-            raise ConfigurationError("need at least one compute brick")
+            raise TopologyError("need at least one compute brick")
         self._compute_count = count
         self._compute_cores = cores
         self._compute_local_memory = local_memory
@@ -88,7 +88,7 @@ class _SystemBuilder:
                            module_size: int = gib(16)):
         """Set dMEMBRICK population per rack (count, modules, size)."""
         if count < 1:
-            raise ConfigurationError("need at least one memory brick")
+            raise TopologyError("need at least one memory brick")
         self._memory_count = count
         self._memory_modules = modules
         self._module_size = module_size
@@ -97,7 +97,7 @@ class _SystemBuilder:
     def with_accelerator_bricks(self, count: int):
         """Set dACCELBRICK population per rack."""
         if count < 0:
-            raise ConfigurationError("accelerator count must be >= 0")
+            raise TopologyError("accelerator count must be >= 0")
         self._accel_count = count
         return self
 
@@ -284,14 +284,14 @@ class PodBuilder(_SystemBuilder):
     def with_racks(self, count: int) -> "PodBuilder":
         """Number of identically-populated racks in the pod."""
         if count < 1:
-            raise ConfigurationError("a pod needs at least one rack")
+            raise TopologyError("a pod needs at least one rack")
         self._rack_count = count
         return self
 
     def with_uplinks(self, uplinks: int) -> "PodBuilder":
         """Uplink fibres from each rack switch to the pod switch."""
         if uplinks < 1:
-            raise ConfigurationError("racks need >= 1 uplink")
+            raise TopologyError("racks need >= 1 uplink")
         self._uplinks_per_rack = uplinks
         return self
 

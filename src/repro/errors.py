@@ -112,6 +112,22 @@ class ConfigurationError(ReproError):
     """Invalid user-supplied configuration or parameters."""
 
 
+class TopologyError(ConfigurationError):
+    """Invalid datacenter topology: a spec that fails validation or a
+    builder given impossible rack/brick counts.
+
+    ``path`` locates the offending field inside a declarative
+    :mod:`repro.topology` spec (e.g. ``"domains[1].mtbf_s"``); builders
+    raising on bad counts leave it empty.  The message always carries
+    the path prefix, so catching as :class:`ConfigurationError` loses
+    nothing.
+    """
+
+    def __init__(self, message: str, *, path: str = "") -> None:
+        super().__init__(f"{path}: {message}" if path else message)
+        self.path = path
+
+
 class DataMoverError(ReproError):
     """Error in the remote-memory data-movement subsystem."""
 

@@ -48,8 +48,8 @@ from repro.faults import (
     FaultPlan,
     FaultSpec,
 )
-from repro.federation.controller import build_federation
 from repro.federation.rebalancer import FederationRebalancer
+from repro.topology import TopologySpec, compile_spec, load_spec
 from repro.units import to_milliseconds
 
 #: Fixed topology/load of every cell: the federation sweep's
@@ -60,6 +60,13 @@ POD_COUNT = 3
 ARRIVAL_RATE_HZ = 5.0
 TENANT_COUNT = 120
 SPILL_POLICY = "least-loaded"
+
+#: The compiled topology of every cell when ``--topology`` is absent:
+#: template ``M`` builds exactly the federation this driver used to
+#: hand-build (:data:`POD_COUNT` pods, least-loaded spill), preserving
+#: the zero-fault row's bit-identity with the federation sweep's
+#: ``(3 pods, 5/s, least-loaded)`` cell.
+DEFAULT_TOPOLOGY = "M"
 
 #: Swept failure rates: one MTBF applied to every fault class (per-class
 #: MTTRs keep their :data:`~repro.faults.injector.DEFAULT_SPECS`
@@ -116,6 +123,7 @@ class AvailabilityResult:
     tenant_count: int
     arrival_rate_hz: float
     fault_classes: tuple[str, ...]
+    pod_count: int = POD_COUNT
     cells: list[AvailabilityCell] = field(default_factory=list)
 
     def cell(self, label: str, self_heal: bool) -> AvailabilityCell:
@@ -165,8 +173,8 @@ class AvailabilityResult:
             self.rows(),
             title=f"Availability under fault injection: "
                   f"{self.tenant_count} tenants at "
-                  f"{self.arrival_rate_hz:g}/s over {POD_COUNT} pods, "
-                  f"classes: {', '.join(self.fault_classes)}")
+                  f"{self.arrival_rate_hz:g}/s over {self.pod_count} "
+                  f"pods, classes: {', '.join(self.fault_classes)}")
         lines = [table]
         for label in self.labels:
             try:
@@ -206,22 +214,25 @@ def _scripted_plan() -> FaultPlan:
     return plan
 
 
-def _run_cell(label: str, self_heal: bool, seed: int,
+def _run_cell(spec: TopologySpec, label: str, self_heal: bool,
+              seed: int,
               mtbf_s: Optional[float] = None,
               plan: Optional[FaultPlan] = None,
               classes: Optional[tuple[str, ...]] = None
               ) -> AvailabilityCell:
     """One trace under one failure schedule.
 
-    The federation, trace and home skew mirror the federation sweep's
-    ``(3 pods, 5/s, least-loaded)`` cell exactly; with *mtbf_s* and
-    *plan* both ``None`` the injector schedules nothing and the run is
-    bit-identical to that sweep's cell (the inertness guarantee).
+    The federation compiles from *spec* (template ``M`` by default —
+    the federation sweep's ``(3 pods, 5/s, least-loaded)`` topology
+    exactly); the trace and home skew also mirror that sweep's cell,
+    so with *mtbf_s* and *plan* both ``None`` the injector schedules
+    nothing and the run is bit-identical to the sweep's cell (the
+    inertness guarantee).
     """
     rebalancer = FederationRebalancer(interval_s=0.25,
                                       imbalance_threshold=0.2)
-    federation = build_federation(
-        POD_COUNT, spill_policy=SPILL_POLICY, rebalancer=rebalancer)
+    topo = compile_spec(spec, rebalancer=rebalancer)
+    federation = topo.federation
     injector = FaultInjector(
         federation,
         specs=_specs_for(mtbf_s) if mtbf_s is not None else None,
@@ -285,7 +296,8 @@ def run_availability(mtbf_axis: tuple[float, ...] = DEFAULT_MTBF_AXIS,
                      fault_classes: Optional[str] = None,
                      self_heal: Optional[str] = None,
                      workers: Optional[int] = None,
-                     sync_window: Optional[float] = None
+                     sync_window: Optional[float] = None,
+                     topology: Optional[str] = None
                      ) -> AvailabilityResult:
     """Sweep failure rate × self-healing on/off.
 
@@ -296,6 +308,11 @@ def run_availability(mtbf_axis: tuple[float, ...] = DEFAULT_MTBF_AXIS,
     and the summary reports the downtime reduction.  Every sweep also
     runs the deterministic scripted-outage pair and a zero-fault
     baseline row.
+
+    *topology* (``--topology``) compiles every cell's federation from
+    a named template or spec file instead of the default
+    :data:`DEFAULT_TOPOLOGY`; it needs at least :data:`POD_COUNT` pods
+    because the scripted-outage schedule targets pods 0..2 by name.
 
     The parallel federation backend (*workers* / *sync_window*, the
     CLI ``--workers`` / ``--sync-window`` flags) is rejected here: the
@@ -320,6 +337,13 @@ def run_availability(mtbf_axis: tuple[float, ...] = DEFAULT_MTBF_AXIS,
         raise ConfigurationError(
             f"--self-heal must be 'on' or 'off', got {self_heal!r}")
     classes = _parse_classes(fault_classes)
+    spec = load_spec(topology if topology is not None
+                     else DEFAULT_TOPOLOGY)
+    if spec.pods < POD_COUNT:
+        raise ConfigurationError(
+            f"the availability sweep's scripted outages target pods "
+            f"0..{POD_COUNT - 1}; --topology {spec.name!r} has only "
+            f"{spec.pods} pod(s)")
     axis = (float(mtbf),) if mtbf is not None else mtbf_axis
     heal_modes = ((self_heal == "on",) if self_heal is not None
                   else (True, False))
@@ -328,14 +352,16 @@ def run_availability(mtbf_axis: tuple[float, ...] = DEFAULT_MTBF_AXIS,
         arrival_rate_hz=ARRIVAL_RATE_HZ,
         fault_classes=(classes if classes is not None
                        else tuple(sorted(k.value for k in FaultClass))),
+        pod_count=spec.pods,
     )
     for mtbf_s in axis:
         for heal in heal_modes:
             result.cells.append(_run_cell(
-                f"mtbf={mtbf_s:g}s", heal, seed,
+                spec, f"mtbf={mtbf_s:g}s", heal, seed,
                 mtbf_s=float(mtbf_s), classes=classes))
     for heal in heal_modes:
         result.cells.append(_run_cell(
-            "scripted", heal, seed, plan=_scripted_plan(), classes=()))
-    result.cells.append(_run_cell("none", True, seed))
+            spec, "scripted", heal, seed, plan=_scripted_plan(),
+            classes=()))
+    result.cells.append(_run_cell(spec, "none", True, seed))
     return result

@@ -33,18 +33,18 @@ from repro.analysis.tables import render_table
 from repro.cluster.trace import (
     TenantSpec,
     poisson_trace,
-    replica_group_of,
     with_replica_groups,
 )
 from repro.errors import ConfigurationError
-from repro.federation.controller import build_federation
-from repro.federation.parallel import (
-    DEFAULT_SYNC_WINDOW_S,
-    build_parallel_federation,
-)
 from repro.federation.placer import SPILL_POLICIES
 from repro.federation.rebalancer import FederationRebalancer
+from repro.topology import TopologySpec, compile_spec, load_spec
 from repro.units import gib, to_milliseconds
+
+#: The template every cell's topology derives from when ``--topology``
+#: is absent: compiled ``M`` is construction-identical to the
+#: hand-built ``build_federation(pods)`` this sweep used before PR 10.
+DEFAULT_TOPOLOGY = "M"
 
 #: Share of tenants whose home is the first pod (locality skew).
 HOT_POD_SHARE = 0.75
@@ -205,30 +205,30 @@ def _home_of(pod_ids: list[str], hot_share: float):
     return choose
 
 
-def _run_cell(pod_count: int, rate_hz: float, policy: str,
-              tenant_count: int, seed: int,
+def _run_cell(base: TopologySpec, pod_count: int, rate_hz: float,
+              policy: str, tenant_count: int, seed: int,
               workers: Optional[int] = None,
               sync_window: Optional[float] = None,
               replica_groups: Optional[int] = None) -> FederationCell:
     rebalancer = (FederationRebalancer(interval_s=0.25,
                                        imbalance_threshold=0.2)
                   if policy != "never" else None)
-    anti_affinity = (replica_group_of if replica_groups is not None
-                     else None)
-    if workers is None:
-        federation = build_federation(
-            pod_count, spill_policy=policy, rebalancer=rebalancer,
-            anti_affinity=anti_affinity)
-        pod_ids = sorted(federation.pods)
-        close = lambda: None  # noqa: E731 - serial path has no fleet
-    else:
-        federation = build_parallel_federation(
-            pod_count, workers=workers,
-            sync_window_s=(sync_window if sync_window is not None
-                           else DEFAULT_SYNC_WINDOW_S),
-            spill_policy=policy, rebalancer=rebalancer)
-        pod_ids = sorted(federation.handles)
-        close = federation.close
+    # The cell's topology is the base spec with the swept axes applied;
+    # the operational surface (domains, maintenance windows) belongs to
+    # the availability/maintenance drivers, so the sweep strips it —
+    # which also keeps any pod-count override valid against schedules
+    # written for the base pod count.
+    spec = base.override(
+        pods=pod_count, spill_policy=policy,
+        replica_groups=replica_groups,
+        domains=[], maintenance={"windows": []})
+    topo = compile_spec(spec, workers=workers,
+                        sync_window_s=sync_window,
+                        rebalancer=rebalancer)
+    federation = topo.federation
+    pod_ids = sorted(federation.pods if workers is None
+                     else federation.handles)
+    close = topo.close
     # One trace per (rate, seed): every policy/pod-count cell at a rate
     # faces literally the same offered load.
     trace = poisson_trace(
@@ -269,7 +269,8 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
                    spill_policy: Optional[str] = None,
                    workers: Optional[int] = None,
                    sync_window: Optional[float] = None,
-                   replica_groups: Optional[int] = None
+                   replica_groups: Optional[int] = None,
+                   topology: Optional[str] = None
                    ) -> FederationResult:
     """Sweep pod count × aggregate arrival rate × spill policy.
 
@@ -290,9 +291,21 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
     placer's anti-affinity so group members land on distinct pods —
     one pod (or failure-domain) loss then never takes a whole group
     down.  Serial backend only.
+
+    *topology* (``--topology``: a template name like ``M`` or a spec
+    file path) names the compiled topology every cell derives from.
+    Without it the sweep compiles the :data:`DEFAULT_TOPOLOGY`
+    template over the usual pod-count axis; with it the pod axis pins
+    to the spec's own pod count (``--pods`` still overrides), and the
+    spec's replica-group policy takes effect unless
+    ``--replica-groups`` is passed.
     """
     if pods is not None and pods < 1:
         raise ConfigurationError(f"need >= 1 pod, got {pods}")
+    base = load_spec(topology if topology is not None
+                     else DEFAULT_TOPOLOGY)
+    if replica_groups is None:
+        replica_groups = base.replica_groups
     if spill_policy is not None and spill_policy not in SPILL_POLICIES:
         raise ConfigurationError(
             f"unknown spill policy {spill_policy!r}; known: "
@@ -320,7 +333,12 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
                 "--replica-groups only runs on the serial federation "
                 "backend: the anti-affinity ledger is coordinator-"
                 "local; drop --workers")
-    pod_axis = (pods,) if pods is not None else pod_counts
+    if pods is not None:
+        pod_axis: tuple[int, ...] = (pods,)
+    elif topology is not None:
+        pod_axis = (base.pods,)
+    else:
+        pod_axis = pod_counts
     policy_axis = ((spill_policy,) if spill_policy is not None
                    else DEFAULT_POLICIES)
     result = FederationResult(tenant_count=tenant_count)
@@ -328,7 +346,8 @@ def run_federation(pod_counts: tuple[int, ...] = (2, 3),
         for rate_hz in arrival_rates_hz:
             for policy in policy_axis:
                 result.cells.append(_run_cell(
-                    pod_count, float(rate_hz), policy, tenant_count,
-                    seed, workers=workers, sync_window=sync_window,
+                    base, pod_count, float(rate_hz), policy,
+                    tenant_count, seed, workers=workers,
+                    sync_window=sync_window,
                     replica_groups=replica_groups))
     return result

@@ -36,7 +36,6 @@ from repro.errors import ConfigurationError
 from repro.experiments.availability import (
     ARRIVAL_RATE_HZ,
     POD_COUNT,
-    SPILL_POLICY,
     TENANT_COUNT,
 )
 from repro.experiments.federation import (
@@ -47,21 +46,23 @@ from repro.experiments.federation import (
     _home_of,
 )
 from repro.faults import FaultInjector
-from repro.faults.domains import (
-    Hazard,
-    coerce_hazard,
-    pod_network_domains,
-    rack_power_domains,
-)
-from repro.federation.controller import build_federation
-from repro.maintenance import DrainReport, MaintenanceSupervisor
+from repro.faults.domains import Hazard, coerce_hazard
+from repro.maintenance import DrainReport
+from repro.topology import TopologySpec, compile_spec, load_spec
 from repro.units import to_milliseconds
 
-#: The pod the rolling drain retires: the hot pod (HOT_POD_SHARE of
-#: tenants call it home), the hardest case for zero-downtime claims.
-DRAIN_POD = "pod0"
+#: The compiled topology of every cell when ``--topology`` is absent.
+#: Template ``M`` carries this study's whole shape declaratively: the
+#: federation the driver used to hand-build, the rack-power and
+#: pod-network domain layers (60 s MTBF / 4 s MTTR), and the rolling
+#: drain schedule (``pod0`` — the hot pod, the hardest case for
+#: zero-downtime claims — at t=4 s, mid-ramp with the pod well
+#: populated).
+DEFAULT_TOPOLOGY = "M"
 
-#: When the drain starts — mid-ramp, with the hot pod well populated.
+#: Fallback drain schedule when a ``--topology`` spec declares no
+#: maintenance windows: drain the hot pod at the template ``M`` time.
+DRAIN_POD = "pod0"
 DRAIN_AT_S = 4.0
 
 #: The scripted correlated outage of the drain+faults cell: the drain
@@ -70,9 +71,9 @@ DRAIN_AT_S = 4.0
 OUTAGE_AFTER_S = 0.2
 OUTAGE_DURATION_S = 5.0
 
-#: Background correlated-failure schedule of the drain+faults cell.
-DOMAIN_MTBF_S = 60.0
-DOMAIN_MTTR_S = 4.0
+#: Domain-layer choices of the ``--domains`` flag (``both`` = every
+#: layer the spec declares).
+DOMAIN_SETS = ("rack-power", "pod-network", "both")
 
 #: The headline floor: the drain cell's admitted fraction must hold at
 #: least this share of the baseline cell's.
@@ -119,6 +120,8 @@ class MaintenanceResult:
     tenant_count: int
     arrival_rate_hz: float
     drain_pod: str
+    pod_count: int = POD_COUNT
+    drain_at_s: float = DRAIN_AT_S
     cells: list[MaintenanceCell] = field(default_factory=list)
 
     def cell(self, label: str) -> MaintenanceCell:
@@ -174,8 +177,8 @@ class MaintenanceResult:
             self.rows(),
             title=f"Rolling maintenance: full drain of {self.drain_pod} "
                   f"({self.tenant_count} tenants at "
-                  f"{self.arrival_rate_hz:g}/s over {POD_COUNT} pods, "
-                  f"drain at t={DRAIN_AT_S:g}s)")
+                  f"{self.arrival_rate_hz:g}/s over {self.pod_count} "
+                  f"pods, drain at t={self.drain_at_s:g}s)")
         lines = [table]
         try:
             drain = self.cell("drain")
@@ -237,57 +240,38 @@ def _conserved(federation) -> bool:
         return False
 
 
-def _build_domains(federation, domains: str, hazard: Optional[Hazard]):
-    if domains == "rack-power":
-        return rack_power_domains(federation, mtbf_s=DOMAIN_MTBF_S,
-                                  mttr_s=DOMAIN_MTTR_S, hazard=hazard)
-    if domains == "pod-network":
-        return pod_network_domains(federation, mtbf_s=DOMAIN_MTBF_S,
-                                   mttr_s=DOMAIN_MTTR_S, hazard=hazard)
-    if domains == "both":
-        return (rack_power_domains(federation, mtbf_s=DOMAIN_MTBF_S,
-                                   mttr_s=DOMAIN_MTTR_S, hazard=hazard)
-                + pod_network_domains(federation, mtbf_s=DOMAIN_MTBF_S,
-                                      mttr_s=DOMAIN_MTTR_S,
-                                      hazard=hazard))
-    raise ConfigurationError(
-        f"unknown domain set {domains!r}; known: rack-power, "
-        f"pod-network, both")
-
-
-def _run_cell(label: str, seed: int, *,
-              drain_pod: Optional[str] = None,
+def _run_cell(spec: TopologySpec, label: str, seed: int, *,
+              drain: bool = False,
               faults: bool = False,
-              domains: str = "rack-power",
+              kinds: Optional[tuple[str, ...]] = ("rack-power",),
               hazard: Optional[Hazard] = None) -> MaintenanceCell:
-    federation = build_federation(POD_COUNT, spill_policy=SPILL_POLICY)
-    supervisor = MaintenanceSupervisor(federation)
+    topo = compile_spec(spec)
+    federation = topo.federation
+    supervisor = topo.supervisor()
     injector: Optional[FaultInjector] = None
     if faults:
         injector = FaultInjector(
             federation, classes=(), seed=seed, self_heal=True,
-            domains=_build_domains(federation, domains, hazard),
+            domains=topo.failure_domains(kinds=kinds, hazard=hazard),
         ).install()
         supervisor.install_fence(injector)
 
-    report_box: dict[str, DrainReport] = {}
-    if drain_pod is not None:
-        def drain_proc():
-            yield federation.sim.timeout(DRAIN_AT_S)
-            report_box["report"] = yield from (
-                supervisor.drain_pod_process(drain_pod))
-        federation.sim.process(drain_proc())
+    reports: list[DrainReport] = []
+    if drain:
+        reports = topo.install_maintenance(supervisor)
         if injector is not None:
-            # The guaranteed in-scope outage: the drain pod's first
-            # rack's power domain trips while that rack evacuates.
-            registry = federation.pods[drain_pod].system.sdm.registry
+            # The guaranteed in-scope outage: the first drained pod's
+            # first rack's power domain trips while it evacuates.
+            window = topo.maintenance_windows[0]
+            registry = federation.pods[window.pod].system.sdm.registry
             first_rack = min(e.rack_id
                              for e in registry.memory_entries)
 
             def outage_proc():
-                yield federation.sim.timeout(DRAIN_AT_S + OUTAGE_AFTER_S)
+                yield federation.sim.timeout(
+                    window.at_s + OUTAGE_AFTER_S)
                 injector.fire_domain(
-                    f"power.{drain_pod}.{first_rack}",
+                    f"power.{window.pod}.{first_rack}",
                     repair_after_s=OUTAGE_DURATION_S, scripted=True)
             federation.sim.process(outage_proc())
 
@@ -303,10 +287,9 @@ def _run_cell(label: str, seed: int, *,
         injector.stop()
     federation.sim.run()
 
-    report = report_box.get("report")
     cell = MaintenanceCell(
         label=label,
-        drained=drain_pod is not None,
+        drained=drain,
         faults_enabled=faults,
         admitted=stats.boots_admitted,
         rejected=stats.boots_rejected,
@@ -318,17 +301,18 @@ def _run_cell(label: str, seed: int, *,
         duration_s=stats.duration_s,
         conserved=_conserved(federation),
     )
-    if report is not None:
-        cell.drain_committed = report.committed
-        cell.drain_aborted = report.aborted
-        cell.abort_reason = report.abort_reason
-        cell.segments_moved = report.segments_moved
-        cell.bytes_moved = report.bytes_moved
-        cell.tenants_migrated = report.tenants_migrated
-        cell.rollback_moves = report.rollback_moves
-        cell.verify_failures = report.verify_failures
-        cell.racks_retired = len(report.racks_retired)
-        cell.drain_duration_s = report.duration_s
+    if reports:
+        cell.drain_committed = all(r.committed for r in reports)
+        cell.drain_aborted = any(r.aborted for r in reports)
+        cell.abort_reason = next(
+            (r.abort_reason for r in reports if r.aborted), "")
+        cell.segments_moved = sum(r.segments_moved for r in reports)
+        cell.bytes_moved = sum(r.bytes_moved for r in reports)
+        cell.tenants_migrated = sum(r.tenants_migrated for r in reports)
+        cell.rollback_moves = sum(r.rollback_moves for r in reports)
+        cell.verify_failures = sum(r.verify_failures for r in reports)
+        cell.racks_retired = sum(len(r.racks_retired) for r in reports)
+        cell.drain_duration_s = sum(r.duration_s for r in reports)
     if injector is not None:
         cell.fault_count = injector.metrics.fault_count()
         cell.domain_outages = injector.domain_outages_fired
@@ -340,16 +324,21 @@ def run_maintenance(seed: int = 2018,
                     hazard: Optional[str] = None,
                     domains: Optional[str] = None,
                     workers: Optional[int] = None,
-                    sync_window: Optional[float] = None
+                    sync_window: Optional[float] = None,
+                    topology: Optional[str] = None
                     ) -> MaintenanceResult:
     """Baseline vs drain vs drain-under-correlated-faults.
 
-    *drain* (the CLI ``--drain`` flag) names the pod to drain (default
-    ``pod0``, the hot pod); *hazard* (``--hazard``,
+    The topology, the correlated domain layers and the rolling-drain
+    schedule all come compiled from one spec (*topology*, the CLI
+    ``--topology`` flag; default template ``M``).  *drain* (``--drain``)
+    overrides the schedule to a single drain of the named pod at the
+    spec's first window time; *hazard* (``--hazard``,
     ``weibull:<scale>:<shape>`` or ``exponential:<mean>``) overrides
     the background domains' inter-arrival distribution; *domains*
-    (``--domains``: ``rack-power``, ``pod-network`` or ``both``) picks
-    which correlated domain set fails in the drain+faults cell.
+    (``--domains``: ``rack-power``, ``pod-network`` or ``both``)
+    filters which of the spec's domain layers fail in the drain+faults
+    cell.
     """
     if workers is not None or sync_window is not None:
         raise ConfigurationError(
@@ -357,21 +346,40 @@ def run_maintenance(seed: int = 2018,
             "backend: the drain supervisor and domain faults reach "
             "into pod internals that are process-local under "
             "--workers; drop --workers/--sync-window here")
-    drain_pod = drain if drain is not None else DRAIN_POD
+    spec = load_spec(topology if topology is not None
+                     else DEFAULT_TOPOLOGY)
+    domain_set = domains if domains is not None else "rack-power"
+    if domain_set not in DOMAIN_SETS:
+        raise ConfigurationError(
+            f"unknown domain set {domain_set!r}; known: "
+            f"{', '.join(DOMAIN_SETS)}")
+    kinds = None if domain_set == "both" else (domain_set,)
+    hazard_fn = coerce_hazard(hazard) if hazard is not None else None
+
+    # The drain schedule is the spec's; --drain (or a spec with no
+    # windows) replaces it with a single drain of the named pod.
+    drain_at_s = (spec.maintenance[0].at_s if spec.maintenance
+                  else DRAIN_AT_S)
+    drain_pod = drain if drain is not None else (
+        spec.maintenance[0].pod if spec.maintenance else DRAIN_POD)
     if not drain_pod.startswith("pod"):
         raise ConfigurationError(
-            f"--drain must name a pod (pod0..pod{POD_COUNT - 1}), "
+            f"--drain must name a pod (pod0..pod{spec.pods - 1}), "
             f"got {drain_pod!r}")
-    domain_set = domains if domains is not None else "rack-power"
-    hazard_fn = coerce_hazard(hazard) if hazard is not None else None
+    if drain is not None or not spec.maintenance:
+        spec = spec.override(maintenance={"windows": [
+            {"pod": drain_pod, "at_s": drain_at_s}]})
+
     result = MaintenanceResult(
         tenant_count=TENANT_COUNT,
         arrival_rate_hz=ARRIVAL_RATE_HZ,
         drain_pod=drain_pod,
+        pod_count=spec.pods,
+        drain_at_s=drain_at_s,
     )
-    result.cells.append(_run_cell("baseline", seed))
-    result.cells.append(_run_cell("drain", seed, drain_pod=drain_pod))
+    result.cells.append(_run_cell(spec, "baseline", seed))
+    result.cells.append(_run_cell(spec, "drain", seed, drain=True))
     result.cells.append(_run_cell(
-        "drain+faults", seed, drain_pod=drain_pod, faults=True,
-        domains=domain_set, hazard=hazard_fn))
+        spec, "drain+faults", seed, drain=True, faults=True,
+        kinds=kinds, hazard=hazard_fn))
     return result

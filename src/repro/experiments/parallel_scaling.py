@@ -79,46 +79,38 @@ from repro.experiments.federation import (
     _home_of,
 )
 from repro.experiments.kernel_bench import host_facts
-from repro.federation.controller import build_federation
 from repro.federation.parallel import (
-    build_parallel_federation,
+    DEFAULT_SYNC_WINDOW_S,
     federation_fingerprint,
 )
 from repro.federation.rebalancer import FederationRebalancer
-from repro.units import gib, mib, to_milliseconds
+from repro.topology import TopologySpec, compile_spec, load_spec
+from repro.units import mib, to_milliseconds
 
-#: Fixed shape of every cell: 4 pods, spill + rebalancer on (the full
-#: message vocabulary crosses the wire), a high-rate short-lifetime
-#: trace with ballooning so every pod churns steadily through the run.
-POD_COUNT = 4
+#: The compiled topology of every cell when ``--topology`` is absent.
+#: Template ``L`` is this driver's shape made declarative: 4 wide pods
+#: (8 compute bricks, 4x8x8GiB memory per rack) under spread
+#: placement, so every pod's event stream stays dense and the
+#: per-round maxima reflect real work rather than one straggler pod;
+#: ``max_batch=1`` admits each boot the moment it arrives (batching
+#: idles pods between windows); and a 24 ms conservative sync window —
+#: wider windows amortize the per-round hub/runner overhead over more
+#: pod work, and 24 ms beat 12, 16, 20 and 32 on the structural number
+#: for this trace.
+DEFAULT_TOPOLOGY = "L"
+
+#: Fixed load of every cell: a high-rate short-lifetime trace with
+#: ballooning, so every pod churns steadily through the run; spill +
+#: rebalancer on (the full message vocabulary crosses the wire).
 ARRIVAL_RATE_HZ = 200.0
 TENANT_COUNT = 800
 MEAN_LIFETIME_S = 0.8
-SPILL_POLICY = "least-loaded"
-
-#: Identical per-pod hardware for both backends: wide pods (8 compute
-#: bricks, 4x8x8GiB memory) under spread placement keep every pod's
-#: event stream dense, so the per-round maxima reflect real work and
-#: not one straggler pod.  ``max_batch=1`` admits each boot the moment
-#: it arrives — batching idles pods between windows.
-POD_KWARGS = dict(
-    memory_bricks=4, memory_modules=8, module_size=gib(8),
-    compute_bricks=8, compute_cores=16, placement="spread",
-    max_batch=1)
-
-#: Balanced home distribution: pod0's share equals everyone else's.
-HOME_SHARE = 1.0 / POD_COUNT
-
-#: Conservative lookahead per barrier round.  Wider windows amortize
-#: the per-round hub/runner overhead over more pod work; 24 ms beat 12,
-#: 16, 20 and 32 on the structural number for this trace.
-SYNC_WINDOW_S = 24e-3
 
 #: Worker-process axis (0 = the in-process reference fleet).
 DEFAULT_WORKER_AXIS = (0, 1, 2, 4)
 
 #: The structural (critical-path) speedup the 4-pod decomposition must
-#: reach at any worker count >= POD_COUNT.
+#: reach at any worker count >= the pod count.
 CRITICAL_PATH_TARGET = 2.5
 
 
@@ -309,12 +301,11 @@ class _quiet_gc:
         gc.unfreeze()
 
 
-def _run_direct(tenant_count: int, seed: int) -> ParallelScalingCell:
-    federation = build_federation(
-        POD_COUNT, spill_policy=SPILL_POLICY,
-        rebalancer=_rebalancer(), **POD_KWARGS)
+def _run_direct(spec: TopologySpec, tenant_count: int,
+                seed: int) -> ParallelScalingCell:
+    federation = compile_spec(spec, rebalancer=_rebalancer()).federation
     trace = _trace(tenant_count, seed)
-    home_of = _home_of(sorted(federation.pods), HOME_SHARE)
+    home_of = _home_of(sorted(federation.pods), 1.0 / spec.pods)
     with _quiet_gc():
         start = time.perf_counter()
         stats = federation.serve_trace(trace, home_of=home_of)
@@ -332,15 +323,14 @@ def _run_direct(tenant_count: int, seed: int) -> ParallelScalingCell:
         fingerprint=federation_fingerprint(stats))
 
 
-def _run_parallel(workers: int, tenant_count: int,
+def _run_parallel(spec: TopologySpec, workers: int, tenant_count: int,
                   seed: int) -> ParallelScalingCell:
-    federation = build_parallel_federation(
-        POD_COUNT, workers=workers, spill_policy=SPILL_POLICY,
-        sync_window_s=SYNC_WINDOW_S,
-        rebalancer=_rebalancer(), **POD_KWARGS)
+    topo = compile_spec(spec, workers=workers,
+                        rebalancer=_rebalancer())
+    federation = topo.federation
     try:
         trace = _trace(tenant_count, seed)
-        home_of = _home_of(sorted(federation.handles), HOME_SHARE)
+        home_of = _home_of(sorted(federation.handles), 1.0 / spec.pods)
         with _quiet_gc():
             start = time.perf_counter()
             stats = federation.serve_trace(trace, home_of=home_of)
@@ -368,14 +358,18 @@ def run_parallel_scaling(
         worker_axis: tuple[int, ...] = DEFAULT_WORKER_AXIS,
         tenant_count: int = TENANT_COUNT,
         seed: int = 2018,
-        profile: bool = False) -> ParallelScalingResult:
-    """Serve the fixed 4-pod trace on every backend and compare.
+        profile: bool = False,
+        topology: Optional[str] = None) -> ParallelScalingResult:
+    """Serve the fixed trace on every backend and compare.
 
-    The worker axis must start at 0 (the in-process reference is both
-    the determinism anchor and the wall-clock denominator).  Raises
-    :class:`AssertionError` if any parallel cell's fingerprint differs
-    from the reference's — worker count must never change the
-    simulation.
+    The topology compiles from *topology* (the CLI ``--topology``
+    flag; default template ``L``, this driver's canonical 4-pod
+    shape) — its ``fabric.sync_window_s`` sets the conservative
+    lookahead.  The worker axis must start at 0 (the in-process
+    reference is both the determinism anchor and the wall-clock
+    denominator).  Raises :class:`AssertionError` if any parallel
+    cell's fingerprint differs from the reference's — worker count
+    must never change the simulation.
     """
     del profile  # handled by the runner; accepted for signature parity
     if not worker_axis or worker_axis[0] != 0:
@@ -388,15 +382,20 @@ def run_parallel_scaling(
     if len(set(worker_axis)) != len(worker_axis):
         raise ConfigurationError(
             f"duplicate worker counts in {worker_axis!r}")
+    spec = load_spec(topology if topology is not None
+                     else DEFAULT_TOPOLOGY)
 
     wall_start = time.perf_counter()
     result = ParallelScalingResult(
-        pod_count=POD_COUNT, tenant_count=tenant_count,
+        pod_count=spec.pods, tenant_count=tenant_count,
         arrival_rate_hz=ARRIVAL_RATE_HZ, seed=seed,
-        sync_window_s=SYNC_WINDOW_S)
-    result.cells.append(_run_direct(tenant_count, seed))
+        sync_window_s=(spec.fabric.sync_window_s
+                       if spec.fabric.sync_window_s is not None
+                       else DEFAULT_SYNC_WINDOW_S))
+    result.cells.append(_run_direct(spec, tenant_count, seed))
     for workers in worker_axis:
-        result.cells.append(_run_parallel(workers, tenant_count, seed))
+        result.cells.append(
+            _run_parallel(spec, workers, tenant_count, seed))
     reference = result.cell(0).fingerprint
     for workers in worker_axis[1:]:
         cell = result.cell(workers)

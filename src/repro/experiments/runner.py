@@ -13,9 +13,10 @@ Axis overrides (``shards`` for the ``cluster_scale`` sweep; ``pods``,
 ``spill_policy``, ``workers``, ``sync_window`` and ``replica_groups``
 for the ``federation`` sweep; ``mtbf``, ``fault_classes`` and
 ``self_heal`` for the ``availability`` sweep; ``drain``, ``hazard``
-and ``domains`` for the ``maintenance`` study) are forwarded only to
-drivers whose signature declares the keyword, so sweep-specific flags
-never break the other experiments.
+and ``domains`` for the ``maintenance`` study; ``topology`` for every
+federation-tier driver) are forwarded only to drivers whose signature
+declares the keyword, so sweep-specific flags never break the other
+experiments.
 """
 
 from __future__ import annotations
@@ -120,6 +121,7 @@ def run_all(names: list[str] | None = None,
             drain: Optional[str] = None,
             hazard: Optional[str] = None,
             domains: Optional[str] = None,
+            topology: Optional[str] = None,
             profile: bool = False) -> RunAllReport:
     """Execute the named experiments (all of them by default).
 
@@ -128,9 +130,10 @@ def run_all(names: list[str] | None = None,
     Axis overrides — *shards* (controller shard count, ``cluster_scale``),
     *pods* (pod count), *spill_policy* / *workers* / *sync_window* /
     *replica_groups* (``federation``), *mtbf* / *fault_classes* /
-    *self_heal* (``availability``), and *drain* / *hazard* / *domains*
-    (``maintenance``) — are forwarded only to drivers whose signature
-    declares the keyword.
+    *self_heal* (``availability``), *drain* / *hazard* / *domains*
+    (``maintenance``), and *topology* (a compiled-topology template
+    name or spec file for the federation-tier drivers) — are forwarded
+    only to drivers whose signature declares the keyword.
     With *profile* each driver runs under :mod:`cProfile` and the
     report carries the top functions by cumulative time — the hot-path
     view the kernel optimizations are steered by.
@@ -142,7 +145,8 @@ def run_all(names: list[str] | None = None,
                  "fault_classes": fault_classes, "self_heal": self_heal,
                  "workers": workers, "sync_window": sync_window,
                  "replica_groups": replica_groups, "drain": drain,
-                 "hazard": hazard, "domains": domains}
+                 "hazard": hazard, "domains": domains,
+                 "topology": topology}
     report = RunAllReport()
     for name in names:
         if name not in EXPERIMENTS:

@@ -472,6 +472,7 @@ class FederationController:
 
 def build_federation(pod_count: int, *,
                      racks_per_pod: int = 2,
+                     uplinks_per_rack: Optional[int] = None,
                      compute_bricks: int = 2,
                      compute_cores: int = 16,
                      local_memory: int = gib(1),
@@ -499,17 +500,20 @@ def build_federation(pod_count: int, *,
         raise FederationError("a federation needs at least one pod")
     systems = []
     for index in range(pod_count):
-        systems.append(
-            (PodBuilder(f"pod{index}")
-             .with_racks(racks_per_pod)
-             .with_compute_bricks(compute_bricks, cores=compute_cores,
-                                  local_memory=local_memory)
-             .with_memory_bricks(memory_bricks, modules=memory_modules,
-                                 module_size=module_size)
-             .with_section_size(section_bytes)
-             .with_policy(make_placement_policy(placement))
-             .with_controller_shards(None)
-             .build()))
+        builder = (PodBuilder(f"pod{index}")
+                   .with_racks(racks_per_pod)
+                   .with_compute_bricks(compute_bricks,
+                                        cores=compute_cores,
+                                        local_memory=local_memory)
+                   .with_memory_bricks(memory_bricks,
+                                       modules=memory_modules,
+                                       module_size=module_size)
+                   .with_section_size(section_bytes)
+                   .with_policy(make_placement_policy(placement))
+                   .with_controller_shards(None))
+        if uplinks_per_rack is not None:
+            builder.with_uplinks(uplinks_per_rack)
+        systems.append(builder.build())
     placer_kwargs = {"spill_policy": spill_policy}
     if scoring is not None:
         placer_kwargs["scoring"] = scoring

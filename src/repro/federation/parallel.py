@@ -276,6 +276,7 @@ class PodLP:
 
 def build_pod_lps(*, pod_count: int,
                   racks_per_pod: int = 2,
+                  uplinks_per_rack: Optional[int] = None,
                   compute_bricks: int = 2,
                   compute_cores: int = 16,
                   local_memory: int = gib(1),
@@ -297,18 +298,20 @@ def build_pod_lps(*, pod_count: int,
     own policy object (policies carry per-pod hot-brick state)."""
     lps = []
     for index in range(pod_count):
-        system = (PodBuilder(f"pod{index}")
-                  .with_racks(racks_per_pod)
-                  .with_compute_bricks(compute_bricks,
-                                       cores=compute_cores,
-                                       local_memory=local_memory)
-                  .with_memory_bricks(memory_bricks,
-                                      modules=memory_modules,
-                                      module_size=module_size)
-                  .with_section_size(section_bytes)
-                  .with_policy(make_placement_policy(placement))
-                  .with_controller_shards(None)
-                  .build())
+        builder = (PodBuilder(f"pod{index}")
+                   .with_racks(racks_per_pod)
+                   .with_compute_bricks(compute_bricks,
+                                        cores=compute_cores,
+                                        local_memory=local_memory)
+                   .with_memory_bricks(memory_bricks,
+                                       modules=memory_modules,
+                                       module_size=module_size)
+                   .with_section_size(section_bytes)
+                   .with_policy(make_placement_policy(placement))
+                   .with_controller_shards(None))
+        if uplinks_per_rack is not None:
+            builder.with_uplinks(uplinks_per_rack)
+        system = builder.build()
         lps.append(PodLP(f"pod{index}", system,
                          lookahead_s=lookahead_s, max_batch=max_batch,
                          batch_window_s=batch_window_s,
@@ -920,6 +923,7 @@ def build_parallel_federation(pod_count: int, *,
                               workers: int = 0,
                               sync_window_s: float = DEFAULT_SYNC_WINDOW_S,
                               racks_per_pod: int = 2,
+                              uplinks_per_rack: Optional[int] = None,
                               compute_bricks: int = 2,
                               compute_cores: int = 16,
                               local_memory: int = gib(1),
@@ -958,6 +962,7 @@ def build_parallel_federation(pod_count: int, *,
         pod_ids = fleet.build(
             build_pod_lps, pod_count=pod_count,
             racks_per_pod=racks_per_pod,
+            uplinks_per_rack=uplinks_per_rack,
             compute_bricks=compute_bricks,
             compute_cores=compute_cores, local_memory=local_memory,
             memory_bricks=memory_bricks,

@@ -1,0 +1,49 @@
+"""Declarative topology compiler.
+
+One spec — pods × racks × bricks, fabric, failure-domain layers,
+maintenance windows — validated once and compiled into both the
+hardware tier (a :class:`~repro.federation.controller.
+FederationController` over :class:`~repro.core.builder.PodBuilder`
+pods) and the canonical operational surface (``FaultInjector`` failure
+domains, a ``MaintenanceSupervisor`` drain schedule) that the
+experiment drivers previously hand-built in four different places.
+
+>>> from repro.topology import compile_spec
+>>> topo = compile_spec("M", sync_window_s=None)
+>>> topo.federation.pods.keys()
+dict_keys(['pod0', 'pod1', 'pod2'])
+"""
+
+from repro.topology.compiler import (
+    CompiledTopology,
+    compile_spec,
+    validate_spec,
+)
+from repro.topology.spec import (
+    ControlSpec,
+    DomainSpec,
+    FabricSpec,
+    MaintenanceWindow,
+    RackSpec,
+    TopologySpec,
+    load_spec,
+    merge_spec,
+)
+from repro.topology.templates import TEMPLATE_NAMES, TEMPLATES, template
+
+__all__ = [
+    "CompiledTopology",
+    "ControlSpec",
+    "DomainSpec",
+    "FabricSpec",
+    "MaintenanceWindow",
+    "RackSpec",
+    "TEMPLATES",
+    "TEMPLATE_NAMES",
+    "TopologySpec",
+    "compile_spec",
+    "load_spec",
+    "merge_spec",
+    "template",
+    "validate_spec",
+]

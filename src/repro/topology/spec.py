@@ -1,0 +1,583 @@
+"""Declarative topology specs: one dict describes a whole datacenter.
+
+A :class:`TopologySpec` is the canonical, validated form of a
+dict/YAML-shaped description of a federation deployment: how many pods,
+how many racks per pod, each rack's brick population, the fabric's
+bandwidths, the correlated failure domains layered over the hardware,
+and the rolling-maintenance schedule.  Everything an experiment used to
+hand-assemble — ``PodBuilder`` calls, :func:`~repro.faults.domains.
+rack_power_domains` sets, drain timings — derives from this one spec,
+so the operational surface can never drift from the hardware it
+describes.
+
+The raw (user-facing) dict is forgiving: sizes accept ints (bytes) or
+``"4GiB"``/``"256MiB"`` strings, bandwidths accept bps floats or
+``"100Gbps"``, and every field has a default.  Validation is strict:
+unknown keys, zero-brick racks, overlapping failure domains, unknown
+pods in maintenance windows and schedules that would drain the last
+accepting pod are all rejected with a path-qualified
+:class:`~repro.errors.TopologyError` (e.g. ``"domains[1].mtbf_s: must
+be positive"``).
+
+:meth:`TopologySpec.to_dict` emits the normalized canonical dict —
+every default filled in, every size in bytes — and is a fixed point:
+``TopologySpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.errors import TopologyError
+from repro.fabric.pod import DEFAULT_UPLINKS_PER_RACK
+from repro.faults.domains import coerce_hazard
+from repro.federation.controller import DEFAULT_INTERPOD_LINK_BPS
+from repro.federation.placer import SPILL_POLICIES
+from repro.orchestration.placement import PLACEMENT_POLICIES
+from repro.units import GIB, MIB, gib, mib
+
+#: Failure-domain kinds the compiler knows how to emit (each maps to a
+#: topology-derived builder in :mod:`repro.faults.domains`).
+DOMAIN_KINDS = ("rack-power", "pod-network")
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(GiB|MiB)\s*$",
+                      re.IGNORECASE)
+_BPS_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*Gbps\s*$",
+                     re.IGNORECASE)
+
+
+def _fail(path: str, message: str) -> "TopologyError":
+    raise TopologyError(message, path=path)
+
+
+def _require_mapping(value: Any, path: str) -> Mapping:
+    if not isinstance(value, Mapping):
+        _fail(path, f"expected a mapping, got {type(value).__name__}")
+    return value
+
+
+def _check_keys(raw: Mapping, allowed: tuple[str, ...],
+                path: str) -> None:
+    unknown = sorted(set(raw) - set(allowed))
+    if unknown:
+        _fail(f"{path}.{unknown[0]}" if path else unknown[0],
+              f"unknown key (known: {', '.join(allowed)})")
+
+
+def _coerce_int(value: Any, path: str, *, minimum: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        _fail(path, f"expected an integer, got {value!r}")
+    if value < minimum:
+        _fail(path, f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _coerce_bytes(value: Any, path: str) -> int:
+    if isinstance(value, str):
+        match = _SIZE_RE.match(value)
+        if match is None:
+            _fail(path, f"malformed size {value!r} (want bytes or "
+                        f"'<n>GiB'/'<n>MiB')")
+        number = float(match.group(1))
+        unit = GIB if match.group(2).lower() == "gib" else MIB
+        value = int(number * unit)
+    if isinstance(value, bool) or not isinstance(value, int):
+        _fail(path, f"expected a byte count, got {value!r}")
+    if value <= 0:
+        _fail(path, f"size must be positive, got {value}")
+    return value
+
+
+def _coerce_bps(value: Any, path: str) -> float:
+    if isinstance(value, str):
+        match = _BPS_RE.match(value)
+        if match is None:
+            _fail(path, f"malformed bandwidth {value!r} (want bps or "
+                        f"'<n>Gbps')")
+        value = float(match.group(1)) * 1e9
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(path, f"expected a bandwidth, got {value!r}")
+    if value <= 0:
+        _fail(path, f"bandwidth must be positive, got {value}")
+    return float(value)
+
+
+def _coerce_seconds(value: Any, path: str, *,
+                    minimum: float = 0.0) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(path, f"expected seconds, got {value!r}")
+    if value < minimum:
+        _fail(path, f"must be >= {minimum:g}, got {value}")
+    return float(value)
+
+
+# ---------------------------------------------------------------------------
+# sub-specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RackSpec:
+    """Per-rack brick population (every rack in a pod is identical)."""
+
+    compute_bricks: int = 2
+    compute_cores: int = 16
+    local_memory_bytes: int = gib(1)
+    memory_bricks: int = 2
+    memory_modules: int = 2
+    module_bytes: int = gib(4)
+
+    _KEYS = ("compute_bricks", "compute_cores", "local_memory_bytes",
+             "memory_bricks", "memory_modules", "module_bytes")
+
+    @classmethod
+    def from_dict(cls, raw: Mapping, path: str = "rack") -> "RackSpec":
+        _check_keys(raw, cls._KEYS, path)
+        defaults = cls()
+        compute = raw.get("compute_bricks", defaults.compute_bricks)
+        memory = raw.get("memory_bricks", defaults.memory_bricks)
+        # Zero-brick racks are the canonical invalid spec: a rack with
+        # no compute can host nothing, one with no memory serves
+        # nothing, so both kinds are floored at one explicitly (the
+        # builder enforces the same floor one layer down).
+        return cls(
+            compute_bricks=_coerce_int(
+                compute, f"{path}.compute_bricks", minimum=1),
+            compute_cores=_coerce_int(
+                raw.get("compute_cores", defaults.compute_cores),
+                f"{path}.compute_cores", minimum=1),
+            local_memory_bytes=_coerce_bytes(
+                raw.get("local_memory_bytes",
+                        defaults.local_memory_bytes),
+                f"{path}.local_memory_bytes"),
+            memory_bricks=_coerce_int(
+                memory, f"{path}.memory_bricks", minimum=1),
+            memory_modules=_coerce_int(
+                raw.get("memory_modules", defaults.memory_modules),
+                f"{path}.memory_modules", minimum=1),
+            module_bytes=_coerce_bytes(
+                raw.get("module_bytes", defaults.module_bytes),
+                f"{path}.module_bytes"),
+        )
+
+    def to_dict(self) -> dict:
+        return {key: getattr(self, key) for key in self._KEYS}
+
+    @property
+    def pool_bytes(self) -> int:
+        """Remote memory pool one rack contributes."""
+        return (self.memory_bricks * self.memory_modules
+                * self.module_bytes)
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Interconnect shape: trunking and the inter-pod link."""
+
+    uplinks_per_rack: int = DEFAULT_UPLINKS_PER_RACK
+    interpod_link_bps: float = DEFAULT_INTERPOD_LINK_BPS
+    #: Conservative lookahead for the parallel backend; ``None`` keeps
+    #: that backend's default (the inter-pod link latency).
+    sync_window_s: Optional[float] = None
+
+    _KEYS = ("uplinks_per_rack", "interpod_link_bps", "sync_window_s")
+
+    @classmethod
+    def from_dict(cls, raw: Mapping,
+                  path: str = "fabric") -> "FabricSpec":
+        _check_keys(raw, cls._KEYS, path)
+        defaults = cls()
+        window = raw.get("sync_window_s", defaults.sync_window_s)
+        if window is not None:
+            window = _coerce_seconds(window, f"{path}.sync_window_s")
+            if window <= 0:
+                _fail(f"{path}.sync_window_s",
+                      f"must be positive, got {window}")
+        return cls(
+            uplinks_per_rack=_coerce_int(
+                raw.get("uplinks_per_rack", defaults.uplinks_per_rack),
+                f"{path}.uplinks_per_rack", minimum=1),
+            interpod_link_bps=_coerce_bps(
+                raw.get("interpod_link_bps",
+                        defaults.interpod_link_bps),
+                f"{path}.interpod_link_bps"),
+            sync_window_s=window,
+        )
+
+    def to_dict(self) -> dict:
+        return {"uplinks_per_rack": self.uplinks_per_rack,
+                "interpod_link_bps": self.interpod_link_bps,
+                "sync_window_s": self.sync_window_s}
+
+
+@dataclass(frozen=True)
+class ControlSpec:
+    """Per-pod control-plane dispatch knobs."""
+
+    max_batch: int = 4
+    batch_window_s: float = 0.001
+
+    _KEYS = ("max_batch", "batch_window_s")
+
+    @classmethod
+    def from_dict(cls, raw: Mapping,
+                  path: str = "control") -> "ControlSpec":
+        _check_keys(raw, cls._KEYS, path)
+        defaults = cls()
+        return cls(
+            max_batch=_coerce_int(
+                raw.get("max_batch", defaults.max_batch),
+                f"{path}.max_batch", minimum=1),
+            batch_window_s=_coerce_seconds(
+                raw.get("batch_window_s", defaults.batch_window_s),
+                f"{path}.batch_window_s"),
+        )
+
+    def to_dict(self) -> dict:
+        return {"max_batch": self.max_batch,
+                "batch_window_s": self.batch_window_s}
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One correlated failure-domain layer over the topology.
+
+    ``kind`` picks the :mod:`repro.faults.domains` builder (one domain
+    per rack for ``rack-power``, one per pod for ``pod-network``);
+    ``pods`` optionally restricts the layer to a subset of pods
+    (``None`` covers them all).  Two same-kind layers may never cover
+    the same pod — the overlap validation.
+    """
+
+    kind: str
+    mtbf_s: float
+    mttr_s: float
+    hazard: Optional[str] = None
+    pods: Optional[tuple[str, ...]] = None
+
+    _KEYS = ("kind", "mtbf_s", "mttr_s", "hazard", "pods")
+
+    @classmethod
+    def from_dict(cls, raw: Mapping, path: str) -> "DomainSpec":
+        _check_keys(raw, cls._KEYS, path)
+        kind = raw.get("kind")
+        if kind not in DOMAIN_KINDS:
+            _fail(f"{path}.kind",
+                  f"unknown domain kind {kind!r}; known: "
+                  f"{', '.join(DOMAIN_KINDS)}")
+        if "mtbf_s" not in raw:
+            _fail(f"{path}.mtbf_s", "required")
+        if "mttr_s" not in raw:
+            _fail(f"{path}.mttr_s", "required")
+        mtbf_s = _coerce_seconds(raw["mtbf_s"], f"{path}.mtbf_s")
+        mttr_s = _coerce_seconds(raw["mttr_s"], f"{path}.mttr_s")
+        if mtbf_s <= 0:
+            _fail(f"{path}.mtbf_s", "must be positive")
+        if mttr_s <= 0:
+            _fail(f"{path}.mttr_s", "must be positive")
+        hazard = raw.get("hazard")
+        if hazard is not None:
+            if not isinstance(hazard, str):
+                _fail(f"{path}.hazard",
+                      f"expected a hazard spec string, got {hazard!r}")
+            try:
+                coerce_hazard(hazard)
+            except Exception as exc:
+                _fail(f"{path}.hazard", str(exc))
+        pods = raw.get("pods")
+        if pods is not None:
+            if (not isinstance(pods, (list, tuple)) or not pods
+                    or not all(isinstance(p, str) for p in pods)):
+                _fail(f"{path}.pods",
+                      f"expected a non-empty list of pod ids, got "
+                      f"{pods!r}")
+            pods = tuple(pods)
+            if len(set(pods)) != len(pods):
+                _fail(f"{path}.pods", f"duplicate pod ids in {pods}")
+        return cls(kind=kind, mtbf_s=mtbf_s, mttr_s=mttr_s,
+                   hazard=hazard, pods=pods)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "mtbf_s": self.mtbf_s,
+                "mttr_s": self.mttr_s, "hazard": self.hazard,
+                "pods": list(self.pods) if self.pods is not None
+                else None}
+
+    def covers(self, pod_ids: tuple[str, ...]) -> tuple[str, ...]:
+        """The pods this layer spans, resolved against the topology."""
+        return self.pods if self.pods is not None else pod_ids
+
+
+@dataclass(frozen=True)
+class MaintenanceWindow:
+    """One rolling-drain slot: retire *pod* starting at *at_s*."""
+
+    pod: str
+    at_s: float
+
+    _KEYS = ("pod", "at_s")
+
+    @classmethod
+    def from_dict(cls, raw: Mapping, path: str) -> "MaintenanceWindow":
+        _check_keys(raw, cls._KEYS, path)
+        pod = raw.get("pod")
+        if not isinstance(pod, str) or not pod:
+            _fail(f"{path}.pod", f"expected a pod id, got {pod!r}")
+        if "at_s" not in raw:
+            _fail(f"{path}.at_s", "required")
+        return cls(pod=pod,
+                   at_s=_coerce_seconds(raw["at_s"], f"{path}.at_s"))
+
+    def to_dict(self) -> dict:
+        return {"pod": self.pod, "at_s": self.at_s}
+
+
+# ---------------------------------------------------------------------------
+# the spec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The validated, canonical form of a declarative topology."""
+
+    name: str = "custom"
+    pods: int = 2
+    racks_per_pod: int = 2
+    rack: RackSpec = field(default_factory=RackSpec)
+    section_bytes: int = mib(256)
+    placement: str = "pack"
+    spill_policy: str = "least-loaded"
+    replica_groups: Optional[int] = None
+    control: ControlSpec = field(default_factory=ControlSpec)
+    fabric: FabricSpec = field(default_factory=FabricSpec)
+    domains: tuple[DomainSpec, ...] = ()
+    maintenance: tuple[MaintenanceWindow, ...] = ()
+
+    _KEYS = ("name", "pods", "racks_per_pod", "rack", "section_bytes",
+             "placement", "spill_policy", "replica_groups", "control",
+             "fabric", "domains", "maintenance")
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "TopologySpec":
+        """Validate a raw spec dict into its canonical form.
+
+        Raises :class:`~repro.errors.TopologyError` with the offending
+        spec path on the first violation.
+        """
+        _require_mapping(raw, "<spec>")
+        _check_keys(raw, cls._KEYS, "")
+        defaults = cls()
+        name = raw.get("name", defaults.name)
+        if not isinstance(name, str) or not name:
+            _fail("name", f"expected a non-empty string, got {name!r}")
+        pods = _coerce_int(raw.get("pods", defaults.pods), "pods",
+                           minimum=1)
+        racks = _coerce_int(
+            raw.get("racks_per_pod", defaults.racks_per_pod),
+            "racks_per_pod", minimum=1)
+        rack = RackSpec.from_dict(
+            _require_mapping(raw.get("rack", {}), "rack"), "rack")
+        section_bytes = _coerce_bytes(
+            raw.get("section_bytes", defaults.section_bytes),
+            "section_bytes")
+        placement = raw.get("placement", defaults.placement)
+        if placement not in PLACEMENT_POLICIES:
+            _fail("placement",
+                  f"unknown placement policy {placement!r}; known: "
+                  f"{', '.join(PLACEMENT_POLICIES)}")
+        spill_policy = raw.get("spill_policy", defaults.spill_policy)
+        if spill_policy not in SPILL_POLICIES:
+            _fail("spill_policy",
+                  f"unknown spill policy {spill_policy!r}; known: "
+                  f"{', '.join(SPILL_POLICIES)}")
+        replica_groups = raw.get("replica_groups")
+        if replica_groups is not None:
+            replica_groups = _coerce_int(
+                replica_groups, "replica_groups", minimum=2)
+        control = ControlSpec.from_dict(
+            _require_mapping(raw.get("control", {}), "control"),
+            "control")
+        fabric = FabricSpec.from_dict(
+            _require_mapping(raw.get("fabric", {}), "fabric"),
+            "fabric")
+
+        pod_ids = tuple(f"pod{index}" for index in range(pods))
+        raw_domains = raw.get("domains", [])
+        if not isinstance(raw_domains, (list, tuple)):
+            _fail("domains",
+                  f"expected a list, got {type(raw_domains).__name__}")
+        domains = []
+        for index, entry in enumerate(raw_domains):
+            path = f"domains[{index}]"
+            domain = DomainSpec.from_dict(
+                _require_mapping(entry, path), path)
+            for pod in domain.pods or ():
+                if pod not in pod_ids:
+                    _fail(f"{path}.pods",
+                          f"unknown pod {pod!r} (topology has "
+                          f"{pods} pods: pod0..pod{pods - 1})")
+            for earlier_index, earlier in enumerate(domains):
+                if earlier.kind != domain.kind:
+                    continue
+                shared = (set(earlier.covers(pod_ids))
+                          & set(domain.covers(pod_ids)))
+                if shared:
+                    _fail(path,
+                          f"overlaps domains[{earlier_index}]: both "
+                          f"{domain.kind!r} layers cover "
+                          f"{sorted(shared)}")
+            domains.append(domain)
+
+        raw_maintenance = _require_mapping(
+            raw.get("maintenance", {}), "maintenance")
+        _check_keys(raw_maintenance, ("windows",), "maintenance")
+        raw_windows = raw_maintenance.get("windows", [])
+        if not isinstance(raw_windows, (list, tuple)):
+            _fail("maintenance.windows",
+                  f"expected a list, got "
+                  f"{type(raw_windows).__name__}")
+        windows = []
+        drained: set[str] = set()
+        for index, entry in enumerate(raw_windows):
+            path = f"maintenance.windows[{index}]"
+            window = MaintenanceWindow.from_dict(
+                _require_mapping(entry, path), path)
+            if window.pod not in pod_ids:
+                _fail(f"{path}.pod",
+                      f"unknown pod {window.pod!r} (topology has "
+                      f"{pods} pods: pod0..pod{pods - 1})")
+            if window.pod in drained:
+                _fail(f"{path}.pod",
+                      f"pod {window.pod!r} already drained by an "
+                      f"earlier window")
+            if windows and window.at_s < windows[-1].at_s:
+                _fail(f"{path}.at_s",
+                      f"windows must be time-ordered "
+                      f"({window.at_s:g} < {windows[-1].at_s:g})")
+            drained.add(window.pod)
+            windows.append(window)
+        if windows and len(drained) >= pods:
+            _fail(f"maintenance.windows[{len(windows) - 1}]",
+                  "schedule drains every pod — the last window would "
+                  "retire the last accepting pod")
+
+        return cls(name=name, pods=pods, racks_per_pod=racks,
+                   rack=rack, section_bytes=section_bytes,
+                   placement=placement, spill_policy=spill_policy,
+                   replica_groups=replica_groups, control=control,
+                   fabric=fabric, domains=tuple(domains),
+                   maintenance=tuple(windows))
+
+    # -- canonical form -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The normalized canonical dict (a :meth:`from_dict` fixed
+        point: re-validating it returns an equal spec)."""
+        return {
+            "name": self.name,
+            "pods": self.pods,
+            "racks_per_pod": self.racks_per_pod,
+            "rack": self.rack.to_dict(),
+            "section_bytes": self.section_bytes,
+            "placement": self.placement,
+            "spill_policy": self.spill_policy,
+            "replica_groups": self.replica_groups,
+            "control": self.control.to_dict(),
+            "fabric": self.fabric.to_dict(),
+            "domains": [domain.to_dict() for domain in self.domains],
+            "maintenance": {
+                "windows": [w.to_dict() for w in self.maintenance]},
+        }
+
+    def override(self, **overrides) -> "TopologySpec":
+        """A new validated spec with top-level *overrides* applied.
+
+        Nested dict values merge one level deep (``rack={"memory_
+        bricks": 4}`` keeps the other rack fields), mirroring how the
+        named templates take adjustments.
+        """
+        return TopologySpec.from_dict(
+            merge_spec(self.to_dict(), overrides))
+
+    # -- derived facts ------------------------------------------------------
+
+    @property
+    def pod_ids(self) -> tuple[str, ...]:
+        return tuple(f"pod{index}" for index in range(self.pods))
+
+    @property
+    def bricks_per_rack(self) -> int:
+        return self.rack.compute_bricks + self.rack.memory_bricks
+
+    @property
+    def total_bricks(self) -> int:
+        return self.pods * self.racks_per_pod * self.bricks_per_rack
+
+    @property
+    def pool_bytes(self) -> int:
+        """Total remote memory pool across the federation."""
+        return self.pods * self.racks_per_pod * self.rack.pool_bytes
+
+
+def merge_spec(base: Mapping, overrides: Mapping) -> dict:
+    """Overlay *overrides* on *base*, merging mappings one level deep.
+
+    ``None`` values in *overrides* are kept (they reset optional
+    fields); unknown keys survive the merge and fail in validation,
+    where the error message can name the path.
+    """
+    merged = dict(base)
+    for key, value in overrides.items():
+        if (isinstance(value, Mapping)
+                and isinstance(merged.get(key), Mapping)):
+            merged[key] = {**merged[key], **value}
+        else:
+            merged[key] = value
+    return merged
+
+
+def load_spec(source: Union[str, Path, Mapping,
+                            "TopologySpec"]) -> "TopologySpec":
+    """Resolve a CLI-shaped topology reference into a validated spec.
+
+    Accepts a template name (``"M"``), a path to a ``.json`` (or, when
+    PyYAML is importable, ``.yaml``/``.yml``) spec file, an already-
+    parsed dict, or a :class:`TopologySpec` (returned as-is).
+    """
+    if isinstance(source, TopologySpec):
+        return source
+    if isinstance(source, Mapping):
+        return TopologySpec.from_dict(source)
+    from repro.topology.templates import TEMPLATE_NAMES, template
+    text = str(source)
+    if text in TEMPLATE_NAMES:
+        return template(text)
+    path = Path(text)
+    if not path.exists():
+        raise TopologyError(
+            f"no template or spec file {text!r} (templates: "
+            f"{', '.join(TEMPLATE_NAMES)})")
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError:  # pragma: no cover - env-dependent
+            raise TopologyError(
+                f"{path}: YAML specs need PyYAML; re-encode as JSON"
+            ) from None
+        raw = yaml.safe_load(path.read_text())
+    else:
+        try:
+            raw = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise TopologyError(f"{path}: not valid JSON: {exc}") \
+                from None
+    if not isinstance(raw, Mapping):
+        raise TopologyError(
+            f"{path}: spec file must hold a mapping, got "
+            f"{type(raw).__name__}")
+    return TopologySpec.from_dict(raw)

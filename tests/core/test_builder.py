@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.builder import RackBuilder
-from repro.errors import ConfigurationError
+from repro.core.builder import PodBuilder, RackBuilder
+from repro.errors import ConfigurationError, TopologyError
 from repro.network.optical.switch import OpticalCircuitSwitch
 from repro.orchestration.placement import SpreadPolicy
 from repro.orchestration.sdm_controller import SdmTimings
@@ -105,3 +105,34 @@ class TestBuild:
             RackBuilder("r").with_tray_slots(0)
         with pytest.raises(ConfigurationError):
             RackBuilder("r").with_cbn_ports(0)
+
+
+class TestTopologyErrors:
+    """Impossible rack/brick counts raise the typed TopologyError (a
+    ConfigurationError subclass, so legacy except-clauses still catch)."""
+
+    def test_impossible_brick_counts_are_topology_errors(self):
+        with pytest.raises(TopologyError):
+            RackBuilder("r").with_compute_bricks(0)
+        with pytest.raises(TopologyError):
+            RackBuilder("r").with_memory_bricks(-1)
+        with pytest.raises(TopologyError):
+            RackBuilder("r").with_accelerator_bricks(-1)
+
+    def test_impossible_pod_shapes_are_topology_errors(self):
+        with pytest.raises(TopologyError):
+            PodBuilder("p").with_racks(0)
+        with pytest.raises(TopologyError):
+            PodBuilder("p").with_uplinks(0)
+
+    def test_topology_error_subclasses_configuration_error(self):
+        assert issubclass(TopologyError, ConfigurationError)
+
+    def test_non_shape_validation_stays_plain_configuration_error(self):
+        # Tray slots and CBN ports are rack-internal plumbing, not
+        # topology shape: they keep the untyped error.
+        for bad_call in (lambda: RackBuilder("r").with_tray_slots(0),
+                         lambda: RackBuilder("r").with_cbn_ports(0)):
+            with pytest.raises(ConfigurationError) as excinfo:
+                bad_call()
+            assert not isinstance(excinfo.value, TopologyError)

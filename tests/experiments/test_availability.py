@@ -21,12 +21,14 @@ from repro.experiments.availability import (
 )
 from repro.experiments.federation import _run_cell as federation_cell
 from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.topology import template
 
 
 class TestInertness:
     def test_zero_fault_cell_bit_identical_to_federation_sweep(self):
-        fault_free = _run_cell("none", True, 2018)
-        baseline = federation_cell(3, 5.0, "least-loaded", 120, 2018)
+        fault_free = _run_cell(template("M"), "none", True, 2018)
+        baseline = federation_cell(template("M"), 3, 5.0,
+                                   "least-loaded", 120, 2018)
         assert fault_free.faults == 0
         assert fault_free.downtime_ts == 0.0
         assert fault_free.readmissions == 0
@@ -61,8 +63,9 @@ class TestSweep:
         monkeypatch.setattr(availability, "SCRIPTED_OUTAGES",
                             ((1.0, "pod", "pod0", 8.0),))
         plan = _scripted_plan()
-        healed = _run_cell("scripted", True, 11, plan=plan, classes=())
-        unhealed = _run_cell("scripted", False, 11,
+        healed = _run_cell(template("M"), "scripted", True, 11,
+                           plan=plan, classes=())
+        unhealed = _run_cell(template("M"), "scripted", False, 11,
                              plan=_scripted_plan(), classes=())
         assert healed.faults == unhealed.faults == 1
         assert healed.readmissions > 0

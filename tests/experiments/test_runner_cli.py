@@ -189,3 +189,54 @@ class TestCli:
         out = capsys.readouterr().out
         assert "TABLE I" in out
         assert "cumulative" in out
+
+
+class TestTopologyCli:
+    def test_topology_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "federation", "--topology", "L"])
+        assert args.topology == "L"
+        args = build_parser().parse_args(["run-all", "--topology", "S"])
+        assert args.topology == "S"
+        args = build_parser().parse_args(["run", "federation"])
+        assert args.topology is None
+
+    def test_topology_forwarded_only_to_aware_drivers(self, monkeypatch):
+        captured = {}
+
+        def fake_driver(seed=None, topology=None):
+            captured.update(topology=topology)
+
+            class Result:
+                def render(self):
+                    return "ok"
+            return Result()
+
+        monkeypatch.setitem(EXPERIMENTS, "federation", fake_driver)
+        run_all(["federation"], topology="S")
+        assert captured == {"topology": "S"}
+        # table1's driver has no topology axis; forwarding must not crash.
+        assert run_all(["table1"], topology="S").runs
+
+    def test_validate_templates_and_examples(self, capsys):
+        assert main(["topology", "validate", "S", "M", "L", "XL",
+                     "examples/topologies/paper-m.json"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok ") == 5
+        assert "paper-m" in out
+
+    def test_validate_rejects_invalid_spec(self, capsys, tmp_path):
+        bad = tmp_path / "bad-topo.json"
+        bad.write_text('{"pods": 2, "rack": {"compute_bricks": 0}}')
+        assert main(["topology", "validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert f"INVALID {bad}" in err
+        assert "rack.compute_bricks" in err
+
+    def test_describe_prints_canonical_json(self, capsys):
+        import json as _json
+
+        assert main(["topology", "describe", "M"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["pods"] == 3
+        assert doc["rack"]["compute_bricks"] == 2

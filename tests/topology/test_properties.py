@@ -1,0 +1,50 @@
+"""Property tests: every valid spec compiles; canonical form is stable."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import TopologySpec, compile_spec
+from repro.units import gib, mib
+
+rack_specs = st.fixed_dictionaries({
+    "compute_bricks": st.integers(min_value=1, max_value=2),
+    "compute_cores": st.sampled_from([8, 16]),
+    "memory_bricks": st.integers(min_value=1, max_value=2),
+    "memory_modules": st.integers(min_value=1, max_value=2),
+    "module_bytes": st.sampled_from([gib(2), gib(4)]),
+})
+
+topology_specs = st.fixed_dictionaries({
+    "name": st.just("prop"),
+    "pods": st.integers(min_value=1, max_value=3),
+    "racks_per_pod": st.integers(min_value=1, max_value=2),
+    "rack": rack_specs,
+    "section_bytes": st.sampled_from([mib(256), mib(512)]),
+    "placement": st.sampled_from(["pack", "spread"]),
+    "spill_policy": st.sampled_from(["least-loaded", "first-fit", "never"]),
+    "control": st.fixed_dictionaries({
+        "max_batch": st.integers(min_value=1, max_value=4),
+    }),
+})
+
+
+@settings(max_examples=10, deadline=None)
+@given(raw=topology_specs)
+def test_every_valid_spec_compiles(raw):
+    compiled = compile_spec(raw)
+    try:
+        spec = compiled.spec
+        assert len(compiled.federation.pods) == spec.pods
+        pod = next(iter(compiled.federation.pods.values()))
+        assert len(pod.system.racks) == spec.racks_per_pod
+    finally:
+        compiled.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(raw=topology_specs)
+def test_canonical_form_is_a_fixed_point(raw):
+    canonical = TopologySpec.from_dict(raw).to_dict()
+    assert TopologySpec.from_dict(canonical).to_dict() == canonical

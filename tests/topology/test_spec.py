@@ -1,0 +1,236 @@
+"""TopologySpec validation: coercion, canonical form, rejections.
+
+Every invalid-spec case asserts both the typed
+:class:`~repro.errors.TopologyError` and the offending spec path in
+its message — the compiler's errors must point at the field, not just
+describe the problem.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology import (
+    TEMPLATE_NAMES,
+    TopologySpec,
+    load_spec,
+    merge_spec,
+    template,
+)
+from repro.units import gib, mib
+
+
+def spec_dict(**overrides) -> dict:
+    """A small valid raw spec, adjustable per test."""
+    return merge_spec({
+        "name": "t",
+        "pods": 3,
+        "racks_per_pod": 2,
+        "rack": {"compute_bricks": 1, "memory_bricks": 1},
+    }, overrides)
+
+
+class TestCoercion:
+    def test_sizes_accept_strings_and_ints(self):
+        spec = TopologySpec.from_dict(spec_dict(
+            section_bytes="256MiB",
+            rack={"compute_bricks": 1, "memory_bricks": 1,
+                  "module_bytes": "4GiB", "local_memory_bytes": gib(1)}))
+        assert spec.section_bytes == mib(256)
+        assert spec.rack.module_bytes == gib(4)
+        assert spec.rack.local_memory_bytes == gib(1)
+
+    def test_bandwidth_accepts_gbps_strings(self):
+        spec = TopologySpec.from_dict(spec_dict(
+            fabric={"interpod_link_bps": "100Gbps"}))
+        assert spec.fabric.interpod_link_bps == 100e9
+
+    def test_malformed_size_names_the_path(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(section_bytes="256 acres"))
+        assert "section_bytes" in str(excinfo.value)
+        assert excinfo.value.path == "section_bytes"
+
+    def test_defaults_fill_everything(self):
+        spec = TopologySpec.from_dict({})
+        assert spec.pods == 2
+        assert spec.rack.compute_bricks == 2
+        assert spec.control.max_batch == 4
+        assert spec.fabric.sync_window_s is None
+        assert spec.domains == ()
+        assert spec.maintenance == ()
+
+
+class TestCanonicalForm:
+    @pytest.mark.parametrize("name", TEMPLATE_NAMES)
+    def test_template_to_dict_is_a_fixed_point(self, name):
+        spec = template(name)
+        canonical = spec.to_dict()
+        assert TopologySpec.from_dict(canonical).to_dict() == canonical
+
+    def test_derived_facts(self):
+        spec = template("M")
+        assert spec.pod_ids == ("pod0", "pod1", "pod2")
+        assert spec.bricks_per_rack == 4
+        assert spec.total_bricks == 3 * 2 * 4
+        assert spec.pool_bytes == 3 * 2 * 2 * 2 * gib(4)
+
+    def test_override_merges_one_level_deep(self):
+        spec = template("M").override(
+            pods=4, rack={"memory_bricks": 3})
+        assert spec.pods == 4
+        assert spec.rack.memory_bricks == 3
+        # Unmentioned rack fields survive the merge.
+        assert spec.rack.compute_bricks == 2
+
+
+class TestRejections:
+    def test_zero_brick_rack(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(
+                rack={"compute_bricks": 1, "memory_bricks": 0}))
+        assert excinfo.value.path == "rack.memory_bricks"
+
+    def test_zero_pods(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(pods=0))
+        assert excinfo.value.path == "pods"
+
+    def test_unknown_key(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(rakcs_per_pod=2))
+        assert "rakcs_per_pod" in str(excinfo.value)
+
+    def test_unknown_placement_and_spill(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(placement="stack"))
+        assert excinfo.value.path == "placement"
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(spill_policy="sometimes"))
+        assert excinfo.value.path == "spill_policy"
+
+    def test_overlapping_same_kind_domains(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(domains=[
+                {"kind": "rack-power", "mtbf_s": 60, "mttr_s": 4},
+                {"kind": "rack-power", "mtbf_s": 30, "mttr_s": 2},
+            ]))
+        assert excinfo.value.path == "domains[1]"
+        assert "overlaps domains[0]" in str(excinfo.value)
+
+    def test_disjoint_same_kind_domains_allowed(self):
+        spec = TopologySpec.from_dict(spec_dict(domains=[
+            {"kind": "rack-power", "mtbf_s": 60, "mttr_s": 4,
+             "pods": ["pod0"]},
+            {"kind": "rack-power", "mtbf_s": 30, "mttr_s": 2,
+             "pods": ["pod1", "pod2"]},
+        ]))
+        assert len(spec.domains) == 2
+
+    def test_different_kind_domains_may_share_pods(self):
+        spec = TopologySpec.from_dict(spec_dict(domains=[
+            {"kind": "rack-power", "mtbf_s": 60, "mttr_s": 4},
+            {"kind": "pod-network", "mtbf_s": 60, "mttr_s": 4},
+        ]))
+        assert len(spec.domains) == 2
+
+    def test_unknown_pod_in_domain_scope(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(domains=[
+                {"kind": "rack-power", "mtbf_s": 60, "mttr_s": 4,
+                 "pods": ["pod7"]}]))
+        assert excinfo.value.path == "domains[0].pods"
+
+    def test_malformed_hazard_names_the_path(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(domains=[
+                {"kind": "rack-power", "mtbf_s": 60, "mttr_s": 4,
+                 "hazard": "gamma:3"}]))
+        assert excinfo.value.path == "domains[0].hazard"
+
+    def test_unknown_pod_in_maintenance_window(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(maintenance={
+                "windows": [{"pod": "pod9", "at_s": 1.0}]}))
+        assert excinfo.value.path == "maintenance.windows[0].pod"
+
+    def test_windows_must_be_time_ordered(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(maintenance={
+                "windows": [{"pod": "pod0", "at_s": 5.0},
+                            {"pod": "pod1", "at_s": 2.0}]}))
+        assert excinfo.value.path == "maintenance.windows[1].at_s"
+
+    def test_pod_drained_twice_rejected(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(maintenance={
+                "windows": [{"pod": "pod0", "at_s": 1.0},
+                            {"pod": "pod0", "at_s": 2.0}]}))
+        assert excinfo.value.path == "maintenance.windows[1].pod"
+
+    def test_draining_every_pod_rejected(self):
+        with pytest.raises(TopologyError) as excinfo:
+            TopologySpec.from_dict(spec_dict(pods=2, maintenance={
+                "windows": [{"pod": "pod0", "at_s": 1.0},
+                            {"pod": "pod1", "at_s": 2.0}]}))
+        assert "last accepting pod" in str(excinfo.value)
+
+    def test_topology_error_is_a_configuration_error(self):
+        assert issubclass(TopologyError, ConfigurationError)
+
+
+class TestTemplates:
+    def test_unknown_template(self):
+        with pytest.raises(TopologyError) as excinfo:
+            template("XXL")
+        assert excinfo.value.path == "template"
+        assert "XXL" in str(excinfo.value)
+
+    def test_template_overrides_revalidate(self):
+        spec = template("S", {"pods": 5})
+        assert spec.pods == 5
+        with pytest.raises(TopologyError):
+            template("S", {"pods": 0})
+
+    def test_every_template_validates(self):
+        for name in TEMPLATE_NAMES:
+            assert template(name).name == name
+
+
+class TestLoadSpec:
+    def test_template_name(self):
+        assert load_spec("M").pods == 3
+
+    def test_mapping_and_spec_passthrough(self):
+        spec = load_spec(spec_dict())
+        assert load_spec(spec) is spec
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "topo.json"
+        path.write_text(json.dumps(spec_dict()))
+        assert load_spec(str(path)).pods == 3
+
+    def test_yaml_file(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "topo.yaml"
+        path.write_text(yaml.safe_dump(spec_dict()))
+        assert load_spec(str(path)).pods == 3
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(TopologyError) as excinfo:
+            load_spec("no-such-template-or-file")
+        assert "no template or spec file" in str(excinfo.value)
+
+    def test_checked_in_examples_validate(self):
+        from pathlib import Path
+        examples = sorted(
+            Path("examples/topologies").glob("*.json"))
+        assert examples, "example specs missing"
+        for path in examples:
+            spec = load_spec(str(path))
+            canonical = spec.to_dict()
+            assert (TopologySpec.from_dict(canonical).to_dict()
+                    == canonical), path
